@@ -1,0 +1,121 @@
+// E-ablation — design-choice sweeps called out in DESIGN.md §7.
+//
+// Three knobs of the implementation, each swept in isolation:
+//   1. Flow control: messages stamped per token visit vs burst drain time.
+//   2. Failure detection: token-loss timeout vs partition recovery window
+//      (the dominant term measured in E5).
+//   3. Loss tolerance: message-loss rate vs safe-delivery latency and
+//      membership churn (each lost token costs a full membership round).
+#include <benchmark/benchmark.h>
+
+#include "testkit/cluster.hpp"
+#include "testkit/metrics.hpp"
+
+namespace {
+
+using namespace evs;
+
+void BM_FlowControlWindow(benchmark::State& state) {
+  const int window = static_cast<int>(state.range(0));
+  double drain_us = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Cluster::Options opts;
+    opts.num_processes = 4;
+    opts.seed = 1 + rounds;
+    opts.node.ordering.max_new_per_token = window;
+    Cluster cluster(opts);
+    if (!cluster.await_stable(20'000'000)) {
+      state.SkipWithError("no stable start");
+      return;
+    }
+    const SimTime start = cluster.now();
+    for (int i = 0; i < 400; ++i) {
+      cluster.node(static_cast<std::size_t>(i % 4)).send(Service::Agreed, {1});
+    }
+    if (!cluster.await_quiesce(120'000'000)) {
+      state.SkipWithError("no quiesce");
+      return;
+    }
+    drain_us += static_cast<double>(cluster.now() - start);
+    ++rounds;
+  }
+  state.counters["sim_burst_drain_us"] = drain_us / static_cast<double>(rounds);
+}
+
+void BM_TokenLossTimeout(benchmark::State& state) {
+  const SimTime timeout_us = static_cast<SimTime>(state.range(0));
+  double recovery_us = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Cluster::Options opts;
+    opts.num_processes = 4;
+    opts.seed = 5 + rounds;
+    opts.node.token_loss_timeout_us = timeout_us;
+    Cluster cluster(opts);
+    if (!cluster.await_stable(20'000'000)) {
+      state.SkipWithError("no stable start");
+      return;
+    }
+    for (int i = 0; i < 50; ++i) {
+      cluster.node(static_cast<std::size_t>(i % 4)).send(Service::Safe, {1});
+    }
+    cluster.run_for(400);
+    cluster.partition({{0, 1}, {2, 3}});
+    if (!cluster.await_quiesce(120'000'000)) {
+      state.SkipWithError("no quiesce");
+      return;
+    }
+    std::vector<SimTime> durations;
+    for (const auto& w : recovery_windows(cluster.trace())) {
+      durations.push_back(w.duration_us());
+    }
+    recovery_us += summarize(durations).avg_us;
+    ++rounds;
+  }
+  state.counters["sim_avg_recovery_us"] = recovery_us / static_cast<double>(rounds);
+}
+
+void BM_LossSensitivity(benchmark::State& state) {
+  const double loss = static_cast<double>(state.range(0)) / 1000.0;
+  double latency_us = 0;
+  double gathers = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Cluster::Options opts;
+    opts.num_processes = 4;
+    opts.seed = 9 + rounds;
+    opts.net.loss_probability = loss;
+    Cluster cluster(opts);
+    if (!cluster.await_stable(30'000'000)) {
+      state.SkipWithError("no stable start");
+      return;
+    }
+    std::uint64_t gathers_before = 0;
+    for (std::size_t i = 0; i < 4; ++i) gathers_before += cluster.node(i).stats().gathers;
+    for (int i = 0; i < 100; ++i) {
+      cluster.node(static_cast<std::size_t>(i % 4)).send(Service::Safe, {1});
+    }
+    if (!cluster.await_quiesce(240'000'000)) {
+      state.SkipWithError("no quiesce");
+      return;
+    }
+    const Service safe = Service::Safe;
+    latency_us += delivery_latency(cluster.trace(), true, &safe).avg_us;
+    std::uint64_t gathers_after = 0;
+    for (std::size_t i = 0; i < 4; ++i) gathers_after += cluster.node(i).stats().gathers;
+    gathers += static_cast<double>(gathers_after - gathers_before);
+    ++rounds;
+  }
+  state.counters["sim_safe_latency_us"] = latency_us / static_cast<double>(rounds);
+  state.counters["membership_rounds"] = gathers / static_cast<double>(rounds);
+}
+
+}  // namespace
+
+BENCHMARK(BM_FlowControlWindow)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TokenLossTimeout)->Arg(4'000)->Arg(8'000)->Arg(12'000)->Arg(24'000)->Arg(48'000)->Unit(benchmark::kMillisecond);
+// Arg = loss in permille: 0, 5 (=0.5%), 10, 30, 60
+BENCHMARK(BM_LossSensitivity)->Arg(0)->Arg(5)->Arg(10)->Arg(30)->Arg(60)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

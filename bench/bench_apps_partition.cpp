@@ -1,0 +1,133 @@
+// E7 — The Section 1 applications under partitions (DESIGN.md §5).
+//
+// Application-level availability: requests served per simulated second by
+// the airline and ATM applications while connected, partitioned and after
+// remerge. Expected shape: throughput survives the partition (that is the
+// EVS pitch), with a dip bounded by the recovery window; the partitioned
+// airline serves within its quota.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/airline.hpp"
+#include "apps/atm.hpp"
+#include "testkit/cluster.hpp"
+
+namespace {
+
+using namespace evs;
+using apps::AirlineAgent;
+using apps::AtmAgent;
+
+void BM_AirlineThroughPartitionCycle(benchmark::State& state) {
+  const bool partitioned_phase = state.range(0) == 1;
+  double accepted_per_sim_sec = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Cluster::Options opts;
+    opts.num_processes = 4;
+    opts.seed = 31 + rounds;
+    Cluster cluster(opts);
+    std::vector<std::unique_ptr<AirlineAgent>> offices;
+    for (std::size_t i = 0; i < 4; ++i) {
+      offices.push_back(std::make_unique<AirlineAgent>(
+          cluster.node(i), AirlineAgent::Options{100'000, 4, 1.0}));
+    }
+    if (!cluster.await_stable(20'000'000)) {
+      state.SkipWithError("no stable start");
+      return;
+    }
+    if (partitioned_phase) {
+      cluster.partition({{0, 1}, {2, 3}});
+      if (!cluster.await_stable(20'000'000)) {
+        state.SkipWithError("no stability after partition");
+        return;
+      }
+    }
+    const SimTime start = cluster.now();
+    const std::uint32_t before = offices[0]->stats().accepted +
+                                 offices[2]->stats().accepted;
+    for (int i = 0; i < 400; ++i) {
+      offices[static_cast<std::size_t>(i % 4)]->request_sale(1);
+    }
+    if (!cluster.await_quiesce(60'000'000)) {
+      state.SkipWithError("no quiesce");
+      return;
+    }
+    const SimTime elapsed = cluster.now() - start;
+    const std::uint32_t after = offices[0]->stats().accepted +
+                                offices[2]->stats().accepted;
+    accepted_per_sim_sec +=
+        static_cast<double>(after - before) * 1e6 / static_cast<double>(elapsed);
+    ++rounds;
+  }
+  state.counters["sales_per_sim_sec"] = accepted_per_sim_sec / static_cast<double>(rounds);
+}
+
+void BM_AtmPostingBacklog(benchmark::State& state) {
+  // Offline transactions accumulate while partitioned and drain at merge:
+  // measures the posting backlog drain time as offline volume grows.
+  const int offline_txns = static_cast<int>(state.range(0));
+  double drain_us = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Cluster::Options opts;
+    opts.num_processes = 4;
+    opts.seed = 41 + rounds;
+    Cluster cluster(opts);
+    std::vector<std::unique_ptr<AtmAgent>> atms;
+    for (std::size_t i = 0; i < 4; ++i) {
+      atms.push_back(std::make_unique<AtmAgent>(cluster.node(i),
+                                                cluster.store(cluster.pid(i)),
+                                                AtmAgent::Options{4, 1'000'000}));
+    }
+    if (!cluster.await_stable(20'000'000)) {
+      state.SkipWithError("no stable start");
+      return;
+    }
+    atms[0]->open_account(1, 1'000'000'000);
+    if (!cluster.await_quiesce(30'000'000)) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    cluster.partition({{0, 1}, {2, 3}});
+    if (!cluster.await_stable(20'000'000)) {
+      state.SkipWithError("no stability after partition");
+      return;
+    }
+    for (int i = 0; i < offline_txns; ++i) {
+      atms[0]->withdraw(1, 1);
+      atms[2]->withdraw(1, 1);
+    }
+    if (!cluster.await_quiesce(60'000'000)) {
+      state.SkipWithError("offline phase stuck");
+      return;
+    }
+    const SimTime merge_at = cluster.now();
+    cluster.heal();
+    const bool drained = cluster.await(
+        [&] {
+          for (const auto& atm : atms) {
+            if (atm->unposted_count() > 0) return false;
+          }
+          return true;
+        },
+        120'000'000);
+    if (!drained) {
+      state.SkipWithError("posting backlog never drained");
+      return;
+    }
+    drain_us += static_cast<double>(cluster.now() - merge_at);
+    ++rounds;
+  }
+  state.counters["sim_drain_us"] = drain_us / static_cast<double>(rounds);
+}
+
+}  // namespace
+
+// Arg: 0 = connected, 1 = partitioned
+BENCHMARK(BM_AirlineThroughPartitionCycle)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AtmPostingBacklog)->Arg(10)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

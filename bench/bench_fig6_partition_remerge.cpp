@@ -1,0 +1,76 @@
+// E2 — The Figure 6 scenario as a benchmark (DESIGN.md §5).
+//
+// {p,q,r} partitions: p isolated, q+r merge with {s,t}. Measures the
+// configuration-change machinery end to end: how long each side takes to
+// install its transitional + new regular configuration, how many messages
+// are delivered in the transitional configuration, and how many are
+// discarded as causally suspect, as the pre-partition traffic level varies.
+#include <benchmark/benchmark.h>
+
+#include "testkit/cluster.hpp"
+#include "testkit/metrics.hpp"
+
+namespace {
+
+using namespace evs;
+
+void BM_Fig6Scenario(benchmark::State& state) {
+  const int traffic = static_cast<int>(state.range(0));
+
+  double reconfig_us = 0;
+  double trans_deliveries = 0;
+  double discarded = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Cluster::Options opts;
+    opts.num_processes = 5;
+    opts.seed = 100 + rounds;
+    Cluster cluster(opts);
+    // p=0,q=1,r=2 | s=3,t=4 — the paper's starting point.
+    cluster.partition({{0, 1, 2}, {3, 4}});
+    if (!cluster.await_stable(20'000'000)) {
+      state.SkipWithError("no stable start");
+      return;
+    }
+    for (int i = 0; i < traffic; ++i) {
+      cluster.node(static_cast<std::size_t>(i % 3))
+          .send(i % 2 == 0 ? Service::Safe : Service::Agreed,
+                std::vector<std::uint8_t>(16, 0));
+    }
+    cluster.run_for(500);
+
+    // The Figure 6 event: p isolated; q,r merge with s,t.
+    const SimTime change_at = cluster.now();
+    cluster.partition({{0}, {1, 2, 3, 4}});
+    const bool settled = cluster.await(
+        [&] {
+          return cluster.node(1u).state() == EvsNode::State::Operational &&
+                 cluster.node(1u).config().members.size() == 4;
+        },
+        60'000'000);
+    if (!settled || !cluster.await_quiesce(60'000'000)) {
+      state.SkipWithError("figure-6 reconfiguration did not settle");
+      return;
+    }
+    reconfig_us += static_cast<double>(cluster.now() - change_at);
+    std::uint64_t trans = 0;
+    std::uint64_t disc = 0;
+    for (std::size_t i = 0; i < 5; ++i) {
+      trans += cluster.node(i).stats().delivered_transitional;
+      disc += cluster.node(i).stats().discarded;
+    }
+    trans_deliveries += static_cast<double>(trans);
+    discarded += static_cast<double>(disc);
+    ++rounds;
+  }
+  state.counters["sim_reconfig_us"] = reconfig_us / static_cast<double>(rounds);
+  state.counters["transitional_deliveries"] =
+      trans_deliveries / static_cast<double>(rounds);
+  state.counters["discarded_msgs"] = discarded / static_cast<double>(rounds);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fig6Scenario)->Arg(0)->Arg(20)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

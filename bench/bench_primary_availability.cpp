@@ -1,0 +1,84 @@
+// E6 — Primary-component availability: static majority vs dynamic linear
+// voting (DESIGN.md §5).
+//
+// The paper (Section 5) mentions "an algorithm that has a greater
+// probability of finding a primary component". This bench quantifies it:
+// run random partition schedules and report the fraction of schedule steps
+// in which SOME primary component exists, under both policies. Expected
+// shape: DLV dominates static majority, most visibly under cascading
+// shrinking partitions where the active majority walks down with the
+// primary lineage.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "testkit/vs_cluster.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace evs;
+
+double run_schedule(VsNode::Policy policy, std::uint64_t seed, int steps,
+                    bool shrinking) {
+  VsCluster::Options opts;
+  opts.num_processes = 7;
+  opts.seed = seed;
+  opts.policy = policy;
+  VsCluster cluster(opts);
+  Rng rng(seed * 97 + 1);
+  if (!cluster.await_stable(30'000'000)) return 0.0;
+
+  int primary_steps = 0;
+  std::vector<std::size_t> core{0, 1, 2, 3, 4, 5, 6};
+  for (int step = 0; step < steps; ++step) {
+    if (shrinking && core.size() > 1) {
+      // Cascading shrink: the connected core loses one process per step.
+      core.pop_back();
+      std::vector<std::vector<std::size_t>> groups;
+      groups.push_back(core);
+      for (std::size_t i = core.size(); i < 7; ++i) groups.push_back({i});
+      cluster.partition(groups);
+    } else {
+      const std::size_t ngroups = 1 + rng.below(4);
+      std::vector<std::vector<std::size_t>> groups(ngroups);
+      for (std::size_t i = 0; i < 7; ++i) groups[rng.below(ngroups)].push_back(i);
+      groups.erase(std::remove_if(groups.begin(), groups.end(),
+                                  [](const auto& g) { return g.empty(); }),
+                   groups.end());
+      cluster.partition(groups);
+    }
+    cluster.await_stable(30'000'000);
+    bool any_primary = false;
+    for (std::size_t i = 0; i < 7; ++i) {
+      if (cluster.node(i).in_primary()) any_primary = true;
+    }
+    if (any_primary) ++primary_steps;
+  }
+  return static_cast<double>(primary_steps) / static_cast<double>(steps);
+}
+
+void BM_PrimaryAvailability(benchmark::State& state) {
+  const auto policy = state.range(0) == 0 ? VsNode::Policy::StaticMajority
+                                          : VsNode::Policy::DynamicLinearVoting;
+  const bool shrinking = state.range(1) == 1;
+  double availability = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    availability += run_schedule(policy, 1000 + rounds, 12, shrinking);
+    ++rounds;
+  }
+  state.counters["primary_availability"] = availability / static_cast<double>(rounds);
+}
+
+}  // namespace
+
+// Args: {policy (0=static, 1=dlv), schedule (0=random, 1=cascading shrink)}
+BENCHMARK(BM_PrimaryAvailability)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

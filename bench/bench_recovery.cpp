@@ -1,0 +1,123 @@
+// E5 — Recovery algorithm cost (DESIGN.md §5).
+//
+// How long does the Section 3 recovery take, and how much does it
+// rebroadcast, as a function of the message backlog outstanding when the
+// partition strikes and of the component shape? Expected shape: duration
+// and rebroadcast volume grow linearly with the backlog; a lone singleton
+// recovers fastest (nothing to exchange).
+#include <benchmark/benchmark.h>
+
+#include "testkit/cluster.hpp"
+#include "testkit/metrics.hpp"
+
+namespace {
+
+using namespace evs;
+
+void BM_PartitionRecovery(benchmark::State& state) {
+  const int backlog = static_cast<int>(state.range(0));
+  const bool even_split = state.range(1) == 1;
+  constexpr std::size_t kProcesses = 6;
+
+  double avg_recovery_us = 0;
+  double max_recovery_us = 0;
+  double rebroadcast_bytes = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Cluster::Options opts;
+    opts.num_processes = kProcesses;
+    opts.seed = 11 + rounds;
+    Cluster cluster(opts);
+    if (!cluster.await_stable(20'000'000)) {
+      state.SkipWithError("no stable start");
+      return;
+    }
+    // Build up an in-flight backlog, then cut the network mid-stream.
+    for (int i = 0; i < backlog; ++i) {
+      cluster.node(static_cast<std::size_t>(i) % kProcesses)
+          .send(i % 2 == 0 ? Service::Safe : Service::Agreed,
+                std::vector<std::uint8_t>(32, 0));
+    }
+    cluster.run_for(500);  // messages stamped/in flight, not yet settled
+    const std::uint64_t bytes_before = cluster.network().stats().bytes_delivered;
+    if (even_split) {
+      cluster.partition({{0, 1, 2}, {3, 4, 5}});
+    } else {
+      cluster.partition({{0, 1, 2, 3, 4}, {5}});
+    }
+    if (!cluster.await_quiesce(60'000'000)) {
+      state.SkipWithError("no quiesce after partition");
+      return;
+    }
+    const auto windows = recovery_windows(cluster.trace());
+    std::vector<SimTime> durations;
+    for (const auto& w : windows) durations.push_back(w.duration_us());
+    const LatencySummary summary = summarize(durations);
+    avg_recovery_us += summary.avg_us;
+    max_recovery_us += static_cast<double>(summary.max_us);
+    rebroadcast_bytes += static_cast<double>(
+        cluster.network().stats().bytes_delivered - bytes_before);
+    ++rounds;
+  }
+  state.counters["sim_avg_recovery_us"] = avg_recovery_us / static_cast<double>(rounds);
+  state.counters["sim_max_recovery_us"] = max_recovery_us / static_cast<double>(rounds);
+  state.counters["recovery_bytes"] = rebroadcast_bytes / static_cast<double>(rounds);
+}
+
+void BM_CrashRecovery(benchmark::State& state) {
+  // Crash + rejoin of one process under a given backlog: exercises the
+  // stable-storage path and the obligation machinery.
+  const int backlog = static_cast<int>(state.range(0));
+  constexpr std::size_t kProcesses = 4;
+  double avg_rejoin_us = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Cluster::Options opts;
+    opts.num_processes = kProcesses;
+    opts.seed = 23 + rounds;
+    Cluster cluster(opts);
+    if (!cluster.await_stable(20'000'000)) {
+      state.SkipWithError("no stable start");
+      return;
+    }
+    for (int i = 0; i < backlog; ++i) {
+      cluster.node(static_cast<std::size_t>(i) % kProcesses)
+          .send(Service::Safe, std::vector<std::uint8_t>(32, 0));
+    }
+    cluster.run_for(500);
+    cluster.crash(cluster.pid(3));
+    if (!cluster.await_stable(60'000'000)) {
+      state.SkipWithError("no stability after crash");
+      return;
+    }
+    const SimTime recover_start = cluster.now();
+    cluster.recover(cluster.pid(3));
+    const bool joined = cluster.await(
+        [&] {
+          return cluster.node(3u).state() == EvsNode::State::Operational &&
+                 cluster.node(3u).config().members.size() == kProcesses;
+        },
+        60'000'000);
+    if (!joined) {
+      state.SkipWithError("rejoin failed");
+      return;
+    }
+    avg_rejoin_us += static_cast<double>(cluster.now() - recover_start);
+    ++rounds;
+  }
+  state.counters["sim_rejoin_us"] = avg_rejoin_us / static_cast<double>(rounds);
+}
+
+}  // namespace
+
+BENCHMARK(BM_PartitionRecovery)
+    ->Args({10, 1})
+    ->Args({100, 1})
+    ->Args({500, 1})
+    ->Args({2000, 1})
+    ->Args({100, 0})
+    ->Args({500, 0})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CrashRecovery)->Arg(10)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// E1 — Specification conformance under randomized fault schedules
+// (DESIGN.md §5; Figures 1-5 of the paper as executable properties).
+//
+// Generates random partition/crash/traffic schedules, checks the complete
+// extended virtual synchrony specification on every trace, and reports the
+// violation count (must be 0) plus the checker's own cost per trace event —
+// the machine-checkable stand-in for the paper's specification figures.
+#include <benchmark/benchmark.h>
+
+#include "testkit/cluster.hpp"
+#include "testkit/workload.hpp"
+
+namespace {
+
+using namespace evs;
+
+void BM_SpecConformance(benchmark::State& state) {
+  const auto processes = static_cast<std::size_t>(state.range(0));
+  const double loss = static_cast<double>(state.range(1)) / 100.0;
+
+  std::uint64_t violations = 0;
+  double events = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Cluster::Options opts;
+    opts.num_processes = processes;
+    opts.seed = 555 + rounds;
+    opts.net.loss_probability = loss;
+    Cluster cluster(opts);
+    Rng rng(777 + rounds);
+    RandomScheduleOptions schedule;
+    schedule.rounds = 8;
+    run_random_schedule(cluster, rng, schedule);
+    violations += cluster.check(true).size();
+    events += static_cast<double>(cluster.trace().size());
+    ++rounds;
+  }
+  state.counters["violations"] = static_cast<double>(violations);
+  state.counters["trace_events"] = events / static_cast<double>(rounds);
+}
+
+void BM_CheckerThroughput(benchmark::State& state) {
+  // The checker's own speed: events verified per wall second.
+  Cluster::Options opts;
+  opts.num_processes = 6;
+  opts.seed = 99;
+  Cluster cluster(opts);
+  Rng rng(99);
+  RandomScheduleOptions schedule;
+  schedule.rounds = 12;
+  schedule.messages_per_round = 60;
+  run_random_schedule(cluster, rng, schedule);
+
+  std::size_t violations = 0;
+  for (auto _ : state) {
+    violations += cluster.check(true).size();
+  }
+  state.counters["violations"] = static_cast<double>(violations);
+  state.counters["events_per_check"] = static_cast<double>(cluster.trace().size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(state.iterations()) * cluster.trace().size()));
+}
+
+}  // namespace
+
+// Args: {processes, loss_percent}
+BENCHMARK(BM_SpecConformance)
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({4, 1})
+    ->Args({4, 5})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CheckerThroughput)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

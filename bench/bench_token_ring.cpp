@@ -1,0 +1,96 @@
+// E4 — Ordering substrate cost (DESIGN.md §5).
+//
+// Totem-style token-ring ordering: message delivery latency and throughput
+// for agreed vs safe delivery across ring sizes. The paper's qualitative
+// claim (and the companion Totem paper's measurement): safe delivery costs
+// roughly one extra token rotation over agreed delivery, so the gap grows
+// linearly with ring size.
+//
+// Reported counters are in *simulated* time (sim_* counters); the benchmark
+// wall-clock additionally measures the simulator itself.
+#include <benchmark/benchmark.h>
+
+#include "testkit/cluster.hpp"
+#include "testkit/metrics.hpp"
+
+namespace {
+
+using namespace evs;
+
+void BM_DeliveryLatency(benchmark::State& state) {
+  const auto ring_size = static_cast<std::size_t>(state.range(0));
+  const Service service = static_cast<Service>(state.range(1));
+
+  LatencySummary total;
+  double sim_us_per_msg = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Cluster::Options opts;
+    opts.num_processes = ring_size;
+    opts.seed = 42 + rounds;
+    Cluster cluster(opts);
+    if (!cluster.await_stable(20'000'000)) {
+      state.SkipWithError("cluster failed to stabilize");
+      return;
+    }
+    const SimTime start = cluster.now();
+    constexpr int kMessages = 200;
+    for (int i = 0; i < kMessages; ++i) {
+      cluster.node(static_cast<std::size_t>(i) % ring_size).send(service, {1, 2, 3, 4});
+    }
+    if (!cluster.await_quiesce(60'000'000)) {
+      state.SkipWithError("cluster failed to quiesce");
+      return;
+    }
+    const SimTime elapsed = cluster.now() - start;
+    sim_us_per_msg += static_cast<double>(elapsed) / kMessages;
+    // Latency to the LAST receiver: the stabilization cost of the service.
+    total = delivery_latency(cluster.trace(), /*to_last_delivery=*/true, &service);
+    ++rounds;
+  }
+  state.counters["sim_avg_latency_us"] = total.avg_us;
+  state.counters["sim_p99_latency_us"] = static_cast<double>(total.p99_us);
+  state.counters["sim_us_per_msg"] = sim_us_per_msg / static_cast<double>(rounds);
+}
+
+void BM_TokenRotation(benchmark::State& state) {
+  // Raw token rotation rate on an idle ring: the fixed cost every delivery
+  // guarantee ultimately rides on.
+  const auto ring_size = static_cast<std::size_t>(state.range(0));
+  double rotations_per_sim_sec = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Cluster::Options opts;
+    opts.num_processes = ring_size;
+    opts.seed = 7 + rounds;
+    Cluster cluster(opts);
+    if (!cluster.await_stable(20'000'000)) {
+      state.SkipWithError("cluster failed to stabilize");
+      return;
+    }
+    const std::uint64_t tokens_before = cluster.node(0u).stats().tokens_handled;
+    const SimTime start = cluster.now();
+    cluster.run_for(1'000'000);  // one simulated second
+    const SimTime elapsed = cluster.now() - start;
+    const std::uint64_t tokens = cluster.node(0u).stats().tokens_handled - tokens_before;
+    rotations_per_sim_sec +=
+        static_cast<double>(tokens) * 1e6 / static_cast<double>(elapsed);
+    ++rounds;
+  }
+  state.counters["sim_rotations_per_sec"] =
+      rotations_per_sim_sec / static_cast<double>(rounds);
+}
+
+void LatencyArgs(benchmark::internal::Benchmark* b) {
+  for (int n : {2, 4, 8, 16, 32}) {
+    b->Args({n, static_cast<int>(Service::Agreed)});
+    b->Args({n, static_cast<int>(Service::Safe)});
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_DeliveryLatency)->Apply(LatencyArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TokenRotation)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// ATM banking with offline authorization and delayed posting (Section 1).
+//
+// Four ATMs replicate an account database. While partitioned, withdrawals
+// are authorized against a per-transaction offline limit without a balance
+// check and are posted only after the network reconnects — so cumulative
+// withdrawals on both sides can overdraw the account, which the bank
+// accepts as the price of availability.
+//
+//   ./build/examples/atm_bank
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/atm.hpp"
+#include "testkit/cluster.hpp"
+
+using namespace evs;
+using apps::AtmAgent;
+
+int main() {
+  constexpr std::size_t kAtms = 4;
+  Cluster cluster(Cluster::Options{.num_processes = kAtms});
+  std::vector<std::unique_ptr<AtmAgent>> atms;
+  for (std::size_t i = 0; i < kAtms; ++i) {
+    atms.push_back(std::make_unique<AtmAgent>(cluster.node(i),
+                                              cluster.store(cluster.pid(i)),
+                                              AtmAgent::Options{kAtms, 200}));
+  }
+  cluster.await_stable(3'000'000);
+
+  std::printf("opening account 42 with balance 500\n");
+  atms[0]->open_account(42, 500);
+  cluster.await_quiesce(3'000'000);
+
+  std::printf("connected withdrawal of 100: checked against the balance\n");
+  atms[1]->withdraw(42, 100);
+  cluster.await_quiesce(3'000'000);
+  std::printf("  balance everywhere: %lld\n",
+              static_cast<long long>(atms[0]->balance(42)));
+
+  std::printf("network partitions into {atm1,atm2} | {atm3,atm4}\n");
+  cluster.partition({{0, 1}, {2, 3}});
+  cluster.await_stable(3'000'000);
+
+  std::printf("offline withdrawals: authorized by the 200 limit, not the balance\n");
+  atms[0]->withdraw(42, 200);
+  atms[2]->withdraw(42, 200);
+  auto rejected = atms[3]->withdraw(42, 350);  // above the offline limit
+  cluster.await_quiesce(3'000'000);
+  std::printf("  left sees balance %lld, right sees %lld (consistent but incomplete)\n",
+              static_cast<long long>(atms[0]->balance(42)),
+              static_cast<long long>(atms[2]->balance(42)));
+  std::printf("  350 withdrawal %s\n",
+              atms[3]->outcomes().at(rejected) ? "authorized" : "DENIED (over limit)");
+  std::printf("  unposted transactions waiting at atm1: %zu\n",
+              atms[0]->unposted_count());
+
+  std::printf("network reconnects; delayed transactions post\n");
+  cluster.heal();
+  cluster.await_quiesce(8'000'000);
+  std::printf("  final balance everywhere: %lld%s\n",
+              static_cast<long long>(atms[0]->balance(42)),
+              atms[0]->overdrawn(42) ? "  (overdrawn: the accepted offline risk)"
+                                     : "");
+  std::printf("  unposted left anywhere: %zu\n", atms[0]->unposted_count());
+
+  const std::string report = cluster.check_report();
+  std::printf("specification check: %s\n", report.empty() ? "conformant" : report.c_str());
+  return report.empty() ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+#include "apps/airline.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "wire/codec.hpp"
+
+namespace evs::apps {
+namespace {
+
+constexpr std::uint8_t kSell = 0;
+constexpr std::uint8_t kSync = 1;
+
+}  // namespace
+
+AirlineAgent::AirlineAgent(EvsNode& node, Options options)
+    : node_(node), options_(options) {
+  EVS_ASSERT(options_.universe > 0);
+  free_at_config_ = options_.capacity;
+  config_size_ = 1;
+  node_.set_deliver_handler([this](const EvsNode::Delivery& d) { on_deliver(d); });
+  node_.set_config_handler([this](const Configuration& c) { on_config(c); });
+}
+
+MsgId AirlineAgent::request_sale(std::uint32_t seats) {
+  wire::Writer w;
+  w.u8(kSell);
+  w.u32(seats);
+  // Agreed delivery suffices: the decision is a deterministic function of
+  // the shared total order, so all members conclude identically.
+  return node_.send(Service::Agreed, w.take());
+}
+
+std::uint32_t AirlineAgent::sold() const {
+  std::uint32_t total = 0;
+  for (const auto& [id, seats] : ledger_) total += seats;
+  return total;
+}
+
+std::map<ProcessId, std::uint32_t> AirlineAgent::counters() const {
+  std::map<ProcessId, std::uint32_t> out;
+  for (const auto& [id, seats] : ledger_) out[id.sender] += seats;
+  return out;
+}
+
+bool AirlineAgent::in_full_configuration() const {
+  return node_.config().members.size() == options_.universe;
+}
+
+std::uint32_t AirlineAgent::partition_allowance() const {
+  if (in_full_configuration()) return remaining();
+  const double share =
+      static_cast<double>(config_size_) / static_cast<double>(options_.universe);
+  const auto quota = static_cast<std::uint32_t>(
+      static_cast<double>(free_at_config_) * share * options_.risk_factor);
+  return sold_in_config_ >= quota ? 0 : quota - sold_in_config_;
+}
+
+void AirlineAgent::record_sale(const MsgId& id, std::uint32_t seats) {
+  // Union semantics: recording a sale twice (delivery plus a later sync,
+  // or two syncs) is a no-op.
+  ledger_.emplace(id, seats);
+}
+
+void AirlineAgent::on_config(const Configuration& config) {
+  if (config.id.transitional) return;
+  free_at_config_ = remaining();
+  sold_in_config_ = 0;
+  config_size_ = config.members.size();
+  if (config.members.size() > 1) {
+    // Carry the ledger across the merge: broadcast a state sync. Full-state
+    // sync keeps the example simple; a production system would exchange
+    // ledger digests and ship deltas.
+    wire::Writer w;
+    w.u8(kSync);
+    w.u32(static_cast<std::uint32_t>(ledger_.size()));
+    for (const auto& [id, seats] : ledger_) {
+      encode(w, id);
+      w.u32(seats);
+    }
+    node_.send(Service::Agreed, w.take());
+  }
+}
+
+void AirlineAgent::on_deliver(const EvsNode::Delivery& d) {
+  wire::Reader r(d.payload);
+  const std::uint8_t tag = r.u8();
+  if (tag == kSync) {
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const MsgId id = decode_msg_id(r);
+      const std::uint32_t seats = r.u32();
+      record_sale(id, seats);  // set union
+    }
+    EVS_ASSERT(r.done());
+    ++stats_.syncs_applied;
+    return;
+  }
+  EVS_ASSERT(tag == kSell);
+  const std::uint32_t seats = r.u32();
+  EVS_ASSERT(r.done());
+
+  // Decide against the configuration the request is DELIVERED in: a sale
+  // delivered in a transitional configuration of the full ring reached
+  // only the transitional members and must be judged by the partition
+  // heuristic, not the full-capacity rule.
+  const bool full_delivery = !d.config.id.transitional &&
+                             d.config.members.size() == options_.universe;
+  const bool accept =
+      full_delivery ? seats <= remaining() : seats <= partition_allowance();
+  if (accept) {
+    record_sale(d.id, seats);
+    sold_in_config_ += seats;
+    ++stats_.accepted;
+    if (!full_delivery) stats_.sold_while_partitioned += seats;
+  } else {
+    ++stats_.rejected;
+  }
+  outcomes_[d.id] = accept;
+}
+
+}  // namespace evs::apps

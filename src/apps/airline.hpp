@@ -1,0 +1,99 @@
+// Airline reservation system — the paper's first motivating application
+// (Section 1): "An airline reservation system must continue to sell tickets
+// even if the system becomes partitioned. Airlines have devised heuristics
+// for use in non-primary components, based only on local data, that aim to
+// maximize the number of tickets that can be sold while minimizing the risk
+// of overbooking."
+//
+// Each booking office runs an AirlineAgent on an EvsNode. Sales are
+// broadcast with agreed delivery and applied in the shared total order, so
+// every member of a configuration reaches the same accept/reject decision.
+// The ledger is a grow-only SET of accepted sales keyed by the sale's
+// unique message id: different replicas witness different (disjoint)
+// subsets across partitions, so reconciliation is set union — idempotent
+// and order-independent. (A per-office counter merged by max would be
+// wrong here: counters have multiple writers — every replica increments
+// the seller's counter for the sales it witnesses — so two replicas' values
+// count different sale subsets and are not comparable.) Every regular
+// configuration change triggers a state-sync broadcast that carries the
+// ledger across the merge.
+//
+// The partition heuristic: while the configuration is smaller than the
+// universe, a component sells at most its proportional share of the seats
+// that were free when the component formed, scaled by a risk factor.
+// Overbooking remains possible — that is the example's point — and is
+// detected deterministically after remerge (sum of counters > capacity).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "evs/node.hpp"
+
+namespace evs::apps {
+
+class AirlineAgent {
+ public:
+  struct Options {
+    std::uint32_t capacity{100};  ///< seats on the flight
+    std::size_t universe{0};      ///< total number of booking offices
+    double risk_factor{1.0};      ///< fraction of the fair share a minority may sell
+  };
+
+  struct Stats {
+    std::uint32_t accepted{0};
+    std::uint32_t rejected{0};
+    std::uint32_t sold_while_partitioned{0};
+    std::uint32_t syncs_applied{0};
+  };
+
+  AirlineAgent(EvsNode& node, Options options);
+
+  /// Request a sale of `seats` seats. The decision arrives via delivery and
+  /// is recorded in outcomes().
+  MsgId request_sale(std::uint32_t seats);
+
+  /// Seats sold according to this replica's (possibly incomplete) history.
+  std::uint32_t sold() const;
+  std::uint32_t remaining() const {
+    const std::uint32_t s = sold();
+    return s >= options_.capacity ? 0 : options_.capacity - s;
+  }
+
+  /// True once the reconciled history records more sales than capacity.
+  bool overbooked() const { return sold() > options_.capacity; }
+
+  /// Seats this component may still sell under the partition heuristic.
+  std::uint32_t partition_allowance() const;
+
+  bool in_full_configuration() const;
+  const Stats& stats() const { return stats_; }
+
+  /// Seats sold per office, derived from the ledger.
+  std::map<ProcessId, std::uint32_t> counters() const;
+
+  /// The reconciled ledger: accepted sale id -> seats.
+  const std::map<MsgId, std::uint32_t>& ledger() const { return ledger_; }
+
+  const std::map<MsgId, bool>& outcomes() const { return outcomes_; }
+
+ private:
+  void on_deliver(const EvsNode::Delivery& d);
+  void on_config(const Configuration& config);
+  void record_sale(const MsgId& id, std::uint32_t seats);
+
+  EvsNode& node_;
+  Options options_;
+  std::map<MsgId, std::uint32_t> ledger_;  ///< accepted sales (grow-only set)
+  Stats stats_;
+  std::map<MsgId, bool> outcomes_;
+
+  // Partition-heuristic state: seats free when the current configuration
+  // formed and how many were sold in it since.
+  std::uint32_t free_at_config_{0};
+  std::uint32_t sold_in_config_{0};
+  std::size_t config_size_{0};
+};
+
+}  // namespace evs::apps

@@ -1,0 +1,100 @@
+// Distributed lock service on the virtual synchrony layer.
+//
+// A classic Isis-style application, included to demonstrate the VS filter
+// as an application substrate (Section 5): lock requests and releases are
+// multicast in the primary component and applied in view order, so every
+// member's lock table is identical. Members outside the primary are
+// blocked — they can neither acquire nor observe locks, which is exactly
+// the consistency-over-availability trade the primary-partition model
+// makes (and the EVS applications in apps/airline|atm|radar avoid).
+//
+// Failure handling is view-driven: when a view change removes a process,
+// every surviving member drops the locks the departed holder owned —
+// deterministically, because all members see the same view sequence.
+//
+// State transfer (the canonical VS joining pattern): on every view, the
+// member with the smallest identity multicasts a snapshot of the lock
+// table as of the view change; the other members buffer subsequent
+// operations until the snapshot arrives, then adopt it and replay the
+// buffer. Because the snapshot and the operations travel in one total
+// order, every member — joiners included — converges on the identical
+// table without any pairwise synchronization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "vs/filter.hpp"
+
+namespace evs::apps {
+
+using LockId = std::uint32_t;
+
+class LockService {
+ public:
+  struct Stats {
+    std::uint64_t granted{0};
+    std::uint64_t queued{0};
+    std::uint64_t released{0};
+    std::uint64_t revoked_on_failure{0};
+    std::uint64_t rejected_blocked{0};
+    std::uint64_t snapshots_sent{0};
+    std::uint64_t snapshots_adopted{0};
+  };
+
+  /// Called when this process's own request is granted.
+  using GrantHandler = std::function<void(LockId)>;
+
+  explicit LockService(VsNode& node);
+
+  /// Request the lock; returns false immediately if this process is blocked
+  /// (not in the primary component). Otherwise the request enters the
+  /// totally ordered queue and the grant arrives via the handler.
+  bool acquire(LockId lock);
+
+  /// Release a held lock (no-op unless this process holds it).
+  bool release(LockId lock);
+
+  void set_grant_handler(GrantHandler h) { grant_handler_ = std::move(h); }
+
+  /// Current holder of a lock, if any (VS identity).
+  std::optional<ProcessId> holder(LockId lock) const;
+
+  /// Queue length including the holder.
+  std::size_t queue_length(LockId lock) const;
+
+  bool holds(LockId lock) const;
+
+  /// True once this member's table reflects the current view's snapshot
+  /// (immediately for the snapshot sender, after adoption for the rest).
+  bool synchronized() const { return synced_; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void on_deliver(const VsDelivery& d);
+  void on_view(const VsView& view);
+  void apply_op(std::uint8_t op, LockId lock, ProcessId who);
+  void grant_next(LockId lock);
+
+  VsNode& node_;
+  // Per lock: FIFO of VS identities; front = holder.
+  std::map<LockId, std::vector<ProcessId>> queues_;
+  GrantHandler grant_handler_;
+  Stats stats_;
+
+  // State transfer.
+  bool synced_{false};
+  std::uint64_t view_id_{0};
+  struct BufferedOp {
+    std::uint8_t op;
+    LockId lock;
+    ProcessId who;
+  };
+  std::vector<BufferedOp> buffered_;
+};
+
+}  // namespace evs::apps

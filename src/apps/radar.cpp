@@ -1,0 +1,76 @@
+#include "apps/radar.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "util/assert.hpp"
+#include "wire/codec.hpp"
+
+namespace evs::apps {
+namespace {
+
+std::uint64_t pack_double(double v) { return std::bit_cast<std::uint64_t>(v); }
+double unpack_double(std::uint64_t v) { return std::bit_cast<double>(v); }
+
+}  // namespace
+
+RadarAgent::RadarAgent(EvsNode& node) : node_(node) {
+  node_.set_deliver_handler([this](const EvsNode::Delivery& d) { on_deliver(d); });
+  node_.set_config_handler([this](const Configuration& c) { on_config(c); });
+}
+
+MsgId RadarAgent::publish(double x, double y, double quality) {
+  wire::Writer w;
+  w.u64(pack_double(x));
+  w.u64(pack_double(y));
+  w.u64(pack_double(quality));
+  w.u64(++sequence_);
+  ++stats_.published;
+  return node_.send(Service::Agreed, w.take());
+}
+
+void RadarAgent::on_deliver(const EvsNode::Delivery& d) {
+  wire::Reader r(d.payload);
+  RadarReading reading;
+  reading.sensor = d.id.sender;
+  reading.x = unpack_double(r.u64());
+  reading.y = unpack_double(r.u64());
+  reading.quality = unpack_double(r.u64());
+  reading.sequence = r.u64();
+  EVS_ASSERT(r.done());
+  auto& slot = readings_[reading.sensor];
+  if (reading.sequence >= slot.sequence) slot = reading;
+  ++stats_.fused;
+
+  const auto current = best();
+  if (current.has_value() && current->sensor != last_best_) {
+    last_best_ = current->sensor;
+    ++stats_.best_changes;
+  }
+}
+
+void RadarAgent::on_config(const Configuration& config) {
+  if (config.id.transitional) return;
+  // Prune sensors outside the component: their data can no longer refresh
+  // and must not shadow live (if lower quality) local sensors.
+  for (auto it = readings_.begin(); it != readings_.end();) {
+    if (!config.contains(it->first)) {
+      it = readings_.erase(it);
+      ++stats_.pruned_sensors;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<RadarReading> RadarAgent::best() const {
+  std::optional<RadarReading> out;
+  for (const auto& [sensor, reading] : readings_) {
+    if (!node_.config().contains(sensor)) continue;
+    if (!out.has_value() || reading.quality > out->quality) out = reading;
+  }
+  return out;
+}
+
+}  // namespace evs::apps

@@ -1,0 +1,69 @@
+// Radar sensor fusion — the paper's third motivating application
+// (Section 1): "A radar system combines a number of sensors, as well as a
+// number of displays, in different locations. The most accurate available
+// information, obtained from the sensor with the best view should be
+// displayed to the operator. In the case of a network partition, however,
+// it is better to display lower quality information from the connected
+// sensors than to do nothing."
+//
+// Each process runs a RadarAgent: sensors publish readings (target track
+// plus a quality figure), displays fuse them. Readings are broadcast with
+// agreed delivery so every display in a component fuses the identical
+// stream. Configuration changes prune the fusion set to the sensors in the
+// current component: a partitioned display keeps working with whatever
+// sensors it can still hear — degraded but live — and snaps back to the
+// best sensor on remerge.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "evs/node.hpp"
+
+namespace evs::apps {
+
+struct RadarReading {
+  ProcessId sensor;
+  double x{0};
+  double y{0};
+  double quality{0};         ///< higher is better
+  std::uint64_t sequence{0}; ///< per-sensor reading counter
+};
+
+class RadarAgent {
+ public:
+  struct Stats {
+    std::uint64_t published{0};
+    std::uint64_t fused{0};
+    std::uint64_t pruned_sensors{0};
+    std::uint64_t best_changes{0};
+  };
+
+  explicit RadarAgent(EvsNode& node);
+
+  /// Publish a sensor reading (this process acting as a sensor).
+  MsgId publish(double x, double y, double quality);
+
+  /// The best (highest quality) current reading among sensors in this
+  /// process's configuration, if any.
+  std::optional<RadarReading> best() const;
+
+  /// Latest reading per reachable sensor.
+  const std::map<ProcessId, RadarReading>& readings() const { return readings_; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void on_deliver(const EvsNode::Delivery& d);
+  void on_config(const Configuration& config);
+
+  EvsNode& node_;
+  std::map<ProcessId, RadarReading> readings_;
+  std::uint64_t sequence_{0};
+  ProcessId last_best_{};
+  Stats stats_;
+};
+
+}  // namespace evs::apps

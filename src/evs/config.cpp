@@ -1,0 +1,76 @@
+#include "evs/config.hpp"
+
+#include <algorithm>
+
+namespace evs {
+
+std::string to_string(const RingId& r) {
+  return "ring(" + std::to_string(r.seq) + "," + to_string(r.rep) + ")";
+}
+
+std::string to_string(const ConfigId& c) {
+  if (!c.transitional) return "reg[" + to_string(c.ring) + "]";
+  return "trans[" + to_string(c.prior_ring) + "->" + to_string(c.ring) + "]";
+}
+
+std::string to_string(const Configuration& c) {
+  std::string out = to_string(c.id) + "{";
+  for (std::size_t i = 0; i < c.members.size(); ++i) {
+    if (i > 0) out += ",";
+    out += to_string(c.members[i]);
+  }
+  return out + "}";
+}
+
+bool Configuration::contains(ProcessId p) const {
+  return std::binary_search(members.begin(), members.end(), p);
+}
+
+std::string to_string(const MsgId& m) {
+  return to_string(m.sender) + "#" + std::to_string(m.counter);
+}
+
+std::string to_string(const Ord& o) {
+  return "ord(" + std::to_string(o.ring_seq) + "," + to_string(o.ring_rep) + "," +
+         std::to_string(o.offset) + ")";
+}
+
+void encode(wire::Writer& w, const RingId& r) {
+  w.u64(r.seq);
+  w.pid(r.rep);
+}
+
+RingId decode_ring_id(wire::Reader& r) {
+  RingId out;
+  out.seq = r.u64();
+  out.rep = r.pid();
+  return out;
+}
+
+void encode(wire::Writer& w, const ConfigId& c) {
+  encode(w, c.ring);
+  encode(w, c.prior_ring);
+  w.boolean(c.transitional);
+}
+
+ConfigId decode_config_id(wire::Reader& r) {
+  ConfigId out;
+  out.ring = decode_ring_id(r);
+  out.prior_ring = decode_ring_id(r);
+  out.transitional = r.boolean();
+  return out;
+}
+
+void encode(wire::Writer& w, const MsgId& m) {
+  w.pid(m.sender);
+  w.u64(m.counter);
+}
+
+MsgId decode_msg_id(wire::Reader& r) {
+  MsgId out;
+  out.sender = r.pid();
+  out.counter = r.u64();
+  return out;
+}
+
+}  // namespace evs

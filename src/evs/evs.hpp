@@ -1,0 +1,28 @@
+// Umbrella header: the public API of libevs.
+//
+//   #include "evs/evs.hpp"
+//
+// Core types and entry points:
+//   evs::EvsNode        — a process running extended virtual synchrony
+//   evs::VsNode         — the Isis-style virtual synchrony filter on top
+//   evs::GroupNode      — process-group addressing over the broadcast domain
+//   evs::FragmentNode   — large-message fragmentation/reassembly
+//   evs::Cluster        — simulation harness (network, stores, trace)
+//   evs::VsCluster      — harness for the VS layer
+//   evs::SpecChecker    — Specifications 1.1-7.2 trace checker
+//   evs::VsChecker      — Birman legality (C1-C3, L1-L5) checker
+//
+// See README.md for the architecture overview and DESIGN.md for the paper
+// mapping.
+#pragma once
+
+#include "evs/config.hpp"
+#include "evs/fragment.hpp"
+#include "evs/groups.hpp"
+#include "evs/node.hpp"
+#include "evs/recovery.hpp"
+#include "spec/checker.hpp"
+#include "spec/trace.hpp"
+#include "spec/vs_checker.hpp"
+#include "vs/filter.hpp"
+#include "vs/primary.hpp"

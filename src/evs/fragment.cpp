@@ -1,0 +1,87 @@
+#include "evs/fragment.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "wire/codec.hpp"
+
+namespace evs {
+
+FragmentNode::FragmentNode(EvsNode& node, Options options)
+    : node_(node), options_(options) {
+  EVS_ASSERT(options_.max_fragment_bytes > 0);
+  node_.set_deliver_handler([this](const EvsNode::Delivery& d) { on_deliver(d); });
+  node_.set_config_handler([this](const Configuration& c) { on_config(c); });
+}
+
+FragmentNode::LargeId FragmentNode::send(Service service,
+                                         std::vector<std::uint8_t> payload) {
+  const LargeId id{node_.id(), ++counter_};
+  const std::size_t chunk = options_.max_fragment_bytes;
+  const std::uint32_t count =
+      payload.empty() ? 1
+                      : static_cast<std::uint32_t>((payload.size() + chunk - 1) / chunk);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t lo = static_cast<std::size_t>(i) * chunk;
+    const std::size_t hi = std::min(payload.size(), lo + chunk);
+    wire::Writer w;
+    w.u64(id.counter);
+    w.u32(i);
+    w.u32(count);
+    w.bytes(std::span<const std::uint8_t>(payload.data() + lo, hi - lo));
+    node_.send(service, w.take());
+    ++stats_.fragments_sent;
+  }
+  ++stats_.logical_sent;
+  return id;
+}
+
+void FragmentNode::on_deliver(const EvsNode::Delivery& d) {
+  wire::Reader r(d.payload);
+  LargeId id{d.id.sender, r.u64()};
+  const std::uint32_t index = r.u32();
+  const std::uint32_t count = r.u32();
+  std::vector<std::uint8_t> chunk = r.bytes();
+  EVS_ASSERT(r.done());
+  EVS_ASSERT(index < count);
+
+  Partial& p = partial_[id];
+  if (p.expected == 0) {
+    p.expected = count;
+    p.chunks.resize(count);
+    p.got.assign(count, false);
+    p.service = d.service;
+  }
+  EVS_ASSERT_MSG(p.expected == count, "fragment count mismatch");
+  if (!p.got[index]) {
+    p.got[index] = true;
+    p.chunks[index] = std::move(chunk);
+    ++p.received;
+  }
+  if (p.received < p.expected) return;
+
+  LargeDelivery out;
+  out.id = id;
+  out.service = p.service;
+  out.fragments = p.expected;
+  for (const auto& c : p.chunks) {
+    out.payload.insert(out.payload.end(), c.begin(), c.end());
+  }
+  out.config = d.config;
+  out.ord = d.ord;
+  partial_.erase(id);
+  ++stats_.reassembled;
+  if (deliver_handler_) deliver_handler_(out);
+}
+
+void FragmentNode::on_config(const Configuration& config) {
+  if (config.id.transitional) return;
+  // Fragments stranded on the other side of a configuration change can
+  // never complete: every member of the old component holds the same
+  // subset (failure atomicity of the underlying messages), so purging here
+  // is deterministic across the component.
+  stats_.purged_incomplete += partial_.size();
+  partial_.clear();
+}
+
+}  // namespace evs

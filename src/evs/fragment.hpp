@@ -1,0 +1,92 @@
+// Large-message fragmentation and reassembly on top of EvsNode.
+//
+// Real Totem fragments application messages that exceed the medium's MTU;
+// this layer reproduces that: send() splits a payload into chunks that
+// travel as ordinary EVS messages and are reassembled, in total order, at
+// every receiver. Because all fragments of one logical message carry the
+// same delivery guarantee and flow through the same total order, every
+// member of a configuration reassembles (or purges) the identical set of
+// logical messages.
+//
+// Partition semantics: a logical message is delivered only when all of its
+// fragments have been; fragments stranded by a configuration change leave
+// an incomplete reassembly that is purged deterministically at the next
+// regular configuration (every member of the old component saw the same
+// fragment subset, so every member purges the same messages). A logical
+// message therefore inherits EVS's failure atomicity at the granularity of
+// the whole payload.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "evs/node.hpp"
+
+namespace evs {
+
+class FragmentNode {
+ public:
+  struct Options {
+    std::size_t max_fragment_bytes{1024};
+  };
+
+  /// Identity of a logical (possibly multi-fragment) message.
+  struct LargeId {
+    ProcessId sender;
+    std::uint64_t counter{0};
+    constexpr auto operator<=>(const LargeId&) const = default;
+  };
+
+  struct LargeDelivery {
+    LargeId id;
+    Service service{Service::Agreed};
+    std::vector<std::uint8_t> payload;
+    Configuration config;  ///< configuration of the completing fragment
+    Ord ord;               ///< ord of the completing fragment
+    std::uint32_t fragments{0};
+  };
+
+  struct Stats {
+    std::uint64_t logical_sent{0};
+    std::uint64_t fragments_sent{0};
+    std::uint64_t reassembled{0};
+    std::uint64_t purged_incomplete{0};
+  };
+
+  using DeliverHandler = std::function<void(const LargeDelivery&)>;
+
+  explicit FragmentNode(EvsNode& node) : FragmentNode(node, Options{}) {}
+  FragmentNode(EvsNode& node, Options options);
+
+  void set_deliver_handler(DeliverHandler h) { deliver_handler_ = std::move(h); }
+
+  /// Send a payload of any size; it is split into ceil(size/max) fragments.
+  LargeId send(Service service, std::vector<std::uint8_t> payload);
+
+  const Stats& stats() const { return stats_; }
+  std::size_t pending_reassemblies() const { return partial_.size(); }
+  EvsNode& evs() { return node_; }
+
+ private:
+  struct Partial {
+    std::uint32_t expected{0};
+    std::uint32_t received{0};
+    Service service{Service::Agreed};
+    std::vector<std::vector<std::uint8_t>> chunks;
+    std::vector<bool> got;
+  };
+
+  void on_deliver(const EvsNode::Delivery& d);
+  void on_config(const Configuration& config);
+
+  EvsNode& node_;
+  Options options_;
+  std::uint64_t counter_{0};
+  std::map<LargeId, Partial> partial_;
+  DeliverHandler deliver_handler_;
+  Stats stats_;
+};
+
+}  // namespace evs

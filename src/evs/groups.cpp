@@ -1,0 +1,133 @@
+#include "evs/groups.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "wire/codec.hpp"
+
+namespace evs {
+
+GroupNode::GroupNode(EvsNode& node) : node_(node) {
+  current_config_ = node_.config();
+  node_.set_deliver_handler([this](const EvsNode::Delivery& d) { on_deliver(d); });
+  node_.set_config_handler([this](const Configuration& c) { on_config(c); });
+}
+
+void GroupNode::join(GroupId group) {
+  if (joined_.count(group) > 0) return;
+  joined_.insert(group);
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(Frame::Join));
+  w.u32(group);
+  node_.send(Service::Agreed, w.take());
+}
+
+void GroupNode::leave(GroupId group) {
+  if (joined_.erase(group) == 0) return;
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(Frame::Leave));
+  w.u32(group);
+  node_.send(Service::Agreed, w.take());
+}
+
+MsgId GroupNode::send(GroupId group, Service service,
+                      std::vector<std::uint8_t> payload) {
+  EVS_ASSERT_MSG(joined_.count(group) > 0, "send to a group not joined");
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(Frame::App));
+  w.u32(group);
+  w.bytes(payload);
+  return node_.send(service, w.take());
+}
+
+std::vector<ProcessId> GroupNode::view(GroupId group) const {
+  std::vector<ProcessId> out;
+  auto it = member_.find(group);
+  if (it == member_.end()) return out;
+  for (ProcessId p : it->second) {
+    if (current_config_.contains(p)) out.push_back(p);
+  }
+  return out;  // std::set iteration is sorted
+}
+
+void GroupNode::emit_view(GroupId group) {
+  ++stats_.view_changes;
+  if (view_handler_) view_handler_(GroupView{group, view(group)});
+}
+
+void GroupNode::announce_memberships() {
+  if (joined_.empty()) return;
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(Frame::Announce));
+  w.u32(static_cast<std::uint32_t>(joined_.size()));
+  for (GroupId g : joined_) w.u32(g);
+  node_.send(Service::Agreed, w.take());
+}
+
+void GroupNode::on_config(const Configuration& config) {
+  current_config_ = config;
+  if (!config.id.transitional) {
+    // Group membership is re-established from scratch in every regular
+    // configuration: everyone re-announces what it is joined to, and the
+    // absence of a re-announcement IS a leave — so joins and leaves that
+    // happened on the far side of a partition both take effect at the
+    // merge without any tombstone bookkeeping.
+    member_.clear();
+    announce_memberships();
+    for (GroupId g : joined_) emit_view(g);
+  }
+}
+
+void GroupNode::on_deliver(const EvsNode::Delivery& d) {
+  wire::Reader r(d.payload);
+  const auto frame = static_cast<Frame>(r.u8());
+  switch (frame) {
+    case Frame::App: {
+      const GroupId group = r.u32();
+      if (joined_.count(group) == 0) {
+        ++stats_.filtered_foreign;
+        return;
+      }
+      GroupDelivery out;
+      out.group = group;
+      out.id = d.id;
+      out.service = d.service;
+      out.payload = r.bytes();
+      EVS_ASSERT(r.done());
+      out.config = d.config;
+      out.ord = d.ord;
+      ++stats_.delivered;
+      if (deliver_handler_) deliver_handler_(out);
+      break;
+    }
+    case Frame::Join: {
+      const GroupId group = r.u32();
+      EVS_ASSERT(r.done());
+      if (member_[group].insert(d.id.sender).second && joined_.count(group) > 0) {
+        emit_view(group);
+      }
+      break;
+    }
+    case Frame::Leave: {
+      const GroupId group = r.u32();
+      EVS_ASSERT(r.done());
+      if (member_[group].erase(d.id.sender) > 0 && joined_.count(group) > 0) {
+        emit_view(group);
+      }
+      break;
+    }
+    case Frame::Announce: {
+      const std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const GroupId group = r.u32();
+        if (member_[group].insert(d.id.sender).second && joined_.count(group) > 0) {
+          emit_view(group);
+        }
+      }
+      EVS_ASSERT(r.done());
+      break;
+    }
+  }
+}
+
+}  // namespace evs

@@ -1,0 +1,103 @@
+// Process groups on top of the broadcast domain.
+//
+// The paper opens with "the process group paradigm [7] is a useful and
+// appropriate addressing mechanism for multicast and broadcast
+// communication". This layer provides that addressing on top of EvsNode,
+// the way Transis and Spread do lightweight groups over one broadcast
+// domain: every message carries a group id in its payload frame; join and
+// leave announcements travel through the same totally ordered stream, so
+// all members of a configuration agree on each group's membership at every
+// point of the total order.
+//
+// A group's *view* at a process is (processes that announced join) ∩
+// (current configuration members): a partition implicitly shrinks every
+// group view to the reachable members, and a merge restores it — group
+// views inherit the regular/transitional configuration semantics of the
+// underlying EVS layer. Membership knowledge is rebuilt from scratch in
+// every regular configuration: each member re-announces its joins through
+// the new total order, and the absence of a re-announcement IS a leave —
+// joins and leaves from the far side of a partition both take effect at
+// the merge without tombstones.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "evs/node.hpp"
+
+namespace evs {
+
+using GroupId = std::uint32_t;
+
+class GroupNode {
+ public:
+  struct GroupDelivery {
+    GroupId group{0};
+    MsgId id;
+    Service service{Service::Agreed};
+    std::vector<std::uint8_t> payload;
+    Configuration config;  ///< underlying EVS configuration
+    Ord ord;
+  };
+
+  /// Group view: the group's members reachable in the current configuration.
+  struct GroupView {
+    GroupId group{0};
+    std::vector<ProcessId> members;  // sorted
+  };
+
+  using DeliverHandler = std::function<void(const GroupDelivery&)>;
+  using ViewHandler = std::function<void(const GroupView&)>;
+
+  struct Stats {
+    std::uint64_t delivered{0};
+    std::uint64_t filtered_foreign{0};  ///< traffic for groups we are not in
+    std::uint64_t view_changes{0};
+  };
+
+  explicit GroupNode(EvsNode& node);
+
+  void set_deliver_handler(DeliverHandler h) { deliver_handler_ = std::move(h); }
+  void set_view_handler(ViewHandler h) { view_handler_ = std::move(h); }
+
+  /// Join a group: announced through the total order; the local membership
+  /// takes effect when the announcement is delivered (so joiners never see
+  /// messages ordered before their join).
+  void join(GroupId group);
+  void leave(GroupId group);
+
+  /// Multicast to a group. The sender should be a member (asserted).
+  MsgId send(GroupId group, Service service, std::vector<std::uint8_t> payload);
+
+  bool joined(GroupId group) const { return joined_.count(group) > 0; }
+
+  /// Current view of a group (empty if nobody reachable has joined).
+  std::vector<ProcessId> view(GroupId group) const;
+
+  /// Groups this process has joined.
+  std::vector<GroupId> groups() const { return {joined_.begin(), joined_.end()}; }
+
+  const Stats& stats() const { return stats_; }
+  EvsNode& evs() { return node_; }
+
+ private:
+  enum class Frame : std::uint8_t { App = 0, Join = 1, Leave = 2, Announce = 3 };
+
+  void on_deliver(const EvsNode::Delivery& d);
+  void on_config(const Configuration& config);
+  void emit_view(GroupId group);
+  void announce_memberships();
+
+  EvsNode& node_;
+  std::set<GroupId> joined_;                       ///< groups this process is in
+  std::map<GroupId, std::set<ProcessId>> member_;  ///< announced joins, all groups
+  Configuration current_config_;
+  DeliverHandler deliver_handler_;
+  ViewHandler view_handler_;
+  Stats stats_;
+};
+
+}  // namespace evs

@@ -1,0 +1,807 @@
+#include "evs/node.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "wire/codec.hpp"
+
+namespace evs {
+namespace {
+
+constexpr const char* kKeyRingSeq = "ring_seq";
+constexpr const char* kKeyIncarnation = "incarnation";
+constexpr const char* kKeyLastReg = "last_reg";
+constexpr const char* kKeyBacklogMeta = "backlog_meta";
+constexpr const char* kKeyDeliveredMeta = "delivered_meta";
+constexpr const char* kMsgPrefix = "bmsg/";
+
+std::string msg_key(SeqNum seq) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%s%016llx", kMsgPrefix,
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::vector<ProcessId> with_member(std::vector<ProcessId> v, ProcessId p) {
+  if (!std::binary_search(v.begin(), v.end(), p)) {
+    v.insert(std::upper_bound(v.begin(), v.end(), p), p);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(EvsNode::State s) {
+  switch (s) {
+    case EvsNode::State::Down: return "Down";
+    case EvsNode::State::Operational: return "Operational";
+    case EvsNode::State::Gather: return "Gather";
+    case EvsNode::State::Recovery: return "Recovery";
+  }
+  return "?";
+}
+
+EvsNode::EvsNode(ProcessId id, Network& net, StableStore& store, TraceLog* trace,
+                 Options options)
+    : self_(id), net_(net), store_(store), trace_(trace), opts_(options) {
+  if (opts_.faults.skip_safe_horizon) opts_.ordering.deliver_unsafe = true;
+}
+
+EvsNode::~EvsNode() {
+  // Deliberately not a crash(): destroying a running node without crashing it
+  // first is a harness bug we want to surface, except at end of simulation.
+  if (state_ != State::Down) net_.detach(self_);
+}
+
+// --------------------------------------------------------------------------
+// persistence
+
+void EvsNode::persist_ring_seq() {
+  wire::Writer w;
+  w.u64(ring_seq_);
+  store_.put(kKeyRingSeq, w.take());
+}
+
+void EvsNode::persist_install(const Configuration& config) {
+  wire::Writer w;
+  encode(w, config.id);
+  w.pid_vec(config.members);
+  store_.put(kKeyLastReg, w.take());
+  persist_ring_seq();
+  store_.erase_prefix(kMsgPrefix);
+  store_.erase(kKeyBacklogMeta);
+  store_.erase(kKeyDeliveredMeta);
+}
+
+void EvsNode::persist_delivered_meta() {
+  // The model lets a process "recover with stable storage intact" whose
+  // contents were affected by the order of delivered messages (Section 1).
+  // Recording how far delivery progressed is what lets the recovered
+  // incarnation place its transitional configuration *after* everything the
+  // previous incarnation delivered (Spec 6.1) and avoid redelivery (1.4).
+  wire::Writer w;
+  encode(w, core_->ring());
+  w.u64(core_->delivered_upto());
+  w.u64(core_->safe_upto());
+  store_.put(kKeyDeliveredMeta, w.take());
+}
+
+void EvsNode::persist_recovery_state() {
+  // Step 5.c ordering: messages and the merged obligation set reach stable
+  // storage BEFORE the complete-acknowledgment is transmitted. A crash after
+  // the ack therefore finds everything the acknowledgment promised.
+  for (const auto& [seq, m] : old_msgs_) {
+    const std::string key = msg_key(seq);
+    if (!store_.contains(key)) store_.put(key, encode_msg(m));
+  }
+  wire::Writer w;
+  encode(w, old_ring_);
+  w.u64(old_delivered_upto_);
+  w.u64(old_safe_upto_);
+  w.seq_set(old_delivered_extra_);
+  w.pid_vec(obligation_set_);
+  store_.put(kKeyBacklogMeta, w.take());
+}
+
+void EvsNode::load_persisted() {
+  if (auto blob = store_.get(kKeyRingSeq)) {
+    wire::Reader r(*blob);
+    ring_seq_ = r.u64();
+    EVS_ASSERT(r.done());
+  }
+  std::uint64_t incarnation = 1;
+  if (auto blob = store_.get(kKeyIncarnation)) {
+    wire::Reader r(*blob);
+    incarnation = r.u64() + 1;
+  }
+  {
+    wire::Writer w;
+    w.u64(incarnation);
+    store_.put(kKeyIncarnation, w.take());
+  }
+  // Message ids must be unique across incarnations of the same process id.
+  msg_counter_ = incarnation << 40;
+
+  if (auto blob = store_.get(kKeyLastReg)) {
+    wire::Reader r(*blob);
+    reg_config_.id = decode_config_id(r);
+    reg_config_.members = r.pid_vec();
+    EVS_ASSERT(r.done());
+    old_ring_ = reg_config_.id.ring;
+  }
+  if (auto blob = store_.get(kKeyBacklogMeta)) {
+    wire::Reader r(*blob);
+    RingId meta_ring = decode_ring_id(r);
+    EVS_ASSERT_MSG(meta_ring == old_ring_, "backlog must belong to last regular ring");
+    old_delivered_upto_ = r.u64();
+    old_safe_upto_ = r.u64();
+    old_delivered_extra_ = r.seq_set();
+    obligation_set_ = r.pid_vec();
+    EVS_ASSERT(r.done());
+  }
+  if (auto blob = store_.get(kKeyDeliveredMeta)) {
+    wire::Reader r(*blob);
+    RingId meta_ring = decode_ring_id(r);
+    EVS_ASSERT_MSG(meta_ring == old_ring_, "delivered meta must match last ring");
+    old_delivered_upto_ = std::max(old_delivered_upto_, r.u64());
+    old_safe_upto_ = std::max(old_safe_upto_, r.u64());
+    EVS_ASSERT(r.done());
+  }
+  for (const std::string& key : store_.keys_with_prefix(kMsgPrefix)) {
+    RegularMsg m = decode_regular(*store_.get(key));
+    EVS_ASSERT(m.ring == old_ring_);
+    old_received_.insert(m.seq);
+    old_msgs_.emplace(m.seq, std::move(m));
+  }
+}
+
+// --------------------------------------------------------------------------
+// lifecycle
+
+void EvsNode::start() {
+  EVS_ASSERT_MSG(state_ == State::Down, "start() on a running node");
+  load_persisted();
+  ring_seq_ += 1;
+  persist_ring_seq();
+  const RingId singleton{ring_seq_, self_};
+  net_.attach(self_, this);
+  if (old_ring_.valid()) {
+    // The previous incarnation died holding a backlog (possibly with
+    // obligations from an interrupted recovery): resolve it alone, exactly
+    // like a recovery whose transitional configuration is {self}.
+    recovery_local_plan_and_install(singleton);
+  } else {
+    install_configuration(singleton, {self_}, nullptr);
+  }
+  // Announce presence so existing components notice us and gather.
+  broadcast(encode_msg(BeaconMsg{self_, reg_config_.id.ring}));
+}
+
+void EvsNode::recovery_local_plan_and_install(RingId new_ring) {
+  const auto lookup = [this](SeqNum s) -> const RegularMsg* {
+    auto it = old_msgs_.find(s);
+    return it == old_msgs_.end() ? nullptr : &it->second;
+  };
+  const std::vector<ProcessId> obligations =
+      opts_.faults.ignore_obligations ? std::vector<ProcessId>{}
+                                      : with_member(obligation_set_, self_);
+  const Step6Plan plan =
+      plan_step6(with_member({}, self_), old_received_, old_safe_upto_, obligations,
+                 lookup, old_delivered_upto_, old_delivered_extra_);
+  install_configuration(new_ring, {self_}, &plan);
+}
+
+void EvsNode::crash() {
+  if (state_ == State::Down) return;
+  if (trace_ != nullptr && reg_config_.id.valid()) {
+    TraceEvent e;
+    e.type = EventType::Fail;
+    e.process = self_;
+    e.time = net_.scheduler().now();
+    e.config = reg_config_.id;
+    trace_->record(std::move(e));
+  }
+  bump_epoch();
+  net_.scheduler().cancel(token_loss_timer_);
+  net_.detach(self_);
+  state_ = State::Down;
+  core_.reset();
+  gather_.reset();
+  recovery_.reset();
+  my_exchange_.reset();
+  pending_.clear();
+  new_ring_buffer_.clear();
+  buffered_token_.reset();
+}
+
+MsgId EvsNode::send(Service service, std::vector<std::uint8_t> payload) {
+  EVS_ASSERT_MSG(running(), "send() on a crashed node");
+  MsgId id{self_, ++msg_counter_};
+  pending_.push_back(PendingSend{id, service, std::move(payload)});
+  return id;
+}
+
+// --------------------------------------------------------------------------
+// configuration installation (recovery step 6 — atomic)
+
+void EvsNode::emit_conf_change(const Configuration& config, Ord ord) {
+  ++stats_.conf_changes;
+  EVS_ASSERT_MSG(last_ord_ < ord || stats_.conf_changes == 1,
+                 "configuration change ord must advance");
+  last_ord_ = ord;
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.type = EventType::DeliverConf;
+    e.process = self_;
+    e.time = net_.scheduler().now();
+    e.config = config.id;
+    e.members = config.members;
+    e.ord = ord;
+    trace_->record(std::move(e));
+  }
+  if (config_handler_) config_handler_(config);
+}
+
+void EvsNode::deliver_one(const RegularMsg& m, const Configuration& config) {
+  ++stats_.delivered;
+  if (config.id.transitional) ++stats_.delivered_transitional;
+  const Ord ord = ord_message_delivery(m.ring, m.seq);
+  EVS_ASSERT_MSG(last_ord_ < ord, "delivery ord must advance in program order");
+  last_ord_ = ord;
+  if (trace_ != nullptr) {
+    TraceEvent e;
+    e.type = EventType::Deliver;
+    e.process = self_;
+    e.time = net_.scheduler().now();
+    e.msg = m.id;
+    e.service = m.service;
+    e.seq = m.seq;
+    e.config = config.id;
+    e.ord = ord_message_delivery(m.ring, m.seq);
+    trace_->record(std::move(e));
+  }
+  if (deliver_handler_) {
+    deliver_handler_(Delivery{m.id, m.service, m.seq, m.payload, config,
+                              ord_message_delivery(m.ring, m.seq)});
+  }
+}
+
+void EvsNode::install_configuration(RingId new_ring, std::vector<ProcessId> members,
+                                    const Step6Plan* plan) {
+  bump_epoch();
+  EVS_ASSERT(std::is_sorted(members.begin(), members.end()));
+  EVS_ASSERT(std::binary_search(members.begin(), members.end(), self_));
+
+  if (plan != nullptr && plan->has_transitional && old_ring_.valid()) {
+    // 6.b: remaining old-ring messages that are deliverable in the *old
+    // regular* configuration.
+    for (SeqNum s : plan->regular_seqs) {
+      auto it = old_msgs_.find(s);
+      EVS_ASSERT(it != old_msgs_.end());
+      deliver_one(it->second, reg_config_);
+    }
+    // 6.c: the transitional configuration change.
+    Configuration trans;
+    trans.id = ConfigId::trans(old_ring_, new_ring);
+    trans.members = plan->trans_members;
+    // The transitional configuration change follows everything this process
+    // delivered in the old regular configuration — including deliveries of a
+    // previous incarnation recorded in stable storage, which can exceed the
+    // plan's cutoff when the backlog itself was never persisted. For shared
+    // transitional configurations the cutoff already dominates every
+    // member's delivered_upto, so this max cannot break Spec 6.2.
+    const SeqNum ord_cutoff = std::max(plan->cutoff, old_delivered_upto_);
+    emit_conf_change(trans, ord_transitional_conf(old_ring_, ord_cutoff));
+    // 6.d: deliveries in the transitional configuration.
+    for (SeqNum s : plan->trans_seqs) {
+      auto it = old_msgs_.find(s);
+      EVS_ASSERT(it != old_msgs_.end());
+      deliver_one(it->second, trans);
+    }
+    stats_.discarded += plan->discarded.size();
+  }
+
+  // 6.e: install the new regular configuration. The node is committed to it
+  // before the application learns of it, so a configuration-change handler
+  // may immediately send() into the new configuration.
+  Configuration next;
+  next.id = ConfigId::regular(new_ring);
+  next.members = members;
+
+  reg_config_ = next;
+  ring_seq_ = std::max(ring_seq_, new_ring.seq);
+  persist_install(next);
+
+  core_.emplace(new_ring, members, self_, opts_.ordering);
+  old_ring_ = new_ring;
+  old_msgs_.clear();
+  old_received_ = SeqSet{};
+  old_safe_upto_ = 0;
+  old_delivered_upto_ = 0;
+  old_delivered_extra_ = SeqSet{};
+  obligation_set_.clear();  // step 1: no obligations in a regular configuration
+
+  gather_.reset();
+  recovery_.reset();
+  my_exchange_.reset();
+  acked_complete_ = false;
+  state_ = State::Operational;
+
+  emit_conf_change(next, ord_regular_conf(new_ring));
+
+  EVS_INFO("evs", "%s installed %s (%zu members)", to_string(self_).c_str(),
+           to_string(next.id).c_str(), members.size());
+
+  arm_token_loss_timer();
+  const std::uint64_t epoch = epoch_;
+  schedule_guarded(opts_.beacon_interval_us, [this, epoch] { beacon_tick(epoch); });
+
+  // Feed packets that arrived for this configuration while we were still
+  // finishing recovery (paper step 2 buffering).
+  for (const RegularMsg& m : new_ring_buffer_) {
+    if (m.ring == new_ring) core_->on_regular(m);
+  }
+  new_ring_buffer_.clear();
+  std::optional<TokenMsg> buffered = std::move(buffered_token_);
+  buffered_token_.reset();
+
+  if (new_ring.rep == self_) {
+    TokenMsg initial;
+    initial.ring = new_ring;
+    initial.rotation = 1;
+    net_.unicast(self_, self_, encode_msg(initial));
+  } else if (buffered.has_value() && buffered->ring == new_ring) {
+    handle_token(*buffered);
+  }
+  deliver_ready();
+}
+
+// --------------------------------------------------------------------------
+// gather
+
+void EvsNode::snapshot_old_ring() {
+  EVS_ASSERT(core_.has_value());
+  old_ring_ = core_->ring();
+  for (const RegularMsg& m : core_->all_messages()) old_msgs_.emplace(m.seq, m);
+  old_received_.merge(core_->received());
+  old_safe_upto_ = std::max(old_safe_upto_, core_->safe_upto());
+  old_delivered_upto_ = std::max(old_delivered_upto_, core_->delivered_upto());
+  core_.reset();
+}
+
+void EvsNode::enter_gather(std::vector<ProcessId> candidates,
+                           const std::vector<ProcessId>* carry_fails) {
+  if (state_ == State::Down) return;
+  if (state_ == State::Operational) snapshot_old_ring();
+  bump_epoch();
+  net_.scheduler().cancel(token_loss_timer_);
+  recovery_.reset();
+  my_exchange_.reset();
+  acked_complete_ = false;
+  new_ring_buffer_.clear();
+  buffered_token_.reset();
+
+  ++episode_;
+  ++stats_.gathers;
+  const SimTime now = net_.scheduler().now();
+  gather_.emplace(self_, episode_, with_member(std::move(candidates), self_), now,
+                  GatherState::Options{opts_.gather_fail_timeout_us});
+  if (carry_fails != nullptr) gather_->adopt_fail_set(*carry_fails, now);
+  consensus_since_ = 0;
+  state_ = State::Gather;
+
+  EVS_DEBUG("evs", "%s enters gather (episode %llu)", to_string(self_).c_str(),
+            static_cast<unsigned long long>(episode_));
+
+  broadcast(encode_msg(gather_->make_join(ring_seq_)));
+  const std::uint64_t epoch = epoch_;
+  schedule_guarded(opts_.join_interval_us, [this, epoch] { join_tick(epoch); });
+}
+
+void EvsNode::join_tick(std::uint64_t epoch) {
+  if (epoch != epoch_ || state_ != State::Gather) return;
+  const SimTime now = net_.scheduler().now();
+  gather_->check_timeouts(now);
+  broadcast(encode_msg(gather_->make_join(ring_seq_)));
+  maybe_propose();
+  if (epoch == epoch_ && state_ == State::Gather) {
+    schedule_guarded(opts_.join_interval_us, [this, epoch] { join_tick(epoch); });
+  }
+}
+
+void EvsNode::maybe_propose() {
+  if (!gather_->consensus()) {
+    consensus_since_ = 0;
+    return;
+  }
+  const SimTime now = net_.scheduler().now();
+  const auto members = gather_->proposed_membership();
+  if (gather_->representative() == self_) {
+    ring_seq_ = std::max(ring_seq_, gather_->max_ring_seq_seen()) + 1;
+    persist_ring_seq();
+    const RingId ring{ring_seq_, self_};
+    EVS_DEBUG("evs", "%s proposes %s with %zu members", to_string(self_).c_str(),
+              to_string(ring).c_str(), members.size());
+    broadcast(encode_msg(FormRingMsg{self_, ring, members}));
+    adopt_proposal(ring, members);
+  } else if (consensus_since_ == 0) {
+    consensus_since_ = now;
+  } else if (now - consensus_since_ > opts_.consensus_wait_timeout_us) {
+    // The representative went quiet without proposing; divorce it so the
+    // gather can terminate with a smaller membership.
+    gather_->adopt_fail_set({gather_->representative()}, now);
+    consensus_since_ = 0;
+  }
+}
+
+// --------------------------------------------------------------------------
+// recovery
+
+ExchangeMsg EvsNode::make_exchange() const {
+  ExchangeMsg e;
+  e.sender = self_;
+  e.proposed_ring = recovery_->proposed_ring();
+  e.old_ring = old_ring_;
+  e.received = old_received_;
+  e.old_safe_upto = old_safe_upto_;
+  e.delivered_upto = old_delivered_upto_;
+  e.delivered_extra = old_delivered_extra_;
+  e.obligation_set = obligation_set_;
+  return e;
+}
+
+void EvsNode::adopt_proposal(RingId ring, std::vector<ProcessId> members) {
+  bump_epoch();
+  ring_seq_ = std::max(ring_seq_, ring.seq);
+  persist_ring_seq();
+  state_ = State::Recovery;
+  ++stats_.recoveries;
+  recovery_.emplace(self_, ring, std::move(members));
+  my_exchange_ = make_exchange();
+  acked_complete_ = false;
+  new_ring_buffer_.clear();
+  buffered_token_.reset();
+  recovery_deadline_ = net_.scheduler().now() + opts_.recovery_timeout_us;
+
+  broadcast(encode_msg(*my_exchange_));
+  const std::uint64_t epoch = epoch_;
+  schedule_guarded(opts_.exchange_interval_us, [this, epoch] { exchange_tick(epoch); });
+}
+
+void EvsNode::exchange_tick(std::uint64_t epoch) {
+  if (epoch != epoch_ || state_ != State::Recovery) return;
+  const SimTime now = net_.scheduler().now();
+  if (now > recovery_deadline_) {
+    EVS_WARN("evs", "%s recovery timed out; regathering", to_string(self_).c_str());
+    enter_gather(recovery_->members(), nullptr);
+    return;
+  }
+  broadcast(encode_msg(*my_exchange_));
+  if (recovery_->proposed_ring().rep == self_) {
+    broadcast(encode_msg(
+        FormRingMsg{self_, recovery_->proposed_ring(), recovery_->members()}));
+  }
+  recovery_round();
+  if (epoch == epoch_ && state_ == State::Recovery) {
+    schedule_guarded(opts_.exchange_interval_us, [this, epoch] { exchange_tick(epoch); });
+  }
+}
+
+void EvsNode::recovery_round() {
+  if (!recovery_->have_all_exchanges()) return;
+  const auto trans = old_ring_.valid()
+                         ? recovery_->transitional_members(old_ring_)
+                         : with_member({}, self_);
+  for (SeqNum s : recovery_->to_rebroadcast(trans, old_received_)) {
+    auto it = old_msgs_.find(s);
+    EVS_ASSERT(it != old_msgs_.end());
+    broadcast(encode_msg(RecoveryMsgMsg{self_, recovery_->proposed_ring(), it->second}));
+  }
+  const bool complete = recovery_->self_complete(trans, old_received_);
+  if (complete && !acked_complete_) {
+    // Step 5.c: persist, fold in the transitional members' obligations, and
+    // only then acknowledge completion.
+    if (!opts_.faults.ignore_obligations) {
+      obligation_set_ = recovery_->merged_obligations(trans);
+    }
+    persist_recovery_state();
+    acked_complete_ = true;
+  }
+  broadcast(encode_msg(RecoveryAckMsg{self_, recovery_->proposed_ring(), old_ring_,
+                                      old_received_, acked_complete_}));
+}
+
+void EvsNode::try_finish_recovery() {
+  if (state_ != State::Recovery || !recovery_->have_all_exchanges() ||
+      !acked_complete_ || !recovery_->all_complete()) {
+    return;
+  }
+  const RingId new_ring = recovery_->proposed_ring();
+  const std::vector<ProcessId> members = recovery_->members();
+  if (old_ring_.valid()) {
+    const auto trans = recovery_->transitional_members(old_ring_);
+    const SeqSet uni = recovery_->union_received(trans);
+    const auto lookup = [this](SeqNum s) -> const RegularMsg* {
+      auto it = old_msgs_.find(s);
+      return it == old_msgs_.end() ? nullptr : &it->second;
+    };
+    const std::vector<ProcessId> obligations =
+        opts_.faults.ignore_obligations ? std::vector<ProcessId>{}
+                                        : recovery_->merged_obligations(trans);
+    Step6Plan plan = plan_step6(trans, uni, recovery_->global_safe_upto(trans),
+                                obligations, lookup, old_delivered_upto_,
+                                old_delivered_extra_);
+    if (opts_.faults.deliver_past_holes && !plan.discarded.empty()) {
+      // Fault injection: omit step 6.a's causal-suspicion discard.
+      plan.trans_seqs.insert(plan.trans_seqs.end(), plan.discarded.begin(),
+                             plan.discarded.end());
+      std::sort(plan.trans_seqs.begin(), plan.trans_seqs.end());
+      plan.discarded.clear();
+    }
+    install_configuration(new_ring, members, &plan);
+  } else {
+    install_configuration(new_ring, members, nullptr);
+  }
+}
+
+// --------------------------------------------------------------------------
+// timers
+
+Scheduler::Handle EvsNode::schedule_guarded(SimTime delay, std::function<void()> fn) {
+  return net_.scheduler().schedule_after(
+      delay, [alive = std::weak_ptr<char>(alive_), fn = std::move(fn)] {
+        // A crashed incarnation may be destroyed while this callback is
+        // still queued; the expired token makes it a no-op instead of a
+        // use-after-free.
+        if (alive.expired()) return;
+        fn();
+      });
+}
+
+void EvsNode::arm_token_loss_timer() {
+  net_.scheduler().cancel(token_loss_timer_);
+  const std::uint64_t epoch = epoch_;
+  token_loss_timer_ = schedule_guarded(opts_.token_loss_timeout_us, [this, epoch] {
+    if (epoch != epoch_ || state_ != State::Operational) return;
+    EVS_DEBUG("evs", "%s token loss on %s", to_string(self_).c_str(),
+              to_string(core_->ring()).c_str());
+    enter_gather(core_->members(), nullptr);
+  });
+}
+
+void EvsNode::beacon_tick(std::uint64_t epoch) {
+  if (epoch != epoch_ || state_ != State::Operational) return;
+  broadcast(encode_msg(BeaconMsg{self_, core_->ring()}));
+  schedule_guarded(opts_.beacon_interval_us, [this, epoch] { beacon_tick(epoch); });
+}
+
+// --------------------------------------------------------------------------
+// packet handling
+
+void EvsNode::broadcast(const std::vector<std::uint8_t>& bytes) {
+  net_.broadcast(self_, bytes);
+}
+
+void EvsNode::on_packet(const Packet& packet) {
+  if (state_ == State::Down) return;
+  const auto type = peek_type(packet.payload);
+  EVS_ASSERT_MSG(type.has_value(), "undecodable packet");
+  switch (*type) {
+    case MsgType::Regular: handle_regular(decode_regular(packet.payload)); break;
+    case MsgType::Token: handle_token(decode_token(packet.payload)); break;
+    case MsgType::Join:
+      if (packet.src != self_) handle_join(decode_join(packet.payload));
+      break;
+    case MsgType::FormRing:
+      if (packet.src != self_) handle_form_ring(decode_form_ring(packet.payload));
+      break;
+    case MsgType::Exchange: handle_exchange(decode_exchange(packet.payload)); break;
+    case MsgType::RecoveryMsg:
+      handle_recovery_msg(decode_recovery_msg(packet.payload));
+      break;
+    case MsgType::RecoveryAck:
+      handle_recovery_ack(decode_recovery_ack(packet.payload));
+      break;
+    case MsgType::Beacon:
+      if (packet.src != self_) handle_beacon(decode_beacon(packet.payload));
+      break;
+  }
+}
+
+void EvsNode::deliver_ready() {
+  if (state_ != State::Operational) return;
+  const auto ready = core_->drain_deliverable();
+  if (ready.empty()) return;
+  for (const RegularMsg& m : ready) deliver_one(m, reg_config_);
+  persist_delivered_meta();
+}
+
+void EvsNode::handle_regular(const RegularMsg& m) {
+  switch (state_) {
+    case State::Operational:
+      if (m.ring == core_->ring()) {
+        if (core_->on_regular(m)) deliver_ready();
+      } else {
+        // Traffic from another ring in our component: the network merged.
+        // The message itself is dropped; its sender's exchange covers it.
+        enter_gather(with_member(core_->members(), m.id.sender), nullptr);
+      }
+      break;
+    case State::Gather:
+    case State::Recovery:
+      if (old_ring_.valid() && m.ring == old_ring_ && !old_received_.contains(m.seq)) {
+        // Straggler from the old ring: keep it; it can only shrink the
+        // rebroadcast volume. (Frozen exchanges keep step 6 deterministic.)
+        old_received_.insert(m.seq);
+        old_msgs_.emplace(m.seq, m);
+      } else if (state_ == State::Recovery && m.ring == recovery_->proposed_ring()) {
+        new_ring_buffer_.push_back(m);  // paper step 2: buffer for the new config
+      }
+      break;
+    case State::Down: break;
+  }
+}
+
+void EvsNode::handle_token(const TokenMsg& t) {
+  switch (state_) {
+    case State::Operational: {
+      if (t.ring != core_->ring() || core_->token_is_stale(t)) return;
+      ++stats_.tokens_handled;
+      OrderingCore::TokenResult result = core_->on_token(t, pending_);
+      for (const RegularMsg& m : result.new_messages) {
+        ++stats_.sent;
+        const Ord ord = ord_send_after(last_ord_);
+        EVS_ASSERT_MSG(ord.ring_seq == reg_config_.id.ring.seq,
+                       "send must follow an event of the current ring");
+        EVS_ASSERT_MSG(ord.offset % kOrdGranule < kOrdGranule / 2,
+                       "send slots between deliveries exhausted");
+        last_ord_ = ord;
+        if (trace_ != nullptr) {
+          TraceEvent e;
+          e.type = EventType::Send;
+          e.process = self_;
+          e.time = net_.scheduler().now();
+          e.msg = m.id;
+          e.service = m.service;
+          e.seq = m.seq;
+          e.config = reg_config_.id;
+          e.ord = ord;
+          trace_->record(std::move(e));
+        }
+      }
+      for (const RegularMsg& m : result.to_broadcast) broadcast(encode_msg(m));
+      const ProcessId next = core_->next_in_ring();
+      const std::vector<std::uint8_t> token_bytes = encode_msg(result.token_out);
+      if (core_->members().size() == 1) {
+        // Pace the self-token so an idle singleton does not spin the
+        // simulator at network-delay granularity.
+        const std::uint64_t epoch = epoch_;
+        schedule_guarded(opts_.singleton_token_interval_us, [this, epoch, token_bytes] {
+          if (epoch != epoch_) return;
+          net_.unicast(self_, self_, token_bytes);
+        });
+      } else {
+        net_.unicast(self_, next, token_bytes);
+      }
+      arm_token_loss_timer();
+      deliver_ready();
+      break;
+    }
+    case State::Recovery:
+      if (t.ring == recovery_->proposed_ring()) buffered_token_ = t;
+      break;
+    case State::Gather:
+    case State::Down:
+      break;
+  }
+}
+
+void EvsNode::handle_join(const JoinMsg& j) {
+  const SimTime now = net_.scheduler().now();
+  switch (state_) {
+    case State::Operational: {
+      auto candidates = with_member(core_->members(), j.sender);
+      enter_gather(std::move(candidates), nullptr);
+      gather_->on_join(j, now);
+      maybe_propose();
+      break;
+    }
+    case State::Gather:
+      gather_->on_join(j, now);
+      maybe_propose();
+      break;
+    case State::Recovery: {
+      const bool member = std::binary_search(recovery_->members().begin(),
+                                             recovery_->members().end(), j.sender);
+      if (member && join_proposal(j) == recovery_->members()) {
+        // The sender missed our FormRing; the representative re-sends it
+        // every exchange interval, so stay in recovery.
+        return;
+      }
+      auto candidates = recovery_->members();
+      candidates = with_member(std::move(candidates), j.sender);
+      enter_gather(std::move(candidates), nullptr);
+      gather_->on_join(j, now);
+      maybe_propose();
+      break;
+    }
+    case State::Down: break;
+  }
+}
+
+void EvsNode::handle_form_ring(const FormRingMsg& f) {
+  const bool includes_self =
+      std::binary_search(f.members.begin(), f.members.end(), self_);
+  switch (state_) {
+    case State::Gather:
+      if (includes_self && f.members == gather_->proposed_membership()) {
+        adopt_proposal(f.ring, f.members);
+      }
+      break;
+    case State::Recovery:
+      if (f.ring == recovery_->proposed_ring()) return;
+      if (includes_self && f.members == recovery_->members() &&
+          f.ring.seq > recovery_->proposed_ring().seq) {
+        // Representative restarted the proposal under a fresh ring id.
+        adopt_proposal(f.ring, f.members);
+      } else if (includes_self) {
+        enter_gather(f.members, nullptr);
+      }
+      break;
+    case State::Operational:
+      if (f.ring.seq > reg_config_.id.ring.seq) {
+        enter_gather(with_member(core_->members(), f.sender), nullptr);
+      }
+      break;
+    case State::Down: break;
+  }
+}
+
+void EvsNode::handle_exchange(const ExchangeMsg& e) {
+  switch (state_) {
+    case State::Recovery:
+      if (e.proposed_ring == recovery_->proposed_ring()) {
+        if (recovery_->on_exchange(e)) {
+          recovery_round();
+          try_finish_recovery();
+        }
+      }
+      break;
+    case State::Operational:
+      if (e.proposed_ring == reg_config_.id.ring && e.sender != self_) {
+        // We already installed this ring; a peer is still waiting for our
+        // completion. Re-acknowledge so it can finish too.
+        broadcast(encode_msg(
+            RecoveryAckMsg{self_, reg_config_.id.ring, RingId{}, SeqSet{}, true}));
+      }
+      break;
+    case State::Gather:
+    case State::Down:
+      break;
+  }
+}
+
+void EvsNode::handle_recovery_msg(const RecoveryMsgMsg& r) {
+  if (state_ != State::Recovery) return;
+  if (r.proposed_ring != recovery_->proposed_ring()) return;
+  if (!old_ring_.valid() || r.inner.ring != old_ring_) return;
+  if (old_received_.contains(r.inner.seq)) return;
+  old_received_.insert(r.inner.seq);
+  old_msgs_.emplace(r.inner.seq, r.inner);
+}
+
+void EvsNode::handle_recovery_ack(const RecoveryAckMsg& a) {
+  if (state_ != State::Recovery) return;
+  if (a.proposed_ring != recovery_->proposed_ring()) return;
+  recovery_->on_ack(a);
+  try_finish_recovery();
+}
+
+void EvsNode::handle_beacon(const BeaconMsg& b) {
+  if (state_ != State::Operational) return;
+  if (b.ring == core_->ring()) return;
+  enter_gather(with_member(core_->members(), b.sender), nullptr);
+}
+
+}  // namespace evs

@@ -1,0 +1,247 @@
+// EvsNode: a process running the extended virtual synchrony protocol stack.
+//
+// This is the library's primary public API. One EvsNode is one process of
+// the paper's model. It composes:
+//   * the total ordering substrate (totem/OrderingCore),
+//   * the membership gather (member/GatherState),
+//   * the EVS recovery algorithm (evs/RecoveryEngine + plan_step6),
+// into a single state machine driven by the simulated network and timers.
+//
+// Lifecycle (matches the paper's failure model):
+//   EvsNode n(pid, net, store, &trace);
+//   n.start();          // installs a singleton regular configuration,
+//                       // recovering any persisted backlog first, then
+//                       // announces itself so components can merge
+//   n.send(Service::Safe, payload);
+//   n.crash();          // fail_p(c): volatile state lost, store survives
+//   EvsNode n2(pid, net, store, &trace);  // recovery: same id, same store
+//   n2.start();
+//
+// Applications observe two callbacks:
+//   on_deliver(d)        - a message delivery, tagged with the configuration
+//                          (regular or transitional) it is delivered in
+//   on_config_change(c)  - a configuration change message (Section 2)
+//
+// Every observable event is also appended to the TraceLog (if provided) for
+// machine checking against Specifications 1-7.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "evs/config.hpp"
+#include "evs/recovery.hpp"
+#include "member/membership.hpp"
+#include "net/network.hpp"
+#include "spec/trace.hpp"
+#include "storage/stable_store.hpp"
+#include "totem/messages.hpp"
+#include "totem/ordering.hpp"
+#include "util/types.hpp"
+
+namespace evs {
+
+class EvsNode final : public Endpoint {
+ public:
+  /// Deliberate protocol corruption, used by the mutation tests to prove
+  /// the specification checker catches real protocol bugs end to end
+  /// (tests/property/mutation_test.cpp). Never enable outside tests.
+  struct FaultInjection {
+    /// Omit step 5.c: obligation sets are not merged or persisted, so
+    /// messages past a hole lose their delivery guarantee (breaks Specs 3,
+    /// 5, 6.3 in partition scenarios).
+    bool ignore_obligations{false};
+    /// Omit step 6.a: deliver available messages past holes even from
+    /// non-obligated senders (breaks Spec 5 — causally suspect delivery).
+    bool deliver_past_holes{false};
+    /// Ignore the acknowledgment horizon: deliver safe messages as soon as
+    /// they are ordered (breaks Spec 7.1 when a partition interrupts).
+    bool skip_safe_horizon{false};
+  };
+
+  struct Options {
+    SimTime token_loss_timeout_us{12'000};
+    SimTime beacon_interval_us{5'000};
+    SimTime join_interval_us{1'000};
+    SimTime gather_fail_timeout_us{8'000};
+    SimTime consensus_wait_timeout_us{12'000};  ///< waiting for FormRing
+    SimTime exchange_interval_us{1'000};
+    SimTime recovery_timeout_us{40'000};
+    SimTime singleton_token_interval_us{1'000};
+    OrderingCore::Options ordering{};
+    FaultInjection faults{};
+  };
+
+  enum class State { Down, Operational, Gather, Recovery };
+
+  struct Delivery {
+    MsgId id;
+    Service service{Service::Agreed};
+    SeqNum seq{0};
+    std::vector<std::uint8_t> payload;
+    Configuration config;  ///< regular or transitional configuration
+    Ord ord;
+  };
+
+  struct Stats {
+    std::uint64_t sent{0};
+    std::uint64_t delivered{0};
+    std::uint64_t delivered_transitional{0};
+    std::uint64_t conf_changes{0};
+    std::uint64_t gathers{0};
+    std::uint64_t recoveries{0};
+    std::uint64_t discarded{0};
+    std::uint64_t tokens_handled{0};
+  };
+
+  using DeliverHandler = std::function<void(const Delivery&)>;
+  using ConfigHandler = std::function<void(const Configuration&)>;
+
+  EvsNode(ProcessId id, Network& net, StableStore& store, TraceLog* trace = nullptr)
+      : EvsNode(id, net, store, trace, Options{}) {}
+  EvsNode(ProcessId id, Network& net, StableStore& store, TraceLog* trace,
+          Options options);
+  ~EvsNode() override;
+
+  EvsNode(const EvsNode&) = delete;
+  EvsNode& operator=(const EvsNode&) = delete;
+
+  void set_deliver_handler(DeliverHandler h) { deliver_handler_ = std::move(h); }
+  void set_config_handler(ConfigHandler h) { config_handler_ = std::move(h); }
+
+  /// Boot (fresh start or recovery with intact stable storage). Installs a
+  /// singleton regular configuration — delivering the persisted backlog in a
+  /// transitional configuration first if the previous incarnation died with
+  /// recovery obligations — and announces presence to the component.
+  void start();
+
+  /// Fail (fail_p(c)): volatile state vanishes, timers stop, the endpoint
+  /// detaches. The stable store is untouched; construct a fresh EvsNode on
+  /// the same store to model recovery.
+  void crash();
+
+  /// Queue an application message. It is stamped into the total order at
+  /// the next token visit of the current (or next) regular configuration;
+  /// that stamping is the model's send_p(m, c) event.
+  MsgId send(Service service, std::vector<std::uint8_t> payload);
+
+  State state() const { return state_; }
+  bool running() const { return state_ != State::Down; }
+  ProcessId id() const { return self_; }
+
+  /// The last installed regular configuration.
+  const Configuration& config() const { return reg_config_; }
+
+  const Stats& stats() const { return stats_; }
+  std::size_t pending_sends() const { return pending_.size(); }
+
+  // Endpoint:
+  void on_packet(const Packet& packet) override;
+
+ private:
+  // --- state transitions ---
+  void install_configuration(RingId new_ring, std::vector<ProcessId> members,
+                             const Step6Plan* plan);
+  void enter_gather(std::vector<ProcessId> candidates,
+                    const std::vector<ProcessId>* carry_fails);
+  void adopt_proposal(RingId ring, std::vector<ProcessId> members);
+  void try_finish_recovery();
+  void recovery_local_plan_and_install(RingId new_ring);
+
+  // --- packet handlers ---
+  void handle_regular(const RegularMsg& m);
+  void handle_token(const TokenMsg& t);
+  void handle_join(const JoinMsg& j);
+  void handle_form_ring(const FormRingMsg& f);
+  void handle_exchange(const ExchangeMsg& e);
+  void handle_recovery_msg(const RecoveryMsgMsg& r);
+  void handle_recovery_ack(const RecoveryAckMsg& a);
+  void handle_beacon(const BeaconMsg& b);
+
+  // --- timers ---
+  /// Schedule a callback that is dropped if this node object has been
+  /// destroyed by fire time (a crashed incarnation may be deleted while its
+  /// timers are still queued in the scheduler).
+  Scheduler::Handle schedule_guarded(SimTime delay, std::function<void()> fn);
+  void arm_token_loss_timer();
+  void beacon_tick(std::uint64_t epoch);
+  void join_tick(std::uint64_t epoch);
+  void exchange_tick(std::uint64_t epoch);
+  void bump_epoch() { ++epoch_; }
+
+  // --- operational helpers ---
+  void deliver_ready();
+  void deliver_one(const RegularMsg& m, const Configuration& config);
+  void emit_conf_change(const Configuration& config, Ord ord);
+  void broadcast(const std::vector<std::uint8_t>& bytes);
+  void snapshot_old_ring();
+  void maybe_propose();
+  void recovery_round();  ///< rebroadcasts + ack within exchange_tick
+  ExchangeMsg make_exchange() const;
+
+  // --- persistence ---
+  void persist_ring_seq();
+  void persist_install(const Configuration& config);
+  void persist_recovery_state();
+  void persist_delivered_meta();
+  void load_persisted();
+
+  // identity / environment
+  ProcessId self_;
+  Network& net_;
+  StableStore& store_;
+  TraceLog* trace_;
+  Options opts_;
+
+  State state_{State::Down};
+  std::uint64_t epoch_{0};  ///< invalidates stale timer callbacks
+  /// Lifetime token observed (weakly) by every scheduled callback.
+  std::shared_ptr<char> alive_{std::make_shared<char>(0)};
+
+  // ring / ordering (Operational)
+  std::optional<OrderingCore> core_;
+  Configuration reg_config_;  ///< last installed regular configuration
+  RingSeq ring_seq_{0};       ///< highest ring seq ever seen/used (persisted)
+  std::deque<PendingSend> pending_;
+  std::uint64_t msg_counter_{0};
+  Scheduler::Handle token_loss_timer_{};
+
+  // old-ring backlog (survives into Gather/Recovery; cleared on install)
+  RingId old_ring_{};
+  std::map<SeqNum, RegularMsg> old_msgs_;
+  SeqSet old_received_;
+  SeqNum old_safe_upto_{0};
+  SeqNum old_delivered_upto_{0};
+  SeqSet old_delivered_extra_;
+  std::vector<ProcessId> obligation_set_;  // sorted
+
+  // gather
+  std::optional<GatherState> gather_;
+  std::uint64_t episode_{0};
+  SimTime consensus_since_{0};  ///< when we first saw consensus (awaiting FormRing)
+
+  // recovery
+  std::optional<RecoveryEngine> recovery_;
+  std::optional<ExchangeMsg> my_exchange_;  ///< frozen for this proposal
+  bool acked_complete_{false};
+  SimTime recovery_deadline_{0};
+  std::vector<RegularMsg> new_ring_buffer_;       ///< paper step 2 buffering
+  std::optional<TokenMsg> buffered_token_;
+
+  /// Ord of this incarnation's most recent ord-carrying event; send events
+  /// are assigned ord_send_after(last_ord_).
+  Ord last_ord_{};
+
+  // callbacks / stats
+  DeliverHandler deliver_handler_;
+  ConfigHandler config_handler_;
+  Stats stats_;
+};
+
+const char* to_string(EvsNode::State s);
+
+}  // namespace evs

@@ -1,0 +1,193 @@
+#include "evs/recovery.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace evs {
+
+RecoveryEngine::RecoveryEngine(ProcessId self, RingId proposed_ring,
+                               std::vector<ProcessId> proposed_members)
+    : self_(self), proposed_ring_(proposed_ring), members_(std::move(proposed_members)) {
+  EVS_ASSERT(std::is_sorted(members_.begin(), members_.end()));
+  EVS_ASSERT(std::binary_search(members_.begin(), members_.end(), self_));
+}
+
+bool RecoveryEngine::on_exchange(const ExchangeMsg& exchange) {
+  EVS_ASSERT(exchange.proposed_ring == proposed_ring_);
+  if (!std::binary_search(members_.begin(), members_.end(), exchange.sender)) {
+    return false;  // not part of this proposal; node will regather
+  }
+  auto [it, inserted] = exchanges_.try_emplace(exchange.sender, exchange);
+  return inserted;
+}
+
+void RecoveryEngine::on_ack(const RecoveryAckMsg& ack) {
+  EVS_ASSERT(ack.proposed_ring == proposed_ring_);
+  if (!std::binary_search(members_.begin(), members_.end(), ack.sender)) return;
+  acks_[ack.sender] = ack;
+}
+
+bool RecoveryEngine::have_all_exchanges() const {
+  return exchanges_.size() == members_.size();
+}
+
+const ExchangeMsg* RecoveryEngine::exchange_of(ProcessId p) const {
+  auto it = exchanges_.find(p);
+  return it == exchanges_.end() ? nullptr : &it->second;
+}
+
+std::vector<ProcessId> RecoveryEngine::transitional_members(const RingId& old_ring) const {
+  std::vector<ProcessId> out;
+  for (const auto& [p, ex] : exchanges_) {
+    if (ex.old_ring == old_ring) out.push_back(p);
+  }
+  return out;  // std::map iteration keeps it sorted
+}
+
+SeqSet RecoveryEngine::union_received(const std::vector<ProcessId>& trans) const {
+  SeqSet u;
+  for (ProcessId p : trans) {
+    auto it = exchanges_.find(p);
+    EVS_ASSERT(it != exchanges_.end());
+    u.merge(it->second.received);
+  }
+  return u;
+}
+
+SeqSet RecoveryEngine::known_received(ProcessId p) const {
+  SeqSet s;
+  if (auto it = exchanges_.find(p); it != exchanges_.end()) s.merge(it->second.received);
+  if (auto it = acks_.find(p); it != acks_.end()) s.merge(it->second.received);
+  return s;
+}
+
+std::vector<SeqNum> RecoveryEngine::to_rebroadcast(const std::vector<ProcessId>& trans,
+                                                   const SeqSet& my_received) const {
+  // For each seq someone still lacks, the lowest-id member known to hold it
+  // rebroadcasts; ties in knowledge are broken identically everywhere, so at
+  // most one member transmits each seq per round.
+  const SeqSet u = union_received(trans);
+  if (u.empty()) return {};
+  std::map<ProcessId, SeqSet> known;
+  for (ProcessId p : trans) known.emplace(p, p == self_ ? my_received : known_received(p));
+
+  SeqSet needed;  // seqs some member still lacks
+  for (const auto& [p, have] : known) {
+    for (const auto& iv : u.intervals()) {
+      for (SeqNum s : have.missing_in(iv.lo, iv.hi)) needed.insert(s);
+    }
+  }
+
+  std::vector<SeqNum> mine;
+  for (SeqNum s : needed.to_vector()) {
+    ProcessId holder{UINT32_MAX};
+    for (const auto& [p, have] : known) {
+      if (have.contains(s)) {
+        holder = p;
+        break;  // map order = ascending id
+      }
+    }
+    if (holder == self_) mine.push_back(s);
+  }
+  return mine;
+}
+
+bool RecoveryEngine::self_complete(const std::vector<ProcessId>& trans,
+                                   const SeqSet& my_received) const {
+  const SeqSet u = union_received(trans);
+  for (const auto& iv : u.intervals()) {
+    if (!my_received.missing_in(iv.lo, iv.hi).empty()) return false;
+  }
+  return true;
+}
+
+bool RecoveryEngine::all_complete() const {
+  for (ProcessId p : members_) {
+    auto it = acks_.find(p);
+    if (it == acks_.end() || !it->second.complete) return false;
+  }
+  return true;
+}
+
+SeqNum RecoveryEngine::global_safe_upto(const std::vector<ProcessId>& trans) const {
+  SeqNum best = 0;
+  for (ProcessId p : trans) {
+    auto it = exchanges_.find(p);
+    EVS_ASSERT(it != exchanges_.end());
+    best = std::max(best, it->second.old_safe_upto);
+  }
+  return best;
+}
+
+std::vector<ProcessId> RecoveryEngine::merged_obligations(
+    const std::vector<ProcessId>& trans) const {
+  std::set<ProcessId> out(trans.begin(), trans.end());
+  for (ProcessId p : trans) {
+    auto it = exchanges_.find(p);
+    EVS_ASSERT(it != exchanges_.end());
+    out.insert(it->second.obligation_set.begin(), it->second.obligation_set.end());
+  }
+  return {out.begin(), out.end()};
+}
+
+Step6Plan plan_step6(const std::vector<ProcessId>& trans_members,
+                     const SeqSet& union_received, SeqNum global_safe_upto,
+                     const std::vector<ProcessId>& obligation_set,
+                     const std::function<const RegularMsg*(SeqNum)>& store_lookup,
+                     SeqNum delivered_upto, const SeqSet& delivered_extra) {
+  Step6Plan plan;
+  plan.has_transitional = true;
+  plan.trans_members = trans_members;
+
+  const auto already_delivered = [&](SeqNum s) {
+    return s <= delivered_upto || delivered_extra.contains(s);
+  };
+  const auto obligated = [&](ProcessId p) {
+    return std::binary_search(obligation_set.begin(), obligation_set.end(), p);
+  };
+
+  const SeqNum high = union_received.max();
+
+  // Step 6.b: the old-regular-configuration prefix. Walk the total order
+  // from 1: stop at the first unavailable seq (hole in the union) or the
+  // first safe-requested message beyond the old ring's established safety
+  // horizon. Everything before that boundary is delivered in the old
+  // regular configuration; every transitional member computes the same
+  // boundary because union/safe horizon come from the frozen exchanges.
+  SeqNum cutoff = 0;
+  for (SeqNum s = 1; s <= high; ++s) {
+    if (!union_received.contains(s)) break;
+    const RegularMsg* m = store_lookup(s);
+    EVS_ASSERT_MSG(m != nullptr, "recovery completion must guarantee the union");
+    if (m->service == Service::Safe && s > global_safe_upto) break;
+    cutoff = s;
+  }
+  plan.cutoff = cutoff;
+  for (SeqNum s = delivered_upto + 1; s <= cutoff; ++s) {
+    if (!delivered_extra.contains(s)) plan.regular_seqs.push_back(s);
+  }
+
+  // Step 6.a + 6.d: from the remainder, deliver in order every message whose
+  // total-order predecessors have all been delivered, plus every message
+  // from an obligated sender; discard the rest (they may causally depend on
+  // an unavailable message).
+  SeqNum contig = cutoff;  // highest seq such that [1..contig] fully delivered
+  for (SeqNum s = cutoff + 1; s <= high; ++s) {
+    if (!union_received.contains(s)) continue;  // unavailable: a hole
+    const RegularMsg* m = store_lookup(s);
+    EVS_ASSERT(m != nullptr);
+    const bool contiguous = (s == contig + 1);
+    if (contiguous) contig = s;
+    if (already_delivered(s)) continue;
+    if (contiguous || obligated(m->id.sender)) {
+      plan.trans_seqs.push_back(s);
+    } else {
+      plan.discarded.push_back(s);
+    }
+  }
+  return plan;
+}
+
+}  // namespace evs

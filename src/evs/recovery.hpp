@@ -1,0 +1,137 @@
+// EVS recovery: steps 3-6 of the paper's algorithm (Section 3), as pure
+// logic separated from the node's I/O so it can be unit tested directly.
+//
+// Key design points (see DESIGN.md §4):
+//
+// * Exchange messages are FROZEN per proposal: a process computes its
+//   exchange summary once when it adopts a proposed ring and rebroadcasts
+//   the identical summary until everyone has it. Step 6 then operates on
+//   the union of the frozen summaries of the transitional members — never
+//   on a process's live store — so every member of a transitional
+//   configuration computes the identical delivery plan (Specification 4,
+//   failure atomicity). Straggler packets received after freezing are
+//   excluded deterministically by everyone.
+//
+// * Completion is component-wide: step 6 runs only after *every* member of
+//   the proposed ring (not just the local transitional group) has
+//   acknowledged holding all messages available to its group. This keeps
+//   the installation of the new regular configuration roughly simultaneous
+//   so the first token finds every member operational.
+//
+// * A process appends the transitional members and their obligation sets to
+//   its own obligation set at the moment it acknowledges completion
+//   (step 5.c), after persisting the rebroadcast messages — the persistence
+//   ordering that makes Specification 7.1's proof go through across
+//   crashes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "evs/config.hpp"
+#include "totem/messages.hpp"
+#include "util/seq_set.hpp"
+#include "util/types.hpp"
+
+namespace evs {
+
+/// The outcome of step 6: what to deliver and in which configurations.
+struct Step6Plan {
+  /// False when this process had no prior regular configuration (fresh
+  /// start): only the new regular configuration change is delivered.
+  bool has_transitional{false};
+
+  /// Members of this process's transitional configuration (step 4.a).
+  std::vector<ProcessId> trans_members;
+
+  /// Deliver these old-ring seqs as part of the *old regular* configuration
+  /// (step 6.b), in order.
+  std::vector<SeqNum> regular_seqs;
+
+  /// The boundary: every seq <= cutoff that will ever be delivered in the
+  /// old regular configuration has been; used for the transitional
+  /// configuration change's ord value.
+  SeqNum cutoff{0};
+
+  /// Deliver these old-ring seqs in the *transitional* configuration
+  /// (step 6.d), in order, after the transitional configuration change.
+  std::vector<SeqNum> trans_seqs;
+
+  /// Old-ring seqs discarded by step 6.a (available but causally suspect).
+  std::vector<SeqNum> discarded;
+};
+
+class RecoveryEngine {
+ public:
+  RecoveryEngine(ProcessId self, RingId proposed_ring,
+                 std::vector<ProcessId> proposed_members);
+
+  const RingId& proposed_ring() const { return proposed_ring_; }
+  const std::vector<ProcessId>& members() const { return members_; }
+
+  /// Record a (frozen) exchange. The first exchange received from a sender
+  /// for this proposal wins; senders only ever resend identical content
+  /// within one proposal. Returns true if it was new.
+  bool on_exchange(const ExchangeMsg& exchange);
+
+  /// Record the latest recovery ack from a member.
+  void on_ack(const RecoveryAckMsg& ack);
+
+  /// Straggler/rebroadcast bookkeeping: the node tells the engine what the
+  /// local process currently holds for its old ring.
+  bool have_all_exchanges() const;
+
+  const ExchangeMsg* exchange_of(ProcessId p) const;
+
+  /// Step 4.a: members of the proposed ring whose last regular
+  /// configuration equals `old_ring`. Requires have_all_exchanges().
+  std::vector<ProcessId> transitional_members(const RingId& old_ring) const;
+
+  /// Union of the frozen received-sets of the given transitional members.
+  SeqSet union_received(const std::vector<ProcessId>& trans) const;
+
+  /// Step 4.b / 5.a: which seqs should *self* rebroadcast now. A seq is
+  /// rebroadcast by the lowest-id member currently known to hold it, among
+  /// those some member still lacks (latest-ack knowledge).
+  std::vector<SeqNum> to_rebroadcast(const std::vector<ProcessId>& trans,
+                                     const SeqSet& my_received) const;
+
+  /// Step 5.b: true once `my_received` covers the union.
+  bool self_complete(const std::vector<ProcessId>& trans,
+                     const SeqSet& my_received) const;
+
+  /// True once every proposed member's latest ack reports complete.
+  bool all_complete() const;
+
+  /// Max old-ring safe horizon any transitional member observed.
+  SeqNum global_safe_upto(const std::vector<ProcessId>& trans) const;
+
+  /// Merged obligation sets of the transitional members plus the members
+  /// themselves (step 5.c).
+  std::vector<ProcessId> merged_obligations(const std::vector<ProcessId>& trans) const;
+
+ private:
+  /// Latest known received-set of p (frozen exchange merged with acks).
+  SeqSet known_received(ProcessId p) const;
+
+  ProcessId self_;
+  RingId proposed_ring_;
+  std::vector<ProcessId> members_;  // sorted
+  std::map<ProcessId, ExchangeMsg> exchanges_;
+  std::map<ProcessId, RecoveryAckMsg> acks_;
+};
+
+/// Step 6 planning. `store_lookup(seq)` returns the message for an old-ring
+/// seq (must succeed for every seq in the union — completion guarantees it).
+/// `delivered_upto` / `delivered_extra` describe what this process already
+/// delivered from the old ring before recovery began.
+Step6Plan plan_step6(const std::vector<ProcessId>& trans_members,
+                     const SeqSet& union_received, SeqNum global_safe_upto,
+                     const std::vector<ProcessId>& obligation_set,
+                     const std::function<const RegularMsg*(SeqNum)>& store_lookup,
+                     SeqNum delivered_upto, const SeqSet& delivered_extra);
+
+}  // namespace evs

@@ -1,0 +1,117 @@
+#include "member/membership.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace evs {
+
+std::vector<ProcessId> join_proposal(const JoinMsg& join) {
+  std::vector<ProcessId> out;
+  for (ProcessId p : join.candidates) {
+    if (!std::binary_search(join.fail_set.begin(), join.fail_set.end(), p))
+      out.push_back(p);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+GatherState::GatherState(ProcessId self, std::uint64_t episode,
+                         std::vector<ProcessId> initial_candidates, SimTime now,
+                         Options options)
+    : self_(self), episode_(episode), options_(options) {
+  add_candidate(self_, now);
+  for (ProcessId p : initial_candidates) add_candidate(p, now);
+}
+
+void GatherState::fail(ProcessId p) {
+  if (p == self_) return;
+  if (!std::binary_search(fail_set_.begin(), fail_set_.end(), p)) {
+    fail_set_.insert(std::upper_bound(fail_set_.begin(), fail_set_.end(), p), p);
+  }
+  candidates_.erase(p);
+}
+
+bool GatherState::is_failed(ProcessId p) const {
+  return std::binary_search(fail_set_.begin(), fail_set_.end(), p);
+}
+
+void GatherState::add_candidate(ProcessId p, SimTime now) {
+  if (is_failed(p)) return;
+  auto [it, inserted] = candidates_.try_emplace(p);
+  if (inserted) it->second.last_heard = now;
+}
+
+void GatherState::adopt_fail_set(const std::vector<ProcessId>& fails, SimTime now) {
+  (void)now;
+  for (ProcessId p : fails) fail(p);
+}
+
+bool GatherState::on_join(const JoinMsg& join, SimTime now) {
+  const auto before = proposed_membership();
+  max_ring_seq_seen_ = std::max(max_ring_seq_seen_, join.max_ring_seq);
+
+  const bool divorced_by_peer =
+      std::binary_search(join.fail_set.begin(), join.fail_set.end(), self_);
+  if (divorced_by_peer) {
+    // The peer gave up on us; reciprocate so both sides converge on
+    // disjoint memberships instead of waiting on each other forever.
+    fail(join.sender);
+    return proposed_membership() != before;
+  }
+
+  add_candidate(join.sender, now);
+  if (auto it = candidates_.find(join.sender); it != candidates_.end()) {
+    it->second.last_heard = now;
+    it->second.last_join = join;
+  }
+  for (ProcessId p : join.candidates) add_candidate(p, now);
+  for (ProcessId p : join.fail_set) fail(p);
+  return proposed_membership() != before;
+}
+
+bool GatherState::check_timeouts(SimTime now) {
+  std::vector<ProcessId> stale;
+  for (const auto& [p, c] : candidates_) {
+    if (p == self_) continue;
+    if (now >= c.last_heard + options_.fail_timeout_us) stale.push_back(p);
+  }
+  for (ProcessId p : stale) {
+    EVS_DEBUG("member", "%s fails silent candidate %s", to_string(self_).c_str(),
+              to_string(p).c_str());
+    fail(p);
+  }
+  return !stale.empty();
+}
+
+JoinMsg GatherState::make_join(RingSeq own_max_ring_seq) const {
+  JoinMsg join;
+  join.sender = self_;
+  join.episode = episode_;
+  for (const auto& [p, c] : candidates_) join.candidates.push_back(p);
+  join.fail_set = fail_set_;
+  join.max_ring_seq = std::max(own_max_ring_seq, max_ring_seq_seen_);
+  return join;
+}
+
+bool GatherState::consensus() const {
+  const auto mine = proposed_membership();
+  for (ProcessId p : mine) {
+    if (p == self_) continue;
+    auto it = candidates_.find(p);
+    EVS_ASSERT(it != candidates_.end());
+    if (!it->second.last_join.has_value()) return false;
+    if (join_proposal(*it->second.last_join) != mine) return false;
+  }
+  return true;
+}
+
+std::vector<ProcessId> GatherState::proposed_membership() const {
+  std::vector<ProcessId> out;
+  out.reserve(candidates_.size());
+  for (const auto& [p, c] : candidates_) out.push_back(p);
+  return out;  // std::map keeps it sorted; fail() removed failed entries
+}
+
+}  // namespace evs

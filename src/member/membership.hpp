@@ -1,0 +1,96 @@
+// Membership gather: agreeing on who is reachable.
+//
+// When a process suspects a configuration change (token loss, traffic from a
+// foreign ring, a Join message, a recovery that stalls), it enters *Gather*:
+// it periodically broadcasts a Join carrying its candidate set (processes it
+// believes reachable) and its fail set (processes it has given up on).
+// Candidate sets merge transitively; candidates that stay silent past a
+// timeout move to the fail set, so the proposal shrinks monotonically and
+// the algorithm terminates in bounded time — the termination property the
+// paper requires of the underlying membership algorithm (Section 3).
+//
+// Consensus: every process in (candidates - fail_set) has sent a Join whose
+// own proposal (its candidates minus its fail set) equals ours. The
+// representative (smallest id) then proposes the new ring with
+// ring_seq = max ring_seq anyone has seen + 1, which makes ring ids unique
+// and totally ordered system-wide.
+//
+// A process that finds *itself* in a peer's fail set divorces that peer
+// (adds it to its own fail set): the two will form separate rings and merge
+// cleanly later, which breaks symmetric-distrust livelocks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "totem/messages.hpp"
+#include "util/types.hpp"
+
+namespace evs {
+
+/// The membership a Join message proposes: candidates minus fail set, sorted.
+std::vector<ProcessId> join_proposal(const JoinMsg& join);
+
+class GatherState {
+ public:
+  struct Options {
+    SimTime fail_timeout_us{10'000};  ///< silence before a candidate is failed
+  };
+
+  GatherState(ProcessId self, std::uint64_t episode,
+              std::vector<ProcessId> initial_candidates, SimTime now)
+      : GatherState(self, episode, std::move(initial_candidates), now, Options{}) {}
+  GatherState(ProcessId self, std::uint64_t episode,
+              std::vector<ProcessId> initial_candidates, SimTime now,
+              Options options);
+
+  /// Incorporate a peer's Join. Returns true if our proposal changed.
+  bool on_join(const JoinMsg& join, SimTime now);
+
+  /// Move silent candidates to the fail set. Returns true if that changed
+  /// the proposal.
+  bool check_timeouts(SimTime now);
+
+  /// The Join we should broadcast right now.
+  JoinMsg make_join(RingSeq own_max_ring_seq) const;
+
+  /// Consensus reached: all live candidates proposed exactly our membership.
+  bool consensus() const;
+
+  /// candidates - fail_set, sorted. Always contains self.
+  std::vector<ProcessId> proposed_membership() const;
+
+  ProcessId representative() const { return proposed_membership().front(); }
+
+  /// Highest ring sequence number seen in any join this episode.
+  RingSeq max_ring_seq_seen() const { return max_ring_seq_seen_; }
+
+  std::uint64_t episode() const { return episode_; }
+
+  const std::vector<ProcessId>& fail_set() const { return fail_set_; }
+
+  /// Carry the fail set of a previous gather attempt into this one (used
+  /// when gather restarts without having installed a configuration).
+  void adopt_fail_set(const std::vector<ProcessId>& fails, SimTime now);
+
+ private:
+  struct Candidate {
+    SimTime last_heard{0};
+    std::optional<JoinMsg> last_join;
+  };
+
+  void fail(ProcessId p);
+  void add_candidate(ProcessId p, SimTime now);
+  bool is_failed(ProcessId p) const;
+
+  ProcessId self_;
+  std::uint64_t episode_;
+  Options options_;
+  std::map<ProcessId, Candidate> candidates_;
+  std::vector<ProcessId> fail_set_;  // sorted
+  RingSeq max_ring_seq_seen_{0};
+};
+
+}  // namespace evs

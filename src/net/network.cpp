@@ -1,0 +1,127 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace evs {
+
+Network::Network(Scheduler& scheduler, Rng rng, Options options)
+    : scheduler_(scheduler), rng_(rng), options_(options) {
+  EVS_ASSERT(options_.min_delay_us <= options_.max_delay_us);
+}
+
+void Network::attach(ProcessId p, Endpoint* endpoint) {
+  EVS_ASSERT(endpoint != nullptr);
+  endpoints_[p] = endpoint;
+  component_.try_emplace(p, 0);
+}
+
+void Network::detach(ProcessId p) { endpoints_.erase(p); }
+
+bool Network::attached(ProcessId p) const { return endpoints_.count(p) > 0; }
+
+SimTime Network::draw_delay() {
+  if (options_.min_delay_us == options_.max_delay_us) return options_.min_delay_us;
+  return options_.min_delay_us +
+         rng_.below(options_.max_delay_us - options_.min_delay_us + 1);
+}
+
+void Network::deliver_later(ProcessId from, ProcessId to, const Packet& packet) {
+  if (!attached(to)) {
+    ++stats_.dropped_detached;
+    return;
+  }
+  if (!connected(from, to)) {
+    ++stats_.dropped_partition;
+    return;
+  }
+  // Loopback is lossless: a process always observes its own broadcast.
+  if (to != from && options_.loss_probability > 0.0 &&
+      rng_.chance(options_.loss_probability)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+  const SimTime delay = to == from ? options_.min_delay_us : draw_delay();
+  scheduler_.schedule_after(delay, [this, from, to, packet]() {
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) {
+      ++stats_.dropped_detached;
+      return;
+    }
+    // The partition may have changed while the packet was in flight; a
+    // partition severs in-flight traffic.
+    if (!connected(from, to)) {
+      ++stats_.dropped_partition;
+      return;
+    }
+    ++stats_.deliveries;
+    stats_.bytes_delivered += packet.payload.size();
+    it->second->on_packet(packet);
+  });
+}
+
+void Network::broadcast(ProcessId from, std::vector<std::uint8_t> payload) {
+  ++stats_.broadcasts;
+  Packet packet{from, ProcessId{}, true, std::move(payload)};
+  // Deterministic receiver order: ascending process id.
+  std::vector<ProcessId> receivers;
+  receivers.reserve(endpoints_.size());
+  for (const auto& [p, ep] : endpoints_) receivers.push_back(p);
+  std::sort(receivers.begin(), receivers.end());
+  for (ProcessId to : receivers) {
+    Packet copy = packet;
+    copy.dst = to;
+    deliver_later(from, to, copy);
+  }
+}
+
+void Network::unicast(ProcessId from, ProcessId to, std::vector<std::uint8_t> payload) {
+  ++stats_.unicasts;
+  Packet packet{from, to, false, std::move(payload)};
+  deliver_later(from, to, packet);
+}
+
+void Network::set_components(const std::vector<std::vector<ProcessId>>& components) {
+  std::unordered_map<ProcessId, std::uint32_t> assigned;
+  for (const auto& group : components) {
+    const std::uint32_t id = next_component_id_++;
+    for (ProcessId p : group) {
+      EVS_ASSERT_MSG(assigned.count(p) == 0, "process listed in two components");
+      assigned[p] = id;
+    }
+  }
+  // Anything previously known but unlisted becomes isolated.
+  for (auto& [p, comp] : component_) {
+    auto it = assigned.find(p);
+    comp = it != assigned.end() ? it->second : next_component_id_++;
+  }
+  for (const auto& [p, id] : assigned) component_[p] = id;
+}
+
+void Network::merge_all() {
+  const std::uint32_t id = next_component_id_++;
+  for (auto& [p, comp] : component_) comp = id;
+}
+
+bool Network::connected(ProcessId a, ProcessId b) const {
+  if (a == b) return true;
+  auto ia = component_.find(a);
+  auto ib = component_.find(b);
+  if (ia == component_.end() || ib == component_.end()) return false;
+  return ia->second == ib->second;
+}
+
+std::vector<ProcessId> Network::component_of(ProcessId p) const {
+  std::vector<ProcessId> out;
+  auto it = component_.find(p);
+  if (it == component_.end()) return out;
+  for (const auto& [q, comp] : component_) {
+    if (comp == it->second && attached(q)) out.push_back(q);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace evs

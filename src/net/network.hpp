@@ -1,0 +1,103 @@
+// Simulated broadcast network with partitions, merges, loss and delay.
+//
+// This is the substitute for the LAN broadcast hardware of the Totem and
+// Transis testbeds (see DESIGN.md §2). The network is a set of *components*:
+// processes in the same component hear each other's broadcasts; processes in
+// different components cannot communicate at all, which is exactly the
+// partition model of Section 2 of the paper. In-flight packets are cut when
+// a partition separates sender and receiver before delivery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace evs {
+
+struct Packet {
+  ProcessId src;
+  ProcessId dst;  // meaningful only when !broadcast
+  bool broadcast{false};
+  std::vector<std::uint8_t> payload;
+};
+
+/// Implemented by every protocol node attached to the network.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void on_packet(const Packet& packet) = 0;
+};
+
+class Network {
+ public:
+  struct Options {
+    SimTime min_delay_us{50};
+    SimTime max_delay_us{200};
+    double loss_probability{0.0};  // per receiver, independent
+  };
+
+  struct Stats {
+    std::uint64_t broadcasts{0};
+    std::uint64_t unicasts{0};
+    std::uint64_t deliveries{0};
+    std::uint64_t dropped_loss{0};
+    std::uint64_t dropped_partition{0};
+    std::uint64_t dropped_detached{0};
+    std::uint64_t bytes_delivered{0};
+  };
+
+  Network(Scheduler& scheduler, Rng rng) : Network(scheduler, rng, Options{}) {}
+  Network(Scheduler& scheduler, Rng rng, Options options);
+
+  /// Attach a process endpoint. A freshly attached process joins the
+  /// component it was last assigned to (component 0 by default).
+  void attach(ProcessId p, Endpoint* endpoint);
+
+  /// Detach (e.g. crashed) — queued and future packets to p are dropped.
+  void detach(ProcessId p);
+
+  bool attached(ProcessId p) const;
+
+  /// Send to every process currently in the sender's component (including
+  /// the sender itself: broadcast hardware loops back).
+  void broadcast(ProcessId from, std::vector<std::uint8_t> payload);
+
+  void unicast(ProcessId from, ProcessId to, std::vector<std::uint8_t> payload);
+
+  /// Partition the network into the given components. Every attached
+  /// process not listed ends up isolated in its own singleton component.
+  void set_components(const std::vector<std::vector<ProcessId>>& components);
+
+  /// Heal the network: everything into one component.
+  void merge_all();
+
+  bool connected(ProcessId a, ProcessId b) const;
+
+  /// Processes currently in the same component as p (including p).
+  std::vector<ProcessId> component_of(ProcessId p) const;
+
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+  void set_loss_probability(double p) { options_.loss_probability = p; }
+
+  Scheduler& scheduler() { return scheduler_; }
+
+ private:
+  void deliver_later(ProcessId from, ProcessId to, const Packet& packet);
+  SimTime draw_delay();
+
+  Scheduler& scheduler_;
+  Rng rng_;
+  Options options_;
+  Stats stats_;
+  std::unordered_map<ProcessId, Endpoint*> endpoints_;
+  std::unordered_map<ProcessId, std::uint32_t> component_;  // p -> component id
+  std::uint32_t next_component_id_{1};
+};
+
+}  // namespace evs

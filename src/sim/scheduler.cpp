@@ -1,0 +1,58 @@
+#include "sim/scheduler.hpp"
+
+#include "util/assert.hpp"
+
+namespace evs {
+
+Scheduler::Handle Scheduler::schedule_at(SimTime t, Callback cb) {
+  EVS_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+  EVS_ASSERT(cb != nullptr);
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return Handle{id};
+}
+
+void Scheduler::cancel(Handle h) {
+  if (!h.valid()) return;
+  if (callbacks_.erase(h.id) > 0) cancelled_.insert(h.id);
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Entry top = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(top.id) > 0) continue;
+    auto it = callbacks_.find(top.id);
+    EVS_ASSERT(it != callbacks_.end());
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    EVS_ASSERT(top.time >= now_);
+    now_ = top.time;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run_until(SimTime t) {
+  while (!queue_.empty()) {
+    // Skip over cancelled entries to see the true next time.
+    while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().time > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+std::uint64_t Scheduler::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+}  // namespace evs

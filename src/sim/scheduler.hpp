@@ -1,0 +1,88 @@
+// Deterministic discrete-event scheduler.
+//
+// All protocol activity in this repository — packet delivery, protocol
+// timers, crash injection, partition scripting — runs as events on one of
+// these schedulers. Events at equal virtual times fire in insertion order,
+// which makes every run a pure function of (code, seed, scenario script).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace evs {
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Identifies a scheduled event for cancellation. Default-constructed
+  /// handles are inert.
+  struct Handle {
+    std::uint64_t id{0};
+    bool valid() const { return id != 0; }
+  };
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute virtual time `t` (>= now).
+  Handle schedule_at(SimTime t, Callback cb);
+
+  /// Schedule `cb` after `delay` microseconds of virtual time.
+  Handle schedule_after(SimTime delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancel a scheduled event. Cancelling an already-fired or invalid
+  /// handle is a no-op.
+  void cancel(Handle h);
+
+  /// Execute the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run events until virtual time exceeds `t` or the queue drains.
+  /// Afterwards now() == max(now, t).
+  void run_until(SimTime t);
+
+  void run_for(SimTime delta) { run_until(now_ + delta); }
+
+  /// Run until the queue is empty or `max_events` executed; returns the
+  /// number of events executed.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+  /// Total events executed over the lifetime of this scheduler.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    std::uint64_t id;
+    // Ordered as a max-heap by std::priority_queue, so invert.
+    bool operator<(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_{0};
+  std::uint64_t next_seq_{1};
+  std::uint64_t next_id_{1};
+  std::uint64_t executed_{0};
+  std::priority_queue<Entry> queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_{};
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace evs

@@ -1,0 +1,646 @@
+#include "spec/checker.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace evs {
+namespace {
+
+bool is_member(const std::vector<ProcessId>& members, ProcessId p) {
+  return std::binary_search(members.begin(), members.end(), p);
+}
+
+}  // namespace
+
+SpecChecker::SpecChecker(const TraceLog& trace, Options options)
+    : trace_(trace), options_(options) {
+  for (const TraceEvent& e : trace_.events()) {
+    timelines_[e.process].events.push_back(&e);
+    switch (e.type) {
+      case EventType::Send: sends_of_[e.msg].push_back(&e); break;
+      case EventType::Deliver: deliveries_of_[e.msg].push_back(&e); break;
+      case EventType::DeliverConf: {
+        conf_events_[e.config].push_back(&e);
+        auto [it, inserted] = conf_members_.try_emplace(e.config, e.members);
+        if (!inserted && it->second != e.members) {
+          violation("2.x", "configuration " + to_string(e.config) +
+                               " announced with two different memberships");
+        }
+        break;
+      }
+      case EventType::Fail: break;
+    }
+  }
+}
+
+void SpecChecker::violation(const std::string& spec, const std::string& detail) {
+  violations_.push_back({spec, detail});
+}
+
+std::vector<Violation> SpecChecker::check_all() {
+  check_basic_delivery();
+  check_config_changes();
+  check_config_cuts();
+  check_self_delivery();
+  check_failure_atomicity();
+  check_causal_delivery();
+  check_total_order();
+  check_safe_delivery();
+  return violations_;
+}
+
+// ---------------------------------------------------------------------------
+// Specs 1.1-1.4
+
+std::size_t SpecChecker::check_basic_delivery() {
+  const std::size_t before = violations_.size();
+
+  // 1.1/1.2 (partial order, single thread of control): the trace is recorded
+  // in simulation order, so program order is total per process by
+  // construction; we verify the send->deliver edges do not invert recorded
+  // order within a process (which would make the precedes relation cyclic).
+  for (const auto& [m, dels] : deliveries_of_) {
+    auto sit = sends_of_.find(m);
+    if (sit == sends_of_.end()) {
+      violation("1.3", "message " + to_string(m) + " delivered but never sent");
+      continue;
+    }
+    const TraceEvent* send = sit->second.front();
+    for (const TraceEvent* d : dels) {
+      if (d->process == send->process && d->pindex < send->pindex) {
+        violation("1.1", "delivery of " + to_string(m) + " precedes its send at " +
+                             to_string(d->process));
+      }
+      if (d->time < send->time) {
+        violation("1.3", "delivery of " + to_string(m) + " at " +
+                             to_string(d->process) + " before its send");
+      }
+      // 1.3: delivered in the configuration it was sent in, or in an
+      // immediately following transitional configuration of that ring.
+      if (anchor(d->config) != send->config.ring) {
+        violation("1.3", "message " + to_string(m) + " sent in " +
+                             to_string(send->config) + " but delivered in " +
+                             to_string(d->config) + " at " + to_string(d->process));
+      }
+    }
+  }
+
+  // 1.4: a message is sent once, in a regular configuration, and no process
+  // delivers it in two different configurations (or twice at all).
+  for (const auto& [m, sends] : sends_of_) {
+    if (sends.size() > 1) {
+      violation("1.4", "message " + to_string(m) + " sent " +
+                           std::to_string(sends.size()) + " times");
+    }
+    for (const TraceEvent* s : sends) {
+      if (s->config.transitional) {
+        violation("1.4", "message " + to_string(m) + " sent in transitional " +
+                             to_string(s->config));
+      }
+      if (s->process != m.sender) {
+        violation("1.4", "message " + to_string(m) + " sent by wrong process " +
+                             to_string(s->process));
+      }
+    }
+  }
+  for (const auto& [m, dels] : deliveries_of_) {
+    std::map<ProcessId, const TraceEvent*> per_process;
+    for (const TraceEvent* d : dels) {
+      auto [it, inserted] = per_process.emplace(d->process, d);
+      if (!inserted) {
+        violation("1.4", "message " + to_string(m) + " delivered twice at " +
+                             to_string(d->process) + " (in " +
+                             to_string(it->second->config) + " and " +
+                             to_string(d->config) + ")");
+      }
+    }
+  }
+  return violations_.size() - before;
+}
+
+// ---------------------------------------------------------------------------
+// Specs 2.1-2.4
+
+std::size_t SpecChecker::check_config_changes() {
+  const std::size_t before = violations_.size();
+
+  // 2.2: every send/deliver/fail happens inside the configuration installed
+  // by the most recent deliver_conf of that process, and a process delivers
+  // each configuration change at most once.
+  for (const auto& [p, timeline] : timelines_) {
+    std::optional<ConfigId> current;
+    std::set<ConfigId> installed;
+    for (const TraceEvent* e : timeline.events) {
+      switch (e->type) {
+        case EventType::DeliverConf:
+          if (!installed.insert(e->config).second) {
+            violation("2.1", to_string(p) + " delivered configuration change for " +
+                                 to_string(e->config) + " twice");
+          }
+          if (!is_member(e->members, p)) {
+            violation("2.x", to_string(p) + " installed " + to_string(e->config) +
+                                 " it is not a member of");
+          }
+          current = e->config;
+          break;
+        case EventType::Send:
+        case EventType::Deliver:
+        case EventType::Fail:
+          if (!current.has_value()) {
+            violation("2.2", to_string(p) + " event before any configuration: " +
+                                 e->describe());
+          } else if (*current != e->config) {
+            violation("2.2", to_string(p) + " event tagged " + to_string(e->config) +
+                                 " while in " + to_string(*current) + ": " +
+                                 e->describe());
+          }
+          if (e->type == EventType::Fail) current.reset();
+          break;
+      }
+    }
+  }
+
+  // 2.1 (quiescent form): if a process ends the trace alive in configuration
+  // c, every member of c also ends the trace alive in c.
+  if (options_.quiescent) {
+    std::map<ProcessId, std::optional<ConfigId>> final_config;
+    for (const auto& [p, timeline] : timelines_) {
+      std::optional<ConfigId> current;
+      for (const TraceEvent* e : timeline.events) {
+        if (e->type == EventType::DeliverConf) current = e->config;
+        if (e->type == EventType::Fail) current.reset();
+      }
+      final_config[p] = current;
+    }
+    for (const auto& [p, cfg] : final_config) {
+      if (!cfg.has_value()) continue;
+      const auto& members = conf_members_.at(*cfg);
+      for (ProcessId q : members) {
+        auto it = final_config.find(q);
+        if (it == final_config.end() || !it->second.has_value() ||
+            *it->second != *cfg) {
+          violation("2.1", to_string(p) + " ends in " + to_string(*cfg) +
+                               " but member " + to_string(q) + " does not");
+        }
+      }
+    }
+  }
+
+  // 2.3/2.4: configuration change deliveries form a consistent cut of the
+  // precedes relation. We verify the message-level consequence: a message
+  // delivered before the change at one member and after it at another would
+  // have the delivery both precede and follow the (logically simultaneous)
+  // change. Equivalently: for a configuration c, the set of messages
+  // delivered before deliver_conf(c) must not appear after it elsewhere
+  // when a precedes chain exists. With deliveries of a message sharing one
+  // ord value, this reduces to the ord checks of Spec 6 plus: no process
+  // delivers a message of ring R after installing a configuration anchored
+  // to a newer ring of the same lineage — which check 2.2 already enforces
+  // through configuration tagging. Here we add the direct pairwise check on
+  // configuration ord values.
+  for (const auto& [c, events] : conf_events_) {
+    for (std::size_t i = 1; i < events.size(); ++i) {
+      if (events[i]->ord != events[0]->ord) {
+        violation("2.3", "configuration change " + to_string(c) +
+                             " has inconsistent ord across processes");
+      }
+    }
+  }
+  return violations_.size() - before;
+}
+
+// ---------------------------------------------------------------------------
+// Specs 2.3 / 2.4 — configuration changes are a consistent cut
+
+std::size_t SpecChecker::check_config_cuts() {
+  // Specs 2.3 and 2.4 state that an event preceding (following) a
+  // configuration change at one process precedes (follows) it at every
+  // process: the installs of one configuration are logically simultaneous.
+  // Formally, extend the precedes relation by identifying the deliver_conf
+  // events of each configuration; 2.3/2.4 hold iff the identified relation
+  // is still a partial order — i.e. contracting each install family into a
+  // single node leaves the event graph acyclic. A cycle is exactly an event
+  // that follows the change at one member while (transitively) preceding it
+  // at another.
+  const std::size_t before = violations_.size();
+  const auto& events = trace_.events();
+  const std::size_t n = events.size();
+  if (n == 0) return 0;
+
+  // Contracted node ids: one per event, shared by same-config installs.
+  std::vector<std::uint32_t> node(n);
+  std::uint32_t next_node = 0;
+  {
+    std::map<ConfigId, std::uint32_t> conf_node;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const TraceEvent& e = events[i];
+      if (e.type == EventType::DeliverConf) {
+        auto [it, inserted] = conf_node.try_emplace(e.config, next_node);
+        if (inserted) ++next_node;
+        node[i] = it->second;
+      } else {
+        node[i] = next_node++;
+      }
+    }
+  }
+
+  // Edges of the operational precedes relation, contracted.
+  std::vector<std::vector<std::uint32_t>> succ(next_node);
+  {
+    std::map<ProcessId, std::uint32_t> last_of;
+    std::map<MsgId, std::uint32_t> send_node;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const TraceEvent& e = events[i];
+      if (auto it = last_of.find(e.process); it != last_of.end()) {
+        if (it->second != node[i]) succ[it->second].push_back(node[i]);
+      }
+      last_of[e.process] = node[i];
+      if (e.type == EventType::Send) send_node[e.msg] = node[i];
+      if (e.type == EventType::Deliver) {
+        auto it = send_node.find(e.msg);
+        if (it != send_node.end() && it->second != node[i]) {
+          succ[it->second].push_back(node[i]);
+        }
+      }
+    }
+  }
+
+  // Cycle detection (iterative three-colour DFS).
+  std::vector<std::uint8_t> colour(next_node, 0);  // 0 white, 1 grey, 2 black
+  bool cyclic = false;
+  for (std::uint32_t root = 0; root < next_node && !cyclic; ++root) {
+    if (colour[root] != 0) continue;
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack{{root, 0}};
+    colour[root] = 1;
+    while (!stack.empty() && !cyclic) {
+      auto& [v, edge] = stack.back();
+      if (edge < succ[v].size()) {
+        const std::uint32_t w = succ[v][edge++];
+        if (colour[w] == 1) {
+          cyclic = true;
+        } else if (colour[w] == 0) {
+          colour[w] = 1;
+          stack.push_back({w, 0});
+        }
+      } else {
+        colour[v] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  if (cyclic) {
+    violation("2.3",
+              "identifying same-configuration installs creates a precedes cycle: "
+              "some event follows the configuration change at one process but "
+              "precedes it at another (Specs 2.3/2.4)");
+  }
+  return violations_.size() - before;
+}
+
+// ---------------------------------------------------------------------------
+// Spec 3
+
+std::size_t SpecChecker::check_self_delivery() {
+  const std::size_t before = violations_.size();
+  for (const auto& [p, timeline] : timelines_) {
+    for (std::size_t i = 0; i < timeline.events.size(); ++i) {
+      const TraceEvent* s = timeline.events[i];
+      if (s->type != EventType::Send) continue;
+      const RingId ring = s->config.ring;
+      bool delivered = false;
+      bool exempt = false;       // failed while in com_p(c)
+      bool triggered = false;    // delivered a config other than trans_p(c)
+      for (std::size_t j = i + 1; j < timeline.events.size(); ++j) {
+        const TraceEvent* e = timeline.events[j];
+        if (e->type == EventType::Deliver && e->msg == s->msg) {
+          delivered = true;
+          break;
+        }
+        if (e->type == EventType::Fail) {
+          exempt = true;
+          break;
+        }
+        if (e->type == EventType::DeliverConf) {
+          const bool is_own_trans =
+              e->config.transitional && e->config.prior_ring == ring;
+          if (!is_own_trans) {
+            triggered = true;
+            break;
+          }
+        }
+      }
+      if (triggered && !delivered && !exempt) {
+        violation("3", to_string(p) + " never delivered its own message " +
+                           to_string(s->msg) + " sent in " + to_string(s->config));
+      }
+      if (options_.quiescent && !triggered && !delivered && !exempt) {
+        // Quiesced run that ended with the message still undelivered.
+        violation("3", to_string(p) + " ended the run without delivering its own " +
+                           to_string(s->msg));
+      }
+    }
+  }
+  return violations_.size() - before;
+}
+
+// ---------------------------------------------------------------------------
+// Spec 4
+
+std::size_t SpecChecker::check_failure_atomicity() {
+  const std::size_t before = violations_.size();
+  // For each process and configuration: the set of messages delivered while
+  // in that configuration, plus the configuration installed immediately
+  // afterwards.
+  struct Residence {
+    std::set<MsgId> delivered;
+    std::optional<ConfigId> next;
+  };
+  std::map<ProcessId, std::map<ConfigId, Residence>> residences;
+  for (const auto& [p, timeline] : timelines_) {
+    std::optional<ConfigId> current;
+    for (const TraceEvent* e : timeline.events) {
+      switch (e->type) {
+        case EventType::DeliverConf:
+          if (current.has_value()) residences[p][*current].next = e->config;
+          residences[p][e->config];  // ensure exists even if empty
+          current = e->config;
+          break;
+        case EventType::Deliver:
+          if (current.has_value()) residences[p][*current].delivered.insert(e->msg);
+          break;
+        case EventType::Fail: current.reset(); break;
+        case EventType::Send: break;
+      }
+    }
+  }
+  for (auto pit = residences.begin(); pit != residences.end(); ++pit) {
+    for (auto qit = std::next(pit); qit != residences.end(); ++qit) {
+      for (const auto& [c, rp] : pit->second) {
+        auto rq_it = qit->second.find(c);
+        if (rq_it == qit->second.end()) continue;
+        const Residence& rq = rq_it->second;
+        if (!rp.next.has_value() || !rq.next.has_value()) continue;
+        if (*rp.next != *rq.next) continue;  // did not proceed together
+        if (rp.delivered != rq.delivered) {
+          violation("4", to_string(pit->first) + " and " + to_string(qit->first) +
+                             " both moved " + to_string(c) + " -> " +
+                             to_string(*rp.next) +
+                             " but delivered different message sets (" +
+                             std::to_string(rp.delivered.size()) + " vs " +
+                             std::to_string(rq.delivered.size()) + ")");
+        }
+      }
+    }
+  }
+  return violations_.size() - before;
+}
+
+// ---------------------------------------------------------------------------
+// Spec 5
+
+std::size_t SpecChecker::check_causal_delivery() {
+  const std::size_t before = violations_.size();
+  // send_p(m, c) -> send_q(m', c) is the transitive closure of program order
+  // and send->deliver edges restricted to sends of one configuration. The
+  // trace is recorded in simulation order, which is a valid topological
+  // order of the precedes relation, so a single forward pass suffices:
+  // each process accumulates, per origin ring, the set of messages whose
+  // send causally precedes its next send (its own earlier sends, messages
+  // it delivered, and — transitively — their own causal priors).
+  //
+  // causal_priors[m'] = messages of the same configuration whose send
+  // precedes send(m').
+  std::map<MsgId, std::set<MsgId>> causal_priors;
+  std::map<ProcessId, std::map<RingId, std::set<MsgId>>> known;
+  for (const TraceEvent& e : trace_.events()) {
+    if (e.type == EventType::Deliver) {
+      auto& k = known[e.process][anchor(e.config)];
+      auto pit = causal_priors.find(e.msg);
+      if (pit != causal_priors.end()) k.insert(pit->second.begin(), pit->second.end());
+      k.insert(e.msg);
+    } else if (e.type == EventType::Send) {
+      auto& k = known[e.process][e.config.ring];
+      causal_priors[e.msg] = k;
+      k.insert(e.msg);
+    } else if (e.type == EventType::Fail) {
+      known[e.process].clear();  // volatile state is lost with the process
+    }
+  }
+  // Fast lookup: for each process, delivery pindex per message.
+  std::map<ProcessId, std::map<MsgId, const TraceEvent*>> delivery_at;
+  for (const auto& [m, dels] : deliveries_of_) {
+    for (const TraceEvent* d : dels) delivery_at[d->process][m] = d;
+  }
+  for (const auto& [m2, priors] : causal_priors) {
+    auto dit = deliveries_of_.find(m2);
+    if (dit == deliveries_of_.end()) continue;
+    for (const TraceEvent* d2 : dit->second) {
+      const auto& mine = delivery_at[d2->process];
+      for (const MsgId& m1 : priors) {
+        auto d1_it = mine.find(m1);
+        if (d1_it == mine.end()) {
+          violation("5", to_string(d2->process) + " delivered " + to_string(m2) +
+                             " without its causal predecessor " + to_string(m1));
+        } else if (d1_it->second->pindex > d2->pindex) {
+          violation("5", to_string(d2->process) + " delivered " + to_string(m2) +
+                             " before its causal predecessor " + to_string(m1));
+        }
+      }
+    }
+  }
+  return violations_.size() - before;
+}
+
+// ---------------------------------------------------------------------------
+// Specs 6.1-6.3
+
+std::size_t SpecChecker::check_total_order() {
+  const std::size_t before = violations_.size();
+
+  // 6.2: all deliveries of one message share an ord; all deliveries of one
+  // configuration change share an ord (checked in 2.3 as well).
+  for (const auto& [m, dels] : deliveries_of_) {
+    for (std::size_t i = 1; i < dels.size(); ++i) {
+      if (dels[i]->ord != dels[0]->ord) {
+        violation("6.2", "message " + to_string(m) +
+                             " delivered at different logical times");
+      }
+    }
+  }
+
+  // 6.1: ord respects the precedes relation. Program order: walk each
+  // timeline carrying the maximum ord seen (events without ord, i.e. fails,
+  // propagate the carry). Cross-process edges: send(m) -> deliver(m).
+  for (const auto& [p, timeline] : timelines_) {
+    std::optional<Ord> carry;
+    const TraceEvent* carry_event = nullptr;
+    for (const TraceEvent* e : timeline.events) {
+      if (!e->ord.has_value()) continue;
+      if (carry.has_value() && !(*carry < *e->ord)) {
+        violation("6.1", "program order ord inversion at " + to_string(p) + ": " +
+                             carry_event->describe() + " !< " + e->describe());
+      }
+      if (!carry.has_value() || *carry < *e->ord) {
+        carry = *e->ord;
+        carry_event = e;
+      }
+    }
+  }
+  for (const auto& [m, dels] : deliveries_of_) {
+    auto sit = sends_of_.find(m);
+    if (sit == sends_of_.end()) continue;
+    const TraceEvent* s = sit->second.front();
+    if (!s->ord.has_value()) continue;
+    for (const TraceEvent* d : dels) {
+      if (d->ord.has_value() && !(*s->ord < *d->ord)) {
+        violation("6.1", "send !< deliver for " + to_string(m));
+      }
+    }
+  }
+
+  // 6.3: no gaps against a peer's delivery order. For processes p, q and
+  // messages m, m' of the same origin ring with seq(m) < seq(m'), if p
+  // delivered both and q delivered m', then q must deliver m whenever m's
+  // sender is a member of the configuration in which q delivered m'.
+  struct DeliveredMsg {
+    SeqNum seq;
+    MsgId id;
+    const TraceEvent* event;
+  };
+  std::map<ProcessId, std::map<RingId, std::vector<DeliveredMsg>>> by_ring;
+  for (const auto& [m, dels] : deliveries_of_) {
+    for (const TraceEvent* d : dels) {
+      by_ring[d->process][anchor(d->config)].push_back({d->seq, m, d});
+    }
+  }
+  for (auto& [p, rings] : by_ring) {
+    for (auto& [r, v] : rings) {
+      std::sort(v.begin(), v.end(),
+                [](const DeliveredMsg& a, const DeliveredMsg& b) { return a.seq < b.seq; });
+    }
+  }
+  for (const auto& [p, p_rings] : by_ring) {
+    for (const auto& [q, q_rings] : by_ring) {
+      if (p == q) continue;
+      for (const auto& [ring, dp] : p_rings) {
+        auto qr = q_rings.find(ring);
+        if (qr == q_rings.end()) continue;
+        const auto& dq = qr->second;
+        std::set<SeqNum> q_seqs;
+        for (const auto& d : dq) q_seqs.insert(d.seq);
+        // For each message p delivered that q did not, is there a later
+        // common message whose q-side configuration includes the sender?
+        for (const auto& dm : dp) {
+          if (q_seqs.count(dm.seq) > 0) continue;
+          for (const auto& dq_msg : dq) {
+            if (dq_msg.seq <= dm.seq) continue;
+            // q delivered dq_msg (seq greater) in some configuration c'.
+            const auto& members = conf_members_.at(dq_msg.event->config);
+            if (is_member(members, dm.id.sender)) {
+              violation("6.3", to_string(q) + " delivered seq " +
+                                   std::to_string(dq_msg.seq) + " of " +
+                                   to_string(ring) + " but skipped seq " +
+                                   std::to_string(dm.seq) + " (sender " +
+                                   to_string(dm.id.sender) +
+                                   " is in its configuration) which " +
+                                   to_string(p) + " delivered");
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+  return violations_.size() - before;
+}
+
+// ---------------------------------------------------------------------------
+// Specs 7.1-7.2
+
+std::size_t SpecChecker::check_safe_delivery() {
+  const std::size_t before = violations_.size();
+
+  // Final state per process: last installed configuration (nullopt after a
+  // fail with no re-start) and whether the process ever failed while
+  // anchored to a given ring.
+  std::map<ProcessId, std::optional<ConfigId>> final_config;
+  std::map<ProcessId, std::set<RingId>> failed_in_anchor;
+  for (const auto& [p, timeline] : timelines_) {
+    std::optional<ConfigId> current;
+    for (const TraceEvent* e : timeline.events) {
+      if (e->type == EventType::DeliverConf) current = e->config;
+      if (e->type == EventType::Fail) {
+        failed_in_anchor[p].insert(anchor(e->config));
+        current.reset();
+      }
+    }
+    final_config[p] = current;
+  }
+
+  for (const auto& [m, dels] : deliveries_of_) {
+    const TraceEvent* any_safe = nullptr;
+    for (const TraceEvent* d : dels) {
+      if (d->service == Service::Safe) {
+        any_safe = d;
+        break;
+      }
+    }
+    if (any_safe == nullptr) continue;
+
+    for (const TraceEvent* d : dels) {
+      const ConfigId c = d->config;
+      const RingId ring = anchor(c);
+      const auto& members = conf_members_.at(c);
+
+      // 7.2: safe delivery in a regular configuration requires every member
+      // of that configuration to have installed it.
+      if (!c.transitional) {
+        for (ProcessId q : members) {
+          auto it = conf_events_.find(c);
+          bool installed = false;
+          if (it != conf_events_.end()) {
+            for (const TraceEvent* ce : it->second) {
+              if (ce->process == q) installed = true;
+            }
+          }
+          if (!installed) {
+            violation("7.2", "safe " + to_string(m) + " delivered in " + to_string(c) +
+                                 " but member " + to_string(q) +
+                                 " never installed it");
+          }
+        }
+      }
+
+      // 7.1: every member of c delivers m (in a configuration anchored to
+      // the same ring) or fails while anchored to that ring.
+      for (ProcessId q : members) {
+        bool delivered_q = false;
+        for (const TraceEvent* dq : dels) {
+          if (dq->process == q && anchor(dq->config) == ring) delivered_q = true;
+        }
+        if (delivered_q) continue;
+        if (failed_in_anchor.count(q) > 0 && failed_in_anchor.at(q).count(ring) > 0) {
+          continue;  // fail_q(com_q(c))
+        }
+        if (!options_.quiescent) {
+          // Without quiescence q may simply still be catching up.
+          auto fc = final_config.find(q);
+          if (fc != final_config.end() && fc->second.has_value() &&
+              anchor(*fc->second) == ring) {
+            continue;
+          }
+        }
+        if (options_.quiescent) {
+          violation("7.1", "safe " + to_string(m) + " delivered in " + to_string(c) +
+                               " but member " + to_string(q) +
+                               " neither delivered it nor failed in that ring");
+        }
+      }
+    }
+  }
+  return violations_.size() - before;
+}
+
+}  // namespace evs

@@ -1,0 +1,87 @@
+// SpecChecker: machine-checks a global trace against the extended virtual
+// synchrony model, Specifications 1.1-7.2 of the paper (Section 2.1).
+//
+// The checker is intentionally independent of the protocol implementation:
+// it consumes only TraceLog events (send / deliver / deliver_conf / fail,
+// with the implementation's proposed ord values) and rebuilds the precedes
+// relation itself from program order plus send->deliver edges. Anything the
+// protocol got wrong — a message delivered in two configurations, a
+// transitional configuration disagreeing on its delivery set, an ord value
+// that contradicts causality — surfaces as a Violation naming the spec.
+//
+// Checks that are inherently about *final* states (Spec 2.1's "all members
+// install the configuration", Spec 3's "eventually delivers its own
+// message", Spec 7.1's "every member delivers or fails") are only fully
+// enforceable on a quiesced trace: pass `quiescent = true` when the
+// simulation ran until protocol silence; otherwise those checks skip
+// processes whose trace is still mid-configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spec/trace.hpp"
+
+namespace evs {
+
+struct Violation {
+  std::string spec;    ///< e.g. "1.4", "6.2", "7.1"
+  std::string detail;  ///< human-readable description with event dumps
+};
+
+class SpecChecker {
+ public:
+  struct Options {
+    bool quiescent{true};  ///< trace ran to protocol silence
+  };
+
+  explicit SpecChecker(const TraceLog& trace) : SpecChecker(trace, Options{}) {}
+  SpecChecker(const TraceLog& trace, Options options);
+
+  /// Run every check; returns all violations found (empty == conformant).
+  std::vector<Violation> check_all();
+
+  // Individual specification groups (each appends to the violation list and
+  // also returns the number of violations it added).
+  std::size_t check_basic_delivery();     // Specs 1.1-1.4
+  std::size_t check_config_changes();     // Specs 2.1, 2.2 (+ ord of 2.3/2.4)
+  std::size_t check_config_cuts();        // Specs 2.3, 2.4 via reachability
+  std::size_t check_self_delivery();      // Spec 3
+  std::size_t check_failure_atomicity();  // Spec 4
+  std::size_t check_causal_delivery();    // Spec 5
+  std::size_t check_total_order();        // Specs 6.1-6.3
+  std::size_t check_safe_delivery();      // Specs 7.1-7.2
+
+  const std::vector<Violation>& violations() const { return violations_; }
+
+ private:
+  struct ProcessTimeline {
+    std::vector<const TraceEvent*> events;  // program order
+  };
+
+  void violation(const std::string& spec, const std::string& detail);
+
+  /// The regular ring a configuration is anchored to: itself for regular
+  /// configurations, the preceding regular ring for transitional ones
+  /// (the paper's reg_p(c)).
+  static RingId anchor(const ConfigId& c) {
+    return c.transitional ? c.prior_ring : c.ring;
+  }
+
+  const TraceLog& trace_;
+  Options options_;
+  std::vector<Violation> violations_;
+
+  // Indexes (built once in the constructor).
+  std::map<ProcessId, ProcessTimeline> timelines_;
+  std::map<MsgId, std::vector<const TraceEvent*>> sends_of_;
+  std::map<MsgId, std::vector<const TraceEvent*>> deliveries_of_;
+  std::map<ConfigId, std::vector<const TraceEvent*>> conf_events_;
+  std::map<ConfigId, std::vector<ProcessId>> conf_members_;
+};
+
+}  // namespace evs

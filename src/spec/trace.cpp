@@ -1,0 +1,77 @@
+#include "spec/trace.hpp"
+
+#include <algorithm>
+
+namespace evs {
+
+const char* to_string(EventType t) {
+  switch (t) {
+    case EventType::Send: return "send";
+    case EventType::Deliver: return "deliver";
+    case EventType::DeliverConf: return "deliver_conf";
+    case EventType::Fail: return "fail";
+  }
+  return "?";
+}
+
+std::string TraceEvent::describe() const {
+  std::string out = std::string(to_string(type)) + "_" + evs::to_string(process);
+  switch (type) {
+    case EventType::Send:
+    case EventType::Deliver:
+      out += "(" + evs::to_string(msg) + " [" + evs::to_string(service) + " seq=" +
+             std::to_string(seq) + "], " + evs::to_string(config) + ")";
+      break;
+    case EventType::DeliverConf: {
+      out += "(" + evs::to_string(config) + " {";
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) out += ",";
+        out += evs::to_string(members[i]);
+      }
+      out += "})";
+      break;
+    }
+    case EventType::Fail:
+      out += "(" + evs::to_string(config) + ")";
+      break;
+  }
+  out += " @" + std::to_string(time) + "us #" + std::to_string(pindex);
+  return out;
+}
+
+void TraceLog::record(TraceEvent e) {
+  e.pindex = next_pindex_[e.process]++;
+  events_.push_back(std::move(e));
+}
+
+void TraceLog::clear() {
+  events_.clear();
+  next_pindex_.clear();
+}
+
+std::vector<const TraceEvent*> TraceLog::of_process(ProcessId p) const {
+  std::vector<const TraceEvent*> out;
+  for (const auto& e : events_) {
+    if (e.process == p) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<ProcessId> TraceLog::processes() const {
+  std::vector<ProcessId> out;
+  for (const auto& e : events_) out.push_back(e.process);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string TraceLog::dump() const {
+  std::string out;
+  for (const auto& e : events_) {
+    out += e.describe();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace evs

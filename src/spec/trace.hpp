@@ -1,0 +1,77 @@
+// Trace model: the four event types of the extended virtual synchrony
+// specification (Section 2 of the paper):
+//
+//   deliver_conf_p(c)  - p delivers a configuration change initiating c
+//   send_p(m, c)       - p sends (originates) m while a member of c
+//   deliver_p(m, c)    - p delivers m while a member of c
+//   fail_p(c)          - p actually fails while a member of c
+//
+// Every protocol node appends its events to a TraceLog as they happen;
+// the SpecChecker (spec/checker.hpp) then validates the complete global
+// trace against Specifications 1.1-7.2 and, through the VS checker, against
+// Birman's legality conditions. Events carry the implementation's proposed
+// `ord` value, which the checker verifies rather than trusts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "evs/config.hpp"
+#include "util/types.hpp"
+
+namespace evs {
+
+enum class EventType : std::uint8_t { Send, Deliver, DeliverConf, Fail };
+
+const char* to_string(EventType t);
+
+struct TraceEvent {
+  EventType type{EventType::Send};
+  ProcessId process;
+  std::uint64_t pindex{0};  ///< position in this process's program order
+  SimTime time{0};          ///< virtual time (diagnostics only; not used by specs)
+
+  // Send / Deliver events:
+  MsgId msg;
+  Service service{Service::Agreed};
+  SeqNum seq{0};  ///< ring sequence number of the message (diagnostics)
+
+  // The configuration the event occurred in (for DeliverConf: the one being
+  // initiated).
+  ConfigId config;
+
+  // DeliverConf only: the agreed membership.
+  std::vector<ProcessId> members;
+
+  /// Implementation-proposed logical time (Spec 6). Fail events carry none.
+  std::optional<Ord> ord;
+
+  std::string describe() const;
+};
+
+class TraceLog {
+ public:
+  /// Append an event; assigns the per-process program-order index.
+  void record(TraceEvent e);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear();
+
+  /// Events of a single process, in program order.
+  std::vector<const TraceEvent*> of_process(ProcessId p) const;
+
+  /// All distinct processes appearing in the trace.
+  std::vector<ProcessId> processes() const;
+
+  std::string dump() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::unordered_map<ProcessId, std::uint64_t> next_pindex_;
+};
+
+}  // namespace evs

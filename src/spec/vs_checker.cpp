@@ -1,0 +1,290 @@
+#include "spec/vs_checker.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace evs {
+namespace {
+constexpr std::uint32_t kIncarnationShift = 20;
+}  // namespace
+
+ProcessId vs_synth_id(ProcessId pid, std::uint32_t incarnation) {
+  EVS_ASSERT(pid.value < (1u << kIncarnationShift));
+  return ProcessId{pid.value | (incarnation << kIncarnationShift)};
+}
+
+ProcessId vs_base_pid(ProcessId synth) {
+  return ProcessId{synth.value & ((1u << kIncarnationShift) - 1)};
+}
+
+std::uint32_t vs_incarnation_of(ProcessId synth) {
+  return synth.value >> kIncarnationShift;
+}
+
+std::string VsEvent::describe() const {
+  std::string out;
+  switch (type) {
+    case VsEventType::View: {
+      out = "view_" + evs::to_string(process) + "(g^" + std::to_string(view_id) + " {";
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) out += ",";
+        out += evs::to_string(members[i]);
+      }
+      out += "})";
+      break;
+    }
+    case VsEventType::Send:
+      out = "send_" + evs::to_string(process) + "(" + evs::to_string(msg) + ", g^" +
+            std::to_string(view_id) + ")";
+      break;
+    case VsEventType::Deliver:
+      out = "deliver_" + evs::to_string(process) + "(" + evs::to_string(msg) +
+            ", g^" + std::to_string(view_id) + ")";
+      break;
+    case VsEventType::Stop: out = "stop_" + evs::to_string(process); break;
+  }
+  out += " @" + std::to_string(time) + "us #" + std::to_string(pindex);
+  return out;
+}
+
+void VsTraceLog::record(VsEvent e) {
+  e.pindex = next_pindex_[e.process]++;
+  events_.push_back(std::move(e));
+}
+
+void VsTraceLog::clear() {
+  events_.clear();
+  next_pindex_.clear();
+}
+
+std::string VsTraceLog::dump() const {
+  std::string out;
+  for (const auto& e : events_) {
+    out += e.describe();
+    out += '\n';
+  }
+  return out;
+}
+
+VsChecker::VsChecker(const VsTraceLog& trace, Options options)
+    : trace_(trace), options_(options) {
+  for (const VsEvent& e : trace_.events()) {
+    timelines_[e.process].push_back(&e);
+    switch (e.type) {
+      case VsEventType::View: view_events_[e.view_id].push_back(&e); break;
+      case VsEventType::Send:
+        if (send_of_.count(e.msg) > 0) {
+          violation("C1", "message " + to_string(e.msg) + " sent twice");
+        }
+        send_of_[e.msg] = &e;
+        break;
+      case VsEventType::Deliver: deliveries_of_[e.msg].push_back(&e); break;
+      case VsEventType::Stop: break;
+    }
+  }
+}
+
+void VsChecker::violation(const std::string& what, const std::string& detail) {
+  violations_.push_back({what, detail});
+}
+
+std::vector<Violation> VsChecker::check_all() {
+  check_views();
+  check_view_uniqueness();
+  check_continuity();
+  check_delivery_views();
+  check_delivery_ords();
+  check_atomicity();
+  check_self_delivery();
+  return violations_;
+}
+
+std::size_t VsChecker::check_views() {
+  const std::size_t before = violations_.size();
+  for (const auto& [id, events] : view_events_) {
+    for (const VsEvent* e : events) {
+      if (e->members != events.front()->members) {
+        violation("VS-view", "view g^" + std::to_string(id) +
+                                 " announced with different memberships");
+      }
+      // L3: same logical time at every process.
+      if (e->ord != events.front()->ord) {
+        violation("L3", "view g^" + std::to_string(id) +
+                            " has inconsistent logical times");
+      }
+      // A process only installs views it belongs to.
+      if (!std::binary_search(e->members.begin(), e->members.end(), e->process)) {
+        violation("VS-view", to_string(e->process) + " installed view g^" +
+                                 std::to_string(id) + " it is not a member of");
+      }
+    }
+    // Every member of the view installs it, unless it stopped or the run was
+    // cut short. With primary-partition semantics a member that never
+    // installs the view must not appear in any later view either — that is
+    // covered by check_atomicity on its deliveries.
+  }
+  return violations_.size() - before;
+}
+
+std::size_t VsChecker::check_view_uniqueness() {
+  // Primary history Uniqueness (paper 2.2): the installed views form a
+  // single totally ordered history — per process strictly increasing ids,
+  // and one membership per id (checked above).
+  const std::size_t before = violations_.size();
+  for (const auto& [p, events] : timelines_) {
+    std::uint64_t last = 0;
+    for (const VsEvent* e : events) {
+      if (e->type != VsEventType::View) continue;
+      if (e->view_id <= last) {
+        violation("VS-unique", to_string(p) + " installed view g^" +
+                                   std::to_string(e->view_id) + " after g^" +
+                                   std::to_string(last));
+      }
+      last = e->view_id;
+    }
+  }
+  return violations_.size() - before;
+}
+
+std::size_t VsChecker::check_continuity() {
+  // Primary history Continuity (paper 2.2): consecutive primary views share
+  // at least one member. The property is about *processes*, so compare base
+  // process ids — a process merged back under a new incarnation (Section
+  // 5.2 renaming) still carries the primary's state continuity.
+  const std::size_t before = violations_.size();
+  const VsEvent* prev = nullptr;
+  for (const auto& [id, events] : view_events_) {
+    const VsEvent* cur = events.front();
+    if (prev != nullptr) {
+      bool shared = false;
+      for (ProcessId p : prev->members) {
+        for (ProcessId q : cur->members) {
+          if (vs_base_pid(p) == vs_base_pid(q)) {
+            shared = true;
+            break;
+          }
+        }
+        if (shared) break;
+      }
+      if (!shared) {
+        violation("VS-continuity", "views g^" + std::to_string(prev->view_id) +
+                                       " and g^" + std::to_string(cur->view_id) +
+                                       " share no member");
+      }
+    }
+    prev = cur;
+  }
+  return violations_.size() - before;
+}
+
+std::size_t VsChecker::check_delivery_views() {
+  // L4: all deliveries of a message occur in the same view.
+  const std::size_t before = violations_.size();
+  for (const auto& [m, dels] : deliveries_of_) {
+    for (const VsEvent* d : dels) {
+      if (d->view_id != dels.front()->view_id) {
+        violation("L4", "message " + to_string(m) + " delivered in views g^" +
+                            std::to_string(dels.front()->view_id) + " and g^" +
+                            std::to_string(d->view_id));
+      }
+    }
+    std::set<ProcessId> seen;
+    for (const VsEvent* d : dels) {
+      if (!seen.insert(d->process).second) {
+        violation("C1", "message " + to_string(m) + " delivered twice at " +
+                            to_string(d->process));
+      }
+    }
+  }
+  return violations_.size() - before;
+}
+
+std::size_t VsChecker::check_delivery_ords() {
+  const std::size_t before = violations_.size();
+  // L5: all deliveries of one message share a logical time.
+  for (const auto& [m, dels] : deliveries_of_) {
+    for (const VsEvent* d : dels) {
+      if (d->ord != dels.front()->ord) {
+        violation("L5", "message " + to_string(m) +
+                            " delivered at different logical times");
+      }
+    }
+  }
+  // L1/L2: per process, logical times strictly increase in program order.
+  for (const auto& [p, events] : timelines_) {
+    std::optional<VsOrd> last;
+    for (const VsEvent* e : events) {
+      if (!e->ord.has_value()) continue;
+      if (last.has_value() && !(*last < *e->ord)) {
+        violation("L1", "logical time inversion at " + to_string(p) + ": " +
+                            e->describe());
+      }
+      last = *e->ord;
+    }
+  }
+  return violations_.size() - before;
+}
+
+std::size_t VsChecker::check_atomicity() {
+  // C3: a message delivered by one process in view g^x is delivered by every
+  // member of g^x — unless that member stopped (the extend mechanism imputes
+  // delivery to it) or the trace is not quiescent.
+  const std::size_t before = violations_.size();
+  if (!options_.quiescent) return 0;
+
+  std::set<ProcessId> stopped;
+  for (const VsEvent& e : trace_.events()) {
+    if (e.type == VsEventType::Stop) stopped.insert(e.process);
+  }
+
+  for (const auto& [m, dels] : deliveries_of_) {
+    const std::uint64_t view = dels.front()->view_id;
+    auto vit = view_events_.find(view);
+    if (vit == view_events_.end()) {
+      violation("L4", "message " + to_string(m) + " delivered in unknown view g^" +
+                          std::to_string(view));
+      continue;
+    }
+    for (ProcessId q : vit->second.front()->members) {
+      bool delivered = false;
+      for (const VsEvent* d : dels) {
+        if (d->process == q) delivered = true;
+      }
+      if (!delivered && stopped.count(q) == 0) {
+        violation("C3", "message " + to_string(m) + " delivered in g^" +
+                            std::to_string(view) + " but member " + to_string(q) +
+                            " never delivered it and never stopped");
+      }
+    }
+  }
+  return violations_.size() - before;
+}
+
+std::size_t VsChecker::check_self_delivery() {
+  // C2 on actual histories: a sender delivers its own message unless it
+  // stopped (the extend mechanism completes the history for stopped ones).
+  const std::size_t before = violations_.size();
+  if (!options_.quiescent) return 0;
+  std::set<ProcessId> stopped;
+  for (const VsEvent& e : trace_.events()) {
+    if (e.type == VsEventType::Stop) stopped.insert(e.process);
+  }
+  for (const auto& [m, send] : send_of_) {
+    if (stopped.count(send->process) > 0) continue;
+    bool delivered = false;
+    auto dit = deliveries_of_.find(m);
+    if (dit != deliveries_of_.end()) {
+      for (const VsEvent* d : dit->second) {
+        if (d->process == send->process) delivered = true;
+      }
+    }
+    if (!delivered) {
+      violation("C2", to_string(send->process) + " never delivered its own " +
+                          to_string(m));
+    }
+  }
+  return violations_.size() - before;
+}
+
+}  // namespace evs

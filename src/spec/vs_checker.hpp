@@ -1,0 +1,102 @@
+// Virtual synchrony trace model and legality checker (Section 4 of the
+// paper: Birman's model — complete/legal histories, properties C1-C3 and
+// L1-L5 — plus the primary-component properties of Section 2.2).
+//
+// The VS filter (vs/filter.hpp) emits these events; the checker validates
+// that every filtered run is an acceptable virtually-synchronous execution,
+// which is the theorem of Section 5.1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "evs/config.hpp"
+#include "spec/checker.hpp"  // for Violation
+#include "util/types.hpp"
+
+namespace evs {
+
+/// A VS identity: process id plus incarnation, packed into a ProcessId so
+/// the VS trace machinery can reuse the EVS one (Section 5.2: a process
+/// merged back into the primary component gets a new identifier).
+/// Incarnations shift by 20 bits; raw ids stay below 2^20 in any simulation.
+ProcessId vs_synth_id(ProcessId pid, std::uint32_t incarnation);
+ProcessId vs_base_pid(ProcessId synth);
+std::uint32_t vs_incarnation_of(ProcessId synth);
+
+/// Logical time of a VS event: the EVS ord plus a sub-step used for the
+/// per-process join views that rule 3 of the filter splits a merge into.
+struct VsOrd {
+  Ord base;
+  std::uint32_t sub{0};
+
+  constexpr auto operator<=>(const VsOrd&) const = default;
+};
+
+enum class VsEventType : std::uint8_t { View, Send, Deliver, Stop };
+
+struct VsEvent {
+  VsEventType type{VsEventType::View};
+  ProcessId process;
+  std::uint64_t pindex{0};
+  SimTime time{0};
+
+  std::uint64_t view_id{0};          ///< View/Send/Deliver: the view g^x
+  std::vector<ProcessId> members;    ///< View only
+  MsgId msg;                         ///< Send/Deliver
+  std::optional<VsOrd> ord;          ///< View/Deliver (and Send)
+
+  std::string describe() const;
+};
+
+class VsTraceLog {
+ public:
+  void record(VsEvent e);
+  const std::vector<VsEvent>& events() const { return events_; }
+  void clear();
+  std::string dump() const;
+
+ private:
+  std::vector<VsEvent> events_;
+  std::map<ProcessId, std::uint64_t> next_pindex_;
+};
+
+class VsChecker {
+ public:
+  struct Options {
+    bool quiescent{true};
+  };
+
+  explicit VsChecker(const VsTraceLog& trace) : VsChecker(trace, Options{}) {}
+  VsChecker(const VsTraceLog& trace, Options options);
+
+  std::vector<Violation> check_all();
+
+  std::size_t check_views();            // view consistency, L3
+  std::size_t check_view_uniqueness();  // primary history Uniqueness (2.2.1)
+  std::size_t check_continuity();       // primary history Continuity (2.2.2)
+  std::size_t check_delivery_views();   // L4: one view per message
+  std::size_t check_delivery_ords();    // L1/L2/L5: logical time sanity
+  std::size_t check_atomicity();        // C3: all view members deliver or stop
+  std::size_t check_self_delivery();    // C2 restricted to actual histories
+
+  const std::vector<Violation>& violations() const { return violations_; }
+
+ private:
+  void violation(const std::string& what, const std::string& detail);
+
+  const VsTraceLog& trace_;
+  Options options_;
+  std::vector<Violation> violations_;
+
+  std::map<ProcessId, std::vector<const VsEvent*>> timelines_;
+  std::map<std::uint64_t, std::vector<const VsEvent*>> view_events_;
+  std::map<MsgId, std::vector<const VsEvent*>> deliveries_of_;
+  std::map<MsgId, const VsEvent*> send_of_;
+};
+
+}  // namespace evs

@@ -1,0 +1,21 @@
+#include "storage/stable_store.hpp"
+
+namespace evs {
+
+void StableStore::erase_prefix(const std::string& prefix) {
+  auto it = data_.lower_bound(prefix);
+  while (it != data_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+    it = data_.erase(it);
+  }
+}
+
+std::vector<std::string> StableStore::keys_with_prefix(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = data_.lower_bound(prefix);
+       it != data_.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it) {
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+}  // namespace evs

@@ -1,0 +1,63 @@
+// Simulated stable storage.
+//
+// The paper's failure model lets a process "recover after an arbitrary
+// amount of time with its stable storage intact" and with the same
+// identifier. StableStore reproduces that contract: it is owned by the
+// simulation harness (not by the process), so a crash destroys all volatile
+// process state while the store survives for the recovered incarnation.
+//
+// Writes are synchronous: once put() returns, the value survives any crash.
+// The protocol relies on this when it persists received messages and the
+// obligation set *before* acknowledging in recovery step 5 (see
+// evs/recovery.cpp) — that ordering is what makes safe delivery meaningful
+// across crashes (Specification 7.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace evs {
+
+class StableStore {
+ public:
+  using Blob = std::vector<std::uint8_t>;
+
+  void put(const std::string& key, Blob value) {
+    ++writes_;
+    bytes_written_ += value.size();
+    data_[key] = std::move(value);
+  }
+
+  std::optional<Blob> get(const std::string& key) const {
+    auto it = data_.find(key);
+    if (it == data_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool contains(const std::string& key) const { return data_.count(key) > 0; }
+
+  void erase(const std::string& key) { data_.erase(key); }
+
+  /// Remove every key with the given prefix (used to garbage-collect the
+  /// message log of a superseded configuration).
+  void erase_prefix(const std::string& prefix);
+
+  /// Keys with the given prefix, sorted.
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
+  void clear() { data_.clear(); }
+
+  std::size_t key_count() const { return data_.size(); }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::map<std::string, Blob> data_;
+  std::uint64_t writes_{0};
+  std::uint64_t bytes_written_{0};
+};
+
+}  // namespace evs

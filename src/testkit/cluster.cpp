@@ -1,0 +1,185 @@
+#include "testkit/cluster.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace evs {
+
+std::vector<MsgId> Cluster::Sink::delivered_ids() const {
+  std::vector<MsgId> out;
+  out.reserve(deliveries.size());
+  for (const auto& d : deliveries) out.push_back(d.id);
+  return out;
+}
+
+bool Cluster::Sink::delivered(const MsgId& m) const { return find(m) != nullptr; }
+
+const EvsNode::Delivery* Cluster::Sink::find(const MsgId& m) const {
+  for (const auto& d : deliveries) {
+    if (d.id == m) return &d;
+  }
+  return nullptr;
+}
+
+Cluster::Cluster(Options options)
+    : options_(options), rng_(options.seed) {
+  network_ = std::make_unique<Network>(scheduler_, rng_.split(), options_.net);
+  Log::set_time_source([this] { return scheduler_.now(); });
+  procs_.reserve(options_.num_processes);
+  for (std::size_t i = 0; i < options_.num_processes; ++i) {
+    Proc proc;
+    proc.pid = ProcessId{static_cast<std::uint32_t>(i + 1)};
+    proc.store = std::make_unique<StableStore>();
+    procs_.push_back(std::move(proc));
+  }
+  if (options_.auto_start) start_all();
+}
+
+ProcessId Cluster::pid(std::size_t index) const {
+  EVS_ASSERT(index < procs_.size());
+  return procs_[index].pid;
+}
+
+std::vector<ProcessId> Cluster::pids() const {
+  std::vector<ProcessId> out;
+  for (const auto& proc : procs_) out.push_back(proc.pid);
+  return out;
+}
+
+EvsNode& Cluster::node(std::size_t index) {
+  EVS_ASSERT(index < procs_.size() && procs_[index].node != nullptr);
+  return *procs_[index].node;
+}
+
+EvsNode& Cluster::node(ProcessId p) { return node(p.value - 1); }
+
+Cluster::Sink& Cluster::sink(std::size_t index) {
+  EVS_ASSERT(index < procs_.size());
+  return procs_[index].sink;
+}
+
+Cluster::Sink& Cluster::sink(ProcessId p) { return sink(p.value - 1); }
+
+StableStore& Cluster::store(ProcessId p) {
+  EVS_ASSERT(p.value >= 1 && p.value <= procs_.size());
+  return *procs_[p.value - 1].store;
+}
+
+void Cluster::wire(Proc& proc) {
+  Sink* sink = &proc.sink;
+  proc.node->set_deliver_handler(
+      [sink](const EvsNode::Delivery& d) { sink->deliveries.push_back(d); });
+  proc.node->set_config_handler(
+      [sink](const Configuration& c) { sink->configs.push_back(c); });
+}
+
+void Cluster::start_all() {
+  for (auto& proc : procs_) {
+    if (proc.node == nullptr) start(proc.pid);
+  }
+}
+
+void Cluster::start(ProcessId p) {
+  Proc& proc = procs_[p.value - 1];
+  EVS_ASSERT_MSG(proc.node == nullptr || !proc.node->running(),
+                 "start() on a running process");
+  proc.node = std::make_unique<EvsNode>(p, *network_, *proc.store, &trace_,
+                                        options_.node);
+  wire(proc);
+  proc.node->start();
+}
+
+void Cluster::crash(ProcessId p) {
+  Proc& proc = procs_[p.value - 1];
+  EVS_ASSERT(proc.node != nullptr);
+  proc.node->crash();
+}
+
+void Cluster::recover(ProcessId p) { start(p); }
+
+void Cluster::partition(const std::vector<std::vector<std::size_t>>& groups) {
+  std::vector<std::vector<ProcessId>> components;
+  for (const auto& group : groups) {
+    std::vector<ProcessId> component;
+    for (std::size_t index : group) component.push_back(pid(index));
+    components.push_back(std::move(component));
+  }
+  network_->set_components(components);
+}
+
+void Cluster::heal() { network_->merge_all(); }
+
+bool Cluster::await(const std::function<bool()>& predicate, SimTime max_wait_us,
+                    SimTime step_us) {
+  const SimTime deadline = scheduler_.now() + max_wait_us;
+  while (scheduler_.now() < deadline) {
+    if (predicate()) return true;
+    scheduler_.run_for(step_us);
+  }
+  return predicate();
+}
+
+bool Cluster::stable() const {
+  for (const auto& proc : procs_) {
+    if (proc.node == nullptr || !proc.node->running()) continue;
+    if (proc.node->state() != EvsNode::State::Operational) return false;
+    // The node's configuration must contain exactly the running processes
+    // of its network component, and all of them must agree on it.
+    const auto component = network_->component_of(proc.pid);
+    std::vector<ProcessId> running;
+    for (ProcessId q : component) {
+      const auto& other = procs_[q.value - 1];
+      if (other.node != nullptr && other.node->running()) running.push_back(q);
+    }
+    if (proc.node->config().members != running) return false;
+    for (ProcessId q : running) {
+      const auto& other = procs_[q.value - 1];
+      if (other.node->state() != EvsNode::State::Operational) return false;
+      if (!(other.node->config().id == proc.node->config().id)) return false;
+    }
+  }
+  return true;
+}
+
+bool Cluster::await_stable(SimTime max_wait_us) {
+  return await([this] { return stable(); }, max_wait_us, 1'000);
+}
+
+bool Cluster::await_quiesce(SimTime max_wait_us) {
+  const SimTime deadline = scheduler_.now() + max_wait_us;
+  if (!await_stable(max_wait_us)) return false;
+  auto totals = [this] {
+    std::uint64_t delivered = 0;
+    std::uint64_t pending = 0;
+    for (const auto& proc : procs_) {
+      if (proc.node == nullptr) continue;
+      delivered += proc.node->stats().delivered;
+      pending += proc.node->pending_sends();
+    }
+    return std::pair{delivered, pending};
+  };
+  while (scheduler_.now() < deadline) {
+    const auto before = totals();
+    scheduler_.run_for(20'000);
+    const auto after = totals();
+    if (stable() && after.second == 0 && after.first == before.first) return true;
+  }
+  return false;
+}
+
+std::vector<Violation> Cluster::check(bool quiescent) const {
+  SpecChecker checker(trace_, SpecChecker::Options{quiescent});
+  return checker.check_all();
+}
+
+std::string Cluster::check_report(bool quiescent) const {
+  std::string out;
+  for (const Violation& v : check(quiescent)) {
+    out += "[spec " + v.spec + "] " + v.detail + "\n";
+  }
+  return out;
+}
+
+}  // namespace evs

@@ -1,0 +1,118 @@
+// Cluster: a simulated distributed system of EvsNodes with scripting
+// helpers for partitions, crashes and recovery, plus trace collection.
+//
+// This is the harness used by the integration tests, the property tests,
+// the examples and the benchmarks. It owns the scheduler, the network, one
+// StableStore per process (stores outlive crashes — that is the paper's
+// "recover with stable storage intact") and the global TraceLog.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "evs/node.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "spec/checker.hpp"
+#include "spec/trace.hpp"
+#include "storage/stable_store.hpp"
+#include "util/rng.hpp"
+
+namespace evs {
+
+class Cluster {
+ public:
+  struct Options {
+    std::size_t num_processes{3};
+    std::uint64_t seed{1};
+    Network::Options net{};
+    EvsNode::Options node{};
+    bool auto_start{true};  ///< start all nodes at construction
+  };
+
+  /// Everything one process delivered, for test assertions.
+  struct Sink {
+    std::vector<EvsNode::Delivery> deliveries;
+    std::vector<Configuration> configs;
+
+    /// Message ids delivered, in order.
+    std::vector<MsgId> delivered_ids() const;
+    bool delivered(const MsgId& m) const;
+    const EvsNode::Delivery* find(const MsgId& m) const;
+  };
+
+  explicit Cluster(Options options);
+  Cluster() : Cluster(Options{}) {}
+
+  Scheduler& scheduler() { return scheduler_; }
+  Network& network() { return *network_; }
+  TraceLog& trace() { return trace_; }
+
+  std::size_t size() const { return procs_.size(); }
+  ProcessId pid(std::size_t index) const;
+  std::vector<ProcessId> pids() const;
+
+  EvsNode& node(std::size_t index);
+  EvsNode& node(ProcessId p);
+  Sink& sink(std::size_t index);
+  Sink& sink(ProcessId p);
+  StableStore& store(ProcessId p);
+
+  // --- lifecycle ---
+  void start_all();
+  void start(ProcessId p);
+  void crash(ProcessId p);
+  /// Construct a fresh incarnation on the same store and start it.
+  void recover(ProcessId p);
+
+  // --- network scripting (groups are process indexes) ---
+  void partition(const std::vector<std::vector<std::size_t>>& groups);
+  void heal();
+
+  // --- time ---
+  void run_for(SimTime us) { scheduler_.run_for(us); }
+  SimTime now() const { return scheduler_.now(); }
+
+  /// Run until `predicate()` holds, polling every `step_us` of virtual
+  /// time; returns false if `max_wait_us` elapses first.
+  bool await(const std::function<bool()>& predicate, SimTime max_wait_us,
+             SimTime step_us = 500);
+
+  /// All running nodes Operational, and every network component has
+  /// converged on a single configuration containing exactly the running
+  /// members of that component.
+  bool stable() const;
+  bool await_stable(SimTime max_wait_us = 2'000'000);
+
+  /// await_stable, then run until delivery counts stop changing and all
+  /// send queues drain.
+  bool await_quiesce(SimTime max_wait_us = 4'000'000);
+
+  // --- checking ---
+  /// Run the full specification checker over the collected trace.
+  std::vector<Violation> check(bool quiescent = true) const;
+
+  /// gtest-friendly: empty string if conformant, else formatted violations.
+  std::string check_report(bool quiescent = true) const;
+
+ private:
+  struct Proc {
+    ProcessId pid;
+    std::unique_ptr<StableStore> store;
+    std::unique_ptr<EvsNode> node;
+    Sink sink;
+  };
+
+  void wire(Proc& proc);
+
+  Options options_;
+  Scheduler scheduler_;
+  Rng rng_;
+  std::unique_ptr<Network> network_;
+  TraceLog trace_;
+  std::vector<Proc> procs_;
+};
+
+}  // namespace evs

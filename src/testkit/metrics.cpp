@@ -1,0 +1,83 @@
+#include "testkit/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace evs {
+
+LatencySummary summarize(const std::vector<SimTime>& durations) {
+  LatencySummary out;
+  if (durations.empty()) return out;
+  std::vector<SimTime> sorted = durations;
+  std::sort(sorted.begin(), sorted.end());
+  out.samples = sorted.size();
+  out.min_us = sorted.front();
+  out.max_us = sorted.back();
+  out.p50_us = sorted[sorted.size() / 2];
+  out.p99_us = sorted[std::min(sorted.size() - 1, sorted.size() * 99 / 100)];
+  double sum = 0;
+  for (SimTime d : sorted) sum += static_cast<double>(d);
+  out.avg_us = sum / static_cast<double>(sorted.size());
+  return out;
+}
+
+LatencySummary delivery_latency(const TraceLog& trace, bool to_last_delivery,
+                                const Service* service_filter) {
+  std::map<MsgId, SimTime> send_time;
+  std::map<MsgId, SimTime> delivery_time;  // first or last per selection
+  for (const TraceEvent& e : trace.events()) {
+    if (service_filter != nullptr && e.service != *service_filter &&
+        (e.type == EventType::Send || e.type == EventType::Deliver)) {
+      continue;
+    }
+    if (e.type == EventType::Send) {
+      send_time[e.msg] = e.time;
+    } else if (e.type == EventType::Deliver) {
+      auto [it, inserted] = delivery_time.try_emplace(e.msg, e.time);
+      if (!inserted) {
+        it->second = to_last_delivery ? std::max(it->second, e.time)
+                                      : std::min(it->second, e.time);
+      }
+    }
+  }
+  std::vector<SimTime> latencies;
+  for (const auto& [m, sent] : send_time) {
+    auto it = delivery_time.find(m);
+    if (it == delivery_time.end() || it->second < sent) continue;
+    latencies.push_back(it->second - sent);
+  }
+  return summarize(latencies);
+}
+
+std::vector<RecoveryWindow> recovery_windows(const TraceLog& trace) {
+  // Per process: the window from the last event of normal operation to the
+  // installation of the next regular configuration. The install itself
+  // emits a burst of events (step 6 is atomic) all carrying the install
+  // time, so the window start is the most recent event at a *strictly
+  // earlier* time.
+  struct Cursor {
+    SimTime cur_time{0};   // most recent event time
+    SimTime prev_time{0};  // most recent event time < cur_time
+    bool in_regular{false};
+  };
+  std::map<ProcessId, Cursor> cursors;
+  std::vector<RecoveryWindow> windows;
+  for (const TraceEvent& e : trace.events()) {
+    Cursor& c = cursors[e.process];
+    if (e.type == EventType::DeliverConf && !e.config.transitional) {
+      const SimTime start = e.time > c.cur_time ? c.cur_time : c.prev_time;
+      if (c.in_regular) {
+        windows.push_back(RecoveryWindow{e.process, start, e.time});
+      }
+      c.in_regular = true;
+    }
+    if (e.type == EventType::Fail) c.in_regular = false;
+    if (e.time > c.cur_time) {
+      c.prev_time = c.cur_time;
+      c.cur_time = e.time;
+    }
+  }
+  return windows;
+}
+
+}  // namespace evs

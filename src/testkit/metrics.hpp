@@ -1,0 +1,43 @@
+// Trace-derived metrics for the benchmark harness: delivery latency,
+// recovery timing and disruption windows, all in *simulated* time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spec/trace.hpp"
+#include "util/types.hpp"
+
+namespace evs {
+
+struct LatencySummary {
+  std::uint64_t samples{0};
+  double avg_us{0};
+  SimTime min_us{0};
+  SimTime p50_us{0};
+  SimTime p99_us{0};
+  SimTime max_us{0};
+};
+
+/// Latency from a message's send event to its delivery. `to_last_delivery`
+/// selects the slowest receiver (the stabilization time) instead of the
+/// first. Optionally filtered by service level.
+LatencySummary delivery_latency(const TraceLog& trace, bool to_last_delivery,
+                                const Service* service_filter = nullptr);
+
+/// Duration of each configuration-change disruption at a process: the
+/// window from the last event in one regular configuration to the
+/// installation of the next regular configuration.
+struct RecoveryWindow {
+  ProcessId process;
+  SimTime start_us{0};
+  SimTime end_us{0};
+  SimTime duration_us() const { return end_us - start_us; }
+};
+
+std::vector<RecoveryWindow> recovery_windows(const TraceLog& trace);
+
+/// Summary over recovery windows.
+LatencySummary summarize(const std::vector<SimTime>& durations);
+
+}  // namespace evs

@@ -1,0 +1,141 @@
+#include "testkit/vs_cluster.hpp"
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace evs {
+
+bool VsCluster::Sink::delivered(const MsgId& m) const { return find(m) != nullptr; }
+
+const VsDelivery* VsCluster::Sink::find(const MsgId& m) const {
+  for (const auto& d : deliveries) {
+    if (d.id == m) return &d;
+  }
+  return nullptr;
+}
+
+VsCluster::VsCluster(Options options) : options_(options), rng_(options.seed) {
+  network_ = std::make_unique<Network>(scheduler_, rng_.split(), options_.net);
+  Log::set_time_source([this] { return scheduler_.now(); });
+  procs_.resize(options_.num_processes);
+  for (auto& proc : procs_) proc.store = std::make_unique<StableStore>();
+  if (options_.auto_start) start_all();
+}
+
+VsNode& VsCluster::node(std::size_t index) {
+  EVS_ASSERT(index < procs_.size() && procs_[index].node != nullptr);
+  return *procs_[index].node;
+}
+
+VsCluster::Sink& VsCluster::sink(std::size_t index) {
+  EVS_ASSERT(index < procs_.size());
+  return procs_[index].sink;
+}
+
+void VsCluster::start_all() {
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    if (procs_[i].node == nullptr) start(pid(i));
+  }
+}
+
+void VsCluster::start(ProcessId p) {
+  Proc& proc = procs_[p.value - 1];
+  EVS_ASSERT(proc.node == nullptr || !proc.node->running());
+  VsNode::Options vs_opts;
+  vs_opts.policy = options_.policy;
+  vs_opts.universe = options_.num_processes;
+  vs_opts.rename_on_rejoin = options_.rename_on_rejoin;
+  proc.node = std::make_unique<VsNode>(p, *network_, *proc.store, &evs_trace_,
+                                       &vs_trace_, options_.node, vs_opts);
+  Sink* sink = &proc.sink;
+  proc.node->set_deliver_handler(
+      [sink](const VsDelivery& d) { sink->deliveries.push_back(d); });
+  proc.node->set_view_handler([sink](const VsView& v) { sink->views.push_back(v); });
+  proc.node->start();
+}
+
+void VsCluster::crash(ProcessId p) {
+  Proc& proc = procs_[p.value - 1];
+  EVS_ASSERT(proc.node != nullptr);
+  proc.node->crash();
+}
+
+void VsCluster::partition(const std::vector<std::vector<std::size_t>>& groups) {
+  std::vector<std::vector<ProcessId>> components;
+  for (const auto& group : groups) {
+    std::vector<ProcessId> component;
+    for (std::size_t index : group) component.push_back(pid(index));
+    components.push_back(std::move(component));
+  }
+  network_->set_components(components);
+}
+
+void VsCluster::heal() { network_->merge_all(); }
+
+bool VsCluster::await(const std::function<bool()>& predicate, SimTime max_wait_us,
+                      SimTime step_us) {
+  const SimTime deadline = scheduler_.now() + max_wait_us;
+  while (scheduler_.now() < deadline) {
+    if (predicate()) return true;
+    scheduler_.run_for(step_us);
+  }
+  return predicate();
+}
+
+bool VsCluster::stable() const {
+  for (const auto& proc : procs_) {
+    if (proc.node == nullptr || !proc.node->running()) continue;
+    const EvsNode& evs = proc.node->evs();
+    if (evs.state() != EvsNode::State::Operational) return false;
+    if (proc.node->mode() == VsNode::Mode::Exchanging) return false;
+    const auto component = network_->component_of(evs.id());
+    std::vector<ProcessId> running;
+    for (ProcessId q : component) {
+      const auto& other = procs_[q.value - 1];
+      if (other.node != nullptr && other.node->running()) running.push_back(q);
+    }
+    if (evs.config().members != running) return false;
+  }
+  return true;
+}
+
+bool VsCluster::await_stable(SimTime max_wait_us) {
+  return await([this] { return stable(); }, max_wait_us);
+}
+
+bool VsCluster::await_quiesce(SimTime max_wait_us) {
+  const SimTime deadline = scheduler_.now() + max_wait_us;
+  if (!await_stable(max_wait_us)) return false;
+  auto totals = [this] {
+    std::uint64_t delivered = 0;
+    std::uint64_t pending = 0;
+    for (const auto& proc : procs_) {
+      if (proc.node == nullptr) continue;
+      delivered += proc.node->evs().stats().delivered;
+      pending += proc.node->evs().pending_sends();
+    }
+    return std::pair{delivered, pending};
+  };
+  while (scheduler_.now() < deadline) {
+    const auto before = totals();
+    scheduler_.run_for(20'000);
+    const auto after = totals();
+    if (stable() && after.second == 0 && after.first == before.first) return true;
+  }
+  return false;
+}
+
+std::string VsCluster::check_report(bool quiescent) const {
+  std::string out;
+  SpecChecker evs_checker(evs_trace_, SpecChecker::Options{quiescent});
+  for (const Violation& v : evs_checker.check_all()) {
+    out += "[evs spec " + v.spec + "] " + v.detail + "\n";
+  }
+  VsChecker vs_checker(vs_trace_, VsChecker::Options{quiescent});
+  for (const Violation& v : vs_checker.check_all()) {
+    out += "[vs " + v.spec + "] " + v.detail + "\n";
+  }
+  return out;
+}
+
+}  // namespace evs

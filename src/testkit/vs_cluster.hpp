@@ -1,0 +1,92 @@
+// VsCluster: simulation harness for virtually-synchronous nodes (the VS
+// filter stacked on EVS), mirroring testkit/Cluster for the raw EVS layer.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+#include "spec/vs_checker.hpp"
+#include "storage/stable_store.hpp"
+#include "testkit/cluster.hpp"
+#include "util/rng.hpp"
+#include "vs/filter.hpp"
+
+namespace evs {
+
+class VsCluster {
+ public:
+  struct Options {
+    std::size_t num_processes{3};
+    std::uint64_t seed{1};
+    Network::Options net{};
+    EvsNode::Options node{};
+    VsNode::Policy policy{VsNode::Policy::StaticMajority};
+    bool rename_on_rejoin{true};
+    bool auto_start{true};
+  };
+
+  struct Sink {
+    std::vector<VsDelivery> deliveries;
+    std::vector<VsView> views;
+
+    bool delivered(const MsgId& m) const;
+    const VsDelivery* find(const MsgId& m) const;
+  };
+
+  explicit VsCluster(Options options);
+
+  Scheduler& scheduler() { return scheduler_; }
+  Network& network() { return *network_; }
+  VsTraceLog& vs_trace() { return vs_trace_; }
+  TraceLog& evs_trace() { return evs_trace_; }
+
+  std::size_t size() const { return procs_.size(); }
+  ProcessId pid(std::size_t index) const { return ProcessId{static_cast<std::uint32_t>(index + 1)}; }
+
+  VsNode& node(std::size_t index);
+  VsNode& node(ProcessId p) { return node(p.value - 1); }
+  Sink& sink(std::size_t index);
+  Sink& sink(ProcessId p) { return sink(p.value - 1); }
+
+  void start_all();
+  void start(ProcessId p);
+  void crash(ProcessId p);
+  void recover(ProcessId p) { start(p); }
+
+  void partition(const std::vector<std::vector<std::size_t>>& groups);
+  void heal();
+
+  void run_for(SimTime us) { scheduler_.run_for(us); }
+  SimTime now() const { return scheduler_.now(); }
+  bool await(const std::function<bool()>& predicate, SimTime max_wait_us,
+             SimTime step_us = 1'000);
+
+  /// EVS layer stable AND every running node has resolved its primary
+  /// decision (no node still Exchanging).
+  bool stable() const;
+  bool await_stable(SimTime max_wait_us = 4'000'000);
+  bool await_quiesce(SimTime max_wait_us = 8'000'000);
+
+  /// Check both layers: the EVS trace against Specs 1-7 and the VS trace
+  /// against the legality conditions. Returns a formatted report ("" = ok).
+  std::string check_report(bool quiescent = true) const;
+
+ private:
+  struct Proc {
+    std::unique_ptr<StableStore> store;
+    std::unique_ptr<VsNode> node;
+    Sink sink;
+  };
+
+  Options options_;
+  Scheduler scheduler_;
+  Rng rng_;
+  std::unique_ptr<Network> network_;
+  TraceLog evs_trace_;
+  VsTraceLog vs_trace_;
+  std::vector<Proc> procs_;
+};
+
+}  // namespace evs

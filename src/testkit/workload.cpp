@@ -1,0 +1,96 @@
+#include "testkit/workload.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace evs {
+
+std::vector<MsgId> send_random_burst(Cluster& cluster, Rng& rng, int count,
+                                     double safe_fraction,
+                                     std::size_t payload_bytes) {
+  std::vector<std::size_t> running;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (cluster.node(i).running()) running.push_back(i);
+  }
+  std::vector<MsgId> ids;
+  if (running.empty()) return ids;
+  for (int i = 0; i < count; ++i) {
+    const std::size_t who = running[rng.below(running.size())];
+    Service service;
+    if (rng.uniform() < safe_fraction) {
+      service = Service::Safe;
+    } else {
+      service = rng.chance(0.5) ? Service::Agreed : Service::Causal;
+    }
+    std::vector<std::uint8_t> payload(payload_bytes);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+    ids.push_back(cluster.node(who).send(service, std::move(payload)));
+  }
+  return ids;
+}
+
+void random_partition(Cluster& cluster, Rng& rng, std::size_t max_groups) {
+  const std::size_t n = cluster.size();
+  const std::size_t groups = 1 + rng.below(std::min(max_groups, n));
+  std::vector<std::vector<std::size_t>> components(groups);
+  // Random assignment, then drop empty groups (set_components isolates
+  // unlisted processes, which is fine too).
+  for (std::size_t i = 0; i < n; ++i) {
+    components[rng.below(groups)].push_back(i);
+  }
+  components.erase(std::remove_if(components.begin(), components.end(),
+                                  [](const auto& g) { return g.empty(); }),
+                   components.end());
+  cluster.partition(components);
+}
+
+RandomScheduleStats run_random_schedule(Cluster& cluster, Rng& rng,
+                                        const RandomScheduleOptions& options) {
+  RandomScheduleStats stats;
+  std::vector<ProcessId> down;
+
+  for (int round = 0; round < options.rounds; ++round) {
+    if (rng.uniform() < options.partition_probability) {
+      random_partition(cluster, rng);
+      ++stats.partitions;
+    } else if (rng.uniform() < options.heal_probability) {
+      cluster.heal();
+      ++stats.heals;
+    }
+
+    if (down.size() < options.max_down &&
+        rng.uniform() < options.crash_probability) {
+      const ProcessId victim = cluster.pid(rng.below(cluster.size()));
+      if (cluster.node(victim).running()) {
+        cluster.crash(victim);
+        down.push_back(victim);
+        ++stats.crashes;
+      }
+    }
+    for (std::size_t i = 0; i < down.size();) {
+      if (rng.uniform() < options.recover_probability) {
+        cluster.recover(down[i]);
+        ++stats.recoveries;
+        down.erase(down.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+
+    stats.messages_sent +=
+        static_cast<int>(send_random_burst(cluster, rng, options.messages_per_round,
+                                           options.safe_fraction)
+                             .size());
+    cluster.run_for(options.round_length_us);
+  }
+
+  // Wind down: one connected component, everyone alive, run to quiescence.
+  cluster.heal();
+  for (ProcessId p : down) cluster.recover(p);
+  const bool quiesced = cluster.await_quiesce(20'000'000);
+  EVS_ASSERT_MSG(quiesced, "random schedule failed to re-stabilize");
+  return stats;
+}
+
+}  // namespace evs

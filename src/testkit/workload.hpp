@@ -1,0 +1,51 @@
+// Workload and fault-schedule generators shared by property tests, examples
+// and benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "testkit/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace evs {
+
+/// Queue `count` messages at random running nodes. `safe_fraction` of them
+/// request safe delivery, the rest split between agreed and causal.
+/// Returns the queued message ids.
+std::vector<MsgId> send_random_burst(Cluster& cluster, Rng& rng, int count,
+                                     double safe_fraction = 0.3,
+                                     std::size_t payload_bytes = 16);
+
+/// Split the cluster's processes into 1..max_groups random components.
+void random_partition(Cluster& cluster, Rng& rng, std::size_t max_groups = 3);
+
+struct RandomScheduleOptions {
+  int rounds{10};
+  SimTime round_length_us{60'000};
+  double partition_probability{0.35};
+  double heal_probability{0.35};
+  double crash_probability{0.15};
+  double recover_probability{0.5};  ///< per crashed process per round
+  int messages_per_round{12};
+  double safe_fraction{0.4};
+  std::size_t max_down{1};  ///< cap on simultaneously crashed processes
+};
+
+struct RandomScheduleStats {
+  int partitions{0};
+  int heals{0};
+  int crashes{0};
+  int recoveries{0};
+  int messages_sent{0};
+};
+
+/// Drive the cluster through a random schedule of partitions, merges,
+/// crashes, recoveries and traffic. Afterwards the network is healed, every
+/// process is recovered, and the cluster is run to quiescence so the full
+/// (quiescent) specification check applies. Returns what happened; asserts
+/// (via EVS_ASSERT) that the system actually re-stabilized.
+RandomScheduleStats run_random_schedule(Cluster& cluster, Rng& rng,
+                                        const RandomScheduleOptions& options);
+
+}  // namespace evs

@@ -1,0 +1,132 @@
+// Wire-level protocol messages.
+//
+// Six message kinds cross the network:
+//   Regular     - an application message with its ring sequence number
+//   Token       - the circulating ordering token (unicast around the ring)
+//   Join        - membership gather: sender's candidate and fail sets
+//   FormRing    - representative's proposal of a new ring (membership consensus)
+//   Exchange    - EVS recovery step 3: a member's old-ring state summary
+//   RecoveryMsg - EVS recovery step 5: rebroadcast of an old-ring message
+//   RecoveryAck - EVS recovery step 5: receiver's updated received-set
+// Every kind serializes with a leading type byte; see totem/token.cpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "evs/config.hpp"
+#include "util/seq_set.hpp"
+#include "util/types.hpp"
+
+namespace evs {
+
+enum class MsgType : std::uint8_t {
+  Regular = 1,
+  Token = 2,
+  Join = 3,
+  FormRing = 4,
+  Exchange = 5,
+  RecoveryMsg = 6,
+  RecoveryAck = 7,
+  Beacon = 8,
+};
+
+/// An application message stamped by the ordering substrate.
+struct RegularMsg {
+  RingId ring;          ///< ring (== regular configuration) it was sent in
+  SeqNum seq{0};        ///< position in the ring's total order
+  MsgId id;             ///< globally unique application identity
+  Service service{Service::Agreed};
+  std::vector<std::uint8_t> payload;
+};
+
+/// The ordering token (Totem single-ring style).
+struct TokenMsg {
+  RingId ring;
+  std::uint64_t rotation{0};  ///< increments every full hop; detects staleness
+  SeqNum seq{0};              ///< highest sequence number assigned on this ring
+  SeqNum aru{0};              ///< all-received-up-to over the whole ring
+  ProcessId aru_setter{};     ///< who last lowered aru (0 value = unset)
+  SeqSet rtr;                 ///< retransmission requests
+};
+
+/// Membership gather message.
+struct JoinMsg {
+  ProcessId sender;
+  std::uint64_t episode{0};            ///< sender's gather episode counter
+  std::vector<ProcessId> candidates;   ///< processes sender believes reachable
+  std::vector<ProcessId> fail_set;     ///< processes sender has given up on
+  RingSeq max_ring_seq{0};             ///< highest ring seq sender has seen
+};
+
+/// Ring formation proposal broadcast by the representative when its gather
+/// view reached consensus.
+struct FormRingMsg {
+  ProcessId sender;
+  RingId ring;                       ///< proposed new ring id
+  std::vector<ProcessId> members;    ///< proposed membership, sorted
+};
+
+/// EVS recovery step 3: state exchange for the proposed ring.
+struct ExchangeMsg {
+  ProcessId sender;
+  RingId proposed_ring;       ///< which proposal this exchange belongs to
+  RingId old_ring;            ///< sender's last installed *regular* ring
+  SeqSet received;            ///< old-ring sequence numbers sender holds
+  SeqNum old_safe_upto{0};    ///< highest seq sender observed safe on old ring
+  SeqNum delivered_upto{0};   ///< contiguous prefix sender already delivered
+  SeqSet delivered_extra;     ///< non-contiguous old-ring seqs already delivered
+  std::vector<ProcessId> obligation_set;
+};
+
+/// EVS recovery step 5: rebroadcast of an old-ring message, encapsulated.
+struct RecoveryMsgMsg {
+  ProcessId sender;
+  RingId proposed_ring;
+  RegularMsg inner;
+};
+
+/// EVS recovery step 5: ack carrying the updated received-set; `complete`
+/// set once the sender holds every available old-ring message (step 5.c).
+struct RecoveryAckMsg {
+  ProcessId sender;
+  RingId proposed_ring;
+  RingId old_ring;
+  SeqSet received;
+  bool complete{false};
+};
+
+/// Periodic presence announcement by operational processes. A process that
+/// hears a beacon for a ring other than its own knows the network has merged
+/// (or that it missed a configuration change) and starts a membership gather.
+struct BeaconMsg {
+  ProcessId sender;
+  RingId ring;
+};
+
+// --- codec -------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_msg(const RegularMsg& m);
+std::vector<std::uint8_t> encode_msg(const TokenMsg& m);
+std::vector<std::uint8_t> encode_msg(const JoinMsg& m);
+std::vector<std::uint8_t> encode_msg(const FormRingMsg& m);
+std::vector<std::uint8_t> encode_msg(const ExchangeMsg& m);
+std::vector<std::uint8_t> encode_msg(const RecoveryMsgMsg& m);
+std::vector<std::uint8_t> encode_msg(const RecoveryAckMsg& m);
+std::vector<std::uint8_t> encode_msg(const BeaconMsg& m);
+
+/// Type of an encoded packet, or nullopt if the buffer is empty/invalid.
+std::optional<MsgType> peek_type(const std::vector<std::uint8_t>& buf);
+
+// Decoders assert on malformed input (we produced every packet ourselves).
+RegularMsg decode_regular(const std::vector<std::uint8_t>& buf);
+TokenMsg decode_token(const std::vector<std::uint8_t>& buf);
+JoinMsg decode_join(const std::vector<std::uint8_t>& buf);
+FormRingMsg decode_form_ring(const std::vector<std::uint8_t>& buf);
+ExchangeMsg decode_exchange(const std::vector<std::uint8_t>& buf);
+RecoveryMsgMsg decode_recovery_msg(const std::vector<std::uint8_t>& buf);
+RecoveryAckMsg decode_recovery_ack(const std::vector<std::uint8_t>& buf);
+BeaconMsg decode_beacon(const std::vector<std::uint8_t>& buf);
+
+}  // namespace evs

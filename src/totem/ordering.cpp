@@ -1,0 +1,144 @@
+#include "totem/ordering.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace evs {
+
+OrderingCore::OrderingCore(RingId ring, std::vector<ProcessId> members, ProcessId self,
+                           Options options)
+    : ring_(ring), members_(std::move(members)), self_(self), options_(options) {
+  EVS_ASSERT(std::is_sorted(members_.begin(), members_.end()));
+  EVS_ASSERT_MSG(is_member(self_), "process must be a member of its own ring");
+}
+
+ProcessId OrderingCore::next_in_ring() const {
+  auto it = std::lower_bound(members_.begin(), members_.end(), self_);
+  EVS_ASSERT(it != members_.end() && *it == self_);
+  ++it;
+  return it == members_.end() ? members_.front() : *it;
+}
+
+bool OrderingCore::is_member(ProcessId p) const {
+  return std::binary_search(members_.begin(), members_.end(), p);
+}
+
+bool OrderingCore::on_regular(const RegularMsg& m) {
+  EVS_ASSERT(m.ring == ring_);
+  EVS_ASSERT(m.seq >= 1);
+  if (received_.contains(m.seq)) return false;
+  received_.insert(m.seq);
+  store_.emplace(m.seq, m);
+  return true;
+}
+
+bool OrderingCore::token_is_stale(const TokenMsg& token) const {
+  return token.ring != ring_ || (seen_token_ && token.rotation <= last_rotation_);
+}
+
+OrderingCore::TokenResult OrderingCore::on_token(const TokenMsg& token,
+                                                 std::deque<PendingSend>& pending) {
+  EVS_ASSERT(!token_is_stale(token));
+  ++tokens_seen_;
+  TokenResult result;
+  TokenMsg out = token;
+
+  // 1. Service retransmission requests we can satisfy.
+  int retransmitted = 0;
+  for (SeqNum s : out.rtr.to_vector()) {
+    if (retransmitted >= options_.max_retransmit_per_token) break;
+    auto it = store_.find(s);
+    if (it == store_.end()) continue;
+    result.to_broadcast.push_back(it->second);
+    out.rtr.erase(s);
+    ++retransmitted;
+  }
+
+  // 2. Request what we are missing.
+  highest_assigned_ = std::max(highest_assigned_, out.seq);
+  for (SeqNum hole : received_.missing_in(1, out.seq)) out.rtr.insert(hole);
+
+  // 3. Stamp and broadcast pending application messages (flow control cap).
+  int sent = 0;
+  while (!pending.empty() && sent < options_.max_new_per_token) {
+    PendingSend p = std::move(pending.front());
+    pending.pop_front();
+    RegularMsg m;
+    m.ring = ring_;
+    m.seq = ++out.seq;
+    m.id = p.id;
+    m.service = p.service;
+    m.payload = std::move(p.payload);
+    // We hold our own message immediately; the network loopback would also
+    // deliver it, but recording it now keeps contig() honest even if the
+    // loopback packet is still in flight when the token moves on.
+    on_regular(m);
+    result.new_messages.push_back(m);
+    result.to_broadcast.push_back(m);
+    ++sent;
+  }
+  highest_assigned_ = out.seq;
+
+  // 4. Update aru.
+  const SeqNum my_contig = contig();
+  const ProcessId unset{};
+  if (my_contig < out.aru) {
+    out.aru = my_contig;
+    out.aru_setter = self_;
+  } else if (out.aru_setter == self_ || out.aru_setter == unset) {
+    out.aru = my_contig;
+    out.aru_setter = my_contig < out.seq ? self_ : unset;
+  }
+
+  // 5. Safety horizon: everything at or below the minimum of the aru we see
+  // now and the aru we saw on our previous visit has completed a full
+  // rotation acknowledged by every member.
+  if (seen_token_) {
+    safe_upto_ = std::max(safe_upto_, std::min(prev_visit_aru_, out.aru));
+  }
+  if (members_.size() == 1) {
+    // Singleton ring: our own receipt is everyone's receipt.
+    safe_upto_ = std::max(safe_upto_, my_contig);
+  }
+  prev_visit_aru_ = out.aru;
+  seen_token_ = true;
+
+  out.rotation = token.rotation + 1;
+  last_rotation_ = token.rotation;
+  result.token_out = out;
+  return result;
+}
+
+std::vector<RegularMsg> OrderingCore::drain_deliverable() {
+  std::vector<RegularMsg> out;
+  while (true) {
+    const SeqNum next = delivered_upto_ + 1;
+    auto it = store_.find(next);
+    if (it == store_.end()) break;
+    if (it->second.service == Service::Safe && next > safe_upto_ &&
+        !options_.deliver_unsafe) {
+      break;
+    }
+    out.push_back(it->second);
+    delivered_upto_ = next;
+  }
+  return out;
+}
+
+const RegularMsg* OrderingCore::get(SeqNum seq) const {
+  auto it = store_.find(seq);
+  return it == store_.end() ? nullptr : &it->second;
+}
+
+std::vector<RegularMsg> OrderingCore::all_messages() const {
+  std::vector<RegularMsg> out;
+  out.reserve(store_.size());
+  for (const auto& [seq, m] : store_) out.push_back(m);
+  std::sort(out.begin(), out.end(),
+            [](const RegularMsg& a, const RegularMsg& b) { return a.seq < b.seq; });
+  return out;
+}
+
+}  // namespace evs

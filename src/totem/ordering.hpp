@@ -1,0 +1,120 @@
+// OrderingCore: per-ring total ordering at one process (Totem single-ring
+// protocol, simplified but faithful).
+//
+// A token circulates around the ring members (sorted by process id). The
+// token carries the highest assigned sequence number (`seq`), the
+// all-received-up-to value (`aru`) and a retransmission request set (`rtr`).
+// On each visit a process:
+//   1. rebroadcasts requested messages it holds and removes them from rtr,
+//   2. adds its own missing sequence numbers to rtr,
+//   3. stamps pending application messages with seq+1.. and broadcasts them,
+//   4. updates aru: lowers it to its own contiguous prefix if behind,
+//      or raises it if it was the process that had lowered it (or no one had),
+//   5. computes safety: seqs <= min(aru seen on this visit, aru seen on the
+//      previous visit) have been received by *every* ring member — the token
+//      made a full rotation in between without anyone lowering aru below it.
+//      That "everyone acknowledged receipt" is the paper's condition for
+//      safe delivery.
+//
+// Delivery is strictly in sequence order: an agreed message is deliverable
+// when it heads the contiguous prefix; a safe message additionally waits for
+// the safety horizon. Because a sender stamps new messages with sequence
+// numbers above everything it has received, the total order preserves
+// causality (Section 2: agreed delivery preserves causal order).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "evs/config.hpp"
+#include "totem/messages.hpp"
+#include "util/seq_set.hpp"
+#include "util/types.hpp"
+
+namespace evs {
+
+/// An application message queued while waiting for the token.
+struct PendingSend {
+  MsgId id;
+  Service service{Service::Agreed};
+  std::vector<std::uint8_t> payload;
+};
+
+class OrderingCore {
+ public:
+  struct TokenResult {
+    std::vector<RegularMsg> to_broadcast;  ///< retransmissions + new messages
+    std::vector<RegularMsg> new_messages;  ///< subset of to_broadcast that is new
+    TokenMsg token_out;                    ///< forward this to the next member
+  };
+
+  struct Options {
+    int max_new_per_token{64};
+    int max_retransmit_per_token{64};
+    /// Fault injection (tests only): deliver safe messages without waiting
+    /// for the acknowledgment horizon.
+    bool deliver_unsafe{false};
+  };
+
+  OrderingCore(RingId ring, std::vector<ProcessId> members, ProcessId self)
+      : OrderingCore(ring, std::move(members), self, Options{}) {}
+  OrderingCore(RingId ring, std::vector<ProcessId> members, ProcessId self,
+               Options options);
+
+  const RingId& ring() const { return ring_; }
+  const std::vector<ProcessId>& members() const { return members_; }
+  ProcessId self() const { return self_; }
+  ProcessId next_in_ring() const;
+  bool is_member(ProcessId p) const;
+
+  /// Store a received (or self-broadcast) regular message for this ring.
+  /// Duplicates are ignored. Returns true if the message was new.
+  bool on_regular(const RegularMsg& m);
+
+  /// Process the token; stamps messages from `pending` (consumed front-first)
+  /// and returns what to broadcast plus the token to forward. Returns
+  /// nullopt-equivalent empty result if the token is stale (old rotation).
+  TokenResult on_token(const TokenMsg& token, std::deque<PendingSend>& pending);
+
+  /// True if the given token is a stale duplicate for this ring.
+  bool token_is_stale(const TokenMsg& token) const;
+
+  /// Messages that have become deliverable, in total order. Each call
+  /// returns only newly deliverable messages.
+  std::vector<RegularMsg> drain_deliverable();
+
+  bool has(SeqNum seq) const { return store_.count(seq) > 0; }
+  const RegularMsg* get(SeqNum seq) const;
+
+  /// Contiguous all-received-up-to prefix.
+  SeqNum contig() const { return received_.contiguous_from(0); }
+  SeqNum safe_upto() const { return safe_upto_; }
+  SeqNum delivered_upto() const { return delivered_upto_; }
+  SeqNum highest_assigned() const { return highest_assigned_; }
+  const SeqSet& received() const { return received_; }
+
+  /// All messages held for this ring (used by the recovery snapshot).
+  std::vector<RegularMsg> all_messages() const;
+
+  std::uint64_t tokens_seen() const { return tokens_seen_; }
+
+ private:
+  RingId ring_;
+  std::vector<ProcessId> members_;  // sorted
+  ProcessId self_;
+  Options options_;
+
+  std::unordered_map<SeqNum, RegularMsg> store_;
+  SeqSet received_;
+  SeqNum delivered_upto_{0};
+  SeqNum safe_upto_{0};
+  SeqNum highest_assigned_{0};   // highest token.seq observed
+  SeqNum prev_visit_aru_{0};
+  bool seen_token_{false};
+  std::uint64_t last_rotation_{0};
+  std::uint64_t tokens_seen_{0};
+};
+
+}  // namespace evs

@@ -1,0 +1,215 @@
+// Codec implementations for all protocol wire messages.
+#include "totem/messages.hpp"
+
+#include "util/assert.hpp"
+#include "wire/codec.hpp"
+
+namespace evs {
+namespace {
+
+void encode_inner(wire::Writer& w, const RegularMsg& m) {
+  encode(w, m.ring);
+  w.u64(m.seq);
+  encode(w, m.id);
+  w.u8(static_cast<std::uint8_t>(m.service));
+  w.bytes(m.payload);
+}
+
+RegularMsg decode_inner_regular(wire::Reader& r) {
+  RegularMsg m;
+  m.ring = decode_ring_id(r);
+  m.seq = r.u64();
+  m.id = decode_msg_id(r);
+  m.service = static_cast<Service>(r.u8());
+  m.payload = r.bytes();
+  return m;
+}
+
+wire::Reader open(const std::vector<std::uint8_t>& buf, MsgType expected) {
+  wire::Reader r(buf);
+  const auto type = static_cast<MsgType>(r.u8());
+  EVS_ASSERT_MSG(r.ok() && type == expected, "packet type mismatch");
+  return r;
+}
+
+void finish(const wire::Reader& r) { EVS_ASSERT_MSG(r.done(), "trailing bytes in packet"); }
+
+}  // namespace
+
+std::optional<MsgType> peek_type(const std::vector<std::uint8_t>& buf) {
+  if (buf.empty()) return std::nullopt;
+  const auto type = static_cast<MsgType>(buf[0]);
+  if (buf[0] < 1 || buf[0] > 8) return std::nullopt;
+  return type;
+}
+
+std::vector<std::uint8_t> encode_msg(const RegularMsg& m) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Regular));
+  encode_inner(w, m);
+  return w.take();
+}
+
+RegularMsg decode_regular(const std::vector<std::uint8_t>& buf) {
+  wire::Reader r = open(buf, MsgType::Regular);
+  RegularMsg m = decode_inner_regular(r);
+  finish(r);
+  return m;
+}
+
+std::vector<std::uint8_t> encode_msg(const TokenMsg& m) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Token));
+  encode(w, m.ring);
+  w.u64(m.rotation);
+  w.u64(m.seq);
+  w.u64(m.aru);
+  w.pid(m.aru_setter);
+  w.seq_set(m.rtr);
+  return w.take();
+}
+
+TokenMsg decode_token(const std::vector<std::uint8_t>& buf) {
+  wire::Reader r = open(buf, MsgType::Token);
+  TokenMsg m;
+  m.ring = decode_ring_id(r);
+  m.rotation = r.u64();
+  m.seq = r.u64();
+  m.aru = r.u64();
+  m.aru_setter = r.pid();
+  m.rtr = r.seq_set();
+  finish(r);
+  return m;
+}
+
+std::vector<std::uint8_t> encode_msg(const JoinMsg& m) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Join));
+  w.pid(m.sender);
+  w.u64(m.episode);
+  w.pid_vec(m.candidates);
+  w.pid_vec(m.fail_set);
+  w.u64(m.max_ring_seq);
+  return w.take();
+}
+
+JoinMsg decode_join(const std::vector<std::uint8_t>& buf) {
+  wire::Reader r = open(buf, MsgType::Join);
+  JoinMsg m;
+  m.sender = r.pid();
+  m.episode = r.u64();
+  m.candidates = r.pid_vec();
+  m.fail_set = r.pid_vec();
+  m.max_ring_seq = r.u64();
+  finish(r);
+  return m;
+}
+
+std::vector<std::uint8_t> encode_msg(const FormRingMsg& m) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::FormRing));
+  w.pid(m.sender);
+  encode(w, m.ring);
+  w.pid_vec(m.members);
+  return w.take();
+}
+
+FormRingMsg decode_form_ring(const std::vector<std::uint8_t>& buf) {
+  wire::Reader r = open(buf, MsgType::FormRing);
+  FormRingMsg m;
+  m.sender = r.pid();
+  m.ring = decode_ring_id(r);
+  m.members = r.pid_vec();
+  finish(r);
+  return m;
+}
+
+std::vector<std::uint8_t> encode_msg(const ExchangeMsg& m) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Exchange));
+  w.pid(m.sender);
+  encode(w, m.proposed_ring);
+  encode(w, m.old_ring);
+  w.seq_set(m.received);
+  w.u64(m.old_safe_upto);
+  w.u64(m.delivered_upto);
+  w.seq_set(m.delivered_extra);
+  w.pid_vec(m.obligation_set);
+  return w.take();
+}
+
+ExchangeMsg decode_exchange(const std::vector<std::uint8_t>& buf) {
+  wire::Reader r = open(buf, MsgType::Exchange);
+  ExchangeMsg m;
+  m.sender = r.pid();
+  m.proposed_ring = decode_ring_id(r);
+  m.old_ring = decode_ring_id(r);
+  m.received = r.seq_set();
+  m.old_safe_upto = r.u64();
+  m.delivered_upto = r.u64();
+  m.delivered_extra = r.seq_set();
+  m.obligation_set = r.pid_vec();
+  finish(r);
+  return m;
+}
+
+std::vector<std::uint8_t> encode_msg(const RecoveryMsgMsg& m) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::RecoveryMsg));
+  w.pid(m.sender);
+  encode(w, m.proposed_ring);
+  encode_inner(w, m.inner);
+  return w.take();
+}
+
+RecoveryMsgMsg decode_recovery_msg(const std::vector<std::uint8_t>& buf) {
+  wire::Reader r = open(buf, MsgType::RecoveryMsg);
+  RecoveryMsgMsg m;
+  m.sender = r.pid();
+  m.proposed_ring = decode_ring_id(r);
+  m.inner = decode_inner_regular(r);
+  finish(r);
+  return m;
+}
+
+std::vector<std::uint8_t> encode_msg(const RecoveryAckMsg& m) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::RecoveryAck));
+  w.pid(m.sender);
+  encode(w, m.proposed_ring);
+  encode(w, m.old_ring);
+  w.seq_set(m.received);
+  w.boolean(m.complete);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_msg(const BeaconMsg& m) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Beacon));
+  w.pid(m.sender);
+  encode(w, m.ring);
+  return w.take();
+}
+
+BeaconMsg decode_beacon(const std::vector<std::uint8_t>& buf) {
+  wire::Reader r = open(buf, MsgType::Beacon);
+  BeaconMsg m;
+  m.sender = r.pid();
+  m.ring = decode_ring_id(r);
+  finish(r);
+  return m;
+}
+
+RecoveryAckMsg decode_recovery_ack(const std::vector<std::uint8_t>& buf) {
+  wire::Reader r = open(buf, MsgType::RecoveryAck);
+  RecoveryAckMsg m;
+  m.sender = r.pid();
+  m.proposed_ring = decode_ring_id(r);
+  m.old_ring = decode_ring_id(r);
+  m.received = r.seq_set();
+  m.complete = r.boolean();
+  finish(r);
+  return m;
+}
+
+}  // namespace evs

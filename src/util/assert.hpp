@@ -1,0 +1,31 @@
+// Internal invariant checking.
+//
+// EVS_ASSERT is always on (also in release builds): the protocol engines are
+// state machines whose invariants, if broken, must abort the simulation run
+// immediately rather than corrupt a trace that the spec checker then blames
+// on the model.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace evs::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "EVS_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace evs::detail
+
+#define EVS_ASSERT(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) ::evs::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define EVS_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) ::evs::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

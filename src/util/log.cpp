@@ -1,0 +1,45 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace evs {
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+std::function<std::uint64_t()> g_time_source;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level = level; }
+
+LogLevel Log::level() { return g_level; }
+
+void Log::set_time_source(std::function<std::uint64_t()> source) {
+  g_time_source = std::move(source);
+}
+
+void Log::write(LogLevel level, const char* tag, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::uint64_t now = g_time_source ? g_time_source() : 0;
+  std::fprintf(stderr, "[%10llu us] %s %-10s ", static_cast<unsigned long long>(now),
+               level_name(level), tag);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace evs

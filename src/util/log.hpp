@@ -1,0 +1,41 @@
+// Minimal leveled logger with a pluggable virtual-time source.
+//
+// The simulator installs a time source so every log line is stamped with the
+// simulated time at which the logged protocol event occurred, which is what
+// you want when debugging a partition schedule.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace evs {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Install a function returning the current virtual time (microseconds).
+  static void set_time_source(std::function<std::uint64_t()> source);
+
+  static void write(LogLevel level, const char* tag, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+};
+
+}  // namespace evs
+
+#define EVS_LOG(lvl, tag, ...)                                     \
+  do {                                                             \
+    if (static_cast<int>(lvl) >= static_cast<int>(::evs::Log::level())) \
+      ::evs::Log::write(lvl, tag, __VA_ARGS__);                    \
+  } while (0)
+
+#define EVS_TRACE(tag, ...) EVS_LOG(::evs::LogLevel::Trace, tag, __VA_ARGS__)
+#define EVS_DEBUG(tag, ...) EVS_LOG(::evs::LogLevel::Debug, tag, __VA_ARGS__)
+#define EVS_INFO(tag, ...) EVS_LOG(::evs::LogLevel::Info, tag, __VA_ARGS__)
+#define EVS_WARN(tag, ...) EVS_LOG(::evs::LogLevel::Warn, tag, __VA_ARGS__)
+#define EVS_ERROR(tag, ...) EVS_LOG(::evs::LogLevel::Error, tag, __VA_ARGS__)

@@ -1,0 +1,77 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// The simulator must be bit-for-bit reproducible from a seed so that every
+// failing property test can be replayed. We use splitmix64 for seeding and
+// xoshiro256** for the stream; both are tiny, fast and well distributed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace evs {
+
+/// splitmix64 step: used to expand a single seed into a full state vector.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic RNG (xoshiro256**). Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0xC0FFEE) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be nonzero.
+  constexpr std::uint64_t below(std::uint64_t bound) { return (*this)() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) { return uniform() < p; }
+
+  /// Derive an independent child stream (for per-process RNGs).
+  constexpr Rng split() {
+    std::uint64_t seed = (*this)();
+    return Rng(seed);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace evs

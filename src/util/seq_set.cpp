@@ -1,0 +1,121 @@
+#include "util/seq_set.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace evs {
+
+std::uint64_t SeqSet::size() const {
+  std::uint64_t n = 0;
+  for (const auto& iv : intervals_) n += iv.hi - iv.lo + 1;
+  return n;
+}
+
+bool SeqSet::contains(SeqNum s) const {
+  auto it = std::upper_bound(intervals_.begin(), intervals_.end(), s,
+                             [](SeqNum v, const Interval& iv) { return v < iv.lo; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return s <= it->hi;
+}
+
+bool SeqSet::insert(SeqNum s) {
+  if (contains(s)) return false;
+  insert_range(s, s);
+  return true;
+}
+
+void SeqSet::insert_range(SeqNum lo, SeqNum hi) {
+  EVS_ASSERT(lo <= hi);
+  // Find the first interval that could touch [lo, hi] (overlap or adjacency).
+  auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), lo,
+      [](const Interval& iv, SeqNum v) { return v != 0 && iv.hi < v - 1; });
+  SeqNum new_lo = lo;
+  SeqNum new_hi = hi;
+  auto last = first;
+  while (last != intervals_.end() && last->lo <= (hi == UINT64_MAX ? hi : hi + 1)) {
+    new_lo = std::min(new_lo, last->lo);
+    new_hi = std::max(new_hi, last->hi);
+    ++last;
+  }
+  auto pos = intervals_.erase(first, last);
+  intervals_.insert(pos, Interval{new_lo, new_hi});
+}
+
+void SeqSet::erase(SeqNum s) {
+  auto it = std::upper_bound(intervals_.begin(), intervals_.end(), s,
+                             [](SeqNum v, const Interval& iv) { return v < iv.lo; });
+  if (it == intervals_.begin()) return;
+  --it;
+  if (s > it->hi) return;
+  Interval old = *it;
+  if (old.lo == old.hi) {
+    intervals_.erase(it);
+  } else if (s == old.lo) {
+    it->lo = s + 1;
+  } else if (s == old.hi) {
+    it->hi = s - 1;
+  } else {
+    it->hi = s - 1;
+    intervals_.insert(it + 1, Interval{s + 1, old.hi});
+  }
+}
+
+SeqNum SeqSet::contiguous_from(SeqNum from) const {
+  auto it = std::upper_bound(intervals_.begin(), intervals_.end(), from + 1,
+                             [](SeqNum v, const Interval& iv) { return v < iv.lo; });
+  if (it == intervals_.begin()) return from;
+  --it;
+  if (from + 1 >= it->lo && from + 1 <= it->hi) return it->hi;
+  return from;
+}
+
+std::vector<SeqNum> SeqSet::missing_in(SeqNum lo, SeqNum hi) const {
+  std::vector<SeqNum> holes;
+  SeqNum cursor = lo;
+  for (const auto& iv : intervals_) {
+    if (iv.hi < cursor) continue;
+    if (iv.lo > hi) break;
+    for (SeqNum s = cursor; s < iv.lo && s <= hi; ++s) holes.push_back(s);
+    cursor = std::max(cursor, iv.hi + 1);
+    if (cursor > hi) break;
+  }
+  for (SeqNum s = cursor; s <= hi; ++s) holes.push_back(s);
+  return holes;
+}
+
+void SeqSet::merge(const SeqSet& other) {
+  for (const auto& iv : other.intervals_) insert_range(iv.lo, iv.hi);
+}
+
+std::vector<SeqNum> SeqSet::to_vector() const {
+  std::vector<SeqNum> out;
+  out.reserve(size());
+  for (const auto& iv : intervals_)
+    for (SeqNum s = iv.lo; s <= iv.hi; ++s) out.push_back(s);
+  return out;
+}
+
+SeqSet SeqSet::from_intervals(std::vector<Interval> intervals) {
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    EVS_ASSERT(intervals[i].lo <= intervals[i].hi);
+    if (i > 0) EVS_ASSERT(intervals[i - 1].hi + 1 < intervals[i].lo);
+  }
+  SeqSet set;
+  set.intervals_ = std::move(intervals);
+  return set;
+}
+
+std::string SeqSet::to_string() const {
+  std::string out = "{";
+  for (const auto& iv : intervals_) {
+    if (out.size() > 1) out += ",";
+    out += std::to_string(iv.lo);
+    if (iv.hi != iv.lo) out += "-" + std::to_string(iv.hi);
+  }
+  return out + "}";
+}
+
+}  // namespace evs

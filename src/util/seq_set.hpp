@@ -1,0 +1,79 @@
+// SeqSet: an ordered set of sequence numbers stored as disjoint intervals.
+//
+// The protocol engines track "which sequence numbers have I received" and
+// "which does the token still need retransmitted". Those sets are dense runs
+// with occasional holes, so an interval representation is both compact and
+// gives O(log n) membership with n = number of holes, not number of messages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace evs {
+
+class SeqSet {
+ public:
+  /// Closed interval [lo, hi].
+  struct Interval {
+    SeqNum lo{0};
+    SeqNum hi{0};
+    bool operator==(const Interval&) const = default;
+  };
+
+  SeqSet() = default;
+
+  bool empty() const { return intervals_.empty(); }
+  std::size_t interval_count() const { return intervals_.size(); }
+
+  /// Number of elements contained.
+  std::uint64_t size() const;
+
+  bool contains(SeqNum s) const;
+
+  /// Insert a single sequence number; returns true if it was new.
+  bool insert(SeqNum s);
+
+  /// Insert the closed range [lo, hi].
+  void insert_range(SeqNum lo, SeqNum hi);
+
+  /// Remove a single sequence number.
+  void erase(SeqNum s);
+
+  /// Largest s such that every value in [from+1, s] is present; returns
+  /// `from` when from+1 is absent. This is the "all received up to" scan.
+  SeqNum contiguous_from(SeqNum from) const;
+
+  /// Smallest element, or 0 if empty.
+  SeqNum min() const { return empty() ? 0 : intervals_.front().lo; }
+
+  /// Largest element, or 0 if empty.
+  SeqNum max() const { return empty() ? 0 : intervals_.back().hi; }
+
+  /// Elements of [lo, hi] that are NOT in this set (the holes).
+  std::vector<SeqNum> missing_in(SeqNum lo, SeqNum hi) const;
+
+  /// Set union, in place.
+  void merge(const SeqSet& other);
+
+  /// All contained elements in ascending order. Intended for small sets.
+  std::vector<SeqNum> to_vector() const;
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Rebuild from a raw interval list (used by the wire codec). Intervals
+  /// must be sorted, disjoint and non-adjacent; this is checked.
+  static SeqSet from_intervals(std::vector<Interval> intervals);
+
+  std::string to_string() const;
+
+  bool operator==(const SeqSet&) const = default;
+
+ private:
+  // Sorted, pairwise-disjoint, non-adjacent (gap >= 1 between intervals).
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace evs

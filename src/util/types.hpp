@@ -1,0 +1,54 @@
+// Fundamental identifier and value types shared across the EVS stack.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <string>
+
+namespace evs {
+
+/// Identifies a process in the distributed system. Stable across crash and
+/// recovery (the paper's model: a recovered process keeps its identifier).
+struct ProcessId {
+  std::uint32_t value{0};
+
+  constexpr auto operator<=>(const ProcessId&) const = default;
+};
+
+inline std::string to_string(ProcessId p) { return "P" + std::to_string(p.value); }
+
+/// Virtual time of the discrete-event simulation, in microseconds.
+using SimTime = std::uint64_t;
+
+/// Sequence number assigned by the total ordering substrate. Sequence 0 is
+/// never assigned to a message; it is the "nothing delivered yet" sentinel.
+using SeqNum = std::uint64_t;
+
+/// Monotone counter distinguishing successive rings/configurations.
+using RingSeq = std::uint64_t;
+
+/// The delivery guarantee requested for a message (Section 2 of the paper).
+enum class Service : std::uint8_t {
+  Causal = 0,  ///< delivered once all causal predecessors are delivered
+  Agreed = 1,  ///< delivered in total order within each component
+  Safe = 2,    ///< delivered only when every member has acknowledged receipt
+};
+
+inline const char* to_string(Service s) {
+  switch (s) {
+    case Service::Causal: return "causal";
+    case Service::Agreed: return "agreed";
+    case Service::Safe: return "safe";
+  }
+  return "?";
+}
+
+}  // namespace evs
+
+template <>
+struct std::hash<evs::ProcessId> {
+  std::size_t operator()(const evs::ProcessId& p) const noexcept {
+    return std::hash<std::uint32_t>{}(p.value);
+  }
+};

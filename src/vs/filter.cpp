@@ -1,0 +1,378 @@
+#include "vs/filter.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "wire/codec.hpp"
+
+namespace evs {
+namespace {
+
+constexpr std::uint8_t kFrameApp = 0;
+constexpr std::uint8_t kFrameState = 1;
+constexpr const char* kKeyVsMeta = "vs_meta";
+
+}  // namespace
+
+const char* to_string(VsNode::Mode m) {
+  switch (m) {
+    case VsNode::Mode::Down: return "Down";
+    case VsNode::Mode::Blocked: return "Blocked";
+    case VsNode::Mode::Exchanging: return "Exchanging";
+    case VsNode::Mode::InPrimary: return "InPrimary";
+  }
+  return "?";
+}
+
+VsNode::VsNode(ProcessId id, Network& net, StableStore& store, TraceLog* evs_trace,
+               VsTraceLog* vs_trace, EvsNode::Options evs_options, Options options)
+    : self_(id),
+      store_(store),
+      vs_trace_(vs_trace),
+      options_(options),
+      sched_(net.scheduler()),
+      evs_(id, net, store, evs_trace, evs_options) {
+  EVS_ASSERT_MSG(options_.universe > 0, "universe size is required");
+  if (options_.policy == Policy::DynamicLinearVoting) {
+    std::vector<ProcessId> universe;
+    for (std::uint32_t i = 1; i <= options_.universe; ++i) {
+      universe.push_back(ProcessId{i});
+    }
+    dlv_.emplace(store_, std::move(universe));
+  }
+  evs_.set_config_handler([this](const Configuration& c) { on_evs_config(c); });
+  evs_.set_deliver_handler([this](const EvsNode::Delivery& d) { on_evs_deliver(d); });
+}
+
+void VsNode::persist_meta() {
+  wire::Writer w;
+  w.u32(incarnation_);
+  w.boolean(in_continuity_);
+  w.boolean(have_view_);
+  w.u64(view_.id);
+  w.pid_vec(view_.members);
+  store_.put(kKeyVsMeta, w.take());
+}
+
+void VsNode::load_meta() {
+  auto blob = store_.get(kKeyVsMeta);
+  if (!blob.has_value()) return;
+  wire::Reader r(*blob);
+  incarnation_ = r.u32();
+  in_continuity_ = r.boolean();
+  have_view_ = r.boolean();
+  view_.id = r.u64();
+  view_.members = r.pid_vec();
+  EVS_ASSERT(r.done());
+  // If we died inside the primary lineage, crash() already emitted the stop
+  // event; the recovered incarnation starts outside the lineage.
+  if (in_continuity_) {
+    in_continuity_ = false;
+    if (options_.rename_on_rejoin) ++incarnation_;
+    persist_meta();
+  }
+}
+
+void VsNode::start() {
+  EVS_ASSERT(mode_ == Mode::Down);
+  load_meta();
+  mode_ = Mode::Blocked;
+  evs_.start();
+}
+
+void VsNode::crash() {
+  if (mode_ == Mode::Down) return;
+  if (in_continuity_) emit_stop();
+  evs_.crash();
+  mode_ = Mode::Down;
+  exchange_config_.reset();
+  peer_states_.clear();
+  buffered_.clear();
+}
+
+std::optional<MsgId> VsNode::send(std::vector<std::uint8_t> payload, Service service) {
+  // Filter rule 2: only processes inside the primary lineage accept
+  // messages. During a pending primary decision a member that was in the
+  // previous primary view may keep sending (if the decision comes back
+  // non-primary it will emit a VS stop, which is exactly the fail-stop
+  // account of its unpaired sends); a process still outside the lineage
+  // must wait until its join view is installed.
+  const bool accepting =
+      mode_ == Mode::InPrimary || (mode_ == Mode::Exchanging && in_continuity_);
+  if (!accepting) {
+    ++stats_.sends_rejected;
+    return std::nullopt;
+  }
+  wire::Writer w;
+  w.u8(kFrameApp);
+  w.bytes(payload);
+  const MsgId id = evs_.send(service, w.take());
+  if (vs_trace_ != nullptr) {
+    VsEvent e;
+    e.type = VsEventType::Send;
+    e.process = vs_identity();
+    e.time = sched_.now();
+    e.msg = id;
+    e.view_id = have_view_ ? view_.id : 0;
+    vs_trace_->record(std::move(e));
+  }
+  return id;
+}
+
+void VsNode::send_state_message() {
+  wire::Writer w;
+  w.u8(kFrameState);
+  encode(w, exchange_config_->id.ring);
+  w.u32(incarnation_);
+  w.u64(have_view_ ? view_.id : 0);
+  w.pid_vec(have_view_ ? view_.members : std::vector<ProcessId>{});
+  const PrimaryEpoch& basis =
+      dlv_.has_value() ? dlv_->basis() : PrimaryEpoch{};
+  w.u64(basis.epoch);
+  w.pid_vec(basis.members);
+  evs_.send(Service::Safe, w.take());
+}
+
+void VsNode::on_evs_config(const Configuration& config) {
+  if (config.id.transitional) {
+    // Filter rule 1: masked. Deliveries that follow are re-tagged to the
+    // preceding regular configuration's view by the mode logic.
+    return;
+  }
+  // A fresh regular configuration: the previous exchange (if unresolved) is
+  // abandoned. Safe delivery guarantees that if *any* member decided the old
+  // exchange, every member of our transitional configuration received the
+  // same state messages before this point and decided identically — so an
+  // exchange still unresolved here was resolved by no one we must agree with.
+  if (!buffered_.empty()) {
+    stats_.discarded_blocked += buffered_.size();
+    buffered_.clear();
+  }
+  exchange_config_ = config;
+  peer_states_.clear();
+  ++stats_.exchanges;
+  mode_ = Mode::Exchanging;
+  send_state_message();
+}
+
+void VsNode::on_evs_deliver(const EvsNode::Delivery& d) {
+  EVS_ASSERT(!d.payload.empty());
+  if (d.payload[0] == kFrameState) {
+    handle_state_msg(d);
+    return;
+  }
+  switch (mode_) {
+    case Mode::InPrimary: emit_deliver(d, view_.id); break;
+    case Mode::Exchanging: buffered_.push_back(d); break;
+    case Mode::Blocked:
+      ++stats_.discarded_blocked;  // filter rule 2
+      break;
+    case Mode::Down: break;
+  }
+}
+
+void VsNode::handle_state_msg(const EvsNode::Delivery& d) {
+  if (!exchange_config_.has_value()) return;
+  wire::Reader r(d.payload);
+  const std::uint8_t tag = r.u8();
+  EVS_ASSERT(tag == kFrameState);
+  const RingId ring = decode_ring_id(r);
+  if (ring != exchange_config_->id.ring) return;  // stale exchange
+  PeerState state;
+  const std::uint32_t inc = r.u32();
+  state.vs_id = vs_synth_id(d.id.sender, inc);
+  state.last_view_id = r.u64();
+  state.last_view_members = r.pid_vec();
+  state.dlv_basis.epoch = r.u64();
+  state.dlv_basis.members = r.pid_vec();
+  EVS_ASSERT(r.done());
+  peer_states_[d.id.sender] = std::move(state);
+  maybe_decide();
+}
+
+void VsNode::maybe_decide() {
+  if (!exchange_config_.has_value()) return;
+  for (ProcessId p : exchange_config_->members) {
+    if (peer_states_.count(p) == 0) return;
+  }
+  bool primary = false;
+  if (dlv_.has_value()) {
+    for (const auto& [p, s] : peer_states_) dlv_->merge_peer(s.dlv_basis);
+    primary = dlv_->decides_primary(*exchange_config_);
+  } else {
+    primary = 2 * exchange_config_->members.size() > options_.universe;
+  }
+  const auto states = peer_states_;
+  if (primary) {
+    decide_primary(states);
+  } else {
+    decide_blocked();
+  }
+  exchange_config_.reset();
+  peer_states_.clear();
+}
+
+void VsNode::decide_primary(const std::map<ProcessId, PeerState>& states) {
+  const Configuration config = *exchange_config_;
+
+  // Current VS identities, and the most recent view anyone remembers.
+  std::vector<ProcessId> identities;
+  const PeerState* newest = nullptr;
+  for (const auto& [pid, s] : states) {
+    identities.push_back(s.vs_id);
+    if (s.last_view_id > 0 && (newest == nullptr || s.last_view_id > newest->last_view_id)) {
+      newest = &s;
+    }
+  }
+  std::sort(identities.begin(), identities.end());
+
+  std::uint64_t next_id;
+  std::vector<ProcessId> base;
+  std::vector<ProcessId> added;
+  if (newest == nullptr) {
+    // Bootstrap: the first primary ever. One view, no splitting.
+    next_id = 1;
+    base = identities;
+  } else {
+    next_id = newest->last_view_id + 1;
+    for (ProcessId m : newest->last_view_members) {
+      if (std::binary_search(identities.begin(), identities.end(), m)) {
+        base.push_back(m);
+      }
+    }
+    for (ProcessId m : identities) {
+      if (!std::binary_search(newest->last_view_members.begin(),
+                              newest->last_view_members.end(), m)) {
+        added.push_back(m);
+      }
+    }
+  }
+
+  // Filter rule 3 (and 4): removals produce one view; each joining process
+  // then enters one at a time, in ascending identifier order.
+  const ProcessId me = vs_identity();
+  std::vector<VsView> sequence;
+  std::uint32_t step = 0;
+  auto push_view = [&](std::vector<ProcessId> members) {
+    VsView v;
+    v.id = next_id++;
+    v.members = std::move(members);
+    v.ord = VsOrd{ord_regular_conf(config.id.ring), ++step};
+    sequence.push_back(std::move(v));
+  };
+  if (newest == nullptr || base.empty()) {
+    // Bootstrap, or a complete identity turnover (every member of the last
+    // view re-joined under a fresh incarnation): there is no primary
+    // remnant to merge into one process at a time, so the primary is
+    // (re)founded with a single view. The continuity of the primary
+    // history is carried by the underlying processes, which the policy
+    // guarantees intersect the previous primary.
+    base = identities;
+    push_view(base);
+  } else {
+    if (base != newest->last_view_members) push_view(base);
+    std::vector<ProcessId> cur = base;
+    for (ProcessId joiner : added) {
+      cur.insert(std::upper_bound(cur.begin(), cur.end(), joiner), joiner);
+      push_view(cur);
+    }
+    if (sequence.empty()) push_view(base);  // same membership: a new instance
+  }
+
+  if (dlv_.has_value()) {
+    dlv_->begin_attempt(config);
+    dlv_->confirm_attempt();
+  }
+
+  // Committed to the primary before the application hears about it, so a
+  // view handler may immediately send into the new view (e.g. a state
+  // transfer snapshot).
+  mode_ = Mode::InPrimary;
+  in_continuity_ = true;
+  for (const VsView& v : sequence) {
+    if (std::binary_search(v.members.begin(), v.members.end(), me)) {
+      emit_view(v);
+    }
+  }
+  persist_meta();
+
+  // Release the application messages that were delivered while the decision
+  // was in flight: they belong to the newly installed view.
+  std::vector<EvsNode::Delivery> buffered;
+  buffered.swap(buffered_);
+  for (const auto& d : buffered) emit_deliver(d, view_.id);
+}
+
+void VsNode::decide_blocked() {
+  stats_.discarded_blocked += buffered_.size();
+  buffered_.clear();
+  if (in_continuity_) emit_stop();  // filter rule 2: we left the primary
+  mode_ = Mode::Blocked;
+}
+
+void VsNode::emit_view(const VsView& v) {
+  view_ = v;
+  have_view_ = true;
+  ++stats_.views_installed;
+  if (vs_trace_ != nullptr) {
+    VsEvent e;
+    e.type = VsEventType::View;
+    e.process = vs_identity();
+    e.time = sched_.now();
+    e.view_id = v.id;
+    e.members = v.members;
+    e.ord = v.ord;
+    vs_trace_->record(std::move(e));
+  }
+  if (view_handler_) view_handler_(v);
+}
+
+void VsNode::emit_deliver(const EvsNode::Delivery& d, std::uint64_t view_id) {
+  ++stats_.delivered;
+  VsDelivery out;
+  out.id = d.id;
+  out.service = d.service;
+  out.view_id = view_id;
+  out.ord = VsOrd{d.ord, 0};
+  // Identity of the sender within the view.
+  out.vs_sender = vs_synth_id(d.id.sender, 0);
+  for (ProcessId m : view_.members) {
+    if (vs_base_pid(m) == d.id.sender) {
+      out.vs_sender = m;
+      break;
+    }
+  }
+  wire::Reader r(d.payload);
+  const std::uint8_t tag = r.u8();
+  EVS_ASSERT(tag == kFrameApp);
+  out.payload = r.bytes();
+  EVS_ASSERT(r.done());
+  if (vs_trace_ != nullptr) {
+    VsEvent e;
+    e.type = VsEventType::Deliver;
+    e.process = vs_identity();
+    e.time = sched_.now();
+    e.msg = d.id;
+    e.view_id = view_id;
+    e.ord = out.ord;
+    vs_trace_->record(std::move(e));
+  }
+  if (deliver_handler_) deliver_handler_(out);
+}
+
+void VsNode::emit_stop() {
+  ++stats_.stops;
+  if (vs_trace_ != nullptr) {
+    VsEvent e;
+    e.type = VsEventType::Stop;
+    e.process = vs_identity();
+    e.time = sched_.now();
+    vs_trace_->record(std::move(e));
+  }
+  in_continuity_ = false;
+  if (options_.rename_on_rejoin) ++incarnation_;
+  persist_meta();
+}
+
+}  // namespace evs

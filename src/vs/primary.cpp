@@ -1,0 +1,101 @@
+#include "vs/primary.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "wire/codec.hpp"
+
+namespace evs {
+namespace {
+
+constexpr const char* kKeyDlv = "dlv_state";
+
+void encode_epoch(wire::Writer& w, const PrimaryEpoch& e) {
+  w.u64(e.epoch);
+  w.pid_vec(e.members);
+}
+
+PrimaryEpoch decode_epoch(wire::Reader& r) {
+  PrimaryEpoch e;
+  e.epoch = r.u64();
+  e.members = r.pid_vec();
+  return e;
+}
+
+}  // namespace
+
+bool has_majority_of(const std::vector<ProcessId>& members,
+                     const std::vector<ProcessId>& basis) {
+  std::size_t common = 0;
+  for (ProcessId p : basis) {
+    if (std::binary_search(members.begin(), members.end(), p)) ++common;
+  }
+  return 2 * common > basis.size();
+}
+
+DlvState::DlvState(StableStore& store, std::vector<ProcessId> initial_members)
+    : store_(store) {
+  EVS_ASSERT(std::is_sorted(initial_members.begin(), initial_members.end()));
+  confirmed_ = PrimaryEpoch{0, std::move(initial_members)};
+  load();
+}
+
+void DlvState::load() {
+  auto blob = store_.get(kKeyDlv);
+  if (!blob.has_value()) return;
+  wire::Reader r(*blob);
+  confirmed_ = decode_epoch(r);
+  if (r.boolean()) attempt_ = decode_epoch(r);
+  EVS_ASSERT(r.done());
+}
+
+void DlvState::persist() {
+  wire::Writer w;
+  encode_epoch(w, confirmed_);
+  w.boolean(attempt_.has_value());
+  if (attempt_.has_value()) encode_epoch(w, *attempt_);
+  store_.put(kKeyDlv, w.take());
+}
+
+const PrimaryEpoch& DlvState::basis() const {
+  // A pending attempt may have succeeded elsewhere before we crashed or got
+  // detached, so it must be treated as the effective last primary.
+  return attempt_.has_value() ? *attempt_ : confirmed_;
+}
+
+bool DlvState::merge_peer(const PrimaryEpoch& peer_basis) {
+  if (peer_basis.epoch <= basis().epoch) return false;
+  // Newer knowledge: adopt conservatively as an (unconfirmed) attempt.
+  attempt_ = peer_basis;
+  if (confirmed_.epoch >= attempt_->epoch) attempt_.reset();
+  persist();
+  return true;
+}
+
+bool DlvState::decides_primary(const Configuration& config) const {
+  return has_majority_of(config.members, basis().members);
+}
+
+PrimaryEpoch DlvState::begin_attempt(const Configuration& config) {
+  EVS_ASSERT_MSG(decides_primary(config), "attempt without a majority of the basis");
+  PrimaryEpoch next{basis().epoch + 1, config.members};
+  attempt_ = next;
+  persist();
+  return next;
+}
+
+void DlvState::confirm_attempt() {
+  EVS_ASSERT(attempt_.has_value());
+  confirmed_ = *attempt_;
+  attempt_.reset();
+  persist();
+}
+
+void DlvState::abort_attempt() {
+  // Deliberately keep the attempt record: some member of the attempted
+  // configuration may have confirmed it. The attempt remains the basis
+  // until superseded by a higher epoch, which is exactly what keeps two
+  // rival primaries from forming out of the same predecessor.
+}
+
+}  // namespace evs

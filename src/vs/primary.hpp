@@ -1,0 +1,108 @@
+// Primary-component determination (Section 5 of the paper).
+//
+// The virtual synchrony filter needs to know, for each regular
+// configuration, whether it is *the* primary component. Two algorithms are
+// provided:
+//
+// * StaticMajority — a configuration is primary iff it contains a strict
+//   majority of the static universe of processes. Stateless and decided
+//   identically by every member from the configuration alone. Any two
+//   majorities intersect, so at most one component is primary (Uniqueness)
+//   and consecutive primaries share a member (Continuity).
+//
+// * DynamicLinearVoting — the paper's "algorithm that has a greater
+//   probability of finding a primary component": a configuration is primary
+//   iff it contains a strict majority of the *previous* primary component.
+//   This requires agreement on what the previous primary was, which the
+//   filter implements by exchanging each member's persisted DlvState over
+//   safe-delivered messages in the new configuration and resolving to the
+//   highest epoch (see vs/filter.hpp). The decision logic itself is pure
+//   and lives here so it can be exhaustively unit tested.
+//
+//   Crash safety uses a two-phase record: a process persists an *attempt*
+//   (epoch+1, members) before treating a configuration as primary, and
+//   confirms it afterwards. A recovering process conservatively resolves a
+//   pending attempt as if it had succeeded, so no later configuration can
+//   form a rival primary from the superseded basis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "evs/config.hpp"
+#include "storage/stable_store.hpp"
+#include "util/types.hpp"
+
+namespace evs {
+
+/// True iff `members` contains a strict majority of `basis`.
+bool has_majority_of(const std::vector<ProcessId>& members,
+                     const std::vector<ProcessId>& basis);
+
+class StaticMajority {
+ public:
+  explicit StaticMajority(std::size_t universe_size) : universe_(universe_size) {}
+
+  bool is_primary(const Configuration& config) const {
+    return 2 * config.members.size() > universe_;
+  }
+
+  std::size_t universe() const { return universe_; }
+
+ private:
+  std::size_t universe_;
+};
+
+/// A known primary component: a monotone epoch plus its membership.
+struct PrimaryEpoch {
+  std::uint64_t epoch{0};
+  std::vector<ProcessId> members;  // sorted
+
+  bool operator==(const PrimaryEpoch&) const = default;
+};
+
+/// Per-process dynamic-linear-voting state, persisted via StableStore.
+class DlvState {
+ public:
+  /// `initial_members` is the bootstrap primary (epoch 0): the full initial
+  /// universe, identical at every process.
+  DlvState(StableStore& store, std::vector<ProcessId> initial_members);
+
+  /// The basis a new primary must intersect in majority: the attempt if one
+  /// is pending (conservative), else the last confirmed primary.
+  const PrimaryEpoch& basis() const;
+
+  const PrimaryEpoch& confirmed() const { return confirmed_; }
+  const std::optional<PrimaryEpoch>& attempt() const { return attempt_; }
+
+  /// Adopt a peer's knowledge if it is newer (higher epoch).
+  /// Returns true if anything changed.
+  bool merge_peer(const PrimaryEpoch& peer_basis);
+
+  /// Would `config` be primary given the current basis?
+  bool decides_primary(const Configuration& config) const;
+
+  /// Phase 1: record the intent to treat `config` as primary with the next
+  /// epoch. Persisted before the caller acts on the decision.
+  PrimaryEpoch begin_attempt(const Configuration& config);
+
+  /// Phase 2: the attempt succeeded (the configuration operated as
+  /// primary); promote it to confirmed.
+  void confirm_attempt();
+
+  /// Abandon a pending attempt (the configuration changed before the
+  /// primary could operate). The attempt stays in the basis history — that
+  /// is what makes abandoning safe.
+  void abort_attempt();
+
+ private:
+  void load();
+  void persist();
+
+  StableStore& store_;
+  PrimaryEpoch confirmed_;
+  std::optional<PrimaryEpoch> attempt_;
+};
+
+}  // namespace evs

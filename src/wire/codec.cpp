@@ -1,0 +1,116 @@
+#include "wire/codec.hpp"
+
+namespace evs::wire {
+
+void Writer::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::bytes(std::span<const std::uint8_t> data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void Writer::seq_set(const SeqSet& set) {
+  u32(static_cast<std::uint32_t>(set.interval_count()));
+  for (const auto& iv : set.intervals()) {
+    u64(iv.lo);
+    u64(iv.hi);
+  }
+}
+
+void Writer::pid_vec(const std::vector<ProcessId>& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (ProcessId p : v) pid(p);
+}
+
+void Writer::seq_vec(const std::vector<SeqNum>& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (SeqNum s : v) u64(s);
+}
+
+bool Reader::need(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t Reader::u8() {
+  if (!need(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  std::uint16_t lo = u8();
+  std::uint16_t hi = u8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t Reader::u32() {
+  std::uint32_t lo = u16();
+  std::uint32_t hi = u16();
+  return lo | (hi << 16);
+}
+
+std::uint64_t Reader::u64() {
+  std::uint64_t lo = u32();
+  std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+std::string Reader::str() {
+  const std::uint32_t n = u32();
+  if (!need(n)) return {};
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::vector<std::uint8_t> Reader::bytes() {
+  const std::uint32_t n = u32();
+  if (!need(n)) return {};
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+SeqSet Reader::seq_set() {
+  const std::uint32_t n = u32();
+  std::vector<SeqSet::Interval> intervals;
+  intervals.reserve(n);
+  for (std::uint32_t i = 0; i < n && ok_; ++i) {
+    SeqNum lo = u64();
+    SeqNum hi = u64();
+    if (lo > hi || (!intervals.empty() && intervals.back().hi + 1 >= lo)) {
+      ok_ = false;
+      return {};
+    }
+    intervals.push_back({lo, hi});
+  }
+  if (!ok_) return {};
+  return SeqSet::from_intervals(std::move(intervals));
+}
+
+std::vector<ProcessId> Reader::pid_vec() {
+  const std::uint32_t n = u32();
+  std::vector<ProcessId> out;
+  if (!need(n * 4ULL)) return out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(pid());
+  return out;
+}
+
+std::vector<SeqNum> Reader::seq_vec() {
+  const std::uint32_t n = u32();
+  std::vector<SeqNum> out;
+  if (!need(n * 8ULL)) return out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(u64());
+  return out;
+}
+
+}  // namespace evs::wire

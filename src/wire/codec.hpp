@@ -1,0 +1,84 @@
+// Explicit little-endian wire encoding for all protocol messages.
+//
+// Every message that crosses the simulated network is serialized to bytes
+// and parsed back on receipt, exactly as a real implementation would do.
+// Encoding is explicit byte packing (no memcpy of structs), so traces are
+// platform-independent and the codec is testable in isolation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/seq_set.hpp"
+#include "util/types.hpp"
+
+namespace evs::wire {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void pid(ProcessId p) { u32(p.value); }
+
+  void str(const std::string& s);
+  void bytes(std::span<const std::uint8_t> data);
+  void seq_set(const SeqSet& set);
+  void pid_vec(const std::vector<ProcessId>& v);
+  void seq_vec(const std::vector<SeqNum>& v);
+
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Decoder. A malformed buffer (which can only be an internal bug, since we
+/// produced every packet ourselves) trips ok() == false; callers assert it.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  bool boolean() { return u8() != 0; }
+  ProcessId pid() { return ProcessId{u32()}; }
+  std::string str();
+  std::vector<std::uint8_t> bytes();
+  SeqSet seq_set();
+  std::vector<ProcessId> pid_vec();
+  std::vector<SeqNum> seq_vec();
+
+  bool ok() const { return ok_; }
+  bool done() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  bool need(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_{0};
+  bool ok_{true};
+};
+
+}  // namespace evs::wire

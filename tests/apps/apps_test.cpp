@@ -1,0 +1,306 @@
+// Tests for the three motivating applications of Section 1: continued,
+// consistent operation through partitions is the behaviour the paper
+// motivates extended virtual synchrony with.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/airline.hpp"
+#include "apps/atm.hpp"
+#include "apps/radar.hpp"
+#include "testkit/cluster.hpp"
+
+namespace evs {
+namespace {
+
+using apps::AirlineAgent;
+using apps::AtmAgent;
+using apps::RadarAgent;
+
+// --- airline ----------------------------------------------------------------
+
+struct AirlineRig {
+  Cluster cluster;
+  std::vector<std::unique_ptr<AirlineAgent>> agents;
+
+  explicit AirlineRig(std::size_t n, std::uint32_t capacity, double risk = 1.0)
+      : cluster(Cluster::Options{.num_processes = n}) {
+    for (std::size_t i = 0; i < n; ++i) {
+      agents.push_back(std::make_unique<AirlineAgent>(
+          cluster.node(i), AirlineAgent::Options{capacity, n, risk}));
+    }
+  }
+};
+
+TEST(AirlineTest, SellsUpToCapacityWhenConnected) {
+  AirlineRig rig(3, 10);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  for (int i = 0; i < 12; ++i) rig.agents[static_cast<std::size_t>(i % 3)]->request_sale(1);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  for (const auto& agent : rig.agents) {
+    EXPECT_EQ(agent->sold(), 10u);
+    EXPECT_FALSE(agent->overbooked());
+  }
+  EXPECT_GT(rig.agents[0]->stats().rejected, 0u);
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(AirlineTest, ReplicasAgreeOnEveryOutcome) {
+  AirlineRig rig(3, 50);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  for (int i = 0; i < 30; ++i) {
+    rig.agents[static_cast<std::size_t>(i % 3)]->request_sale(1 + i % 4);
+  }
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  EXPECT_EQ(rig.agents[0]->outcomes(), rig.agents[1]->outcomes());
+  EXPECT_EQ(rig.agents[1]->outcomes(), rig.agents[2]->outcomes());
+}
+
+TEST(AirlineTest, PartitionedComponentsKeepSellingWithinQuota) {
+  AirlineRig rig(4, 100);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.cluster.partition({{0, 1}, {2, 3}});
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  // Each half may sell half of the 100 free seats.
+  EXPECT_EQ(rig.agents[0]->partition_allowance(), 50u);
+  EXPECT_EQ(rig.agents[2]->partition_allowance(), 50u);
+  for (int i = 0; i < 60; ++i) {
+    rig.agents[0]->request_sale(1);
+    rig.agents[2]->request_sale(1);
+  }
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  EXPECT_EQ(rig.agents[0]->sold(), 50u);
+  EXPECT_EQ(rig.agents[2]->sold(), 50u);
+  EXPECT_GT(rig.agents[0]->stats().sold_while_partitioned, 0u);
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(AirlineTest, MergeReconcilesLedgersByCounterMax) {
+  AirlineRig rig(4, 100);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.cluster.partition({{0, 1}, {2, 3}});
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  for (int i = 0; i < 20; ++i) {
+    rig.agents[0]->request_sale(1);
+    rig.agents[3]->request_sale(1);
+  }
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  rig.cluster.heal();
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  // After the merge every replica holds the union of both components' sales.
+  for (const auto& agent : rig.agents) {
+    EXPECT_EQ(agent->sold(), 40u);
+    EXPECT_EQ(agent->counters(), rig.agents[0]->counters());
+  }
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(AirlineTest, AggressiveRiskFactorCanOverbook) {
+  // With risk_factor 1.0 and proportional quotas, the halves sell exactly
+  // capacity. A risk factor above 1 deliberately overbooks — the airline's
+  // gamble — and the merge exposes it.
+  AirlineRig rig(4, 40, /*risk=*/1.5);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.cluster.partition({{0, 1}, {2, 3}});
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  for (int i = 0; i < 40; ++i) {
+    rig.agents[0]->request_sale(1);
+    rig.agents[2]->request_sale(1);
+  }
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  rig.cluster.heal();
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  EXPECT_TRUE(rig.agents[0]->overbooked());
+  EXPECT_EQ(rig.agents[0]->sold(), 60u);  // 2 * (20 free/2 * 1.5)
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+// --- ATM --------------------------------------------------------------------
+
+struct AtmRig {
+  Cluster cluster;
+  std::vector<std::unique_ptr<AtmAgent>> agents;
+
+  explicit AtmRig(std::size_t n, std::int64_t offline_limit = 200)
+      : cluster(Cluster::Options{.num_processes = n}) {
+    for (std::size_t i = 0; i < n; ++i) {
+      agents.push_back(std::make_unique<AtmAgent>(
+          cluster.node(i), cluster.store(cluster.pid(i)),
+          AtmAgent::Options{n, offline_limit}));
+    }
+  }
+  void reattach(std::size_t i) {
+    agents[i] = std::make_unique<AtmAgent>(
+        cluster.node(i), cluster.store(cluster.pid(i)),
+        agents[i] ? AtmAgent::Options{cluster.size(), 200} : AtmAgent::Options{});
+  }
+};
+
+TEST(AtmTest, DepositsAndWithdrawalsReplicate) {
+  AtmRig rig(3);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.agents[0]->open_account(1, 1000);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  rig.agents[1]->deposit(1, 500);
+  rig.agents[2]->withdraw(1, 300);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  for (const auto& agent : rig.agents) EXPECT_EQ(agent->balance(1), 1200);
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(AtmTest, ConnectedWithdrawalsCheckBalance) {
+  AtmRig rig(3);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.agents[0]->open_account(1, 100);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  auto id = rig.agents[1]->withdraw(1, 500);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  EXPECT_EQ(rig.agents[0]->balance(1), 100);
+  EXPECT_FALSE(rig.agents[1]->outcomes().at(id));
+  EXPECT_GT(rig.agents[1]->stats().denied, 0u);
+}
+
+TEST(AtmTest, OfflineWithdrawalsUseLimitAndPostAfterMerge) {
+  AtmRig rig(4, /*offline_limit=*/200);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.agents[0]->open_account(1, 1000);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+
+  rig.cluster.partition({{0, 1}, {2, 3}});
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  // Offline: authorized against the limit, not the balance.
+  rig.agents[0]->withdraw(1, 150);
+  auto too_big = rig.agents[2]->withdraw(1, 250);  // above offline limit
+  rig.agents[3]->withdraw(1, 100);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  EXPECT_FALSE(rig.agents[2]->outcomes().at(too_big));
+  EXPECT_GT(rig.agents[0]->unposted_count(), 0u);
+  // The components see different balances: consistent but incomplete
+  // histories (Section 1).
+  EXPECT_EQ(rig.agents[0]->balance(1), 850);
+  EXPECT_EQ(rig.agents[2]->balance(1), 900);
+
+  rig.cluster.heal();
+  ASSERT_TRUE(rig.cluster.await_quiesce(8'000'000));
+  // Delayed posting reconciles both components' withdrawals everywhere.
+  for (const auto& agent : rig.agents) {
+    EXPECT_EQ(agent->balance(1), 750) << "1000 - 150 - 100";
+    EXPECT_EQ(agent->unposted_count(), 0u);
+  }
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(AtmTest, CumulativeOfflineWithdrawalsCanOverdraw) {
+  AtmRig rig(4, /*offline_limit=*/200);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.agents[0]->open_account(1, 300);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  rig.cluster.partition({{0, 1}, {2, 3}});
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.agents[0]->withdraw(1, 200);
+  rig.agents[2]->withdraw(1, 200);  // both sides within the offline limit
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  rig.cluster.heal();
+  ASSERT_TRUE(rig.cluster.await_quiesce(8'000'000));
+  for (const auto& agent : rig.agents) {
+    EXPECT_EQ(agent->balance(1), -100);
+    EXPECT_TRUE(agent->overdrawn(1));
+  }
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(AtmTest, DatabaseSurvivesCrash) {
+  AtmRig rig(3);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.agents[0]->open_account(7, 400);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  rig.cluster.crash(rig.cluster.pid(2));
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.cluster.recover(rig.cluster.pid(2));
+  rig.agents[2] = std::make_unique<AtmAgent>(rig.cluster.node(2u),
+                                             rig.cluster.store(rig.cluster.pid(2)),
+                                             AtmAgent::Options{3, 200});
+  ASSERT_TRUE(rig.cluster.await_stable(4'000'000));
+  EXPECT_EQ(rig.agents[2]->balance(7), 400);  // database intact across the crash
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+// --- radar ------------------------------------------------------------------
+
+struct RadarRig {
+  Cluster cluster;
+  std::vector<std::unique_ptr<RadarAgent>> agents;
+
+  explicit RadarRig(std::size_t n) : cluster(Cluster::Options{.num_processes = n}) {
+    for (std::size_t i = 0; i < n; ++i) {
+      agents.push_back(std::make_unique<RadarAgent>(cluster.node(i)));
+    }
+  }
+};
+
+TEST(RadarTest, DisplaysShowBestQualitySensor) {
+  RadarRig rig(3);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.agents[0]->publish(1, 1, 0.5);
+  rig.agents[1]->publish(2, 2, 0.9);
+  rig.agents[2]->publish(3, 3, 0.2);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  for (const auto& agent : rig.agents) {
+    auto best = agent->best();
+    ASSERT_TRUE(best.has_value());
+    EXPECT_EQ(best->sensor, rig.cluster.pid(1));
+    EXPECT_DOUBLE_EQ(best->quality, 0.9);
+  }
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(RadarTest, PartitionFallsBackToConnectedSensors) {
+  RadarRig rig(3);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.agents[0]->publish(1, 1, 0.5);
+  rig.agents[1]->publish(2, 2, 0.9);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  // The best sensor (index 1) becomes unreachable from index 0.
+  rig.cluster.partition({{0, 2}, {1}});
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.agents[2]->publish(3, 3, 0.3);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  auto best = rig.agents[0]->best();
+  ASSERT_TRUE(best.has_value());
+  // Lower quality than the lost sensor, but live — better than nothing.
+  EXPECT_EQ(best->sensor, rig.cluster.pid(0));
+  EXPECT_DOUBLE_EQ(best->quality, 0.5);
+  EXPECT_GT(rig.agents[0]->stats().pruned_sensors, 0u);
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(RadarTest, RemergeRestoresBestSensor) {
+  RadarRig rig(3);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.cluster.partition({{0, 2}, {1}});
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.agents[0]->publish(1, 1, 0.5);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  rig.cluster.heal();
+  ASSERT_TRUE(rig.cluster.await_stable(4'000'000));
+  rig.agents[1]->publish(2, 2, 0.9);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  auto best = rig.agents[0]->best();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->sensor, rig.cluster.pid(1));
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(RadarTest, StaleReadingsDoNotOvertakeNewer) {
+  RadarRig rig(2);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.agents[0]->publish(1, 1, 0.5);
+  rig.agents[0]->publish(5, 5, 0.7);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  const auto& r = rig.agents[1]->readings().at(rig.cluster.pid(0));
+  EXPECT_DOUBLE_EQ(r.x, 5);
+  EXPECT_EQ(r.sequence, 2u);
+}
+
+}  // namespace
+}  // namespace evs

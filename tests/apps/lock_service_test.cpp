@@ -1,0 +1,167 @@
+#include "apps/lock_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "testkit/vs_cluster.hpp"
+
+namespace evs {
+namespace {
+
+using apps::LockService;
+
+constexpr apps::LockId kLock = 1;
+
+struct LockRig {
+  VsCluster cluster;
+  std::vector<std::unique_ptr<LockService>> locks;
+  std::vector<std::vector<apps::LockId>> grants;
+
+  explicit LockRig(std::size_t n, VsNode::Policy policy = VsNode::Policy::StaticMajority)
+      : cluster([&] {
+          VsCluster::Options o;
+          o.num_processes = n;
+          o.policy = policy;
+          return o;
+        }()) {
+    grants.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      locks.push_back(std::make_unique<LockService>(cluster.node(i)));
+      auto* g = &grants[i];
+      locks[i]->set_grant_handler([g](apps::LockId l) { g->push_back(l); });
+    }
+  }
+};
+
+TEST(LockServiceTest, FirstRequesterGetsTheLock) {
+  LockRig rig(3);
+  ASSERT_TRUE(rig.cluster.await_stable(6'000'000));
+  EXPECT_TRUE(rig.locks[0]->acquire(kLock));
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  EXPECT_TRUE(rig.locks[0]->holds(kLock));
+  // Everyone agrees on the holder.
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(rig.locks[i]->holder(kLock).has_value());
+    EXPECT_EQ(*rig.locks[i]->holder(kLock), rig.cluster.node(0u).vs_identity());
+  }
+  EXPECT_EQ(rig.grants[0], std::vector<apps::LockId>{kLock});
+}
+
+TEST(LockServiceTest, FifoHandoffOnRelease) {
+  LockRig rig(3);
+  ASSERT_TRUE(rig.cluster.await_stable(6'000'000));
+  rig.locks[0]->acquire(kLock);
+  rig.locks[1]->acquire(kLock);
+  rig.locks[2]->acquire(kLock);
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  EXPECT_TRUE(rig.locks[0]->holds(kLock));
+  EXPECT_EQ(rig.locks[1]->queue_length(kLock), 3u);
+
+  rig.locks[0]->release(kLock);
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  EXPECT_TRUE(rig.locks[1]->holds(kLock));
+  EXPECT_FALSE(rig.locks[0]->holds(kLock));
+  rig.locks[1]->release(kLock);
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  EXPECT_TRUE(rig.locks[2]->holds(kLock));
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(LockServiceTest, MutualExclusionAlways) {
+  LockRig rig(4);
+  ASSERT_TRUE(rig.cluster.await_stable(6'000'000));
+  for (std::size_t i = 0; i < 4; ++i) rig.locks[i]->acquire(kLock);
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  int holders = 0;
+  for (std::size_t i = 0; i < 4; ++i) holders += rig.locks[i]->holds(kLock) ? 1 : 0;
+  EXPECT_EQ(holders, 1);
+}
+
+TEST(LockServiceTest, HolderCrashRevokesLock) {
+  LockRig rig(3);
+  ASSERT_TRUE(rig.cluster.await_stable(6'000'000));
+  rig.locks[0]->acquire(kLock);
+  rig.locks[1]->acquire(kLock);
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  ASSERT_TRUE(rig.locks[0]->holds(kLock));
+
+  rig.cluster.crash(rig.cluster.pid(0));
+  ASSERT_TRUE(rig.cluster.await_stable(6'000'000));
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  // The view change revoked the dead holder's lock and granted the waiter.
+  EXPECT_TRUE(rig.locks[1]->holds(kLock));
+  EXPECT_GT(rig.locks[1]->stats().revoked_on_failure, 0u);
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(LockServiceTest, MinorityCannotAcquire) {
+  LockRig rig(5);
+  ASSERT_TRUE(rig.cluster.await_stable(6'000'000));
+  rig.cluster.partition({{0, 1, 2}, {3, 4}});
+  ASSERT_TRUE(rig.cluster.await_stable(6'000'000));
+  EXPECT_FALSE(rig.locks[3]->acquire(kLock));  // blocked: rejected immediately
+  EXPECT_TRUE(rig.locks[0]->acquire(kLock));   // primary side proceeds
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  EXPECT_TRUE(rig.locks[0]->holds(kLock));
+  EXPECT_GT(rig.locks[3]->stats().rejected_blocked, 0u);
+}
+
+TEST(LockServiceTest, PartitionedHolderLosesLockToPrimary) {
+  LockRig rig(5);
+  ASSERT_TRUE(rig.cluster.await_stable(6'000'000));
+  rig.locks[4]->acquire(kLock);
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  rig.locks[0]->acquire(kLock);
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  ASSERT_TRUE(rig.locks[4]->holds(kLock));
+  // The holder is cut off into a minority: the primary's view change
+  // removes it and hands the lock to the next waiter.
+  rig.cluster.partition({{0, 1, 2}, {3, 4}});
+  ASSERT_TRUE(rig.cluster.await_stable(6'000'000));
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  EXPECT_TRUE(rig.locks[0]->holds(kLock));
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(LockServiceTest, JoinerLearnsLockTableViaStateTransfer) {
+  LockRig rig(5);
+  ASSERT_TRUE(rig.cluster.await_stable(6'000'000));
+  rig.locks[1]->acquire(kLock);
+  rig.locks[2]->acquire(kLock);
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+
+  // Isolate P5 (it leaves the primary), keep the lock busy, then remerge.
+  rig.cluster.partition({{0, 1, 2, 3}, {4}});
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  rig.cluster.heal();
+  ASSERT_TRUE(rig.cluster.await_quiesce(8'000'000));
+
+  // The rejoined member adopted the snapshot: it knows the holder and the
+  // queue without having observed the original acquires.
+  ASSERT_TRUE(rig.locks[4]->synchronized());
+  ASSERT_TRUE(rig.locks[4]->holder(kLock).has_value());
+  EXPECT_EQ(*rig.locks[4]->holder(kLock), rig.cluster.node(1u).vs_identity());
+  EXPECT_EQ(rig.locks[4]->queue_length(kLock), 2u);
+  EXPECT_GT(rig.locks[4]->stats().snapshots_adopted, 0u);
+
+  // And it can operate on the transferred state.
+  rig.locks[1]->release(kLock);
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  EXPECT_EQ(*rig.locks[4]->holder(kLock), rig.cluster.node(2u).vs_identity());
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(LockServiceTest, IndependentLocksDoNotInterfere) {
+  LockRig rig(3);
+  ASSERT_TRUE(rig.cluster.await_stable(6'000'000));
+  rig.locks[0]->acquire(1);
+  rig.locks[1]->acquire(2);
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  EXPECT_TRUE(rig.locks[0]->holds(1));
+  EXPECT_TRUE(rig.locks[1]->holds(2));
+  EXPECT_FALSE(rig.locks[0]->holds(2));
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,105 @@
+#include "evs/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evs {
+namespace {
+
+const RingId R1{1, ProcessId{1}};
+const RingId R2{2, ProcessId{1}};
+const RingId R2b{2, ProcessId{3}};
+
+TEST(ConfigIdTest, RingIdOrderingBySeqThenRep) {
+  EXPECT_LT(R1, R2);
+  EXPECT_LT(R2, R2b);
+  EXPECT_EQ(R1, (RingId{1, ProcessId{1}}));
+  EXPECT_FALSE(R1.valid() && R1 == RingId{});
+  EXPECT_TRUE(R1.valid());
+  EXPECT_FALSE(RingId{}.valid());
+}
+
+TEST(ConfigIdTest, RegularAndTransitionalConstruction) {
+  const ConfigId reg = ConfigId::regular(R1);
+  EXPECT_FALSE(reg.transitional);
+  EXPECT_EQ(reg.ring, R1);
+  EXPECT_TRUE(reg.valid());
+
+  const ConfigId trans = ConfigId::trans(R1, R2);
+  EXPECT_TRUE(trans.transitional);
+  EXPECT_EQ(trans.prior_ring, R1);
+  EXPECT_EQ(trans.ring, R2);
+  EXPECT_NE(reg, trans);
+}
+
+TEST(ConfigIdTest, TransitionalConfigsOfSameRegularDiffer) {
+  // Two components of one partitioned configuration install different next
+  // rings, hence different transitional configuration identifiers.
+  const ConfigId t1 = ConfigId::trans(R1, R2);
+  const ConfigId t2 = ConfigId::trans(R1, R2b);
+  EXPECT_NE(t1, t2);
+}
+
+TEST(ConfigurationTest, ContainsUsesBinarySearch) {
+  Configuration c;
+  c.id = ConfigId::regular(R1);
+  c.members = {ProcessId{1}, ProcessId{3}, ProcessId{5}};
+  EXPECT_TRUE(c.contains(ProcessId{3}));
+  EXPECT_FALSE(c.contains(ProcessId{2}));
+  EXPECT_FALSE(c.contains(ProcessId{6}));
+}
+
+TEST(OrdTest, DeliveryOrdsFollowSeqOrder) {
+  EXPECT_LT(ord_message_delivery(R1, 1), ord_message_delivery(R1, 2));
+  EXPECT_LT(ord_message_delivery(R1, 999), ord_message_delivery(R2, 1));
+}
+
+TEST(OrdTest, TransitionalConfBetweenCutoffAndNext) {
+  const Ord cut3 = ord_transitional_conf(R1, 3);
+  EXPECT_LT(ord_message_delivery(R1, 3), cut3);
+  EXPECT_LT(cut3, ord_message_delivery(R1, 4));
+  // And the next regular configuration follows everything in the old ring.
+  EXPECT_LT(cut3, ord_regular_conf(R2));
+  EXPECT_LT(ord_message_delivery(R1, 1'000'000), ord_regular_conf(R2));
+}
+
+TEST(OrdTest, SendSlotsSitBetweenDeliveries) {
+  // A send right after delivering seq 2 must order before delivery of seq 3.
+  Ord after_deliver_2 = ord_send_after(ord_message_delivery(R1, 2));
+  EXPECT_LT(ord_message_delivery(R1, 2), after_deliver_2);
+  EXPECT_LT(after_deliver_2, ord_message_delivery(R1, 3));
+  // Consecutive sends remain ordered and below the next delivery.
+  Ord second = ord_send_after(after_deliver_2);
+  EXPECT_LT(after_deliver_2, second);
+  EXPECT_LT(second, ord_message_delivery(R1, 3));
+}
+
+TEST(OrdTest, SendAfterRegularConfBeforeFirstDelivery) {
+  Ord s = ord_send_after(ord_regular_conf(R1));
+  EXPECT_LT(ord_regular_conf(R1), s);
+  EXPECT_LT(s, ord_message_delivery(R1, 1));
+}
+
+TEST(ToStringTest, HumanReadableForms) {
+  EXPECT_EQ(to_string(ProcessId{7}), "P7");
+  EXPECT_EQ(to_string(R1), "ring(1,P1)");
+  EXPECT_EQ(to_string(ConfigId::regular(R1)), "reg[ring(1,P1)]");
+  EXPECT_EQ(to_string(ConfigId::trans(R1, R2)), "trans[ring(1,P1)->ring(2,P1)]");
+  EXPECT_EQ(to_string(MsgId{ProcessId{2}, 9}), "P2#9");
+  Configuration c;
+  c.id = ConfigId::regular(R1);
+  c.members = {ProcessId{1}, ProcessId{2}};
+  EXPECT_EQ(to_string(c), "reg[ring(1,P1)]{P1,P2}");
+  EXPECT_EQ(to_string(Service::Safe), std::string("safe"));
+  EXPECT_EQ(to_string(Service::Agreed), std::string("agreed"));
+  EXPECT_EQ(to_string(Service::Causal), std::string("causal"));
+}
+
+TEST(MsgIdTest, OrderingAndValidity) {
+  EXPECT_LT((MsgId{ProcessId{1}, 5}), (MsgId{ProcessId{1}, 6}));
+  EXPECT_LT((MsgId{ProcessId{1}, 9}), (MsgId{ProcessId{2}, 1}));
+  EXPECT_FALSE(MsgId{}.valid());
+  EXPECT_TRUE((MsgId{ProcessId{1}, 1}).valid());
+}
+
+}  // namespace
+}  // namespace evs

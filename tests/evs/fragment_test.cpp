@@ -1,0 +1,171 @@
+#include "evs/fragment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "testkit/cluster.hpp"
+
+namespace evs {
+namespace {
+
+struct FragRig {
+  Cluster cluster;
+  std::vector<std::unique_ptr<FragmentNode>> nodes;
+  std::vector<std::vector<FragmentNode::LargeDelivery>> delivered;
+
+  FragRig(std::size_t n, std::size_t max_fragment)
+      : cluster(Cluster::Options{.num_processes = n}) {
+    delivered.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<FragmentNode>(
+          cluster.node(i), FragmentNode::Options{max_fragment}));
+      auto* dst = &delivered[i];
+      nodes[i]->set_deliver_handler(
+          [dst](const FragmentNode::LargeDelivery& d) { dst->push_back(d); });
+    }
+  }
+};
+
+std::vector<std::uint8_t> pattern(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  return out;
+}
+
+TEST(FragmentTest, SmallPayloadSingleFragment) {
+  FragRig rig(2, 1024);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.nodes[0]->send(Service::Agreed, pattern(100));
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  ASSERT_EQ(rig.delivered[1].size(), 1u);
+  EXPECT_EQ(rig.delivered[1][0].fragments, 1u);
+  EXPECT_EQ(rig.delivered[1][0].payload, pattern(100));
+  EXPECT_EQ(rig.nodes[0]->stats().fragments_sent, 1u);
+}
+
+TEST(FragmentTest, LargePayloadSplitsAndReassembles) {
+  FragRig rig(3, 256);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  const auto payload = pattern(10'000);  // 40 fragments
+  const auto id = rig.nodes[0]->send(Service::Safe, payload);
+  ASSERT_TRUE(rig.cluster.await_quiesce(5'000'000));
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(rig.delivered[i].size(), 1u) << i;
+    EXPECT_EQ(rig.delivered[i][0].id, id);
+    EXPECT_EQ(rig.delivered[i][0].fragments, 40u);
+    EXPECT_EQ(rig.delivered[i][0].payload, payload);
+    EXPECT_EQ(rig.delivered[i][0].service, Service::Safe);
+  }
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(FragmentTest, ExactMultipleOfChunkSize) {
+  FragRig rig(2, 100);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.nodes[0]->send(Service::Agreed, pattern(300));
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  ASSERT_EQ(rig.delivered[1].size(), 1u);
+  EXPECT_EQ(rig.delivered[1][0].fragments, 3u);
+  EXPECT_EQ(rig.delivered[1][0].payload, pattern(300));
+}
+
+TEST(FragmentTest, EmptyPayloadStillDelivered) {
+  FragRig rig(2, 64);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.nodes[1]->send(Service::Agreed, {});
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  ASSERT_EQ(rig.delivered[0].size(), 1u);
+  EXPECT_TRUE(rig.delivered[0][0].payload.empty());
+}
+
+TEST(FragmentTest, InterleavedSendersReassembleIndependently) {
+  FragRig rig(3, 128);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  const auto a = pattern(1'000);
+  auto b = pattern(2'000);
+  for (auto& x : b) x ^= 0xFF;
+  rig.nodes[0]->send(Service::Agreed, a);
+  rig.nodes[1]->send(Service::Agreed, b);
+  ASSERT_TRUE(rig.cluster.await_quiesce(4'000'000));
+  ASSERT_EQ(rig.delivered[2].size(), 2u);
+  // Reassembled payloads are intact regardless of fragment interleaving.
+  for (const auto& d : rig.delivered[2]) {
+    if (d.id.sender == rig.cluster.pid(0)) {
+      EXPECT_EQ(d.payload, a);
+    } else {
+      EXPECT_EQ(d.payload, b);
+    }
+  }
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(FragmentTest, AllMembersAgreeOnLogicalDeliverySet) {
+  FragRig rig(4, 200);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  for (int i = 0; i < 6; ++i) {
+    rig.nodes[static_cast<std::size_t>(i % 4)]->send(Service::Safe,
+                                                     pattern(500 + 100 * static_cast<std::size_t>(i)));
+  }
+  ASSERT_TRUE(rig.cluster.await_quiesce(5'000'000));
+  for (std::size_t i = 1; i < 4; ++i) {
+    ASSERT_EQ(rig.delivered[i].size(), rig.delivered[0].size());
+    for (std::size_t k = 0; k < rig.delivered[0].size(); ++k) {
+      EXPECT_EQ(rig.delivered[i][k].id, rig.delivered[0][k].id);
+      EXPECT_EQ(rig.delivered[i][k].payload, rig.delivered[0][k].payload);
+    }
+  }
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(FragmentTest, ReassemblySurvivesMessageLoss) {
+  Cluster::Options copts;
+  copts.num_processes = 3;
+  copts.seed = 91;
+  copts.net.loss_probability = 0.03;
+  Cluster cluster(copts);
+  std::vector<std::unique_ptr<FragmentNode>> nodes;
+  std::vector<std::vector<FragmentNode::LargeDelivery>> got(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    nodes.push_back(std::make_unique<FragmentNode>(cluster.node(i),
+                                                   FragmentNode::Options{128}));
+    auto* dst = &got[i];
+    nodes[i]->set_deliver_handler(
+        [dst](const FragmentNode::LargeDelivery& d) { dst->push_back(d); });
+  }
+  ASSERT_TRUE(cluster.await_stable(10'000'000));
+  const auto payload = pattern(4'000);  // 32 fragments, some will be lost+retx
+  nodes[0]->send(Service::Safe, payload);
+  ASSERT_TRUE(cluster.await_quiesce(30'000'000));
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(got[i].size(), 1u) << i;
+    EXPECT_EQ(got[i][0].payload, payload);
+  }
+  EXPECT_GT(cluster.network().stats().dropped_loss, 0u);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(FragmentTest, StrandedFragmentsPurgedConsistently) {
+  FragRig rig(4, 64);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  // Flood with multi-fragment messages and cut the network mid-stream; some
+  // logical messages will straddle the configuration change.
+  for (int i = 0; i < 10; ++i) {
+    rig.nodes[static_cast<std::size_t>(i % 4)]->send(Service::Agreed, pattern(2'000));
+  }
+  rig.cluster.run_for(700);
+  rig.cluster.partition({{0, 1}, {2, 3}});
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  // Within each component, the set of reassembled logical messages agrees.
+  auto ids = [](const std::vector<FragmentNode::LargeDelivery>& v) {
+    std::vector<FragmentNode::LargeId> out;
+    for (const auto& d : v) out.push_back(d.id);
+    return out;
+  };
+  EXPECT_EQ(ids(rig.delivered[0]), ids(rig.delivered[1]));
+  EXPECT_EQ(ids(rig.delivered[2]), ids(rig.delivered[3]));
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+}  // namespace
+}  // namespace evs

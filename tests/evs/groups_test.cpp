@@ -1,0 +1,190 @@
+// Process-group addressing on top of the broadcast domain.
+#include "evs/groups.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "testkit/cluster.hpp"
+
+namespace evs {
+namespace {
+
+constexpr GroupId kChat = 1;
+constexpr GroupId kLogs = 2;
+
+struct GroupRig {
+  Cluster cluster;
+  std::vector<std::unique_ptr<GroupNode>> nodes;
+  std::vector<std::vector<GroupNode::GroupDelivery>> delivered;
+  std::vector<std::vector<GroupNode::GroupView>> views;
+
+  explicit GroupRig(std::size_t n) : cluster(Cluster::Options{.num_processes = n}) {
+    delivered.resize(n);
+    views.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<GroupNode>(cluster.node(i)));
+      auto* dst = &delivered[i];
+      auto* vw = &views[i];
+      nodes[i]->set_deliver_handler(
+          [dst](const GroupNode::GroupDelivery& d) { dst->push_back(d); });
+      nodes[i]->set_view_handler(
+          [vw](const GroupNode::GroupView& v) { vw->push_back(v); });
+    }
+  }
+};
+
+TEST(GroupTest, OnlyMembersDeliver) {
+  GroupRig rig(3);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.nodes[0]->join(kChat);
+  rig.nodes[1]->join(kChat);
+  // node 2 stays out of kChat
+  rig.nodes[2]->join(kLogs);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+
+  rig.nodes[0]->send(kChat, Service::Agreed, {'h', 'i'});
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+
+  ASSERT_EQ(rig.delivered[0].size(), 1u);
+  ASSERT_EQ(rig.delivered[1].size(), 1u);
+  EXPECT_EQ(rig.delivered[1][0].group, kChat);
+  EXPECT_EQ(rig.delivered[1][0].payload, (std::vector<std::uint8_t>{'h', 'i'}));
+  EXPECT_TRUE(rig.delivered[2].empty());
+  EXPECT_GT(rig.nodes[2]->stats().filtered_foreign, 0u);
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(GroupTest, ViewTracksJoinsAndLeaves) {
+  GroupRig rig(3);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.nodes[0]->join(kChat);
+  rig.nodes[1]->join(kChat);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  EXPECT_EQ(rig.nodes[0]->view(kChat),
+            (std::vector<ProcessId>{rig.cluster.pid(0), rig.cluster.pid(1)}));
+
+  rig.nodes[1]->leave(kChat);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  EXPECT_EQ(rig.nodes[0]->view(kChat), std::vector<ProcessId>{rig.cluster.pid(0)});
+  EXPECT_FALSE(rig.nodes[1]->joined(kChat));
+}
+
+TEST(GroupTest, MembershipAgreedAcrossMembers) {
+  GroupRig rig(4);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  for (std::size_t i = 0; i < 4; ++i) rig.nodes[i]->join(kChat);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(rig.nodes[i]->view(kChat), rig.nodes[0]->view(kChat));
+  }
+  EXPECT_EQ(rig.nodes[0]->view(kChat).size(), 4u);
+}
+
+TEST(GroupTest, PartitionShrinksViewMergeRestoresIt) {
+  GroupRig rig(4);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  for (std::size_t i = 0; i < 4; ++i) rig.nodes[i]->join(kChat);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+
+  rig.cluster.partition({{0, 1}, {2, 3}});
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  EXPECT_EQ(rig.nodes[0]->view(kChat),
+            (std::vector<ProcessId>{rig.cluster.pid(0), rig.cluster.pid(1)}));
+  EXPECT_EQ(rig.nodes[2]->view(kChat),
+            (std::vector<ProcessId>{rig.cluster.pid(2), rig.cluster.pid(3)}));
+
+  // Group multicast keeps flowing inside each component.
+  rig.nodes[0]->send(kChat, Service::Safe, {1});
+  rig.nodes[2]->send(kChat, Service::Safe, {2});
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  EXPECT_EQ(rig.delivered[1].back().payload, std::vector<std::uint8_t>{1});
+  EXPECT_EQ(rig.delivered[3].back().payload, std::vector<std::uint8_t>{2});
+
+  rig.cluster.heal();
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  EXPECT_EQ(rig.nodes[0]->view(kChat).size(), 4u);
+  EXPECT_EQ(rig.nodes[3]->view(kChat).size(), 4u);
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(GroupTest, JoinerDoesNotSeeEarlierMessages) {
+  GroupRig rig(3);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.nodes[0]->join(kChat);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  rig.nodes[0]->send(kChat, Service::Agreed, {1});
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  rig.nodes[1]->join(kChat);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  rig.nodes[0]->send(kChat, Service::Agreed, {2});
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  // The late joiner sees only the message ordered after its join.
+  ASSERT_EQ(rig.delivered[1].size(), 1u);
+  EXPECT_EQ(rig.delivered[1][0].payload, std::vector<std::uint8_t>{2});
+}
+
+TEST(GroupTest, MultipleGroupsIndependent) {
+  GroupRig rig(3);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  rig.nodes[0]->join(kChat);
+  rig.nodes[0]->join(kLogs);
+  rig.nodes[1]->join(kChat);
+  rig.nodes[2]->join(kLogs);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  rig.nodes[0]->send(kChat, Service::Agreed, {1});
+  rig.nodes[0]->send(kLogs, Service::Agreed, {2});
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  ASSERT_EQ(rig.delivered[1].size(), 1u);
+  EXPECT_EQ(rig.delivered[1][0].group, kChat);
+  ASSERT_EQ(rig.delivered[2].size(), 1u);
+  EXPECT_EQ(rig.delivered[2][0].group, kLogs);
+  EXPECT_EQ(rig.nodes[0]->groups(), (std::vector<GroupId>{kChat, kLogs}));
+}
+
+TEST(GroupTest, LeaveWhilePartitionedPropagatesOnMerge) {
+  GroupRig rig(4);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  for (std::size_t i = 0; i < 4; ++i) rig.nodes[i]->join(kChat);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+
+  rig.cluster.partition({{0, 1}, {2, 3}});
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  // Index 3 leaves while its component is isolated; the other side cannot
+  // know yet.
+  rig.nodes[3]->leave(kChat);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  EXPECT_EQ(rig.nodes[2]->view(kChat), std::vector<ProcessId>{rig.cluster.pid(2)});
+  EXPECT_EQ(rig.nodes[0]->view(kChat).size(), 2u);
+
+  rig.cluster.heal();
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  // After the merge, announcements re-establish membership: index 3 stays
+  // out (it never re-announces kChat), everyone else is back.
+  EXPECT_EQ(rig.nodes[0]->view(kChat),
+            (std::vector<ProcessId>{rig.cluster.pid(0), rig.cluster.pid(1),
+                                    rig.cluster.pid(2)}));
+  EXPECT_FALSE(rig.nodes[3]->joined(kChat));
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+TEST(GroupTest, CrashedMemberLeavesViewRecoveredRejoins) {
+  GroupRig rig(3);
+  ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
+  for (std::size_t i = 0; i < 3; ++i) rig.nodes[i]->join(kChat);
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  rig.cluster.crash(rig.cluster.pid(2));
+  ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
+  EXPECT_EQ(rig.nodes[0]->view(kChat).size(), 2u);
+
+  // A fresh incarnation wraps the recovered EvsNode and rejoins.
+  rig.cluster.recover(rig.cluster.pid(2));
+  rig.nodes[2] = std::make_unique<GroupNode>(rig.cluster.node(2u));
+  rig.nodes[2]->join(kChat);
+  ASSERT_TRUE(rig.cluster.await_quiesce(6'000'000));
+  EXPECT_EQ(rig.nodes[0]->view(kChat).size(), 3u);
+  EXPECT_EQ(rig.cluster.check_report(), "");
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,276 @@
+#include "evs/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace evs {
+namespace {
+
+const ProcessId P1{1};
+const ProcessId P2{2};
+const ProcessId P3{3};
+const RingId kOldRing{5, P1};
+const RingId kOtherRing{4, P3};
+const RingId kProposed{9, P1};
+
+ExchangeMsg exchange_for(ProcessId p, RingId old_ring, SeqSet received,
+                         SeqNum safe_upto = 0, SeqNum delivered_upto = 0,
+                         std::vector<ProcessId> obligations = {}) {
+  ExchangeMsg e;
+  e.sender = p;
+  e.proposed_ring = kProposed;
+  e.old_ring = old_ring;
+  e.received = std::move(received);
+  e.old_safe_upto = safe_upto;
+  e.delivered_upto = delivered_upto;
+  e.obligation_set = std::move(obligations);
+  return e;
+}
+
+SeqSet seqs(std::initializer_list<SeqNum> list) {
+  SeqSet s;
+  for (SeqNum v : list) s.insert(v);
+  return s;
+}
+
+RecoveryAckMsg ack_for(ProcessId p, SeqSet received, bool complete) {
+  RecoveryAckMsg a;
+  a.sender = p;
+  a.proposed_ring = kProposed;
+  a.old_ring = kOldRing;
+  a.received = std::move(received);
+  a.complete = complete;
+  return a;
+}
+
+struct MsgStore {
+  std::map<SeqNum, RegularMsg> msgs;
+
+  void add(SeqNum seq, ProcessId sender, Service service = Service::Agreed) {
+    RegularMsg m;
+    m.ring = kOldRing;
+    m.seq = seq;
+    m.id = MsgId{sender, seq};
+    m.service = service;
+    msgs[seq] = m;
+  }
+
+  std::function<const RegularMsg*(SeqNum)> lookup() const {
+    return [this](SeqNum s) -> const RegularMsg* {
+      auto it = msgs.find(s);
+      return it == msgs.end() ? nullptr : &it->second;
+    };
+  }
+};
+
+TEST(RecoveryEngineTest, CollectsExchangesUntilComplete) {
+  RecoveryEngine eng(P1, kProposed, {P1, P2});
+  EXPECT_FALSE(eng.have_all_exchanges());
+  EXPECT_TRUE(eng.on_exchange(exchange_for(P1, kOldRing, seqs({1}))));
+  EXPECT_FALSE(eng.on_exchange(exchange_for(P1, kOldRing, seqs({1}))));  // frozen
+  EXPECT_FALSE(eng.have_all_exchanges());
+  EXPECT_TRUE(eng.on_exchange(exchange_for(P2, kOldRing, seqs({2}))));
+  EXPECT_TRUE(eng.have_all_exchanges());
+}
+
+TEST(RecoveryEngineTest, ExchangeFromNonMemberIgnored) {
+  RecoveryEngine eng(P1, kProposed, {P1, P2});
+  EXPECT_FALSE(eng.on_exchange(exchange_for(P3, kOldRing, seqs({1}))));
+}
+
+TEST(RecoveryEngineTest, TransitionalMembersShareOldRing) {
+  RecoveryEngine eng(P1, kProposed, {P1, P2, P3});
+  eng.on_exchange(exchange_for(P1, kOldRing, {}));
+  eng.on_exchange(exchange_for(P2, kOldRing, {}));
+  eng.on_exchange(exchange_for(P3, kOtherRing, {}));
+  EXPECT_EQ(eng.transitional_members(kOldRing), (std::vector<ProcessId>{P1, P2}));
+  EXPECT_EQ(eng.transitional_members(kOtherRing), std::vector<ProcessId>{P3});
+}
+
+TEST(RecoveryEngineTest, UnionReceivedMergesTransMembers) {
+  RecoveryEngine eng(P1, kProposed, {P1, P2, P3});
+  eng.on_exchange(exchange_for(P1, kOldRing, seqs({1, 2})));
+  eng.on_exchange(exchange_for(P2, kOldRing, seqs({2, 4})));
+  eng.on_exchange(exchange_for(P3, kOtherRing, seqs({99})));
+  auto u = eng.union_received({P1, P2});
+  EXPECT_EQ(u, seqs({1, 2, 4}));  // P3's messages belong to a different ring
+}
+
+TEST(RecoveryEngineTest, LowestHolderRebroadcasts) {
+  RecoveryEngine eng1(P1, kProposed, {P1, P2});
+  eng1.on_exchange(exchange_for(P1, kOldRing, seqs({1, 2})));
+  eng1.on_exchange(exchange_for(P2, kOldRing, seqs({2, 3})));
+  // P1 must send 1 and 2? No: 2 is held by both, nobody misses... P2 misses 1,
+  // P1 misses 3. P1 is the lowest holder of seq 1.
+  EXPECT_EQ(eng1.to_rebroadcast({P1, P2}, seqs({1, 2})), std::vector<SeqNum>{1});
+
+  RecoveryEngine eng2(P2, kProposed, {P1, P2});
+  eng2.on_exchange(exchange_for(P1, kOldRing, seqs({1, 2})));
+  eng2.on_exchange(exchange_for(P2, kOldRing, seqs({2, 3})));
+  EXPECT_EQ(eng2.to_rebroadcast({P1, P2}, seqs({2, 3})), std::vector<SeqNum>{3});
+}
+
+TEST(RecoveryEngineTest, AcksShrinkRebroadcastNeeds) {
+  RecoveryEngine eng(P1, kProposed, {P1, P2});
+  eng.on_exchange(exchange_for(P1, kOldRing, seqs({1})));
+  eng.on_exchange(exchange_for(P2, kOldRing, seqs({2})));
+  EXPECT_EQ(eng.to_rebroadcast({P1, P2}, seqs({1})), std::vector<SeqNum>{1});
+  eng.on_ack(ack_for(P2, seqs({1, 2}), false));
+  EXPECT_TRUE(eng.to_rebroadcast({P1, P2}, seqs({1, 2})).empty());
+}
+
+TEST(RecoveryEngineTest, SelfCompleteWhenCoveringUnion) {
+  RecoveryEngine eng(P1, kProposed, {P1, P2});
+  eng.on_exchange(exchange_for(P1, kOldRing, seqs({1})));
+  eng.on_exchange(exchange_for(P2, kOldRing, seqs({2})));
+  EXPECT_FALSE(eng.self_complete({P1, P2}, seqs({1})));
+  EXPECT_TRUE(eng.self_complete({P1, P2}, seqs({1, 2})));
+}
+
+TEST(RecoveryEngineTest, AllCompleteNeedsEveryMember) {
+  RecoveryEngine eng(P1, kProposed, {P1, P2});
+  eng.on_ack(ack_for(P1, {}, true));
+  EXPECT_FALSE(eng.all_complete());
+  eng.on_ack(ack_for(P2, {}, false));
+  EXPECT_FALSE(eng.all_complete());
+  eng.on_ack(ack_for(P2, {}, true));
+  EXPECT_TRUE(eng.all_complete());
+}
+
+TEST(RecoveryEngineTest, GlobalSafeUptoIsMax) {
+  RecoveryEngine eng(P1, kProposed, {P1, P2});
+  eng.on_exchange(exchange_for(P1, kOldRing, {}, 3));
+  eng.on_exchange(exchange_for(P2, kOldRing, {}, 7));
+  EXPECT_EQ(eng.global_safe_upto({P1, P2}), 7u);
+}
+
+TEST(RecoveryEngineTest, MergedObligationsIncludeTransAndTheirSets) {
+  RecoveryEngine eng(P1, kProposed, {P1, P2});
+  eng.on_exchange(exchange_for(P1, kOldRing, {}, 0, 0, {ProcessId{7}}));
+  eng.on_exchange(exchange_for(P2, kOldRing, {}, 0, 0, {ProcessId{8}}));
+  EXPECT_EQ(eng.merged_obligations({P1, P2}),
+            (std::vector<ProcessId>{P1, P2, ProcessId{7}, ProcessId{8}}));
+}
+
+// --- plan_step6 -------------------------------------------------------------
+
+TEST(PlanStep6Test, ContiguousAgreedPrefixDeliveredInRegular) {
+  MsgStore store;
+  store.add(1, P1);
+  store.add(2, P2);
+  store.add(3, P1);
+  SeqSet uni = seqs({1, 2, 3});
+  auto plan = plan_step6({P1, P2}, uni, 0, {P1, P2}, store.lookup(), 0, {});
+  EXPECT_EQ(plan.regular_seqs, (std::vector<SeqNum>{1, 2, 3}));
+  EXPECT_EQ(plan.cutoff, 3u);
+  EXPECT_TRUE(plan.trans_seqs.empty());
+  EXPECT_TRUE(plan.discarded.empty());
+}
+
+TEST(PlanStep6Test, AlreadyDeliveredPrefixSkipped) {
+  MsgStore store;
+  store.add(1, P1);
+  store.add(2, P2);
+  store.add(3, P1);
+  auto plan = plan_step6({P1, P2}, seqs({1, 2, 3}), 0, {P1, P2}, store.lookup(), 2, {});
+  EXPECT_EQ(plan.regular_seqs, std::vector<SeqNum>{3});
+}
+
+TEST(PlanStep6Test, UnsafeSafeMessageMovesToTransitional) {
+  MsgStore store;
+  store.add(1, P1);
+  store.add(2, P2, Service::Safe);  // safe-requested, never acknowledged by all
+  store.add(3, P1);
+  auto plan = plan_step6({P1, P2}, seqs({1, 2, 3}), /*safe_upto=*/1, {P1, P2},
+                         store.lookup(), 0, {});
+  EXPECT_EQ(plan.cutoff, 1u);
+  EXPECT_EQ(plan.regular_seqs, std::vector<SeqNum>{1});
+  EXPECT_EQ(plan.trans_seqs, (std::vector<SeqNum>{2, 3}));
+}
+
+TEST(PlanStep6Test, SafeWithinHorizonStaysRegular) {
+  MsgStore store;
+  store.add(1, P1, Service::Safe);
+  store.add(2, P2, Service::Safe);
+  auto plan = plan_step6({P1, P2}, seqs({1, 2}), /*safe_upto=*/2, {P1, P2},
+                         store.lookup(), 0, {});
+  EXPECT_EQ(plan.cutoff, 2u);
+  EXPECT_EQ(plan.regular_seqs, (std::vector<SeqNum>{1, 2}));
+}
+
+TEST(PlanStep6Test, HoleStopsRegularDelivery) {
+  MsgStore store;
+  store.add(1, P1);
+  store.add(3, P2);
+  auto plan = plan_step6({P1, P2}, seqs({1, 3}), 0, {P1, P2}, store.lookup(), 0, {});
+  EXPECT_EQ(plan.cutoff, 1u);
+  EXPECT_EQ(plan.regular_seqs, std::vector<SeqNum>{1});
+  // Seq 3's sender P2 is obligated (a transitional member), so delivered.
+  EXPECT_EQ(plan.trans_seqs, std::vector<SeqNum>{3});
+}
+
+TEST(PlanStep6Test, PastHoleNonObligatedDiscarded) {
+  MsgStore store;
+  store.add(1, P1);
+  store.add(3, ProcessId{9});  // sender not in the transitional configuration
+  auto plan = plan_step6({P1, P2}, seqs({1, 3}), 0, {P1, P2}, store.lookup(), 0, {});
+  EXPECT_EQ(plan.trans_seqs, std::vector<SeqNum>{});
+  EXPECT_EQ(plan.discarded, std::vector<SeqNum>{3});
+}
+
+TEST(PlanStep6Test, ObligatedSenderDeliveredPastHole) {
+  MsgStore store;
+  store.add(1, P1);
+  store.add(3, ProcessId{9});
+  auto plan = plan_step6({P1, P2}, seqs({1, 3}), 0, {P1, P2, ProcessId{9}},
+                         store.lookup(), 0, {});
+  EXPECT_EQ(plan.trans_seqs, std::vector<SeqNum>{3});
+  EXPECT_TRUE(plan.discarded.empty());
+}
+
+TEST(PlanStep6Test, ContiguityResumesDontHappenAfterHole) {
+  MsgStore store;
+  store.add(1, P1);
+  store.add(3, ProcessId{9});
+  store.add(4, P2);
+  // 4 is contiguous with 3 but 2 is missing: 4 only delivered because its
+  // sender P2 is obligated; a non-obligated sender at 4 would be dropped.
+  auto plan = plan_step6({P1, P2}, seqs({1, 3, 4}), 0, {P1, P2}, store.lookup(), 0, {});
+  EXPECT_EQ(plan.trans_seqs, std::vector<SeqNum>{4});
+  EXPECT_EQ(plan.discarded, std::vector<SeqNum>{3});
+}
+
+TEST(PlanStep6Test, TransDeliveriesInSeqOrder) {
+  MsgStore store;
+  store.add(1, P1, Service::Safe);
+  store.add(2, P2);
+  store.add(3, P1);
+  auto plan = plan_step6({P1, P2}, seqs({1, 2, 3}), 0, {P1, P2}, store.lookup(), 0, {});
+  EXPECT_EQ(plan.cutoff, 0u);
+  EXPECT_TRUE(plan.regular_seqs.empty());
+  EXPECT_EQ(plan.trans_seqs, (std::vector<SeqNum>{1, 2, 3}));
+}
+
+TEST(PlanStep6Test, DeliveredExtraNotRedelivered) {
+  MsgStore store;
+  store.add(1, P1);
+  store.add(2, P2);
+  store.add(3, P1);
+  SeqSet extra;
+  extra.insert(2);
+  auto plan = plan_step6({P1, P2}, seqs({1, 2, 3}), 0, {P1, P2}, store.lookup(), 1, extra);
+  EXPECT_EQ(plan.regular_seqs, std::vector<SeqNum>{3});
+  EXPECT_EQ(plan.cutoff, 3u);
+}
+
+TEST(PlanStep6Test, EmptyUnionYieldsEmptyPlan) {
+  MsgStore store;
+  auto plan = plan_step6({P1}, {}, 0, {P1}, store.lookup(), 0, {});
+  EXPECT_EQ(plan.cutoff, 0u);
+  EXPECT_TRUE(plan.regular_seqs.empty());
+  EXPECT_TRUE(plan.trans_seqs.empty());
+}
+
+}  // namespace
+}  // namespace evs

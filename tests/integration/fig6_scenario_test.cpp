@@ -1,0 +1,166 @@
+// The paper's Figure 6 / Section 3.1 example.
+//
+// A regular configuration {p, q, r} partitions: p becomes isolated while q
+// and r merge with {s, t} into {q, r, s, t}. Processes q and r deliver two
+// configuration change messages: one for the transitional configuration
+// {q, r} and one for the new regular configuration {q, r, s, t}.
+//
+// The message cases of Section 3.1:
+//   l, m : p sends l then m; q and r received m but not l, so m follows a
+//          hole in the total order and its sender p is not in {q, r}'s
+//          transitional configuration — m must be discarded (it may be
+//          causally dependent on l).
+//   n    : r sends n for safe delivery; p never acknowledges, so n cannot
+//          be delivered in {p, q, r}; but q acknowledged, so n is safe in
+//          the transitional configuration {q, r} and delivered there.
+#include <gtest/gtest.h>
+
+#include "evs/recovery.hpp"
+#include "testkit/cluster.hpp"
+
+namespace evs {
+namespace {
+
+std::vector<std::uint8_t> payload(std::uint8_t tag) { return {tag}; }
+
+// Full-stack version: drive the actual protocol through the Figure 6
+// configuration sequence and check the delivered configuration changes.
+TEST(Fig6Scenario, ConfigurationSequenceMatchesThePaper) {
+  Cluster cluster(Cluster::Options{.num_processes = 5});
+  // p=0, q=1, r=2, s=3, t=4. Start split: {p,q,r} | {s,t}.
+  cluster.partition({{0, 1, 2}, {3, 4}});
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  ASSERT_EQ(cluster.node(0u).config().members.size(), 3u);
+  ASSERT_EQ(cluster.node(3u).config().members.size(), 2u);
+
+  // Traffic inside {p,q,r} so the old configuration has a history.
+  auto early = cluster.node(1u).send(Service::Agreed, payload(1));
+  ASSERT_TRUE(cluster.await_quiesce(2'000'000));
+  ASSERT_TRUE(cluster.sink(2u).delivered(early));
+
+  const ConfigId old_pqr = cluster.node(0u).config().id;
+
+  // The Figure 6 event: p isolated; q,r merge with s,t.
+  std::size_t confs_before_q = cluster.sink(1u).configs.size();
+  cluster.partition({{0}, {1, 2, 3, 4}});
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+
+  // q delivered exactly two configuration changes: transitional {q, r}
+  // (same preceding regular configuration as r), then regular {q, r, s, t}.
+  const auto& q_configs = cluster.sink(1u).configs;
+  ASSERT_EQ(q_configs.size(), confs_before_q + 2);
+  const Configuration& trans = q_configs[confs_before_q];
+  const Configuration& next = q_configs[confs_before_q + 1];
+  EXPECT_TRUE(trans.id.transitional);
+  EXPECT_EQ(trans.id.prior_ring, old_pqr.ring);
+  EXPECT_EQ(trans.members, (std::vector<ProcessId>{cluster.pid(1), cluster.pid(2)}));
+  EXPECT_FALSE(next.id.transitional);
+  EXPECT_EQ(next.members,
+            (std::vector<ProcessId>{cluster.pid(1), cluster.pid(2), cluster.pid(3),
+                                    cluster.pid(4)}));
+
+  // r saw the identical pair (Spec 6.2: same logical time).
+  const auto& r_configs = cluster.sink(2u).configs;
+  ASSERT_GE(r_configs.size(), 2u);
+  EXPECT_EQ(r_configs[r_configs.size() - 2].id, trans.id);
+  EXPECT_EQ(r_configs.back().id, next.id);
+
+  // p, isolated, installed its own transitional {p} and regular {p}.
+  const auto& p_configs = cluster.sink(0u).configs;
+  ASSERT_GE(p_configs.size(), 2u);
+  const Configuration& p_trans = p_configs[p_configs.size() - 2];
+  EXPECT_TRUE(p_trans.id.transitional);
+  EXPECT_EQ(p_trans.id.prior_ring, old_pqr.ring);
+  EXPECT_EQ(p_trans.members, std::vector<ProcessId>{cluster.pid(0)});
+
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+// Plan-level version of the l/m message case: p's message m follows the
+// unavailable l in the total order; {q, r} must discard it.
+TEST(Fig6Scenario, CausallySuspectMessageDiscarded) {
+  const ProcessId p{1}, q{2}, r{3};
+  const RingId old_ring{10, p};
+
+  std::map<SeqNum, RegularMsg> held;
+  auto add = [&](SeqNum seq, ProcessId sender, Service svc) {
+    RegularMsg msg;
+    msg.ring = old_ring;
+    msg.seq = seq;
+    msg.id = MsgId{sender, seq};
+    msg.service = svc;
+    held[seq] = msg;
+  };
+  // seq 1: delivered history; seq 2 = l (lost, never held); seq 3 = m.
+  add(1, q, Service::Agreed);
+  add(3, p, Service::Agreed);
+
+  SeqSet uni;
+  uni.insert(1);
+  uni.insert(3);  // l (seq 2) is unavailable in {q, r}
+
+  auto lookup = [&](SeqNum s) -> const RegularMsg* {
+    auto it = held.find(s);
+    return it == held.end() ? nullptr : &it->second;
+  };
+  const auto plan = plan_step6({q, r}, uni, /*safe_upto=*/1, {q, r}, lookup,
+                               /*delivered_upto=*/1, {});
+  EXPECT_EQ(plan.cutoff, 1u);
+  EXPECT_TRUE(plan.regular_seqs.empty());
+  EXPECT_TRUE(plan.trans_seqs.empty());
+  EXPECT_EQ(plan.discarded, std::vector<SeqNum>{3});  // m dropped: p not obligated
+}
+
+// Plan-level version of the n case: r's safe message, unacknowledged by p
+// but held by q, is delivered in the transitional configuration {q, r}.
+TEST(Fig6Scenario, PendingSafeMessageDeliveredInTransitional) {
+  const ProcessId q{2}, r{3};
+  const RingId old_ring{10, ProcessId{1}};
+
+  std::map<SeqNum, RegularMsg> held;
+  RegularMsg n;
+  n.ring = old_ring;
+  n.seq = 1;
+  n.id = MsgId{r, 1};
+  n.service = Service::Safe;
+  held[1] = n;
+
+  SeqSet uni;
+  uni.insert(1);
+  auto lookup = [&](SeqNum s) -> const RegularMsg* {
+    auto it = held.find(s);
+    return it == held.end() ? nullptr : &it->second;
+  };
+  // p never acknowledged: n is not safe in the old configuration
+  // (global_safe_upto = 0), so it cannot be delivered in {p, q, r}...
+  const auto plan = plan_step6({q, r}, uni, /*safe_upto=*/0, {q, r}, lookup, 0, {});
+  EXPECT_TRUE(plan.regular_seqs.empty());
+  // ...but q and r both hold it, so it is delivered as safe in the
+  // transitional configuration {q, r}.
+  EXPECT_EQ(plan.trans_seqs, std::vector<SeqNum>{1});
+}
+
+// Self-delivery through the partition (Section 3.1: "q and r must each
+// deliver the messages they themselves sent in {p, q, r}").
+TEST(Fig6Scenario, SendersDeliverTheirOwnPartitionEraMessages) {
+  Cluster cluster(Cluster::Options{.num_processes = 5});
+  cluster.partition({{0, 1, 2}, {3, 4}});
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+
+  // q and r send; then the configuration changes underneath them.
+  auto from_q = cluster.node(1u).send(Service::Agreed, payload(2));
+  auto from_r = cluster.node(2u).send(Service::Safe, payload(3));
+  cluster.run_for(600);  // stamped, possibly not yet safe everywhere
+  cluster.partition({{0}, {1, 2, 3, 4}});
+  ASSERT_TRUE(cluster.await_quiesce(3'000'000));
+
+  EXPECT_TRUE(cluster.sink(1u).delivered(from_q));
+  EXPECT_TRUE(cluster.sink(2u).delivered(from_r));
+  // And q/r agree with each other on both (failure atomicity within {q,r}).
+  EXPECT_EQ(cluster.sink(1u).delivered(from_r), cluster.sink(2u).delivered(from_r));
+  EXPECT_EQ(cluster.sink(1u).delivered(from_q), cluster.sink(2u).delivered(from_q));
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+}  // namespace
+}  // namespace evs

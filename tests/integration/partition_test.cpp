@@ -1,0 +1,212 @@
+// Partition, merge, crash and recovery scenarios — the situations extended
+// virtual synchrony exists for (Sections 1-3 of the paper).
+#include <gtest/gtest.h>
+
+#include "testkit/cluster.hpp"
+
+namespace evs {
+namespace {
+
+std::vector<std::uint8_t> payload(std::uint8_t tag) { return {tag}; }
+
+TEST(PartitionTest, BothComponentsContinueOperating) {
+  Cluster cluster(Cluster::Options{.num_processes = 4});
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+
+  cluster.partition({{0, 1}, {2, 3}});
+  ASSERT_TRUE(cluster.await_stable(2'000'000)) << "components never reformed";
+
+  // Each side has its own regular configuration with its own members.
+  EXPECT_EQ(cluster.node(0u).config().members,
+            (std::vector<ProcessId>{cluster.pid(0), cluster.pid(1)}));
+  EXPECT_EQ(cluster.node(2u).config().members,
+            (std::vector<ProcessId>{cluster.pid(2), cluster.pid(3)}));
+
+  // Both components make progress — the whole point of EVS over VS.
+  auto a = cluster.node(0u).send(Service::Safe, payload(1));
+  auto b = cluster.node(2u).send(Service::Safe, payload(2));
+  ASSERT_TRUE(cluster.await_quiesce(2'000'000));
+  EXPECT_TRUE(cluster.sink(1u).delivered(a));
+  EXPECT_TRUE(cluster.sink(3u).delivered(b));
+  EXPECT_FALSE(cluster.sink(3u).delivered(a));
+  EXPECT_FALSE(cluster.sink(1u).delivered(b));
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(PartitionTest, TransitionalConfigurationDelivered) {
+  Cluster cluster(Cluster::Options{.num_processes = 3});
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  cluster.partition({{0}, {1, 2}});
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+
+  // Each surviving member saw: old regular, transitional, new regular.
+  for (std::size_t i : {std::size_t{1}, std::size_t{2}}) {
+    const auto& configs = cluster.sink(i).configs;
+    ASSERT_GE(configs.size(), 3u);
+    const auto& trans = configs[configs.size() - 2];
+    const auto& next = configs.back();
+    EXPECT_TRUE(trans.id.transitional);
+    EXPECT_FALSE(next.id.transitional);
+    EXPECT_EQ(trans.members,
+              (std::vector<ProcessId>{cluster.pid(1), cluster.pid(2)}));
+    EXPECT_EQ(trans.id.ring, next.id.ring);
+  }
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(PartitionTest, MergeAfterPartition) {
+  Cluster cluster(Cluster::Options{.num_processes = 4});
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  cluster.partition({{0, 1}, {2, 3}});
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  auto a = cluster.node(0u).send(Service::Agreed, payload(1));
+  auto b = cluster.node(2u).send(Service::Agreed, payload(2));
+  ASSERT_TRUE(cluster.await_quiesce(2'000'000));
+
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_stable(3'000'000)) << "merge never completed";
+  EXPECT_EQ(cluster.node(0u).config().members.size(), 4u);
+  EXPECT_EQ(cluster.node(0u).config().id, cluster.node(3u).config().id);
+
+  // Messages sent after the merge reach everyone.
+  auto c = cluster.node(1u).send(Service::Safe, payload(3));
+  ASSERT_TRUE(cluster.await_quiesce(2'000'000));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(cluster.sink(i).delivered(c)) << i;
+
+  // Partition-era messages stayed local: per-component histories are
+  // consistent but incomplete (Section 1).
+  EXPECT_TRUE(cluster.sink(1u).delivered(a));
+  EXPECT_FALSE(cluster.sink(2u).delivered(a));
+  EXPECT_TRUE(cluster.sink(3u).delivered(b));
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(PartitionTest, IsolatedSingletonKeepsWorking) {
+  Cluster cluster(Cluster::Options{.num_processes = 3});
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  cluster.partition({{0}, {1, 2}});
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  EXPECT_EQ(cluster.node(0u).config().members, std::vector<ProcessId>{cluster.pid(0)});
+  auto a = cluster.node(0u).send(Service::Safe, payload(9));
+  ASSERT_TRUE(cluster.await_quiesce(2'000'000));
+  EXPECT_TRUE(cluster.sink(0u).delivered(a));  // self-delivery, Spec 3
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(PartitionTest, MessagesInFlightAtPartitionAreResolved) {
+  // Send a burst and partition immediately: stragglers must either be
+  // delivered consistently in the old configuration / transitional
+  // configuration or discarded, never delivered inconsistently.
+  Cluster cluster(Cluster::Options{.num_processes = 4});
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  for (int i = 0; i < 20; ++i) {
+    cluster.node(static_cast<std::size_t>(i % 4)).send(Service::Agreed, payload(0));
+  }
+  cluster.run_for(400);  // a few packets leave, none fully ordered
+  cluster.partition({{0, 1}, {2, 3}});
+  ASSERT_TRUE(cluster.await_quiesce(3'000'000));
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(PartitionTest, SafeMessagePendingAtPartitionDeliveredInTransitional) {
+  // The paper's example (Section 3.1, message n): r sends a safe message but
+  // the configuration changes before every member acknowledges; if the
+  // remaining members hold it, it is delivered in the *transitional*
+  // configuration rather than the regular one.
+  Cluster cluster(Cluster::Options{.num_processes = 3});
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  auto n = cluster.node(1u).send(Service::Safe, payload(5));
+  // Give the message time to be stamped and broadcast but partition before
+  // the safety horizon (two full token rotations) passes everywhere.
+  cluster.run_for(700);
+  cluster.partition({{0}, {1, 2}});
+  ASSERT_TRUE(cluster.await_quiesce(3'000'000));
+
+  const auto* d1 = cluster.sink(1u).find(n);
+  const auto* d2 = cluster.sink(2u).find(n);
+  ASSERT_NE(d1, nullptr);  // self-delivery at the sender is mandatory
+  if (d2 != nullptr) {
+    EXPECT_EQ(d1->config.id, d2->config.id);
+  }
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(PartitionTest, CascadedPartitions) {
+  Cluster cluster(Cluster::Options{.num_processes = 6});
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  cluster.partition({{0, 1, 2}, {3, 4, 5}});
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  cluster.node(0u).send(Service::Safe, payload(1));
+  cluster.node(3u).send(Service::Safe, payload(2));
+  ASSERT_TRUE(cluster.await_quiesce(2'000'000));
+  cluster.partition({{0}, {1, 2}, {3}, {4, 5}});
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  cluster.node(1u).send(Service::Agreed, payload(3));
+  cluster.node(4u).send(Service::Agreed, payload(4));
+  ASSERT_TRUE(cluster.await_quiesce(2'000'000));
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  EXPECT_EQ(cluster.node(0u).config().members.size(), 6u);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(CrashTest, CrashDetectedAndConfigurationShrinks) {
+  Cluster cluster(Cluster::Options{.num_processes = 3});
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  cluster.crash(cluster.pid(2));
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  EXPECT_EQ(cluster.node(0u).config().members,
+            (std::vector<ProcessId>{cluster.pid(0), cluster.pid(1)}));
+  auto a = cluster.node(0u).send(Service::Safe, payload(1));
+  ASSERT_TRUE(cluster.await_quiesce(2'000'000));
+  EXPECT_TRUE(cluster.sink(1u).delivered(a));
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(CrashTest, RecoveredProcessKeepsIdentifierAndRejoins) {
+  Cluster cluster(Cluster::Options{.num_processes = 3});
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  const ProcessId victim = cluster.pid(2);
+  cluster.crash(victim);
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  cluster.recover(victim);
+  ASSERT_TRUE(cluster.await_stable(3'000'000)) << "recovered process never rejoined";
+  EXPECT_EQ(cluster.node(0u).config().members.size(), 3u);
+  EXPECT_TRUE(cluster.node(victim).config().contains(victim));
+  auto a = cluster.node(victim).send(Service::Safe, payload(1));
+  ASSERT_TRUE(cluster.await_quiesce(2'000'000));
+  EXPECT_TRUE(cluster.sink(0u).delivered(a));
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(CrashTest, CrashDuringBurstStaysConsistent) {
+  Cluster cluster(Cluster::Options{.num_processes = 4});
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  for (int i = 0; i < 40; ++i) {
+    cluster.node(static_cast<std::size_t>(i % 4))
+        .send(i % 2 == 0 ? Service::Safe : Service::Agreed, payload(0));
+  }
+  cluster.run_for(900);
+  cluster.crash(cluster.pid(3));
+  ASSERT_TRUE(cluster.await_quiesce(3'000'000));
+  // Survivors delivered identical histories.
+  EXPECT_EQ(cluster.sink(0u).delivered_ids(), cluster.sink(1u).delivered_ids());
+  EXPECT_EQ(cluster.sink(1u).delivered_ids(), cluster.sink(2u).delivered_ids());
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(CrashTest, AllCrashAllRecover) {
+  Cluster cluster(Cluster::Options{.num_processes = 3});
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  for (std::size_t i = 0; i < 3; ++i) cluster.node(i).send(Service::Safe, payload(1));
+  ASSERT_TRUE(cluster.await_quiesce(2'000'000));
+  for (std::size_t i = 0; i < 3; ++i) cluster.crash(cluster.pid(i));
+  cluster.run_for(50'000);
+  for (std::size_t i = 0; i < 3; ++i) cluster.recover(cluster.pid(i));
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  EXPECT_EQ(cluster.node(0u).config().members.size(), 3u);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,124 @@
+// Scale and endurance tests: larger rings, longer horizons, sustained
+// churn. These keep the protocol honest where bookkeeping bugs hide —
+// counters that drift, stores that leak, timers that stack up.
+#include <gtest/gtest.h>
+
+#include "evs/evs.hpp"
+#include "testkit/cluster.hpp"
+#include "testkit/workload.hpp"
+
+namespace evs {
+namespace {
+
+TEST(StressTest, SixteenProcessRingFormsAndDelivers) {
+  Cluster cluster(Cluster::Options{.num_processes = 16, .seed = 2024});
+  ASSERT_TRUE(cluster.await_stable(10'000'000));
+  EXPECT_EQ(cluster.node(0u).config().members.size(), 16u);
+  for (int i = 0; i < 64; ++i) {
+    cluster.node(static_cast<std::size_t>(i % 16))
+        .send(i % 4 == 0 ? Service::Safe : Service::Agreed, {1});
+  }
+  ASSERT_TRUE(cluster.await_quiesce(20'000'000));
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(cluster.sink(i).deliveries.size(), 64u) << i;
+  }
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(StressTest, ManyComponentsManyMerges) {
+  Cluster cluster(Cluster::Options{.num_processes = 12, .seed = 7});
+  ASSERT_TRUE(cluster.await_stable(8'000'000));
+  // Shatter into singletons, then merge pairwise, then quads, then all.
+  cluster.partition({{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}, {9}, {10}, {11}});
+  ASSERT_TRUE(cluster.await_stable(8'000'000));
+  cluster.partition({{0, 1}, {2, 3}, {4, 5}, {6, 7}, {8, 9}, {10, 11}});
+  ASSERT_TRUE(cluster.await_stable(8'000'000));
+  cluster.partition({{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}});
+  ASSERT_TRUE(cluster.await_stable(8'000'000));
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_stable(12'000'000));
+  EXPECT_EQ(cluster.node(0u).config().members.size(), 12u);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(StressTest, SustainedChurnTenSimSeconds) {
+  Cluster cluster(Cluster::Options{.num_processes = 5, .seed = 99});
+  Rng rng(4711);
+  ASSERT_TRUE(cluster.await_stable(5'000'000));
+  // ~10 simulated seconds of continuous operation with periodic faults.
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    send_random_burst(cluster, rng, 15, 0.4);
+    switch (epoch % 8) {
+      case 2: random_partition(cluster, rng); break;
+      case 5: cluster.heal(); break;
+      case 7:
+        if (cluster.node(4u).running()) {
+          cluster.crash(cluster.pid(4));
+        } else {
+          cluster.recover(cluster.pid(4));
+        }
+        break;
+      default: break;
+    }
+    cluster.run_for(250'000);
+  }
+  cluster.heal();
+  if (!cluster.node(4u).running()) cluster.recover(cluster.pid(4));
+  ASSERT_TRUE(cluster.await_quiesce(30'000'000));
+  EXPECT_EQ(cluster.check_report(), "");
+  // The trace grew to a respectable size and the checker still passes it.
+  EXPECT_GT(cluster.trace().size(), 1000u);
+}
+
+TEST(StressTest, StableStoreDoesNotAccumulateGarbage) {
+  Cluster cluster(Cluster::Options{.num_processes = 3, .seed = 3});
+  Rng rng(3);
+  ASSERT_TRUE(cluster.await_stable(5'000'000));
+  send_random_burst(cluster, rng, 50, 0.5);
+  ASSERT_TRUE(cluster.await_quiesce(10'000'000));
+  const std::size_t keys_baseline = cluster.store(cluster.pid(0)).key_count();
+  for (int round = 0; round < 6; ++round) {
+    send_random_burst(cluster, rng, 30, 0.5);
+    cluster.partition({{0}, {1, 2}});
+    cluster.run_for(100'000);
+    cluster.heal();
+    ASSERT_TRUE(cluster.await_quiesce(20'000'000));
+  }
+  // Recovery-persisted message logs are garbage-collected at each install:
+  // the store holds a bounded set of metadata keys, not a growing log.
+  EXPECT_LE(cluster.store(cluster.pid(0)).key_count(), keys_baseline + 2);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(StressTest, GatherTerminatesWithinBoundedTime) {
+  // The paper's termination property: with unresponsive members, the
+  // proposed membership shrinks (fail-set timeouts) and a configuration is
+  // installed within a small multiple of the timeout constants.
+  Cluster::Options opts;
+  opts.num_processes = 5;
+  opts.seed = 17;
+  Cluster cluster(opts);
+  ASSERT_TRUE(cluster.await_stable(5'000'000));
+  // Kill three processes simultaneously; the survivors must converge.
+  cluster.crash(cluster.pid(2));
+  cluster.crash(cluster.pid(3));
+  cluster.crash(cluster.pid(4));
+  const SimTime start = cluster.now();
+  ASSERT_TRUE(cluster.await(
+      [&] {
+        return cluster.node(0u).state() == EvsNode::State::Operational &&
+               cluster.node(0u).config().members.size() == 2;
+      },
+      10'000'000));
+  const SimTime took = cluster.now() - start;
+  // Bound: token-loss detection + gather fail timeout + recovery rounds,
+  // with generous slack — the point is "bounded", not "fast".
+  const SimTime bound = opts.node.token_loss_timeout_us +
+                        opts.node.gather_fail_timeout_us +
+                        opts.node.consensus_wait_timeout_us + 20'000;
+  EXPECT_LT(took, bound);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,104 @@
+// Timing-robustness: aggressive or adversarial timer configurations must
+// degrade performance, never correctness.
+#include <gtest/gtest.h>
+
+#include "testkit/cluster.hpp"
+#include "testkit/workload.hpp"
+
+namespace evs {
+namespace {
+
+TEST(TimingRobustnessTest, TightTokenTimeoutChurnsButStaysConformant) {
+  // Timeout barely above one token rotation for an 8-ring: spurious
+  // membership rounds are likely; the specification must survive them.
+  Cluster::Options opts;
+  opts.num_processes = 8;
+  opts.seed = 5;
+  opts.node.token_loss_timeout_us = 2'500;
+  Cluster cluster(opts);
+  Rng rng(5);
+  cluster.run_for(300'000);
+  send_random_burst(cluster, rng, 40, 0.5);
+  ASSERT_TRUE(cluster.await_quiesce(60'000'000));
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(TimingRobustnessTest, SlowNetworkFastTimers) {
+  // Network delays close to the protocol timers: detection and gather run
+  // on stale information constantly.
+  Cluster::Options opts;
+  opts.num_processes = 4;
+  opts.seed = 6;
+  opts.net.min_delay_us = 500;
+  opts.net.max_delay_us = 3'000;
+  opts.node.join_interval_us = 2'000;
+  opts.node.gather_fail_timeout_us = 12'000;
+  Cluster cluster(opts);
+  Rng rng(6);
+  ASSERT_TRUE(cluster.await_stable(20'000'000));
+  send_random_burst(cluster, rng, 30, 0.5);
+  cluster.partition({{0, 1}, {2, 3}});
+  cluster.run_for(200'000);
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_quiesce(120'000'000));
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(TimingRobustnessTest, InstantCrashRecoverIsHandled) {
+  // The paper (Section 5.2): "We allow a process to fail and recover
+  // sufficiently rapidly that it can be included in the next
+  // configuration." Recover with zero delay: peers may never have noticed
+  // the crash before the new incarnation's beacon arrives.
+  Cluster cluster(Cluster::Options{.num_processes = 3, .seed = 7});
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  cluster.node(0u).send(Service::Safe, {1});
+  ASSERT_TRUE(cluster.await_quiesce(3'000'000));
+  cluster.crash(cluster.pid(2));
+  cluster.recover(cluster.pid(2));  // same event horizon, no detection gap
+  ASSERT_TRUE(cluster.await_stable(6'000'000));
+  EXPECT_EQ(cluster.node(0u).config().members.size(), 3u);
+  auto id = cluster.node(2u).send(Service::Safe, {2});
+  ASSERT_TRUE(cluster.await_quiesce(3'000'000));
+  EXPECT_TRUE(cluster.sink(0u).delivered(id));
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(TimingRobustnessTest, RapidPartitionFlapping) {
+  Cluster cluster(Cluster::Options{.num_processes = 4, .seed = 8});
+  Rng rng(8);
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  // Flap faster than the recovery can complete: the protocol restarts
+  // membership over and over and must converge once the network calms.
+  for (int i = 0; i < 12; ++i) {
+    send_random_burst(cluster, rng, 5, 0.5);
+    if (i % 2 == 0) {
+      cluster.partition({{0, 1}, {2, 3}});
+    } else {
+      cluster.heal();
+    }
+    cluster.run_for(4'000);  // far below detection + recovery time
+  }
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_quiesce(60'000'000));
+  EXPECT_EQ(cluster.node(0u).config().members.size(), 4u);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(TimingRobustnessTest, ZeroDelayNetwork) {
+  Cluster::Options opts;
+  opts.num_processes = 3;
+  opts.seed = 9;
+  opts.net.min_delay_us = 1;
+  opts.net.max_delay_us = 1;
+  Cluster cluster(opts);
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  for (int i = 0; i < 20; ++i) {
+    cluster.node(static_cast<std::size_t>(i % 3)).send(Service::Safe, {1});
+  }
+  ASSERT_TRUE(cluster.await_quiesce(3'000'000));
+  EXPECT_EQ(cluster.sink(0u).deliveries.size(), 20u);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+}  // namespace
+}  // namespace evs

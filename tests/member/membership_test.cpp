@@ -1,0 +1,141 @@
+#include "member/membership.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evs {
+namespace {
+
+const ProcessId P1{1};
+const ProcessId P2{2};
+const ProcessId P3{3};
+
+JoinMsg join_from(ProcessId sender, std::vector<ProcessId> candidates,
+                  std::vector<ProcessId> fails = {}, RingSeq max_ring = 0) {
+  JoinMsg j;
+  j.sender = sender;
+  j.episode = 1;
+  j.candidates = std::move(candidates);
+  j.fail_set = std::move(fails);
+  j.max_ring_seq = max_ring;
+  return j;
+}
+
+TEST(MembershipTest, SingletonConsensusImmediately) {
+  GatherState g(P1, 1, {}, 0);
+  EXPECT_TRUE(g.consensus());
+  EXPECT_EQ(g.proposed_membership(), std::vector<ProcessId>{P1});
+  EXPECT_EQ(g.representative(), P1);
+}
+
+TEST(MembershipTest, ConsensusRequiresMatchingJoins) {
+  GatherState g(P1, 1, {P2}, 0);
+  EXPECT_FALSE(g.consensus());
+  g.on_join(join_from(P2, {P1, P2}), 10);
+  EXPECT_TRUE(g.consensus());
+  EXPECT_EQ(g.proposed_membership(), (std::vector<ProcessId>{P1, P2}));
+}
+
+TEST(MembershipTest, MismatchedJoinBlocksConsensus) {
+  GatherState g(P1, 1, {P2}, 0);
+  g.on_join(join_from(P2, {P1, P2, P3}), 10);
+  // P2 believes P3 is around; our candidate set grows, so no consensus until
+  // P3 answers (or times out) and P2's view matches ours.
+  EXPECT_FALSE(g.consensus());
+  EXPECT_EQ(g.proposed_membership(), (std::vector<ProcessId>{P1, P2, P3}));
+}
+
+TEST(MembershipTest, TransitiveCandidateDiscovery) {
+  GatherState g(P1, 1, {}, 0);
+  g.on_join(join_from(P2, {P2, P3}), 5);
+  auto prop = g.proposed_membership();
+  EXPECT_EQ(prop, (std::vector<ProcessId>{P1, P2, P3}));
+}
+
+TEST(MembershipTest, SilentCandidateTimesOutIntoFailSet) {
+  GatherState::Options opts;
+  opts.fail_timeout_us = 100;
+  GatherState g(P1, 1, {P2, P3}, 0, opts);
+  g.on_join(join_from(P2, {P1, P2, P3}), 10);
+  EXPECT_FALSE(g.check_timeouts(50));
+  EXPECT_TRUE(g.check_timeouts(105));  // P3 never answered; P2 did at t=10
+  EXPECT_EQ(g.fail_set(), std::vector<ProcessId>{P3});
+  // After P2 re-joins with the shrunken view, consensus is reached.
+  g.on_join(join_from(P2, {P1, P2, P3}, {P3}), 107);
+  EXPECT_TRUE(g.consensus());
+  EXPECT_EQ(g.proposed_membership(), (std::vector<ProcessId>{P1, P2}));
+}
+
+TEST(MembershipTest, FailedCandidateNotReadded) {
+  GatherState::Options opts;
+  opts.fail_timeout_us = 100;
+  GatherState g(P1, 1, {P3}, 0, opts);
+  g.check_timeouts(200);
+  EXPECT_EQ(g.fail_set(), std::vector<ProcessId>{P3});
+  g.on_join(join_from(P2, {P2, P3}), 210);
+  EXPECT_EQ(g.proposed_membership(), (std::vector<ProcessId>{P1, P2}));
+}
+
+TEST(MembershipTest, AdoptsPeerFailSet) {
+  GatherState g(P1, 1, {P2, P3}, 0);
+  g.on_join(join_from(P2, {P1, P2}, {P3}), 10);
+  EXPECT_EQ(g.fail_set(), std::vector<ProcessId>{P3});
+  EXPECT_EQ(g.proposed_membership(), (std::vector<ProcessId>{P1, P2}));
+}
+
+TEST(MembershipTest, DivorceWhenPeerFailedUs) {
+  GatherState g(P1, 1, {P2}, 0);
+  g.on_join(join_from(P2, {P2, P3}, {P1}), 10);
+  EXPECT_EQ(g.fail_set(), std::vector<ProcessId>{P2});
+  EXPECT_EQ(g.proposed_membership(), std::vector<ProcessId>{P1});
+}
+
+TEST(MembershipTest, SelfNeverFailed) {
+  GatherState g(P1, 1, {}, 0);
+  g.adopt_fail_set({P1, P2}, 0);
+  EXPECT_EQ(g.fail_set(), std::vector<ProcessId>{P2});
+  auto prop = g.proposed_membership();
+  EXPECT_TRUE(std::binary_search(prop.begin(), prop.end(), P1));
+}
+
+TEST(MembershipTest, MaxRingSeqTracked) {
+  GatherState g(P1, 1, {P2}, 0);
+  g.on_join(join_from(P2, {P1, P2}, {}, 41), 10);
+  EXPECT_EQ(g.max_ring_seq_seen(), 41u);
+  auto j = g.make_join(7);
+  EXPECT_EQ(j.max_ring_seq, 41u);
+  auto j2 = g.make_join(99);
+  EXPECT_EQ(j2.max_ring_seq, 99u);
+}
+
+TEST(MembershipTest, MakeJoinReflectsState) {
+  GatherState g(P1, 3, {P2}, 0);
+  g.on_join(join_from(P2, {P1, P2, P3}, {P3}), 5);
+  auto j = g.make_join(0);
+  EXPECT_EQ(j.sender, P1);
+  EXPECT_EQ(j.episode, 3u);
+  EXPECT_EQ(j.candidates, (std::vector<ProcessId>{P1, P2}));
+  EXPECT_EQ(j.fail_set, std::vector<ProcessId>{P3});
+}
+
+TEST(MembershipTest, JoinProposalHelper) {
+  auto j = join_from(P2, {P3, P1, P2}, {P3});
+  EXPECT_EQ(join_proposal(j), (std::vector<ProcessId>{P1, P2}));
+}
+
+TEST(MembershipTest, RepresentativeIsSmallestId) {
+  GatherState g(P3, 1, {}, 0);
+  g.on_join(join_from(P2, {P2, P3}), 1);
+  EXPECT_EQ(g.representative(), P2);
+}
+
+TEST(MembershipTest, FreshJoinRefreshesTimeout) {
+  GatherState::Options opts;
+  opts.fail_timeout_us = 100;
+  GatherState g(P1, 1, {P2}, 0, opts);
+  g.on_join(join_from(P2, {P1, P2}), 80);
+  EXPECT_FALSE(g.check_timeouts(150));  // heard at 80, deadline 180
+  EXPECT_TRUE(g.check_timeouts(181));
+}
+
+}  // namespace
+}  // namespace evs

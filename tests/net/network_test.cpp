@@ -1,0 +1,218 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace evs {
+namespace {
+
+class Recorder : public Endpoint {
+ public:
+  void on_packet(const Packet& packet) override { packets.push_back(packet); }
+  std::vector<Packet> packets;
+};
+
+struct NetworkTest : ::testing::Test {
+  Scheduler sched;
+  Network::Options opts{/*min*/ 10, /*max*/ 10, /*loss*/ 0.0};
+  Network net{sched, Rng(1), opts};
+  std::map<std::uint32_t, Recorder> recorders;
+
+  ProcessId attach(std::uint32_t id) {
+    ProcessId p{id};
+    net.attach(p, &recorders[id]);
+    return p;
+  }
+};
+
+TEST_F(NetworkTest, BroadcastReachesAllIncludingSender) {
+  auto a = attach(1);
+  attach(2);
+  attach(3);
+  net.broadcast(a, {42});
+  sched.run();
+  for (auto id : {1u, 2u, 3u}) {
+    ASSERT_EQ(recorders[id].packets.size(), 1u) << id;
+    EXPECT_EQ(recorders[id].packets[0].src, a);
+    EXPECT_EQ(recorders[id].packets[0].payload, std::vector<std::uint8_t>{42});
+  }
+}
+
+TEST_F(NetworkTest, UnicastReachesOnlyTarget) {
+  auto a = attach(1);
+  auto b = attach(2);
+  attach(3);
+  net.unicast(a, b, {7});
+  sched.run();
+  EXPECT_EQ(recorders[1].packets.size(), 0u);
+  EXPECT_EQ(recorders[2].packets.size(), 1u);
+  EXPECT_EQ(recorders[3].packets.size(), 0u);
+}
+
+TEST_F(NetworkTest, PartitionBlocksCrossTraffic) {
+  auto a = attach(1);
+  attach(2);
+  attach(3);
+  net.set_components({{ProcessId{1}, ProcessId{2}}, {ProcessId{3}}});
+  net.broadcast(a, {1});
+  sched.run();
+  EXPECT_EQ(recorders[1].packets.size(), 1u);
+  EXPECT_EQ(recorders[2].packets.size(), 1u);
+  EXPECT_EQ(recorders[3].packets.size(), 0u);
+  EXPECT_GT(net.stats().dropped_partition, 0u);
+}
+
+TEST_F(NetworkTest, MergeRestoresConnectivity) {
+  auto a = attach(1);
+  attach(2);
+  net.set_components({{ProcessId{1}}, {ProcessId{2}}});
+  EXPECT_FALSE(net.connected(ProcessId{1}, ProcessId{2}));
+  net.merge_all();
+  EXPECT_TRUE(net.connected(ProcessId{1}, ProcessId{2}));
+  net.broadcast(a, {1});
+  sched.run();
+  EXPECT_EQ(recorders[2].packets.size(), 1u);
+}
+
+TEST_F(NetworkTest, InFlightPacketsCutByPartition) {
+  auto a = attach(1);
+  attach(2);
+  net.broadcast(a, {1});
+  // Partition before the 10us delivery delay elapses.
+  net.set_components({{ProcessId{1}}, {ProcessId{2}}});
+  sched.run();
+  EXPECT_EQ(recorders[2].packets.size(), 0u);
+}
+
+TEST_F(NetworkTest, UnlistedProcessesBecomeIsolated) {
+  attach(1);
+  attach(2);
+  auto c = attach(3);
+  net.set_components({{ProcessId{1}, ProcessId{2}}});
+  EXPECT_FALSE(net.connected(ProcessId{3}, ProcessId{1}));
+  EXPECT_EQ(net.component_of(c), std::vector<ProcessId>{c});
+}
+
+TEST_F(NetworkTest, DetachedReceiverGetsNothing) {
+  auto a = attach(1);
+  attach(2);
+  net.detach(ProcessId{2});
+  net.broadcast(a, {1});
+  sched.run();
+  EXPECT_EQ(recorders[2].packets.size(), 0u);
+}
+
+TEST_F(NetworkTest, DetachMidFlightDropsPacket) {
+  auto a = attach(1);
+  attach(2);
+  net.broadcast(a, {1});  // in flight for 10us
+  net.detach(ProcessId{2});
+  sched.run();
+  EXPECT_EQ(recorders[2].packets.size(), 0u);
+  EXPECT_GT(net.stats().dropped_detached, 0u);
+}
+
+TEST_F(NetworkTest, LossDropsApproximatelyAtRate) {
+  opts.loss_probability = 0.5;
+  Network lossy(sched, Rng(2), opts);
+  Recorder ra, rb;
+  lossy.attach(ProcessId{1}, &ra);
+  lossy.attach(ProcessId{2}, &rb);
+  for (int i = 0; i < 1000; ++i) lossy.unicast(ProcessId{1}, ProcessId{2}, {1});
+  sched.run();
+  EXPECT_GT(rb.packets.size(), 350u);
+  EXPECT_LT(rb.packets.size(), 650u);
+}
+
+TEST_F(NetworkTest, LoopbackIsLossless) {
+  opts.loss_probability = 1.0;  // drop everything that is not loopback
+  Network lossy(sched, Rng(3), opts);
+  Recorder ra, rb;
+  lossy.attach(ProcessId{1}, &ra);
+  lossy.attach(ProcessId{2}, &rb);
+  lossy.broadcast(ProcessId{1}, {9});
+  sched.run();
+  EXPECT_EQ(ra.packets.size(), 1u);
+  EXPECT_EQ(rb.packets.size(), 0u);
+}
+
+TEST_F(NetworkTest, ComponentOfListsAttachedMembers) {
+  attach(1);
+  attach(2);
+  attach(3);
+  net.set_components({{ProcessId{1}, ProcessId{3}}, {ProcessId{2}}});
+  auto comp = net.component_of(ProcessId{1});
+  EXPECT_EQ(comp, (std::vector<ProcessId>{ProcessId{1}, ProcessId{3}}));
+}
+
+TEST_F(NetworkTest, DeliveryDelaysRespectConfiguredBounds) {
+  Network::Options o{/*min*/ 70, /*max*/ 240, /*loss*/ 0.0};
+  Network bounded(sched, Rng(9), o);
+  Recorder ra, rb;
+  bounded.attach(ProcessId{1}, &ra);
+  bounded.attach(ProcessId{2}, &rb);
+  for (int i = 0; i < 200; ++i) {
+    const SimTime sent_at = sched.now();
+    bounded.unicast(ProcessId{1}, ProcessId{2}, {1});
+    const std::size_t before = rb.packets.size();
+    sched.run_until(sent_at + 240);
+    ASSERT_EQ(rb.packets.size(), before + 1);
+    // The packet must not have arrived before min_delay.
+    // (run_until processed everything <= sent_at+240; check the earliest
+    // possible arrival by replaying with a tighter horizon next round.)
+  }
+}
+
+TEST_F(NetworkTest, MinDelayEnforced) {
+  Network::Options o{100, 300, 0.0};
+  Network bounded(sched, Rng(10), o);
+  Recorder ra, rb;
+  bounded.attach(ProcessId{1}, &ra);
+  bounded.attach(ProcessId{2}, &rb);
+  bounded.unicast(ProcessId{1}, ProcessId{2}, {1});
+  sched.run_until(sched.now() + 99);
+  EXPECT_TRUE(rb.packets.empty());  // nothing can arrive before min_delay
+  sched.run_until(sched.now() + 300);
+  EXPECT_EQ(rb.packets.size(), 1u);
+}
+
+TEST_F(NetworkTest, LossProbabilityAdjustableAtRuntime) {
+  auto a = attach(1);
+  attach(2);
+  net.set_loss_probability(1.0);
+  net.unicast(a, ProcessId{2}, {1});
+  sched.run();
+  EXPECT_TRUE(recorders[2].packets.empty());
+  net.set_loss_probability(0.0);
+  net.unicast(a, ProcessId{2}, {2});
+  sched.run();
+  EXPECT_EQ(recorders[2].packets.size(), 1u);
+}
+
+TEST_F(NetworkTest, ReattachAfterDetachRejoinsComponent) {
+  attach(1);
+  auto b = attach(2);
+  net.detach(b);
+  EXPECT_FALSE(net.attached(b));
+  Recorder again;
+  net.attach(b, &again);
+  net.broadcast(ProcessId{1}, {5});
+  sched.run();
+  EXPECT_EQ(again.packets.size(), 1u);
+}
+
+TEST_F(NetworkTest, StatsCountDeliveries) {
+  auto a = attach(1);
+  attach(2);
+  net.broadcast(a, {1, 2, 3});
+  sched.run();
+  EXPECT_EQ(net.stats().broadcasts, 1u);
+  EXPECT_EQ(net.stats().deliveries, 2u);
+  EXPECT_EQ(net.stats().bytes_delivered, 6u);
+}
+
+}  // namespace
+}  // namespace evs

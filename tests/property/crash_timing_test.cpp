@@ -1,0 +1,175 @@
+// Crash-timing sweeps: crash a process at a controlled offset after a
+// disruptive event so the failure lands in every phase of the protocol —
+// regular operation, gather, exchange, rebroadcast, or just after install.
+// The paper's hardest machinery (restart at step 2, obligation sets,
+// Spec 7.1's proof) only engages on these interleavings.
+#include <gtest/gtest.h>
+
+#include "testkit/cluster.hpp"
+#include "testkit/workload.hpp"
+
+namespace evs {
+namespace {
+
+class CrashAfterPartitionTest : public ::testing::TestWithParam<SimTime> {};
+
+TEST_P(CrashAfterPartitionTest, CrashDuringReconfigurationStaysConformant) {
+  const SimTime crash_delay = GetParam();
+  Cluster::Options opts;
+  opts.num_processes = 5;
+  opts.seed = 1000 + crash_delay;
+  Cluster cluster(opts);
+  Rng rng(crash_delay * 31 + 1);
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+
+  // Outstanding traffic, then a partition, then a crash `crash_delay` into
+  // the resulting recovery.
+  send_random_burst(cluster, rng, 30, 0.5);
+  cluster.run_for(700);
+  cluster.partition({{0, 1, 2}, {3, 4}});
+  cluster.run_for(crash_delay);
+  cluster.crash(cluster.pid(1));  // a member of the larger side
+  cluster.run_for(60'000);
+  cluster.recover(cluster.pid(1));
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_quiesce(30'000'000)) << "delay " << crash_delay;
+  EXPECT_EQ(cluster.check_report(), "") << "crash delay " << crash_delay << "us";
+}
+
+// 0..2ms: inside gather/join. ~5-15ms: token-loss detection and exchange.
+// ~20-40ms: rebroadcast/completion and just-installed windows.
+INSTANTIATE_TEST_SUITE_P(Offsets, CrashAfterPartitionTest,
+                         ::testing::Values(0, 200, 500, 1'000, 2'000, 5'000, 9'000,
+                                           12'500, 13'000, 14'000, 16'000, 20'000,
+                                           25'000, 30'000, 40'000));
+
+class DoublePartitionTest : public ::testing::TestWithParam<SimTime> {};
+
+TEST_P(DoublePartitionTest, RepartitionDuringRecoveryRestartsCleanly) {
+  // A second partition lands while the first recovery is still running:
+  // the paper's "if a failure occurs during execution of the recovery
+  // algorithm ... the recovery algorithm is restarted at Step 2".
+  const SimTime second_delay = GetParam();
+  Cluster::Options opts;
+  opts.num_processes = 6;
+  opts.seed = 77 + second_delay;
+  Cluster cluster(opts);
+  Rng rng(second_delay * 13 + 3);
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+
+  send_random_burst(cluster, rng, 40, 0.5);
+  cluster.run_for(600);
+  cluster.partition({{0, 1, 2, 3}, {4, 5}});
+  cluster.run_for(second_delay);
+  cluster.partition({{0, 1}, {2, 3}, {4, 5}});  // cuts the first recovery apart
+  cluster.run_for(100'000);
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_quiesce(30'000'000)) << "delay " << second_delay;
+  EXPECT_EQ(cluster.check_report(), "") << "second partition at +" << second_delay
+                                        << "us";
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, DoublePartitionTest,
+                         ::testing::Values(500, 2'000, 8'000, 12'500, 13'500, 15'000,
+                                           18'000, 24'000, 35'000));
+
+class CrashedRepCrashTest : public ::testing::TestWithParam<SimTime> {};
+
+TEST_P(CrashedRepCrashTest, RepresentativeCrashMidRecovery) {
+  // The representative (lowest id) drives ring formation; killing it at
+  // various recovery offsets exercises the consensus-wait timeout and
+  // proposal re-forming paths.
+  const SimTime crash_delay = GetParam();
+  Cluster::Options opts;
+  opts.num_processes = 4;
+  opts.seed = 9 + crash_delay;
+  Cluster cluster(opts);
+  Rng rng(crash_delay + 1);
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  send_random_burst(cluster, rng, 20, 0.5);
+  cluster.run_for(500);
+  cluster.partition({{0, 1, 2}, {3}});
+  cluster.run_for(crash_delay);
+  cluster.crash(cluster.pid(0));  // the representative of {0,1,2}
+  cluster.run_for(80'000);
+  cluster.recover(cluster.pid(0));
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_quiesce(30'000'000));
+  EXPECT_EQ(cluster.check_report(), "") << "rep crash at +" << crash_delay << "us";
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, CrashedRepCrashTest,
+                         ::testing::Values(1'000, 12'000, 13'000, 14'500, 17'000,
+                                           22'000, 30'000));
+
+TEST(ObligationTest, CompletedAckerCrashAndRecoverDeliversObligatedMessages) {
+  // The Spec 7.1 proof scenario: during recovery a process acknowledges
+  // having received all rebroadcast messages (persisting them and the
+  // merged obligation set first), then crashes before installing. Peers may
+  // have relied on that acknowledgment to deliver messages as safe in the
+  // transitional configuration. The recovered process must deliver them
+  // too — from stable storage, via its obligation set.
+  //
+  // We sweep the crash offset across the recovery window; the spec checker
+  // flags any execution in which the obligation machinery fails.
+  for (SimTime crash_at : {SimTime{13'000}, SimTime{13'500}, SimTime{14'000},
+                           SimTime{14'500}, SimTime{15'000}, SimTime{15'500},
+                           SimTime{16'000}}) {
+    Cluster::Options opts;
+    opts.num_processes = 3;
+    opts.seed = 4242 + crash_at;
+    Cluster cluster(opts);
+    ASSERT_TRUE(cluster.await_stable(3'000'000));
+    // Safe traffic that will be mid-flight at the partition.
+    for (int i = 0; i < 10; ++i) {
+      cluster.node(static_cast<std::size_t>(i % 3)).send(Service::Safe, {1});
+    }
+    cluster.run_for(400);
+    cluster.partition({{0, 1}, {2}});  // {0,1} must recover together
+    cluster.run_for(crash_at);
+    cluster.crash(cluster.pid(0));
+    cluster.run_for(50'000);
+    cluster.recover(cluster.pid(0));
+    cluster.heal();
+    ASSERT_TRUE(cluster.await_quiesce(30'000'000)) << crash_at;
+    EXPECT_EQ(cluster.check_report(), "") << "crash at +" << crash_at << "us";
+  }
+}
+
+TEST(LossyNetworkTest, HeavyLossLongRunStaysConformant) {
+  Cluster::Options opts;
+  opts.num_processes = 4;
+  opts.seed = 31337;
+  opts.net.loss_probability = 0.08;
+  Cluster cluster(opts);
+  Rng rng(99);
+  for (int round = 0; round < 5; ++round) {
+    send_random_burst(cluster, rng, 25, 0.5);
+    cluster.run_for(150'000);
+  }
+  ASSERT_TRUE(cluster.await_quiesce(60'000'000));
+  EXPECT_EQ(cluster.check_report(), "");
+  // Retransmission actually happened (losses were real).
+  EXPECT_GT(cluster.network().stats().dropped_loss, 100u);
+}
+
+TEST(LossyNetworkTest, LossDuringPartitionAndMerge) {
+  Cluster::Options opts;
+  opts.num_processes = 5;
+  opts.seed = 555;
+  opts.net.loss_probability = 0.03;
+  Cluster cluster(opts);
+  Rng rng(555);
+  ASSERT_TRUE(cluster.await_stable(6'000'000));
+  send_random_burst(cluster, rng, 40, 0.6);
+  cluster.run_for(800);
+  cluster.partition({{0, 1, 2}, {3, 4}});
+  cluster.run_for(200'000);
+  send_random_burst(cluster, rng, 40, 0.6);
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_quiesce(60'000'000));
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+}  // namespace
+}  // namespace evs

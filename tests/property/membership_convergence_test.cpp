@@ -1,0 +1,148 @@
+// Membership convergence at the GatherState level: N gather instances
+// exchanging joins through a randomly delaying, randomly dropping message
+// soup must reach consensus on a common membership within bounded virtual
+// time — the paper's termination property for the underlying membership
+// algorithm, tested on the pure logic in isolation.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "member/membership.hpp"
+#include "util/rng.hpp"
+
+namespace evs {
+namespace {
+
+struct Soup {
+  struct InFlight {
+    SimTime deliver_at;
+    std::size_t to;
+    JoinMsg join;
+  };
+
+  std::vector<std::unique_ptr<GatherState>> gathers;
+  std::deque<InFlight> wire;
+  Rng rng;
+  SimTime now{0};
+  // connectivity[i][j]: can i's joins reach j?
+  std::vector<std::vector<bool>> reachable;
+
+  Soup(std::size_t n, std::uint64_t seed) : rng(seed) {
+    GatherState::Options opts;
+    opts.fail_timeout_us = 10'000;
+    std::vector<ProcessId> all;
+    for (std::size_t i = 1; i <= n; ++i) all.push_back(ProcessId{static_cast<std::uint32_t>(i)});
+    for (std::size_t i = 0; i < n; ++i) {
+      gathers.push_back(std::make_unique<GatherState>(
+          ProcessId{static_cast<std::uint32_t>(i + 1)}, 1, all, now, opts));
+    }
+    reachable.assign(n, std::vector<bool>(n, true));
+  }
+
+  void set_partition(const std::vector<std::vector<std::size_t>>& groups) {
+    const std::size_t n = gathers.size();
+    reachable.assign(n, std::vector<bool>(n, false));
+    for (const auto& g : groups) {
+      for (std::size_t a : g) {
+        for (std::size_t b : g) reachable[a][b] = true;
+      }
+    }
+  }
+
+  void broadcast_joins(double drop) {
+    for (std::size_t i = 0; i < gathers.size(); ++i) {
+      const JoinMsg join = gathers[i]->make_join(0);
+      for (std::size_t j = 0; j < gathers.size(); ++j) {
+        if (i == j || !reachable[i][j]) continue;
+        if (rng.chance(drop)) continue;
+        wire.push_back({now + rng.between(50, 400), j, join});
+      }
+    }
+  }
+
+  void advance(SimTime dt) {
+    const SimTime until = now + dt;
+    while (now < until) {
+      now += 100;
+      for (auto it = wire.begin(); it != wire.end();) {
+        if (it->deliver_at <= now) {
+          gathers[it->to]->on_join(it->join, now);
+          it = wire.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (auto& g : gathers) g->check_timeouts(now);
+    }
+  }
+
+  bool component_consensus(const std::vector<std::size_t>& group) {
+    const auto want = gathers[group[0]]->proposed_membership();
+    for (std::size_t i : group) {
+      if (!gathers[i]->consensus()) return false;
+      if (gathers[i]->proposed_membership() != want) return false;
+    }
+    // Membership must be exactly the group (by pid).
+    std::vector<ProcessId> expect;
+    for (std::size_t i : group) expect.push_back(ProcessId{static_cast<std::uint32_t>(i + 1)});
+    std::sort(expect.begin(), expect.end());
+    return want == expect;
+  }
+};
+
+class MembershipConvergenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MembershipConvergenceTest, FullyConnectedConverges) {
+  Soup soup(5, GetParam());
+  for (int round = 0; round < 60; ++round) {
+    soup.broadcast_joins(/*drop=*/0.1);
+    soup.advance(1'000);
+    if (soup.component_consensus({0, 1, 2, 3, 4})) break;
+  }
+  EXPECT_TRUE(soup.component_consensus({0, 1, 2, 3, 4}))
+      << "no consensus within 60 rounds";
+}
+
+TEST_P(MembershipConvergenceTest, PartitionedComponentsConvergeSeparately) {
+  Soup soup(6, GetParam() + 100);
+  soup.set_partition({{0, 1, 2}, {3, 4, 5}});
+  for (int round = 0; round < 80; ++round) {
+    soup.broadcast_joins(0.1);
+    soup.advance(1'000);
+    if (soup.component_consensus({0, 1, 2}) && soup.component_consensus({3, 4, 5})) {
+      break;
+    }
+  }
+  EXPECT_TRUE(soup.component_consensus({0, 1, 2}));
+  EXPECT_TRUE(soup.component_consensus({3, 4, 5}));
+}
+
+TEST_P(MembershipConvergenceTest, SilentMembersGetExcludedWithinBound) {
+  Soup soup(5, GetParam() + 200);
+  // Members 3 and 4 never send joins (crashed before the gather).
+  for (int round = 0; round < 80; ++round) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      const JoinMsg join = soup.gathers[i]->make_join(0);
+      for (std::size_t j = 0; j < 3; ++j) {
+        if (i != j && !soup.rng.chance(0.1)) {
+          soup.wire.push_back({soup.now + soup.rng.between(50, 400), j, join});
+        }
+      }
+    }
+    soup.advance(1'000);
+    if (soup.component_consensus({0, 1, 2})) break;
+  }
+  EXPECT_TRUE(soup.component_consensus({0, 1, 2}));
+  // The silent members ended up in everyone's fail set.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(soup.gathers[i]->fail_set(),
+              (std::vector<ProcessId>{ProcessId{4}, ProcessId{5}}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MembershipConvergenceTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,111 @@
+// Randomized fuzz of the ordering core in isolation: a MiniRing with
+// seeded random first-transmission drops. Invariants checked each step:
+//   * the safety horizon never passes a sequence number some member lacks,
+//   * deliveries are gapless prefixes of the total order,
+//   * all members converge once drops stop.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "totem/ordering.hpp"
+#include "util/rng.hpp"
+
+namespace evs {
+namespace {
+
+const RingId kRing{1, ProcessId{1}};
+
+struct FuzzRing {
+  std::vector<OrderingCore> cores;
+  std::vector<std::deque<PendingSend>> pending;
+  std::vector<SeqNum> delivered_upto;
+  TokenMsg token;
+  std::size_t holder{0};
+  Rng rng;
+
+  FuzzRing(std::size_t n, std::uint64_t seed) : rng(seed) {
+    std::vector<ProcessId> members;
+    for (std::size_t i = 1; i <= n; ++i) {
+      members.push_back(ProcessId{static_cast<std::uint32_t>(i)});
+    }
+    for (std::size_t i = 0; i < n; ++i) cores.emplace_back(kRing, members, members[i]);
+    pending.resize(n);
+    delivered_upto.resize(n, 0);
+    token.ring = kRing;
+    token.rotation = 1;
+  }
+
+  void step(double drop_probability) {
+    auto result = cores[holder].on_token(token, pending[holder]);
+    for (const RegularMsg& m : result.to_broadcast) {
+      for (std::size_t r = 0; r < cores.size(); ++r) {
+        if (r == holder) continue;
+        if (rng.chance(drop_probability)) continue;
+        cores[r].on_regular(m);
+      }
+    }
+    token = result.token_out;
+    holder = (holder + 1) % cores.size();
+  }
+
+  void drain_and_check() {
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+      for (const RegularMsg& m : cores[i].drain_deliverable()) {
+        // Gapless, strictly increasing delivery per process.
+        ASSERT_EQ(m.seq, delivered_upto[i] + 1)
+            << "gap in delivery at core " << i;
+        delivered_upto[i] = m.seq;
+      }
+    }
+  }
+
+  void check_safety_invariant() {
+    // No core's safety horizon may exceed any member's received prefix at
+    // the time it was computed. Receipt only grows, so checking against
+    // current contigs is sound.
+    SeqNum min_contig = UINT64_MAX;
+    for (const auto& c : cores) min_contig = std::min(min_contig, c.contig());
+    for (const auto& c : cores) {
+      ASSERT_LE(c.safe_upto(), min_contig)
+          << "safety horizon passed an unacknowledged message";
+    }
+  }
+};
+
+class OrderingFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OrderingFuzzTest, InvariantsHoldUnderRandomLoss) {
+  const std::uint64_t seed = GetParam();
+  Rng control(seed * 13 + 1);
+  FuzzRing ring(3 + seed % 3, seed);
+  SeqNum counter = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    if (control.chance(0.4)) {
+      const std::size_t who = control.below(ring.cores.size());
+      ring.pending[who].push_back(
+          {MsgId{ring.cores[who].self(), ++counter},
+           control.chance(0.5) ? Service::Safe : Service::Agreed,
+           {}});
+    }
+    ring.step(/*drop_probability=*/0.15);
+    ring.drain_and_check();
+    ring.check_safety_invariant();
+  }
+  // Lossless tail: everyone converges and delivers everything stamped.
+  for (int step = 0; step < 200; ++step) {
+    ring.step(0.0);
+    ring.drain_and_check();
+    ring.check_safety_invariant();
+  }
+  const SeqNum total = ring.token.seq;
+  for (std::size_t i = 0; i < ring.cores.size(); ++i) {
+    EXPECT_EQ(ring.delivered_upto[i], total) << "core " << i << " did not converge";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderingFuzzTest, ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace evs

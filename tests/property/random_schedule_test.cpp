@@ -1,0 +1,133 @@
+// Property tests: randomized fault schedules, parameterized over seeds,
+// cluster sizes and message-loss rates. Every generated execution must
+// satisfy the complete extended virtual synchrony specification — the
+// checker (tests/spec/checker_test.cpp proves it can fail) is the oracle.
+#include <gtest/gtest.h>
+
+#include "testkit/cluster.hpp"
+#include "testkit/workload.hpp"
+
+namespace evs {
+namespace {
+
+struct Params {
+  std::uint64_t seed;
+  std::size_t processes;
+  double loss;
+  int rounds;
+};
+
+std::string param_name(const ::testing::TestParamInfo<Params>& info) {
+  const auto& p = info.param;
+  return "seed" + std::to_string(p.seed) + "_n" + std::to_string(p.processes) +
+         "_loss" + std::to_string(static_cast<int>(p.loss * 100)) + "_r" +
+         std::to_string(p.rounds);
+}
+
+class RandomScheduleTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(RandomScheduleTest, SatisfiesExtendedVirtualSynchrony) {
+  const Params& p = GetParam();
+  Cluster::Options opts;
+  opts.num_processes = p.processes;
+  opts.seed = p.seed;
+  opts.net.loss_probability = p.loss;
+  Cluster cluster(opts);
+  Rng rng(p.seed * 7919 + 13);
+
+  RandomScheduleOptions schedule;
+  schedule.rounds = p.rounds;
+  const auto stats = run_random_schedule(cluster, rng, schedule);
+  EXPECT_GT(stats.messages_sent, 0);
+
+  EXPECT_EQ(cluster.check_report(), "") << "schedule: partitions=" << stats.partitions
+                                        << " heals=" << stats.heals
+                                        << " crashes=" << stats.crashes
+                                        << " recoveries=" << stats.recoveries;
+}
+
+std::vector<Params> make_params() {
+  std::vector<Params> out;
+  // Lossless, various sizes and seeds: exercises partition/merge/crash logic.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    out.push_back({seed, 3 + seed % 4, 0.0, 10});
+  }
+  // With message loss: exercises retransmission and recovery restarts.
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    out.push_back({seed, 4, 0.01, 8});
+  }
+  for (std::uint64_t seed = 21; seed <= 22; ++seed) {
+    out.push_back({seed, 3, 0.05, 6});
+  }
+  // Larger systems, fewer rounds.
+  out.push_back({31, 8, 0.0, 6});
+  out.push_back({32, 10, 0.0, 5});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, RandomScheduleTest,
+                         ::testing::ValuesIn(make_params()), param_name);
+
+// Partition-only sweep: no crashes, heavier partitioning, checks that every
+// component keeps making progress (the availability claim of Section 1).
+class PartitionChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionChurnTest, EveryComponentKeepsDelivering) {
+  Cluster::Options opts;
+  opts.num_processes = 6;
+  opts.seed = GetParam();
+  Cluster cluster(opts);
+  Rng rng(GetParam() * 31 + 7);
+
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  std::uint64_t delivered_before = 0;
+  for (int round = 0; round < 6; ++round) {
+    random_partition(cluster, rng);
+    send_random_burst(cluster, rng, 18, 0.5);
+    cluster.run_for(150'000);
+    std::uint64_t delivered_now = 0;
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      delivered_now += cluster.node(i).stats().delivered;
+    }
+    EXPECT_GT(delivered_now, delivered_before)
+        << "no progress in round " << round;
+    delivered_before = delivered_now;
+  }
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_quiesce(20'000'000));
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionChurnTest, ::testing::Range<std::uint64_t>(1, 7));
+
+// Crash-churn sweep: repeated crash/recover of random processes under
+// traffic; stable storage must keep histories consistent.
+class CrashChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrashChurnTest, RepeatedCrashRecoveryStaysConformant) {
+  Cluster::Options opts;
+  opts.num_processes = 4;
+  opts.seed = GetParam();
+  Cluster cluster(opts);
+  Rng rng(GetParam() * 101 + 3);
+
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  for (int round = 0; round < 8; ++round) {
+    send_random_burst(cluster, rng, 10, 0.5);
+    const ProcessId victim = cluster.pid(rng.below(cluster.size()));
+    cluster.run_for(rng.between(500, 20'000));
+    if (cluster.node(victim).running()) {
+      cluster.crash(victim);
+      cluster.run_for(rng.between(5'000, 60'000));
+      cluster.recover(victim);
+    }
+    cluster.run_for(50'000);
+  }
+  ASSERT_TRUE(cluster.await_quiesce(20'000'000));
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashChurnTest, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,116 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace evs {
+namespace {
+
+TEST(SchedulerTest, RunsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(30, [&] { order.push_back(3); });
+  sched.schedule_at(10, [&] { order.push_back(1); });
+  sched.schedule_at(20, [&] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 30u);
+}
+
+TEST(SchedulerTest, FifoAmongEqualTimes) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, ScheduleAfterIsRelative) {
+  Scheduler sched;
+  SimTime fired_at = 0;
+  sched.schedule_at(100, [&] {
+    sched.schedule_after(50, [&] { fired_at = sched.now(); });
+  });
+  sched.run();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  auto h = sched.schedule_at(10, [&] { fired = true; });
+  sched.cancel(h);
+  sched.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(SchedulerTest, CancelInvalidHandleIsNoop) {
+  Scheduler sched;
+  sched.cancel(Scheduler::Handle{});
+  sched.cancel(Scheduler::Handle{999});
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(SchedulerTest, CancelAfterFireIsNoop) {
+  Scheduler sched;
+  auto h = sched.schedule_at(1, [] {});
+  sched.run();
+  sched.cancel(h);  // must not disturb later scheduling
+  bool fired = false;
+  sched.schedule_at(2, [&] { fired = true; });
+  sched.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockEvenWhenIdle) {
+  Scheduler sched;
+  sched.run_until(500);
+  EXPECT_EQ(sched.now(), 500u);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtBoundary) {
+  Scheduler sched;
+  std::vector<SimTime> fired;
+  sched.schedule_at(10, [&] { fired.push_back(sched.now()); });
+  sched.schedule_at(20, [&] { fired.push_back(sched.now()); });
+  sched.schedule_at(30, [&] { fired.push_back(sched.now()); });
+  sched.run_until(20);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sched.now(), 20u);
+  sched.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(SchedulerTest, EventsCanScheduleMoreEvents) {
+  Scheduler sched;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) sched.schedule_after(1, chain);
+  };
+  sched.schedule_at(0, chain);
+  sched.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sched.now(), 99u);
+}
+
+TEST(SchedulerTest, RunMaxEventsBounds) {
+  Scheduler sched;
+  for (int i = 0; i < 10; ++i) sched.schedule_at(i, [] {});
+  EXPECT_EQ(sched.run(4), 4u);
+  EXPECT_EQ(sched.pending(), 6u);
+  EXPECT_EQ(sched.run(), 6u);
+}
+
+TEST(SchedulerTest, ExecutedCounter) {
+  Scheduler sched;
+  for (int i = 0; i < 5; ++i) sched.schedule_at(i, [] {});
+  sched.run();
+  EXPECT_EQ(sched.executed(), 5u);
+}
+
+}  // namespace
+}  // namespace evs

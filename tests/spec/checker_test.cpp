@@ -1,0 +1,369 @@
+// Self-tests for the specification checker: hand-crafted traces with known
+// violations must be flagged, and minimal correct traces must pass. A
+// verifier that cannot fail is worthless — these tests keep it honest.
+#include "spec/checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evs {
+namespace {
+
+const ProcessId P1{1};
+const ProcessId P2{2};
+const RingId R1{1, P1};
+const RingId R2{2, P1};
+
+struct TraceBuilder {
+  TraceLog log;
+  SimTime t{0};
+
+  void conf(ProcessId p, ConfigId c, std::vector<ProcessId> members, Ord ord) {
+    TraceEvent e;
+    e.type = EventType::DeliverConf;
+    e.process = p;
+    e.time = ++t;
+    e.config = c;
+    e.members = std::move(members);
+    e.ord = ord;
+    log.record(std::move(e));
+  }
+
+  void send(ProcessId p, MsgId m, ConfigId c, SeqNum seq, Ord ord,
+            Service svc = Service::Agreed) {
+    TraceEvent e;
+    e.type = EventType::Send;
+    e.process = p;
+    e.time = ++t;
+    e.msg = m;
+    e.service = svc;
+    e.seq = seq;
+    e.config = c;
+    e.ord = ord;
+    log.record(std::move(e));
+  }
+
+  void deliver(ProcessId p, MsgId m, ConfigId c, SeqNum seq, Ord ord,
+               Service svc = Service::Agreed) {
+    TraceEvent e;
+    e.type = EventType::Deliver;
+    e.process = p;
+    e.time = ++t;
+    e.msg = m;
+    e.service = svc;
+    e.seq = seq;
+    e.config = c;
+    e.ord = ord;
+    log.record(std::move(e));
+  }
+
+  void fail(ProcessId p, ConfigId c) {
+    TraceEvent e;
+    e.type = EventType::Fail;
+    e.process = p;
+    e.time = ++t;
+    e.config = c;
+    log.record(std::move(e));
+  }
+
+  std::vector<Violation> check(bool quiescent = true) {
+    SpecChecker checker(log, SpecChecker::Options{quiescent});
+    return checker.check_all();
+  }
+
+  bool has(const std::vector<Violation>& vs, const std::string& spec) {
+    for (const auto& v : vs) {
+      if (v.spec == spec) return true;
+    }
+    return false;
+  }
+};
+
+const ConfigId C1 = ConfigId::regular(R1);
+const Ord kConfOrd = ord_regular_conf(R1);
+const MsgId M1{P1, 1};
+const MsgId M2{P1, 2};
+
+Ord dord(SeqNum seq) { return ord_message_delivery(R1, seq); }
+Ord sord(SeqNum slot) { return Ord{R1.seq, R1.rep, slot}; }
+
+TEST(CheckerTest, MinimalCorrectTracePasses) {
+  TraceBuilder b;
+  b.conf(P1, C1, {P1, P2}, kConfOrd);
+  b.conf(P2, C1, {P1, P2}, kConfOrd);
+  b.send(P1, M1, C1, 1, sord(1));
+  b.deliver(P1, M1, C1, 1, dord(1));
+  b.deliver(P2, M1, C1, 1, dord(1));
+  EXPECT_TRUE(b.check().empty()) << b.log.dump();
+}
+
+TEST(CheckerTest, DeliveryWithoutSendFlagged) {
+  TraceBuilder b;
+  b.conf(P1, C1, {P1}, kConfOrd);
+  b.deliver(P1, M1, C1, 1, dord(1));
+  EXPECT_TRUE(b.has(b.check(false), "1.3"));
+}
+
+TEST(CheckerTest, DeliveryInWrongRingFlagged) {
+  TraceBuilder b;
+  const ConfigId c2 = ConfigId::regular(R2);
+  b.conf(P1, C1, {P1, P2}, kConfOrd);
+  b.conf(P2, c2, {P2}, ord_regular_conf(R2));
+  b.send(P1, M1, C1, 1, sord(1));
+  b.deliver(P1, M1, C1, 1, dord(1));
+  // P2 delivers the message in an unrelated configuration.
+  b.deliver(P2, M1, c2, 1, ord_message_delivery(R2, 1));
+  EXPECT_TRUE(b.has(b.check(false), "1.3"));
+}
+
+TEST(CheckerTest, DoubleSendFlagged) {
+  TraceBuilder b;
+  b.conf(P1, C1, {P1}, kConfOrd);
+  b.send(P1, M1, C1, 1, sord(1));
+  b.send(P1, M1, C1, 2, sord(2));
+  b.deliver(P1, M1, C1, 1, dord(1));
+  EXPECT_TRUE(b.has(b.check(false), "1.4"));
+}
+
+TEST(CheckerTest, SendInTransitionalConfigFlagged) {
+  TraceBuilder b;
+  const ConfigId trans = ConfigId::trans(R1, R2);
+  b.conf(P1, C1, {P1}, kConfOrd);
+  b.conf(P1, trans, {P1}, ord_transitional_conf(R1, 0));
+  b.send(P1, M1, trans, 1, Ord{R1.seq, R1.rep, kOrdGranule / 2 + 1});
+  b.deliver(P1, M1, trans, 1, dord(1));
+  auto vs = b.check(false);
+  EXPECT_TRUE(b.has(vs, "1.4"));
+}
+
+TEST(CheckerTest, DoubleDeliveryFlagged) {
+  TraceBuilder b;
+  b.conf(P1, C1, {P1}, kConfOrd);
+  b.send(P1, M1, C1, 1, sord(1));
+  b.deliver(P1, M1, C1, 1, dord(1));
+  b.deliver(P1, M1, C1, 1, dord(1));
+  EXPECT_TRUE(b.has(b.check(false), "1.4"));
+}
+
+TEST(CheckerTest, EventOutsideConfigurationFlagged) {
+  TraceBuilder b;
+  b.send(P1, M1, C1, 1, sord(1));  // no deliver_conf first
+  EXPECT_TRUE(b.has(b.check(false), "2.2"));
+}
+
+TEST(CheckerTest, EventTaggedWithWrongConfigurationFlagged) {
+  TraceBuilder b;
+  const ConfigId c2 = ConfigId::regular(R2);
+  b.conf(P1, C1, {P1}, kConfOrd);
+  b.conf(P1, c2, {P1}, ord_regular_conf(R2));
+  // P1 claims to send in C1 although it installed c2 since.
+  b.send(P1, M1, C1, 1, sord(1));
+  EXPECT_TRUE(b.has(b.check(false), "2.2"));
+}
+
+TEST(CheckerTest, FinalConfigDisagreementFlaggedWhenQuiescent) {
+  TraceBuilder b;
+  b.conf(P1, C1, {P1, P2}, kConfOrd);  // P2 never installs C1
+  auto vs = b.check(true);
+  EXPECT_TRUE(b.has(vs, "2.1"));
+}
+
+TEST(CheckerTest, InconsistentConfOrdFlagged) {
+  TraceBuilder b;
+  b.conf(P1, C1, {P1, P2}, kConfOrd);
+  b.conf(P2, C1, {P1, P2}, Ord{R1.seq, R1.rep, 5});
+  EXPECT_TRUE(b.has(b.check(false), "2.3"));
+}
+
+TEST(CheckerTest, ConfigCutCycleFlagged) {
+  // P1 installs C2, then sends m; P2 delivers m and only afterwards
+  // installs C2. Identifying the two installs of C2 (logically
+  // simultaneous, Spec 6.2/L3) makes the precedes relation cyclic:
+  // conf(C2)@P1 -> send(m) -> deliver(m)@P2 -> conf(C2)@P2 == conf(C2)@P1.
+  TraceBuilder b;
+  const ConfigId c2 = ConfigId::regular(R2);
+  const Ord c2ord = ord_regular_conf(R2);
+  b.conf(P1, C1, {P1, P2}, kConfOrd);
+  b.conf(P2, C1, {P1, P2}, kConfOrd);
+  b.conf(P1, c2, {P1, P2}, c2ord);
+  b.send(P1, M1, c2, 1, Ord{R2.seq, R2.rep, 1});
+  b.deliver(P1, M1, c2, 1, ord_message_delivery(R2, 1));
+  b.deliver(P2, M1, C1, 1, ord_message_delivery(R2, 1));  // before installing c2!
+  b.conf(P2, c2, {P1, P2}, c2ord);
+  EXPECT_TRUE(b.has(b.check(false), "2.3"));
+}
+
+TEST(CheckerTest, NoFalseCycleOnCleanInstalls) {
+  TraceBuilder b;
+  const ConfigId c2 = ConfigId::regular(R2);
+  const Ord c2ord = ord_regular_conf(R2);
+  b.conf(P1, C1, {P1, P2}, kConfOrd);
+  b.conf(P2, C1, {P1, P2}, kConfOrd);
+  b.conf(P1, c2, {P1, P2}, c2ord);
+  b.conf(P2, c2, {P1, P2}, c2ord);
+  b.send(P1, M1, c2, 1, Ord{R2.seq, R2.rep, 1});
+  b.deliver(P1, M1, c2, 1, ord_message_delivery(R2, 1));
+  b.deliver(P2, M1, c2, 1, ord_message_delivery(R2, 1));
+  EXPECT_FALSE(b.has(b.check(false), "2.3")) << b.log.dump();
+}
+
+TEST(CheckerTest, MissingSelfDeliveryFlagged) {
+  TraceBuilder b;
+  const ConfigId c2 = ConfigId::regular(R2);
+  b.conf(P1, C1, {P1}, kConfOrd);
+  b.send(P1, M1, C1, 1, sord(1));
+  b.conf(P1, c2, {P1}, ord_regular_conf(R2));  // moved on without delivering
+  EXPECT_TRUE(b.has(b.check(false), "3"));
+}
+
+TEST(CheckerTest, SelfDeliveryExemptOnFailure) {
+  TraceBuilder b;
+  b.conf(P1, C1, {P1}, kConfOrd);
+  b.send(P1, M1, C1, 1, sord(1));
+  b.fail(P1, C1);
+  EXPECT_FALSE(b.has(b.check(false), "3"));
+}
+
+TEST(CheckerTest, FailureAtomicityViolationFlagged) {
+  TraceBuilder b;
+  const ConfigId c2 = ConfigId::regular(R2);
+  const Ord c2ord = ord_regular_conf(R2);
+  b.conf(P1, C1, {P1, P2}, kConfOrd);
+  b.conf(P2, C1, {P1, P2}, kConfOrd);
+  b.send(P1, M1, C1, 1, sord(1));
+  b.deliver(P1, M1, C1, 1, dord(1));  // P2 skips it
+  b.conf(P1, c2, {P1, P2}, c2ord);
+  b.conf(P2, c2, {P1, P2}, c2ord);  // both proceed together to c2
+  EXPECT_TRUE(b.has(b.check(false), "4"));
+}
+
+TEST(CheckerTest, CausalViolationFlagged) {
+  TraceBuilder b;
+  b.conf(P1, C1, {P1, P2}, kConfOrd);
+  b.conf(P2, C1, {P1, P2}, kConfOrd);
+  b.send(P1, M1, C1, 1, sord(1));
+  b.deliver(P1, M1, C1, 1, dord(1));
+  b.send(P1, M2, C1, 2, Ord{R1.seq, R1.rep, kOrdGranule + 1});
+  b.deliver(P1, M2, C1, 2, dord(2));
+  // P2 delivers m2 but never m1 = m2's causal predecessor.
+  b.deliver(P2, M2, C1, 2, dord(2));
+  EXPECT_TRUE(b.has(b.check(false), "5"));
+}
+
+TEST(CheckerTest, TransitiveCausalViolationFlagged) {
+  const MsgId M3{P2, 1};
+  TraceBuilder b;
+  const ProcessId P3{3};
+  b.conf(P1, C1, {P1, P2, P3}, kConfOrd);
+  b.conf(P2, C1, {P1, P2, P3}, kConfOrd);
+  b.conf(P3, C1, {P1, P2, P3}, kConfOrd);
+  // P1 sends m1 and m2; P2 delivers m2 then sends m3; so send(m1) ->
+  // send(m3) transitively even though P2 never delivered m1.
+  b.send(P1, M1, C1, 1, sord(1));
+  b.send(P1, M2, C1, 2, sord(2));
+  b.deliver(P1, M1, C1, 1, dord(1));
+  b.deliver(P1, M2, C1, 2, dord(2));
+  b.deliver(P2, M1, C1, 1, dord(1));
+  b.deliver(P2, M2, C1, 2, dord(2));
+  b.send(P2, M3, C1, 3, Ord{R1.seq, R1.rep, 2 * kOrdGranule + 1});
+  b.deliver(P2, M3, C1, 3, dord(3));
+  b.deliver(P1, M3, C1, 3, dord(3));
+  // P3 delivers only m3: misses both causal predecessors.
+  b.deliver(P3, M3, C1, 3, dord(3));
+  auto vs = b.check(false);
+  EXPECT_TRUE(b.has(vs, "5"));
+}
+
+TEST(CheckerTest, OrdInversionAcrossSendDeliverFlagged) {
+  TraceBuilder b;
+  b.conf(P1, C1, {P1, P2}, kConfOrd);
+  b.conf(P2, C1, {P1, P2}, kConfOrd);
+  b.send(P1, M1, C1, 1, Ord{R1.seq, R1.rep, 2 * kOrdGranule});  // too late
+  b.deliver(P1, M1, C1, 1, dord(1));
+  EXPECT_TRUE(b.has(b.check(false), "6.1"));
+}
+
+TEST(CheckerTest, DifferentDeliveryOrdsFlagged) {
+  TraceBuilder b;
+  b.conf(P1, C1, {P1, P2}, kConfOrd);
+  b.conf(P2, C1, {P1, P2}, kConfOrd);
+  b.send(P1, M1, C1, 1, sord(1));
+  b.deliver(P1, M1, C1, 1, dord(1));
+  b.deliver(P2, M1, C1, 1, dord(2));  // different logical time
+  EXPECT_TRUE(b.has(b.check(false), "6.2"));
+}
+
+TEST(CheckerTest, OrderGapAgainstPeerFlagged) {
+  TraceBuilder b;
+  b.conf(P1, C1, {P1, P2}, kConfOrd);
+  b.conf(P2, C1, {P1, P2}, kConfOrd);
+  b.send(P1, M1, C1, 1, sord(1));
+  b.send(P1, M2, C1, 2, sord(2));
+  b.deliver(P1, M1, C1, 1, dord(1));
+  b.deliver(P1, M2, C1, 2, dord(2));
+  // P2 delivers seq 2 but skips seq 1 although P1 (its sender) is a member
+  // of P2's configuration.
+  b.deliver(P2, M2, C1, 2, dord(2));
+  EXPECT_TRUE(b.has(b.check(false), "6.3"));
+}
+
+TEST(CheckerTest, SafeDeliveryGapFlagged) {
+  TraceBuilder b;
+  b.conf(P1, C1, {P1, P2}, kConfOrd);
+  b.conf(P2, C1, {P1, P2}, kConfOrd);
+  b.send(P1, M1, C1, 1, sord(1), Service::Safe);
+  b.deliver(P1, M1, C1, 1, dord(1), Service::Safe);
+  // P2 neither delivers nor fails: Spec 7.1 violation (quiescent trace).
+  EXPECT_TRUE(b.has(b.check(true), "7.1"));
+}
+
+TEST(CheckerTest, SafeDeliveryExemptOnFail) {
+  TraceBuilder b;
+  b.conf(P1, C1, {P1, P2}, kConfOrd);
+  b.conf(P2, C1, {P1, P2}, kConfOrd);
+  b.send(P1, M1, C1, 1, sord(1), Service::Safe);
+  b.deliver(P1, M1, C1, 1, dord(1), Service::Safe);
+  b.fail(P2, C1);
+  auto vs = b.check(true);
+  EXPECT_FALSE(b.has(vs, "7.1"));
+}
+
+TEST(CheckerTest, SafeInRegularRequiresInstallationEverywhere) {
+  TraceBuilder b;
+  // P2 appears in C1's membership but never installs it; P1 delivers a safe
+  // message in regular C1.
+  b.conf(P1, C1, {P1, P2}, kConfOrd);
+  b.send(P1, M1, C1, 1, sord(1), Service::Safe);
+  b.deliver(P1, M1, C1, 1, dord(1), Service::Safe);
+  b.fail(P2, C1);  // irrelevant: 7.2 has no failure exemption
+  EXPECT_TRUE(b.has(b.check(false), "7.2"));
+}
+
+TEST(CheckerTest, MembershipMismatchFlagged) {
+  TraceBuilder b;
+  b.conf(P1, C1, {P1, P2}, kConfOrd);
+  b.conf(P2, C1, {P2}, kConfOrd);  // same id, different membership
+  EXPECT_TRUE(b.has(b.check(false), "2.x"));
+}
+
+TEST(CheckerTest, SafeDeliveredInTransitionalSatisfies71) {
+  // The EVS resolution: the safe message is delivered by P1 in the regular
+  // configuration and by P2 in its transitional configuration — no
+  // violation.
+  TraceBuilder b;
+  const ConfigId trans = ConfigId::trans(R1, R2);
+  const ConfigId c2 = ConfigId::regular(R2);
+  b.conf(P1, C1, {P1, P2}, kConfOrd);
+  b.conf(P2, C1, {P1, P2}, kConfOrd);
+  b.send(P1, M1, C1, 1, sord(1), Service::Safe);
+  b.deliver(P1, M1, C1, 1, dord(1), Service::Safe);
+  b.conf(P1, trans, {P1, P2}, ord_transitional_conf(R1, 0));
+  b.conf(P2, trans, {P1, P2}, ord_transitional_conf(R1, 0));
+  b.deliver(P2, M1, trans, 1, dord(1), Service::Safe);
+  b.conf(P1, c2, {P1, P2}, ord_regular_conf(R2));
+  b.conf(P2, c2, {P1, P2}, ord_regular_conf(R2));
+  auto vs = b.check(true);
+  EXPECT_FALSE(b.has(vs, "7.1")) << b.log.dump();
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,291 @@
+// The paper's Figures 1-5 illustrate Specifications 1-5 with little event
+// diagrams: an assumed pattern of events forces (star) or forbids (cross)
+// another. Each test here encodes one figure twice — the conforming shape
+// must pass the checker, the crossed-out shape must be flagged. This is the
+// executable rendering of the specification figures (experiment E1).
+#include <gtest/gtest.h>
+
+#include "spec/checker.hpp"
+
+namespace evs {
+namespace {
+
+const ProcessId P{1};
+const ProcessId Q{2};
+const ProcessId R{3};
+const RingId RingA{1, P};
+const RingId RingB{2, P};
+const ConfigId CfgA = ConfigId::regular(RingA);
+const ConfigId CfgB = ConfigId::regular(RingB);
+const ConfigId TransAB = ConfigId::trans(RingA, RingB);
+
+struct Fig {
+  TraceLog log;
+  SimTime t{0};
+
+  void conf(ProcessId p, ConfigId c, std::vector<ProcessId> members) {
+    TraceEvent e;
+    e.type = EventType::DeliverConf;
+    e.process = p;
+    e.time = ++t;
+    e.config = c;
+    e.members = std::move(members);
+    e.ord = c.transitional ? ord_transitional_conf(c.prior_ring, 1000)
+                           : ord_regular_conf(c.ring);
+    log.record(std::move(e));
+  }
+
+  void send(ProcessId p, MsgId m, ConfigId c, SeqNum seq,
+            Service svc = Service::Agreed) {
+    TraceEvent e;
+    e.type = EventType::Send;
+    e.process = p;
+    e.time = ++t;
+    e.msg = m;
+    e.service = svc;
+    e.seq = seq;
+    e.config = c;
+    e.ord = Ord{c.ring.seq, c.ring.rep, (seq - 1) * kOrdGranule + 1};
+    log.record(std::move(e));
+  }
+
+  void deliver(ProcessId p, MsgId m, ConfigId c, SeqNum seq,
+               Service svc = Service::Agreed) {
+    TraceEvent e;
+    e.type = EventType::Deliver;
+    e.process = p;
+    e.time = ++t;
+    e.msg = m;
+    e.service = svc;
+    e.seq = seq;
+    e.config = c;
+    const RingId origin = c.transitional ? c.prior_ring : c.ring;
+    e.ord = ord_message_delivery(origin, seq);
+    log.record(std::move(e));
+  }
+
+  void fail(ProcessId p, ConfigId c) {
+    TraceEvent e;
+    e.type = EventType::Fail;
+    e.process = p;
+    e.time = ++t;
+    e.config = c;
+    log.record(std::move(e));
+  }
+
+  bool flags(const std::string& spec, bool quiescent = false) {
+    SpecChecker checker(log, SpecChecker::Options{quiescent});
+    for (const auto& v : checker.check_all()) {
+      if (v.spec == spec) return true;
+    }
+    return false;
+  }
+
+  std::size_t total(bool quiescent = false) {
+    SpecChecker checker(log, SpecChecker::Options{quiescent});
+    return checker.check_all().size();
+  }
+};
+
+const MsgId M1{P, 1};
+
+// --- Figure 1: basic delivery -----------------------------------------------
+
+TEST(Figure1, DeliveryInSendConfigurationConforms) {
+  Fig f;
+  f.conf(P, CfgA, {P, Q});
+  f.conf(Q, CfgA, {P, Q});
+  f.send(P, M1, CfgA, 1);
+  f.deliver(P, M1, CfgA, 1);
+  f.deliver(Q, M1, CfgA, 1);
+  EXPECT_EQ(f.total(), 0u) << f.log.dump();
+}
+
+TEST(Figure1, DeliveryInFollowingTransitionalConforms) {
+  Fig f;
+  f.conf(P, CfgA, {P, Q});
+  f.conf(Q, CfgA, {P, Q});
+  f.send(P, M1, CfgA, 1);
+  f.deliver(P, M1, CfgA, 1);
+  f.conf(Q, TransAB, {P, Q});
+  f.deliver(Q, M1, TransAB, 1);
+  f.conf(Q, CfgB, {P, Q});
+  // Not quiescent: P has not moved yet; structure alone must conform.
+  EXPECT_FALSE(f.flags("1.3")) << f.log.dump();
+}
+
+TEST(Figure1, DeliveryInUnrelatedConfigurationFlagged) {
+  Fig f;
+  const RingId foreign{9, R};
+  f.conf(P, CfgA, {P, Q});
+  f.conf(R, ConfigId::regular(foreign), {R});
+  f.send(P, M1, CfgA, 1);
+  f.deliver(P, M1, CfgA, 1);
+  TraceEvent bad;
+  bad.type = EventType::Deliver;
+  bad.process = R;
+  bad.time = 999;
+  bad.msg = M1;
+  bad.seq = 1;
+  bad.config = ConfigId::regular(foreign);
+  bad.ord = ord_message_delivery(foreign, 1);
+  f.log.record(std::move(bad));
+  EXPECT_TRUE(f.flags("1.3"));
+}
+
+TEST(Figure1, SameMessageSentTwiceFlagged) {
+  Fig f;
+  f.conf(P, CfgA, {P});
+  f.send(P, M1, CfgA, 1);
+  f.send(P, M1, CfgA, 2);
+  EXPECT_TRUE(f.flags("1.4"));
+}
+
+// --- Figure 2: configuration changes ----------------------------------------
+
+TEST(Figure2, AgreedConfigurationSequenceConforms) {
+  Fig f;
+  f.conf(P, CfgA, {P, Q});
+  f.conf(Q, CfgA, {P, Q});
+  f.conf(P, CfgB, {P, Q});
+  f.conf(Q, CfgB, {P, Q});
+  EXPECT_EQ(f.total(), 0u);
+}
+
+TEST(Figure2, EventBetweenConfigurationsMustBelongToCurrent) {
+  Fig f;
+  f.conf(P, CfgA, {P, Q});
+  f.conf(P, CfgB, {P, Q});
+  // P "delivers in CfgA" after installing CfgB: crossed out in the figure.
+  f.send(P, M1, CfgA, 1);
+  EXPECT_TRUE(f.flags("2.2"));
+}
+
+TEST(Figure2, InstallingAConfigYouAreNotInFlagged) {
+  Fig f;
+  f.conf(P, CfgA, {Q});  // P not a member
+  EXPECT_TRUE(f.flags("2.x"));
+}
+
+// --- Figure 3: self delivery -------------------------------------------------
+
+TEST(Figure3, SenderDeliversOwnMessageConforms) {
+  Fig f;
+  f.conf(P, CfgA, {P});
+  f.send(P, M1, CfgA, 1);
+  f.deliver(P, M1, CfgA, 1);
+  f.conf(P, CfgB, {P});
+  EXPECT_EQ(f.total(), 0u);
+}
+
+TEST(Figure3, MovingOnWithoutSelfDeliveryFlagged) {
+  Fig f;
+  f.conf(P, CfgA, {P});
+  f.send(P, M1, CfgA, 1);
+  f.conf(P, CfgB, {P});  // next regular config, message never delivered
+  EXPECT_TRUE(f.flags("3"));
+}
+
+TEST(Figure3, FailureExemptsSelfDelivery) {
+  Fig f;
+  f.conf(P, CfgA, {P});
+  f.send(P, M1, CfgA, 1);
+  f.fail(P, CfgA);
+  EXPECT_FALSE(f.flags("3", true));
+}
+
+// --- Figure 4: failure atomicity ---------------------------------------------
+
+TEST(Figure4, SameDeliveriesWhenProceedingTogetherConforms) {
+  Fig f;
+  f.conf(P, CfgA, {P, Q});
+  f.conf(Q, CfgA, {P, Q});
+  f.send(P, M1, CfgA, 1);
+  f.deliver(P, M1, CfgA, 1);
+  f.deliver(Q, M1, CfgA, 1);
+  f.conf(P, CfgB, {P, Q});
+  f.conf(Q, CfgB, {P, Q});
+  EXPECT_EQ(f.total(), 0u);
+}
+
+TEST(Figure4, DifferentDeliveriesWhenProceedingTogetherFlagged) {
+  Fig f;
+  f.conf(P, CfgA, {P, Q});
+  f.conf(Q, CfgA, {P, Q});
+  f.send(P, M1, CfgA, 1);
+  f.deliver(P, M1, CfgA, 1);  // Q misses it
+  f.conf(P, CfgB, {P, Q});
+  f.conf(Q, CfgB, {P, Q});
+  EXPECT_TRUE(f.flags("4"));
+}
+
+TEST(Figure4, DifferentNextConfigurationsNotBound) {
+  // The two components of a partition deliver different sets — allowed,
+  // because they proceed to different configurations. This is exactly what
+  // EVS permits that VS does not.
+  Fig f;
+  const RingId ringC{3, Q};
+  f.conf(P, CfgA, {P, Q});
+  f.conf(Q, CfgA, {P, Q});
+  f.send(P, M1, CfgA, 1);
+  f.deliver(P, M1, CfgA, 1);  // Q misses it
+  f.conf(P, CfgB, {P});
+  f.conf(Q, ConfigId::regular(ringC), {Q});
+  EXPECT_FALSE(f.flags("4"));
+}
+
+// --- Figure 5: causal delivery -----------------------------------------------
+
+TEST(Figure5, CausalPairDeliveredInOrderConforms) {
+  const MsgId M2{Q, 1};
+  Fig f;
+  f.conf(P, CfgA, {P, Q, R});
+  f.conf(Q, CfgA, {P, Q, R});
+  f.conf(R, CfgA, {P, Q, R});
+  f.send(P, M1, CfgA, 1);
+  f.deliver(P, M1, CfgA, 1);
+  f.deliver(Q, M1, CfgA, 1);
+  f.send(Q, M2, CfgA, 2);  // causally after M1
+  f.deliver(Q, M2, CfgA, 2);
+  f.deliver(P, M2, CfgA, 2);
+  f.deliver(R, M1, CfgA, 1);
+  f.deliver(R, M2, CfgA, 2);
+  EXPECT_EQ(f.total(), 0u) << f.log.dump();
+}
+
+TEST(Figure5, EffectWithoutCauseFlagged) {
+  const MsgId M2{Q, 1};
+  Fig f;
+  f.conf(P, CfgA, {P, Q, R});
+  f.conf(Q, CfgA, {P, Q, R});
+  f.conf(R, CfgA, {P, Q, R});
+  f.send(P, M1, CfgA, 1);
+  f.deliver(P, M1, CfgA, 1);
+  f.deliver(Q, M1, CfgA, 1);
+  f.send(Q, M2, CfgA, 2);
+  f.deliver(Q, M2, CfgA, 2);
+  // R delivers the effect but never the cause.
+  f.deliver(R, M2, CfgA, 2);
+  EXPECT_TRUE(f.flags("5"));
+}
+
+TEST(Figure5, ConcurrentMessagesUnordered) {
+  // M1 and M2 are concurrent (Q never delivered M1 before sending): a
+  // receiver may deliver either one alone.
+  const MsgId M2{Q, 1};
+  Fig f;
+  f.conf(P, CfgA, {P, Q, R});
+  f.conf(Q, CfgA, {P, Q, R});
+  f.conf(R, CfgA, {P, Q, R});
+  f.send(P, M1, CfgA, 1);
+  f.send(Q, M2, CfgA, 2);
+  f.deliver(P, M1, CfgA, 1);
+  f.deliver(P, M2, CfgA, 2);
+  f.deliver(Q, M1, CfgA, 1);
+  f.deliver(Q, M2, CfgA, 2);
+  f.deliver(R, M2, CfgA, 2);  // only the concurrent M2: no causal violation
+  EXPECT_FALSE(f.flags("5"));
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,87 @@
+#include "spec/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evs {
+namespace {
+
+const ProcessId P1{1};
+const ProcessId P2{2};
+
+TraceEvent make(EventType type, ProcessId p, SimTime t) {
+  TraceEvent e;
+  e.type = type;
+  e.process = p;
+  e.time = t;
+  e.config = ConfigId::regular(RingId{1, P1});
+  return e;
+}
+
+TEST(TraceLogTest, AssignsPerProcessProgramOrder) {
+  TraceLog log;
+  log.record(make(EventType::Send, P1, 1));
+  log.record(make(EventType::Send, P2, 2));
+  log.record(make(EventType::Deliver, P1, 3));
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.events()[0].pindex, 0u);
+  EXPECT_EQ(log.events()[1].pindex, 0u);  // P2's first
+  EXPECT_EQ(log.events()[2].pindex, 1u);  // P1's second
+}
+
+TEST(TraceLogTest, OfProcessFiltersInOrder) {
+  TraceLog log;
+  log.record(make(EventType::Send, P1, 1));
+  log.record(make(EventType::Send, P2, 2));
+  log.record(make(EventType::Fail, P1, 3));
+  auto events = log.of_process(P1);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0]->type, EventType::Send);
+  EXPECT_EQ(events[1]->type, EventType::Fail);
+}
+
+TEST(TraceLogTest, ProcessesListsDistinctSorted) {
+  TraceLog log;
+  log.record(make(EventType::Send, P2, 1));
+  log.record(make(EventType::Send, P1, 2));
+  log.record(make(EventType::Send, P2, 3));
+  EXPECT_EQ(log.processes(), (std::vector<ProcessId>{P1, P2}));
+}
+
+TEST(TraceLogTest, ClearResetsIndexes) {
+  TraceLog log;
+  log.record(make(EventType::Send, P1, 1));
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  log.record(make(EventType::Send, P1, 2));
+  EXPECT_EQ(log.events()[0].pindex, 0u);
+}
+
+TEST(TraceEventTest, DescribeForms) {
+  TraceEvent send = make(EventType::Send, P1, 5);
+  send.msg = MsgId{P1, 3};
+  send.service = Service::Safe;
+  send.seq = 7;
+  EXPECT_NE(send.describe().find("send_P1"), std::string::npos);
+  EXPECT_NE(send.describe().find("P1#3"), std::string::npos);
+  EXPECT_NE(send.describe().find("safe"), std::string::npos);
+
+  TraceEvent conf = make(EventType::DeliverConf, P2, 6);
+  conf.members = {P1, P2};
+  EXPECT_NE(conf.describe().find("deliver_conf_P2"), std::string::npos);
+  EXPECT_NE(conf.describe().find("{P1,P2}"), std::string::npos);
+
+  TraceEvent fail = make(EventType::Fail, P1, 7);
+  EXPECT_NE(fail.describe().find("fail_P1"), std::string::npos);
+}
+
+TEST(TraceLogTest, DumpContainsEveryEvent) {
+  TraceLog log;
+  log.record(make(EventType::Send, P1, 1));
+  log.record(make(EventType::Fail, P2, 2));
+  const std::string dump = log.dump();
+  EXPECT_NE(dump.find("send_P1"), std::string::npos);
+  EXPECT_NE(dump.find("fail_P2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evs

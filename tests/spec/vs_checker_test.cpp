@@ -1,0 +1,206 @@
+// Self-tests for the virtual synchrony legality checker.
+#include "spec/vs_checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evs {
+namespace {
+
+const ProcessId P1{1};
+const ProcessId P2{2};
+const RingId R1{1, P1};
+
+VsOrd vord(std::uint64_t offset, std::uint32_t sub = 0) {
+  return VsOrd{Ord{R1.seq, R1.rep, offset}, sub};
+}
+
+struct VsTraceBuilder {
+  VsTraceLog log;
+  SimTime t{0};
+
+  void view(ProcessId p, std::uint64_t id, std::vector<ProcessId> members, VsOrd ord) {
+    VsEvent e;
+    e.type = VsEventType::View;
+    e.process = p;
+    e.time = ++t;
+    e.view_id = id;
+    e.members = std::move(members);
+    e.ord = ord;
+    log.record(std::move(e));
+  }
+
+  void send(ProcessId p, MsgId m, std::uint64_t view) {
+    VsEvent e;
+    e.type = VsEventType::Send;
+    e.process = p;
+    e.time = ++t;
+    e.msg = m;
+    e.view_id = view;
+    log.record(std::move(e));
+  }
+
+  void deliver(ProcessId p, MsgId m, std::uint64_t view, VsOrd ord) {
+    VsEvent e;
+    e.type = VsEventType::Deliver;
+    e.process = p;
+    e.time = ++t;
+    e.msg = m;
+    e.view_id = view;
+    e.ord = ord;
+    log.record(std::move(e));
+  }
+
+  void stop(ProcessId p) {
+    VsEvent e;
+    e.type = VsEventType::Stop;
+    e.process = p;
+    e.time = ++t;
+    log.record(std::move(e));
+  }
+
+  bool has(const std::string& what, bool quiescent = true) {
+    VsChecker checker(log, VsChecker::Options{quiescent});
+    for (const auto& v : checker.check_all()) {
+      if (v.spec == what) return true;
+    }
+    return false;
+  }
+
+  std::vector<Violation> all(bool quiescent = true) {
+    VsChecker checker(log, VsChecker::Options{quiescent});
+    return checker.check_all();
+  }
+};
+
+const MsgId M1{P1, 1};
+
+TEST(VsCheckerTest, MinimalLegalRunPasses) {
+  VsTraceBuilder b;
+  b.view(P1, 1, {P1, P2}, vord(0, 1));
+  b.view(P2, 1, {P1, P2}, vord(0, 1));
+  b.send(P1, M1, 1);
+  b.deliver(P1, M1, 1, vord(100));
+  b.deliver(P2, M1, 1, vord(100));
+  EXPECT_TRUE(b.all().empty()) << b.log.dump();
+}
+
+TEST(VsCheckerTest, ViewMembershipMismatchFlagged) {
+  VsTraceBuilder b;
+  b.view(P1, 1, {P1, P2}, vord(0, 1));
+  b.view(P2, 1, {P2}, vord(0, 1));
+  EXPECT_TRUE(b.has("VS-view", false));
+}
+
+TEST(VsCheckerTest, ViewTimeMismatchFlaggedL3) {
+  VsTraceBuilder b;
+  b.view(P1, 1, {P1, P2}, vord(0, 1));
+  b.view(P2, 1, {P1, P2}, vord(0, 2));
+  EXPECT_TRUE(b.has("L3", false));
+}
+
+TEST(VsCheckerTest, NonMemberInstallFlagged) {
+  VsTraceBuilder b;
+  b.view(P1, 1, {P2}, vord(0, 1));
+  EXPECT_TRUE(b.has("VS-view", false));
+}
+
+TEST(VsCheckerTest, ViewIdRegressionFlagged) {
+  VsTraceBuilder b;
+  b.view(P1, 2, {P1}, vord(0, 1));
+  b.view(P1, 1, {P1}, vord(0, 2));
+  EXPECT_TRUE(b.has("VS-unique", false));
+}
+
+TEST(VsCheckerTest, ContinuityBreakFlagged) {
+  VsTraceBuilder b;
+  b.view(P1, 1, {P1}, vord(0, 1));
+  b.view(P2, 2, {P2}, vord(0, 2));
+  EXPECT_TRUE(b.has("VS-continuity", false));
+}
+
+TEST(VsCheckerTest, RenamedIncarnationPreservesContinuity) {
+  VsTraceBuilder b;
+  const ProcessId p1_inc1 = vs_synth_id(P1, 1);
+  b.view(P1, 1, {P1}, vord(0, 1));
+  b.stop(P1);
+  b.view(p1_inc1, 2, {p1_inc1}, vord(0, 2));
+  EXPECT_FALSE(b.has("VS-continuity", false)) << b.log.dump();
+}
+
+TEST(VsCheckerTest, DeliveryInTwoViewsFlaggedL4) {
+  VsTraceBuilder b;
+  b.view(P1, 1, {P1, P2}, vord(0, 1));
+  b.view(P2, 1, {P1, P2}, vord(0, 1));
+  b.view(P1, 2, {P1, P2}, vord(1, 1));
+  b.view(P2, 2, {P1, P2}, vord(1, 1));
+  b.send(P1, M1, 1);
+  b.deliver(P1, M1, 1, vord(100));
+  b.deliver(P2, M1, 2, vord(100));
+  EXPECT_TRUE(b.has("L4", false));
+}
+
+TEST(VsCheckerTest, DifferentDeliveryTimesFlaggedL5) {
+  VsTraceBuilder b;
+  b.view(P1, 1, {P1, P2}, vord(0, 1));
+  b.view(P2, 1, {P1, P2}, vord(0, 1));
+  b.send(P1, M1, 1);
+  b.deliver(P1, M1, 1, vord(100));
+  b.deliver(P2, M1, 1, vord(101));
+  EXPECT_TRUE(b.has("L5", false));
+}
+
+TEST(VsCheckerTest, LocalTimeInversionFlaggedL1) {
+  VsTraceBuilder b;
+  b.view(P1, 1, {P1}, vord(5, 1));
+  b.send(P1, M1, 1);
+  b.deliver(P1, M1, 1, vord(2));  // before the view's logical time
+  EXPECT_TRUE(b.has("L1", false));
+}
+
+TEST(VsCheckerTest, MissingMemberDeliveryFlaggedC3) {
+  VsTraceBuilder b;
+  b.view(P1, 1, {P1, P2}, vord(0, 1));
+  b.view(P2, 1, {P1, P2}, vord(0, 1));
+  b.send(P1, M1, 1);
+  b.deliver(P1, M1, 1, vord(100));
+  // P2 never delivers and never stops.
+  EXPECT_TRUE(b.has("C3", true));
+}
+
+TEST(VsCheckerTest, StoppedMemberExemptFromC3) {
+  VsTraceBuilder b;
+  b.view(P1, 1, {P1, P2}, vord(0, 1));
+  b.view(P2, 1, {P1, P2}, vord(0, 1));
+  b.send(P1, M1, 1);
+  b.deliver(P1, M1, 1, vord(100));
+  b.stop(P2);
+  EXPECT_FALSE(b.has("C3", true));
+}
+
+TEST(VsCheckerTest, SelfDeliveryMissingFlaggedC2) {
+  VsTraceBuilder b;
+  b.view(P1, 1, {P1, P2}, vord(0, 1));
+  b.view(P2, 1, {P1, P2}, vord(0, 1));
+  b.send(P1, M1, 1);
+  b.deliver(P2, M1, 1, vord(100));
+  EXPECT_TRUE(b.has("C2", true));
+}
+
+TEST(VsCheckerTest, DoubleDeliveryFlagged) {
+  VsTraceBuilder b;
+  b.view(P1, 1, {P1}, vord(0, 1));
+  b.send(P1, M1, 1);
+  b.deliver(P1, M1, 1, vord(100));
+  b.deliver(P1, M1, 1, vord(100));
+  EXPECT_TRUE(b.has("C1", false));
+}
+
+TEST(VsCheckerTest, IdentityHelpersRoundTrip) {
+  const ProcessId synth = vs_synth_id(ProcessId{7}, 3);
+  EXPECT_EQ(vs_base_pid(synth), ProcessId{7});
+  EXPECT_EQ(vs_incarnation_of(synth), 3u);
+  EXPECT_EQ(vs_incarnation_of(ProcessId{7}), 0u);
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,72 @@
+#include "storage/stable_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evs {
+namespace {
+
+TEST(StableStoreTest, PutGetRoundTrip) {
+  StableStore store;
+  store.put("k", {1, 2, 3});
+  auto v = store.get("k");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, (StableStore::Blob{1, 2, 3}));
+}
+
+TEST(StableStoreTest, MissingKeyReturnsNullopt) {
+  StableStore store;
+  EXPECT_FALSE(store.get("nope").has_value());
+  EXPECT_FALSE(store.contains("nope"));
+}
+
+TEST(StableStoreTest, OverwriteReplaces) {
+  StableStore store;
+  store.put("k", {1});
+  store.put("k", {2});
+  EXPECT_EQ(*store.get("k"), StableStore::Blob{2});
+  EXPECT_EQ(store.key_count(), 1u);
+}
+
+TEST(StableStoreTest, EraseRemoves) {
+  StableStore store;
+  store.put("k", {1});
+  store.erase("k");
+  EXPECT_FALSE(store.contains("k"));
+}
+
+TEST(StableStoreTest, ErasePrefix) {
+  StableStore store;
+  store.put("msg/1", {1});
+  store.put("msg/2", {2});
+  store.put("meta", {3});
+  store.erase_prefix("msg/");
+  EXPECT_FALSE(store.contains("msg/1"));
+  EXPECT_FALSE(store.contains("msg/2"));
+  EXPECT_TRUE(store.contains("meta"));
+}
+
+TEST(StableStoreTest, KeysWithPrefixSorted) {
+  StableStore store;
+  store.put("m/b", {});
+  store.put("m/a", {});
+  store.put("x", {});
+  auto keys = store.keys_with_prefix("m/");
+  EXPECT_EQ(keys, (std::vector<std::string>{"m/a", "m/b"}));
+}
+
+TEST(StableStoreTest, WriteAccounting) {
+  StableStore store;
+  store.put("a", {1, 2});
+  store.put("b", {3});
+  EXPECT_EQ(store.writes(), 2u);
+  EXPECT_EQ(store.bytes_written(), 3u);
+}
+
+TEST(StableStoreTest, ErasePrefixOnEmptyStore) {
+  StableStore store;
+  store.erase_prefix("m/");
+  EXPECT_EQ(store.key_count(), 0u);
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,101 @@
+// The test harness is public API too: its helpers get their own tests.
+#include "testkit/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evs {
+namespace {
+
+TEST(ClusterTest, PidsAreOneBasedAndStable) {
+  Cluster cluster(Cluster::Options{.num_processes = 3});
+  EXPECT_EQ(cluster.pid(0), ProcessId{1});
+  EXPECT_EQ(cluster.pid(2), ProcessId{3});
+  EXPECT_EQ(cluster.pids(), (std::vector<ProcessId>{ProcessId{1}, ProcessId{2},
+                                                    ProcessId{3}}));
+  EXPECT_EQ(cluster.size(), 3u);
+}
+
+TEST(ClusterTest, AwaitTimesOutWhenPredicateNeverHolds) {
+  Cluster cluster(Cluster::Options{.num_processes = 1});
+  const SimTime before = cluster.now();
+  EXPECT_FALSE(cluster.await([] { return false; }, 10'000, 1'000));
+  EXPECT_GE(cluster.now(), before + 10'000);
+}
+
+TEST(ClusterTest, AwaitReturnsImmediatelyWhenAlreadyTrue) {
+  Cluster cluster(Cluster::Options{.num_processes = 1});
+  const SimTime before = cluster.now();
+  EXPECT_TRUE(cluster.await([] { return true; }, 1'000'000));
+  EXPECT_EQ(cluster.now(), before);
+}
+
+TEST(ClusterTest, StableFalseWhileMerging) {
+  Cluster cluster(Cluster::Options{.num_processes = 3});
+  // Right after construction the singletons have not merged yet.
+  EXPECT_FALSE(cluster.stable());
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  EXPECT_TRUE(cluster.stable());
+}
+
+TEST(ClusterTest, StableIgnoresCrashedNodes) {
+  Cluster cluster(Cluster::Options{.num_processes = 3});
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  cluster.crash(cluster.pid(2));
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  EXPECT_TRUE(cluster.stable());  // survivors form their own configuration
+}
+
+TEST(ClusterTest, SinkHelpersFindDeliveries) {
+  Cluster cluster(Cluster::Options{.num_processes = 2});
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  const MsgId id = cluster.node(0u).send(Service::Agreed, {1, 2});
+  ASSERT_TRUE(cluster.await_quiesce(3'000'000));
+  const auto& sink = cluster.sink(1u);
+  EXPECT_TRUE(sink.delivered(id));
+  const auto* d = sink.find(id);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->payload, (std::vector<std::uint8_t>{1, 2}));
+  EXPECT_EQ(sink.delivered_ids().size(), 1u);
+  EXPECT_FALSE(sink.delivered(MsgId{ProcessId{9}, 99}));
+  EXPECT_EQ(sink.find(MsgId{ProcessId{9}, 99}), nullptr);
+}
+
+TEST(ClusterTest, CheckReportFormatsViolations) {
+  // A trace with a fabricated violation produces a "[spec ...]" line.
+  Cluster cluster(Cluster::Options{.num_processes = 1});
+  ASSERT_TRUE(cluster.await_stable(1'000'000));
+  TraceEvent bogus;
+  bogus.type = EventType::Deliver;
+  bogus.process = cluster.pid(0);
+  bogus.msg = MsgId{cluster.pid(0), 424242};  // never sent
+  bogus.config = cluster.node(0u).config().id;
+  bogus.seq = 999;
+  bogus.ord = ord_message_delivery(cluster.node(0u).config().id.ring, 999);
+  cluster.trace().record(std::move(bogus));
+  const std::string report = cluster.check_report(false);
+  EXPECT_NE(report.find("[spec 1.3]"), std::string::npos) << report;
+}
+
+TEST(ClusterTest, PartitionByIndexMatchesPids) {
+  Cluster cluster(Cluster::Options{.num_processes = 4});
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  cluster.partition({{0, 3}, {1, 2}});
+  EXPECT_TRUE(cluster.network().connected(cluster.pid(0), cluster.pid(3)));
+  EXPECT_FALSE(cluster.network().connected(cluster.pid(0), cluster.pid(1)));
+  EXPECT_TRUE(cluster.network().connected(cluster.pid(1), cluster.pid(2)));
+}
+
+TEST(ClusterTest, AutoStartCanBeDisabled) {
+  Cluster::Options opts;
+  opts.num_processes = 2;
+  opts.auto_start = false;
+  Cluster cluster(opts);
+  cluster.run_for(50'000);
+  EXPECT_EQ(cluster.trace().size(), 0u);  // nothing ran
+  cluster.start_all();
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  EXPECT_GT(cluster.trace().size(), 0u);
+}
+
+}  // namespace
+}  // namespace evs

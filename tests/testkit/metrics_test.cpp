@@ -1,0 +1,113 @@
+#include "testkit/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evs {
+namespace {
+
+const ProcessId P1{1};
+const ProcessId P2{2};
+const RingId R1{1, P1};
+const RingId R2{2, P1};
+
+TraceEvent ev(EventType type, ProcessId p, SimTime t, MsgId m = {},
+              bool transitional = false) {
+  TraceEvent e;
+  e.type = type;
+  e.process = p;
+  e.time = t;
+  e.msg = m;
+  e.config = transitional ? ConfigId::trans(R1, R2) : ConfigId::regular(R1);
+  return e;
+}
+
+TEST(MetricsTest, SummarizeEmpty) {
+  const LatencySummary s = summarize({});
+  EXPECT_EQ(s.samples, 0u);
+  EXPECT_EQ(s.avg_us, 0);
+}
+
+TEST(MetricsTest, SummarizePercentiles) {
+  std::vector<SimTime> d;
+  for (SimTime i = 1; i <= 100; ++i) d.push_back(i);
+  const LatencySummary s = summarize(d);
+  EXPECT_EQ(s.samples, 100u);
+  EXPECT_EQ(s.min_us, 1u);
+  EXPECT_EQ(s.max_us, 100u);
+  EXPECT_EQ(s.p50_us, 51u);
+  EXPECT_EQ(s.p99_us, 100u);
+  EXPECT_DOUBLE_EQ(s.avg_us, 50.5);
+}
+
+TEST(MetricsTest, DeliveryLatencyFirstVsLast) {
+  TraceLog log;
+  const MsgId m{P1, 1};
+  log.record(ev(EventType::Send, P1, 100, m));
+  log.record(ev(EventType::Deliver, P1, 150, m));
+  log.record(ev(EventType::Deliver, P2, 400, m));
+  EXPECT_DOUBLE_EQ(delivery_latency(log, /*to_last=*/false).avg_us, 50);
+  EXPECT_DOUBLE_EQ(delivery_latency(log, /*to_last=*/true).avg_us, 300);
+}
+
+TEST(MetricsTest, DeliveryLatencyServiceFilter) {
+  TraceLog log;
+  MsgId agreed{P1, 1};
+  MsgId safe{P1, 2};
+  auto mk = [&](MsgId m, Service s, SimTime sent, SimTime delivered) {
+    auto e1 = ev(EventType::Send, P1, sent, m);
+    e1.service = s;
+    log.record(e1);
+    auto e2 = ev(EventType::Deliver, P2, delivered, m);
+    e2.service = s;
+    log.record(e2);
+  };
+  mk(agreed, Service::Agreed, 0, 10);
+  mk(safe, Service::Safe, 0, 90);
+  const Service f = Service::Safe;
+  EXPECT_DOUBLE_EQ(delivery_latency(log, true, &f).avg_us, 90);
+  EXPECT_DOUBLE_EQ(delivery_latency(log, true).avg_us, 50);
+}
+
+TEST(MetricsTest, UndeliveredMessagesExcluded) {
+  TraceLog log;
+  log.record(ev(EventType::Send, P1, 10, MsgId{P1, 1}));
+  EXPECT_EQ(delivery_latency(log, true).samples, 0u);
+}
+
+TEST(MetricsTest, RecoveryWindowSpansDisruption) {
+  TraceLog log;
+  // P1: regular config at t=0, delivery at t=100, then (disruption)
+  // transitional + new regular at t=5000 in one atomic batch.
+  log.record(ev(EventType::DeliverConf, P1, 0));
+  log.record(ev(EventType::Deliver, P1, 100, MsgId{P1, 1}));
+  log.record(ev(EventType::DeliverConf, P1, 5000, {}, /*transitional=*/true));
+  auto reg2 = ev(EventType::DeliverConf, P1, 5000);
+  reg2.config = ConfigId::regular(R2);
+  log.record(reg2);
+  const auto windows = recovery_windows(log);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].process, P1);
+  EXPECT_EQ(windows[0].start_us, 100u);
+  EXPECT_EQ(windows[0].end_us, 5000u);
+  EXPECT_EQ(windows[0].duration_us(), 4900u);
+}
+
+TEST(MetricsTest, NoWindowOnFirstInstall) {
+  TraceLog log;
+  log.record(ev(EventType::DeliverConf, P1, 10));
+  EXPECT_TRUE(recovery_windows(log).empty());
+}
+
+TEST(MetricsTest, FailResetsWindowTracking) {
+  TraceLog log;
+  log.record(ev(EventType::DeliverConf, P1, 0));
+  log.record(ev(EventType::Fail, P1, 50));
+  auto reg2 = ev(EventType::DeliverConf, P1, 900);
+  reg2.config = ConfigId::regular(R2);
+  log.record(reg2);
+  // Recovery after a crash is not counted as a live-reconfiguration window.
+  EXPECT_TRUE(recovery_windows(log).empty());
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,198 @@
+// Edge cases of the token-ring ordering core: laggards, retransmission
+// convergence, aru ownership hand-off, flow-control backpressure, and the
+// safety horizon under partial receipt.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "totem/ordering.hpp"
+
+namespace evs {
+namespace {
+
+const RingId kRing{1, ProcessId{1}};
+
+// A miniature in-memory ring: drives tokens around N cores and "broadcasts"
+// with a per-receiver drop filter, so loss patterns are exact.
+struct MiniRing {
+  std::vector<OrderingCore> cores;
+  std::vector<std::deque<PendingSend>> pending;
+  TokenMsg token;
+  std::size_t holder{0};
+  // drop[receiver] = seqs that receiver must not get on first transmission.
+  std::map<std::size_t, SeqSet> drop_first;
+
+  explicit MiniRing(std::size_t n) {
+    std::vector<ProcessId> members;
+    for (std::size_t i = 1; i <= n; ++i) members.push_back(ProcessId{static_cast<std::uint32_t>(i)});
+    for (std::size_t i = 0; i < n; ++i) {
+      cores.emplace_back(kRing, members, members[i]);
+    }
+    pending.resize(n);
+    token.ring = kRing;
+    token.rotation = 1;
+  }
+
+  void queue(std::size_t who, SeqNum counter, Service svc = Service::Agreed) {
+    pending[who].push_back({MsgId{cores[who].self(), counter}, svc, {}});
+  }
+
+  // One token step at the current holder; returns messages broadcast.
+  std::vector<RegularMsg> step() {
+    auto result = cores[holder].on_token(token, pending[holder]);
+    for (const RegularMsg& m : result.to_broadcast) {
+      for (std::size_t r = 0; r < cores.size(); ++r) {
+        if (r == holder) continue;
+        auto it = drop_first.find(r);
+        if (it != drop_first.end() && it->second.contains(m.seq)) {
+          it->second.erase(m.seq);  // only the first transmission is lost
+          continue;
+        }
+        cores[r].on_regular(m);
+      }
+    }
+    token = result.token_out;
+    holder = (holder + 1) % cores.size();
+    return result.to_broadcast;
+  }
+
+  void rotate(int times = 1) {
+    for (int i = 0; i < times * static_cast<int>(cores.size()); ++i) step();
+  }
+};
+
+TEST(OrderingEdgeTest, LaggardCatchesUpViaRetransmission) {
+  MiniRing ring(3);
+  // Process 3 (index 2) misses seqs 1 and 2 on first transmission.
+  ring.drop_first[2].insert(1);
+  ring.drop_first[2].insert(2);
+  ring.queue(0, 1);
+  ring.queue(0, 2);
+  ring.rotate(1);  // messages broadcast; index 2 missed them
+  EXPECT_EQ(ring.cores[2].contig(), 0u);
+  ring.rotate(2);  // rtr requested and served
+  EXPECT_EQ(ring.cores[2].contig(), 2u);
+  EXPECT_EQ(ring.cores[2].drain_deliverable().size(), 2u);
+}
+
+TEST(OrderingEdgeTest, SafetyWaitsForTheLaggard) {
+  MiniRing ring(3);
+  ring.drop_first[2].insert(1);
+  ring.queue(0, 1, Service::Safe);
+  ring.rotate(2);
+  // Index 0 and 1 hold the message but the horizon cannot pass seq 1 until
+  // index 2 has acknowledged receipt (via the aru).
+  EXPECT_TRUE(ring.cores[0].has(1));
+  EXPECT_EQ(ring.cores[0].drain_deliverable().size(), 0u);
+  ring.rotate(2);  // retransmission + two clean rotations
+  EXPECT_EQ(ring.cores[0].drain_deliverable().size(), 1u);
+  EXPECT_EQ(ring.cores[1].drain_deliverable().size(), 1u);
+  EXPECT_EQ(ring.cores[2].drain_deliverable().size(), 1u);
+}
+
+TEST(OrderingEdgeTest, AruSetterHandsOffBetweenLaggards) {
+  MiniRing ring(3);
+  ring.drop_first[1].insert(1);
+  ring.drop_first[2].insert(2);
+  ring.queue(0, 1);
+  ring.queue(0, 2);
+  ring.rotate(4);
+  // Everyone eventually converges despite two different processes having
+  // lowered the aru at different times.
+  for (auto& core : ring.cores) {
+    EXPECT_EQ(core.contig(), 2u);
+    EXPECT_EQ(core.drain_deliverable().size(), 2u);
+  }
+  EXPECT_GE(ring.token.aru, 2u);
+}
+
+TEST(OrderingEdgeTest, InterleavedSendersKeepTotalOrder) {
+  MiniRing ring(3);
+  ring.queue(0, 1);
+  ring.queue(1, 1);
+  ring.queue(2, 1);
+  ring.queue(0, 2);
+  ring.rotate(2);
+  // Total order = seq order, identical everywhere.
+  std::vector<SeqNum> seqs0;
+  for (const auto& m : ring.cores[0].drain_deliverable()) seqs0.push_back(m.seq);
+  EXPECT_EQ(seqs0, (std::vector<SeqNum>{1, 2, 3, 4}));
+  for (std::size_t i = 1; i < 3; ++i) {
+    std::vector<SeqNum> seqs;
+    for (const auto& m : ring.cores[i].drain_deliverable()) seqs.push_back(m.seq);
+    EXPECT_EQ(seqs, seqs0);
+  }
+}
+
+TEST(OrderingEdgeTest, FlowControlBackpressureDrainsOverVisits) {
+  MiniRing ring(2);
+  OrderingCore::Options tight;
+  tight.max_new_per_token = 2;
+  ring.cores[0] = OrderingCore(kRing, {ProcessId{1}, ProcessId{2}}, ProcessId{1}, tight);
+  for (SeqNum i = 1; i <= 7; ++i) ring.queue(0, i);
+  ring.step();  // visit 1: 2 stamped
+  EXPECT_EQ(ring.pending[0].size(), 5u);
+  ring.step();  // other member
+  ring.step();  // visit 2: 2 more
+  EXPECT_EQ(ring.pending[0].size(), 3u);
+  ring.rotate(3);
+  EXPECT_TRUE(ring.pending[0].empty());
+  EXPECT_EQ(ring.cores[1].contig(), 7u);
+}
+
+TEST(OrderingEdgeTest, RetransmitCapLimitsPerVisitWork) {
+  OrderingCore::Options opts;
+  opts.max_retransmit_per_token = 2;
+  OrderingCore core(kRing, {ProcessId{1}, ProcessId{2}}, ProcessId{1}, opts);
+  for (SeqNum s = 1; s <= 5; ++s) {
+    RegularMsg m;
+    m.ring = kRing;
+    m.seq = s;
+    m.id = MsgId{ProcessId{1}, s};
+    core.on_regular(m);
+  }
+  std::deque<PendingSend> none;
+  TokenMsg t;
+  t.ring = kRing;
+  t.rotation = 1;
+  t.seq = 5;
+  t.rtr.insert_range(1, 5);
+  auto r = core.on_token(t, none);
+  EXPECT_EQ(r.to_broadcast.size(), 2u);       // capped
+  EXPECT_EQ(r.token_out.rtr.size(), 3u);      // remainder left for next holder
+}
+
+TEST(OrderingEdgeTest, TokenSeqNeverRegresses) {
+  MiniRing ring(3);
+  ring.queue(1, 1);
+  SeqNum last = 0;
+  for (int i = 0; i < 9; ++i) {
+    ring.step();
+    EXPECT_GE(ring.token.seq, last);
+    last = ring.token.seq;
+  }
+  EXPECT_EQ(last, 1u);
+}
+
+TEST(OrderingEdgeTest, DrainAfterPartialReceiptIsIncremental) {
+  OrderingCore core(kRing, {ProcessId{1}, ProcessId{2}}, ProcessId{2});
+  auto msg = [&](SeqNum s) {
+    RegularMsg m;
+    m.ring = kRing;
+    m.seq = s;
+    m.id = MsgId{ProcessId{1}, s};
+    return m;
+  };
+  core.on_regular(msg(1));
+  EXPECT_EQ(core.drain_deliverable().size(), 1u);
+  core.on_regular(msg(3));
+  EXPECT_TRUE(core.drain_deliverable().empty());
+  core.on_regular(msg(2));
+  auto out = core.drain_deliverable();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].seq, 2u);
+  EXPECT_EQ(out[1].seq, 3u);
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,251 @@
+#include "totem/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evs {
+namespace {
+
+const RingId kRing{1, ProcessId{1}};
+const std::vector<ProcessId> kThree{ProcessId{1}, ProcessId{2}, ProcessId{3}};
+
+RegularMsg make_msg(SeqNum seq, ProcessId sender, Service service = Service::Agreed) {
+  RegularMsg m;
+  m.ring = kRing;
+  m.seq = seq;
+  m.id = MsgId{sender, seq};
+  m.service = service;
+  return m;
+}
+
+TokenMsg fresh_token() {
+  TokenMsg t;
+  t.ring = kRing;
+  t.rotation = 1;
+  return t;
+}
+
+TEST(OrderingTest, NextInRingWrapsAround) {
+  OrderingCore a(kRing, kThree, ProcessId{1});
+  OrderingCore b(kRing, kThree, ProcessId{2});
+  OrderingCore c(kRing, kThree, ProcessId{3});
+  EXPECT_EQ(a.next_in_ring(), ProcessId{2});
+  EXPECT_EQ(b.next_in_ring(), ProcessId{3});
+  EXPECT_EQ(c.next_in_ring(), ProcessId{1});
+}
+
+TEST(OrderingTest, StampsPendingMessagesOnToken) {
+  OrderingCore core(kRing, kThree, ProcessId{1});
+  std::deque<PendingSend> pending;
+  pending.push_back({MsgId{ProcessId{1}, 1}, Service::Agreed, {1}});
+  pending.push_back({MsgId{ProcessId{1}, 2}, Service::Agreed, {2}});
+  auto result = core.on_token(fresh_token(), pending);
+  ASSERT_EQ(result.new_messages.size(), 2u);
+  EXPECT_EQ(result.new_messages[0].seq, 1u);
+  EXPECT_EQ(result.new_messages[1].seq, 2u);
+  EXPECT_EQ(result.token_out.seq, 2u);
+  EXPECT_TRUE(pending.empty());
+  EXPECT_TRUE(core.has(1));
+  EXPECT_TRUE(core.has(2));
+}
+
+TEST(OrderingTest, FlowControlCapsNewMessagesPerToken) {
+  OrderingCore::Options opts;
+  opts.max_new_per_token = 3;
+  OrderingCore core(kRing, kThree, ProcessId{1}, opts);
+  std::deque<PendingSend> pending;
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    pending.push_back({MsgId{ProcessId{1}, i}, Service::Agreed, {}});
+  }
+  auto result = core.on_token(fresh_token(), pending);
+  EXPECT_EQ(result.new_messages.size(), 3u);
+  EXPECT_EQ(pending.size(), 7u);
+}
+
+TEST(OrderingTest, AgreedDeliveryRequiresContiguity) {
+  OrderingCore core(kRing, kThree, ProcessId{2});
+  core.on_regular(make_msg(2, ProcessId{1}));
+  EXPECT_TRUE(core.drain_deliverable().empty());  // missing seq 1
+  core.on_regular(make_msg(1, ProcessId{1}));
+  auto out = core.drain_deliverable();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].seq, 1u);
+  EXPECT_EQ(out[1].seq, 2u);
+  EXPECT_EQ(core.delivered_upto(), 2u);
+}
+
+TEST(OrderingTest, DuplicateRegularIgnored) {
+  OrderingCore core(kRing, kThree, ProcessId{2});
+  EXPECT_TRUE(core.on_regular(make_msg(1, ProcessId{1})));
+  EXPECT_FALSE(core.on_regular(make_msg(1, ProcessId{1})));
+  EXPECT_EQ(core.drain_deliverable().size(), 1u);
+  EXPECT_TRUE(core.drain_deliverable().empty());
+}
+
+TEST(OrderingTest, SafeMessageBlocksUntilSafeHorizon) {
+  OrderingCore core(kRing, kThree, ProcessId{2});
+  core.on_regular(make_msg(1, ProcessId{1}, Service::Safe));
+  EXPECT_TRUE(core.drain_deliverable().empty());
+
+  // First token visit: aru rises to 1 (we hold seq 1), but safety needs two
+  // visits with aru >= 1.
+  std::deque<PendingSend> none;
+  TokenMsg t = fresh_token();
+  t.seq = 1;
+  auto r1 = core.on_token(t, none);
+  EXPECT_EQ(r1.token_out.aru, 1u);
+  EXPECT_TRUE(core.drain_deliverable().empty());
+
+  TokenMsg t2 = r1.token_out;
+  t2.rotation = 2;
+  core.on_token(t2, none);
+  EXPECT_EQ(core.safe_upto(), 1u);
+  auto out = core.drain_deliverable();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].service, Service::Safe);
+}
+
+TEST(OrderingTest, SafeBlocksLaterAgreedInTotalOrder) {
+  OrderingCore core(kRing, kThree, ProcessId{2});
+  core.on_regular(make_msg(1, ProcessId{1}, Service::Safe));
+  core.on_regular(make_msg(2, ProcessId{1}, Service::Agreed));
+  // Seq 2 (agreed) must not jump ahead of the unsafe seq 1.
+  EXPECT_TRUE(core.drain_deliverable().empty());
+}
+
+TEST(OrderingTest, AruLoweredWhenBehind) {
+  OrderingCore core(kRing, kThree, ProcessId{2});
+  // We hold nothing; the incoming token claims aru 5.
+  std::deque<PendingSend> none;
+  TokenMsg t = fresh_token();
+  t.seq = 5;
+  t.aru = 5;
+  auto r = core.on_token(t, none);
+  EXPECT_EQ(r.token_out.aru, 0u);
+  EXPECT_EQ(r.token_out.aru_setter, ProcessId{2});
+  // And our holes are requested for retransmission.
+  EXPECT_EQ(r.token_out.rtr.size(), 5u);
+}
+
+TEST(OrderingTest, AruRaisedBySetterAfterCatchUp) {
+  OrderingCore core(kRing, kThree, ProcessId{2});
+  std::deque<PendingSend> none;
+  TokenMsg t = fresh_token();
+  t.seq = 2;
+  t.aru = 2;
+  auto r1 = core.on_token(t, none);  // we lower to 0, become setter
+  EXPECT_EQ(r1.token_out.aru, 0u);
+  core.on_regular(make_msg(1, ProcessId{1}));
+  core.on_regular(make_msg(2, ProcessId{1}));
+  TokenMsg t2 = r1.token_out;
+  t2.rotation = 2;
+  auto r2 = core.on_token(t2, none);
+  EXPECT_EQ(r2.token_out.aru, 2u);  // setter raises after catching up
+}
+
+TEST(OrderingTest, RetransmissionServedFromStore) {
+  OrderingCore core(kRing, kThree, ProcessId{2});
+  core.on_regular(make_msg(1, ProcessId{2}));
+  std::deque<PendingSend> none;
+  TokenMsg t = fresh_token();
+  t.seq = 1;
+  t.rtr.insert(1);
+  auto r = core.on_token(t, none);
+  ASSERT_EQ(r.to_broadcast.size(), 1u);
+  EXPECT_EQ(r.to_broadcast[0].seq, 1u);
+  EXPECT_FALSE(r.token_out.rtr.contains(1));
+  EXPECT_TRUE(r.new_messages.empty());
+}
+
+TEST(OrderingTest, RetransmissionRequestLeftWhenNotHeld) {
+  OrderingCore core(kRing, kThree, ProcessId{2});
+  std::deque<PendingSend> none;
+  TokenMsg t = fresh_token();
+  t.seq = 1;
+  t.rtr.insert(1);
+  auto r = core.on_token(t, none);
+  EXPECT_TRUE(r.to_broadcast.empty());
+  EXPECT_TRUE(r.token_out.rtr.contains(1));
+}
+
+TEST(OrderingTest, StaleTokenDetected) {
+  OrderingCore core(kRing, kThree, ProcessId{1});
+  std::deque<PendingSend> none;
+  TokenMsg t = fresh_token();
+  auto r = core.on_token(t, none);
+  EXPECT_TRUE(core.token_is_stale(t));  // same rotation again
+  EXPECT_FALSE(core.token_is_stale(r.token_out));
+  TokenMsg foreign = fresh_token();
+  foreign.ring = RingId{99, ProcessId{9}};
+  EXPECT_TRUE(core.token_is_stale(foreign));
+}
+
+TEST(OrderingTest, SingletonRingIsImmediatelySafe) {
+  OrderingCore core(RingId{1, ProcessId{1}}, {ProcessId{1}}, ProcessId{1});
+  std::deque<PendingSend> pending;
+  pending.push_back({MsgId{ProcessId{1}, 1}, Service::Safe, {}});
+  TokenMsg t;
+  t.ring = RingId{1, ProcessId{1}};
+  t.rotation = 1;
+  core.on_token(t, pending);
+  auto out = core.drain_deliverable();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].service, Service::Safe);
+}
+
+TEST(OrderingTest, CausalOrderingViaSeqAssignment) {
+  // A process that delivered seq 1..2 then sends: its message gets seq 3,
+  // after everything it saw.
+  OrderingCore core(kRing, kThree, ProcessId{2});
+  core.on_regular(make_msg(1, ProcessId{1}));
+  core.on_regular(make_msg(2, ProcessId{3}));
+  core.drain_deliverable();
+  std::deque<PendingSend> pending;
+  pending.push_back({MsgId{ProcessId{2}, 1}, Service::Agreed, {}});
+  TokenMsg t = fresh_token();
+  t.seq = 2;
+  t.aru = 2;
+  auto r = core.on_token(t, pending);
+  ASSERT_EQ(r.new_messages.size(), 1u);
+  EXPECT_EQ(r.new_messages[0].seq, 3u);
+}
+
+TEST(OrderingTest, AllMessagesSortedBySeq) {
+  OrderingCore core(kRing, kThree, ProcessId{2});
+  core.on_regular(make_msg(3, ProcessId{1}));
+  core.on_regular(make_msg(1, ProcessId{1}));
+  auto all = core.all_messages();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].seq, 1u);
+  EXPECT_EQ(all[1].seq, 3u);
+}
+
+// Simulate a full 3-member ring by hand and verify safe horizons advance for
+// everyone after two rotations.
+TEST(OrderingTest, ThreeMemberRingRotationMakesSafe) {
+  OrderingCore a(kRing, kThree, ProcessId{1});
+  OrderingCore b(kRing, kThree, ProcessId{2});
+  OrderingCore c(kRing, kThree, ProcessId{3});
+  std::deque<PendingSend> pa;
+  pa.push_back({MsgId{ProcessId{1}, 1}, Service::Safe, {}});
+  std::deque<PendingSend> none;
+
+  TokenMsg t = fresh_token();
+  auto ra = a.on_token(t, pa);
+  // Broadcast reaches everyone.
+  for (auto* core : {&b, &c}) core->on_regular(ra.new_messages[0]);
+  auto rb = b.on_token(ra.token_out, none);
+  auto rc = c.on_token(rb.token_out, none);
+  auto ra2 = a.on_token(rc.token_out, none);
+  auto rb2 = b.on_token(ra2.token_out, none);
+  auto rc2 = c.on_token(rb2.token_out, none);
+  (void)rc2;
+  EXPECT_EQ(a.safe_upto(), 1u);
+  EXPECT_EQ(b.safe_upto(), 1u);
+  EXPECT_EQ(c.safe_upto(), 1u);
+  EXPECT_EQ(a.drain_deliverable().size(), 1u);
+  EXPECT_EQ(b.drain_deliverable().size(), 1u);
+  EXPECT_EQ(c.drain_deliverable().size(), 1u);
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,192 @@
+#include "util/seq_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+#include <set>
+
+namespace evs {
+namespace {
+
+TEST(SeqSetTest, EmptyBasics) {
+  SeqSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_EQ(s.contiguous_from(0), 0u);
+  EXPECT_EQ(s.min(), 0u);
+  EXPECT_EQ(s.max(), 0u);
+}
+
+TEST(SeqSetTest, InsertSingle) {
+  SeqSet s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SeqSetTest, AdjacentInsertsCoalesce) {
+  SeqSet s;
+  s.insert(1);
+  s.insert(2);
+  s.insert(3);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.contiguous_from(0), 3u);
+}
+
+TEST(SeqSetTest, GapThenFill) {
+  SeqSet s;
+  s.insert(1);
+  s.insert(3);
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_EQ(s.contiguous_from(0), 1u);
+  s.insert(2);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.contiguous_from(0), 3u);
+}
+
+TEST(SeqSetTest, InsertRangeMergesOverlapping) {
+  SeqSet s;
+  s.insert_range(1, 5);
+  s.insert_range(10, 15);
+  s.insert_range(4, 11);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.size(), 15u);
+  EXPECT_TRUE(s.contains(7));
+}
+
+TEST(SeqSetTest, InsertRangeAdjacency) {
+  SeqSet s;
+  s.insert_range(1, 5);
+  s.insert_range(6, 9);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.max(), 9u);
+}
+
+TEST(SeqSetTest, EraseSplitsInterval) {
+  SeqSet s;
+  s.insert_range(1, 5);
+  s.erase(3);
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(4));
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(SeqSetTest, EraseEdges) {
+  SeqSet s;
+  s.insert_range(1, 3);
+  s.erase(1);
+  EXPECT_FALSE(s.contains(1));
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_TRUE(s.contains(2));
+  s.erase(2);
+  EXPECT_TRUE(s.empty());
+  s.erase(2);  // erasing from empty is a no-op
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SeqSetTest, MissingIn) {
+  SeqSet s;
+  s.insert_range(2, 4);
+  s.insert(7);
+  auto holes = s.missing_in(1, 8);
+  EXPECT_EQ(holes, (std::vector<SeqNum>{1, 5, 6, 8}));
+  EXPECT_TRUE(s.missing_in(2, 4).empty());
+}
+
+TEST(SeqSetTest, MissingInOutsideRange) {
+  SeqSet s;
+  s.insert_range(10, 12);
+  auto holes = s.missing_in(1, 3);
+  EXPECT_EQ(holes, (std::vector<SeqNum>{1, 2, 3}));
+}
+
+TEST(SeqSetTest, ContiguousFromMidpoint) {
+  SeqSet s;
+  s.insert_range(5, 9);
+  EXPECT_EQ(s.contiguous_from(4), 9u);
+  EXPECT_EQ(s.contiguous_from(6), 9u);
+  EXPECT_EQ(s.contiguous_from(9), 9u);
+  EXPECT_EQ(s.contiguous_from(10), 10u);
+  EXPECT_EQ(s.contiguous_from(0), 0u);
+}
+
+TEST(SeqSetTest, MergeUnion) {
+  SeqSet a;
+  a.insert_range(1, 3);
+  a.insert(10);
+  SeqSet b;
+  b.insert_range(2, 6);
+  b.insert(8);
+  a.merge(b);
+  EXPECT_TRUE(a.contains(1));
+  EXPECT_TRUE(a.contains(6));
+  EXPECT_TRUE(a.contains(8));
+  EXPECT_TRUE(a.contains(10));
+  EXPECT_FALSE(a.contains(7));
+  EXPECT_FALSE(a.contains(9));
+  EXPECT_EQ(a.size(), 8u);  // {1..6, 8, 10}
+}
+
+TEST(SeqSetTest, ToVectorOrdered) {
+  SeqSet s;
+  s.insert(9);
+  s.insert(1);
+  s.insert_range(4, 5);
+  EXPECT_EQ(s.to_vector(), (std::vector<SeqNum>{1, 4, 5, 9}));
+}
+
+TEST(SeqSetTest, FromIntervalsRoundTrip) {
+  SeqSet s;
+  s.insert_range(3, 8);
+  s.insert_range(11, 11);
+  SeqSet t = SeqSet::from_intervals(s.intervals());
+  EXPECT_EQ(s, t);
+}
+
+TEST(SeqSetTest, ToStringFormat) {
+  SeqSet s;
+  s.insert_range(1, 3);
+  s.insert(7);
+  EXPECT_EQ(s.to_string(), "{1-3,7}");
+}
+
+TEST(SeqSetTest, RandomizedAgainstStdSet) {
+  Rng rng(1234);
+  for (int round = 0; round < 20; ++round) {
+    SeqSet s;
+    std::set<SeqNum> model;
+    for (int i = 0; i < 500; ++i) {
+      const SeqNum v = rng.between(1, 80);
+      if (rng.chance(0.3)) {
+        s.erase(v);
+        model.erase(v);
+      } else if (rng.chance(0.2)) {
+        SeqNum hi = v + rng.below(10);
+        s.insert_range(v, hi);
+        for (SeqNum x = v; x <= hi; ++x) model.insert(x);
+      } else {
+        s.insert(v);
+        model.insert(v);
+      }
+    }
+    ASSERT_EQ(s.size(), model.size());
+    ASSERT_EQ(s.to_vector(), std::vector<SeqNum>(model.begin(), model.end()));
+    // contiguous_from agrees with a linear scan.
+    for (SeqNum from : {SeqNum{0}, SeqNum{5}, SeqNum{40}}) {
+      SeqNum expect = from;
+      while (model.count(expect + 1) > 0) ++expect;
+      ASSERT_EQ(s.contiguous_from(from), expect);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace evs

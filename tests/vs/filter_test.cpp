@@ -1,0 +1,230 @@
+// Virtual synchrony filter tests (Section 5): filtered runs must be legal
+// VS executions — the VsChecker validates C/L properties on every trace.
+#include <gtest/gtest.h>
+
+#include "testkit/vs_cluster.hpp"
+
+namespace evs {
+namespace {
+
+std::vector<std::uint8_t> payload(std::uint8_t tag) { return {tag}; }
+
+TEST(VsFilterTest, BootstrapInstallsOneView) {
+  VsCluster cluster(VsCluster::Options{.num_processes = 3});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(cluster.node(i).in_primary()) << i;
+    ASSERT_FALSE(cluster.sink(i).views.empty());
+    EXPECT_EQ(cluster.sink(i).views.back().members.size(), 3u);
+  }
+  // All processes installed the same final view.
+  EXPECT_EQ(cluster.sink(0u).views.back().id, cluster.sink(1u).views.back().id);
+  EXPECT_EQ(cluster.sink(1u).views.back().id, cluster.sink(2u).views.back().id);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(VsFilterTest, MessagesDeliveredInSameViewEverywhere) {
+  VsCluster cluster(VsCluster::Options{.num_processes = 3});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  auto id = cluster.node(0u).send(payload(1));
+  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(cluster.await_quiesce(4'000'000));
+  for (std::size_t i = 0; i < 3; ++i) {
+    const VsDelivery* d = cluster.sink(i).find(*id);
+    ASSERT_NE(d, nullptr) << i;
+    EXPECT_EQ(d->view_id, cluster.sink(0u).find(*id)->view_id);
+  }
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(VsFilterTest, MinorityComponentBlocks) {
+  VsCluster cluster(VsCluster::Options{.num_processes = 5});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  cluster.partition({{0, 1, 2}, {3, 4}});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  EXPECT_TRUE(cluster.node(0u).in_primary());
+  EXPECT_TRUE(cluster.node(2u).in_primary());
+  EXPECT_FALSE(cluster.node(3u).in_primary());
+  EXPECT_FALSE(cluster.node(4u).in_primary());
+  // Rule 2: blocked processes do not accept sends.
+  EXPECT_FALSE(cluster.node(3u).send(payload(1)).has_value());
+  // The majority side keeps delivering.
+  auto id = cluster.node(0u).send(payload(2));
+  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(cluster.await_quiesce(4'000'000));
+  EXPECT_TRUE(cluster.sink(1u).delivered(*id));
+  EXPECT_FALSE(cluster.sink(3u).delivered(*id));
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(VsFilterTest, MergeSplitsIntoPerProcessJoins) {
+  VsCluster cluster(VsCluster::Options{.num_processes = 5});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  cluster.partition({{0, 1, 2}, {3, 4}});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  const std::size_t views_before = cluster.sink(0u).views.size();
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_stable(6'000'000));
+  // Rule 3: two processes rejoin -> two single-join views at the old members.
+  const auto& views = cluster.sink(0u).views;
+  ASSERT_EQ(views.size(), views_before + 2);
+  EXPECT_EQ(views[views_before].members.size(), 4u);
+  EXPECT_EQ(views[views_before + 1].members.size(), 5u);
+  EXPECT_EQ(views[views_before + 1].id, views[views_before].id + 1);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(VsFilterTest, RejoiningProcessGetsNewIdentity) {
+  VsCluster cluster(VsCluster::Options{.num_processes = 5});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  const ProcessId p3 = cluster.pid(3);
+  const ProcessId old_identity = cluster.node(3u).vs_identity();
+  cluster.partition({{0, 1, 2}, {3, 4}});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  EXPECT_FALSE(cluster.node(3u).in_primary());
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_stable(6'000'000));
+  EXPECT_TRUE(cluster.node(3u).in_primary());
+  // Section 5.2: merged back under a fresh identity.
+  EXPECT_NE(cluster.node(p3).vs_identity(), old_identity);
+  EXPECT_EQ(vs_base_pid(cluster.node(p3).vs_identity()), p3);
+  EXPECT_GT(vs_incarnation_of(cluster.node(p3).vs_identity()), 0u);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(VsFilterTest, CrashedProcessStopsAndRejoins) {
+  VsCluster cluster(VsCluster::Options{.num_processes = 3});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  cluster.crash(cluster.pid(2));
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  EXPECT_TRUE(cluster.node(0u).in_primary());  // 2 of 3 is a majority
+  cluster.recover(cluster.pid(2));
+  ASSERT_TRUE(cluster.await_stable(6'000'000));
+  EXPECT_TRUE(cluster.node(2u).in_primary());
+  EXPECT_GT(vs_incarnation_of(cluster.node(2u).vs_identity()), 0u);
+  auto id = cluster.node(2u).send(payload(3));
+  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(cluster.await_quiesce(4'000'000));
+  EXPECT_TRUE(cluster.sink(0u).delivered(*id));
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(VsFilterTest, NoPrimaryWhenNoMajorityAnywhere) {
+  VsCluster cluster(VsCluster::Options{.num_processes = 4});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  cluster.partition({{0, 1}, {2, 3}});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  // 2 of 4 is not a strict majority: everyone blocks (the known cost of the
+  // primary-component model that EVS applications can avoid).
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(cluster.node(i).in_primary()) << i;
+  }
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_stable(6'000'000));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(cluster.node(i).in_primary()) << i;
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(VsFilterTest, DlvKeepsMinorityOfUniversePrimary) {
+  VsCluster::Options opts;
+  opts.num_processes = 5;
+  opts.policy = VsNode::Policy::DynamicLinearVoting;
+  VsCluster cluster(opts);
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  // First shrink to {0,1,2} (majority of 5).
+  cluster.partition({{0, 1, 2}, {3, 4}});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  ASSERT_TRUE(cluster.node(0u).in_primary());
+  ASSERT_TRUE(cluster.await_quiesce(4'000'000));
+  // Then shrink to {0,1}: a minority of the universe but a majority of the
+  // previous primary {0,1,2} — still primary under DLV, never under static.
+  cluster.partition({{0, 1}, {2}, {3, 4}});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  EXPECT_TRUE(cluster.node(0u).in_primary());
+  EXPECT_TRUE(cluster.node(1u).in_primary());
+  EXPECT_FALSE(cluster.node(2u).in_primary());
+  EXPECT_FALSE(cluster.node(3u).in_primary());
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(VsFilterTest, DlvRefusesRivalUniverseMajority) {
+  VsCluster::Options opts;
+  opts.num_processes = 5;
+  opts.policy = VsNode::Policy::DynamicLinearVoting;
+  VsCluster cluster(opts);
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  cluster.partition({{0, 1, 2}, {3, 4}});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  ASSERT_TRUE(cluster.node(0u).in_primary());  // epoch advanced to {0,1,2}
+  cluster.partition({{0, 1}, {2, 3, 4}});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  // {2,3,4} is a universe majority but holds only one member of the last
+  // primary {0,1,2}: member 2 carries that knowledge, so the component
+  // blocks while {0,1} continues.
+  EXPECT_TRUE(cluster.node(0u).in_primary());
+  EXPECT_TRUE(cluster.node(1u).in_primary());
+  EXPECT_FALSE(cluster.node(2u).in_primary());
+  EXPECT_FALSE(cluster.node(3u).in_primary());
+  EXPECT_FALSE(cluster.node(4u).in_primary());
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(VsFilterTest, DlvLockoutRecoversWhenLineageReunites) {
+  VsCluster::Options opts;
+  opts.num_processes = 5;
+  opts.policy = VsNode::Policy::DynamicLinearVoting;
+  VsCluster cluster(opts);
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  cluster.partition({{0, 1, 2}, {3, 4}});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  cluster.partition({{0, 1}, {2}, {3, 4}});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  ASSERT_TRUE(cluster.node(0u).in_primary());  // lineage is now {0,1}
+  // Separate the lineage: NOBODY can be primary (not even a universe
+  // majority), the DLV lock-out.
+  cluster.partition({{0, 2, 3, 4}, {1}});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_FALSE(cluster.node(i).in_primary()) << i;
+  }
+  // Reuniting the lineage members restores the primary.
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_stable(6'000'000));
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_TRUE(cluster.node(i).in_primary()) << i;
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(VsFilterTest, LossyNetworkStaysLegal) {
+  VsCluster::Options opts;
+  opts.num_processes = 4;
+  opts.seed = 77;
+  opts.net.loss_probability = 0.02;
+  VsCluster cluster(opts);
+  ASSERT_TRUE(cluster.await_stable(10'000'000));
+  for (int i = 0; i < 30; ++i) {
+    (void)cluster.node(static_cast<std::size_t>(i % 4)).send({1});
+  }
+  cluster.partition({{0, 1, 2}, {3}});
+  cluster.run_for(150'000);
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_quiesce(60'000'000));
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(VsFilterTest, MessagesAcrossPartitionCycleStayLegal) {
+  VsCluster cluster(VsCluster::Options{.num_processes = 5});
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  for (int i = 0; i < 5; ++i) cluster.node(0u).send(payload(0));
+  cluster.run_for(800);
+  cluster.partition({{0, 1, 2}, {3, 4}});
+  ASSERT_TRUE(cluster.await_quiesce(6'000'000));
+  for (int i = 0; i < 5; ++i) cluster.node(1u).send(payload(1));
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_quiesce(8'000'000));
+  for (int i = 0; i < 5; ++i) cluster.node(3u).send(payload(2));
+  ASSERT_TRUE(cluster.await_quiesce(6'000'000));
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+}  // namespace
+}  // namespace evs

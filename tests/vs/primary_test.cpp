@@ -1,0 +1,146 @@
+#include "vs/primary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace evs {
+namespace {
+
+std::vector<ProcessId> pids(std::initializer_list<std::uint32_t> values) {
+  std::vector<ProcessId> out;
+  for (auto v : values) out.push_back(ProcessId{v});
+  return out;
+}
+
+Configuration config_of(std::initializer_list<std::uint32_t> values) {
+  Configuration c;
+  c.id = ConfigId::regular(RingId{1, ProcessId{*values.begin()}});
+  c.members = pids(values);
+  return c;
+}
+
+TEST(MajorityTest, StrictMajorityRequired) {
+  EXPECT_TRUE(has_majority_of(pids({1, 2}), pids({1, 2, 3})));
+  EXPECT_FALSE(has_majority_of(pids({1}), pids({1, 2})));  // half is not enough
+  EXPECT_TRUE(has_majority_of(pids({1, 2}), pids({1, 2})));
+  EXPECT_FALSE(has_majority_of(pids({4, 5}), pids({1, 2, 3})));
+  EXPECT_TRUE(has_majority_of(pids({1, 2, 3, 4, 5}), pids({3, 4, 5})));
+}
+
+TEST(StaticMajorityTest, DecidesFromUniverseSize) {
+  StaticMajority policy(5);
+  EXPECT_TRUE(policy.is_primary(config_of({1, 2, 3})));
+  EXPECT_FALSE(policy.is_primary(config_of({1, 2})));
+  StaticMajority even(4);
+  EXPECT_FALSE(even.is_primary(config_of({1, 2})));  // 2 of 4 is not a majority
+  EXPECT_TRUE(even.is_primary(config_of({1, 2, 3})));
+}
+
+TEST(DlvStateTest, BootstrapBasisIsInitialUniverse) {
+  StableStore store;
+  DlvState dlv(store, pids({1, 2, 3}));
+  EXPECT_EQ(dlv.basis().epoch, 0u);
+  EXPECT_EQ(dlv.basis().members, pids({1, 2, 3}));
+  EXPECT_TRUE(dlv.decides_primary(config_of({1, 2})));
+  EXPECT_FALSE(dlv.decides_primary(config_of({3})));
+}
+
+TEST(DlvStateTest, ConfirmAdvancesBasis) {
+  StableStore store;
+  DlvState dlv(store, pids({1, 2, 3, 4, 5}));
+  // {1,2,3} is a majority of the universe: primary epoch 1.
+  dlv.begin_attempt(config_of({1, 2, 3}));
+  dlv.confirm_attempt();
+  EXPECT_EQ(dlv.basis().epoch, 1u);
+  EXPECT_EQ(dlv.basis().members, pids({1, 2, 3}));
+  // Now {1,2} is a majority of {1,2,3} even though it is a minority of the
+  // universe — the availability gain of dynamic linear voting.
+  EXPECT_TRUE(dlv.decides_primary(config_of({1, 2})));
+  EXPECT_FALSE(dlv.decides_primary(config_of({4, 5})));
+}
+
+TEST(DlvStateTest, PendingAttemptIsConservativeBasis) {
+  StableStore store;
+  DlvState dlv(store, pids({1, 2, 3}));
+  dlv.begin_attempt(config_of({1, 2}));
+  // Before confirmation the attempt is already the basis: a rival config
+  // holding a majority of the OLD basis {1,2,3} but not of the attempt
+  // {1,2} is refused (a 2-member basis needs both members).
+  EXPECT_EQ(dlv.basis().epoch, 1u);
+  EXPECT_FALSE(dlv.decides_primary(config_of({3})));
+  EXPECT_FALSE(dlv.decides_primary(config_of({1, 3})));
+  EXPECT_TRUE(dlv.decides_primary(config_of({1, 2, 3})));
+}
+
+TEST(DlvStateTest, StateSurvivesCrash) {
+  StableStore store;
+  {
+    DlvState dlv(store, pids({1, 2, 3, 4, 5}));
+    dlv.begin_attempt(config_of({1, 2, 3}));
+    dlv.confirm_attempt();
+  }
+  DlvState recovered(store, pids({1, 2, 3, 4, 5}));
+  EXPECT_EQ(recovered.basis().epoch, 1u);
+  EXPECT_EQ(recovered.basis().members, pids({1, 2, 3}));
+}
+
+TEST(DlvStateTest, PendingAttemptSurvivesCrash) {
+  StableStore store;
+  {
+    DlvState dlv(store, pids({1, 2, 3}));
+    dlv.begin_attempt(config_of({1, 2}));
+    // Crash before confirm.
+  }
+  DlvState recovered(store, pids({1, 2, 3}));
+  EXPECT_EQ(recovered.basis().epoch, 1u);  // conservatively assumed succeeded
+  EXPECT_TRUE(recovered.attempt().has_value());
+}
+
+TEST(DlvStateTest, MergePeerAdoptsNewerEpoch) {
+  StableStore store;
+  DlvState dlv(store, pids({1, 2, 3}));
+  EXPECT_TRUE(dlv.merge_peer(PrimaryEpoch{4, pids({2, 3})}));
+  EXPECT_EQ(dlv.basis().epoch, 4u);
+  EXPECT_EQ(dlv.basis().members, pids({2, 3}));
+  EXPECT_FALSE(dlv.merge_peer(PrimaryEpoch{2, pids({1})}));  // older: ignored
+  EXPECT_EQ(dlv.basis().epoch, 4u);
+}
+
+TEST(DlvStateTest, RivalPrimariesImpossibleFromSameBasis) {
+  // Classic scenario: primary {1,2,3} (epoch 1). Partition {1,2} | {3,4,5}.
+  // {1,2} is a majority of epoch 1 -> becomes epoch 2. {3,4,5} holds only
+  // one member of epoch 1 -> refused, even though it is a universe majority.
+  StableStore s1, s3;
+  DlvState dlv1(s1, pids({1, 2, 3, 4, 5}));
+  DlvState dlv3(s3, pids({1, 2, 3, 4, 5}));
+  dlv1.begin_attempt(config_of({1, 2, 3}));
+  dlv1.confirm_attempt();
+  dlv3.begin_attempt(config_of({1, 2, 3}));
+  dlv3.confirm_attempt();
+
+  EXPECT_TRUE(dlv1.decides_primary(config_of({1, 2})));
+  EXPECT_FALSE(dlv3.decides_primary(config_of({3, 4, 5})));
+}
+
+TEST(DlvStateTest, IntersectionCarriesKnowledgeForward) {
+  // Epoch 1 = {1,2,3}. {1,2} advances to epoch 2. Later {2,3} forms: 3 only
+  // knows epoch 1 and {2,3} IS a majority of epoch 1 — but member 2 carries
+  // epoch 2 knowledge, and after merging bases {2,3} is refused (only one
+  // member of {1,2}).
+  StableStore s2, s3;
+  DlvState dlv2(s2, pids({1, 2, 3}));
+  DlvState dlv3(s3, pids({1, 2, 3}));
+  dlv2.begin_attempt(config_of({1, 2, 3}));
+  dlv2.confirm_attempt();
+  dlv3.begin_attempt(config_of({1, 2, 3}));
+  dlv3.confirm_attempt();
+  dlv2.begin_attempt(config_of({1, 2}));
+  dlv2.confirm_attempt();  // epoch 2 = {1,2}
+
+  // {2,3} forms; states merge.
+  dlv3.merge_peer(dlv2.basis());
+  EXPECT_FALSE(dlv3.decides_primary(config_of({2, 3})));
+  EXPECT_FALSE(dlv2.decides_primary(config_of({2, 3})));
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,122 @@
+// Fault-storm benchmark (see sim/faults.hpp and DESIGN.md §"Fault model").
+//
+// A 7-process cluster runs the Figure 6 partition/remerge sequence while a
+// deterministic fault storm (duplication + reordering + corruption) runs at
+// increasing rates. Measures, in simulated time:
+//   * ordering throughput: messages delivered per simulated second of the
+//     traffic phase,
+//   * recovery latency: remerge signal to the last process installing the
+//     healed 7-member configuration,
+// and reports the injector/rejection counters so the cost of each fault
+// rate is visible. Fault level selects (duplicate, reorder, corrupt):
+//   0: (0, 0, 0)          1: (0.01, 0.01, 0.005)   2: (0.03, 0.03, 0.01)
+//   3: (0.05, 0.05, 0.02) 4: (0.08, 0.08, 0.03)
+#include <benchmark/benchmark.h>
+
+#include "testkit/cluster.hpp"
+#include "testkit/metrics.hpp"
+
+namespace {
+
+using namespace evs;
+
+struct StormLevel {
+  double duplicate;
+  double reorder;
+  double corrupt;
+};
+
+constexpr StormLevel kLevels[] = {
+    {0.0, 0.0, 0.0},   {0.01, 0.01, 0.005}, {0.03, 0.03, 0.01},
+    {0.05, 0.05, 0.02}, {0.08, 0.08, 0.03},
+};
+
+void BM_FaultStorm(benchmark::State& state) {
+  const StormLevel level = kLevels[state.range(0)];
+
+  double delivered_per_sim_s = 0;
+  double recovery_us = 0;
+  double injected = 0;
+  double rejected = 0;
+  double retransmits = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Cluster::Options opts;
+    opts.num_processes = 7;
+    opts.seed = 7000 + rounds;
+    opts.watchdog_window_us = 1'000'000;
+    if (level.duplicate > 0 || level.reorder > 0 || level.corrupt > 0) {
+      opts.faults = FaultPlan::storm(level.duplicate, level.reorder, level.corrupt);
+    }
+    Cluster cluster(opts);
+
+    // Figure 6 starting point: {p,q,r} | {s,t,u,v}.
+    cluster.partition({{0, 1, 2}, {3, 4, 5, 6}});
+    if (!cluster.await_stable(30'000'000)) {
+      state.SkipWithError("no stable start under storm");
+      return;
+    }
+
+    // Traffic phase: sustained sends in both components.
+    const SimTime traffic_start = cluster.now();
+    std::uint64_t delivered_before = 0;
+    for (std::size_t i = 0; i < 7; ++i) {
+      delivered_before += cluster.node(i).stats().delivered;
+    }
+    for (int burst = 0; burst < 10; ++burst) {
+      for (std::size_t i = 0; i < 7; ++i) {
+        cluster.node(i).send(burst % 2 == 0 ? Service::Safe : Service::Agreed,
+                             std::vector<std::uint8_t>(16, 0));
+      }
+      cluster.run_for(20'000);
+    }
+    const SimTime traffic_us = cluster.now() - traffic_start;
+    std::uint64_t delivered_after = 0;
+    for (std::size_t i = 0; i < 7; ++i) {
+      delivered_after += cluster.node(i).stats().delivered;
+    }
+
+    // Remerge under the storm: recovery latency to the healed 7-member
+    // configuration at every process.
+    const SimTime heal_at = cluster.now();
+    cluster.heal();
+    const bool healed = cluster.await(
+        [&] {
+          for (std::size_t i = 0; i < 7; ++i) {
+            if (cluster.node(i).state() != EvsNode::State::Operational ||
+                cluster.node(i).config().members.size() != 7) {
+              return false;
+            }
+          }
+          return true;
+        },
+        60'000'000);
+    if (!healed) {
+      state.SkipWithError("remerge did not settle under storm");
+      return;
+    }
+    recovery_us += static_cast<double>(cluster.now() - heal_at);
+    delivered_per_sim_s += static_cast<double>(delivered_after - delivered_before) *
+                           1e6 / static_cast<double>(traffic_us);
+
+    const FaultCounters counters = collect_fault_counters(cluster);
+    injected += static_cast<double>(counters.injected.injected_total);
+    rejected += static_cast<double>(counters.rejected_frames +
+                                    counters.rejected_decode +
+                                    counters.stale_rejected);
+    retransmits += static_cast<double>(counters.token_retransmits);
+    ++rounds;
+  }
+  const double n = static_cast<double>(rounds);
+  state.counters["delivered_per_sim_s"] = delivered_per_sim_s / n;
+  state.counters["sim_recovery_us"] = recovery_us / n;
+  state.counters["faults_injected"] = injected / n;
+  state.counters["packets_rejected"] = rejected / n;
+  state.counters["token_retransmits"] = retransmits / n;
+}
+
+}  // namespace
+
+BENCHMARK(BM_FaultStorm)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -204,6 +204,7 @@ void EvsNode::crash() {
   }
   bump_epoch();
   net_.scheduler().cancel(token_loss_timer_);
+  cancel_token_retransmit();
   net_.detach(self_);
   state_ = State::Down;
   core_.reset();
@@ -350,7 +351,7 @@ void EvsNode::install_configuration(RingId new_ring, std::vector<ProcessId> memb
     TokenMsg initial;
     initial.ring = new_ring;
     initial.rotation = 1;
-    net_.unicast(self_, self_, encode_msg(initial));
+    unicast_frame(self_, encode_msg(initial));
   } else if (buffered.has_value() && buffered->ring == new_ring) {
     handle_token(*buffered);
   }
@@ -376,6 +377,7 @@ void EvsNode::enter_gather(std::vector<ProcessId> candidates,
   if (state_ == State::Operational) snapshot_old_ring();
   bump_epoch();
   net_.scheduler().cancel(token_loss_timer_);
+  cancel_token_retransmit();
   recovery_.reset();
   my_exchange_.reset();
   acked_complete_ = false;
@@ -570,6 +572,28 @@ void EvsNode::arm_token_loss_timer() {
   });
 }
 
+void EvsNode::arm_token_retransmit() {
+  net_.scheduler().cancel(token_retransmit_timer_);
+  if (token_retransmits_left_ <= 0 || last_token_frame_.empty()) return;
+  const std::uint64_t epoch = epoch_;
+  token_retransmit_timer_ =
+      schedule_guarded(opts_.token_retransmit_interval_us, [this, epoch] {
+        if (epoch != epoch_ || state_ != State::Operational) return;
+        if (token_retransmits_left_ <= 0 || last_token_frame_.empty()) return;
+        --token_retransmits_left_;
+        ++stats_.token_retransmits;
+        net_.unicast(self_, core_->next_in_ring(), last_token_frame_);
+        arm_token_retransmit();
+      });
+}
+
+void EvsNode::cancel_token_retransmit() {
+  net_.scheduler().cancel(token_retransmit_timer_);
+  token_retransmit_timer_ = Scheduler::Handle{};
+  last_token_frame_.clear();
+  token_retransmits_left_ = 0;
+}
+
 void EvsNode::beacon_tick(std::uint64_t epoch) {
   if (epoch != epoch_ || state_ != State::Operational) return;
   broadcast(encode_msg(BeaconMsg{self_, core_->ring()}));
@@ -580,33 +604,51 @@ void EvsNode::beacon_tick(std::uint64_t epoch) {
 // packet handling
 
 void EvsNode::broadcast(const std::vector<std::uint8_t>& bytes) {
-  net_.broadcast(self_, bytes);
+  net_.broadcast(self_, wire::seal_frame(bytes));
+}
+
+void EvsNode::unicast_frame(ProcessId to, const std::vector<std::uint8_t>& body) {
+  net_.unicast(self_, to, wire::seal_frame(body));
 }
 
 void EvsNode::on_packet(const Packet& packet) {
   if (state_ == State::Down) return;
-  const auto type = peek_type(packet.payload);
-  EVS_ASSERT_MSG(type.has_value(), "undecodable packet");
-  switch (*type) {
-    case MsgType::Regular: handle_regular(decode_regular(packet.payload)); break;
-    case MsgType::Token: handle_token(decode_token(packet.payload)); break;
-    case MsgType::Join:
-      if (packet.src != self_) handle_join(decode_join(packet.payload));
-      break;
-    case MsgType::FormRing:
-      if (packet.src != self_) handle_form_ring(decode_form_ring(packet.payload));
-      break;
-    case MsgType::Exchange: handle_exchange(decode_exchange(packet.payload)); break;
-    case MsgType::RecoveryMsg:
-      handle_recovery_msg(decode_recovery_msg(packet.payload));
-      break;
-    case MsgType::RecoveryAck:
-      handle_recovery_ack(decode_recovery_ack(packet.payload));
-      break;
-    case MsgType::Beacon:
-      if (packet.src != self_) handle_beacon(decode_beacon(packet.payload));
-      break;
+  // The network is adversarial (src/sim/faults.hpp): frames may arrive
+  // truncated, extended or byte-flipped. Reject — never crash on — anything
+  // that fails the frame check or strict message validation.
+  const auto body = wire::open_frame(packet.payload);
+  if (!body.has_value()) {
+    ++stats_.rejected_frames;
+    return;
   }
+  const auto msg = try_decode(*body);
+  if (!msg.has_value()) {
+    ++stats_.rejected_decode;
+    return;
+  }
+  if (const auto* m = std::get_if<RegularMsg>(&*msg)) {
+    handle_regular(*m);
+  } else if (const auto* t = std::get_if<TokenMsg>(&*msg)) {
+    handle_token(*t);
+  } else if (const auto* j = std::get_if<JoinMsg>(&*msg)) {
+    if (packet.src != self_) handle_join(*j);
+  } else if (const auto* f = std::get_if<FormRingMsg>(&*msg)) {
+    if (packet.src != self_) handle_form_ring(*f);
+  } else if (const auto* e = std::get_if<ExchangeMsg>(&*msg)) {
+    handle_exchange(*e);
+  } else if (const auto* r = std::get_if<RecoveryMsgMsg>(&*msg)) {
+    handle_recovery_msg(*r);
+  } else if (const auto* a = std::get_if<RecoveryAckMsg>(&*msg)) {
+    handle_recovery_ack(*a);
+  } else if (const auto* b = std::get_if<BeaconMsg>(&*msg)) {
+    if (packet.src != self_) handle_beacon(*b);
+  }
+}
+
+bool EvsNode::stale_from_member(RingSeq seq, ProcessId sender) const {
+  return seq < reg_config_.id.ring.seq &&
+         std::binary_search(reg_config_.members.begin(), reg_config_.members.end(),
+                            sender);
 }
 
 void EvsNode::deliver_ready() {
@@ -621,7 +663,16 @@ void EvsNode::handle_regular(const RegularMsg& m) {
   switch (state_) {
     case State::Operational:
       if (m.ring == core_->ring()) {
-        if (core_->on_regular(m)) deliver_ready();
+        if (core_->on_regular(m)) {
+          deliver_ready();
+        } else {
+          ++stats_.duplicate_regulars;
+        }
+      } else if (stale_from_member(m.ring.seq, m.id.sender)) {
+        // A delayed duplicate from a ring that preceded ours (ring seqs are
+        // monotone per process, so a current member can no longer be
+        // operational on a lower-seq ring). Not a merge signal.
+        ++stats_.stale_rejected;
       } else {
         // Traffic from another ring in our component: the network merged.
         // The message itself is dropped; its sender's exchange covers it.
@@ -646,7 +697,14 @@ void EvsNode::handle_regular(const RegularMsg& m) {
 void EvsNode::handle_token(const TokenMsg& t) {
   switch (state_) {
     case State::Operational: {
-      if (t.ring != core_->ring() || core_->token_is_stale(t)) return;
+      if (t.ring != core_->ring()) return;
+      if (core_->token_is_stale(t)) {
+        // Duplicated or retransmitted token we already processed.
+        ++stats_.stale_tokens;
+        return;
+      }
+      // A fresh token came back around: the previous forward made it.
+      cancel_token_retransmit();
       ++stats_.tokens_handled;
       OrderingCore::TokenResult result = core_->on_token(t, pending_);
       for (const RegularMsg& m : result.new_messages) {
@@ -672,17 +730,25 @@ void EvsNode::handle_token(const TokenMsg& t) {
       }
       for (const RegularMsg& m : result.to_broadcast) broadcast(encode_msg(m));
       const ProcessId next = core_->next_in_ring();
-      const std::vector<std::uint8_t> token_bytes = encode_msg(result.token_out);
+      const std::vector<std::uint8_t> token_frame =
+          wire::seal_frame(encode_msg(result.token_out));
       if (core_->members().size() == 1) {
         // Pace the self-token so an idle singleton does not spin the
-        // simulator at network-delay granularity.
+        // simulator at network-delay granularity. Loopback is reliable, so
+        // no retransmission guard is needed.
         const std::uint64_t epoch = epoch_;
-        schedule_guarded(opts_.singleton_token_interval_us, [this, epoch, token_bytes] {
+        schedule_guarded(opts_.singleton_token_interval_us, [this, epoch, token_frame] {
           if (epoch != epoch_) return;
-          net_.unicast(self_, self_, token_bytes);
+          net_.unicast(self_, self_, token_frame);
         });
       } else {
-        net_.unicast(self_, next, token_bytes);
+        net_.unicast(self_, next, token_frame);
+        // Guard the forward against loss/corruption: resend the identical
+        // token until a fresh one returns (the receiver drops duplicates by
+        // rotation). Cheaper than the full token-loss gather.
+        last_token_frame_ = token_frame;
+        token_retransmits_left_ = opts_.token_retransmit_limit;
+        arm_token_retransmit();
       }
       arm_token_loss_timer();
       deliver_ready();
@@ -701,6 +767,12 @@ void EvsNode::handle_join(const JoinMsg& j) {
   const SimTime now = net_.scheduler().now();
   switch (state_) {
     case State::Operational: {
+      if (stale_from_member(j.max_ring_seq, j.sender)) {
+        // A member of our ring adopted its proposal (seq >= ours) before we
+        // installed, so its live joins always carry max_ring_seq >= ours.
+        ++stats_.stale_rejected;
+        return;
+      }
       auto candidates = with_member(core_->members(), j.sender);
       enter_gather(std::move(candidates), nullptr);
       gather_->on_join(j, now);
@@ -717,6 +789,16 @@ void EvsNode::handle_join(const JoinMsg& j) {
       if (member && join_proposal(j) == recovery_->members()) {
         // The sender missed our FormRing; the representative re-sends it
         // every exchange interval, so stay in recovery.
+        return;
+      }
+      if (member && j.max_ring_seq < recovery_->proposed_ring().seq) {
+        // A delayed duplicate from the gather episode that produced this
+        // proposal (the proposal's seq exceeds every max_ring_seq gathered
+        // then). Without this check, duplicated joins bounce the whole
+        // component between Gather and Recovery indefinitely. A genuinely
+        // diverged peer re-sends joins every join interval, and the
+        // recovery timeout regathers if it never converges.
+        ++stats_.stale_rejected;
         return;
       }
       auto candidates = recovery_->members();
@@ -801,6 +883,10 @@ void EvsNode::handle_recovery_ack(const RecoveryAckMsg& a) {
 void EvsNode::handle_beacon(const BeaconMsg& b) {
   if (state_ != State::Operational) return;
   if (b.ring == core_->ring()) return;
+  if (stale_from_member(b.ring.seq, b.sender)) {
+    ++stats_.stale_rejected;
+    return;
+  }
   enter_gather(with_member(core_->members(), b.sender), nullptr);
 }
 

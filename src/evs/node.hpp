@@ -72,6 +72,13 @@ class EvsNode final : public Endpoint {
     SimTime exchange_interval_us{1'000};
     SimTime recovery_timeout_us{40'000};
     SimTime singleton_token_interval_us{1'000};
+    /// Totem-style token retransmission: after forwarding the token, resend
+    /// the same token up to `token_retransmit_limit` times at this interval
+    /// unless a fresh token returns first. Keeps the ring alive through
+    /// sustained token loss/corruption without a full membership gather
+    /// (limit * interval must stay below token_loss_timeout_us).
+    SimTime token_retransmit_interval_us{2'500};
+    int token_retransmit_limit{3};
     OrderingCore::Options ordering{};
     FaultInjection faults{};
   };
@@ -96,6 +103,13 @@ class EvsNode final : public Endpoint {
     std::uint64_t recoveries{0};
     std::uint64_t discarded{0};
     std::uint64_t tokens_handled{0};
+    // --- adversarial-input hardening (see src/sim/faults.hpp) ---
+    std::uint64_t rejected_frames{0};      ///< frames failing length/CRC check
+    std::uint64_t rejected_decode{0};      ///< frames whose body fails try_decode
+    std::uint64_t stale_rejected{0};       ///< duplicated/stale cross-ring traffic
+    std::uint64_t duplicate_regulars{0};   ///< duplicate regular messages ignored
+    std::uint64_t stale_tokens{0};         ///< stale/duplicate tokens ignored
+    std::uint64_t token_retransmits{0};    ///< tokens re-sent by the loss guard
   };
 
   using DeliverHandler = std::function<void(const Delivery&)>;
@@ -168,6 +182,8 @@ class EvsNode final : public Endpoint {
   /// timers are still queued in the scheduler).
   Scheduler::Handle schedule_guarded(SimTime delay, std::function<void()> fn);
   void arm_token_loss_timer();
+  void arm_token_retransmit();
+  void cancel_token_retransmit();
   void beacon_tick(std::uint64_t epoch);
   void join_tick(std::uint64_t epoch);
   void exchange_tick(std::uint64_t epoch);
@@ -176,8 +192,15 @@ class EvsNode final : public Endpoint {
   // --- operational helpers ---
   void deliver_ready();
   void deliver_one(const RegularMsg& m, const Configuration& config);
+  /// True if traffic tagged with ring seq `seq` from `sender` must predate
+  /// our current regular configuration: ring seqs are monotone per process
+  /// (persisted across incarnations), so a member of our installed ring can
+  /// never again act on a lower-seq ring. Such packets are delayed
+  /// duplicates, not merge signals.
+  bool stale_from_member(RingSeq seq, ProcessId sender) const;
   void emit_conf_change(const Configuration& config, Ord ord);
   void broadcast(const std::vector<std::uint8_t>& bytes);
+  void unicast_frame(ProcessId to, const std::vector<std::uint8_t>& body);
   void snapshot_old_ring();
   void maybe_propose();
   void recovery_round();  ///< rebroadcasts + ack within exchange_tick
@@ -209,6 +232,11 @@ class EvsNode final : public Endpoint {
   std::deque<PendingSend> pending_;
   std::uint64_t msg_counter_{0};
   Scheduler::Handle token_loss_timer_{};
+  // Token retransmission state: the sealed frame of the last token we
+  // forwarded, resent while no fresh token has come back around the ring.
+  std::vector<std::uint8_t> last_token_frame_;
+  int token_retransmits_left_{0};
+  Scheduler::Handle token_retransmit_timer_{};
 
   // old-ring backlog (survives into Gather/Recovery; cleared on install)
   RingId old_ring_{};

@@ -49,6 +49,16 @@ void GatherState::adopt_fail_set(const std::vector<ProcessId>& fails, SimTime no
 }
 
 bool GatherState::on_join(const JoinMsg& join, SimTime now) {
+  // Episode regression guard: the network may replay a duplicated join from
+  // an earlier gather episode of the same peer (episodes are monotone per
+  // incarnation). Acting on it could resurrect candidates or fail-set
+  // entries the peer has since retracted.
+  if (auto it = candidates_.find(join.sender);
+      it != candidates_.end() && it->second.last_join.has_value() &&
+      it->second.last_join->episode > join.episode) {
+    return false;
+  }
+
   const auto before = proposed_membership();
   max_ring_seq_seen_ = std::max(max_ring_seq_seen_, join.max_ring_seq);
 

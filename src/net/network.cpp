@@ -28,6 +28,42 @@ SimTime Network::draw_delay() {
          rng_.below(options_.max_delay_us - options_.min_delay_us + 1);
 }
 
+void Network::retire_injector() {
+  if (injector_) {
+    retired_fault_stats_ += injector_->stats();
+    injector_.reset();
+  }
+}
+
+void Network::set_fault_plan(FaultPlan plan) {
+  retire_injector();
+  if (plan.empty()) {
+    return;
+  }
+  const Rng rng = plan.seed != 0 ? Rng(plan.seed) : rng_.split();
+  injector_ = std::make_unique<FaultInjector>(std::move(plan), rng);
+}
+
+void Network::schedule_delivery(ProcessId from, ProcessId to, Packet packet,
+                                SimTime delay) {
+  scheduler_.schedule_after(delay, [this, from, to, packet = std::move(packet)]() {
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) {
+      ++stats_.dropped_detached;
+      return;
+    }
+    // The partition may have changed while the packet was in flight; a
+    // partition severs in-flight traffic.
+    if (!connected(from, to)) {
+      ++stats_.dropped_partition;
+      return;
+    }
+    ++stats_.deliveries;
+    stats_.bytes_delivered += packet.payload.size();
+    it->second->on_packet(packet);
+  });
+}
+
 void Network::deliver_later(ProcessId from, ProcessId to, const Packet& packet) {
   if (!attached(to)) {
     ++stats_.dropped_detached;
@@ -44,22 +80,24 @@ void Network::deliver_later(ProcessId from, ProcessId to, const Packet& packet) 
     return;
   }
   const SimTime delay = to == from ? options_.min_delay_us : draw_delay();
-  scheduler_.schedule_after(delay, [this, from, to, packet]() {
-    auto it = endpoints_.find(to);
-    if (it == endpoints_.end()) {
-      ++stats_.dropped_detached;
+  // Loopback is also exempt from fault injection: the LAN hardware loopback
+  // the paper's testbeds rely on never traverses the wire.
+  if (injector_ != nullptr && to != from) {
+    Packet copy = packet;
+    const FaultInjector::Action action =
+        injector_->apply(from, to, scheduler_.now(), copy.payload);
+    if (action.drop) {
+      ++stats_.dropped_fault;
       return;
     }
-    // The partition may have changed while the packet was in flight; a
-    // partition severs in-flight traffic.
-    if (!connected(from, to)) {
-      ++stats_.dropped_partition;
-      return;
+    for (const SimTime extra : action.duplicate_extra_delays) {
+      ++stats_.duplicated_fault;
+      schedule_delivery(from, to, copy, draw_delay() + extra);
     }
-    ++stats_.deliveries;
-    stats_.bytes_delivered += packet.payload.size();
-    it->second->on_packet(packet);
-  });
+    schedule_delivery(from, to, std::move(copy), delay + action.extra_delay_us);
+    return;
+  }
+  schedule_delivery(from, to, packet, delay);
 }
 
 void Network::broadcast(ProcessId from, std::vector<std::uint8_t> payload) {

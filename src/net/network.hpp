@@ -10,9 +10,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/faults.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
@@ -48,6 +50,8 @@ class Network {
     std::uint64_t dropped_loss{0};
     std::uint64_t dropped_partition{0};
     std::uint64_t dropped_detached{0};
+    std::uint64_t dropped_fault{0};  ///< dropped by the fault injector
+    std::uint64_t duplicated_fault{0};  ///< extra copies the injector added
     std::uint64_t bytes_delivered{0};
   };
 
@@ -85,16 +89,35 @@ class Network {
   const Options& options() const { return options_; }
   void set_loss_probability(double p) { options_.loss_probability = p; }
 
+  // --- adversarial fault injection (see sim/faults.hpp) ---
+  /// Install a fault plan. Packets scheduled from now on pass through a
+  /// FaultInjector seeded from plan.seed (or, when 0, from the network's
+  /// own deterministic stream). An empty plan clears injection.
+  void set_fault_plan(FaultPlan plan);
+  void clear_faults() { retire_injector(); }
+  const FaultInjector* faults() const { return injector_.get(); }
+  /// Cumulative injector stats, including injectors already cleared or
+  /// replaced — tests clear faults to quiesce and then inspect what ran.
+  FaultStats fault_stats() const {
+    FaultStats total = retired_fault_stats_;
+    if (injector_) total += injector_->stats();
+    return total;
+  }
+
   Scheduler& scheduler() { return scheduler_; }
 
  private:
   void deliver_later(ProcessId from, ProcessId to, const Packet& packet);
+  void schedule_delivery(ProcessId from, ProcessId to, Packet packet, SimTime delay);
   SimTime draw_delay();
+  void retire_injector();
 
   Scheduler& scheduler_;
   Rng rng_;
   Options options_;
   Stats stats_;
+  std::unique_ptr<FaultInjector> injector_;
+  FaultStats retired_fault_stats_;  // folded in from cleared injectors
   std::unordered_map<ProcessId, Endpoint*> endpoints_;
   std::unordered_map<ProcessId, std::uint32_t> component_;  // p -> component id
   std::uint32_t next_component_id_{1};

@@ -1,0 +1,163 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+
+namespace evs {
+namespace {
+
+/// True if the payload is a framed packet whose body starts with the
+/// ordering-token type byte (MsgType::Token == 2; see totem/messages.hpp —
+/// not included here to keep sim below totem in the layering). Only the
+/// frame length field is checked: this peek runs before any corruption is
+/// applied, so the header is honest.
+bool payload_is_token(const std::vector<std::uint8_t>& payload) {
+  constexpr std::size_t kHeader = 8;
+  constexpr std::uint8_t kTokenType = 2;
+  if (payload.size() < kHeader + 1) return false;
+  const std::uint32_t length = static_cast<std::uint32_t>(payload[0]) |
+                               (static_cast<std::uint32_t>(payload[1]) << 8) |
+                               (static_cast<std::uint32_t>(payload[2]) << 16) |
+                               (static_cast<std::uint32_t>(payload[3]) << 24);
+  if (payload.size() - kHeader != length) return false;
+  return payload[kHeader] == kTokenType;
+}
+
+}  // namespace
+
+bool FaultRule::matches(ProcessId from, ProcessId to, SimTime now,
+                        bool is_token) const {
+  if (tokens_only && !is_token) return false;
+  if (src.has_value() && *src != from) return false;
+  if (dst.has_value() && *dst != to) return false;
+  return now >= from_us && now < until_us;
+}
+
+FaultPlan FaultPlan::storm(double duplicate, double reorder, double corrupt,
+                           SimTime from_us, SimTime until_us) {
+  FaultRule rule;
+  rule.from_us = from_us;
+  rule.until_us = until_us;
+  rule.duplicate = duplicate;
+  rule.reorder = reorder;
+  rule.corrupt = corrupt;
+  return FaultPlan{}.add(rule);
+}
+
+FaultPlan FaultPlan::asymmetric_cut(ProcessId src, ProcessId dst, SimTime from_us,
+                                    SimTime until_us) {
+  FaultRule rule;
+  rule.src = src;
+  rule.dst = dst;
+  rule.from_us = from_us;
+  rule.until_us = until_us;
+  rule.drop = 1.0;
+  return FaultPlan{}.add(rule);
+}
+
+FaultPlan FaultPlan::token_loss(double p, SimTime from_us, SimTime until_us) {
+  FaultRule rule;
+  rule.tokens_only = true;
+  rule.from_us = from_us;
+  rule.until_us = until_us;
+  rule.drop = p;
+  return FaultPlan{}.add(rule);
+}
+
+void FaultInjector::note(SimTime time, const char* kind, ProcessId src,
+                         ProcessId dst) {
+  if (log_.size() >= kLogCapacity) log_.pop_front();
+  log_.push_back(FaultEvent{time, kind, src, dst});
+}
+
+FaultInjector::Action FaultInjector::apply(ProcessId from, ProcessId to, SimTime now,
+                                           std::vector<std::uint8_t>& payload) {
+  ++stats_.packets_considered;
+  const bool is_token = payload_is_token(payload);
+  Action action;
+  for (const FaultRule& rule : plan_.rules()) {
+    if (!rule.matches(from, to, now, is_token)) continue;
+    if (rule.drop > 0 && rng_.chance(rule.drop)) {
+      action.drop = true;
+      ++stats_.dropped;
+      if (is_token) ++stats_.token_dropped;
+      ++stats_.injected_total;
+      note(now, is_token ? "token-drop" : "drop", from, to);
+      return action;  // a dropped packet suffers no further faults
+    }
+    if (rule.duplicate > 0 && rng_.chance(rule.duplicate)) {
+      const int copies =
+          rule.max_duplicates <= 1
+              ? 1
+              : 1 + static_cast<int>(rng_.below(
+                        static_cast<std::uint64_t>(rule.max_duplicates)));
+      for (int i = 0; i < copies; ++i) {
+        action.duplicate_extra_delays.push_back(
+            rng_.below(rule.reorder_window_us + 1));
+      }
+      stats_.duplicated += static_cast<std::uint64_t>(copies);
+      ++stats_.injected_total;
+      note(now, "duplicate", from, to);
+    }
+    if (rule.reorder > 0 && rng_.chance(rule.reorder)) {
+      action.extra_delay_us += rng_.below(rule.reorder_window_us + 1);
+      ++stats_.reordered;
+      ++stats_.injected_total;
+      note(now, "reorder", from, to);
+    }
+    if (rule.delay_spike > 0 && rng_.chance(rule.delay_spike)) {
+      action.extra_delay_us += rule.spike_us;
+      ++stats_.delay_spiked;
+      ++stats_.injected_total;
+      note(now, "delay-spike", from, to);
+    }
+    if (rule.corrupt > 0 && !payload.empty() && rng_.chance(rule.corrupt)) {
+      const int flips =
+          1 + static_cast<int>(rng_.below(static_cast<std::uint64_t>(
+                  std::max(1, rule.max_corrupt_bytes))));
+      for (int i = 0; i < flips; ++i) {
+        const std::size_t pos = rng_.below(payload.size());
+        payload[pos] ^= static_cast<std::uint8_t>(1 + rng_.below(255));
+      }
+      action.corrupted = true;
+      ++stats_.corrupted;
+      ++stats_.injected_total;
+      note(now, "corrupt", from, to);
+    }
+  }
+  return action;
+}
+
+std::string FaultInjector::format_log() const {
+  std::string out;
+  for (const FaultEvent& e : log_) {
+    out += "  t=" + std::to_string(e.time) + "us " + e.kind + " " +
+           to_string(e.src) + "->" + to_string(e.dst) + "\n";
+  }
+  if (out.empty()) out = "  (no faults injected)\n";
+  return out;
+}
+
+FaultStats& operator+=(FaultStats& a, const FaultStats& b) {
+  a.packets_considered += b.packets_considered;
+  a.injected_total += b.injected_total;
+  a.dropped += b.dropped;
+  a.token_dropped += b.token_dropped;
+  a.duplicated += b.duplicated;
+  a.corrupted += b.corrupted;
+  a.reordered += b.reordered;
+  a.delay_spiked += b.delay_spiked;
+  return a;
+}
+
+std::string to_string(const FaultStats& s) {
+  return "considered=" + std::to_string(s.packets_considered) +
+         " injected=" + std::to_string(s.injected_total) +
+         " dropped=" + std::to_string(s.dropped) +
+         " token_dropped=" + std::to_string(s.token_dropped) +
+         " duplicated=" + std::to_string(s.duplicated) +
+         " corrupted=" + std::to_string(s.corrupted) +
+         " reordered=" + std::to_string(s.reordered) +
+         " delay_spiked=" + std::to_string(s.delay_spiked);
+}
+
+}  // namespace evs

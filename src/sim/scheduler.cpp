@@ -15,7 +15,13 @@ Scheduler::Handle Scheduler::schedule_at(SimTime t, Callback cb) {
 
 void Scheduler::cancel(Handle h) {
   if (!h.valid()) return;
-  if (callbacks_.erase(h.id) > 0) cancelled_.insert(h.id);
+  if (callbacks_.erase(h.id) > 0) {
+    cancelled_.insert(h.id);
+    // Every live callback and every tombstone corresponds to exactly one
+    // queue entry; a cancelled id must therefore still be queued.
+    EVS_ASSERT_MSG(callbacks_.size() + cancelled_.size() == queue_.size(),
+                   "cancelled id must still be queued");
+  }
 }
 
 bool Scheduler::step() {

@@ -59,7 +59,11 @@ class Scheduler {
   /// number of events executed.
   std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
 
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// Number of live (scheduled, not yet fired, not cancelled) events.
+  /// Counted from the callback map, not from queue arithmetic: the queue
+  /// may still hold tombstones for cancelled entries, and subtracting set
+  /// sizes would underflow if the two ever disagreed.
+  std::size_t pending() const { return callbacks_.size(); }
 
   /// Total events executed over the lifetime of this scheduler.
   std::uint64_t executed() const { return executed_; }

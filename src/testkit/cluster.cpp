@@ -26,6 +26,7 @@ const EvsNode::Delivery* Cluster::Sink::find(const MsgId& m) const {
 Cluster::Cluster(Options options)
     : options_(options), rng_(options.seed) {
   network_ = std::make_unique<Network>(scheduler_, rng_.split(), options_.net);
+  if (!options_.faults.empty()) network_->set_fault_plan(options_.faults);
   Log::set_time_source([this] { return scheduler_.now(); });
   procs_.reserve(options_.num_processes);
   for (std::size_t i = 0; i < options_.num_processes; ++i) {
@@ -111,12 +112,46 @@ void Cluster::partition(const std::vector<std::vector<std::size_t>>& groups) {
 
 void Cluster::heal() { network_->merge_all(); }
 
+std::uint64_t Cluster::progress_signature() const {
+  std::uint64_t sig = 0;
+  for (const auto& proc : procs_) {
+    if (proc.node == nullptr || !proc.node->running()) continue;
+    const auto& s = proc.node->stats();
+    sig += s.delivered + s.conf_changes + s.tokens_handled + s.gathers +
+           s.recoveries + s.sent;
+  }
+  return sig;
+}
+
+const EvsNode* Cluster::node_ptr(std::size_t index) const {
+  EVS_ASSERT(index < procs_.size());
+  return procs_[index].node.get();
+}
+
 bool Cluster::await(const std::function<bool()>& predicate, SimTime max_wait_us,
                     SimTime step_us) {
   const SimTime deadline = scheduler_.now() + max_wait_us;
+  std::uint64_t sig = progress_signature();
+  SimTime last_progress = scheduler_.now();
   while (scheduler_.now() < deadline) {
     if (predicate()) return true;
     scheduler_.run_for(step_us);
+    if (options_.watchdog_window_us > 0) {
+      const std::uint64_t now_sig = progress_signature();
+      if (now_sig != sig) {
+        sig = now_sig;
+        last_progress = scheduler_.now();
+      } else if (scheduler_.now() - last_progress >= options_.watchdog_window_us) {
+        // Fail fast: no token handled, nothing delivered, no membership
+        // activity at any running node for a whole watchdog window. Waiting
+        // out the deadline would only hide where the cluster got stuck.
+        watchdog_tripped_ = true;
+        EVS_WARN("testkit", "liveness watchdog: no protocol progress for %llu us\n%s",
+                 static_cast<unsigned long long>(options_.watchdog_window_us),
+                 liveness_report().c_str());
+        return false;
+      }
+    }
   }
   return predicate();
 }
@@ -160,13 +195,64 @@ bool Cluster::await_quiesce(SimTime max_wait_us) {
     }
     return std::pair{delivered, pending};
   };
+  std::uint64_t sig = progress_signature();
+  SimTime last_progress = scheduler_.now();
   while (scheduler_.now() < deadline) {
     const auto before = totals();
     scheduler_.run_for(20'000);
     const auto after = totals();
     if (stable() && after.second == 0 && after.first == before.first) return true;
+    if (options_.watchdog_window_us > 0) {
+      const std::uint64_t now_sig = progress_signature();
+      if (now_sig != sig) {
+        sig = now_sig;
+        last_progress = scheduler_.now();
+      } else if (scheduler_.now() - last_progress >= options_.watchdog_window_us) {
+        watchdog_tripped_ = true;
+        EVS_WARN("testkit", "liveness watchdog: no protocol progress for %llu us\n%s",
+                 static_cast<unsigned long long>(options_.watchdog_window_us),
+                 liveness_report().c_str());
+        return false;
+      }
+    }
   }
   return false;
+}
+
+std::string Cluster::liveness_report() const {
+  std::string out = "cluster @" + std::to_string(scheduler_.now()) + "us\n";
+  for (const auto& proc : procs_) {
+    out += "  " + to_string(proc.pid) + ": ";
+    if (proc.node == nullptr) {
+      out += "(never started)\n";
+      continue;
+    }
+    const auto& s = proc.node->stats();
+    out += std::string(to_string(proc.node->state())) + " config=" +
+           to_string(proc.node->config().id) +
+           " sent=" + std::to_string(s.sent) +
+           " delivered=" + std::to_string(s.delivered) +
+           " tokens=" + std::to_string(s.tokens_handled) +
+           " gathers=" + std::to_string(s.gathers) +
+           " recoveries=" + std::to_string(s.recoveries) +
+           " rej_frames=" + std::to_string(s.rejected_frames) +
+           " rej_decode=" + std::to_string(s.rejected_decode) +
+           " stale=" + std::to_string(s.stale_rejected) +
+           " retransmits=" + std::to_string(s.token_retransmits) + "\n";
+  }
+  const auto& n = network_->stats();
+  out += "  network: deliveries=" + std::to_string(n.deliveries) +
+         " dropped_loss=" + std::to_string(n.dropped_loss) +
+         " dropped_partition=" + std::to_string(n.dropped_partition) +
+         " dropped_fault=" + std::to_string(n.dropped_fault) +
+         " duplicated_fault=" + std::to_string(n.duplicated_fault) + "\n";
+  if (const FaultInjector* inj = network_->faults()) {
+    out += "  faults: " + to_string(inj->stats()) + "\n";
+    out += "  recent fault log:\n" + inj->format_log();
+  } else {
+    out += "  faults: (no injector installed)\n";
+  }
+  return out;
 }
 
 std::vector<Violation> Cluster::check(bool quiescent) const {

@@ -30,6 +30,13 @@ class Cluster {
     Network::Options net{};
     EvsNode::Options node{};
     bool auto_start{true};  ///< start all nodes at construction
+    /// Fault plan installed at construction (see sim/faults.hpp). Empty by
+    /// default; scriptable later via inject_faults()/clear_faults().
+    FaultPlan faults{};
+    /// Liveness watchdog: if > 0, await()/await_quiesce() fail fast when no
+    /// node makes protocol progress for this much virtual time, logging a
+    /// liveness report with the fault log attached.
+    SimTime watchdog_window_us{0};
   };
 
   /// Everything one process delivered, for test assertions.
@@ -71,6 +78,11 @@ class Cluster {
   void partition(const std::vector<std::vector<std::size_t>>& groups);
   void heal();
 
+  // --- fault scripting (see sim/faults.hpp) ---
+  void inject_faults(FaultPlan plan) { network_->set_fault_plan(std::move(plan)); }
+  void clear_faults() { network_->clear_faults(); }
+  FaultStats fault_stats() const { return network_->fault_stats(); }
+
   // --- time ---
   void run_for(SimTime us) { scheduler_.run_for(us); }
   SimTime now() const { return scheduler_.now(); }
@@ -97,6 +109,20 @@ class Cluster {
   /// gtest-friendly: empty string if conformant, else formatted violations.
   std::string check_report(bool quiescent = true) const;
 
+  // --- liveness watchdog ---
+  /// True if an await tripped the watchdog (no protocol progress for
+  /// Options::watchdog_window_us of virtual time).
+  bool watchdog_tripped() const { return watchdog_tripped_; }
+
+  /// Human-readable snapshot: per-process state and stats, network stats,
+  /// fault-injector stats and the recent fault log. Attached to watchdog
+  /// failures; useful in any test failure message.
+  std::string liveness_report() const;
+
+  /// The node for a process index, or nullptr if never started. For metrics
+  /// collection that must not assert on missing nodes.
+  const EvsNode* node_ptr(std::size_t index) const;
+
  private:
   struct Proc {
     ProcessId pid;
@@ -107,12 +133,18 @@ class Cluster {
 
   void wire(Proc& proc);
 
+  /// Monotone protocol-progress signature: any token handled, delivery,
+  /// configuration change, gather, recovery or send at any running node
+  /// changes it. Constant signature over a watchdog window = stuck cluster.
+  std::uint64_t progress_signature() const;
+
   Options options_;
   Scheduler scheduler_;
   Rng rng_;
   std::unique_ptr<Network> network_;
   TraceLog trace_;
   std::vector<Proc> procs_;
+  bool watchdog_tripped_{false};
 };
 
 }  // namespace evs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "testkit/cluster.hpp"
+
 namespace evs {
 
 LatencySummary summarize(const std::vector<SimTime>& durations) {
@@ -78,6 +80,33 @@ std::vector<RecoveryWindow> recovery_windows(const TraceLog& trace) {
     }
   }
   return windows;
+}
+
+FaultCounters collect_fault_counters(const Cluster& cluster) {
+  FaultCounters out;
+  out.injected = cluster.fault_stats();
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const EvsNode* node = cluster.node_ptr(i);
+    if (node == nullptr) continue;
+    const auto& s = node->stats();
+    out.rejected_frames += s.rejected_frames;
+    out.rejected_decode += s.rejected_decode;
+    out.stale_rejected += s.stale_rejected;
+    out.duplicate_regulars += s.duplicate_regulars;
+    out.stale_tokens += s.stale_tokens;
+    out.token_retransmits += s.token_retransmits;
+  }
+  return out;
+}
+
+std::string to_string(const FaultCounters& c) {
+  return to_string(c.injected) +
+         " | rejected_frames=" + std::to_string(c.rejected_frames) +
+         " rejected_decode=" + std::to_string(c.rejected_decode) +
+         " stale_rejected=" + std::to_string(c.stale_rejected) +
+         " duplicate_regulars=" + std::to_string(c.duplicate_regulars) +
+         " stale_tokens=" + std::to_string(c.stale_tokens) +
+         " token_retransmits=" + std::to_string(c.token_retransmits);
 }
 
 }  // namespace evs

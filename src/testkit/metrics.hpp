@@ -1,14 +1,20 @@
 // Trace-derived metrics for the benchmark harness: delivery latency,
-// recovery timing and disruption windows, all in *simulated* time.
+// recovery timing and disruption windows, all in *simulated* time. Plus
+// fault-injection counters aggregated across a Cluster: what the injector
+// did to the wire and what the hardened layers above rejected.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "sim/faults.hpp"
 #include "spec/trace.hpp"
 #include "util/types.hpp"
 
 namespace evs {
+
+class Cluster;
 
 struct LatencySummary {
   std::uint64_t samples{0};
@@ -39,5 +45,22 @@ std::vector<RecoveryWindow> recovery_windows(const TraceLog& trace);
 
 /// Summary over recovery windows.
 LatencySummary summarize(const std::vector<SimTime>& durations);
+
+/// What the fault injector did, paired with what the protocol stack caught.
+/// Injected counts come from the network's FaultInjector; rejection counts
+/// are summed over every node of the cluster.
+struct FaultCounters {
+  FaultStats injected;
+  std::uint64_t rejected_frames{0};
+  std::uint64_t rejected_decode{0};
+  std::uint64_t stale_rejected{0};
+  std::uint64_t duplicate_regulars{0};
+  std::uint64_t stale_tokens{0};
+  std::uint64_t token_retransmits{0};
+};
+
+FaultCounters collect_fault_counters(const Cluster& cluster);
+
+std::string to_string(const FaultCounters& c);
 
 }  // namespace evs

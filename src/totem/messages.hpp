@@ -13,6 +13,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <variant>
 #include <vector>
 
 #include "evs/config.hpp"
@@ -119,7 +121,22 @@ std::vector<std::uint8_t> encode_msg(const BeaconMsg& m);
 /// Type of an encoded packet, or nullopt if the buffer is empty/invalid.
 std::optional<MsgType> peek_type(const std::vector<std::uint8_t>& buf);
 
-// Decoders assert on malformed input (we produced every packet ourselves).
+/// Any protocol message, as produced by the strict decoder below.
+using AnyMsg = std::variant<RegularMsg, TokenMsg, JoinMsg, FormRingMsg, ExchangeMsg,
+                            RecoveryMsgMsg, RecoveryAckMsg, BeaconMsg>;
+
+/// Strict, non-asserting decoder for untrusted bytes. Returns nullopt for
+/// any buffer that is truncated, has trailing bytes, carries an unknown type
+/// byte, or violates a protocol-level invariant (unsorted member lists,
+/// sequence number 0, out-of-range service level, aru beyond seq, ...).
+/// Never crashes and never allocates more than the buffer can justify, so it
+/// is safe to call on arbitrarily corrupted input. This is the only decode
+/// entry point protocol nodes use on packets from the network.
+std::optional<AnyMsg> try_decode(std::span<const std::uint8_t> buf);
+
+// Decoders that assert on malformed input, for buffers we wrote ourselves
+// (stable storage, tests). They apply the same strict validation as
+// try_decode and abort instead of rejecting.
 RegularMsg decode_regular(const std::vector<std::uint8_t>& buf);
 TokenMsg decode_token(const std::vector<std::uint8_t>& buf);
 JoinMsg decode_join(const std::vector<std::uint8_t>& buf);

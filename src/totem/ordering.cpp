@@ -28,7 +28,10 @@ bool OrderingCore::is_member(ProcessId p) const {
 bool OrderingCore::on_regular(const RegularMsg& m) {
   EVS_ASSERT(m.ring == ring_);
   EVS_ASSERT(m.seq >= 1);
-  if (received_.contains(m.seq)) return false;
+  if (received_.contains(m.seq)) {
+    ++stats_.duplicates_ignored;
+    return false;
+  }
   received_.insert(m.seq);
   store_.emplace(m.seq, m);
   return true;
@@ -54,11 +57,19 @@ OrderingCore::TokenResult OrderingCore::on_token(const TokenMsg& token,
     result.to_broadcast.push_back(it->second);
     out.rtr.erase(s);
     ++retransmitted;
+    ++stats_.retransmits_sent;
   }
 
-  // 2. Request what we are missing.
+  // 2. Request what we are missing, bounded so a corrupted-but-plausible
+  // token cannot balloon the request set; deferred holes wait a rotation.
   highest_assigned_ = std::max(highest_assigned_, out.seq);
-  for (SeqNum hole : received_.missing_in(1, out.seq)) out.rtr.insert(hole);
+  for (SeqNum hole : received_.missing_in(1, out.seq)) {
+    if (out.rtr.size() >= options_.max_rtr_entries) {
+      ++stats_.rtr_capped;
+      break;
+    }
+    out.rtr.insert(hole);
+  }
 
   // 3. Stamp and broadcast pending application messages (flow control cap).
   int sent = 0;

@@ -53,9 +53,19 @@ class OrderingCore {
   struct Options {
     int max_new_per_token{64};
     int max_retransmit_per_token{64};
+    /// Upper bound on the rtr set size. A corrupted-but-plausible token or
+    /// a heavily lossy ring could otherwise grow the request set without
+    /// bound; excess holes simply wait for a later rotation.
+    std::size_t max_rtr_entries{1024};
     /// Fault injection (tests only): deliver safe messages without waiting
     /// for the acknowledgment horizon.
     bool deliver_unsafe{false};
+  };
+
+  struct Stats {
+    std::uint64_t duplicates_ignored{0};  ///< duplicate regular messages
+    std::uint64_t retransmits_sent{0};    ///< rtr requests we satisfied
+    std::uint64_t rtr_capped{0};          ///< holes deferred by max_rtr_entries
   };
 
   OrderingCore(RingId ring, std::vector<ProcessId> members, ProcessId self)
@@ -99,6 +109,7 @@ class OrderingCore {
   std::vector<RegularMsg> all_messages() const;
 
   std::uint64_t tokens_seen() const { return tokens_seen_; }
+  const Stats& stats() const { return stats_; }
 
  private:
   RingId ring_;
@@ -115,6 +126,7 @@ class OrderingCore {
   bool seen_token_{false};
   std::uint64_t last_rotation_{0};
   std::uint64_t tokens_seen_{0};
+  Stats stats_;
 };
 
 }  // namespace evs

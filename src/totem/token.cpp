@@ -1,11 +1,27 @@
 // Codec implementations for all protocol wire messages.
+//
+// Decoding is written defensively: the network may hand us corrupted bytes
+// (the fault-injection engine flips bytes deliberately; see src/sim/faults),
+// and while the CRC frame layer catches essentially all of it, the message
+// codec itself must also never crash, never over-allocate and never accept a
+// structurally invalid message. Every field that downstream code treats as
+// an invariant (sorted member lists, nonzero sequence numbers, enum ranges,
+// aru <= seq) is checked here, once, at the boundary.
 #include "totem/messages.hpp"
+
+#include <algorithm>
 
 #include "util/assert.hpp"
 #include "wire/codec.hpp"
 
 namespace evs {
 namespace {
+
+bool sorted_strict(const std::vector<ProcessId>& v) {
+  return std::adjacent_find(v.begin(), v.end(),
+                            [](ProcessId a, ProcessId b) { return !(a < b); }) ==
+         v.end();
+}
 
 void encode_inner(wire::Writer& w, const RegularMsg& m) {
   encode(w, m.ring);
@@ -15,24 +31,131 @@ void encode_inner(wire::Writer& w, const RegularMsg& m) {
   w.bytes(m.payload);
 }
 
-RegularMsg decode_inner_regular(wire::Reader& r) {
+std::optional<RegularMsg> read_regular(wire::Reader& r) {
   RegularMsg m;
   m.ring = decode_ring_id(r);
   m.seq = r.u64();
   m.id = decode_msg_id(r);
-  m.service = static_cast<Service>(r.u8());
+  const std::uint8_t service = r.u8();
   m.payload = r.bytes();
+  if (!r.ok()) return std::nullopt;
+  if (!m.ring.valid() || m.seq < 1 || !m.id.valid()) return std::nullopt;
+  if (service > static_cast<std::uint8_t>(Service::Safe)) return std::nullopt;
+  m.service = static_cast<Service>(service);
   return m;
 }
 
-wire::Reader open(const std::vector<std::uint8_t>& buf, MsgType expected) {
-  wire::Reader r(buf);
-  const auto type = static_cast<MsgType>(r.u8());
-  EVS_ASSERT_MSG(r.ok() && type == expected, "packet type mismatch");
-  return r;
+std::optional<TokenMsg> read_token(wire::Reader& r) {
+  TokenMsg m;
+  m.ring = decode_ring_id(r);
+  m.rotation = r.u64();
+  m.seq = r.u64();
+  m.aru = r.u64();
+  m.aru_setter = r.pid();
+  m.rtr = r.seq_set();
+  if (!r.ok()) return std::nullopt;
+  if (!m.ring.valid() || m.rotation < 1) return std::nullopt;
+  // The all-received horizon and every retransmission request refer to
+  // sequence numbers that have been assigned, i.e. are bounded by seq.
+  if (m.aru > m.seq || m.rtr.max() > m.seq) return std::nullopt;
+  return m;
 }
 
-void finish(const wire::Reader& r) { EVS_ASSERT_MSG(r.done(), "trailing bytes in packet"); }
+std::optional<JoinMsg> read_join(wire::Reader& r) {
+  JoinMsg m;
+  m.sender = r.pid();
+  m.episode = r.u64();
+  m.candidates = r.pid_vec();
+  m.fail_set = r.pid_vec();
+  m.max_ring_seq = r.u64();
+  if (!r.ok()) return std::nullopt;
+  if (m.sender == ProcessId{}) return std::nullopt;
+  if (!sorted_strict(m.candidates) || !sorted_strict(m.fail_set)) return std::nullopt;
+  return m;
+}
+
+std::optional<FormRingMsg> read_form_ring(wire::Reader& r) {
+  FormRingMsg m;
+  m.sender = r.pid();
+  m.ring = decode_ring_id(r);
+  m.members = r.pid_vec();
+  if (!r.ok()) return std::nullopt;
+  if (m.sender == ProcessId{} || !m.ring.valid()) return std::nullopt;
+  if (m.members.empty() || !sorted_strict(m.members)) return std::nullopt;
+  return m;
+}
+
+std::optional<ExchangeMsg> read_exchange(wire::Reader& r) {
+  ExchangeMsg m;
+  m.sender = r.pid();
+  m.proposed_ring = decode_ring_id(r);
+  m.old_ring = decode_ring_id(r);
+  m.received = r.seq_set();
+  m.old_safe_upto = r.u64();
+  m.delivered_upto = r.u64();
+  m.delivered_extra = r.seq_set();
+  m.obligation_set = r.pid_vec();
+  if (!r.ok()) return std::nullopt;
+  if (m.sender == ProcessId{} || !m.proposed_ring.valid()) return std::nullopt;
+  if (!sorted_strict(m.obligation_set)) return std::nullopt;
+  // A process with no prior ring has no backlog to report.
+  if (!m.old_ring.valid() && !m.received.empty()) return std::nullopt;
+  return m;
+}
+
+std::optional<RecoveryMsgMsg> read_recovery_msg(wire::Reader& r) {
+  RecoveryMsgMsg m;
+  m.sender = r.pid();
+  m.proposed_ring = decode_ring_id(r);
+  auto inner = read_regular(r);
+  if (!r.ok() || !inner.has_value()) return std::nullopt;
+  if (m.sender == ProcessId{} || !m.proposed_ring.valid()) return std::nullopt;
+  m.inner = std::move(*inner);
+  return m;
+}
+
+std::optional<RecoveryAckMsg> read_recovery_ack(wire::Reader& r) {
+  RecoveryAckMsg m;
+  m.sender = r.pid();
+  m.proposed_ring = decode_ring_id(r);
+  m.old_ring = decode_ring_id(r);
+  m.received = r.seq_set();
+  const std::uint8_t complete = r.u8();
+  if (!r.ok()) return std::nullopt;
+  if (m.sender == ProcessId{} || !m.proposed_ring.valid()) return std::nullopt;
+  if (complete > 1) return std::nullopt;
+  m.complete = complete != 0;
+  return m;
+}
+
+std::optional<BeaconMsg> read_beacon(wire::Reader& r) {
+  BeaconMsg m;
+  m.sender = r.pid();
+  m.ring = decode_ring_id(r);
+  if (!r.ok()) return std::nullopt;
+  if (m.sender == ProcessId{} || !m.ring.valid()) return std::nullopt;
+  return m;
+}
+
+/// Strict decode of one message of the `expected` kind, validating the type
+/// byte, every field and the absence of trailing bytes.
+template <typename T>
+std::optional<T> strict_decode(std::span<const std::uint8_t> buf, MsgType expected,
+                               std::optional<T> (*read)(wire::Reader&)) {
+  wire::Reader r(buf);
+  if (static_cast<MsgType>(r.u8()) != expected || !r.ok()) return std::nullopt;
+  std::optional<T> m = read(r);
+  if (!m.has_value() || !r.done()) return std::nullopt;
+  return m;
+}
+
+template <typename T>
+T checked_decode(const std::vector<std::uint8_t>& buf, MsgType expected,
+                 std::optional<T> (*read)(wire::Reader&)) {
+  std::optional<T> m = strict_decode<T>(buf, expected, read);
+  EVS_ASSERT_MSG(m.has_value(), "malformed packet");
+  return std::move(*m);
+}
 
 }  // namespace
 
@@ -43,6 +166,29 @@ std::optional<MsgType> peek_type(const std::vector<std::uint8_t>& buf) {
   return type;
 }
 
+std::optional<AnyMsg> try_decode(std::span<const std::uint8_t> buf) {
+  if (buf.empty()) return std::nullopt;
+  const auto wrap = [](auto&& m) -> std::optional<AnyMsg> {
+    if (!m.has_value()) return std::nullopt;
+    return AnyMsg{std::move(*m)};
+  };
+  switch (static_cast<MsgType>(buf[0])) {
+    case MsgType::Regular: return wrap(strict_decode(buf, MsgType::Regular, read_regular));
+    case MsgType::Token: return wrap(strict_decode(buf, MsgType::Token, read_token));
+    case MsgType::Join: return wrap(strict_decode(buf, MsgType::Join, read_join));
+    case MsgType::FormRing:
+      return wrap(strict_decode(buf, MsgType::FormRing, read_form_ring));
+    case MsgType::Exchange:
+      return wrap(strict_decode(buf, MsgType::Exchange, read_exchange));
+    case MsgType::RecoveryMsg:
+      return wrap(strict_decode(buf, MsgType::RecoveryMsg, read_recovery_msg));
+    case MsgType::RecoveryAck:
+      return wrap(strict_decode(buf, MsgType::RecoveryAck, read_recovery_ack));
+    case MsgType::Beacon: return wrap(strict_decode(buf, MsgType::Beacon, read_beacon));
+  }
+  return std::nullopt;
+}
+
 std::vector<std::uint8_t> encode_msg(const RegularMsg& m) {
   wire::Writer w;
   w.u8(static_cast<std::uint8_t>(MsgType::Regular));
@@ -51,10 +197,7 @@ std::vector<std::uint8_t> encode_msg(const RegularMsg& m) {
 }
 
 RegularMsg decode_regular(const std::vector<std::uint8_t>& buf) {
-  wire::Reader r = open(buf, MsgType::Regular);
-  RegularMsg m = decode_inner_regular(r);
-  finish(r);
-  return m;
+  return checked_decode(buf, MsgType::Regular, read_regular);
 }
 
 std::vector<std::uint8_t> encode_msg(const TokenMsg& m) {
@@ -70,16 +213,7 @@ std::vector<std::uint8_t> encode_msg(const TokenMsg& m) {
 }
 
 TokenMsg decode_token(const std::vector<std::uint8_t>& buf) {
-  wire::Reader r = open(buf, MsgType::Token);
-  TokenMsg m;
-  m.ring = decode_ring_id(r);
-  m.rotation = r.u64();
-  m.seq = r.u64();
-  m.aru = r.u64();
-  m.aru_setter = r.pid();
-  m.rtr = r.seq_set();
-  finish(r);
-  return m;
+  return checked_decode(buf, MsgType::Token, read_token);
 }
 
 std::vector<std::uint8_t> encode_msg(const JoinMsg& m) {
@@ -94,15 +228,7 @@ std::vector<std::uint8_t> encode_msg(const JoinMsg& m) {
 }
 
 JoinMsg decode_join(const std::vector<std::uint8_t>& buf) {
-  wire::Reader r = open(buf, MsgType::Join);
-  JoinMsg m;
-  m.sender = r.pid();
-  m.episode = r.u64();
-  m.candidates = r.pid_vec();
-  m.fail_set = r.pid_vec();
-  m.max_ring_seq = r.u64();
-  finish(r);
-  return m;
+  return checked_decode(buf, MsgType::Join, read_join);
 }
 
 std::vector<std::uint8_t> encode_msg(const FormRingMsg& m) {
@@ -115,13 +241,7 @@ std::vector<std::uint8_t> encode_msg(const FormRingMsg& m) {
 }
 
 FormRingMsg decode_form_ring(const std::vector<std::uint8_t>& buf) {
-  wire::Reader r = open(buf, MsgType::FormRing);
-  FormRingMsg m;
-  m.sender = r.pid();
-  m.ring = decode_ring_id(r);
-  m.members = r.pid_vec();
-  finish(r);
-  return m;
+  return checked_decode(buf, MsgType::FormRing, read_form_ring);
 }
 
 std::vector<std::uint8_t> encode_msg(const ExchangeMsg& m) {
@@ -139,18 +259,7 @@ std::vector<std::uint8_t> encode_msg(const ExchangeMsg& m) {
 }
 
 ExchangeMsg decode_exchange(const std::vector<std::uint8_t>& buf) {
-  wire::Reader r = open(buf, MsgType::Exchange);
-  ExchangeMsg m;
-  m.sender = r.pid();
-  m.proposed_ring = decode_ring_id(r);
-  m.old_ring = decode_ring_id(r);
-  m.received = r.seq_set();
-  m.old_safe_upto = r.u64();
-  m.delivered_upto = r.u64();
-  m.delivered_extra = r.seq_set();
-  m.obligation_set = r.pid_vec();
-  finish(r);
-  return m;
+  return checked_decode(buf, MsgType::Exchange, read_exchange);
 }
 
 std::vector<std::uint8_t> encode_msg(const RecoveryMsgMsg& m) {
@@ -163,13 +272,7 @@ std::vector<std::uint8_t> encode_msg(const RecoveryMsgMsg& m) {
 }
 
 RecoveryMsgMsg decode_recovery_msg(const std::vector<std::uint8_t>& buf) {
-  wire::Reader r = open(buf, MsgType::RecoveryMsg);
-  RecoveryMsgMsg m;
-  m.sender = r.pid();
-  m.proposed_ring = decode_ring_id(r);
-  m.inner = decode_inner_regular(r);
-  finish(r);
-  return m;
+  return checked_decode(buf, MsgType::RecoveryMsg, read_recovery_msg);
 }
 
 std::vector<std::uint8_t> encode_msg(const RecoveryAckMsg& m) {
@@ -183,6 +286,10 @@ std::vector<std::uint8_t> encode_msg(const RecoveryAckMsg& m) {
   return w.take();
 }
 
+RecoveryAckMsg decode_recovery_ack(const std::vector<std::uint8_t>& buf) {
+  return checked_decode(buf, MsgType::RecoveryAck, read_recovery_ack);
+}
+
 std::vector<std::uint8_t> encode_msg(const BeaconMsg& m) {
   wire::Writer w;
   w.u8(static_cast<std::uint8_t>(MsgType::Beacon));
@@ -192,24 +299,7 @@ std::vector<std::uint8_t> encode_msg(const BeaconMsg& m) {
 }
 
 BeaconMsg decode_beacon(const std::vector<std::uint8_t>& buf) {
-  wire::Reader r = open(buf, MsgType::Beacon);
-  BeaconMsg m;
-  m.sender = r.pid();
-  m.ring = decode_ring_id(r);
-  finish(r);
-  return m;
-}
-
-RecoveryAckMsg decode_recovery_ack(const std::vector<std::uint8_t>& buf) {
-  wire::Reader r = open(buf, MsgType::RecoveryAck);
-  RecoveryAckMsg m;
-  m.sender = r.pid();
-  m.proposed_ring = decode_ring_id(r);
-  m.old_ring = decode_ring_id(r);
-  m.received = r.seq_set();
-  m.complete = r.boolean();
-  finish(r);
-  return m;
+  return checked_decode(buf, MsgType::Beacon, read_beacon);
 }
 
 }  // namespace evs

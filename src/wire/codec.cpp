@@ -1,5 +1,7 @@
 #include "wire/codec.hpp"
 
+#include <array>
+
 namespace evs::wire {
 
 void Writer::str(const std::string& s) {
@@ -80,6 +82,10 @@ std::vector<std::uint8_t> Reader::bytes() {
 
 SeqSet Reader::seq_set() {
   const std::uint32_t n = u32();
+  // Each interval occupies 16 bytes; reject a count the buffer cannot hold
+  // BEFORE reserving, or a corrupted count field becomes a multi-gigabyte
+  // allocation request.
+  if (!need(n * 16ULL)) return {};
   std::vector<SeqSet::Interval> intervals;
   intervals.reserve(n);
   for (std::uint32_t i = 0; i < n && ok_; ++i) {
@@ -111,6 +117,59 @@ std::vector<SeqNum> Reader::seq_vec() {
   out.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) out.push_back(u64());
   return out;
+}
+
+// --- frames ------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+std::uint32_t read_u32_le(std::span<const std::uint8_t> data, std::size_t pos) {
+  return static_cast<std::uint32_t>(data[pos]) |
+         (static_cast<std::uint32_t>(data[pos + 1]) << 8) |
+         (static_cast<std::uint32_t>(data[pos + 2]) << 16) |
+         (static_cast<std::uint32_t>(data[pos + 3]) << 24);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) c = kCrcTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> seal_frame(std::span<const std::uint8_t> body) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  w.u32(crc32(body));
+  std::vector<std::uint8_t> frame = w.take();
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+std::optional<std::span<const std::uint8_t>> open_frame(
+    std::span<const std::uint8_t> frame) {
+  if (frame.size() < kFrameHeaderBytes) return std::nullopt;
+  const std::uint32_t length = read_u32_le(frame, 0);
+  const std::uint32_t checksum = read_u32_le(frame, 4);
+  if (frame.size() - kFrameHeaderBytes != length) return std::nullopt;
+  const auto body = frame.subspan(kFrameHeaderBytes);
+  if (crc32(body) != checksum) return std::nullopt;
+  return body;
 }
 
 }  // namespace evs::wire

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -80,5 +81,30 @@ class Reader {
   std::size_t pos_{0};
   bool ok_{true};
 };
+
+// --- frames ------------------------------------------------------------------
+//
+// Every packet that crosses the simulated network is wrapped in a frame:
+//
+//   [u32 body length][u32 CRC-32 of body][body bytes]
+//
+// The receiver validates length and checksum before attempting to decode the
+// body, so a corrupted or truncated packet is rejected cleanly instead of
+// feeding garbage to the message codec. CRC-32 (polynomial 0xEDB88320)
+// detects every burst error of up to 32 bits, so in particular any
+// single-byte corruption anywhere in the frame is always caught: a flip in
+// the body breaks the checksum, a flip in the header breaks the length or
+// checksum comparison.
+
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Wrap a message body in a length+checksum frame.
+std::vector<std::uint8_t> seal_frame(std::span<const std::uint8_t> body);
+
+/// Validate a frame and return a view of its body, or nullopt if the frame
+/// is truncated, has trailing bytes, or fails the checksum. Never throws,
+/// never allocates, never asserts: this is the hostile-byte boundary.
+std::optional<std::span<const std::uint8_t>> open_frame(
+    std::span<const std::uint8_t> frame);
 
 }  // namespace evs::wire

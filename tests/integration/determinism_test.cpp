@@ -32,5 +32,37 @@ TEST(DeterminismTest, DifferentSeedsDiverge) {
   EXPECT_NE(run_once(1), run_once(2));
 }
 
+// With the fault injector active, a run is a pure function of
+// (seed, scenario, fault plan): the injector draws from its own seeded
+// stream, so duplication/reordering/corruption decisions replay exactly.
+std::string run_with_faults(std::uint64_t seed, double corrupt) {
+  Cluster::Options opts;
+  opts.num_processes = 4;
+  opts.seed = seed;
+  opts.net.loss_probability = 0.01;
+  opts.faults = FaultPlan::storm(0.04, 0.04, corrupt, 0, 400'000);
+  Cluster cluster(opts);
+  Rng rng(seed + 1);
+  RandomScheduleOptions schedule;
+  schedule.rounds = 4;
+  run_random_schedule(cluster, rng, schedule);
+  return cluster.trace().dump();
+}
+
+TEST(DeterminismTest, IdenticalSeedAndFaultPlanProduceIdenticalTraces) {
+  const std::string a = run_with_faults(42, 0.02);
+  const std::string b = run_with_faults(42, 0.02);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(DeterminismTest, DifferentFaultPlanDiverges) {
+  EXPECT_NE(run_with_faults(42, 0.02), run_with_faults(42, 0.2));
+}
+
+TEST(DeterminismTest, DifferentSeedsDivergeUnderFaults) {
+  EXPECT_NE(run_with_faults(1, 0.02), run_with_faults(2, 0.02));
+}
+
 }  // namespace
 }  // namespace evs

@@ -66,6 +66,40 @@ TEST(SchedulerTest, CancelAfterFireIsNoop) {
   EXPECT_TRUE(fired);
 }
 
+TEST(SchedulerTest, PendingCountsLiveEventsAcrossCancelPatterns) {
+  Scheduler sched;
+  auto a = sched.schedule_at(10, [] {});
+  auto b = sched.schedule_at(20, [] {});
+  auto c = sched.schedule_at(30, [] {});
+  EXPECT_EQ(sched.pending(), 3u);
+  sched.cancel(b);
+  EXPECT_EQ(sched.pending(), 2u);
+  sched.cancel(b);  // double-cancel: no change
+  EXPECT_EQ(sched.pending(), 2u);
+  EXPECT_TRUE(sched.step());  // fires a
+  EXPECT_EQ(sched.pending(), 1u);
+  // Cancel after fire: the id is gone; pending must not underflow or drift.
+  sched.cancel(a);
+  EXPECT_EQ(sched.pending(), 1u);
+  EXPECT_TRUE(sched.step());  // skips b's tombstone, fires c
+  EXPECT_EQ(sched.pending(), 0u);
+  sched.cancel(c);  // cancel after everything fired
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_FALSE(sched.step());
+}
+
+TEST(SchedulerTest, PendingZeroAfterCancellingEverything) {
+  Scheduler sched;
+  std::vector<Scheduler::Handle> handles;
+  for (int i = 0; i < 8; ++i) handles.push_back(sched.schedule_at(i + 1, [] {}));
+  for (auto h : handles) sched.cancel(h);
+  // Repeat cancels of already-cancelled handles must stay no-ops.
+  for (auto h : handles) sched.cancel(h);
+  EXPECT_EQ(sched.pending(), 0u);
+  EXPECT_FALSE(sched.step());
+  EXPECT_EQ(sched.executed(), 0u);
+}
+
 TEST(SchedulerTest, RunUntilAdvancesClockEvenWhenIdle) {
   Scheduler sched;
   sched.run_until(500);

@@ -8,6 +8,8 @@
 //      membership churn (each lost token costs a full membership round).
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "testkit/cluster.hpp"
 #include "testkit/metrics.hpp"
 
@@ -38,6 +40,7 @@ void BM_FlowControlWindow(benchmark::State& state) {
       return;
     }
     drain_us += static_cast<double>(cluster.now() - start);
+    evs::bench::record(evs::bench::run_name("BM_FlowControlWindow", {state.range(0)}), cluster);
     ++rounds;
   }
   state.counters["sim_burst_drain_us"] = drain_us / static_cast<double>(rounds);
@@ -71,6 +74,7 @@ void BM_TokenLossTimeout(benchmark::State& state) {
       durations.push_back(w.duration_us());
     }
     recovery_us += summarize(durations).avg_us;
+    evs::bench::record(evs::bench::run_name("BM_TokenLossTimeout", {state.range(0)}), cluster);
     ++rounds;
   }
   state.counters["sim_avg_recovery_us"] = recovery_us / static_cast<double>(rounds);
@@ -105,6 +109,7 @@ void BM_LossSensitivity(benchmark::State& state) {
     std::uint64_t gathers_after = 0;
     for (std::size_t i = 0; i < 4; ++i) gathers_after += cluster.node(i).stats().gathers;
     gathers += static_cast<double>(gathers_after - gathers_before);
+    evs::bench::record(evs::bench::run_name("BM_LossSensitivity", {state.range(0)}), cluster);
     ++rounds;
   }
   state.counters["sim_safe_latency_us"] = latency_us / static_cast<double>(rounds);
@@ -118,4 +123,4 @@ BENCHMARK(BM_TokenLossTimeout)->Arg(4'000)->Arg(8'000)->Arg(12'000)->Arg(24'000)
 // Arg = loss in permille: 0, 5 (=0.5%), 10, 30, 60
 BENCHMARK(BM_LossSensitivity)->Arg(0)->Arg(5)->Arg(10)->Arg(30)->Arg(60)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+EVS_BENCH_MAIN("bench_ablation");

@@ -7,6 +7,8 @@
 // airline serves within its quota.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <memory>
 #include <vector>
 
@@ -60,6 +62,7 @@ void BM_AirlineThroughPartitionCycle(benchmark::State& state) {
                                 offices[2]->stats().accepted;
     accepted_per_sim_sec +=
         static_cast<double>(after - before) * 1e6 / static_cast<double>(elapsed);
+    evs::bench::record(evs::bench::run_name("BM_AirlineThroughPartitionCycle", {state.range(0)}), cluster);
     ++rounds;
   }
   state.counters["sales_per_sim_sec"] = accepted_per_sim_sec / static_cast<double>(rounds);
@@ -119,6 +122,7 @@ void BM_AtmPostingBacklog(benchmark::State& state) {
       return;
     }
     drain_us += static_cast<double>(cluster.now() - merge_at);
+    evs::bench::record(evs::bench::run_name("BM_AtmPostingBacklog", {state.range(0)}), cluster);
     ++rounds;
   }
   state.counters["sim_drain_us"] = drain_us / static_cast<double>(rounds);
@@ -130,4 +134,4 @@ void BM_AtmPostingBacklog(benchmark::State& state) {
 BENCHMARK(BM_AirlineThroughPartitionCycle)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AtmPostingBacklog)->Arg(10)->Arg(100)->Arg(400)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+EVS_BENCH_MAIN("bench_apps_partition");

@@ -13,6 +13,8 @@
 //   3: (0.05, 0.05, 0.02) 4: (0.08, 0.08, 0.03)
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "testkit/cluster.hpp"
 #include "testkit/metrics.hpp"
 
@@ -105,6 +107,7 @@ void BM_FaultStorm(benchmark::State& state) {
                                     counters.rejected_decode +
                                     counters.stale_rejected);
     retransmits += static_cast<double>(counters.token_retransmits);
+    evs::bench::record(evs::bench::run_name("BM_FaultStorm", {state.range(0)}), cluster);
     ++rounds;
   }
   const double n = static_cast<double>(rounds);
@@ -119,4 +122,4 @@ void BM_FaultStorm(benchmark::State& state) {
 
 BENCHMARK(BM_FaultStorm)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+EVS_BENCH_MAIN("bench_fault_storm");

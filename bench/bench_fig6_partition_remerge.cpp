@@ -7,6 +7,8 @@
 // discarded as causally suspect, as the pre-partition traffic level varies.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "testkit/cluster.hpp"
 #include "testkit/metrics.hpp"
 
@@ -61,6 +63,7 @@ void BM_Fig6Scenario(benchmark::State& state) {
     }
     trans_deliveries += static_cast<double>(trans);
     discarded += static_cast<double>(disc);
+    evs::bench::record(evs::bench::run_name("BM_Fig6Scenario", {state.range(0)}), cluster);
     ++rounds;
   }
   state.counters["sim_reconfig_us"] = reconfig_us / static_cast<double>(rounds);
@@ -73,4 +76,4 @@ void BM_Fig6Scenario(benchmark::State& state) {
 
 BENCHMARK(BM_Fig6Scenario)->Arg(0)->Arg(20)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+EVS_BENCH_MAIN("bench_fig6_partition_remerge");

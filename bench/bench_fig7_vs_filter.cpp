@@ -7,6 +7,8 @@
 // during a partition episode that EVS would have kept serving.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "testkit/cluster.hpp"
 #include "testkit/metrics.hpp"
 #include "testkit/vs_cluster.hpp"
@@ -36,6 +38,7 @@ void BM_RawEvsDelivery(benchmark::State& state) {
     }
     const Service safe = Service::Safe;
     sim_latency += delivery_latency(cluster.trace(), true, &safe).avg_us;
+    evs::bench::record(evs::bench::run_name("BM_RawEvsDelivery"), cluster);
     ++rounds;
   }
   state.counters["sim_avg_latency_us"] = sim_latency / static_cast<double>(rounds);
@@ -62,6 +65,7 @@ void BM_VsFilteredDelivery(benchmark::State& state) {
     }
     const Service safe = Service::Safe;
     sim_latency += delivery_latency(cluster.evs_trace(), true, &safe).avg_us;
+    evs::bench::record(evs::bench::run_name("BM_VsFilteredDelivery"), cluster);
     ++rounds;
   }
   state.counters["sim_avg_latency_us"] = sim_latency / static_cast<double>(rounds);
@@ -101,6 +105,7 @@ void BM_VsAvailabilityUnderPartition(benchmark::State& state) {
     }
     serving_fraction += static_cast<double>(serving) / 5.0;
     blocked_sends += static_cast<double>(rejected);
+    evs::bench::record(evs::bench::run_name("BM_VsAvailabilityUnderPartition", {state.range(0)}), cluster);
     ++rounds;
   }
   state.counters["vs_serving_fraction"] = serving_fraction / static_cast<double>(rounds);
@@ -114,4 +119,4 @@ BENCHMARK(BM_RawEvsDelivery)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_VsFilteredDelivery)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_VsAvailabilityUnderPartition)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+EVS_BENCH_MAIN("bench_fig7_vs_filter");

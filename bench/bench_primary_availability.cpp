@@ -10,6 +10,8 @@
 // primary lineage.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include <algorithm>
 
 #include "testkit/vs_cluster.hpp"
@@ -19,8 +21,8 @@ namespace {
 
 using namespace evs;
 
-double run_schedule(VsNode::Policy policy, std::uint64_t seed, int steps,
-                    bool shrinking) {
+double run_schedule(const std::string& run, VsNode::Policy policy,
+                    std::uint64_t seed, int steps, bool shrinking) {
   VsCluster::Options opts;
   opts.num_processes = 7;
   opts.seed = seed;
@@ -55,6 +57,7 @@ double run_schedule(VsNode::Policy policy, std::uint64_t seed, int steps,
     }
     if (any_primary) ++primary_steps;
   }
+  evs::bench::record(run, cluster);
   return static_cast<double>(primary_steps) / static_cast<double>(steps);
 }
 
@@ -65,7 +68,9 @@ void BM_PrimaryAvailability(benchmark::State& state) {
   double availability = 0;
   std::uint64_t rounds = 0;
   for (auto _ : state) {
-    availability += run_schedule(policy, 1000 + rounds, 12, shrinking);
+    availability += run_schedule(
+        evs::bench::run_name("BM_PrimaryAvailability", {state.range(0), state.range(1)}),
+        policy, 1000 + rounds, 12, shrinking);
     ++rounds;
   }
   state.counters["primary_availability"] = availability / static_cast<double>(rounds);
@@ -81,4 +86,4 @@ BENCHMARK(BM_PrimaryAvailability)
     ->Args({1, 1})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+EVS_BENCH_MAIN("bench_primary_availability");

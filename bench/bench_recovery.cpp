@@ -7,6 +7,8 @@
 // recovers fastest (nothing to exchange).
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "testkit/cluster.hpp"
 #include "testkit/metrics.hpp"
 
@@ -57,6 +59,7 @@ void BM_PartitionRecovery(benchmark::State& state) {
     max_recovery_us += static_cast<double>(summary.max_us);
     rebroadcast_bytes += static_cast<double>(
         cluster.network().stats().bytes_delivered - bytes_before);
+    evs::bench::record(evs::bench::run_name("BM_PartitionRecovery", {state.range(0), state.range(1)}), cluster);
     ++rounds;
   }
   state.counters["sim_avg_recovery_us"] = avg_recovery_us / static_cast<double>(rounds);
@@ -103,6 +106,7 @@ void BM_CrashRecovery(benchmark::State& state) {
       return;
     }
     avg_rejoin_us += static_cast<double>(cluster.now() - recover_start);
+    evs::bench::record(evs::bench::run_name("BM_CrashRecovery", {state.range(0)}), cluster);
     ++rounds;
   }
   state.counters["sim_rejoin_us"] = avg_rejoin_us / static_cast<double>(rounds);
@@ -120,4 +124,4 @@ BENCHMARK(BM_PartitionRecovery)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CrashRecovery)->Arg(10)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+EVS_BENCH_MAIN("bench_recovery");

@@ -1,0 +1,118 @@
+// Shared obs reporting for the bench_* binaries.
+//
+// Every benchmark merges each iteration's cluster-wide metrics into a run
+// named after the benchmark instance (state.name(), which includes the arg
+// suffix, e.g. "BM_FaultStorm/3"). EVS_BENCH_MAIN then writes the collected
+// runs as one "evs.obs.report" v1 JSON document to the path in $EVS_OBS_OUT
+// (no-op when unset), self-validating with obs::validate_document so a
+// malformed report fails the bench run instead of poisoning downstream
+// tooling. The bench_smoke ctest targets run each binary on a tiny workload
+// and check the emitted document with tools/obs_json_check.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "testkit/cluster.hpp"
+#include "testkit/vs_cluster.hpp"
+
+namespace evs::bench {
+
+class ObsReport {
+ public:
+  /// Find-or-create the registry for a named run (insertion order kept, so
+  /// the emitted document is deterministic for a fixed benchmark order).
+  obs::MetricsRegistry& run(const std::string& name) {
+    for (auto& [n, r] : runs_) {
+      if (n == name) return r;
+    }
+    runs_.emplace_back(name, obs::MetricsRegistry{});
+    return runs_.back().second;
+  }
+
+  std::string to_json(const std::string& source) const {
+    obs::JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "evs.obs.report");
+    w.kv("version", 1);
+    w.kv("source", source);
+    w.key("runs").begin_array();
+    for (const auto& [name, reg] : runs_) {
+      w.begin_object();
+      w.kv("name", name);
+      w.key("metrics");
+      obs::write_metrics(w, reg);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.take();
+  }
+
+  static ObsReport& instance() {
+    static ObsReport r;
+    return r;
+  }
+
+ private:
+  std::vector<std::pair<std::string, obs::MetricsRegistry>> runs_;
+};
+
+/// Benchmark-instance run name, e.g. run_name("BM_FaultStorm",
+/// {state.range(0)}) -> "BM_FaultStorm/3". (This benchmark library version
+/// has no State::name(), so instances self-describe.)
+inline std::string run_name(const char* base,
+                            std::initializer_list<std::int64_t> args = {}) {
+  std::string n = base;
+  for (std::int64_t a : args) n += "/" + std::to_string(a);
+  return n;
+}
+
+/// Merge one iteration's cluster-wide metrics into the named run.
+inline void record(const std::string& run, const Cluster& cluster) {
+  ObsReport::instance().run(run).merge_from(cluster.aggregate_metrics());
+}
+inline void record(const std::string& run, const VsCluster& cluster) {
+  ObsReport::instance().run(run).merge_from(cluster.aggregate_metrics());
+}
+
+/// Write the report to $EVS_OBS_OUT. Returns a process exit code: 0 on
+/// success or when EVS_OBS_OUT is unset, 1 on I/O or schema failure.
+inline int write_report(const char* source) {
+  const char* path = std::getenv("EVS_OBS_OUT");
+  if (path == nullptr || *path == '\0') return 0;
+  const std::string doc = ObsReport::instance().to_json(source);
+  if (Status st = obs::validate_document(doc); !st.ok()) {
+    std::fprintf(stderr, "obs report failed validation: %s\n", st.message().c_str());
+    return 1;
+  }
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open EVS_OBS_OUT=%s\n", path);
+    return 1;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return 0;
+}
+
+}  // namespace evs::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also writes the obs report.
+#define EVS_BENCH_MAIN(source_name)                                       \
+  int main(int argc, char** argv) {                                       \
+    ::benchmark::Initialize(&argc, argv);                                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;   \
+    ::benchmark::RunSpecifiedBenchmarks();                                \
+    ::benchmark::Shutdown();                                              \
+    return ::evs::bench::write_report(source_name);                       \
+  }

@@ -7,6 +7,8 @@
 // the machine-checkable stand-in for the paper's specification figures.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "testkit/cluster.hpp"
 #include "testkit/workload.hpp"
 
@@ -33,6 +35,7 @@ void BM_SpecConformance(benchmark::State& state) {
     run_random_schedule(cluster, rng, schedule);
     violations += cluster.check(true).size();
     events += static_cast<double>(cluster.trace().size());
+    evs::bench::record(evs::bench::run_name("BM_SpecConformance", {state.range(0), state.range(1)}), cluster);
     ++rounds;
   }
   state.counters["violations"] = static_cast<double>(violations);
@@ -55,6 +58,7 @@ void BM_CheckerThroughput(benchmark::State& state) {
   for (auto _ : state) {
     violations += cluster.check(true).size();
   }
+  evs::bench::record(evs::bench::run_name("BM_CheckerThroughput"), cluster);
   state.counters["violations"] = static_cast<double>(violations);
   state.counters["events_per_check"] = static_cast<double>(cluster.trace().size());
   state.SetItemsProcessed(static_cast<std::int64_t>(
@@ -72,4 +76,4 @@ BENCHMARK(BM_SpecConformance)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CheckerThroughput)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+EVS_BENCH_MAIN("bench_spec_conformance");

@@ -10,6 +10,8 @@
 // wall-clock additionally measures the simulator itself.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hpp"
+
 #include "testkit/cluster.hpp"
 #include "testkit/metrics.hpp"
 
@@ -46,6 +48,7 @@ void BM_DeliveryLatency(benchmark::State& state) {
     sim_us_per_msg += static_cast<double>(elapsed) / kMessages;
     // Latency to the LAST receiver: the stabilization cost of the service.
     total = delivery_latency(cluster.trace(), /*to_last_delivery=*/true, &service);
+    evs::bench::record(evs::bench::run_name("BM_DeliveryLatency", {state.range(0), state.range(1)}), cluster);
     ++rounds;
   }
   state.counters["sim_avg_latency_us"] = total.avg_us;
@@ -75,6 +78,7 @@ void BM_TokenRotation(benchmark::State& state) {
     const std::uint64_t tokens = cluster.node(0u).stats().tokens_handled - tokens_before;
     rotations_per_sim_sec +=
         static_cast<double>(tokens) * 1e6 / static_cast<double>(elapsed);
+    evs::bench::record(evs::bench::run_name("BM_TokenRotation", {state.range(0)}), cluster);
     ++rounds;
   }
   state.counters["sim_rotations_per_sec"] =
@@ -93,4 +97,4 @@ void LatencyArgs(benchmark::internal::Benchmark* b) {
 BENCHMARK(BM_DeliveryLatency)->Apply(LatencyArgs)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TokenRotation)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+EVS_BENCH_MAIN("bench_token_ring");

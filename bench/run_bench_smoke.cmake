@@ -1,0 +1,21 @@
+# Smoke-run one bench binary on a tiny workload and validate its obs JSON
+# output. Invoked by the bench_smoke.<name> ctest targets:
+#   cmake -DBENCH=<binary> -DFILTER=<regex> -DOUT=<json> -DCHECK=<checker>
+#         -P run_bench_smoke.cmake
+# --benchmark_min_time=0.001 runs each selected benchmark for exactly one
+# iteration, so the smoke pass stays fast while still exercising the full
+# cluster + exporter code path.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env EVS_OBS_OUT=${OUT}
+          ${BENCH} --benchmark_filter=${FILTER} --benchmark_min_time=0.001
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} failed (exit ${bench_rc})")
+endif()
+if(NOT EXISTS ${OUT})
+  message(FATAL_ERROR "${BENCH} did not write ${OUT}")
+endif()
+execute_process(COMMAND ${CHECK} ${OUT} RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "obs_json_check rejected ${OUT} (exit ${check_rc})")
+endif()

@@ -36,12 +36,12 @@ int main() {
   for (std::size_t i = 0; i < 4; ++i) {
     nodes.push_back(std::make_unique<GroupNode>(cluster.node(i)));
   }
-  nodes[0]->set_deliver_handler([](const GroupNode::GroupDelivery& d) {
+  nodes[0]->set_on_deliver([](const GroupNode::GroupDelivery& d) {
     std::printf("  P1 <- group %u from %s: %.*s\n", d.group,
                 to_string(d.id.sender).c_str(), static_cast<int>(d.payload.size()),
                 reinterpret_cast<const char*>(d.payload.data()));
   });
-  nodes[0]->set_view_handler(
+  nodes[0]->set_on_view_change(
       [](const GroupNode::GroupView& v) { print_view("P1", v); });
   cluster.await_stable(3'000'000);
 

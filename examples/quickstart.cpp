@@ -22,9 +22,9 @@ int main() {
   Cluster cluster(Cluster::Options{.num_processes = 3});
 
   // Watch node 0's configuration changes and deliveries.
-  cluster.node(0u).set_config_handler(
+  cluster.node(0u).set_on_config_change(
       [](const Configuration& c) { print_config("P1", c); });
-  cluster.node(0u).set_deliver_handler([](const EvsNode::Delivery& d) {
+  cluster.node(0u).set_on_deliver([](const EvsNode::Delivery& d) {
     std::printf("  P1 delivered %s [%s] in %s\n", to_string(d.id).c_str(),
                 to_string(d.service), to_string(d.config.id).c_str());
   });

@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   cluster.partition({{0, 1, 2}, {3, 4}});
   cluster.await_stable(6'000'000);
   show_modes(cluster, "== majority continues, minority blocks ==");
-  if (!cluster.node(3u).send({'x'}).has_value()) {
+  if (!cluster.node(3u).send({'x'}).ok()) {
     std::printf("P4's send was rejected: blocked processes do not accept messages\n");
   }
 

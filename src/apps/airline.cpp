@@ -18,8 +18,8 @@ AirlineAgent::AirlineAgent(EvsNode& node, Options options)
   EVS_ASSERT(options_.universe > 0);
   free_at_config_ = options_.capacity;
   config_size_ = 1;
-  node_.set_deliver_handler([this](const EvsNode::Delivery& d) { on_deliver(d); });
-  node_.set_config_handler([this](const Configuration& c) { on_config(c); });
+  node_.set_on_deliver([this](const EvsNode::Delivery& d) { on_deliver(d); });
+  node_.set_on_config_change([this](const Configuration& c) { on_config(c); });
 }
 
 MsgId AirlineAgent::request_sale(std::uint32_t seats) {
@@ -28,7 +28,7 @@ MsgId AirlineAgent::request_sale(std::uint32_t seats) {
   w.u32(seats);
   // Agreed delivery suffices: the decision is a deterministic function of
   // the shared total order, so all members conclude identically.
-  return node_.send(Service::Agreed, w.take());
+  return node_.send(Service::Agreed, w.take()).value();
 }
 
 std::uint32_t AirlineAgent::sold() const {

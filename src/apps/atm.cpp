@@ -14,8 +14,8 @@ AtmAgent::AtmAgent(EvsNode& node, StableStore& store, Options options)
     : node_(node), store_(store), options_(options) {
   EVS_ASSERT(options_.universe > 0);
   load();
-  node_.set_deliver_handler([this](const EvsNode::Delivery& d) { on_deliver(d); });
-  node_.set_config_handler([this](const Configuration& c) { on_config(c); });
+  node_.set_on_deliver([this](const EvsNode::Delivery& d) { on_deliver(d); });
+  node_.set_on_config_change([this](const Configuration& c) { on_config(c); });
 }
 
 std::vector<std::uint8_t> AtmAgent::encode_txn(const Txn& txn, const MsgId& id) {
@@ -42,7 +42,7 @@ MsgId AtmAgent::submit(Op op, AccountId account, std::int64_t amount) {
   // members while applied at others when the configuration changes.
   const MsgId placeholder{};
   auto payload = encode_txn(txn, placeholder);
-  const MsgId id = node_.send(Service::Safe, std::move(payload));
+  const MsgId id = node_.send(Service::Safe, std::move(payload)).value();
   // Re-encode with the real id and fix the queued payload: simpler — the
   // delivery handler treats an all-zero embedded id as "use the message's
   // own id" (the common, non-repost case).

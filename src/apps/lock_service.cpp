@@ -15,8 +15,8 @@ constexpr std::uint8_t kSnapshot = 2;
 }  // namespace
 
 LockService::LockService(VsNode& node) : node_(node) {
-  node_.set_deliver_handler([this](const VsDelivery& d) { on_deliver(d); });
-  node_.set_view_handler([this](const VsView& v) { on_view(v); });
+  node_.set_on_deliver([this](const VsDelivery& d) { on_deliver(d); });
+  node_.set_on_view_change([this](const VsView& v) { on_view(v); });
 }
 
 bool LockService::acquire(LockId lock) {
@@ -25,7 +25,7 @@ bool LockService::acquire(LockId lock) {
   w.u32(lock);
   // Safe delivery: a grant decision must never be visible at one member and
   // lost at another across a configuration change.
-  if (!node_.send(w.take(), Service::Safe).has_value()) {
+  if (!node_.send(w.take(), Service::Safe).ok()) {
     ++stats_.rejected_blocked;
     return false;
   }
@@ -37,7 +37,7 @@ bool LockService::release(LockId lock) {
   wire::Writer w;
   w.u8(kRelease);
   w.u32(lock);
-  return node_.send(w.take(), Service::Safe).has_value();
+  return node_.send(w.take(), Service::Safe).ok();
 }
 
 std::optional<ProcessId> LockService::holder(LockId lock) const {

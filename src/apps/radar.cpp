@@ -16,8 +16,8 @@ double unpack_double(std::uint64_t v) { return std::bit_cast<double>(v); }
 }  // namespace
 
 RadarAgent::RadarAgent(EvsNode& node) : node_(node) {
-  node_.set_deliver_handler([this](const EvsNode::Delivery& d) { on_deliver(d); });
-  node_.set_config_handler([this](const Configuration& c) { on_config(c); });
+  node_.set_on_deliver([this](const EvsNode::Delivery& d) { on_deliver(d); });
+  node_.set_on_config_change([this](const Configuration& c) { on_config(c); });
 }
 
 MsgId RadarAgent::publish(double x, double y, double quality) {
@@ -27,7 +27,7 @@ MsgId RadarAgent::publish(double x, double y, double quality) {
   w.u64(pack_double(quality));
   w.u64(++sequence_);
   ++stats_.published;
-  return node_.send(Service::Agreed, w.take());
+  return node_.send(Service::Agreed, w.take()).value();
 }
 
 void RadarAgent::on_deliver(const EvsNode::Delivery& d) {

@@ -12,6 +12,32 @@
 //   evs::SpecChecker    — Specifications 1.1-7.2 trace checker
 //   evs::VsChecker      — Birman legality (C1-C3, L1-L5) checker
 //
+// Callbacks use uniform setter names across every node layer:
+//   set_on_deliver(...)        — delivery callback (EvsNode, GroupNode,
+//                                FragmentNode, VsNode)
+//   set_on_config_change(...)  — configuration changes (EvsNode)
+//   set_on_view_change(...)    — per-group views (GroupNode), VS views (VsNode)
+// The old set_*_handler names remain as [[deprecated]] shims.
+//
+// Fallible entry points return evs::Status / evs::Expected<T>
+// (util/status.hpp) with a machine-readable evs::Errc:
+//   EvsNode::send(...)             -> Expected<MsgId>
+//   FragmentNode::send_large(...)  -> Expected<MsgId>
+//   wire::seal_frame/open_frame    -> Expected<...>
+// EvsNode::Options::validate() rejects inconsistent timeout/limit
+// combinations at construction time (Errc::invalid_options).
+//
+// Observability (src/obs, zero overhead when disabled):
+//   evs::obs::MetricsRegistry — typed counters/gauges/histograms; one per
+//                               node, network and harness; merge_from()
+//                               aggregates them cluster-wide
+//   evs::obs::SpanSink        — span tracing of gathers, recovery steps,
+//                               config installs and token rotations;
+//                               exports chrome://tracing JSON or text
+//   evs::obs exporters        — "evs.obs.snapshot" / "evs.obs.report"
+//                               JSON documents plus their validators
+//                               (obs/export.hpp, testkit/report.hpp)
+//
 // See README.md for the architecture overview and DESIGN.md for the paper
 // mapping.
 #pragma once
@@ -21,8 +47,12 @@
 #include "evs/groups.hpp"
 #include "evs/node.hpp"
 #include "evs/recovery.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "spec/checker.hpp"
 #include "spec/trace.hpp"
 #include "spec/vs_checker.hpp"
+#include "util/status.hpp"
 #include "vs/filter.hpp"
 #include "vs/primary.hpp"

@@ -7,15 +7,32 @@
 
 namespace evs {
 
+FragmentNode::Met::Met(obs::MetricsRegistry& r)
+    : logical_sent(r.counter("fragment.logical_sent")),
+      fragments_sent(r.counter("fragment.fragments_sent")),
+      reassembled(r.counter("fragment.reassembled")),
+      purged_incomplete(r.counter("fragment.purged_incomplete")),
+      send_errors(r.counter("fragment.send_errors")) {}
+
 FragmentNode::FragmentNode(EvsNode& node, Options options)
-    : node_(node), options_(options) {
+    : node_(node), options_(options), met_(node.metrics()) {
   EVS_ASSERT(options_.max_fragment_bytes > 0);
-  node_.set_deliver_handler([this](const EvsNode::Delivery& d) { on_deliver(d); });
-  node_.set_config_handler([this](const Configuration& c) { on_config(c); });
+  node_.set_on_deliver([this](const EvsNode::Delivery& d) { on_deliver(d); });
+  node_.set_on_config_change([this](const Configuration& c) { on_config(c); });
 }
 
-FragmentNode::LargeId FragmentNode::send(Service service,
-                                         std::vector<std::uint8_t> payload) {
+FragmentNode::Stats FragmentNode::stats() const {
+  Stats s;
+  s.logical_sent = met_.logical_sent.value();
+  s.fragments_sent = met_.fragments_sent.value();
+  s.reassembled = met_.reassembled.value();
+  s.purged_incomplete = met_.purged_incomplete.value();
+  s.send_errors = met_.send_errors.value();
+  return s;
+}
+
+Expected<FragmentNode::LargeId> FragmentNode::send_large(
+    Service service, std::vector<std::uint8_t> payload) {
   const LargeId id{node_.id(), ++counter_};
   const std::size_t chunk = options_.max_fragment_bytes;
   const std::uint32_t count =
@@ -29,10 +46,13 @@ FragmentNode::LargeId FragmentNode::send(Service service,
     w.u32(i);
     w.u32(count);
     w.bytes(std::span<const std::uint8_t>(payload.data() + lo, hi - lo));
-    node_.send(service, w.take());
-    ++stats_.fragments_sent;
+    if (Expected<MsgId> sent = node_.send(service, w.take()); !sent.ok()) {
+      met_.send_errors.inc();
+      return sent.status();
+    }
+    met_.fragments_sent.inc();
   }
-  ++stats_.logical_sent;
+  met_.logical_sent.inc();
   return id;
 }
 
@@ -70,7 +90,7 @@ void FragmentNode::on_deliver(const EvsNode::Delivery& d) {
   out.config = d.config;
   out.ord = d.ord;
   partial_.erase(id);
-  ++stats_.reassembled;
+  met_.reassembled.inc();
   if (deliver_handler_) deliver_handler_(out);
 }
 
@@ -80,7 +100,7 @@ void FragmentNode::on_config(const Configuration& config) {
   // never complete: every member of the old component holds the same
   // subset (failure atomicity of the underlying messages), so purging here
   // is deterministic across the component.
-  stats_.purged_incomplete += partial_.size();
+  met_.purged_incomplete.inc(partial_.size());
   partial_.clear();
 }
 

@@ -48,11 +48,14 @@ class FragmentNode {
     std::uint32_t fragments{0};
   };
 
+  /// Snapshot of the "fragment.*" counters (kept in the underlying
+  /// EvsNode's obs::MetricsRegistry; assembled on demand).
   struct Stats {
     std::uint64_t logical_sent{0};
     std::uint64_t fragments_sent{0};
     std::uint64_t reassembled{0};
     std::uint64_t purged_incomplete{0};
+    std::uint64_t send_errors{0};  ///< send_large() calls rejected with a Status
   };
 
   using DeliverHandler = std::function<void(const LargeDelivery&)>;
@@ -60,12 +63,28 @@ class FragmentNode {
   explicit FragmentNode(EvsNode& node) : FragmentNode(node, Options{}) {}
   FragmentNode(EvsNode& node, Options options);
 
-  void set_deliver_handler(DeliverHandler h) { deliver_handler_ = std::move(h); }
+  /// Register the reassembled-message callback (uniform setter name across
+  /// all node layers).
+  void set_on_deliver(DeliverHandler h) { deliver_handler_ = std::move(h); }
+
+  [[deprecated("use set_on_deliver()")]] void set_deliver_handler(DeliverHandler h) {
+    set_on_deliver(std::move(h));
+  }
 
   /// Send a payload of any size; it is split into ceil(size/max) fragments.
-  LargeId send(Service service, std::vector<std::uint8_t> payload);
+  /// Fails with Errc::not_running on a crashed node and
+  /// Errc::payload_too_large when a fragment (chunk plus framing header)
+  /// would exceed the node's Options::max_payload_bytes. A failure after
+  /// the first fragment strands the earlier ones; receivers purge the
+  /// incomplete reassembly at the next regular configuration.
+  Expected<LargeId> send_large(Service service, std::vector<std::uint8_t> payload);
 
-  const Stats& stats() const { return stats_; }
+  [[deprecated("use send_large()")]] LargeId send(Service service,
+                                                 std::vector<std::uint8_t> payload) {
+    return send_large(service, std::move(payload)).value();
+  }
+
+  Stats stats() const;
   std::size_t pending_reassemblies() const { return partial_.size(); }
   EvsNode& evs() { return node_; }
 
@@ -81,12 +100,22 @@ class FragmentNode {
   void on_deliver(const EvsNode::Delivery& d);
   void on_config(const Configuration& config);
 
+  /// Cached "fragment.*" instrument handles in the node's registry.
+  struct Met {
+    obs::Counter& logical_sent;
+    obs::Counter& fragments_sent;
+    obs::Counter& reassembled;
+    obs::Counter& purged_incomplete;
+    obs::Counter& send_errors;
+    explicit Met(obs::MetricsRegistry& r);
+  };
+
   EvsNode& node_;
   Options options_;
+  Met met_;
   std::uint64_t counter_{0};
   std::map<LargeId, Partial> partial_;
   DeliverHandler deliver_handler_;
-  Stats stats_;
 };
 
 }  // namespace evs

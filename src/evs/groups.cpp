@@ -7,10 +7,25 @@
 
 namespace evs {
 
-GroupNode::GroupNode(EvsNode& node) : node_(node) {
+GroupNode::Met::Met(obs::MetricsRegistry& r)
+    : delivered(r.counter("group.delivered")),
+      filtered_foreign(r.counter("group.filtered_foreign")),
+      view_changes(r.counter("group.view_changes")),
+      send_errors(r.counter("group.send_errors")) {}
+
+GroupNode::GroupNode(EvsNode& node) : node_(node), met_(node.metrics()) {
   current_config_ = node_.config();
-  node_.set_deliver_handler([this](const EvsNode::Delivery& d) { on_deliver(d); });
-  node_.set_config_handler([this](const Configuration& c) { on_config(c); });
+  node_.set_on_deliver([this](const EvsNode::Delivery& d) { on_deliver(d); });
+  node_.set_on_config_change([this](const Configuration& c) { on_config(c); });
+}
+
+GroupNode::Stats GroupNode::stats() const {
+  Stats s;
+  s.delivered = met_.delivered.value();
+  s.filtered_foreign = met_.filtered_foreign.value();
+  s.view_changes = met_.view_changes.value();
+  s.send_errors = met_.send_errors.value();
+  return s;
 }
 
 void GroupNode::join(GroupId group) {
@@ -19,7 +34,7 @@ void GroupNode::join(GroupId group) {
   wire::Writer w;
   w.u8(static_cast<std::uint8_t>(Frame::Join));
   w.u32(group);
-  node_.send(Service::Agreed, w.take());
+  node_.send(Service::Agreed, w.take()).value();
 }
 
 void GroupNode::leave(GroupId group) {
@@ -27,17 +42,22 @@ void GroupNode::leave(GroupId group) {
   wire::Writer w;
   w.u8(static_cast<std::uint8_t>(Frame::Leave));
   w.u32(group);
-  node_.send(Service::Agreed, w.take());
+  node_.send(Service::Agreed, w.take()).value();
 }
 
-MsgId GroupNode::send(GroupId group, Service service,
-                      std::vector<std::uint8_t> payload) {
-  EVS_ASSERT_MSG(joined_.count(group) > 0, "send to a group not joined");
+Expected<MsgId> GroupNode::send(GroupId group, Service service,
+                                std::vector<std::uint8_t> payload) {
+  if (joined_.count(group) == 0) {
+    met_.send_errors.inc();
+    return Status::error(Errc::not_in_config, "send to a group not joined");
+  }
   wire::Writer w;
   w.u8(static_cast<std::uint8_t>(Frame::App));
   w.u32(group);
   w.bytes(payload);
-  return node_.send(service, w.take());
+  Expected<MsgId> sent = node_.send(service, w.take());
+  if (!sent.ok()) met_.send_errors.inc();
+  return sent;
 }
 
 std::vector<ProcessId> GroupNode::view(GroupId group) const {
@@ -51,7 +71,7 @@ std::vector<ProcessId> GroupNode::view(GroupId group) const {
 }
 
 void GroupNode::emit_view(GroupId group) {
-  ++stats_.view_changes;
+  met_.view_changes.inc();
   if (view_handler_) view_handler_(GroupView{group, view(group)});
 }
 
@@ -61,7 +81,7 @@ void GroupNode::announce_memberships() {
   w.u8(static_cast<std::uint8_t>(Frame::Announce));
   w.u32(static_cast<std::uint32_t>(joined_.size()));
   for (GroupId g : joined_) w.u32(g);
-  node_.send(Service::Agreed, w.take());
+  node_.send(Service::Agreed, w.take()).value();
 }
 
 void GroupNode::on_config(const Configuration& config) {
@@ -85,7 +105,7 @@ void GroupNode::on_deliver(const EvsNode::Delivery& d) {
     case Frame::App: {
       const GroupId group = r.u32();
       if (joined_.count(group) == 0) {
-        ++stats_.filtered_foreign;
+        met_.filtered_foreign.inc();
         return;
       }
       GroupDelivery out;
@@ -96,7 +116,7 @@ void GroupNode::on_deliver(const EvsNode::Delivery& d) {
       EVS_ASSERT(r.done());
       out.config = d.config;
       out.ord = d.ord;
-      ++stats_.delivered;
+      met_.delivered.inc();
       if (deliver_handler_) deliver_handler_(out);
       break;
     }

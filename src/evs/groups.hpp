@@ -52,16 +52,29 @@ class GroupNode {
   using DeliverHandler = std::function<void(const GroupDelivery&)>;
   using ViewHandler = std::function<void(const GroupView&)>;
 
+  /// Snapshot of the "group.*" counters (kept in the underlying EvsNode's
+  /// obs::MetricsRegistry; assembled on demand).
   struct Stats {
     std::uint64_t delivered{0};
     std::uint64_t filtered_foreign{0};  ///< traffic for groups we are not in
     std::uint64_t view_changes{0};
+    std::uint64_t send_errors{0};  ///< send() calls rejected with a Status
   };
 
   explicit GroupNode(EvsNode& node);
 
-  void set_deliver_handler(DeliverHandler h) { deliver_handler_ = std::move(h); }
-  void set_view_handler(ViewHandler h) { view_handler_ = std::move(h); }
+  /// Register the group-delivery callback (uniform setter name across all
+  /// node layers).
+  void set_on_deliver(DeliverHandler h) { deliver_handler_ = std::move(h); }
+  /// Register the group-view-change callback.
+  void set_on_view_change(ViewHandler h) { view_handler_ = std::move(h); }
+
+  [[deprecated("use set_on_deliver()")]] void set_deliver_handler(DeliverHandler h) {
+    set_on_deliver(std::move(h));
+  }
+  [[deprecated("use set_on_view_change()")]] void set_view_handler(ViewHandler h) {
+    set_on_view_change(std::move(h));
+  }
 
   /// Join a group: announced through the total order; the local membership
   /// takes effect when the announcement is delivered (so joiners never see
@@ -69,8 +82,11 @@ class GroupNode {
   void join(GroupId group);
   void leave(GroupId group);
 
-  /// Multicast to a group. The sender should be a member (asserted).
-  MsgId send(GroupId group, Service service, std::vector<std::uint8_t> payload);
+  /// Multicast to a group. Fails with Errc::not_in_config when this process
+  /// has not joined the group, plus whatever the underlying EvsNode::send
+  /// reports (not_running, payload_too_large).
+  Expected<MsgId> send(GroupId group, Service service,
+                       std::vector<std::uint8_t> payload);
 
   bool joined(GroupId group) const { return joined_.count(group) > 0; }
 
@@ -80,7 +96,7 @@ class GroupNode {
   /// Groups this process has joined.
   std::vector<GroupId> groups() const { return {joined_.begin(), joined_.end()}; }
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
   EvsNode& evs() { return node_; }
 
  private:
@@ -91,13 +107,22 @@ class GroupNode {
   void emit_view(GroupId group);
   void announce_memberships();
 
+  /// Cached "group.*" instrument handles in the node's registry.
+  struct Met {
+    obs::Counter& delivered;
+    obs::Counter& filtered_foreign;
+    obs::Counter& view_changes;
+    obs::Counter& send_errors;
+    explicit Met(obs::MetricsRegistry& r);
+  };
+
   EvsNode& node_;
+  Met met_;
   std::set<GroupId> joined_;                       ///< groups this process is in
   std::map<GroupId, std::set<ProcessId>> member_;  ///< announced joins, all groups
   Configuration current_config_;
   DeliverHandler deliver_handler_;
   ViewHandler view_handler_;
-  Stats stats_;
 };
 
 }  // namespace evs

@@ -1,6 +1,7 @@
 #include "evs/node.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -42,9 +43,116 @@ const char* to_string(EvsNode::State s) {
   return "?";
 }
 
+Status EvsNode::Options::validate() const {
+  const auto fail = [](const char* rule) {
+    return Status::error(Errc::invalid_options, rule);
+  };
+  if (token_loss_timeout_us == 0) return fail("token_loss_timeout_us must be positive");
+  if (beacon_interval_us == 0) return fail("beacon_interval_us must be positive");
+  if (join_interval_us == 0) return fail("join_interval_us must be positive");
+  if (gather_fail_timeout_us == 0)
+    return fail("gather_fail_timeout_us must be positive");
+  if (consensus_wait_timeout_us == 0)
+    return fail("consensus_wait_timeout_us must be positive");
+  if (exchange_interval_us == 0) return fail("exchange_interval_us must be positive");
+  if (recovery_timeout_us == 0) return fail("recovery_timeout_us must be positive");
+  if (singleton_token_interval_us == 0)
+    return fail("singleton_token_interval_us must be positive");
+  if (token_retransmit_interval_us == 0)
+    return fail("token_retransmit_interval_us must be positive");
+  if (token_retransmit_limit < 0)
+    return fail("token_retransmit_limit must be non-negative");
+  if (static_cast<SimTime>(token_retransmit_limit) * token_retransmit_interval_us >=
+      token_loss_timeout_us) {
+    // Otherwise the retransmit guard is still resending a dead token when
+    // the loss timer fires, and the gather it triggers races the resends.
+    return fail(
+        "token_retransmit_limit * token_retransmit_interval_us must stay "
+        "below token_loss_timeout_us");
+  }
+  if (join_interval_us >= gather_fail_timeout_us) {
+    // A candidate must get several join broadcasts before it is failed for
+    // silence, or every gather immediately shrinks to a singleton.
+    return fail("join_interval_us must stay below gather_fail_timeout_us");
+  }
+  if (exchange_interval_us >= recovery_timeout_us)
+    return fail("exchange_interval_us must stay below recovery_timeout_us");
+  if (max_payload_bytes == 0) return fail("max_payload_bytes must be positive");
+  if (max_payload_bytes > wire::kMaxFrameBody - 4096)
+    return fail("max_payload_bytes leaves no frame headroom below kMaxFrameBody");
+  if (ordering.max_new_per_token <= 0)
+    return fail("ordering.max_new_per_token must be positive");
+  if (ordering.max_retransmit_per_token < 0)
+    return fail("ordering.max_retransmit_per_token must be non-negative");
+  if (ordering.max_rtr_entries == 0)
+    return fail("ordering.max_rtr_entries must be positive");
+  return Status{};
+}
+
+EvsNode::Met::Met(obs::MetricsRegistry& r)
+    : sent(r.counter("evs.sent")),
+      delivered(r.counter("evs.delivered")),
+      delivered_transitional(r.counter("evs.delivered_transitional")),
+      conf_changes(r.counter("evs.conf_changes")),
+      gathers(r.counter("evs.gathers")),
+      recoveries(r.counter("evs.recoveries")),
+      discarded(r.counter("evs.discarded")),
+      tokens_handled(r.counter("evs.tokens_handled")),
+      rejected_frames(r.counter("evs.rejected_frames")),
+      rejected_decode(r.counter("evs.rejected_decode")),
+      stale_rejected(r.counter("evs.stale_rejected")),
+      duplicate_regulars(r.counter("evs.duplicate_regulars")),
+      stale_tokens(r.counter("evs.stale_tokens")),
+      token_retransmits(r.counter("evs.token_retransmits")),
+      send_errors(r.counter("evs.send_errors")),
+      gather_us(r.histogram("evs.gather_us")),
+      recovery_us(r.histogram("evs.recovery_us")),
+      token_rotation_us(r.histogram("evs.token_rotation_us")) {}
+
+EvsNode::Stats EvsNode::stats() const {
+  Stats s;
+  s.sent = met_.sent.value();
+  s.delivered = met_.delivered.value();
+  s.delivered_transitional = met_.delivered_transitional.value();
+  s.conf_changes = met_.conf_changes.value();
+  s.gathers = met_.gathers.value();
+  s.recoveries = met_.recoveries.value();
+  s.discarded = met_.discarded.value();
+  s.tokens_handled = met_.tokens_handled.value();
+  s.rejected_frames = met_.rejected_frames.value();
+  s.rejected_decode = met_.rejected_decode.value();
+  s.stale_rejected = met_.stale_rejected.value();
+  s.duplicate_regulars = met_.duplicate_regulars.value();
+  s.stale_tokens = met_.stale_tokens.value();
+  s.token_retransmits = met_.token_retransmits.value();
+  s.send_errors = met_.send_errors.value();
+  return s;
+}
+
+void EvsNode::note_frame_reject(Errc cause) {
+  met_.rejected_frames.inc();
+  // Cold path: the per-cause lookup builds a name, which is fine here.
+  metrics_.counter(std::string("evs.rejected_frames.") + to_string(cause)).inc();
+}
+
+void EvsNode::span_end(obs::SpanId& id) {
+  if (spans_ != nullptr && id != 0) spans_->end(id, net_.scheduler().now());
+  id = 0;
+}
+
+void EvsNode::close_episode_spans() {
+  span_end(rebroadcast_span_);
+  span_end(exchange_span_);
+  span_end(recovery_span_);
+  span_end(gather_span_);
+  span_end(rotation_span_);
+}
+
 EvsNode::EvsNode(ProcessId id, Network& net, StableStore& store, TraceLog* trace,
                  Options options)
     : self_(id), net_(net), store_(store), trace_(trace), opts_(options) {
+  const Status valid = opts_.validate();
+  EVS_ASSERT_MSG(valid.ok(), valid.message().c_str());
   if (opts_.faults.skip_safe_horizon) opts_.ordering.deliver_unsafe = true;
 }
 
@@ -205,6 +313,8 @@ void EvsNode::crash() {
   bump_epoch();
   net_.scheduler().cancel(token_loss_timer_);
   cancel_token_retransmit();
+  close_episode_spans();
+  gather_since_ = recovery_since_ = rotation_since_ = 0;
   net_.detach(self_);
   state_ = State::Down;
   core_.reset();
@@ -216,8 +326,16 @@ void EvsNode::crash() {
   buffered_token_.reset();
 }
 
-MsgId EvsNode::send(Service service, std::vector<std::uint8_t> payload) {
-  EVS_ASSERT_MSG(running(), "send() on a crashed node");
+Expected<MsgId> EvsNode::send(Service service, std::vector<std::uint8_t> payload) {
+  if (!running()) {
+    met_.send_errors.inc();
+    return Status::error(Errc::not_running, "send() on a crashed node");
+  }
+  if (payload.size() > opts_.max_payload_bytes) {
+    met_.send_errors.inc();
+    return Status::error(Errc::payload_too_large,
+                         "payload exceeds Options::max_payload_bytes");
+  }
   MsgId id{self_, ++msg_counter_};
   pending_.push_back(PendingSend{id, service, std::move(payload)});
   return id;
@@ -227,8 +345,8 @@ MsgId EvsNode::send(Service service, std::vector<std::uint8_t> payload) {
 // configuration installation (recovery step 6 — atomic)
 
 void EvsNode::emit_conf_change(const Configuration& config, Ord ord) {
-  ++stats_.conf_changes;
-  EVS_ASSERT_MSG(last_ord_ < ord || stats_.conf_changes == 1,
+  met_.conf_changes.inc();
+  EVS_ASSERT_MSG(last_ord_ < ord || met_.conf_changes.value() == 1,
                  "configuration change ord must advance");
   last_ord_ = ord;
   if (trace_ != nullptr) {
@@ -245,8 +363,8 @@ void EvsNode::emit_conf_change(const Configuration& config, Ord ord) {
 }
 
 void EvsNode::deliver_one(const RegularMsg& m, const Configuration& config) {
-  ++stats_.delivered;
-  if (config.id.transitional) ++stats_.delivered_transitional;
+  met_.delivered.inc();
+  if (config.id.transitional) met_.delivered_transitional.inc();
   const Ord ord = ord_message_delivery(m.ring, m.seq);
   EVS_ASSERT_MSG(last_ord_ < ord, "delivery ord must advance in program order");
   last_ord_ = ord;
@@ -274,7 +392,14 @@ void EvsNode::install_configuration(RingId new_ring, std::vector<ProcessId> memb
   EVS_ASSERT(std::is_sorted(members.begin(), members.end()));
   EVS_ASSERT(std::binary_search(members.begin(), members.end(), self_));
 
-  if (plan != nullptr && plan->has_transitional && old_ring_.valid()) {
+  const SimTime install_now = net_.scheduler().now();
+  const bool had_trans = plan != nullptr && plan->has_transitional && old_ring_.valid();
+  // The recovery episode (steps 3-5) ends here; step 6 is atomic.
+  close_episode_spans();
+  if (recovery_since_ != 0) met_.recovery_us.record(install_now - recovery_since_);
+  gather_since_ = recovery_since_ = rotation_since_ = 0;
+
+  if (had_trans) {
     // 6.b: remaining old-ring messages that are deliverable in the *old
     // regular* configuration.
     for (SeqNum s : plan->regular_seqs) {
@@ -300,7 +425,7 @@ void EvsNode::install_configuration(RingId new_ring, std::vector<ProcessId> memb
       EVS_ASSERT(it != old_msgs_.end());
       deliver_one(it->second, trans);
     }
-    stats_.discarded += plan->discarded.size();
+    met_.discarded.inc(plan->discarded.size());
   }
 
   // 6.e: install the new regular configuration. The node is committed to it
@@ -314,7 +439,7 @@ void EvsNode::install_configuration(RingId new_ring, std::vector<ProcessId> memb
   ring_seq_ = std::max(ring_seq_, new_ring.seq);
   persist_install(next);
 
-  core_.emplace(new_ring, members, self_, opts_.ordering);
+  core_.emplace(new_ring, members, self_, opts_.ordering, &metrics_);
   old_ring_ = new_ring;
   old_msgs_.clear();
   old_received_ = SeqSet{};
@@ -330,6 +455,18 @@ void EvsNode::install_configuration(RingId new_ring, std::vector<ProcessId> memb
   state_ = State::Operational;
 
   emit_conf_change(next, ord_regular_conf(new_ring));
+
+  if (spans_ != nullptr) {
+    const obs::SpanId s = spans_->instant(self_, "config.install", install_now);
+    spans_->attr(s, "ring", to_string(new_ring));
+    spans_->attr(s, "members", std::to_string(members.size()));
+    spans_->attr(s, "transitional", had_trans ? "1" : "0");
+    if (had_trans) {
+      spans_->attr(s, "regular_deliveries", std::to_string(plan->regular_seqs.size()));
+      spans_->attr(s, "trans_deliveries", std::to_string(plan->trans_seqs.size()));
+      spans_->attr(s, "discarded", std::to_string(plan->discarded.size()));
+    }
+  }
 
   EVS_INFO("evs", "%s installed %s (%zu members)", to_string(self_).c_str(),
            to_string(next.id).c_str(), members.size());
@@ -385,10 +522,17 @@ void EvsNode::enter_gather(std::vector<ProcessId> candidates,
   buffered_token_.reset();
 
   ++episode_;
-  ++stats_.gathers;
+  met_.gathers.inc();
   const SimTime now = net_.scheduler().now();
+  close_episode_spans();  // a regather abandons any in-flight recovery spans
+  gather_since_ = now;
+  recovery_since_ = rotation_since_ = 0;
+  if (spans_ != nullptr) {
+    gather_span_ = spans_->begin(self_, "gather", now);
+    spans_->attr(gather_span_, "episode", std::to_string(episode_));
+  }
   gather_.emplace(self_, episode_, with_member(std::move(candidates), self_), now,
-                  GatherState::Options{opts_.gather_fail_timeout_us});
+                  GatherState::Options{opts_.gather_fail_timeout_us, &metrics_});
   if (carry_fails != nullptr) gather_->adopt_fail_set(*carry_fails, now);
   consensus_since_ = 0;
   state_ = State::Gather;
@@ -458,7 +602,29 @@ void EvsNode::adopt_proposal(RingId ring, std::vector<ProcessId> members) {
   ring_seq_ = std::max(ring_seq_, ring.seq);
   persist_ring_seq();
   state_ = State::Recovery;
-  ++stats_.recoveries;
+  met_.recoveries.inc();
+
+  const SimTime now = net_.scheduler().now();
+  const std::size_t member_count = members.size();
+  // Re-adopting under a fresh ring id abandons the previous proposal's spans.
+  span_end(rebroadcast_span_);
+  span_end(exchange_span_);
+  span_end(recovery_span_);
+  if (gather_since_ != 0) met_.gather_us.record(now - gather_since_);
+  gather_since_ = 0;
+  recovery_since_ = now;
+  if (spans_ != nullptr) {
+    if (gather_span_ != 0) {
+      spans_->attr(gather_span_, "ring", to_string(ring));
+      spans_->attr(gather_span_, "members", std::to_string(member_count));
+    }
+    span_end(gather_span_);
+    recovery_span_ = spans_->begin(self_, "recovery", now);
+    spans_->attr(recovery_span_, "ring", to_string(ring));
+    spans_->attr(recovery_span_, "members", std::to_string(member_count));
+    exchange_span_ = spans_->begin(self_, "recovery.exchange", now, recovery_span_);
+  }
+
   recovery_.emplace(self_, ring, std::move(members));
   my_exchange_ = make_exchange();
   acked_complete_ = false;
@@ -492,6 +658,13 @@ void EvsNode::exchange_tick(std::uint64_t epoch) {
 
 void EvsNode::recovery_round() {
   if (!recovery_->have_all_exchanges()) return;
+  if (spans_ != nullptr && exchange_span_ != 0) {
+    // Steps 3-4 done: every member's exchange is in, so the transitional
+    // membership is known. Step 5 (rebroadcast until complete) starts.
+    span_end(exchange_span_);
+    rebroadcast_span_ = spans_->begin(self_, "recovery.rebroadcast",
+                                      net_.scheduler().now(), recovery_span_);
+  }
   const auto trans = old_ring_.valid()
                          ? recovery_->transitional_members(old_ring_)
                          : with_member({}, self_);
@@ -509,6 +682,7 @@ void EvsNode::recovery_round() {
     }
     persist_recovery_state();
     acked_complete_ = true;
+    span_end(rebroadcast_span_);
   }
   broadcast(encode_msg(RecoveryAckMsg{self_, recovery_->proposed_ring(), old_ring_,
                                       old_received_, acked_complete_}));
@@ -581,7 +755,7 @@ void EvsNode::arm_token_retransmit() {
         if (epoch != epoch_ || state_ != State::Operational) return;
         if (token_retransmits_left_ <= 0 || last_token_frame_.empty()) return;
         --token_retransmits_left_;
-        ++stats_.token_retransmits;
+        met_.token_retransmits.inc();
         net_.unicast(self_, core_->next_in_ring(), last_token_frame_);
         arm_token_retransmit();
       });
@@ -604,11 +778,13 @@ void EvsNode::beacon_tick(std::uint64_t epoch) {
 // packet handling
 
 void EvsNode::broadcast(const std::vector<std::uint8_t>& bytes) {
-  net_.broadcast(self_, wire::seal_frame(bytes));
+  // Internal protocol messages are bounded well below kMaxFrameBody, so an
+  // error here is a programming bug: keep the legacy hard-fail via value().
+  net_.broadcast(self_, wire::seal_frame(bytes).value());
 }
 
 void EvsNode::unicast_frame(ProcessId to, const std::vector<std::uint8_t>& body) {
-  net_.unicast(self_, to, wire::seal_frame(body));
+  net_.unicast(self_, to, wire::seal_frame(body).value());
 }
 
 void EvsNode::on_packet(const Packet& packet) {
@@ -617,13 +793,13 @@ void EvsNode::on_packet(const Packet& packet) {
   // truncated, extended or byte-flipped. Reject — never crash on — anything
   // that fails the frame check or strict message validation.
   const auto body = wire::open_frame(packet.payload);
-  if (!body.has_value()) {
-    ++stats_.rejected_frames;
+  if (!body.ok()) {
+    note_frame_reject(body.code());
     return;
   }
   const auto msg = try_decode(*body);
   if (!msg.has_value()) {
-    ++stats_.rejected_decode;
+    met_.rejected_decode.inc();
     return;
   }
   if (const auto* m = std::get_if<RegularMsg>(&*msg)) {
@@ -666,13 +842,13 @@ void EvsNode::handle_regular(const RegularMsg& m) {
         if (core_->on_regular(m)) {
           deliver_ready();
         } else {
-          ++stats_.duplicate_regulars;
+          met_.duplicate_regulars.inc();
         }
       } else if (stale_from_member(m.ring.seq, m.id.sender)) {
         // A delayed duplicate from a ring that preceded ours (ring seqs are
         // monotone per process, so a current member can no longer be
         // operational on a lower-seq ring). Not a merge signal.
-        ++stats_.stale_rejected;
+        met_.stale_rejected.inc();
       } else {
         // Traffic from another ring in our component: the network merged.
         // The message itself is dropped; its sender's exchange covers it.
@@ -700,15 +876,20 @@ void EvsNode::handle_token(const TokenMsg& t) {
       if (t.ring != core_->ring()) return;
       if (core_->token_is_stale(t)) {
         // Duplicated or retransmitted token we already processed.
-        ++stats_.stale_tokens;
+        met_.stale_tokens.inc();
         return;
       }
       // A fresh token came back around: the previous forward made it.
       cancel_token_retransmit();
-      ++stats_.tokens_handled;
+      met_.tokens_handled.inc();
+      const SimTime tok_now = net_.scheduler().now();
+      if (rotation_since_ != 0) {
+        met_.token_rotation_us.record(tok_now - rotation_since_);
+      }
+      span_end(rotation_span_);
       OrderingCore::TokenResult result = core_->on_token(t, pending_);
       for (const RegularMsg& m : result.new_messages) {
-        ++stats_.sent;
+        met_.sent.inc();
         const Ord ord = ord_send_after(last_ord_);
         EVS_ASSERT_MSG(ord.ring_seq == reg_config_.id.ring.seq,
                        "send must follow an event of the current ring");
@@ -731,7 +912,7 @@ void EvsNode::handle_token(const TokenMsg& t) {
       for (const RegularMsg& m : result.to_broadcast) broadcast(encode_msg(m));
       const ProcessId next = core_->next_in_ring();
       const std::vector<std::uint8_t> token_frame =
-          wire::seal_frame(encode_msg(result.token_out));
+          wire::seal_frame(encode_msg(result.token_out)).value();
       if (core_->members().size() == 1) {
         // Pace the self-token so an idle singleton does not spin the
         // simulator at network-delay granularity. Loopback is reliable, so
@@ -749,6 +930,10 @@ void EvsNode::handle_token(const TokenMsg& t) {
         last_token_frame_ = token_frame;
         token_retransmits_left_ = opts_.token_retransmit_limit;
         arm_token_retransmit();
+      }
+      rotation_since_ = tok_now;
+      if (spans_ != nullptr) {
+        rotation_span_ = spans_->begin(self_, "token.rotation", tok_now);
       }
       arm_token_loss_timer();
       deliver_ready();
@@ -770,7 +955,7 @@ void EvsNode::handle_join(const JoinMsg& j) {
       if (stale_from_member(j.max_ring_seq, j.sender)) {
         // A member of our ring adopted its proposal (seq >= ours) before we
         // installed, so its live joins always carry max_ring_seq >= ours.
-        ++stats_.stale_rejected;
+        met_.stale_rejected.inc();
         return;
       }
       auto candidates = with_member(core_->members(), j.sender);
@@ -798,7 +983,7 @@ void EvsNode::handle_join(const JoinMsg& j) {
         // component between Gather and Recovery indefinitely. A genuinely
         // diverged peer re-sends joins every join interval, and the
         // recovery timeout regathers if it never converges.
-        ++stats_.stale_rejected;
+        met_.stale_rejected.inc();
         return;
       }
       auto candidates = recovery_->members();
@@ -884,7 +1069,7 @@ void EvsNode::handle_beacon(const BeaconMsg& b) {
   if (state_ != State::Operational) return;
   if (b.ring == core_->ring()) return;
   if (stale_from_member(b.ring.seq, b.sender)) {
-    ++stats_.stale_rejected;
+    met_.stale_rejected.inc();
     return;
   }
   enter_gather(with_member(core_->members(), b.sender), nullptr);

@@ -17,13 +17,17 @@
 //   EvsNode n2(pid, net, store, &trace);  // recovery: same id, same store
 //   n2.start();
 //
-// Applications observe two callbacks:
-//   on_deliver(d)        - a message delivery, tagged with the configuration
-//                          (regular or transitional) it is delivered in
-//   on_config_change(c)  - a configuration change message (Section 2)
+// Applications observe two callbacks, registered with the uniform setters
+// shared by every node layer (EvsNode, GroupNode, FragmentNode, VsNode):
+//   set_on_deliver(h)        - a message delivery, tagged with the
+//                              configuration (regular or transitional) it is
+//                              delivered in
+//   set_on_config_change(h)  - a configuration change message (Section 2)
 //
 // Every observable event is also appended to the TraceLog (if provided) for
-// machine checking against Specifications 1-7.
+// machine checking against Specifications 1-7, counted in the node's
+// obs::MetricsRegistry, and — when a SpanSink is attached — traced as spans
+// (gather / recovery / token rotation episodes; see src/obs/span.hpp).
 #pragma once
 
 #include <deque>
@@ -37,10 +41,13 @@
 #include "evs/recovery.hpp"
 #include "member/membership.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "spec/trace.hpp"
 #include "storage/stable_store.hpp"
 #include "totem/messages.hpp"
 #include "totem/ordering.hpp"
+#include "util/status.hpp"
 #include "util/types.hpp"
 
 namespace evs {
@@ -79,8 +86,20 @@ class EvsNode final : public Endpoint {
     /// (limit * interval must stay below token_loss_timeout_us).
     SimTime token_retransmit_interval_us{2'500};
     int token_retransmit_limit{3};
+    /// Largest payload send() accepts. Must leave frame headroom below
+    /// wire::kMaxFrameBody; oversized sends fail with payload_too_large.
+    std::size_t max_payload_bytes{64u * 1024};
     OrderingCore::Options ordering{};
     FaultInjection faults{};
+
+    /// Check the option combination for internal consistency: every timeout
+    /// positive, the token retransmit burst shorter than the token loss
+    /// timeout, gather/recovery tick intervals shorter than the timeouts
+    /// that bound them, payload limit within the frame format. Returns
+    /// Errc::invalid_options naming the violated rule. The EvsNode
+    /// constructor asserts this, so a misconfigured node fails at
+    /// construction instead of livelocking mid-simulation.
+    Status validate() const;
   };
 
   enum class State { Down, Operational, Gather, Recovery };
@@ -94,6 +113,9 @@ class EvsNode final : public Endpoint {
     Ord ord;
   };
 
+  /// Snapshot of the node's "evs.*" counters. The obs::MetricsRegistry is
+  /// the source of truth; this struct is assembled on demand by stats() for
+  /// ergonomic field access in tests and benches.
   struct Stats {
     std::uint64_t sent{0};
     std::uint64_t delivered{0};
@@ -110,6 +132,7 @@ class EvsNode final : public Endpoint {
     std::uint64_t duplicate_regulars{0};   ///< duplicate regular messages ignored
     std::uint64_t stale_tokens{0};         ///< stale/duplicate tokens ignored
     std::uint64_t token_retransmits{0};    ///< tokens re-sent by the loss guard
+    std::uint64_t send_errors{0};          ///< send() calls rejected with a Status
   };
 
   using DeliverHandler = std::function<void(const Delivery&)>;
@@ -124,8 +147,18 @@ class EvsNode final : public Endpoint {
   EvsNode(const EvsNode&) = delete;
   EvsNode& operator=(const EvsNode&) = delete;
 
-  void set_deliver_handler(DeliverHandler h) { deliver_handler_ = std::move(h); }
-  void set_config_handler(ConfigHandler h) { config_handler_ = std::move(h); }
+  /// Register the delivery callback (uniform setter name across all node
+  /// layers: EvsNode, GroupNode, FragmentNode, VsNode).
+  void set_on_deliver(DeliverHandler h) { deliver_handler_ = std::move(h); }
+  /// Register the configuration-change callback.
+  void set_on_config_change(ConfigHandler h) { config_handler_ = std::move(h); }
+
+  [[deprecated("use set_on_deliver()")]] void set_deliver_handler(DeliverHandler h) {
+    set_on_deliver(std::move(h));
+  }
+  [[deprecated("use set_on_config_change()")]] void set_config_handler(ConfigHandler h) {
+    set_on_config_change(std::move(h));
+  }
 
   /// Boot (fresh start or recovery with intact stable storage). Installs a
   /// singleton regular configuration — delivering the persisted backlog in a
@@ -140,8 +173,10 @@ class EvsNode final : public Endpoint {
 
   /// Queue an application message. It is stamped into the total order at
   /// the next token visit of the current (or next) regular configuration;
-  /// that stamping is the model's send_p(m, c) event.
-  MsgId send(Service service, std::vector<std::uint8_t> payload);
+  /// that stamping is the model's send_p(m, c) event. Fails with
+  /// Errc::not_running on a crashed node and Errc::payload_too_large when
+  /// the payload exceeds Options::max_payload_bytes.
+  Expected<MsgId> send(Service service, std::vector<std::uint8_t> payload);
 
   State state() const { return state_; }
   bool running() const { return state_ != State::Down; }
@@ -150,8 +185,19 @@ class EvsNode final : public Endpoint {
   /// The last installed regular configuration.
   const Configuration& config() const { return reg_config_; }
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
   std::size_t pending_sends() const { return pending_.size(); }
+
+  /// The node's metrics: "evs.*" plus the instruments of its embedded
+  /// OrderingCore ("ordering.*") and GatherState ("member.*"). Counters are
+  /// cumulative across configuration installs and gather episodes.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Attach (or detach, with nullptr) a span sink. Gather, recovery and
+  /// token-rotation episodes are traced as spans while attached; a null
+  /// sink costs one pointer test per episode boundary.
+  void set_span_sink(obs::SpanSink* sink) { spans_ = sink; }
 
   // Endpoint:
   void on_packet(const Packet& packet) override;
@@ -205,6 +251,13 @@ class EvsNode final : public Endpoint {
   void maybe_propose();
   void recovery_round();  ///< rebroadcasts + ack within exchange_tick
   ExchangeMsg make_exchange() const;
+
+  // --- observability helpers ---
+  /// Count an open_frame rejection under both the aggregate counter and a
+  /// per-cause counter ("evs.rejected_frames.<cause>"). Cold path only.
+  void note_frame_reject(Errc cause);
+  void span_end(obs::SpanId& id);  ///< end + clear if a sink is attached
+  void close_episode_spans();      ///< end any open gather/recovery spans
 
   // --- persistence ---
   void persist_ring_seq();
@@ -264,10 +317,45 @@ class EvsNode final : public Endpoint {
   /// are assigned ord_send_after(last_ord_).
   Ord last_ord_{};
 
-  // callbacks / stats
+  // callbacks
   DeliverHandler deliver_handler_;
   ConfigHandler config_handler_;
-  Stats stats_;
+
+  // observability. Met caches instrument handles so the hot paths do one
+  // add with no name lookup; the registry owns the values.
+  struct Met {
+    obs::Counter& sent;
+    obs::Counter& delivered;
+    obs::Counter& delivered_transitional;
+    obs::Counter& conf_changes;
+    obs::Counter& gathers;
+    obs::Counter& recoveries;
+    obs::Counter& discarded;
+    obs::Counter& tokens_handled;
+    obs::Counter& rejected_frames;
+    obs::Counter& rejected_decode;
+    obs::Counter& stale_rejected;
+    obs::Counter& duplicate_regulars;
+    obs::Counter& stale_tokens;
+    obs::Counter& token_retransmits;
+    obs::Counter& send_errors;
+    obs::Histogram& gather_us;          ///< enter_gather -> adopted proposal
+    obs::Histogram& recovery_us;        ///< adopted proposal -> install
+    obs::Histogram& token_rotation_us;  ///< token forward -> fresh return
+    explicit Met(obs::MetricsRegistry& r);
+  };
+
+  obs::MetricsRegistry metrics_;
+  Met met_{metrics_};
+  obs::SpanSink* spans_{nullptr};
+  obs::SpanId gather_span_{0};
+  obs::SpanId recovery_span_{0};
+  obs::SpanId exchange_span_{0};     ///< child: paper steps 3-4
+  obs::SpanId rebroadcast_span_{0};  ///< child: paper step 5
+  obs::SpanId rotation_span_{0};     ///< current token rotation
+  SimTime gather_since_{0};    ///< 0 = no gather episode in flight
+  SimTime recovery_since_{0};  ///< 0 = no recovery episode in flight
+  SimTime rotation_since_{0};  ///< 0 = no token rotation in flight
 };
 
 const char* to_string(EvsNode::State s);

@@ -25,10 +25,15 @@ GatherState::GatherState(ProcessId self, std::uint64_t episode,
   for (ProcessId p : initial_candidates) add_candidate(p, now);
 }
 
+void GatherState::count(const char* name, std::uint64_t n) {
+  if (options_.metrics != nullptr) options_.metrics->counter(name).inc(n);
+}
+
 void GatherState::fail(ProcessId p) {
   if (p == self_) return;
   if (!std::binary_search(fail_set_.begin(), fail_set_.end(), p)) {
     fail_set_.insert(std::upper_bound(fail_set_.begin(), fail_set_.end(), p), p);
+    count("member.candidates_failed");
   }
   candidates_.erase(p);
 }
@@ -58,6 +63,7 @@ bool GatherState::on_join(const JoinMsg& join, SimTime now) {
       it->second.last_join->episode > join.episode) {
     return false;
   }
+  count("member.joins_received");
 
   const auto before = proposed_membership();
   max_ring_seq_seen_ = std::max(max_ring_seq_seen_, join.max_ring_seq);
@@ -68,7 +74,9 @@ bool GatherState::on_join(const JoinMsg& join, SimTime now) {
     // The peer gave up on us; reciprocate so both sides converge on
     // disjoint memberships instead of waiting on each other forever.
     fail(join.sender);
-    return proposed_membership() != before;
+    const bool changed = proposed_membership() != before;
+    if (changed) count("member.proposal_changes");
+    return changed;
   }
 
   add_candidate(join.sender, now);
@@ -78,7 +86,9 @@ bool GatherState::on_join(const JoinMsg& join, SimTime now) {
   }
   for (ProcessId p : join.candidates) add_candidate(p, now);
   for (ProcessId p : join.fail_set) fail(p);
-  return proposed_membership() != before;
+  const bool changed = proposed_membership() != before;
+  if (changed) count("member.proposal_changes");
+  return changed;
 }
 
 bool GatherState::check_timeouts(SimTime now) {
@@ -92,6 +102,7 @@ bool GatherState::check_timeouts(SimTime now) {
               to_string(p).c_str());
     fail(p);
   }
+  if (!stale.empty()) count("member.proposal_changes");
   return !stale.empty();
 }
 

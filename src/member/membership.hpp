@@ -25,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "totem/messages.hpp"
 #include "util/types.hpp"
 
@@ -37,6 +38,10 @@ class GatherState {
  public:
   struct Options {
     SimTime fail_timeout_us{10'000};  ///< silence before a candidate is failed
+    /// Receives the "member.*" counters (joins_received, candidates_failed,
+    /// proposal_changes). Pass the owning node's registry so the counters
+    /// accumulate across gather episodes; null = uninstrumented.
+    obs::MetricsRegistry* metrics{nullptr};
   };
 
   GatherState(ProcessId self, std::uint64_t episode,
@@ -84,6 +89,7 @@ class GatherState {
   void fail(ProcessId p);
   void add_candidate(ProcessId p, SimTime now);
   bool is_failed(ProcessId p) const;
+  void count(const char* name, std::uint64_t n = 1);
 
   ProcessId self_;
   std::uint64_t episode_;

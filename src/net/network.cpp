@@ -7,6 +7,32 @@
 
 namespace evs {
 
+Network::Met::Met(obs::MetricsRegistry& r)
+    : broadcasts(r.counter("net.broadcasts")),
+      unicasts(r.counter("net.unicasts")),
+      deliveries(r.counter("net.deliveries")),
+      dropped_loss(r.counter("net.dropped_loss")),
+      dropped_partition(r.counter("net.dropped_partition")),
+      dropped_detached(r.counter("net.dropped_detached")),
+      dropped_fault(r.counter("net.dropped_fault")),
+      duplicated_fault(r.counter("net.duplicated_fault")),
+      bytes_delivered(r.counter("net.bytes_delivered")),
+      packet_bytes(r.histogram("net.packet_bytes")) {}
+
+Network::Stats Network::stats() const {
+  Stats s;
+  s.broadcasts = met_.broadcasts.value();
+  s.unicasts = met_.unicasts.value();
+  s.deliveries = met_.deliveries.value();
+  s.dropped_loss = met_.dropped_loss.value();
+  s.dropped_partition = met_.dropped_partition.value();
+  s.dropped_detached = met_.dropped_detached.value();
+  s.dropped_fault = met_.dropped_fault.value();
+  s.duplicated_fault = met_.duplicated_fault.value();
+  s.bytes_delivered = met_.bytes_delivered.value();
+  return s;
+}
+
 Network::Network(Scheduler& scheduler, Rng rng, Options options)
     : scheduler_(scheduler), rng_(rng), options_(options) {
   EVS_ASSERT(options_.min_delay_us <= options_.max_delay_us);
@@ -49,34 +75,35 @@ void Network::schedule_delivery(ProcessId from, ProcessId to, Packet packet,
   scheduler_.schedule_after(delay, [this, from, to, packet = std::move(packet)]() {
     auto it = endpoints_.find(to);
     if (it == endpoints_.end()) {
-      ++stats_.dropped_detached;
+      met_.dropped_detached.inc();
       return;
     }
     // The partition may have changed while the packet was in flight; a
     // partition severs in-flight traffic.
     if (!connected(from, to)) {
-      ++stats_.dropped_partition;
+      met_.dropped_partition.inc();
       return;
     }
-    ++stats_.deliveries;
-    stats_.bytes_delivered += packet.payload.size();
+    met_.deliveries.inc();
+    met_.bytes_delivered.inc(packet.payload.size());
+    met_.packet_bytes.record(packet.payload.size());
     it->second->on_packet(packet);
   });
 }
 
 void Network::deliver_later(ProcessId from, ProcessId to, const Packet& packet) {
   if (!attached(to)) {
-    ++stats_.dropped_detached;
+    met_.dropped_detached.inc();
     return;
   }
   if (!connected(from, to)) {
-    ++stats_.dropped_partition;
+    met_.dropped_partition.inc();
     return;
   }
   // Loopback is lossless: a process always observes its own broadcast.
   if (to != from && options_.loss_probability > 0.0 &&
       rng_.chance(options_.loss_probability)) {
-    ++stats_.dropped_loss;
+    met_.dropped_loss.inc();
     return;
   }
   const SimTime delay = to == from ? options_.min_delay_us : draw_delay();
@@ -87,11 +114,11 @@ void Network::deliver_later(ProcessId from, ProcessId to, const Packet& packet) 
     const FaultInjector::Action action =
         injector_->apply(from, to, scheduler_.now(), copy.payload);
     if (action.drop) {
-      ++stats_.dropped_fault;
+      met_.dropped_fault.inc();
       return;
     }
     for (const SimTime extra : action.duplicate_extra_delays) {
-      ++stats_.duplicated_fault;
+      met_.duplicated_fault.inc();
       schedule_delivery(from, to, copy, draw_delay() + extra);
     }
     schedule_delivery(from, to, std::move(copy), delay + action.extra_delay_us);
@@ -101,7 +128,7 @@ void Network::deliver_later(ProcessId from, ProcessId to, const Packet& packet) 
 }
 
 void Network::broadcast(ProcessId from, std::vector<std::uint8_t> payload) {
-  ++stats_.broadcasts;
+  met_.broadcasts.inc();
   Packet packet{from, ProcessId{}, true, std::move(payload)};
   // Deterministic receiver order: ascending process id.
   std::vector<ProcessId> receivers;
@@ -116,7 +143,7 @@ void Network::broadcast(ProcessId from, std::vector<std::uint8_t> payload) {
 }
 
 void Network::unicast(ProcessId from, ProcessId to, std::vector<std::uint8_t> payload) {
-  ++stats_.unicasts;
+  met_.unicasts.inc();
   Packet packet{from, to, false, std::move(payload)};
   deliver_later(from, to, packet);
 }

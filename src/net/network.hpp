@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/faults.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
@@ -43,6 +44,8 @@ class Network {
     double loss_probability{0.0};  // per receiver, independent
   };
 
+  /// Snapshot of the network's metrics (the registry is the source of
+  /// truth; this struct is assembled on demand for ergonomic field access).
   struct Stats {
     std::uint64_t broadcasts{0};
     std::uint64_t unicasts{0};
@@ -85,7 +88,10 @@ class Network {
   /// Processes currently in the same component as p (including p).
   std::vector<ProcessId> component_of(ProcessId p) const;
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
+  /// The network's metrics ("net.*" counters plus the "net.packet_bytes"
+  /// delivery-size histogram). Aggregated into cluster snapshots.
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
   const Options& options() const { return options_; }
   void set_loss_probability(double p) { options_.loss_probability = p; }
 
@@ -107,6 +113,21 @@ class Network {
   Scheduler& scheduler() { return scheduler_; }
 
  private:
+  /// Cached instrument handles: one add on the hot path, no name lookups.
+  struct Met {
+    obs::Counter& broadcasts;
+    obs::Counter& unicasts;
+    obs::Counter& deliveries;
+    obs::Counter& dropped_loss;
+    obs::Counter& dropped_partition;
+    obs::Counter& dropped_detached;
+    obs::Counter& dropped_fault;
+    obs::Counter& duplicated_fault;
+    obs::Counter& bytes_delivered;
+    obs::Histogram& packet_bytes;
+    explicit Met(obs::MetricsRegistry& r);
+  };
+
   void deliver_later(ProcessId from, ProcessId to, const Packet& packet);
   void schedule_delivery(ProcessId from, ProcessId to, Packet packet, SimTime delay);
   SimTime draw_delay();
@@ -115,7 +136,8 @@ class Network {
   Scheduler& scheduler_;
   Rng rng_;
   Options options_;
-  Stats stats_;
+  obs::MetricsRegistry metrics_;
+  Met met_{metrics_};
   std::unique_ptr<FaultInjector> injector_;
   FaultStats retired_fault_stats_;  // folded in from cleared injectors
   std::unordered_map<ProcessId, Endpoint*> endpoints_;

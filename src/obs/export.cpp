@@ -1,0 +1,182 @@
+#include "obs/export.hpp"
+
+namespace evs::obs {
+
+void write_metrics(JsonWriter& w, const MetricsRegistry& registry) {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : registry.counters()) w.kv(name, c.value());
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : registry.gauges()) {
+    w.kv(name, static_cast<std::int64_t>(g.value()));
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : registry.histograms()) {
+    w.key(name).begin_object();
+    w.kv("count", h.count());
+    w.kv("sum", h.sum());
+    w.kv("min", h.min());
+    w.kv("max", h.max());
+    w.kv("p50", h.percentile(50));
+    w.kv("p99", h.percentile(99));
+    w.key("buckets").begin_object();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.bucket(i) != 0) w.kv(std::to_string(i), h.bucket(i));
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string metrics_json(const MetricsRegistry& registry) {
+  JsonWriter w;
+  write_metrics(w, registry);
+  return w.take();
+}
+
+// --------------------------------------------------------------------------
+// validation
+
+namespace {
+
+Status shape_error(const std::string& where, const std::string& what) {
+  return Status::error(Errc::decode_error, where + ": " + what);
+}
+
+Status check_int_members(const JsonValue& obj, const std::string& where) {
+  for (const auto& [name, value] : obj.object) {
+    if (!value.is_number()) {
+      return shape_error(where, "member '" + name + "' is not a number");
+    }
+  }
+  return Status::ok_status();
+}
+
+Status check_histogram(const JsonValue& h, const std::string& where) {
+  if (!h.is_object()) return shape_error(where, "histogram is not an object");
+  for (const char* field : {"count", "sum", "min", "max", "p50", "p99"}) {
+    const JsonValue* v = h.find(field);
+    if (v == nullptr || !v->is_number()) {
+      return shape_error(where, std::string("missing numeric '") + field + "'");
+    }
+  }
+  const JsonValue* buckets = h.find("buckets");
+  if (buckets == nullptr || !buckets->is_object()) {
+    return shape_error(where, "missing 'buckets' object");
+  }
+  return check_int_members(*buckets, where + ".buckets");
+}
+
+Status check_schema_header(const JsonValue& v, const std::string& expect_schema) {
+  const JsonValue* schema = v.find("schema");
+  if (schema == nullptr || !schema->is_string() || schema->string != expect_schema) {
+    return shape_error(expect_schema, "missing or wrong 'schema' tag");
+  }
+  const JsonValue* version = v.find("version");
+  if (version == nullptr || !version->is_number() || version->number != 1) {
+    return shape_error(expect_schema, "missing or unsupported 'version'");
+  }
+  return Status::ok_status();
+}
+
+}  // namespace
+
+Status validate_metrics_json(const JsonValue& v) {
+  if (!v.is_object()) return shape_error("metrics", "not an object");
+  for (const char* section : {"counters", "gauges"}) {
+    const JsonValue* s = v.find(section);
+    if (s == nullptr || !s->is_object()) {
+      return shape_error("metrics", std::string("missing '") + section + "' object");
+    }
+    if (Status st = check_int_members(*s, section); !st.ok()) return st;
+  }
+  const JsonValue* hists = v.find("histograms");
+  if (hists == nullptr || !hists->is_object()) {
+    return shape_error("metrics", "missing 'histograms' object");
+  }
+  for (const auto& [name, h] : hists->object) {
+    if (Status st = check_histogram(h, "histograms." + name); !st.ok()) return st;
+  }
+  return Status::ok_status();
+}
+
+Status validate_snapshot_json(const JsonValue& v) {
+  if (!v.is_object()) return shape_error("snapshot", "not an object");
+  if (Status st = check_schema_header(v, "evs.obs.snapshot"); !st.ok()) return st;
+  const JsonValue* time = v.find("time_us");
+  if (time == nullptr || !time->is_number()) {
+    return shape_error("snapshot", "missing numeric 'time_us'");
+  }
+  const JsonValue* nodes = v.find("nodes");
+  if (nodes == nullptr || !nodes->is_array()) {
+    return shape_error("snapshot", "missing 'nodes' array");
+  }
+  for (const JsonValue& node : nodes->array) {
+    if (!node.is_object()) return shape_error("snapshot.nodes", "entry not an object");
+    const JsonValue* pid = node.find("pid");
+    if (pid == nullptr || !pid->is_number()) {
+      return shape_error("snapshot.nodes", "missing numeric 'pid'");
+    }
+    const JsonValue* state = node.find("state");
+    if (state == nullptr || !state->is_string()) {
+      return shape_error("snapshot.nodes", "missing string 'state'");
+    }
+    if (const JsonValue* metrics = node.find("metrics")) {
+      if (Status st = validate_metrics_json(*metrics); !st.ok()) return st;
+    }
+  }
+  for (const char* section : {"network", "aggregate"}) {
+    const JsonValue* m = v.find(section);
+    if (m == nullptr) return shape_error("snapshot", std::string("missing '") + section + "'");
+    if (Status st = validate_metrics_json(*m); !st.ok()) return st;
+  }
+  const JsonValue* faults = v.find("faults");
+  if (faults == nullptr || !faults->is_object()) {
+    return shape_error("snapshot", "missing 'faults' object");
+  }
+  return check_int_members(*faults, "faults");
+}
+
+Status validate_report_json(const JsonValue& v) {
+  if (!v.is_object()) return shape_error("report", "not an object");
+  if (Status st = check_schema_header(v, "evs.obs.report"); !st.ok()) return st;
+  const JsonValue* source = v.find("source");
+  if (source == nullptr || !source->is_string() || source->string.empty()) {
+    return shape_error("report", "missing string 'source'");
+  }
+  const JsonValue* runs = v.find("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    return shape_error("report", "missing 'runs' array");
+  }
+  for (const JsonValue& run : runs->array) {
+    if (!run.is_object()) return shape_error("report.runs", "entry not an object");
+    const JsonValue* name = run.find("name");
+    if (name == nullptr || !name->is_string() || name->string.empty()) {
+      return shape_error("report.runs", "missing string 'name'");
+    }
+    const JsonValue* metrics = run.find("metrics");
+    if (metrics == nullptr) return shape_error("report.runs", "missing 'metrics'");
+    if (Status st = validate_metrics_json(*metrics); !st.ok()) return st;
+  }
+  return Status::ok_status();
+}
+
+Status validate_document(const std::string& text) {
+  const auto parsed = JsonValue::parse(text);
+  if (!parsed.has_value()) {
+    return Status::error(Errc::decode_error, "not valid JSON");
+  }
+  const JsonValue* schema = parsed->find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    return shape_error("document", "missing 'schema' tag");
+  }
+  if (schema->string == "evs.obs.snapshot") return validate_snapshot_json(*parsed);
+  if (schema->string == "evs.obs.report") return validate_report_json(*parsed);
+  return shape_error("document", "unknown schema '" + schema->string + "'");
+}
+
+}  // namespace evs::obs

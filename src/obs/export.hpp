@@ -1,0 +1,44 @@
+// JSON exporters and schema checks for the observability layer.
+//
+// Everything that leaves the process as JSON goes through here: metrics
+// registries, span sinks, and the two document schemas built on top of
+// them —
+//   * "evs.obs.snapshot" v1: one cluster's state at an instant (per-node
+//     metrics, network metrics, cluster aggregate, fault counters). Emitted
+//     by testkit::Cluster for the liveness watchdog and the obs tests.
+//   * "evs.obs.report" v1: one benchmark binary's output (a list of named
+//     runs, each carrying a metrics block). Emitted by every bench_* binary
+//     when EVS_OBS_OUT is set; checked by the bench_smoke ctest targets.
+//
+// The validators are the same code for tests and tooling, so an exporter
+// regression fails tier-1 instead of silently corrupting BENCH_*.json.
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/status.hpp"
+
+namespace evs::obs {
+
+class SpanSink;
+
+/// {"counters":{..},"gauges":{..},"histograms":{..}} — names sorted, integer
+/// values, histogram buckets sparse ("bucket index" -> count).
+void write_metrics(JsonWriter& w, const MetricsRegistry& registry);
+std::string metrics_json(const MetricsRegistry& registry);
+
+/// Strict shape check for a write_metrics() document.
+Status validate_metrics_json(const JsonValue& v);
+
+/// Shape check for a full "evs.obs.snapshot" document.
+Status validate_snapshot_json(const JsonValue& v);
+
+/// Shape check for a full "evs.obs.report" document.
+Status validate_report_json(const JsonValue& v);
+
+/// Parse + dispatch on "schema": accepts snapshot and report documents.
+Status validate_document(const std::string& text);
+
+}  // namespace evs::obs

@@ -1,0 +1,81 @@
+// Minimal JSON support for the observability layer: a streaming writer for
+// the exporters and a strict little parser for round-trip tests and the
+// bench-report schema check. Not a general-purpose JSON library — just the
+// slice the obs layer needs, with deterministic output (integer counters
+// stay integers; doubles use a fixed "%.6g" rendering).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace evs::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key of the next member (only inside an object).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key(k) + value(v) in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+  static void escape_into(std::string& out, std::string_view s);
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> first_;  ///< per open scope: no member written yet
+  bool pending_key_{false};
+};
+
+/// Parsed JSON document. Object members keep source order (so a round-trip
+/// test can assert ordering) but also support by-name lookup.
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type{Type::Null};
+  bool boolean{false};
+  double number{0};
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_number() const { return type == Type::Number; }
+  bool is_string() const { return type == Type::String; }
+
+  /// First member with this name, or nullptr (objects only).
+  const JsonValue* find(std::string_view name) const;
+
+  /// Strict parse of a complete document; nullopt on any syntax error or
+  /// trailing garbage.
+  static std::optional<JsonValue> parse(std::string_view text);
+};
+
+}  // namespace evs::obs

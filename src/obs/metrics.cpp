@@ -1,0 +1,76 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace evs::obs {
+
+std::size_t Histogram::bucket_of(std::uint64_t sample) {
+  return static_cast<std::size_t>(std::bit_width(sample));
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return ~0ull;
+  return (1ull << bucket) - 1;
+}
+
+void Histogram::record(std::uint64_t sample) {
+  ++buckets_[bucket_of(sample)];
+  ++count_;
+  sum_ += sample;
+  min_ = std::min(min_, sample);
+  max_ = std::max(max_, sample);
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the percentile sample, 1-based, rounding up (nearest-rank).
+  const auto rank = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count_));
+  const std::uint64_t target = std::max<std::uint64_t>(1, rank);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(bucket_upper(i), max_);
+  }
+  return max_;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const Counter* c = find_counter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].value_ += c.value_;
+  for (const auto& [name, g] : other.gauges_) gauges_[name].value_ += g.value_;
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge_from(h);
+}
+
+}  // namespace evs::obs

@@ -1,0 +1,115 @@
+// Typed metrics for the protocol stack: counters, gauges and log2-bucket
+// histograms behind one registry per EvsNode (the network and the harness
+// own registries of their own, and a testkit::Cluster aggregates them all).
+//
+// Design constraints, in order:
+//   * Determinism: a metrics snapshot is a pure function of protocol state —
+//     instruments never read wall-clock time or allocate nondeterministically,
+//     and every enumeration walks a sorted map, so a fixed (seed, FaultPlan)
+//     run serializes to byte-identical JSON every time.
+//   * Hot-path cost: instrumented code caches Instrument& handles once (map
+//     nodes are pointer-stable), so an increment is one add on a u64 — no
+//     hashing, no locking (the simulation is single-threaded by design).
+//   * Aggregation: merge_from() folds another registry in name-by-name,
+//     which is how per-node registries roll up into a cluster view.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace evs::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::uint64_t value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t delta) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::int64_t value_{0};
+};
+
+/// Histogram with fixed log2 buckets: bucket i holds samples whose value
+/// needs exactly i significant bits (bucket 0 is the value 0, bucket 1 is 1,
+/// bucket 2 is 2..3, bucket 3 is 4..7, ...). 65 buckets cover all of u64.
+/// Fixed buckets keep recording O(1), merging lossless and serialization
+/// deterministic; the integer sum preserves the exact mean.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  static std::size_t bucket_of(std::uint64_t sample);
+  /// Largest value the bucket covers (inclusive).
+  static std::uint64_t bucket_upper(std::size_t bucket);
+
+  void record(std::uint64_t sample);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+
+  /// Upper bound of the bucket containing the p-th percentile (p in [0,100]).
+  /// A bucketed estimate, not an exact order statistic.
+  std::uint64_t percentile(double p) const;
+
+  void merge_from(const Histogram& other);
+
+ private:
+  std::uint64_t buckets_[kBuckets]{};
+  std::uint64_t count_{0};
+  std::uint64_t sum_{0};
+  std::uint64_t min_{~0ull};
+  std::uint64_t max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. The returned reference stays valid for the registry's
+  /// lifetime (node-based map), so callers cache it at wiring time.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  /// Read-only lookup; nullptr when the instrument was never created.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// Convenience for tests and exporters: 0 when absent.
+  std::uint64_t counter_value(const std::string& name) const;
+
+  /// Fold `other` in: counters and histogram buckets add, gauges add too
+  /// (aggregated gauges are sums — e.g. pending send-queue depths).
+  void merge_from(const MetricsRegistry& other);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  // Sorted (map-order) enumeration, for exporters.
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace evs::obs

@@ -1,0 +1,112 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace evs::obs {
+
+SpanId SpanSink::begin(ProcessId process, std::string_view name, SimTime now,
+                       SpanId parent) {
+  if (spans_.size() >= options_.max_spans) {
+    ++dropped_;
+    return 0;
+  }
+  Span s;
+  s.id = spans_.size() + 1;
+  s.parent = parent;
+  s.name = std::string(name);
+  s.process = process;
+  s.start_us = now;
+  spans_.push_back(std::move(s));
+  ++open_count_;
+  return spans_.back().id;
+}
+
+void SpanSink::end(SpanId id, SimTime now) {
+  if (id == 0 || id > spans_.size()) return;
+  Span& s = spans_[id - 1];
+  if (s.closed) return;
+  s.end_us = std::max(now, s.start_us);
+  s.closed = true;
+  --open_count_;
+}
+
+void SpanSink::attr(SpanId id, std::string_view key, std::string_view value) {
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].attrs.emplace_back(std::string(key), std::string(value));
+}
+
+SpanId SpanSink::instant(ProcessId process, std::string_view name, SimTime now,
+                         SpanId parent) {
+  const SpanId id = begin(process, name, now, parent);
+  end(id, now);
+  return id;
+}
+
+const Span* SpanSink::find(SpanId id) const {
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+void SpanSink::write_chrome_trace(JsonWriter& w) const {
+  w.begin_array();
+  for (const Span& s : spans_) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("cat", "evs");
+    w.kv("ph", "X");
+    w.kv("ts", s.start_us);
+    w.kv("dur", s.duration_us());
+    w.kv("pid", static_cast<std::uint64_t>(s.process.value));
+    w.kv("tid", static_cast<std::uint64_t>(s.process.value));
+    w.key("args").begin_object();
+    w.kv("span_id", s.id);
+    if (s.parent != 0) w.kv("parent", s.parent);
+    if (!s.closed) w.kv("open", true);
+    for (const auto& [key, value] : s.attrs) w.kv(key, value);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+std::string SpanSink::chrome_trace_json() const {
+  JsonWriter w;
+  write_chrome_trace(w);
+  return w.take();
+}
+
+std::string SpanSink::timeline() const {
+  // Sort by (start, id); id order breaks ties so parents precede children
+  // opened at the same instant.
+  std::vector<const Span*> order;
+  order.reserve(spans_.size());
+  for (const Span& s : spans_) order.push_back(&s);
+  std::sort(order.begin(), order.end(), [](const Span* a, const Span* b) {
+    if (a->start_us != b->start_us) return a->start_us < b->start_us;
+    return a->id < b->id;
+  });
+
+  std::string out;
+  for (const Span* s : order) {
+    std::size_t depth = 0;
+    for (const Span* p = s; p->parent != 0; p = &spans_[p->parent - 1]) ++depth;
+    out += "[" + std::to_string(s->start_us) + "us";
+    if (s->closed) {
+      out += " +" + std::to_string(s->duration_us()) + "us";
+    } else {
+      out += " open";
+    }
+    out += "] " + to_string(s->process) + " ";
+    out.append(2 * depth, ' ');
+    out += s->name;
+    for (const auto& [key, value] : s->attrs) {
+      out += " " + key + "=" + value;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace evs::obs

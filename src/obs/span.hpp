@@ -1,0 +1,90 @@
+// Span-style episode tracing for the protocol's recovery machinery.
+//
+// A Span is a named interval of *virtual* time at one process: a membership
+// gather, a recovery episode (with one child span per paper step), a token
+// rotation, a configuration install. Spans nest via parent ids, carry
+// string attributes (ring ids, member counts, step outcomes) and are
+// exported either as a chrome://tracing-compatible JSON array or as a
+// compact text timeline.
+//
+// Instrumentation reads only virtual time and protocol state, so span
+// streams are deterministic per (seed, FaultPlan): the sink assigns ids
+// sequentially and never consults the wall clock. When no sink is attached
+// (SpanSink* == nullptr at the instrumentation site) the cost is one
+// pointer test — observability off means zero overhead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace evs::obs {
+
+class JsonWriter;
+
+using SpanId = std::uint64_t;  ///< 0 = "no span"
+
+struct Span {
+  SpanId id{0};
+  SpanId parent{0};  ///< 0 = root
+  std::string name;
+  ProcessId process;
+  SimTime start_us{0};
+  SimTime end_us{0};
+  bool closed{false};
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  SimTime duration_us() const { return closed ? end_us - start_us : 0; }
+};
+
+class SpanSink {
+ public:
+  struct Options {
+    /// Hard cap on retained spans; beyond it begin() drops (returns 0) and
+    /// counts, so a runaway scenario degrades to counting instead of
+    /// exhausting memory.
+    std::size_t max_spans{1u << 20};
+  };
+
+  SpanSink() : SpanSink(Options{}) {}
+  explicit SpanSink(Options options) : options_(options) {}
+
+  /// Open a span. Returns its id, or 0 if the sink is at capacity.
+  SpanId begin(ProcessId process, std::string_view name, SimTime now,
+               SpanId parent = 0);
+
+  /// Close a span. No-op for id 0 or an already-closed span.
+  void end(SpanId id, SimTime now);
+
+  /// Attach a key/value attribute. No-op for id 0.
+  void attr(SpanId id, std::string_view key, std::string_view value);
+
+  /// A zero-duration marker span (opened and closed at `now`).
+  SpanId instant(ProcessId process, std::string_view name, SimTime now,
+                 SpanId parent = 0);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const Span* find(SpanId id) const;
+  std::size_t open_count() const { return open_count_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// chrome://tracing "trace events" JSON array (complete events, ph="X";
+  /// still-open spans are emitted with dur=0 and an "open" arg).
+  void write_chrome_trace(JsonWriter& w) const;
+  std::string chrome_trace_json() const;
+
+  /// Compact per-line timeline, sorted by (start, id), indented by nesting
+  /// depth. For humans and for golden-ish test assertions.
+  std::string timeline() const;
+
+ private:
+  Options options_;
+  std::vector<Span> spans_;  ///< id == index + 1
+  std::size_t open_count_{0};
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace evs::obs

@@ -1,6 +1,8 @@
 #include "testkit/cluster.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -27,6 +29,7 @@ Cluster::Cluster(Options options)
     : options_(options), rng_(options.seed) {
   network_ = std::make_unique<Network>(scheduler_, rng_.split(), options_.net);
   if (!options_.faults.empty()) network_->set_fault_plan(options_.faults);
+  if (options_.enable_spans) spans_ = std::make_unique<obs::SpanSink>();
   Log::set_time_source([this] { return scheduler_.now(); });
   procs_.reserve(options_.num_processes);
   for (std::size_t i = 0; i < options_.num_processes; ++i) {
@@ -70,10 +73,11 @@ StableStore& Cluster::store(ProcessId p) {
 
 void Cluster::wire(Proc& proc) {
   Sink* sink = &proc.sink;
-  proc.node->set_deliver_handler(
+  proc.node->set_on_deliver(
       [sink](const EvsNode::Delivery& d) { sink->deliveries.push_back(d); });
-  proc.node->set_config_handler(
+  proc.node->set_on_config_change(
       [sink](const Configuration& c) { sink->configs.push_back(c); });
+  proc.node->set_span_sink(spans_.get());
 }
 
 void Cluster::start_all() {
@@ -112,6 +116,29 @@ void Cluster::partition(const std::vector<std::vector<std::size_t>>& groups) {
 
 void Cluster::heal() { network_->merge_all(); }
 
+void Cluster::watchdog_fire() {
+  // Fail fast: no token handled, nothing delivered, no membership activity
+  // at any running node for a whole watchdog window. Waiting out the
+  // deadline would only hide where the cluster got stuck. One snapshot
+  // feeds both outputs: the human report in the warning, and — when
+  // EVS_OBS_OUT names a file — the machine-readable "evs.obs.snapshot"
+  // document for postmortem tooling.
+  watchdog_tripped_ = true;
+  const ClusterSnapshot snap = snapshot();
+  EVS_WARN("testkit", "liveness watchdog: no protocol progress for %llu us\n%s",
+           static_cast<unsigned long long>(options_.watchdog_window_us),
+           snap.to_text().c_str());
+  if (const char* path = std::getenv("EVS_OBS_OUT");
+      path != nullptr && *path != '\0') {
+    if (std::FILE* f = std::fopen(path, "w")) {
+      const std::string doc = snap.to_json();
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    }
+  }
+}
+
 std::uint64_t Cluster::progress_signature() const {
   std::uint64_t sig = 0;
   for (const auto& proc : procs_) {
@@ -142,13 +169,7 @@ bool Cluster::await(const std::function<bool()>& predicate, SimTime max_wait_us,
         sig = now_sig;
         last_progress = scheduler_.now();
       } else if (scheduler_.now() - last_progress >= options_.watchdog_window_us) {
-        // Fail fast: no token handled, nothing delivered, no membership
-        // activity at any running node for a whole watchdog window. Waiting
-        // out the deadline would only hide where the cluster got stuck.
-        watchdog_tripped_ = true;
-        EVS_WARN("testkit", "liveness watchdog: no protocol progress for %llu us\n%s",
-                 static_cast<unsigned long long>(options_.watchdog_window_us),
-                 liveness_report().c_str());
+        watchdog_fire();
         return false;
       }
     }
@@ -208,10 +229,7 @@ bool Cluster::await_quiesce(SimTime max_wait_us) {
         sig = now_sig;
         last_progress = scheduler_.now();
       } else if (scheduler_.now() - last_progress >= options_.watchdog_window_us) {
-        watchdog_tripped_ = true;
-        EVS_WARN("testkit", "liveness watchdog: no protocol progress for %llu us\n%s",
-                 static_cast<unsigned long long>(options_.watchdog_window_us),
-                 liveness_report().c_str());
+        watchdog_fire();
         return false;
       }
     }
@@ -219,40 +237,43 @@ bool Cluster::await_quiesce(SimTime max_wait_us) {
   return false;
 }
 
-std::string Cluster::liveness_report() const {
-  std::string out = "cluster @" + std::to_string(scheduler_.now()) + "us\n";
+ClusterSnapshot Cluster::snapshot() const {
+  ClusterSnapshot snap;
+  snap.time_us = scheduler_.now();
+  snap.nodes.reserve(procs_.size());
   for (const auto& proc : procs_) {
-    out += "  " + to_string(proc.pid) + ": ";
-    if (proc.node == nullptr) {
-      out += "(never started)\n";
-      continue;
+    ClusterSnapshot::Node n;
+    n.pid = proc.pid;
+    if (proc.node != nullptr) {
+      n.started = true;
+      n.running = proc.node->running();
+      n.state = to_string(proc.node->state());
+      n.config = to_string(proc.node->config().id);
+      n.pending_sends = proc.node->pending_sends();
+      n.metrics = proc.node->metrics();
+      n.metrics.gauge("evs.pending_sends")
+          .set(static_cast<std::int64_t>(n.pending_sends));
     }
-    const auto& s = proc.node->stats();
-    out += std::string(to_string(proc.node->state())) + " config=" +
-           to_string(proc.node->config().id) +
-           " sent=" + std::to_string(s.sent) +
-           " delivered=" + std::to_string(s.delivered) +
-           " tokens=" + std::to_string(s.tokens_handled) +
-           " gathers=" + std::to_string(s.gathers) +
-           " recoveries=" + std::to_string(s.recoveries) +
-           " rej_frames=" + std::to_string(s.rejected_frames) +
-           " rej_decode=" + std::to_string(s.rejected_decode) +
-           " stale=" + std::to_string(s.stale_rejected) +
-           " retransmits=" + std::to_string(s.token_retransmits) + "\n";
+    snap.nodes.push_back(std::move(n));
   }
-  const auto& n = network_->stats();
-  out += "  network: deliveries=" + std::to_string(n.deliveries) +
-         " dropped_loss=" + std::to_string(n.dropped_loss) +
-         " dropped_partition=" + std::to_string(n.dropped_partition) +
-         " dropped_fault=" + std::to_string(n.dropped_fault) +
-         " duplicated_fault=" + std::to_string(n.duplicated_fault) + "\n";
+  snap.network = network_->metrics();
+  for (const auto& n : snap.nodes) snap.aggregate.merge_from(n.metrics);
+  snap.aggregate.merge_from(snap.network);
   if (const FaultInjector* inj = network_->faults()) {
-    out += "  faults: " + to_string(inj->stats()) + "\n";
-    out += "  recent fault log:\n" + inj->format_log();
-  } else {
-    out += "  faults: (no injector installed)\n";
+    snap.have_injector = true;
+    snap.faults = inj->stats();
+    snap.fault_log = inj->format_log();
   }
-  return out;
+  return snap;
+}
+
+obs::MetricsRegistry Cluster::aggregate_metrics() const {
+  obs::MetricsRegistry agg;
+  for (const auto& proc : procs_) {
+    if (proc.node != nullptr) agg.merge_from(proc.node->metrics());
+  }
+  agg.merge_from(network_->metrics());
+  return agg;
 }
 
 std::vector<Violation> Cluster::check(bool quiescent) const {

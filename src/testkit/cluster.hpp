@@ -14,10 +14,12 @@
 
 #include "evs/node.hpp"
 #include "net/network.hpp"
+#include "obs/span.hpp"
 #include "sim/scheduler.hpp"
 #include "spec/checker.hpp"
 #include "spec/trace.hpp"
 #include "storage/stable_store.hpp"
+#include "testkit/report.hpp"
 #include "util/rng.hpp"
 
 namespace evs {
@@ -37,6 +39,11 @@ class Cluster {
     /// node makes protocol progress for this much virtual time, logging a
     /// liveness report with the fault log attached.
     SimTime watchdog_window_us{0};
+    /// Own an obs::SpanSink and attach it to every node, so membership
+    /// gathers, recoveries and configuration installs are recorded as spans
+    /// (see obs/span.hpp). Off by default: with no sink attached the
+    /// tracing hooks are a null-pointer test per episode.
+    bool enable_spans{false};
   };
 
   /// Everything one process delivered, for test assertions.
@@ -114,10 +121,25 @@ class Cluster {
   /// Options::watchdog_window_us of virtual time).
   bool watchdog_tripped() const { return watchdog_tripped_; }
 
-  /// Human-readable snapshot: per-process state and stats, network stats,
-  /// fault-injector stats and the recent fault log. Attached to watchdog
-  /// failures; useful in any test failure message.
-  std::string liveness_report() const;
+  /// Capture the cluster's observable state: per-process protocol state and
+  /// a copy of each node's metrics registry, the network registry, a
+  /// cluster-wide aggregate, and fault-injector stats. One snapshot serves
+  /// both exports — snapshot().to_json() is the machine-readable
+  /// "evs.obs.snapshot" document, snapshot().to_text() the human report.
+  ClusterSnapshot snapshot() const;
+
+  /// Cluster-wide metrics: every node's registry plus the network's, merged.
+  obs::MetricsRegistry aggregate_metrics() const;
+
+  /// Human-readable snapshot (snapshot().to_text()): per-process state and
+  /// stats, network stats, fault-injector stats and the recent fault log.
+  /// Attached to watchdog failures; useful in any test failure message.
+  std::string liveness_report() const { return snapshot().to_text(); }
+
+  /// The span sink shared by all nodes, or nullptr unless
+  /// Options::enable_spans was set.
+  obs::SpanSink* spans() { return spans_.get(); }
+  const obs::SpanSink* spans() const { return spans_.get(); }
 
   /// The node for a process index, or nullptr if never started. For metrics
   /// collection that must not assert on missing nodes.
@@ -133,6 +155,10 @@ class Cluster {
 
   void wire(Proc& proc);
 
+  /// Watchdog trip: log the snapshot's text report and, when EVS_OBS_OUT is
+  /// set, write its "evs.obs.snapshot" JSON there for postmortem tooling.
+  void watchdog_fire();
+
   /// Monotone protocol-progress signature: any token handled, delivery,
   /// configuration change, gather, recovery or send at any running node
   /// changes it. Constant signature over a watchdog window = stuck cluster.
@@ -142,6 +168,7 @@ class Cluster {
   Scheduler scheduler_;
   Rng rng_;
   std::unique_ptr<Network> network_;
+  std::unique_ptr<obs::SpanSink> spans_;
   TraceLog trace_;
   std::vector<Proc> procs_;
   bool watchdog_tripped_{false};

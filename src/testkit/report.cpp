@@ -1,0 +1,97 @@
+#include "testkit/report.hpp"
+
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+
+namespace evs {
+
+namespace {
+
+void write_fault_stats(obs::JsonWriter& w, const FaultStats& s) {
+  w.begin_object();
+  w.kv("packets_considered", s.packets_considered);
+  w.kv("injected_total", s.injected_total);
+  w.kv("dropped", s.dropped);
+  w.kv("token_dropped", s.token_dropped);
+  w.kv("duplicated", s.duplicated);
+  w.kv("corrupted", s.corrupted);
+  w.kv("reordered", s.reordered);
+  w.kv("delay_spiked", s.delay_spiked);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string ClusterSnapshot::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "evs.obs.snapshot");
+  w.kv("version", 1);
+  w.kv("time_us", time_us);
+  w.key("nodes").begin_array();
+  for (const Node& n : nodes) {
+    w.begin_object();
+    w.kv("pid", static_cast<std::uint64_t>(n.pid.value));
+    w.kv("started", n.started);
+    w.kv("running", n.running);
+    w.kv("state", n.started ? std::string_view(n.state) : "(never started)");
+    if (n.started) {
+      w.kv("config", n.config);
+      w.kv("pending_sends", n.pending_sends);
+      w.key("metrics");
+      obs::write_metrics(w, n.metrics);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("network");
+  obs::write_metrics(w, network);
+  w.key("aggregate");
+  obs::write_metrics(w, aggregate);
+  w.key("faults");
+  write_fault_stats(w, faults);
+  w.end_object();
+  return w.take();
+}
+
+std::string ClusterSnapshot::to_text() const {
+  std::string out = "cluster @" + std::to_string(time_us) + "us\n";
+  for (const Node& n : nodes) {
+    out += "  " + to_string(n.pid) + ": ";
+    if (!n.started) {
+      out += "(never started)\n";
+      continue;
+    }
+    const auto c = [&n](const char* name) {
+      return std::to_string(n.metrics.counter_value(name));
+    };
+    out += n.state + (n.running ? "" : " (crashed)") + " config=" + n.config +
+           " sent=" + c("evs.sent") +
+           " delivered=" + c("evs.delivered") +
+           " tokens=" + c("evs.tokens_handled") +
+           " gathers=" + c("evs.gathers") +
+           " recoveries=" + c("evs.recoveries") +
+           " rej_frames=" + c("evs.rejected_frames") +
+           " rej_decode=" + c("evs.rejected_decode") +
+           " stale=" + c("evs.stale_rejected") +
+           " retransmits=" + c("evs.token_retransmits") +
+           " pending=" + std::to_string(n.pending_sends) + "\n";
+  }
+  const auto nc = [this](const char* name) {
+    return std::to_string(network.counter_value(name));
+  };
+  out += "  network: deliveries=" + nc("net.deliveries") +
+         " dropped_loss=" + nc("net.dropped_loss") +
+         " dropped_partition=" + nc("net.dropped_partition") +
+         " dropped_fault=" + nc("net.dropped_fault") +
+         " duplicated_fault=" + nc("net.duplicated_fault") + "\n";
+  if (have_injector) {
+    out += "  faults: " + to_string(faults) + "\n";
+    out += "  recent fault log:\n" + fault_log;
+  } else {
+    out += "  faults: (no injector installed)\n";
+  }
+  return out;
+}
+
+}  // namespace evs

@@ -1,0 +1,52 @@
+// ClusterSnapshot: one cluster's observable state at an instant of virtual
+// time, captured by Cluster::snapshot().
+//
+// The same snapshot serves every consumer through one code path:
+//   * to_json() emits the "evs.obs.snapshot" v1 document that
+//     obs::validate_snapshot_json() enforces — used by the obs tests (two
+//     runs with the same (seed, FaultPlan) must serialize byte-identically)
+//     and by tooling that wants machine-readable cluster state.
+//   * to_text() renders the human liveness report the watchdog attaches to
+//     its failure messages.
+// Both read the same captured registries, so the text report can never
+// drift from what the JSON exporter (and therefore the tests) see.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/faults.hpp"
+#include "util/types.hpp"
+
+namespace evs {
+
+struct ClusterSnapshot {
+  struct Node {
+    ProcessId pid;
+    bool started{false};  ///< a node object exists (may have crashed since)
+    bool running{false};
+    std::string state;    ///< to_string(EvsNode::State), "" if never started
+    std::string config;   ///< to_string(configuration id), "" if never started
+    std::uint64_t pending_sends{0};
+    obs::MetricsRegistry metrics;  ///< copy of the node's registry
+  };
+
+  SimTime time_us{0};
+  std::vector<Node> nodes;
+  obs::MetricsRegistry network;    ///< copy of the Network's registry
+  obs::MetricsRegistry aggregate;  ///< merge of all node registries + network
+  bool have_injector{false};
+  FaultStats faults;       ///< zeroes when no injector installed
+  std::string fault_log;   ///< recent injected faults, "" without injector
+
+  /// "evs.obs.snapshot" v1 JSON document (deterministic byte-for-byte for a
+  /// fixed (seed, FaultPlan) run; see obs/metrics.hpp).
+  std::string to_json() const;
+
+  /// Human-readable liveness report (per-process line, network line, fault
+  /// stats and the recent fault log).
+  std::string to_text() const;
+};
+
+}  // namespace evs

@@ -48,9 +48,9 @@ void VsCluster::start(ProcessId p) {
   proc.node = std::make_unique<VsNode>(p, *network_, *proc.store, &evs_trace_,
                                        &vs_trace_, options_.node, vs_opts);
   Sink* sink = &proc.sink;
-  proc.node->set_deliver_handler(
+  proc.node->set_on_deliver(
       [sink](const VsDelivery& d) { sink->deliveries.push_back(d); });
-  proc.node->set_view_handler([sink](const VsView& v) { sink->views.push_back(v); });
+  proc.node->set_on_view_change([sink](const VsView& v) { sink->views.push_back(v); });
   proc.node->start();
 }
 
@@ -136,6 +136,15 @@ std::string VsCluster::check_report(bool quiescent) const {
     out += "[vs " + v.spec + "] " + v.detail + "\n";
   }
   return out;
+}
+
+obs::MetricsRegistry VsCluster::aggregate_metrics() const {
+  obs::MetricsRegistry agg;
+  for (const auto& proc : procs_) {
+    if (proc.node != nullptr) agg.merge_from(proc.node->evs().metrics());
+  }
+  agg.merge_from(network_->metrics());
+  return agg;
 }
 
 }  // namespace evs

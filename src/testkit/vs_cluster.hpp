@@ -73,6 +73,11 @@ class VsCluster {
   /// against the legality conditions. Returns a formatted report ("" = ok).
   std::string check_report(bool quiescent = true) const;
 
+  /// Cluster-wide metrics: every node's registry (the VsNode "vs.*"
+  /// instruments live in its underlying EvsNode's registry) plus the
+  /// network's, merged.
+  obs::MetricsRegistry aggregate_metrics() const;
+
  private:
   struct Proc {
     std::unique_ptr<StableStore> store;

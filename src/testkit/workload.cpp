@@ -25,7 +25,7 @@ std::vector<MsgId> send_random_burst(Cluster& cluster, Rng& rng, int count,
     }
     std::vector<std::uint8_t> payload(payload_bytes);
     for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
-    ids.push_back(cluster.node(who).send(service, std::move(payload)));
+    ids.push_back(cluster.node(who).send(service, std::move(payload)).value());
   }
   return ids;
 }

@@ -7,11 +7,31 @@
 
 namespace evs {
 
+OrderingCore::Met::Met(obs::MetricsRegistry& r)
+    : duplicates_ignored(r.counter("ordering.duplicates_ignored")),
+      retransmits_sent(r.counter("ordering.retransmits_sent")),
+      rtr_capped(r.counter("ordering.rtr_capped")),
+      tokens_seen(r.counter("ordering.tokens_seen")) {}
+
 OrderingCore::OrderingCore(RingId ring, std::vector<ProcessId> members, ProcessId self,
-                           Options options)
-    : ring_(ring), members_(std::move(members)), self_(self), options_(options) {
+                           Options options, obs::MetricsRegistry* metrics)
+    : ring_(ring),
+      members_(std::move(members)),
+      self_(self),
+      options_(options),
+      own_metrics_(metrics == nullptr ? std::make_unique<obs::MetricsRegistry>()
+                                      : nullptr),
+      met_(metrics == nullptr ? *own_metrics_ : *metrics) {
   EVS_ASSERT(std::is_sorted(members_.begin(), members_.end()));
   EVS_ASSERT_MSG(is_member(self_), "process must be a member of its own ring");
+}
+
+OrderingCore::Stats OrderingCore::stats() const {
+  Stats s;
+  s.duplicates_ignored = met_.duplicates_ignored.value();
+  s.retransmits_sent = met_.retransmits_sent.value();
+  s.rtr_capped = met_.rtr_capped.value();
+  return s;
 }
 
 ProcessId OrderingCore::next_in_ring() const {
@@ -29,7 +49,7 @@ bool OrderingCore::on_regular(const RegularMsg& m) {
   EVS_ASSERT(m.ring == ring_);
   EVS_ASSERT(m.seq >= 1);
   if (received_.contains(m.seq)) {
-    ++stats_.duplicates_ignored;
+    met_.duplicates_ignored.inc();
     return false;
   }
   received_.insert(m.seq);
@@ -45,6 +65,7 @@ OrderingCore::TokenResult OrderingCore::on_token(const TokenMsg& token,
                                                  std::deque<PendingSend>& pending) {
   EVS_ASSERT(!token_is_stale(token));
   ++tokens_seen_;
+  met_.tokens_seen.inc();
   TokenResult result;
   TokenMsg out = token;
 
@@ -57,7 +78,7 @@ OrderingCore::TokenResult OrderingCore::on_token(const TokenMsg& token,
     result.to_broadcast.push_back(it->second);
     out.rtr.erase(s);
     ++retransmitted;
-    ++stats_.retransmits_sent;
+    met_.retransmits_sent.inc();
   }
 
   // 2. Request what we are missing, bounded so a corrupted-but-plausible
@@ -65,7 +86,7 @@ OrderingCore::TokenResult OrderingCore::on_token(const TokenMsg& token,
   highest_assigned_ = std::max(highest_assigned_, out.seq);
   for (SeqNum hole : received_.missing_in(1, out.seq)) {
     if (out.rtr.size() >= options_.max_rtr_entries) {
-      ++stats_.rtr_capped;
+      met_.rtr_capped.inc();
       break;
     }
     out.rtr.insert(hole);

@@ -25,10 +25,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "evs/config.hpp"
+#include "obs/metrics.hpp"
 #include "totem/messages.hpp"
 #include "util/seq_set.hpp"
 #include "util/types.hpp"
@@ -62,16 +64,20 @@ class OrderingCore {
     bool deliver_unsafe{false};
   };
 
+  /// Snapshot of the "ordering.*" counters (assembled from the registry).
   struct Stats {
     std::uint64_t duplicates_ignored{0};  ///< duplicate regular messages
     std::uint64_t retransmits_sent{0};    ///< rtr requests we satisfied
     std::uint64_t rtr_capped{0};          ///< holes deferred by max_rtr_entries
   };
 
+  /// `metrics` receives the "ordering.*" instruments; pass the owning
+  /// EvsNode's registry so counters accumulate across ring installs. When
+  /// null the core keeps a private registry (standalone tests).
   OrderingCore(RingId ring, std::vector<ProcessId> members, ProcessId self)
       : OrderingCore(ring, std::move(members), self, Options{}) {}
   OrderingCore(RingId ring, std::vector<ProcessId> members, ProcessId self,
-               Options options);
+               Options options, obs::MetricsRegistry* metrics = nullptr);
 
   const RingId& ring() const { return ring_; }
   const std::vector<ProcessId>& members() const { return members_; }
@@ -109,13 +115,23 @@ class OrderingCore {
   std::vector<RegularMsg> all_messages() const;
 
   std::uint64_t tokens_seen() const { return tokens_seen_; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
  private:
+  struct Met {
+    obs::Counter& duplicates_ignored;
+    obs::Counter& retransmits_sent;
+    obs::Counter& rtr_capped;
+    obs::Counter& tokens_seen;
+    explicit Met(obs::MetricsRegistry& r);
+  };
+
   RingId ring_;
   std::vector<ProcessId> members_;  // sorted
   ProcessId self_;
   Options options_;
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;  ///< when none was shared
+  Met met_;
 
   std::unordered_map<SeqNum, RegularMsg> store_;
   SeqSet received_;
@@ -125,8 +141,7 @@ class OrderingCore {
   SeqNum prev_visit_aru_{0};
   bool seen_token_{false};
   std::uint64_t last_rotation_{0};
-  std::uint64_t tokens_seen_{0};
-  Stats stats_;
+  std::uint64_t tokens_seen_{0};  ///< this ring only (counter is cumulative)
 };
 
 }  // namespace evs

@@ -1,0 +1,127 @@
+// Machine-readable results for the public API.
+//
+// Library entry points that used to return bool or assert on misuse now
+// return Status (or Expected<T> when there is a value to hand back), so an
+// embedding application can distinguish "payload too large" from "not in a
+// configuration" without parsing log text. Status is cheap: an enum plus an
+// optional detail string that is only populated on error paths.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace evs {
+
+/// Error causes surfaced by the public API. Keep the list append-only: the
+/// numeric values are part of the observable API (they appear in metrics
+/// snapshots and in embedding applications' switch statements).
+enum class Errc : std::uint8_t {
+  ok = 0,
+  not_running = 1,        ///< operation on a crashed/stopped node
+  not_in_config = 2,      ///< sender is not a member of any configuration
+  payload_too_large = 3,  ///< payload exceeds Options::max_payload_bytes
+  truncated_frame = 4,    ///< frame shorter than its declared body length
+  trailing_bytes = 5,     ///< frame longer than its declared body length
+  crc_mismatch = 6,       ///< frame body fails the CRC-32 check
+  decode_error = 7,       ///< frame body fails strict message validation
+  invalid_options = 8,    ///< Options::validate() rejected a combination
+  blocked_not_primary = 9,  ///< VS filter rule 2: not in the primary component
+};
+
+const char* to_string(Errc e);
+
+class Status {
+ public:
+  Status() = default;  // ok
+  Status(Errc code, std::string detail) : code_(code), detail_(std::move(detail)) {}
+
+  static Status ok_status() { return Status{}; }
+  static Status error(Errc code, std::string detail = {}) {
+    return Status{code, std::move(detail)};
+  }
+
+  bool ok() const { return code_ == Errc::ok; }
+  explicit operator bool() const { return ok(); }
+  Errc code() const { return code_; }
+  const std::string& detail() const { return detail_; }
+
+  /// "ok" or "<code>: <detail>".
+  std::string message() const;
+
+ private:
+  Errc code_{Errc::ok};
+  std::string detail_;
+};
+
+/// A value or the Status explaining why there is none. Intentionally tiny —
+/// this is not std::expected, just the slice of it the EVS API needs.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Status status) : status_(std::move(status)) {  // NOLINT
+    EVS_ASSERT_MSG(!status_.ok(), "Expected constructed from an ok Status");
+  }
+  Expected(Errc code, std::string detail = {})
+      : status_(Status::error(code, std::move(detail))) {}
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The error (Errc::ok when a value is present).
+  const Status& status() const { return status_; }
+  Errc code() const { return status_.code(); }
+
+  /// The value; asserts when called on an error (the legacy hard-fail
+  /// behaviour, now opt-in at the call site instead of mandatory).
+  T& value() {
+    EVS_ASSERT_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  const T& value() const {
+    EVS_ASSERT_MSG(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+inline const char* to_string(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::not_running: return "not_running";
+    case Errc::not_in_config: return "not_in_config";
+    case Errc::payload_too_large: return "payload_too_large";
+    case Errc::truncated_frame: return "truncated_frame";
+    case Errc::trailing_bytes: return "trailing_bytes";
+    case Errc::crc_mismatch: return "crc_mismatch";
+    case Errc::decode_error: return "decode_error";
+    case Errc::invalid_options: return "invalid_options";
+    case Errc::blocked_not_primary: return "blocked_not_primary";
+  }
+  return "?";
+}
+
+inline std::string Status::message() const {
+  if (ok()) return "ok";
+  std::string out = to_string(code_);
+  if (!detail_.empty()) {
+    out += ": ";
+    out += detail_;
+  }
+  return out;
+}
+
+}  // namespace evs

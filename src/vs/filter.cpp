@@ -25,6 +25,25 @@ const char* to_string(VsNode::Mode m) {
   return "?";
 }
 
+VsNode::Met::Met(obs::MetricsRegistry& r)
+    : views_installed(r.counter("vs.views_installed")),
+      delivered(r.counter("vs.delivered")),
+      discarded_blocked(r.counter("vs.discarded_blocked")),
+      sends_rejected(r.counter("vs.sends_rejected")),
+      exchanges(r.counter("vs.exchanges")),
+      stops(r.counter("vs.stops")) {}
+
+VsNode::Stats VsNode::stats() const {
+  Stats s;
+  s.views_installed = met_.views_installed.value();
+  s.delivered = met_.delivered.value();
+  s.discarded_blocked = met_.discarded_blocked.value();
+  s.sends_rejected = met_.sends_rejected.value();
+  s.exchanges = met_.exchanges.value();
+  s.stops = met_.stops.value();
+  return s;
+}
+
 VsNode::VsNode(ProcessId id, Network& net, StableStore& store, TraceLog* evs_trace,
                VsTraceLog* vs_trace, EvsNode::Options evs_options, Options options)
     : self_(id),
@@ -41,8 +60,8 @@ VsNode::VsNode(ProcessId id, Network& net, StableStore& store, TraceLog* evs_tra
     }
     dlv_.emplace(store_, std::move(universe));
   }
-  evs_.set_config_handler([this](const Configuration& c) { on_evs_config(c); });
-  evs_.set_deliver_handler([this](const EvsNode::Delivery& d) { on_evs_deliver(d); });
+  evs_.set_on_config_change([this](const Configuration& c) { on_evs_config(c); });
+  evs_.set_on_deliver([this](const EvsNode::Delivery& d) { on_evs_deliver(d); });
 }
 
 void VsNode::persist_meta() {
@@ -91,7 +110,7 @@ void VsNode::crash() {
   buffered_.clear();
 }
 
-std::optional<MsgId> VsNode::send(std::vector<std::uint8_t> payload, Service service) {
+Expected<MsgId> VsNode::send(std::vector<std::uint8_t> payload, Service service) {
   // Filter rule 2: only processes inside the primary lineage accept
   // messages. During a pending primary decision a member that was in the
   // previous primary view may keep sending (if the decision comes back
@@ -101,13 +120,19 @@ std::optional<MsgId> VsNode::send(std::vector<std::uint8_t> payload, Service ser
   const bool accepting =
       mode_ == Mode::InPrimary || (mode_ == Mode::Exchanging && in_continuity_);
   if (!accepting) {
-    ++stats_.sends_rejected;
-    return std::nullopt;
+    met_.sends_rejected.inc();
+    return Status::error(Errc::blocked_not_primary,
+                         "blocked outside the primary component (filter rule 2)");
   }
   wire::Writer w;
   w.u8(kFrameApp);
   w.bytes(payload);
-  const MsgId id = evs_.send(service, w.take());
+  Expected<MsgId> sent = evs_.send(service, w.take());
+  if (!sent.ok()) {
+    met_.sends_rejected.inc();
+    return sent;
+  }
+  const MsgId id = *sent;
   if (vs_trace_ != nullptr) {
     VsEvent e;
     e.type = VsEventType::Send;
@@ -131,7 +156,7 @@ void VsNode::send_state_message() {
       dlv_.has_value() ? dlv_->basis() : PrimaryEpoch{};
   w.u64(basis.epoch);
   w.pid_vec(basis.members);
-  evs_.send(Service::Safe, w.take());
+  evs_.send(Service::Safe, w.take()).value();
 }
 
 void VsNode::on_evs_config(const Configuration& config) {
@@ -146,12 +171,12 @@ void VsNode::on_evs_config(const Configuration& config) {
   // same state messages before this point and decided identically — so an
   // exchange still unresolved here was resolved by no one we must agree with.
   if (!buffered_.empty()) {
-    stats_.discarded_blocked += buffered_.size();
+    met_.discarded_blocked.inc(buffered_.size());
     buffered_.clear();
   }
   exchange_config_ = config;
   peer_states_.clear();
-  ++stats_.exchanges;
+  met_.exchanges.inc();
   mode_ = Mode::Exchanging;
   send_state_message();
 }
@@ -166,7 +191,7 @@ void VsNode::on_evs_deliver(const EvsNode::Delivery& d) {
     case Mode::InPrimary: emit_deliver(d, view_.id); break;
     case Mode::Exchanging: buffered_.push_back(d); break;
     case Mode::Blocked:
-      ++stats_.discarded_blocked;  // filter rule 2
+      met_.discarded_blocked.inc();  // filter rule 2
       break;
     case Mode::Down: break;
   }
@@ -305,7 +330,7 @@ void VsNode::decide_primary(const std::map<ProcessId, PeerState>& states) {
 }
 
 void VsNode::decide_blocked() {
-  stats_.discarded_blocked += buffered_.size();
+  met_.discarded_blocked.inc(buffered_.size());
   buffered_.clear();
   if (in_continuity_) emit_stop();  // filter rule 2: we left the primary
   mode_ = Mode::Blocked;
@@ -314,7 +339,7 @@ void VsNode::decide_blocked() {
 void VsNode::emit_view(const VsView& v) {
   view_ = v;
   have_view_ = true;
-  ++stats_.views_installed;
+  met_.views_installed.inc();
   if (vs_trace_ != nullptr) {
     VsEvent e;
     e.type = VsEventType::View;
@@ -329,7 +354,7 @@ void VsNode::emit_view(const VsView& v) {
 }
 
 void VsNode::emit_deliver(const EvsNode::Delivery& d, std::uint64_t view_id) {
-  ++stats_.delivered;
+  met_.delivered.inc();
   VsDelivery out;
   out.id = d.id;
   out.service = d.service;
@@ -362,7 +387,7 @@ void VsNode::emit_deliver(const EvsNode::Delivery& d, std::uint64_t view_id) {
 }
 
 void VsNode::emit_stop() {
-  ++stats_.stops;
+  met_.stops.inc();
   if (vs_trace_ != nullptr) {
     VsEvent e;
     e.type = VsEventType::Stop;

@@ -72,6 +72,8 @@ class VsNode {
 
   enum class Mode { Down, Blocked, Exchanging, InPrimary };
 
+  /// Snapshot of the "vs.*" counters (kept in the underlying EvsNode's
+  /// obs::MetricsRegistry; assembled on demand).
   struct Stats {
     std::uint64_t views_installed{0};
     std::uint64_t delivered{0};
@@ -87,18 +89,29 @@ class VsNode {
   VsNode(ProcessId id, Network& net, StableStore& store, TraceLog* evs_trace,
          VsTraceLog* vs_trace, EvsNode::Options evs_options, Options options);
 
-  void set_view_handler(ViewHandler h) { view_handler_ = std::move(h); }
-  void set_deliver_handler(DeliverHandler h) { deliver_handler_ = std::move(h); }
+  /// Register the view-installation callback (uniform setter name across
+  /// all node layers).
+  void set_on_view_change(ViewHandler h) { view_handler_ = std::move(h); }
+  /// Register the delivery callback.
+  void set_on_deliver(DeliverHandler h) { deliver_handler_ = std::move(h); }
+
+  [[deprecated("use set_on_view_change()")]] void set_view_handler(ViewHandler h) {
+    set_on_view_change(std::move(h));
+  }
+  [[deprecated("use set_on_deliver()")]] void set_deliver_handler(DeliverHandler h) {
+    set_on_deliver(std::move(h));
+  }
 
   void start();
   void crash();
 
-  /// Send within the primary component. Returns nullopt (and rejects the
-  /// message) when this process is blocked in a non-primary component
-  /// (filter rule 2). While the primary decision for a fresh configuration
-  /// is still in flight the message is accepted and queued.
-  std::optional<MsgId> send(std::vector<std::uint8_t> payload,
-                            Service service = Service::Safe);
+  /// Send within the primary component. Fails with
+  /// Errc::blocked_not_primary when this process is blocked in a
+  /// non-primary component (filter rule 2). While the primary decision for
+  /// a fresh configuration is still in flight the message is accepted and
+  /// queued.
+  Expected<MsgId> send(std::vector<std::uint8_t> payload,
+                       Service service = Service::Safe);
 
   Mode mode() const { return mode_; }
   bool in_primary() const { return mode_ == Mode::InPrimary; }
@@ -106,7 +119,7 @@ class VsNode {
   const VsView& view() const { return view_; }
   ProcessId vs_identity() const { return vs_synth_id(self_, incarnation_); }
   ProcessId id() const { return self_; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
   EvsNode& evs() { return evs_; }
   const EvsNode& evs() const { return evs_; }
@@ -132,12 +145,24 @@ class VsNode {
   void persist_meta();
   void load_meta();
 
+  /// Cached "vs.*" instrument handles in the underlying node's registry.
+  struct Met {
+    obs::Counter& views_installed;
+    obs::Counter& delivered;
+    obs::Counter& discarded_blocked;
+    obs::Counter& sends_rejected;
+    obs::Counter& exchanges;
+    obs::Counter& stops;
+    explicit Met(obs::MetricsRegistry& r);
+  };
+
   ProcessId self_;
   StableStore& store_;
   VsTraceLog* vs_trace_;
   Options options_;
   Scheduler& sched_;
   EvsNode evs_;
+  Met met_{evs_.metrics()};
 
   Mode mode_{Mode::Down};
   VsView view_;                 ///< last installed view (valid in primary)
@@ -155,7 +180,6 @@ class VsNode {
 
   ViewHandler view_handler_;
   DeliverHandler deliver_handler_;
-  Stats stats_;
 };
 
 const char* to_string(VsNode::Mode m);

@@ -152,7 +152,13 @@ std::uint32_t crc32(std::span<const std::uint8_t> data) {
   return c ^ 0xFFFFFFFFu;
 }
 
-std::vector<std::uint8_t> seal_frame(std::span<const std::uint8_t> body) {
+Expected<std::vector<std::uint8_t>> seal_frame(std::span<const std::uint8_t> body) {
+  if (body.size() > kMaxFrameBody) {
+    return Status::error(Errc::payload_too_large,
+                         "frame body of " + std::to_string(body.size()) +
+                             " bytes exceeds the " +
+                             std::to_string(kMaxFrameBody) + "-byte frame limit");
+  }
   Writer w;
   w.u32(static_cast<std::uint32_t>(body.size()));
   w.u32(crc32(body));
@@ -161,14 +167,26 @@ std::vector<std::uint8_t> seal_frame(std::span<const std::uint8_t> body) {
   return frame;
 }
 
-std::optional<std::span<const std::uint8_t>> open_frame(
+Expected<std::span<const std::uint8_t>> open_frame(
     std::span<const std::uint8_t> frame) {
-  if (frame.size() < kFrameHeaderBytes) return std::nullopt;
+  if (frame.size() < kFrameHeaderBytes) {
+    return Status::error(Errc::truncated_frame, "frame shorter than its header");
+  }
   const std::uint32_t length = read_u32_le(frame, 0);
   const std::uint32_t checksum = read_u32_le(frame, 4);
-  if (frame.size() - kFrameHeaderBytes != length) return std::nullopt;
+  if (length > kMaxFrameBody) {
+    return Status::error(Errc::payload_too_large, "declared body length too large");
+  }
+  if (frame.size() - kFrameHeaderBytes < length) {
+    return Status::error(Errc::truncated_frame, "frame shorter than declared body");
+  }
+  if (frame.size() - kFrameHeaderBytes > length) {
+    return Status::error(Errc::trailing_bytes, "frame longer than declared body");
+  }
   const auto body = frame.subspan(kFrameHeaderBytes);
-  if (crc32(body) != checksum) return std::nullopt;
+  if (crc32(body) != checksum) {
+    return Status::error(Errc::crc_mismatch, "frame body fails CRC-32 check");
+  }
   return body;
 }
 

@@ -7,12 +7,12 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "util/seq_set.hpp"
+#include "util/status.hpp"
 #include "util/types.hpp"
 
 namespace evs::wire {
@@ -98,13 +98,21 @@ class Reader {
 
 std::uint32_t crc32(std::span<const std::uint8_t> data);
 
-/// Wrap a message body in a length+checksum frame.
-std::vector<std::uint8_t> seal_frame(std::span<const std::uint8_t> body);
+/// Largest frame body seal_frame will produce and open_frame will accept.
+/// Far above any protocol message; a declared length beyond it is either
+/// corruption or API misuse, and rejecting it early keeps a hostile header
+/// from looking like a multi-gigabyte body.
+inline constexpr std::size_t kMaxFrameBody = 16u << 20;  // 16 MiB
 
-/// Validate a frame and return a view of its body, or nullopt if the frame
-/// is truncated, has trailing bytes, or fails the checksum. Never throws,
-/// never allocates, never asserts: this is the hostile-byte boundary.
-std::optional<std::span<const std::uint8_t>> open_frame(
+/// Wrap a message body in a length+checksum frame. Fails with
+/// Errc::payload_too_large when the body exceeds kMaxFrameBody.
+Expected<std::vector<std::uint8_t>> seal_frame(std::span<const std::uint8_t> body);
+
+/// Validate a frame and return a view of its body, or the machine-readable
+/// reason it was rejected (Errc::truncated_frame, trailing_bytes,
+/// crc_mismatch, payload_too_large). Never throws, never allocates, never
+/// asserts: this is the hostile-byte boundary.
+Expected<std::span<const std::uint8_t>> open_frame(
     std::span<const std::uint8_t> frame);
 
 }  // namespace evs::wire

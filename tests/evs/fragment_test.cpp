@@ -21,7 +21,7 @@ struct FragRig {
       nodes.push_back(std::make_unique<FragmentNode>(
           cluster.node(i), FragmentNode::Options{max_fragment}));
       auto* dst = &delivered[i];
-      nodes[i]->set_deliver_handler(
+      nodes[i]->set_on_deliver(
           [dst](const FragmentNode::LargeDelivery& d) { dst->push_back(d); });
     }
   }
@@ -36,7 +36,7 @@ std::vector<std::uint8_t> pattern(std::size_t n) {
 TEST(FragmentTest, SmallPayloadSingleFragment) {
   FragRig rig(2, 1024);
   ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
-  rig.nodes[0]->send(Service::Agreed, pattern(100));
+  rig.nodes[0]->send_large(Service::Agreed, pattern(100)).value();
   ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
   ASSERT_EQ(rig.delivered[1].size(), 1u);
   EXPECT_EQ(rig.delivered[1][0].fragments, 1u);
@@ -48,7 +48,7 @@ TEST(FragmentTest, LargePayloadSplitsAndReassembles) {
   FragRig rig(3, 256);
   ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
   const auto payload = pattern(10'000);  // 40 fragments
-  const auto id = rig.nodes[0]->send(Service::Safe, payload);
+  const auto id = rig.nodes[0]->send_large(Service::Safe, payload).value();
   ASSERT_TRUE(rig.cluster.await_quiesce(5'000'000));
   for (std::size_t i = 0; i < 3; ++i) {
     ASSERT_EQ(rig.delivered[i].size(), 1u) << i;
@@ -63,7 +63,7 @@ TEST(FragmentTest, LargePayloadSplitsAndReassembles) {
 TEST(FragmentTest, ExactMultipleOfChunkSize) {
   FragRig rig(2, 100);
   ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
-  rig.nodes[0]->send(Service::Agreed, pattern(300));
+  rig.nodes[0]->send_large(Service::Agreed, pattern(300)).value();
   ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
   ASSERT_EQ(rig.delivered[1].size(), 1u);
   EXPECT_EQ(rig.delivered[1][0].fragments, 3u);
@@ -73,7 +73,7 @@ TEST(FragmentTest, ExactMultipleOfChunkSize) {
 TEST(FragmentTest, EmptyPayloadStillDelivered) {
   FragRig rig(2, 64);
   ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
-  rig.nodes[1]->send(Service::Agreed, {});
+  rig.nodes[1]->send_large(Service::Agreed, {}).value();
   ASSERT_TRUE(rig.cluster.await_quiesce(3'000'000));
   ASSERT_EQ(rig.delivered[0].size(), 1u);
   EXPECT_TRUE(rig.delivered[0][0].payload.empty());
@@ -85,8 +85,8 @@ TEST(FragmentTest, InterleavedSendersReassembleIndependently) {
   const auto a = pattern(1'000);
   auto b = pattern(2'000);
   for (auto& x : b) x ^= 0xFF;
-  rig.nodes[0]->send(Service::Agreed, a);
-  rig.nodes[1]->send(Service::Agreed, b);
+  rig.nodes[0]->send_large(Service::Agreed, a).value();
+  rig.nodes[1]->send_large(Service::Agreed, b).value();
   ASSERT_TRUE(rig.cluster.await_quiesce(4'000'000));
   ASSERT_EQ(rig.delivered[2].size(), 2u);
   // Reassembled payloads are intact regardless of fragment interleaving.
@@ -104,8 +104,9 @@ TEST(FragmentTest, AllMembersAgreeOnLogicalDeliverySet) {
   FragRig rig(4, 200);
   ASSERT_TRUE(rig.cluster.await_stable(3'000'000));
   for (int i = 0; i < 6; ++i) {
-    rig.nodes[static_cast<std::size_t>(i % 4)]->send(Service::Safe,
-                                                     pattern(500 + 100 * static_cast<std::size_t>(i)));
+    rig.nodes[static_cast<std::size_t>(i % 4)]
+        ->send_large(Service::Safe, pattern(500 + 100 * static_cast<std::size_t>(i)))
+        .value();
   }
   ASSERT_TRUE(rig.cluster.await_quiesce(5'000'000));
   for (std::size_t i = 1; i < 4; ++i) {
@@ -130,12 +131,12 @@ TEST(FragmentTest, ReassemblySurvivesMessageLoss) {
     nodes.push_back(std::make_unique<FragmentNode>(cluster.node(i),
                                                    FragmentNode::Options{128}));
     auto* dst = &got[i];
-    nodes[i]->set_deliver_handler(
+    nodes[i]->set_on_deliver(
         [dst](const FragmentNode::LargeDelivery& d) { dst->push_back(d); });
   }
   ASSERT_TRUE(cluster.await_stable(10'000'000));
   const auto payload = pattern(4'000);  // 32 fragments, some will be lost+retx
-  nodes[0]->send(Service::Safe, payload);
+  nodes[0]->send_large(Service::Safe, payload).value();
   ASSERT_TRUE(cluster.await_quiesce(30'000'000));
   for (std::size_t i = 0; i < 3; ++i) {
     ASSERT_EQ(got[i].size(), 1u) << i;
@@ -151,7 +152,7 @@ TEST(FragmentTest, StrandedFragmentsPurgedConsistently) {
   // Flood with multi-fragment messages and cut the network mid-stream; some
   // logical messages will straddle the configuration change.
   for (int i = 0; i < 10; ++i) {
-    rig.nodes[static_cast<std::size_t>(i % 4)]->send(Service::Agreed, pattern(2'000));
+    rig.nodes[static_cast<std::size_t>(i % 4)]->send_large(Service::Agreed, pattern(2'000)).value();
   }
   rig.cluster.run_for(700);
   rig.cluster.partition({{0, 1}, {2, 3}});

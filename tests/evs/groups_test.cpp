@@ -26,9 +26,9 @@ struct GroupRig {
       nodes.push_back(std::make_unique<GroupNode>(cluster.node(i)));
       auto* dst = &delivered[i];
       auto* vw = &views[i];
-      nodes[i]->set_deliver_handler(
+      nodes[i]->set_on_deliver(
           [dst](const GroupNode::GroupDelivery& d) { dst->push_back(d); });
-      nodes[i]->set_view_handler(
+      nodes[i]->set_on_view_change(
           [vw](const GroupNode::GroupView& v) { vw->push_back(v); });
     }
   }

@@ -20,12 +20,12 @@ TEST(NodeTest, StartInstallsSingletonRegularConfig) {
 TEST(NodeTest, MessageIdsAreUniqueAcrossIncarnations) {
   Cluster cluster(Cluster::Options{.num_processes = 1});
   cluster.await_stable(1'000'000);
-  const MsgId first = cluster.node(0u).send(Service::Agreed, {1});
+  const MsgId first = cluster.node(0u).send(Service::Agreed, {1}).value();
   cluster.await_quiesce(1'000'000);
   cluster.crash(cluster.pid(0));
   cluster.recover(cluster.pid(0));
   cluster.await_stable(1'000'000);
-  const MsgId second = cluster.node(0u).send(Service::Agreed, {2});
+  const MsgId second = cluster.node(0u).send(Service::Agreed, {2}).value();
   EXPECT_EQ(first.sender, second.sender);
   EXPECT_NE(first.counter, second.counter);
   // Incarnation is folded into the high bits of the counter.
@@ -63,7 +63,7 @@ TEST(NodeTest, PendingSendsDrainInOrder) {
   cluster.await_stable(2'000'000);
   std::vector<MsgId> sent;
   for (int i = 0; i < 5; ++i) {
-    sent.push_back(cluster.node(0u).send(Service::Agreed, {static_cast<std::uint8_t>(i)}));
+    sent.push_back(cluster.node(0u).send(Service::Agreed, {static_cast<std::uint8_t>(i)}).value());
   }
   EXPECT_GT(cluster.node(0u).pending_sends(), 0u);
   cluster.await_quiesce(2'000'000);

@@ -34,7 +34,7 @@ TEST(Fig6Scenario, ConfigurationSequenceMatchesThePaper) {
   ASSERT_EQ(cluster.node(3u).config().members.size(), 2u);
 
   // Traffic inside {p,q,r} so the old configuration has a history.
-  auto early = cluster.node(1u).send(Service::Agreed, payload(1));
+  auto early = cluster.node(1u).send(Service::Agreed, payload(1)).value();
   ASSERT_TRUE(cluster.await_quiesce(2'000'000));
   ASSERT_TRUE(cluster.sink(2u).delivered(early));
 
@@ -148,8 +148,8 @@ TEST(Fig6Scenario, SendersDeliverTheirOwnPartitionEraMessages) {
   ASSERT_TRUE(cluster.await_stable(3'000'000));
 
   // q and r send; then the configuration changes underneath them.
-  auto from_q = cluster.node(1u).send(Service::Agreed, payload(2));
-  auto from_r = cluster.node(2u).send(Service::Safe, payload(3));
+  auto from_q = cluster.node(1u).send(Service::Agreed, payload(2)).value();
+  auto from_r = cluster.node(2u).send(Service::Safe, payload(3)).value();
   cluster.run_for(600);  // stamped, possibly not yet safe everywhere
   cluster.partition({{0}, {1, 2, 3, 4}});
   ASSERT_TRUE(cluster.await_quiesce(3'000'000));

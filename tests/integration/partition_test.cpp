@@ -23,8 +23,8 @@ TEST(PartitionTest, BothComponentsContinueOperating) {
             (std::vector<ProcessId>{cluster.pid(2), cluster.pid(3)}));
 
   // Both components make progress — the whole point of EVS over VS.
-  auto a = cluster.node(0u).send(Service::Safe, payload(1));
-  auto b = cluster.node(2u).send(Service::Safe, payload(2));
+  auto a = cluster.node(0u).send(Service::Safe, payload(1)).value();
+  auto b = cluster.node(2u).send(Service::Safe, payload(2)).value();
   ASSERT_TRUE(cluster.await_quiesce(2'000'000));
   EXPECT_TRUE(cluster.sink(1u).delivered(a));
   EXPECT_TRUE(cluster.sink(3u).delivered(b));
@@ -59,8 +59,8 @@ TEST(PartitionTest, MergeAfterPartition) {
   ASSERT_TRUE(cluster.await_stable(2'000'000));
   cluster.partition({{0, 1}, {2, 3}});
   ASSERT_TRUE(cluster.await_stable(2'000'000));
-  auto a = cluster.node(0u).send(Service::Agreed, payload(1));
-  auto b = cluster.node(2u).send(Service::Agreed, payload(2));
+  auto a = cluster.node(0u).send(Service::Agreed, payload(1)).value();
+  auto b = cluster.node(2u).send(Service::Agreed, payload(2)).value();
   ASSERT_TRUE(cluster.await_quiesce(2'000'000));
 
   cluster.heal();
@@ -69,7 +69,7 @@ TEST(PartitionTest, MergeAfterPartition) {
   EXPECT_EQ(cluster.node(0u).config().id, cluster.node(3u).config().id);
 
   // Messages sent after the merge reach everyone.
-  auto c = cluster.node(1u).send(Service::Safe, payload(3));
+  auto c = cluster.node(1u).send(Service::Safe, payload(3)).value();
   ASSERT_TRUE(cluster.await_quiesce(2'000'000));
   for (std::size_t i = 0; i < 4; ++i) EXPECT_TRUE(cluster.sink(i).delivered(c)) << i;
 
@@ -87,7 +87,7 @@ TEST(PartitionTest, IsolatedSingletonKeepsWorking) {
   cluster.partition({{0}, {1, 2}});
   ASSERT_TRUE(cluster.await_stable(2'000'000));
   EXPECT_EQ(cluster.node(0u).config().members, std::vector<ProcessId>{cluster.pid(0)});
-  auto a = cluster.node(0u).send(Service::Safe, payload(9));
+  auto a = cluster.node(0u).send(Service::Safe, payload(9)).value();
   ASSERT_TRUE(cluster.await_quiesce(2'000'000));
   EXPECT_TRUE(cluster.sink(0u).delivered(a));  // self-delivery, Spec 3
   EXPECT_EQ(cluster.check_report(), "");
@@ -100,7 +100,7 @@ TEST(PartitionTest, MessagesInFlightAtPartitionAreResolved) {
   Cluster cluster(Cluster::Options{.num_processes = 4});
   ASSERT_TRUE(cluster.await_stable(2'000'000));
   for (int i = 0; i < 20; ++i) {
-    cluster.node(static_cast<std::size_t>(i % 4)).send(Service::Agreed, payload(0));
+    cluster.node(static_cast<std::size_t>(i % 4)).send(Service::Agreed, payload(0)).value();
   }
   cluster.run_for(400);  // a few packets leave, none fully ordered
   cluster.partition({{0, 1}, {2, 3}});
@@ -115,7 +115,7 @@ TEST(PartitionTest, SafeMessagePendingAtPartitionDeliveredInTransitional) {
   // configuration rather than the regular one.
   Cluster cluster(Cluster::Options{.num_processes = 3});
   ASSERT_TRUE(cluster.await_stable(2'000'000));
-  auto n = cluster.node(1u).send(Service::Safe, payload(5));
+  auto n = cluster.node(1u).send(Service::Safe, payload(5)).value();
   // Give the message time to be stamped and broadcast but partition before
   // the safety horizon (two full token rotations) passes everywhere.
   cluster.run_for(700);
@@ -136,13 +136,13 @@ TEST(PartitionTest, CascadedPartitions) {
   ASSERT_TRUE(cluster.await_stable(3'000'000));
   cluster.partition({{0, 1, 2}, {3, 4, 5}});
   ASSERT_TRUE(cluster.await_stable(3'000'000));
-  cluster.node(0u).send(Service::Safe, payload(1));
-  cluster.node(3u).send(Service::Safe, payload(2));
+  cluster.node(0u).send(Service::Safe, payload(1)).value();
+  cluster.node(3u).send(Service::Safe, payload(2)).value();
   ASSERT_TRUE(cluster.await_quiesce(2'000'000));
   cluster.partition({{0}, {1, 2}, {3}, {4, 5}});
   ASSERT_TRUE(cluster.await_stable(3'000'000));
-  cluster.node(1u).send(Service::Agreed, payload(3));
-  cluster.node(4u).send(Service::Agreed, payload(4));
+  cluster.node(1u).send(Service::Agreed, payload(3)).value();
+  cluster.node(4u).send(Service::Agreed, payload(4)).value();
   ASSERT_TRUE(cluster.await_quiesce(2'000'000));
   cluster.heal();
   ASSERT_TRUE(cluster.await_stable(4'000'000));
@@ -157,7 +157,7 @@ TEST(CrashTest, CrashDetectedAndConfigurationShrinks) {
   ASSERT_TRUE(cluster.await_stable(2'000'000));
   EXPECT_EQ(cluster.node(0u).config().members,
             (std::vector<ProcessId>{cluster.pid(0), cluster.pid(1)}));
-  auto a = cluster.node(0u).send(Service::Safe, payload(1));
+  auto a = cluster.node(0u).send(Service::Safe, payload(1)).value();
   ASSERT_TRUE(cluster.await_quiesce(2'000'000));
   EXPECT_TRUE(cluster.sink(1u).delivered(a));
   EXPECT_EQ(cluster.check_report(), "");
@@ -173,7 +173,7 @@ TEST(CrashTest, RecoveredProcessKeepsIdentifierAndRejoins) {
   ASSERT_TRUE(cluster.await_stable(3'000'000)) << "recovered process never rejoined";
   EXPECT_EQ(cluster.node(0u).config().members.size(), 3u);
   EXPECT_TRUE(cluster.node(victim).config().contains(victim));
-  auto a = cluster.node(victim).send(Service::Safe, payload(1));
+  auto a = cluster.node(victim).send(Service::Safe, payload(1)).value();
   ASSERT_TRUE(cluster.await_quiesce(2'000'000));
   EXPECT_TRUE(cluster.sink(0u).delivered(a));
   EXPECT_EQ(cluster.check_report(), "");
@@ -184,7 +184,7 @@ TEST(CrashTest, CrashDuringBurstStaysConsistent) {
   ASSERT_TRUE(cluster.await_stable(2'000'000));
   for (int i = 0; i < 40; ++i) {
     cluster.node(static_cast<std::size_t>(i % 4))
-        .send(i % 2 == 0 ? Service::Safe : Service::Agreed, payload(0));
+        .send(i % 2 == 0 ? Service::Safe : Service::Agreed, payload(0)).value();
   }
   cluster.run_for(900);
   cluster.crash(cluster.pid(3));
@@ -198,7 +198,7 @@ TEST(CrashTest, CrashDuringBurstStaysConsistent) {
 TEST(CrashTest, AllCrashAllRecover) {
   Cluster cluster(Cluster::Options{.num_processes = 3});
   ASSERT_TRUE(cluster.await_stable(2'000'000));
-  for (std::size_t i = 0; i < 3; ++i) cluster.node(i).send(Service::Safe, payload(1));
+  for (std::size_t i = 0; i < 3; ++i) cluster.node(i).send(Service::Safe, payload(1)).value();
   ASSERT_TRUE(cluster.await_quiesce(2'000'000));
   for (std::size_t i = 0; i < 3; ++i) cluster.crash(cluster.pid(i));
   cluster.run_for(50'000);

@@ -15,7 +15,7 @@ TEST(SmokeTest, SingleNodeBootsAndSelfDelivers) {
   opts.num_processes = 1;
   Cluster cluster(opts);
   ASSERT_TRUE(cluster.await_stable(500'000)) << "node never became operational";
-  auto id = cluster.node(0u).send(Service::Safe, payload(1));
+  auto id = cluster.node(0u).send(Service::Safe, payload(1)).value();
   ASSERT_TRUE(cluster.await_quiesce(500'000));
   EXPECT_TRUE(cluster.sink(0u).delivered(id));
   EXPECT_EQ(cluster.check_report(), "");
@@ -36,7 +36,7 @@ TEST(SmokeTest, AgreedMessagesDeliveredEverywhereInOrder) {
   std::vector<MsgId> ids;
   for (int i = 0; i < 10; ++i) {
     ids.push_back(cluster.node(static_cast<std::size_t>(i % 3))
-                      .send(Service::Agreed, payload(static_cast<std::uint8_t>(i))));
+                      .send(Service::Agreed, payload(static_cast<std::uint8_t>(i))).value());
   }
   ASSERT_TRUE(cluster.await_quiesce(2'000'000));
   // Every node delivered every message, and in the same order.
@@ -53,7 +53,7 @@ TEST(SmokeTest, SafeMessagesDeliveredEverywhere) {
   ASSERT_TRUE(cluster.await_stable(2'000'000));
   std::vector<MsgId> ids;
   for (int i = 0; i < 5; ++i) {
-    ids.push_back(cluster.node(0u).send(Service::Safe, payload(1)));
+    ids.push_back(cluster.node(0u).send(Service::Safe, payload(1)).value());
   }
   ASSERT_TRUE(cluster.await_quiesce(2'000'000));
   for (std::size_t n = 0; n < 4; ++n) {
@@ -69,7 +69,7 @@ TEST(SmokeTest, MixedServicesRespectTotalOrder) {
     const Service s = i % 3 == 0   ? Service::Safe
                       : i % 3 == 1 ? Service::Agreed
                                    : Service::Causal;
-    cluster.node(static_cast<std::size_t>(i % 3)).send(s, payload(0));
+    cluster.node(static_cast<std::size_t>(i % 3)).send(s, payload(0)).value();
   }
   ASSERT_TRUE(cluster.await_quiesce(2'000'000));
   EXPECT_EQ(cluster.sink(0u).deliveries.size(), 30u);
@@ -82,7 +82,7 @@ TEST(SmokeTest, TrafficWhileStabilizingIsEventuallyDelivered) {
   // Send before the cluster has merged: messages are stamped in whatever
   // configuration the sender is in at token time and must self-deliver.
   Cluster cluster(Cluster::Options{.num_processes = 3});
-  auto id = cluster.node(0u).send(Service::Agreed, payload(7));
+  auto id = cluster.node(0u).send(Service::Agreed, payload(7)).value();
   ASSERT_TRUE(cluster.await_quiesce(3'000'000));
   EXPECT_TRUE(cluster.sink(0u).delivered(id));
   EXPECT_EQ(cluster.check_report(), "");

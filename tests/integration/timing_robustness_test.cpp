@@ -15,6 +15,9 @@ TEST(TimingRobustnessTest, TightTokenTimeoutChurnsButStaysConformant) {
   opts.num_processes = 8;
   opts.seed = 5;
   opts.node.token_loss_timeout_us = 2'500;
+  // Keep the retransmit budget inside the tightened loss timeout
+  // (Options::validate() rejects limit * interval >= loss timeout).
+  opts.node.token_retransmit_interval_us = 500;
   Cluster cluster(opts);
   Rng rng(5);
   cluster.run_for(300'000);
@@ -51,13 +54,13 @@ TEST(TimingRobustnessTest, InstantCrashRecoverIsHandled) {
   // the crash before the new incarnation's beacon arrives.
   Cluster cluster(Cluster::Options{.num_processes = 3, .seed = 7});
   ASSERT_TRUE(cluster.await_stable(3'000'000));
-  cluster.node(0u).send(Service::Safe, {1});
+  cluster.node(0u).send(Service::Safe, {1}).value();
   ASSERT_TRUE(cluster.await_quiesce(3'000'000));
   cluster.crash(cluster.pid(2));
   cluster.recover(cluster.pid(2));  // same event horizon, no detection gap
   ASSERT_TRUE(cluster.await_stable(6'000'000));
   EXPECT_EQ(cluster.node(0u).config().members.size(), 3u);
-  auto id = cluster.node(2u).send(Service::Safe, {2});
+  auto id = cluster.node(2u).send(Service::Safe, {2}).value();
   ASSERT_TRUE(cluster.await_quiesce(3'000'000));
   EXPECT_TRUE(cluster.sink(0u).delivered(id));
   EXPECT_EQ(cluster.check_report(), "");
@@ -93,7 +96,7 @@ TEST(TimingRobustnessTest, ZeroDelayNetwork) {
   Cluster cluster(opts);
   ASSERT_TRUE(cluster.await_stable(3'000'000));
   for (int i = 0; i < 20; ++i) {
-    cluster.node(static_cast<std::size_t>(i % 3)).send(Service::Safe, {1});
+    cluster.node(static_cast<std::size_t>(i % 3)).send(Service::Safe, {1}).value();
   }
   ASSERT_TRUE(cluster.await_quiesce(3'000'000));
   EXPECT_EQ(cluster.sink(0u).deliveries.size(), 20u);

@@ -1,0 +1,181 @@
+// JSON layer tests: writer/parser round-trips (including escaping and
+// member ordering), the metrics/snapshot/report validators on both valid
+// and malformed documents, and the real exporters feeding the validators.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "testkit/cluster.hpp"
+#include "testkit/report.hpp"
+
+namespace evs::obs {
+namespace {
+
+TEST(JsonWriter, WritesNestedStructures) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("a", std::uint64_t{1});
+  w.key("b").begin_array();
+  w.value(std::int64_t{-2});
+  w.value("three");
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[-2,"three",true,null]})");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("k", "a\"b\\c\n\t\x01z");
+  w.end_object();
+  const std::string out = w.take();
+  EXPECT_EQ(out, "{\"k\":\"a\\\"b\\\\c\\n\\t\\u0001z\"}");
+  // And the parser undoes exactly that escaping.
+  const auto v = JsonValue::parse(out);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("k")->string, "a\"b\\c\n\t\x01z");
+}
+
+TEST(JsonValue, RoundTripPreservesMemberOrder) {
+  const auto v = JsonValue::parse(R"({"zebra":1,"alpha":2,"zebra":3})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->object.size(), 3u);
+  EXPECT_EQ(v->object[0].first, "zebra");  // source order, not sorted
+  EXPECT_EQ(v->object[1].first, "alpha");
+  EXPECT_EQ(v->find("zebra")->number, 1);  // find() = first occurrence
+}
+
+TEST(JsonValue, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::parse("").has_value());
+  EXPECT_FALSE(JsonValue::parse("{").has_value());
+  EXPECT_FALSE(JsonValue::parse("{}{}").has_value());  // trailing garbage
+  EXPECT_FALSE(JsonValue::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1,]").has_value());
+  EXPECT_FALSE(JsonValue::parse("'single'").has_value());
+}
+
+MetricsRegistry sample_registry() {
+  MetricsRegistry r;
+  r.counter("evs.sent").inc(3);
+  r.gauge("evs.pending_sends").set(2);
+  r.histogram("evs.gather_us").record(1'500);
+  r.histogram("evs.gather_us").record(40);
+  return r;
+}
+
+TEST(MetricsJson, RoundTripsAndValidates) {
+  const std::string doc = metrics_json(sample_registry());
+  const auto v = JsonValue::parse(doc);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(validate_metrics_json(*v).ok());
+  EXPECT_EQ(v->find("counters")->find("evs.sent")->number, 3);
+  EXPECT_EQ(v->find("gauges")->find("evs.pending_sends")->number, 2);
+  const JsonValue* h = v->find("histograms")->find("evs.gather_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->find("count")->number, 2);
+  EXPECT_EQ(h->find("sum")->number, 1'540);
+  EXPECT_EQ(h->find("min")->number, 40);
+  EXPECT_EQ(h->find("max")->number, 1'500);
+  // Buckets are sparse: exactly the two non-empty ones appear.
+  EXPECT_EQ(h->find("buckets")->object.size(), 2u);
+}
+
+TEST(MetricsJson, ValidatorRejectsShapeErrors) {
+  auto check = [](const char* doc) {
+    const auto v = JsonValue::parse(doc);
+    EXPECT_TRUE(v.has_value()) << doc;
+    return validate_metrics_json(*v);
+  };
+  EXPECT_FALSE(check(R"({"gauges":{},"histograms":{}})").ok());  // no counters
+  EXPECT_FALSE(check(R"({"counters":[],"gauges":{},"histograms":{}})").ok());
+  EXPECT_FALSE(  // counter member must be a number
+      check(R"({"counters":{"x":"1"},"gauges":{},"histograms":{}})").ok());
+  EXPECT_FALSE(  // histogram missing a required field (no "sum")
+      check(R"({"counters":{},"gauges":{},"histograms":{"h":{"count":1,"min":0,"max":0,"p50":0,"p99":0,"buckets":{}}}})")
+          .ok());
+  EXPECT_FALSE(  // histogram bucket values must be numbers
+      check(R"({"counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":0,"min":0,"max":0,"p50":0,"p99":0,"buckets":{"3":[]}}}})")
+          .ok());
+  EXPECT_TRUE(check(R"({"counters":{},"gauges":{},"histograms":{}})").ok());
+}
+
+TEST(SnapshotJson, RealClusterSnapshotValidates) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.await_stable());
+  cluster.node(0).send(Service::Agreed, {1}).value();
+  ASSERT_TRUE(cluster.await_quiesce());
+  const std::string doc = cluster.snapshot().to_json();
+  EXPECT_TRUE(validate_document(doc).ok()) << validate_document(doc).message();
+
+  const auto v = JsonValue::parse(doc);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("schema")->string, "evs.obs.snapshot");
+  EXPECT_EQ(v->find("version")->number, 1);
+  EXPECT_EQ(v->find("nodes")->array.size(), cluster.size());
+  // The text report is the same snapshot, rendered for humans.
+  const std::string text = cluster.snapshot().to_text();
+  EXPECT_NE(text.find("delivered="), std::string::npos);
+  EXPECT_NE(text.find("(no injector installed)"), std::string::npos);
+}
+
+TEST(SnapshotJson, ValidatorRejectsHeaderAndShapeErrors) {
+  auto reject = [](const char* doc) {
+    const auto v = JsonValue::parse(doc);
+    ASSERT_TRUE(v.has_value()) << doc;
+    EXPECT_FALSE(validate_snapshot_json(*v).ok()) << doc;
+  };
+  reject(R"({"version":1,"time_us":0,"nodes":[]})");  // missing schema
+  reject(R"({"schema":"evs.obs.snapshot","version":2,"time_us":0,"nodes":[]})");
+  reject(R"({"schema":"evs.obs.snapshot","version":1,"nodes":[]})");  // no time
+  reject(R"({"schema":"evs.obs.snapshot","version":1,"time_us":0})");  // no nodes
+  reject(  // node entry without a pid
+      R"({"schema":"evs.obs.snapshot","version":1,"time_us":0,"nodes":[{"state":"Down"}]})");
+}
+
+TEST(ReportJson, BenchReportShapeValidates) {
+  // The same document shape every bench_* binary emits via bench_report.hpp.
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "evs.obs.report");
+  w.kv("version", 1);
+  w.kv("source", "bench_unit_test");
+  w.key("runs").begin_array();
+  w.begin_object();
+  w.kv("name", "BM_Sample/4");
+  w.key("metrics");
+  write_metrics(w, sample_registry());
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(validate_document(w.str()).ok())
+      << validate_document(w.str()).message();
+}
+
+TEST(ReportJson, ValidatorRejectsIncompleteRuns) {
+  auto reject = [](const char* doc) {
+    const auto v = JsonValue::parse(doc);
+    ASSERT_TRUE(v.has_value()) << doc;
+    EXPECT_FALSE(validate_report_json(*v).ok()) << doc;
+  };
+  reject(R"({"schema":"evs.obs.report","version":1,"runs":[]})");  // no source
+  reject(R"({"schema":"evs.obs.report","version":1,"source":"b"})");  // no runs
+  reject(  // run without a name
+      R"({"schema":"evs.obs.report","version":1,"source":"b","runs":[{"metrics":{"counters":{},"gauges":{},"histograms":{}}}]})");
+  reject(  // run without metrics
+      R"({"schema":"evs.obs.report","version":1,"source":"b","runs":[{"name":"r"}]})");
+}
+
+TEST(ValidateDocument, DispatchesOnSchemaTag) {
+  EXPECT_FALSE(validate_document("not json at all").ok());
+  EXPECT_FALSE(validate_document(R"({"no_schema":true})").ok());
+  const Status unknown = validate_document(R"({"schema":"evs.obs.mystery"})");
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.message().find("unknown schema"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace evs::obs

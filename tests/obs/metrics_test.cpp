@@ -1,0 +1,234 @@
+// Unit tests for the typed metrics layer (obs/metrics.hpp) plus the
+// determinism acceptance criterion: a fixed (seed, FaultPlan) run must
+// serialize to byte-identical snapshot JSON every time.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/faults.hpp"
+#include "testkit/cluster.hpp"
+
+namespace evs::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  MetricsRegistry r;
+  Counter& c = r.counter("x");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  EXPECT_EQ(r.counter_value("x"), 42u);
+  EXPECT_EQ(r.counter_value("never-created"), 0u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry r;
+  Gauge& g = r.gauge("depth");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(Histogram, Log2BucketBoundaries) {
+  // Bucket i holds samples needing exactly i significant bits: bucket 0 is
+  // {0}, bucket 1 is {1}, bucket 2 is {2,3}, bucket 3 is {4..7}, ...
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_of(~0ull), Histogram::kBuckets - 1);
+
+  EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper(3), 7u);
+  // Every sample lands inside its own bucket's bounds.
+  for (std::uint64_t s : {0ull, 1ull, 5ull, 100ull, 65'536ull, ~0ull}) {
+    const std::size_t b = Histogram::bucket_of(s);
+    EXPECT_LE(s, Histogram::bucket_upper(b)) << s;
+    if (b > 0) {
+      EXPECT_GT(s, Histogram::bucket_upper(b - 1)) << s;
+    }
+  }
+}
+
+TEST(Histogram, RecordTracksCountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);  // empty histogram reports 0, not ~0
+  h.record(10);
+  h.record(3);
+  h.record(500);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 513u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 500u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_of(10)), 1u);
+}
+
+TEST(Histogram, PercentileIsBucketUpperBound) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.record(4);  // bucket 3, upper 7
+  h.record(1'000'000);                       // lone outlier
+  EXPECT_EQ(h.percentile(50), 7u);
+  EXPECT_GE(h.percentile(100), 1'000'000u / 2);  // outlier's bucket upper
+  EXPECT_LE(h.percentile(0), 7u);
+}
+
+TEST(Histogram, MergeIsLossless) {
+  Histogram a, b;
+  a.record(5);
+  a.record(9);
+  b.record(1);
+  b.record(1'000);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 1'015u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 1'000u);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableReferences) {
+  MetricsRegistry r;
+  Counter& a = r.counter("a");
+  // Creating more instruments must not invalidate the earlier reference
+  // (instrumented code caches handles at wiring time).
+  for (int i = 0; i < 100; ++i) r.counter("c" + std::to_string(i));
+  a.inc();
+  EXPECT_EQ(&a, &r.counter("a"));
+  EXPECT_EQ(r.counter_value("a"), 1u);
+}
+
+TEST(MetricsRegistry, FindReturnsNullWhenAbsent) {
+  MetricsRegistry r;
+  EXPECT_EQ(r.find_counter("x"), nullptr);
+  EXPECT_EQ(r.find_gauge("x"), nullptr);
+  EXPECT_EQ(r.find_histogram("x"), nullptr);
+  r.counter("x").inc();
+  ASSERT_NE(r.find_counter("x"), nullptr);
+  EXPECT_EQ(r.find_counter("x")->value(), 1u);
+}
+
+TEST(MetricsRegistry, MergeFromAddsAllInstrumentKinds) {
+  MetricsRegistry a, b;
+  a.counter("c").inc(2);
+  b.counter("c").inc(3);
+  b.counter("only-b").inc(7);
+  a.gauge("g").set(10);
+  b.gauge("g").set(5);
+  a.histogram("h").record(4);
+  b.histogram("h").record(16);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_value("c"), 5u);
+  EXPECT_EQ(a.counter_value("only-b"), 7u);
+  EXPECT_EQ(a.find_gauge("g")->value(), 15);  // aggregated gauges are sums
+  EXPECT_EQ(a.find_histogram("h")->count(), 2u);
+  EXPECT_EQ(a.find_histogram("h")->sum(), 20u);
+}
+
+TEST(MetricsRegistry, EnumerationIsSorted) {
+  MetricsRegistry r;
+  r.counter("zebra").inc();
+  r.counter("alpha").inc();
+  r.counter("mid").inc();
+  std::vector<std::string> names;
+  for (const auto& [name, c] : r.counters()) names.push_back(name);
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zebra"}));
+}
+
+// --- Determinism acceptance: byte-identical snapshots across runs ---
+
+// One scripted adversarial scenario: storm faults, a partition, traffic on
+// both sides, a heal, more traffic. Returns the final snapshot JSON.
+std::string run_scenario() {
+  Cluster::Options opts;
+  opts.num_processes = 5;
+  opts.seed = 20'26;
+  opts.faults = FaultPlan::storm(0.05, 0.05, 0.02);
+  Cluster cluster(opts);
+  EXPECT_TRUE(cluster.await_stable());
+  cluster.node(0).send(Service::Agreed, {1, 2, 3}).value();
+  cluster.partition({{0, 1, 2}, {3, 4}});
+  EXPECT_TRUE(cluster.await_stable());
+  cluster.node(1).send(Service::Safe, {4, 5}).value();
+  cluster.node(3).send(Service::Agreed, {6}).value();
+  cluster.run_for(100'000);
+  cluster.heal();
+  EXPECT_TRUE(cluster.await_stable());
+  cluster.node(4).send(Service::Agreed, {7, 8}).value();
+  EXPECT_TRUE(cluster.await_quiesce());
+  return cluster.snapshot().to_json();
+}
+
+TEST(SnapshotDeterminism, FixedSeedAndFaultPlanGiveByteIdenticalJson) {
+  // The two clusters must not coexist: Log::set_time_source binds to the
+  // most recently constructed cluster, so each run lives in its own scope.
+  const std::string first = run_scenario();
+  const std::string second = run_scenario();
+  EXPECT_EQ(first, second);
+  // The snapshot is non-trivial: it must actually carry protocol metrics.
+  EXPECT_NE(first.find("\"evs.delivered\""), std::string::npos);
+  EXPECT_NE(first.find("\"evs.obs.snapshot\""), std::string::npos);
+  EXPECT_NE(first.find("\"faults\""), std::string::npos);
+}
+
+TEST(SnapshotDeterminism, DifferentSeedsDiverge) {
+  auto run_with_seed = [](std::uint64_t seed) {
+    Cluster::Options opts;
+    opts.num_processes = 4;
+    opts.seed = seed;
+    opts.net.loss_probability = 0.05;
+    Cluster cluster(opts);
+    EXPECT_TRUE(cluster.await_stable());
+    for (int i = 0; i < 10; ++i) {
+      cluster.node(static_cast<std::size_t>(i) % 4)
+          .send(Service::Agreed, {static_cast<std::uint8_t>(i)})
+          .value();
+    }
+    EXPECT_TRUE(cluster.await_quiesce());
+    return cluster.snapshot().to_json();
+  };
+  // Sanity check that the byte-compare above is meaningful: under loss,
+  // different seeds should take observably different paths.
+  EXPECT_NE(run_with_seed(1), run_with_seed(2));
+}
+
+TEST(ClusterMetrics, AggregateSumsNodeAndNetworkRegistries) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.await_stable());
+  cluster.node(0).send(Service::Agreed, {1}).value();
+  ASSERT_TRUE(cluster.await_quiesce());
+
+  std::uint64_t delivered = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    delivered += cluster.node(i).metrics().counter_value("evs.delivered");
+  }
+  const MetricsRegistry agg = cluster.aggregate_metrics();
+  EXPECT_EQ(agg.counter_value("evs.delivered"), delivered);
+  EXPECT_EQ(delivered, cluster.size());  // one agreed message, all deliver
+  // The network's registry is folded in too.
+  EXPECT_GT(agg.counter_value("net.deliveries"), 0u);
+}
+
+TEST(ClusterMetrics, NodeRegistryMatchesLegacyStats) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.await_stable());
+  cluster.node(0).send(Service::Agreed, {9}).value();
+  ASSERT_TRUE(cluster.await_quiesce());
+  const EvsNode::Stats s = cluster.node(0).stats();
+  const MetricsRegistry& m = cluster.node(0).metrics();
+  EXPECT_EQ(m.counter_value("evs.sent"), s.sent);
+  EXPECT_EQ(m.counter_value("evs.delivered"), s.delivered);
+  EXPECT_EQ(m.counter_value("evs.conf_changes"), s.conf_changes);
+  EXPECT_EQ(m.counter_value("evs.gathers"), s.gathers);
+  EXPECT_EQ(m.counter_value("evs.tokens_handled"), s.tokens_handled);
+}
+
+}  // namespace
+}  // namespace evs::obs

@@ -99,13 +99,13 @@ TEST(FaultInjectorTest, TokenLossPlanTargetsOnlyTokenFrames) {
   TokenMsg token;
   token.ring = RingId{1, ProcessId{1}};
   token.rotation = 1;
-  std::vector<std::uint8_t> token_frame = wire::seal_frame(encode_msg(token));
+  std::vector<std::uint8_t> token_frame = wire::seal_frame(encode_msg(token)).value();
   const auto token_action = inj.apply(ProcessId{1}, ProcessId{2}, 0, token_frame);
   EXPECT_TRUE(token_action.drop);
   EXPECT_EQ(inj.stats().token_dropped, 1u);
 
   std::vector<std::uint8_t> beacon_frame =
-      wire::seal_frame(encode_msg(BeaconMsg{ProcessId{1}, RingId{1, ProcessId{1}}}));
+      wire::seal_frame(encode_msg(BeaconMsg{ProcessId{1}, RingId{1, ProcessId{1}}})).value();
   const auto beacon_action = inj.apply(ProcessId{1}, ProcessId{2}, 0, beacon_frame);
   EXPECT_FALSE(beacon_action.drop);
 }

@@ -48,7 +48,7 @@ TEST(ClusterTest, StableIgnoresCrashedNodes) {
 TEST(ClusterTest, SinkHelpersFindDeliveries) {
   Cluster cluster(Cluster::Options{.num_processes = 2});
   ASSERT_TRUE(cluster.await_stable(3'000'000));
-  const MsgId id = cluster.node(0u).send(Service::Agreed, {1, 2});
+  const MsgId id = cluster.node(0u).send(Service::Agreed, {1, 2}).value();
   ASSERT_TRUE(cluster.await_quiesce(3'000'000));
   const auto& sink = cluster.sink(1u);
   EXPECT_TRUE(sink.delivered(id));

@@ -22,11 +22,11 @@ struct MiniRing {
   // drop[receiver] = seqs that receiver must not get on first transmission.
   std::map<std::size_t, SeqSet> drop_first;
 
-  explicit MiniRing(std::size_t n) {
+  explicit MiniRing(std::size_t n, OrderingCore::Options opts = {}) {
     std::vector<ProcessId> members;
     for (std::size_t i = 1; i <= n; ++i) members.push_back(ProcessId{static_cast<std::uint32_t>(i)});
     for (std::size_t i = 0; i < n; ++i) {
-      cores.emplace_back(kRing, members, members[i]);
+      cores.emplace_back(kRing, members, members[i], opts);
     }
     pending.resize(n);
     token.ring = kRing;
@@ -125,10 +125,9 @@ TEST(OrderingEdgeTest, InterleavedSendersKeepTotalOrder) {
 }
 
 TEST(OrderingEdgeTest, FlowControlBackpressureDrainsOverVisits) {
-  MiniRing ring(2);
   OrderingCore::Options tight;
   tight.max_new_per_token = 2;
-  ring.cores[0] = OrderingCore(kRing, {ProcessId{1}, ProcessId{2}}, ProcessId{1}, tight);
+  MiniRing ring(2, tight);
   for (SeqNum i = 1; i <= 7; ++i) ring.queue(0, i);
   ring.step();  // visit 1: 2 stamped
   EXPECT_EQ(ring.pending[0].size(), 5u);

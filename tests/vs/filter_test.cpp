@@ -27,7 +27,7 @@ TEST(VsFilterTest, MessagesDeliveredInSameViewEverywhere) {
   VsCluster cluster(VsCluster::Options{.num_processes = 3});
   ASSERT_TRUE(cluster.await_stable(4'000'000));
   auto id = cluster.node(0u).send(payload(1));
-  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(id.ok());
   ASSERT_TRUE(cluster.await_quiesce(4'000'000));
   for (std::size_t i = 0; i < 3; ++i) {
     const VsDelivery* d = cluster.sink(i).find(*id);
@@ -47,10 +47,10 @@ TEST(VsFilterTest, MinorityComponentBlocks) {
   EXPECT_FALSE(cluster.node(3u).in_primary());
   EXPECT_FALSE(cluster.node(4u).in_primary());
   // Rule 2: blocked processes do not accept sends.
-  EXPECT_FALSE(cluster.node(3u).send(payload(1)).has_value());
+  EXPECT_FALSE(cluster.node(3u).send(payload(1)).ok());
   // The majority side keeps delivering.
   auto id = cluster.node(0u).send(payload(2));
-  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(id.ok());
   ASSERT_TRUE(cluster.await_quiesce(4'000'000));
   EXPECT_TRUE(cluster.sink(1u).delivered(*id));
   EXPECT_FALSE(cluster.sink(3u).delivered(*id));
@@ -103,7 +103,7 @@ TEST(VsFilterTest, CrashedProcessStopsAndRejoins) {
   EXPECT_TRUE(cluster.node(2u).in_primary());
   EXPECT_GT(vs_incarnation_of(cluster.node(2u).vs_identity()), 0u);
   auto id = cluster.node(2u).send(payload(3));
-  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(id.ok());
   ASSERT_TRUE(cluster.await_quiesce(4'000'000));
   EXPECT_TRUE(cluster.sink(0u).delivered(*id));
   EXPECT_EQ(cluster.check_report(), "");

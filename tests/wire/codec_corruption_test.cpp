@@ -82,9 +82,9 @@ std::vector<std::vector<std::uint8_t>> sample_bodies() {
 
 TEST(CodecCorruptionTest, SealOpenRoundTripsEveryMessageKind) {
   for (const auto& body : sample_bodies()) {
-    const auto frame = wire::seal_frame(body);
+    const auto frame = wire::seal_frame(body).value();
     const auto opened = wire::open_frame(frame);
-    ASSERT_TRUE(opened.has_value());
+    ASSERT_TRUE(opened.ok());
     EXPECT_EQ(std::vector<std::uint8_t>(opened->begin(), opened->end()), body);
     EXPECT_TRUE(try_decode(*opened).has_value());
   }
@@ -92,12 +92,12 @@ TEST(CodecCorruptionTest, SealOpenRoundTripsEveryMessageKind) {
 
 TEST(CodecCorruptionTest, EverySingleByteFlipIsRejected) {
   for (const auto& body : sample_bodies()) {
-    const auto frame = wire::seal_frame(body);
+    const auto frame = wire::seal_frame(body).value();
     for (std::size_t pos = 0; pos < frame.size(); ++pos) {
       for (std::uint8_t mask : {std::uint8_t{0xFF}, std::uint8_t{0x01}}) {
         auto corrupted = frame;
         corrupted[pos] ^= mask;
-        EXPECT_FALSE(wire::open_frame(corrupted).has_value())
+        EXPECT_FALSE(wire::open_frame(corrupted).ok())
             << "flip at offset " << pos << " mask " << int(mask) << " accepted";
       }
     }
@@ -106,15 +106,15 @@ TEST(CodecCorruptionTest, EverySingleByteFlipIsRejected) {
 
 TEST(CodecCorruptionTest, EveryTruncationAndExtensionIsRejected) {
   for (const auto& body : sample_bodies()) {
-    const auto frame = wire::seal_frame(body);
+    const auto frame = wire::seal_frame(body).value();
     for (std::size_t len = 0; len < frame.size(); ++len) {
       std::vector<std::uint8_t> truncated(frame.begin(),
                                           frame.begin() + static_cast<long>(len));
-      EXPECT_FALSE(wire::open_frame(truncated).has_value()) << "len " << len;
+      EXPECT_FALSE(wire::open_frame(truncated).ok()) << "len " << len;
     }
     auto extended = frame;
     extended.push_back(0);
-    EXPECT_FALSE(wire::open_frame(extended).has_value());
+    EXPECT_FALSE(wire::open_frame(extended).ok());
   }
 }
 

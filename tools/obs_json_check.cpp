@@ -1,0 +1,38 @@
+// obs_json_check: validate an obs JSON document against its schema.
+//
+// Usage: obs_json_check FILE...
+// Each file must parse as JSON and match one of the obs schemas
+// ("evs.obs.snapshot" or "evs.obs.report"); exits non-zero on the first
+// failure. The bench_smoke ctest targets run every bench binary on a tiny
+// workload with EVS_OBS_OUT set and pass the result through this checker,
+// so the exporters and the schema validators (obs/export.cpp) stay honest
+// against each other in tier-1.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: obs_json_check FILE...\n");
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const evs::Status st = evs::obs::validate_document(buf.str());
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], st.message().c_str());
+      return 1;
+    }
+    std::printf("%s: ok\n", argv[i]);
+  }
+  return 0;
+}

@@ -10,6 +10,8 @@
 // wall-clock additionally measures the simulator itself.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench_report.hpp"
 
 #include "testkit/cluster.hpp"
@@ -85,6 +87,71 @@ void BM_TokenRotation(benchmark::State& state) {
       rotations_per_sim_sec / static_cast<double>(rounds);
 }
 
+void BM_BoundedMemory(benchmark::State& state) {
+  // Bounded-memory acceptance run: push state.range(0) messages through a
+  // 3-node ring and report the peak resident store (messages and payload
+  // bytes) alongside what safety-horizon GC reclaimed. The claim under test:
+  // peak occupancy is a function of the flow-control window, not of the
+  // message volume — memory is O(window) while 10^6 messages stream by.
+  const auto total_messages = static_cast<int>(state.range(0));
+  constexpr std::uint32_t kWindow = 1024;
+  for (auto _ : state) {
+    Cluster::Options opts;
+    opts.num_processes = 3;
+    opts.seed = 99;
+    opts.node.ordering.flow_control_window = kWindow;
+    opts.node.ordering.max_new_per_token = 256;
+    opts.node.ordering.max_retransmit_per_token = 256;
+    opts.node.max_pending_sends = 4096;
+    Cluster cluster(opts);
+    if (!cluster.await_stable(20'000'000)) {
+      state.SkipWithError("cluster failed to stabilize");
+      return;
+    }
+    int sent = 0;
+    std::uint64_t rejected = 0;
+    std::size_t who = 0;
+    while (sent < total_messages) {
+      // Offer aggressively; backpressure (not an unbounded queue) is the
+      // designed answer when the ring lags the producer.
+      for (int burst = 0; burst < 2048 && sent < total_messages; ++burst) {
+        auto r = cluster.node(who++ % 3).send(Service::Agreed,
+                                              {1, 2, 3, 4, 5, 6, 7, 8});
+        if (r.ok()) {
+          ++sent;
+        } else {
+          ++rejected;
+        }
+      }
+      cluster.run_for(50'000);
+    }
+    if (!cluster.await_quiesce(120'000'000)) {
+      state.SkipWithError("cluster failed to quiesce");
+      return;
+    }
+    std::int64_t peak_msgs = 0;
+    std::int64_t peak_bytes = 0;
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      auto& m = cluster.node(i).metrics();
+      peak_msgs = std::max(peak_msgs, m.gauge("ordering.store_msgs_peak").value());
+      peak_bytes = std::max(peak_bytes, m.gauge("ordering.store_bytes_peak").value());
+    }
+    if (peak_msgs > 4 * static_cast<std::int64_t>(kWindow) + 64) {
+      state.SkipWithError("peak resident store exceeded the flow-control bound");
+      return;
+    }
+    auto agg = cluster.aggregate_metrics();
+    state.counters["messages"] = static_cast<double>(sent);
+    state.counters["peak_store_msgs"] = static_cast<double>(peak_msgs);
+    state.counters["peak_store_bytes"] = static_cast<double>(peak_bytes);
+    state.counters["gc_reclaimed"] =
+        static_cast<double>(agg.counter("ordering.gc_reclaimed").value());
+    state.counters["backpressure_rejections"] = static_cast<double>(rejected);
+    evs::bench::record(evs::bench::run_name("BM_BoundedMemory", {state.range(0)}),
+                       cluster);
+  }
+}
+
 void LatencyArgs(benchmark::internal::Benchmark* b) {
   for (int n : {2, 4, 8, 16, 32}) {
     b->Args({n, static_cast<int>(Service::Agreed)});
@@ -96,5 +163,6 @@ void LatencyArgs(benchmark::internal::Benchmark* b) {
 
 BENCHMARK(BM_DeliveryLatency)->Apply(LatencyArgs)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TokenRotation)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BoundedMemory)->Arg(1'000'000)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 EVS_BENCH_MAIN("bench_token_ring");

@@ -86,6 +86,16 @@ Status EvsNode::Options::validate() const {
     return fail("ordering.max_retransmit_per_token must be non-negative");
   if (ordering.max_rtr_entries == 0)
     return fail("ordering.max_rtr_entries must be positive");
+  if (ordering.max_rtr_entries > kMaxTokenRtr) {
+    // Otherwise we would emit tokens our own codec rejects (kMaxTokenRtr is
+    // the decode-side cardinality bound).
+    return fail("ordering.max_rtr_entries must not exceed kMaxTokenRtr");
+  }
+  if (ordering.flow_control_window <
+      static_cast<std::uint32_t>(ordering.max_new_per_token)) {
+    return fail("ordering.flow_control_window must be >= max_new_per_token");
+  }
+  if (max_pending_sends == 0) return fail("max_pending_sends must be positive");
   return Status{};
 }
 
@@ -105,6 +115,8 @@ EvsNode::Met::Met(obs::MetricsRegistry& r)
       stale_tokens(r.counter("evs.stale_tokens")),
       token_retransmits(r.counter("evs.token_retransmits")),
       send_errors(r.counter("evs.send_errors")),
+      backpressure_rejections(r.counter("evs.backpressure_rejections")),
+      pending_sends(r.gauge("evs.pending_sends")),
       gather_us(r.histogram("evs.gather_us")),
       recovery_us(r.histogram("evs.recovery_us")),
       token_rotation_us(r.histogram("evs.token_rotation_us")) {}
@@ -126,6 +138,7 @@ EvsNode::Stats EvsNode::stats() const {
   s.stale_tokens = met_.stale_tokens.value();
   s.token_retransmits = met_.token_retransmits.value();
   s.send_errors = met_.send_errors.value();
+  s.backpressure_rejections = met_.backpressure_rejections.value();
   return s;
 }
 
@@ -154,6 +167,12 @@ EvsNode::EvsNode(ProcessId id, Network& net, StableStore& store, TraceLog* trace
   const Status valid = opts_.validate();
   EVS_ASSERT_MSG(valid.ok(), valid.message().c_str());
   if (opts_.faults.skip_safe_horizon) opts_.ordering.deliver_unsafe = true;
+  // Pre-create the memory-bound gauges: obs snapshots must carry them (the
+  // schema validator checks) even before the first ring install.
+  metrics_.gauge("ordering.store_msgs");
+  metrics_.gauge("ordering.store_bytes");
+  metrics_.gauge("ordering.store_msgs_peak");
+  metrics_.gauge("ordering.store_bytes_peak");
 }
 
 EvsNode::~EvsNode() {
@@ -296,7 +315,7 @@ void EvsNode::recovery_local_plan_and_install(RingId new_ring) {
                                       : with_member(obligation_set_, self_);
   const Step6Plan plan =
       plan_step6(with_member({}, self_), old_received_, old_safe_upto_, obligations,
-                 lookup, old_delivered_upto_, old_delivered_extra_);
+                 lookup, old_delivered_upto_, old_delivered_extra_, old_gc_upto_);
   install_configuration(new_ring, {self_}, &plan);
 }
 
@@ -322,6 +341,8 @@ void EvsNode::crash() {
   recovery_.reset();
   my_exchange_.reset();
   pending_.clear();
+  backpressured_ = false;  // no drain callback across a crash
+  met_.pending_sends.set(0);
   new_ring_buffer_.clear();
   buffered_token_.reset();
 }
@@ -336,9 +357,29 @@ Expected<MsgId> EvsNode::send(Service service, std::vector<std::uint8_t> payload
     return Status::error(Errc::payload_too_large,
                          "payload exceeds Options::max_payload_bytes");
   }
+  if (pending_.size() >= opts_.max_pending_sends) {
+    // Fail fast instead of queueing without bound; the application retries
+    // after the drain callback (or any later moment of its choosing).
+    met_.send_errors.inc();
+    met_.backpressure_rejections.inc();
+    backpressured_ = true;
+    return Status::error(Errc::backpressure,
+                         "pending send queue at Options::max_pending_sends");
+  }
   MsgId id{self_, ++msg_counter_};
   pending_.push_back(PendingSend{id, service, std::move(payload)});
+  note_pending_sends();
   return id;
+}
+
+void EvsNode::note_pending_sends() {
+  met_.pending_sends.set(static_cast<std::int64_t>(pending_.size()));
+  if (backpressured_ && pending_.size() <= opts_.max_pending_sends / 2) {
+    // Half-cap hysteresis: waking producers at cap-minus-one would win them
+    // a single accepted send before the next rejection.
+    backpressured_ = false;
+    if (drain_handler_) drain_handler_();
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -445,6 +486,7 @@ void EvsNode::install_configuration(RingId new_ring, std::vector<ProcessId> memb
   old_received_ = SeqSet{};
   old_safe_upto_ = 0;
   old_delivered_upto_ = 0;
+  old_gc_upto_ = 0;
   old_delivered_extra_ = SeqSet{};
   obligation_set_.clear();  // step 1: no obligations in a regular configuration
 
@@ -501,10 +543,13 @@ void EvsNode::install_configuration(RingId new_ring, std::vector<ProcessId> memb
 void EvsNode::snapshot_old_ring() {
   EVS_ASSERT(core_.has_value());
   old_ring_ = core_->ring();
+  // all_messages() is the post-GC suffix; old_received_ keeps the full
+  // interval summary and old_gc_upto_ records how much of it is body-less.
   for (const RegularMsg& m : core_->all_messages()) old_msgs_.emplace(m.seq, m);
   old_received_.merge(core_->received());
   old_safe_upto_ = std::max(old_safe_upto_, core_->safe_upto());
   old_delivered_upto_ = std::max(old_delivered_upto_, core_->delivered_upto());
+  old_gc_upto_ = std::max(old_gc_upto_, core_->gc_upto());
   core_.reset();
 }
 
@@ -593,6 +638,7 @@ ExchangeMsg EvsNode::make_exchange() const {
   e.old_safe_upto = old_safe_upto_;
   e.delivered_upto = old_delivered_upto_;
   e.delivered_extra = old_delivered_extra_;
+  e.gc_upto = old_gc_upto_;
   e.obligation_set = obligation_set_;
   return e;
 }
@@ -669,6 +715,12 @@ void EvsNode::recovery_round() {
                          ? recovery_->transitional_members(old_ring_)
                          : with_member({}, self_);
   for (SeqNum s : recovery_->to_rebroadcast(trans, old_received_)) {
+    if (s <= old_gc_upto_) {
+      // GC proved every old-ring member received s, so only a corrupted
+      // (CRC-colliding) ack can claim to lack it. The body is gone either
+      // way; dropping the spurious request is the only safe answer.
+      continue;
+    }
     auto it = old_msgs_.find(s);
     EVS_ASSERT(it != old_msgs_.end());
     broadcast(encode_msg(RecoveryMsgMsg{self_, recovery_->proposed_ring(), it->second}));
@@ -707,7 +759,7 @@ void EvsNode::try_finish_recovery() {
                                         : recovery_->merged_obligations(trans);
     Step6Plan plan = plan_step6(trans, uni, recovery_->global_safe_upto(trans),
                                 obligations, lookup, old_delivered_upto_,
-                                old_delivered_extra_);
+                                old_delivered_extra_, old_gc_upto_);
     if (opts_.faults.deliver_past_holes && !plan.discarded.empty()) {
       // Fault injection: omit step 6.a's causal-suspicion discard.
       plan.trans_seqs.insert(plan.trans_seqs.end(), plan.discarded.begin(),
@@ -888,6 +940,7 @@ void EvsNode::handle_token(const TokenMsg& t) {
       }
       span_end(rotation_span_);
       OrderingCore::TokenResult result = core_->on_token(t, pending_);
+      note_pending_sends();
       for (const RegularMsg& m : result.new_messages) {
         met_.sent.inc();
         const Ord ord = ord_send_after(last_ord_);

@@ -89,6 +89,11 @@ class EvsNode final : public Endpoint {
     /// Largest payload send() accepts. Must leave frame headroom below
     /// wire::kMaxFrameBody; oversized sends fail with payload_too_large.
     std::size_t max_payload_bytes{64u * 1024};
+    /// Cap on the send queue: when the application outruns the token,
+    /// send() fails fast with Errc::backpressure instead of queueing
+    /// without bound. The drain callback (set_on_send_drain) fires once the
+    /// queue falls back to half the cap, so producers can resume.
+    std::size_t max_pending_sends{1024};
     OrderingCore::Options ordering{};
     FaultInjection faults{};
 
@@ -133,6 +138,7 @@ class EvsNode final : public Endpoint {
     std::uint64_t stale_tokens{0};         ///< stale/duplicate tokens ignored
     std::uint64_t token_retransmits{0};    ///< tokens re-sent by the loss guard
     std::uint64_t send_errors{0};          ///< send() calls rejected with a Status
+    std::uint64_t backpressure_rejections{0};  ///< sends refused at the queue cap
   };
 
   using DeliverHandler = std::function<void(const Delivery&)>;
@@ -174,9 +180,17 @@ class EvsNode final : public Endpoint {
   /// Queue an application message. It is stamped into the total order at
   /// the next token visit of the current (or next) regular configuration;
   /// that stamping is the model's send_p(m, c) event. Fails with
-  /// Errc::not_running on a crashed node and Errc::payload_too_large when
-  /// the payload exceeds Options::max_payload_bytes.
+  /// Errc::not_running on a crashed node, Errc::payload_too_large when the
+  /// payload exceeds Options::max_payload_bytes, and Errc::backpressure
+  /// when the pending queue is at Options::max_pending_sends.
   Expected<MsgId> send(Service service, std::vector<std::uint8_t> payload);
+
+  /// Register the backpressure drain callback: after send() has rejected
+  /// with Errc::backpressure, it fires once when the pending queue drains
+  /// back to half of max_pending_sends (hysteresis, so producers resuming
+  /// at the edge don't thrash between one accepted send and the next
+  /// rejection).
+  void set_on_send_drain(std::function<void()> h) { drain_handler_ = std::move(h); }
 
   State state() const { return state_; }
   bool running() const { return state_ != State::Down; }
@@ -244,6 +258,9 @@ class EvsNode final : public Endpoint {
   /// never again act on a lower-seq ring. Such packets are delayed
   /// duplicates, not merge signals.
   bool stale_from_member(RingSeq seq, ProcessId sender) const;
+  /// Refresh the evs.pending_sends gauge after a pending_ mutation and fire
+  /// the drain callback when backpressure hysteresis clears.
+  void note_pending_sends();
   void emit_conf_change(const Configuration& config, Ord ord);
   void broadcast(const std::vector<std::uint8_t>& bytes);
   void unicast_frame(ProcessId to, const std::vector<std::uint8_t>& body);
@@ -291,12 +308,15 @@ class EvsNode final : public Endpoint {
   int token_retransmits_left_{0};
   Scheduler::Handle token_retransmit_timer_{};
 
-  // old-ring backlog (survives into Gather/Recovery; cleared on install)
+  // old-ring backlog (survives into Gather/Recovery; cleared on install).
+  // old_msgs_ holds only bodies above old_gc_upto_; old_received_ still
+  // summarizes everything, including the GC'd prefix.
   RingId old_ring_{};
   std::map<SeqNum, RegularMsg> old_msgs_;
   SeqSet old_received_;
   SeqNum old_safe_upto_{0};
   SeqNum old_delivered_upto_{0};
+  SeqNum old_gc_upto_{0};
   SeqSet old_delivered_extra_;
   std::vector<ProcessId> obligation_set_;  // sorted
 
@@ -320,6 +340,8 @@ class EvsNode final : public Endpoint {
   // callbacks
   DeliverHandler deliver_handler_;
   ConfigHandler config_handler_;
+  std::function<void()> drain_handler_;
+  bool backpressured_{false};  ///< a send was rejected since the last drain
 
   // observability. Met caches instrument handles so the hot paths do one
   // add with no name lookup; the registry owns the values.
@@ -339,6 +361,8 @@ class EvsNode final : public Endpoint {
     obs::Counter& stale_tokens;
     obs::Counter& token_retransmits;
     obs::Counter& send_errors;
+    obs::Counter& backpressure_rejections;
+    obs::Gauge& pending_sends;          ///< current send-queue depth
     obs::Histogram& gather_us;          ///< enter_gather -> adopted proposal
     obs::Histogram& recovery_us;        ///< adopted proposal -> install
     obs::Histogram& token_rotation_us;  ///< token forward -> fresh return

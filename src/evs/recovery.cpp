@@ -136,7 +136,14 @@ Step6Plan plan_step6(const std::vector<ProcessId>& trans_members,
                      const SeqSet& union_received, SeqNum global_safe_upto,
                      const std::vector<ProcessId>& obligation_set,
                      const std::function<const RegularMsg*(SeqNum)>& store_lookup,
-                     SeqNum delivered_upto, const SeqSet& delivered_extra) {
+                     SeqNum delivered_upto, const SeqSet& delivered_extra,
+                     SeqNum gc_upto) {
+  // GC never outruns delivery, and GC requires the local safe horizon —
+  // which the global one dominates. Both inequalities carry the proof that
+  // skipping the store below gc_upto cannot change the cutoff (DESIGN.md).
+  EVS_ASSERT(gc_upto <= delivered_upto);
+  EVS_ASSERT(gc_upto <= global_safe_upto);
+
   Step6Plan plan;
   plan.has_transitional = true;
   plan.trans_members = trans_members;
@@ -159,6 +166,13 @@ Step6Plan plan_step6(const std::vector<ProcessId>& trans_members,
   SeqNum cutoff = 0;
   for (SeqNum s = 1; s <= high; ++s) {
     if (!union_received.contains(s)) break;
+    if (s <= gc_upto) {
+      // Body reclaimed by safety-horizon GC. We delivered s (gc_upto <=
+      // delivered_upto) and s <= global_safe_upto, so whatever its service
+      // level, the safe-check below could not have broken here.
+      cutoff = s;
+      continue;
+    }
     const RegularMsg* m = store_lookup(s);
     EVS_ASSERT_MSG(m != nullptr, "recovery completion must guarantee the union");
     if (m->service == Service::Safe && s > global_safe_upto) break;

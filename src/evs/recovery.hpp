@@ -125,13 +125,20 @@ class RecoveryEngine {
 };
 
 /// Step 6 planning. `store_lookup(seq)` returns the message for an old-ring
-/// seq (must succeed for every seq in the union — completion guarantees it).
-/// `delivered_upto` / `delivered_extra` describe what this process already
-/// delivered from the old ring before recovery began.
+/// seq (must succeed for every seq in the union above `gc_upto` —
+/// completion guarantees it). `delivered_upto` / `delivered_extra` describe
+/// what this process already delivered from the old ring before recovery
+/// began. `gc_upto` is the local safety-horizon GC watermark: bodies at or
+/// below it were reclaimed, but each such seq was delivered locally within
+/// the old ring's safe horizon, so the cutoff walk can treat it as
+/// available-and-safe without consulting the store. The plan stays
+/// identical across transitional members because gc_upto <= delivered_upto
+/// <= cutoff: GC only elides lookups the walk was going to pass anyway.
 Step6Plan plan_step6(const std::vector<ProcessId>& trans_members,
                      const SeqSet& union_received, SeqNum global_safe_upto,
                      const std::vector<ProcessId>& obligation_set,
                      const std::function<const RegularMsg*(SeqNum)>& store_lookup,
-                     SeqNum delivered_upto, const SeqSet& delivered_extra);
+                     SeqNum delivered_upto, const SeqSet& delivered_extra,
+                     SeqNum gc_upto = 0);
 
 }  // namespace evs

@@ -71,6 +71,25 @@ Status check_histogram(const JsonValue& h, const std::string& where) {
   return check_int_members(*buckets, where + ".buckets");
 }
 
+/// The bounded-memory surface: every EVS-driven metrics set must carry the
+/// flow-control gauges and backpressure counter (EvsNode pre-creates them at
+/// construction), so a refactor that silently drops them fails validation —
+/// and with it bench_smoke and the obs tests under ctest.
+Status check_memory_metrics(const JsonValue& metrics, const std::string& where) {
+  const JsonValue* gauges = metrics.find("gauges");
+  const JsonValue* counters = metrics.find("counters");
+  for (const char* g :
+       {"ordering.store_bytes", "ordering.store_msgs", "evs.pending_sends"}) {
+    if (gauges == nullptr || gauges->find(g) == nullptr) {
+      return shape_error(where, std::string("missing memory gauge '") + g + "'");
+    }
+  }
+  if (counters == nullptr || counters->find("evs.backpressure_rejections") == nullptr) {
+    return shape_error(where, "missing counter 'evs.backpressure_rejections'");
+  }
+  return Status::ok_status();
+}
+
 Status check_schema_header(const JsonValue& v, const std::string& expect_schema) {
   const JsonValue* schema = v.find("schema");
   if (schema == nullptr || !schema->is_string() || schema->string != expect_schema) {
@@ -134,6 +153,12 @@ Status validate_snapshot_json(const JsonValue& v) {
     if (m == nullptr) return shape_error("snapshot", std::string("missing '") + section + "'");
     if (Status st = validate_metrics_json(*m); !st.ok()) return st;
   }
+  // The aggregate folds in every node's registry, so the memory-bound
+  // instruments must always be present there.
+  if (Status st = check_memory_metrics(*v.find("aggregate"), "snapshot.aggregate");
+      !st.ok()) {
+    return st;
+  }
   const JsonValue* faults = v.find("faults");
   if (faults == nullptr || !faults->is_object()) {
     return shape_error("snapshot", "missing 'faults' object");
@@ -161,6 +186,15 @@ Status validate_report_json(const JsonValue& v) {
     const JsonValue* metrics = run.find("metrics");
     if (metrics == nullptr) return shape_error("report.runs", "missing 'metrics'");
     if (Status st = validate_metrics_json(*metrics); !st.ok()) return st;
+    // Runs that exercised EVS nodes (marker: the always-created evs.sent
+    // counter) must carry the memory-bound instruments too.
+    const JsonValue* counters = metrics->find("counters");
+    if (counters != nullptr && counters->find("evs.sent") != nullptr) {
+      if (Status st = check_memory_metrics(*metrics, "report." + name->string);
+          !st.ok()) {
+        return st;
+      }
+    }
   }
   return Status::ok_status();
 }

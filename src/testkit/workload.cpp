@@ -25,7 +25,16 @@ std::vector<MsgId> send_random_burst(Cluster& cluster, Rng& rng, int count,
     }
     std::vector<std::uint8_t> payload(payload_bytes);
     for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
-    ids.push_back(cluster.node(who).send(service, std::move(payload)).value());
+    auto sent = cluster.node(who).send(service, std::move(payload));
+    if (sent.ok()) {
+      ids.push_back(*sent);
+    } else {
+      // Backpressure is an expected outcome under heavy bursts, not a
+      // harness bug; the burst simply produces fewer messages. Anything
+      // else (crashed node raced the running check, oversized payload)
+      // still fails loudly.
+      EVS_ASSERT_MSG(sent.code() == Errc::backpressure, sent.status().message().c_str());
+    }
   }
   return ids;
 }

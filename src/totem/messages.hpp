@@ -34,6 +34,20 @@ enum class MsgType : std::uint8_t {
   Beacon = 8,
 };
 
+/// Valid type-byte range, derived from the enum so peek_type and the fuzz
+/// round-trip test cannot drift when a message kind is added. Keep kMsgTypeMax
+/// pointing at the last enumerator.
+inline constexpr std::uint8_t kMsgTypeMin = static_cast<std::uint8_t>(MsgType::Regular);
+inline constexpr std::uint8_t kMsgTypeMax = static_cast<std::uint8_t>(MsgType::Beacon);
+
+/// Decode-time bound on a token's retransmission-request set: total element
+/// cardinality, not interval count. The ring itself caps the rtr set it
+/// grows (OrderingCore::Options::max_rtr_entries, validated <= this), so any
+/// CRC-valid token exceeding the bound — e.g. one interval {1..2^60} — is
+/// corruption or forgery, and rejecting it at the codec boundary keeps a
+/// single packet from ballooning into per-element work downstream.
+inline constexpr std::uint64_t kMaxTokenRtr = 65536;
+
 /// An application message stamped by the ordering substrate.
 struct RegularMsg {
   RingId ring;          ///< ring (== regular configuration) it was sent in
@@ -51,6 +65,11 @@ struct TokenMsg {
   SeqNum aru{0};              ///< all-received-up-to over the whole ring
   ProcessId aru_setter{};     ///< who last lowered aru (0 value = unset)
   SeqSet rtr;                 ///< retransmission requests
+  /// Flow-control count (Totem): broadcasts during the last full rotation.
+  /// Each member subtracts what it added last visit and adds this visit's
+  /// new + retransmitted messages; senders budget new messages against the
+  /// ring-wide window minus fcc, so one congested member throttles everyone.
+  std::uint32_t fcc{0};
 };
 
 /// Membership gather message.
@@ -79,6 +98,12 @@ struct ExchangeMsg {
   SeqNum old_safe_upto{0};    ///< highest seq sender observed safe on old ring
   SeqNum delivered_upto{0};   ///< contiguous prefix sender already delivered
   SeqSet delivered_extra;     ///< non-contiguous old-ring seqs already delivered
+  /// Safety-horizon GC watermark: bodies for seqs <= gc_upto were reclaimed
+  /// after a fully-acknowledged rotation proved every old-ring member holds
+  /// them, so the sender can vouch for (and has delivered) those seqs but
+  /// cannot rebroadcast them. Always <= delivered_upto; `received` still
+  /// covers [1, gc_upto] as an interval summary.
+  SeqNum gc_upto{0};
   std::vector<ProcessId> obligation_set;
 };
 

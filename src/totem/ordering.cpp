@@ -11,7 +11,12 @@ OrderingCore::Met::Met(obs::MetricsRegistry& r)
     : duplicates_ignored(r.counter("ordering.duplicates_ignored")),
       retransmits_sent(r.counter("ordering.retransmits_sent")),
       rtr_capped(r.counter("ordering.rtr_capped")),
-      tokens_seen(r.counter("ordering.tokens_seen")) {}
+      tokens_seen(r.counter("ordering.tokens_seen")),
+      gc_reclaimed(r.counter("ordering.gc_reclaimed")),
+      store_msgs(r.gauge("ordering.store_msgs")),
+      store_bytes(r.gauge("ordering.store_bytes")),
+      store_msgs_peak(r.gauge("ordering.store_msgs_peak")),
+      store_bytes_peak(r.gauge("ordering.store_bytes_peak")) {}
 
 OrderingCore::OrderingCore(RingId ring, std::vector<ProcessId> members, ProcessId self,
                            Options options, obs::MetricsRegistry* metrics)
@@ -31,7 +36,43 @@ OrderingCore::Stats OrderingCore::stats() const {
   s.duplicates_ignored = met_.duplicates_ignored.value();
   s.retransmits_sent = met_.retransmits_sent.value();
   s.rtr_capped = met_.rtr_capped.value();
+  s.gc_reclaimed = met_.gc_reclaimed.value();
   return s;
+}
+
+void OrderingCore::track_store_insert(const RegularMsg& m) {
+  // Payload bytes, not sizeof: the count must be platform-neutral so obs
+  // snapshots stay byte-identical across builds.
+  store_bytes_ += m.payload.size();
+  const auto msgs = static_cast<std::int64_t>(store_.size());
+  const auto bytes = static_cast<std::int64_t>(store_bytes_);
+  met_.store_msgs.set(msgs);
+  met_.store_bytes.set(bytes);
+  if (met_.store_msgs_peak.value() < msgs) met_.store_msgs_peak.set(msgs);
+  if (met_.store_bytes_peak.value() < bytes) met_.store_bytes_peak.set(bytes);
+}
+
+void OrderingCore::collect_garbage() {
+  // Reclaim bodies at or below min(safe_upto_, delivered_upto_): the safety
+  // horizon proves every member received them (no legitimate rtr can name
+  // them, and recovery's transitional peers hold them too — see DESIGN.md),
+  // and delivery means we will never read them again ourselves. received_
+  // keeps the interval summary, so duplicates stay recognizable and the
+  // Exchange received-set is unchanged.
+  const SeqNum horizon = std::min(safe_upto_, delivered_upto_);
+  if (horizon <= gc_upto_) return;
+  std::uint64_t freed = 0;
+  for (SeqNum s = gc_upto_ + 1; s <= horizon; ++s) {
+    auto it = store_.find(s);
+    EVS_ASSERT(it != store_.end());  // delivered contiguously => body present
+    store_bytes_ -= it->second.payload.size();
+    store_.erase(it);
+    ++freed;
+  }
+  gc_upto_ = horizon;
+  met_.gc_reclaimed.inc(freed);
+  met_.store_msgs.set(static_cast<std::int64_t>(store_.size()));
+  met_.store_bytes.set(static_cast<std::int64_t>(store_bytes_));
 }
 
 ProcessId OrderingCore::next_in_ring() const {
@@ -54,11 +95,17 @@ bool OrderingCore::on_regular(const RegularMsg& m) {
   }
   received_.insert(m.seq);
   store_.emplace(m.seq, m);
+  track_store_insert(m);
   return true;
 }
 
 bool OrderingCore::token_is_stale(const TokenMsg& token) const {
-  return token.ring != ring_ || (seen_token_ && token.rotation <= last_rotation_);
+  // A legitimate token's seq is monotone over the ring's lifetime: members
+  // only ever raise it. One that regresses below what we have observed is a
+  // stale duplicate (or a forgery) even if its rotation looks fresh.
+  return token.ring != ring_ ||
+         (seen_token_ &&
+          (token.rotation <= last_rotation_ || token.seq < highest_assigned_));
 }
 
 OrderingCore::TokenResult OrderingCore::on_token(const TokenMsg& token,
@@ -69,32 +116,80 @@ OrderingCore::TokenResult OrderingCore::on_token(const TokenMsg& token,
   TokenResult result;
   TokenMsg out = token;
 
-  // 1. Service retransmission requests we can satisfy.
+  // 1. Service retransmission requests we can satisfy. Walk the request set
+  // interval-wise against received_ above the GC horizon — exactly what
+  // store_ holds — so a forged token carrying a huge rtr range costs work
+  // proportional to intervals touched and messages actually rebroadcast,
+  // never to the range width.
   int retransmitted = 0;
-  for (SeqNum s : out.rtr.to_vector()) {
+  std::vector<SeqNum> served;
+  for (const auto& req : token.rtr.intervals()) {
     if (retransmitted >= options_.max_retransmit_per_token) break;
-    auto it = store_.find(s);
-    if (it == store_.end()) continue;
-    result.to_broadcast.push_back(it->second);
-    out.rtr.erase(s);
-    ++retransmitted;
-    met_.retransmits_sent.inc();
+    if (req.hi <= gc_upto_) continue;
+    const SeqNum lo = std::max(req.lo, gc_upto_ + 1);
+    for (const auto& run : received_.intersection_intervals(lo, req.hi)) {
+      if (retransmitted >= options_.max_retransmit_per_token) break;
+      for (SeqNum s = run.lo;; ++s) {
+        auto it = store_.find(s);
+        EVS_ASSERT(it != store_.end());  // store_ == received_ above gc_upto_
+        result.to_broadcast.push_back(it->second);
+        served.push_back(s);
+        ++retransmitted;
+        met_.retransmits_sent.inc();
+        if (s == run.hi || retransmitted >= options_.max_retransmit_per_token) break;
+      }
+    }
+  }
+  for (SeqNum s : served) out.rtr.erase(s);
+  // Scrub requests at or below our GC horizon instead of leaving them to
+  // circulate: the horizon proves every ring member received those seqs, so
+  // such entries can only come from corruption or forgery, and left alone
+  // they would permanently occupy max_rtr_entries capacity.
+  if (!out.rtr.empty() && out.rtr.min() <= gc_upto_) {
+    SeqSet scrubbed;
+    for (const auto& iv : out.rtr.intervals()) {
+      if (iv.hi <= gc_upto_) continue;
+      scrubbed.insert_range(std::max(iv.lo, gc_upto_ + 1), iv.hi);
+    }
+    out.rtr = std::move(scrubbed);
   }
 
-  // 2. Request what we are missing, bounded so a corrupted-but-plausible
-  // token cannot balloon the request set; deferred holes wait a rotation.
-  highest_assigned_ = std::max(highest_assigned_, out.seq);
-  for (SeqNum hole : received_.missing_in(1, out.seq)) {
-    if (out.rtr.size() >= options_.max_rtr_entries) {
+  // 2. Request what we are missing, hole-interval-wise, bounded so a
+  // corrupted-but-plausible token (huge seq) cannot balloon the request set
+  // or buy per-element work; deferred holes wait a rotation.
+  for (const auto& hole : received_.missing_intervals(1, out.seq)) {
+    const std::uint64_t have = out.rtr.size();
+    const std::uint64_t room =
+        options_.max_rtr_entries > have ? options_.max_rtr_entries - have : 0;
+    if (room == 0) {
       met_.rtr_capped.inc();
       break;
     }
-    out.rtr.insert(hole);
+    if (hole.hi - hole.lo >= room) {  // hole wider than remaining room
+      out.rtr.insert_range(hole.lo, hole.lo + room - 1);
+      met_.rtr_capped.inc();
+      break;
+    }
+    out.rtr.insert_range(hole.lo, hole.hi);
   }
 
-  // 3. Stamp and broadcast pending application messages (flow control cap).
-  int sent = 0;
-  while (!pending.empty() && sent < options_.max_new_per_token) {
+  // 3. Stamp and broadcast pending application messages. The per-visit cap
+  // is narrowed by the ring-wide flow-control window (Totem fcc): the token
+  // carries the broadcast count of the last full rotation, and seq - aru is
+  // the backlog not yet acknowledged by everyone. Budgeting against both
+  // keeps every member's resident store O(window) no matter how fast the
+  // application produces.
+  const std::uint32_t fcc_in =
+      out.fcc > prev_visit_broadcasts_ ? out.fcc - prev_visit_broadcasts_ : 0;
+  const std::uint64_t window = options_.flow_control_window;
+  const std::uint64_t unacked = out.seq >= out.aru ? out.seq - out.aru : 0;
+  std::uint64_t budget = options_.max_new_per_token < 0
+                             ? 0
+                             : static_cast<std::uint64_t>(options_.max_new_per_token);
+  budget = std::min(budget, window > fcc_in ? window - fcc_in : 0);
+  budget = std::min(budget, window > unacked ? window - unacked : 0);
+  std::uint64_t sent = 0;
+  while (!pending.empty() && sent < budget) {
     PendingSend p = std::move(pending.front());
     pending.pop_front();
     RegularMsg m;
@@ -111,6 +206,13 @@ OrderingCore::TokenResult OrderingCore::on_token(const TokenMsg& token,
     result.to_broadcast.push_back(m);
     ++sent;
   }
+  const auto this_visit =
+      static_cast<std::uint32_t>(retransmitted) + static_cast<std::uint32_t>(sent);
+  out.fcc = fcc_in > UINT32_MAX - this_visit ? UINT32_MAX : fcc_in + this_visit;
+  prev_visit_broadcasts_ = this_visit;
+  // token_is_stale rejected any seq regression, and stamping only raised
+  // out.seq, so a single assignment here maintains the monotone invariant.
+  EVS_ASSERT(out.seq >= highest_assigned_);
   highest_assigned_ = out.seq;
 
   // 4. Update aru.
@@ -140,6 +242,7 @@ OrderingCore::TokenResult OrderingCore::on_token(const TokenMsg& token,
   out.rotation = token.rotation + 1;
   last_rotation_ = token.rotation;
   result.token_out = out;
+  collect_garbage();
   return result;
 }
 
@@ -156,6 +259,7 @@ std::vector<RegularMsg> OrderingCore::drain_deliverable() {
     out.push_back(it->second);
     delivered_upto_ = next;
   }
+  collect_garbage();
   return out;
 }
 

@@ -59,6 +59,12 @@ class OrderingCore {
     /// a heavily lossy ring could otherwise grow the request set without
     /// bound; excess holes simply wait for a later rotation.
     std::size_t max_rtr_entries{1024};
+    /// Ring-wide flow-control window (Totem fcc): new messages are budgeted
+    /// against both `window - token.fcc` (broadcasts during the last
+    /// rotation) and `window - (seq - aru)` (messages not yet acknowledged
+    /// by everyone), so backlog anywhere on the ring throttles all senders.
+    /// Must be >= max_new_per_token or the per-visit cap can never be met.
+    std::uint32_t flow_control_window{1024};
     /// Fault injection (tests only): deliver safe messages without waiting
     /// for the acknowledgment horizon.
     bool deliver_unsafe{false};
@@ -69,6 +75,7 @@ class OrderingCore {
     std::uint64_t duplicates_ignored{0};  ///< duplicate regular messages
     std::uint64_t retransmits_sent{0};    ///< rtr requests we satisfied
     std::uint64_t rtr_capped{0};          ///< holes deferred by max_rtr_entries
+    std::uint64_t gc_reclaimed{0};        ///< message bodies freed by GC
   };
 
   /// `metrics` receives the "ordering.*" instruments; pass the owning
@@ -111,7 +118,19 @@ class OrderingCore {
   SeqNum highest_assigned() const { return highest_assigned_; }
   const SeqSet& received() const { return received_; }
 
-  /// All messages held for this ring (used by the recovery snapshot).
+  /// Safety-horizon GC watermark: bodies for seqs <= gc_upto() were freed
+  /// after min(safe_upto_, delivered_upto_) passed them — every member holds
+  /// (and we delivered) them, so no retransmission or recovery rebroadcast
+  /// can legitimately need them. `received_` keeps the interval summary.
+  SeqNum gc_upto() const { return gc_upto_; }
+
+  /// Resident message bodies / payload bytes (post-GC), for memory bounds.
+  std::size_t store_size() const { return store_.size(); }
+  std::uint64_t store_bytes() const { return store_bytes_; }
+
+  /// Messages still held in body form for this ring (used by the recovery
+  /// snapshot). After GC this is the suffix above gc_upto(), not the full
+  /// backlog — recovery carries gc_upto alongside it.
   std::vector<RegularMsg> all_messages() const;
 
   std::uint64_t tokens_seen() const { return tokens_seen_; }
@@ -123,8 +142,16 @@ class OrderingCore {
     obs::Counter& retransmits_sent;
     obs::Counter& rtr_capped;
     obs::Counter& tokens_seen;
+    obs::Counter& gc_reclaimed;
+    obs::Gauge& store_msgs;        ///< resident bodies (current)
+    obs::Gauge& store_bytes;       ///< resident payload bytes (current)
+    obs::Gauge& store_msgs_peak;   ///< high-water mark, monotone
+    obs::Gauge& store_bytes_peak;  ///< high-water mark, monotone
     explicit Met(obs::MetricsRegistry& r);
   };
+
+  void track_store_insert(const RegularMsg& m);
+  void collect_garbage();
 
   RingId ring_;
   std::vector<ProcessId> members_;  // sorted
@@ -133,12 +160,15 @@ class OrderingCore {
   std::unique_ptr<obs::MetricsRegistry> own_metrics_;  ///< when none was shared
   Met met_;
 
-  std::unordered_map<SeqNum, RegularMsg> store_;
+  std::unordered_map<SeqNum, RegularMsg> store_;  // received_ minus [1, gc_upto_]
   SeqSet received_;
   SeqNum delivered_upto_{0};
   SeqNum safe_upto_{0};
+  SeqNum gc_upto_{0};            // bodies <= this were reclaimed
+  std::uint64_t store_bytes_{0};  // resident payload bytes (platform-neutral)
   SeqNum highest_assigned_{0};   // highest token.seq observed
   SeqNum prev_visit_aru_{0};
+  std::uint32_t prev_visit_broadcasts_{0};  // our fcc contribution last visit
   bool seen_token_{false};
   std::uint64_t last_rotation_{0};
   std::uint64_t tokens_seen_{0};  ///< this ring only (counter is cumulative)

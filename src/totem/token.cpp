@@ -53,11 +53,16 @@ std::optional<TokenMsg> read_token(wire::Reader& r) {
   m.aru = r.u64();
   m.aru_setter = r.pid();
   m.rtr = r.seq_set();
+  m.fcc = r.u32();
   if (!r.ok()) return std::nullopt;
   if (!m.ring.valid() || m.rotation < 1) return std::nullopt;
   // The all-received horizon and every retransmission request refer to
   // sequence numbers that have been assigned, i.e. are bounded by seq.
   if (m.aru > m.seq || m.rtr.max() > m.seq) return std::nullopt;
+  // rtr.max() <= seq bounds each request but not how many a forged token can
+  // carry: one interval {1..seq} is CRC-valid yet encodes seq elements. Cap
+  // total cardinality so a single packet cannot buy unbounded downstream work.
+  if (m.rtr.size() > kMaxTokenRtr) return std::nullopt;
   return m;
 }
 
@@ -94,12 +99,18 @@ std::optional<ExchangeMsg> read_exchange(wire::Reader& r) {
   m.old_safe_upto = r.u64();
   m.delivered_upto = r.u64();
   m.delivered_extra = r.seq_set();
+  m.gc_upto = r.u64();
   m.obligation_set = r.pid_vec();
   if (!r.ok()) return std::nullopt;
   if (m.sender == ProcessId{} || !m.proposed_ring.valid()) return std::nullopt;
   if (!sorted_strict(m.obligation_set)) return std::nullopt;
   // A process with no prior ring has no backlog to report.
   if (!m.old_ring.valid() && !m.received.empty()) return std::nullopt;
+  // The GC watermark only ever trails delivery, and a GC'd prefix must still
+  // be accounted for in the received summary (recovery counts on both).
+  if (m.gc_upto > m.delivered_upto) return std::nullopt;
+  if (m.gc_upto > 0 && m.received.contiguous_from(0) < m.gc_upto) return std::nullopt;
+  if (!m.old_ring.valid() && m.gc_upto != 0) return std::nullopt;
   return m;
 }
 
@@ -161,9 +172,8 @@ T checked_decode(const std::vector<std::uint8_t>& buf, MsgType expected,
 
 std::optional<MsgType> peek_type(const std::vector<std::uint8_t>& buf) {
   if (buf.empty()) return std::nullopt;
-  const auto type = static_cast<MsgType>(buf[0]);
-  if (buf[0] < 1 || buf[0] > 8) return std::nullopt;
-  return type;
+  if (buf[0] < kMsgTypeMin || buf[0] > kMsgTypeMax) return std::nullopt;
+  return static_cast<MsgType>(buf[0]);
 }
 
 std::optional<AnyMsg> try_decode(std::span<const std::uint8_t> buf) {
@@ -209,6 +219,7 @@ std::vector<std::uint8_t> encode_msg(const TokenMsg& m) {
   w.u64(m.aru);
   w.pid(m.aru_setter);
   w.seq_set(m.rtr);
+  w.u32(m.fcc);
   return w.take();
 }
 
@@ -254,6 +265,7 @@ std::vector<std::uint8_t> encode_msg(const ExchangeMsg& m) {
   w.u64(m.old_safe_upto);
   w.u64(m.delivered_upto);
   w.seq_set(m.delivered_extra);
+  w.u64(m.gc_upto);
   w.pid_vec(m.obligation_set);
   return w.take();
 }

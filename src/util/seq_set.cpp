@@ -8,7 +8,11 @@ namespace evs {
 
 std::uint64_t SeqSet::size() const {
   std::uint64_t n = 0;
-  for (const auto& iv : intervals_) n += iv.hi - iv.lo + 1;
+  for (const auto& iv : intervals_) {
+    const std::uint64_t count = iv.hi - iv.lo + 1;  // wraps to 0 for {0..2^64-1}
+    if (count == 0 || n + count < n) return UINT64_MAX;  // saturate
+    n += count;
+  }
   return n;
 }
 
@@ -64,6 +68,7 @@ void SeqSet::erase(SeqNum s) {
 }
 
 SeqNum SeqSet::contiguous_from(SeqNum from) const {
+  if (from == UINT64_MAX) return from;  // from+1 would wrap
   auto it = std::upper_bound(intervals_.begin(), intervals_.end(), from + 1,
                              [](SeqNum v, const Interval& iv) { return v < iv.lo; });
   if (it == intervals_.begin()) return from;
@@ -72,17 +77,44 @@ SeqNum SeqSet::contiguous_from(SeqNum from) const {
   return from;
 }
 
-std::vector<SeqNum> SeqSet::missing_in(SeqNum lo, SeqNum hi) const {
-  std::vector<SeqNum> holes;
+std::vector<SeqSet::Interval> SeqSet::missing_intervals(SeqNum lo, SeqNum hi) const {
+  std::vector<Interval> holes;
+  if (lo > hi) return holes;
   SeqNum cursor = lo;
   for (const auto& iv : intervals_) {
     if (iv.hi < cursor) continue;
     if (iv.lo > hi) break;
-    for (SeqNum s = cursor; s < iv.lo && s <= hi; ++s) holes.push_back(s);
+    if (cursor < iv.lo) holes.push_back({cursor, iv.lo - 1});
+    if (iv.hi == UINT64_MAX) return holes;  // nothing can follow
     cursor = std::max(cursor, iv.hi + 1);
-    if (cursor > hi) break;
+    if (cursor > hi) return holes;
   }
-  for (SeqNum s = cursor; s <= hi; ++s) holes.push_back(s);
+  holes.push_back({cursor, hi});
+  return holes;
+}
+
+std::vector<SeqSet::Interval> SeqSet::intersection_intervals(SeqNum lo,
+                                                             SeqNum hi) const {
+  std::vector<Interval> runs;
+  if (lo > hi) return runs;
+  // First interval that can reach lo (iv.hi >= lo).
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), lo,
+      [](const Interval& iv, SeqNum v) { return iv.hi < v; });
+  for (; it != intervals_.end() && it->lo <= hi; ++it) {
+    runs.push_back({std::max(it->lo, lo), std::min(it->hi, hi)});
+  }
+  return runs;
+}
+
+std::vector<SeqNum> SeqSet::missing_in(SeqNum lo, SeqNum hi) const {
+  std::vector<SeqNum> holes;
+  for (const Interval& iv : missing_intervals(lo, hi)) {
+    for (SeqNum s = iv.lo;; ++s) {
+      holes.push_back(s);
+      if (s == iv.hi) break;  // not a for-condition: hi+1 may wrap
+    }
+  }
   return holes;
 }
 
@@ -93,15 +125,24 @@ void SeqSet::merge(const SeqSet& other) {
 std::vector<SeqNum> SeqSet::to_vector() const {
   std::vector<SeqNum> out;
   out.reserve(size());
-  for (const auto& iv : intervals_)
-    for (SeqNum s = iv.lo; s <= iv.hi; ++s) out.push_back(s);
+  for (const auto& iv : intervals_) {
+    for (SeqNum s = iv.lo;; ++s) {
+      out.push_back(s);
+      if (s == iv.hi) break;  // not a for-condition: hi+1 may wrap
+    }
+  }
   return out;
 }
 
 SeqSet SeqSet::from_intervals(std::vector<Interval> intervals) {
   for (std::size_t i = 0; i < intervals.size(); ++i) {
     EVS_ASSERT(intervals[i].lo <= intervals[i].hi);
-    if (i > 0) EVS_ASSERT(intervals[i - 1].hi + 1 < intervals[i].lo);
+    // Strictly after the previous interval with a gap; an interval ending at
+    // UINT64_MAX can have no successor (hi+1 would wrap and vacuously pass).
+    if (i > 0) {
+      EVS_ASSERT(intervals[i - 1].hi != UINT64_MAX &&
+                 intervals[i - 1].hi + 1 < intervals[i].lo);
+    }
   }
   SeqSet set;
   set.intervals_ = std::move(intervals);

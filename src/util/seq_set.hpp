@@ -52,8 +52,19 @@ class SeqSet {
   /// Largest element, or 0 if empty.
   SeqNum max() const { return empty() ? 0 : intervals_.back().hi; }
 
-  /// Elements of [lo, hi] that are NOT in this set (the holes).
+  /// Elements of [lo, hi] that are NOT in this set (the holes). Computed
+  /// interval-wise; the output is one element per hole, so callers that must
+  /// bound allocation should use missing_intervals() instead.
   std::vector<SeqNum> missing_in(SeqNum lo, SeqNum hi) const;
+
+  /// The holes of [lo, hi] as closed intervals. At most interval_count()+1
+  /// entries regardless of the range width, so this is the safe form for
+  /// untrusted or unbounded ranges.
+  std::vector<Interval> missing_intervals(SeqNum lo, SeqNum hi) const;
+
+  /// The contained runs intersected with [lo, hi], clipped to the range.
+  /// At most interval_count() entries.
+  std::vector<Interval> intersection_intervals(SeqNum lo, SeqNum hi) const;
 
   /// Set union, in place.
   void merge(const SeqSet& other);

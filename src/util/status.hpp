@@ -30,6 +30,7 @@ enum class Errc : std::uint8_t {
   decode_error = 7,       ///< frame body fails strict message validation
   invalid_options = 8,    ///< Options::validate() rejected a combination
   blocked_not_primary = 9,  ///< VS filter rule 2: not in the primary component
+  backpressure = 10,        ///< pending send queue at Options::max_pending_sends
 };
 
 const char* to_string(Errc e);
@@ -110,6 +111,7 @@ inline const char* to_string(Errc e) {
     case Errc::decode_error: return "decode_error";
     case Errc::invalid_options: return "invalid_options";
     case Errc::blocked_not_primary: return "blocked_not_primary";
+    case Errc::backpressure: return "backpressure";
   }
   return "?";
 }

@@ -91,7 +91,10 @@ SeqSet Reader::seq_set() {
   for (std::uint32_t i = 0; i < n && ok_; ++i) {
     SeqNum lo = u64();
     SeqNum hi = u64();
-    if (lo > hi || (!intervals.empty() && intervals.back().hi + 1 >= lo)) {
+    // Sorted, disjoint, non-adjacent — and nothing may follow an interval
+    // ending at UINT64_MAX (its hi+1 would wrap and vacuously pass).
+    if (lo > hi || (!intervals.empty() && (intervals.back().hi == UINT64_MAX ||
+                                           intervals.back().hi + 1 >= lo))) {
       ok_ = false;
       return {};
     }

@@ -61,7 +61,10 @@ TEST(JsonValue, RejectsMalformedDocuments) {
 MetricsRegistry sample_registry() {
   MetricsRegistry r;
   r.counter("evs.sent").inc(3);
+  r.counter("evs.backpressure_rejections");
   r.gauge("evs.pending_sends").set(2);
+  r.gauge("ordering.store_bytes").set(48);
+  r.gauge("ordering.store_msgs").set(3);
   r.histogram("evs.gather_us").record(1'500);
   r.histogram("evs.gather_us").record(40);
   return r;
@@ -153,6 +156,81 @@ TEST(ReportJson, BenchReportShapeValidates) {
   w.end_object();
   EXPECT_TRUE(validate_document(w.str()).ok())
       << validate_document(w.str()).message();
+}
+
+// Erase the first member named `name` from an object-valued JsonValue.
+void erase_member(JsonValue& obj, std::string_view name) {
+  for (auto it = obj.object.begin(); it != obj.object.end(); ++it) {
+    if (it->first == name) {
+      obj.object.erase(it);
+      return;
+    }
+  }
+  FAIL() << "member not present: " << name;
+}
+
+JsonValue* find_mutable(JsonValue& obj, std::string_view name) {
+  for (auto& [k, v] : obj.object) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+TEST(SnapshotJson, AggregateMustCarryMemoryInstruments) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.await_stable());
+  auto v = JsonValue::parse(cluster.snapshot().to_json());
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(validate_snapshot_json(*v).ok());
+
+  // Dropping any memory-bound instrument from the aggregate must fail
+  // validation — that's the regression tripwire for the GC/backpressure
+  // observability surface.
+  for (const char* gauge :
+       {"ordering.store_bytes", "ordering.store_msgs", "evs.pending_sends"}) {
+    auto copy = *v;
+    erase_member(*find_mutable(*find_mutable(copy, "aggregate"), "gauges"), gauge);
+    const Status st = validate_snapshot_json(copy);
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.message().find(gauge), std::string::npos) << st.message();
+  }
+  auto copy = *v;
+  erase_member(*find_mutable(*find_mutable(copy, "aggregate"), "counters"),
+               "evs.backpressure_rejections");
+  EXPECT_FALSE(validate_snapshot_json(copy).ok());
+}
+
+TEST(ReportJson, EvsRunsMustCarryMemoryInstruments) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "evs.obs.report");
+  w.kv("version", 1);
+  w.kv("source", "bench_unit_test");
+  w.key("runs").begin_array();
+  w.begin_object();
+  w.kv("name", "BM_Sample/4");
+  w.key("metrics");
+  write_metrics(w, sample_registry());
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  auto v = JsonValue::parse(w.str());
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(validate_report_json(*v).ok());
+
+  // An EVS-driven run (has evs.sent) missing a memory gauge is rejected...
+  auto broken = *v;
+  JsonValue& metrics = *find_mutable(find_mutable(broken, "runs")->array[0], "metrics");
+  erase_member(*find_mutable(metrics, "gauges"), "ordering.store_bytes");
+  EXPECT_FALSE(validate_report_json(broken).ok());
+
+  // ...but a run with no EVS counters at all (e.g. a pure codec bench) is
+  // exempt from the memory-instrument requirement.
+  auto codec_only = *v;
+  JsonValue& m2 = *find_mutable(find_mutable(codec_only, "runs")->array[0], "metrics");
+  find_mutable(m2, "counters")->object.clear();
+  find_mutable(m2, "gauges")->object.clear();
+  EXPECT_TRUE(validate_report_json(codec_only).ok());
 }
 
 TEST(ReportJson, ValidatorRejectsIncompleteRuns) {

@@ -120,6 +120,26 @@ TEST(OptionsValidate, OrderingLimitsAreChecked) {
   o = {};
   o.ordering.max_rtr_entries = 0;
   expect_rejected(o, "ordering.max_rtr_entries");
+
+  // The ring must never grow a request set its own codec would reject.
+  o = {};
+  o.ordering.max_rtr_entries = kMaxTokenRtr + 1;
+  expect_rejected(o, "kMaxTokenRtr");
+}
+
+TEST(OptionsValidate, FlowControlAndBackpressureLimitsAreChecked) {
+  EvsNode::Options o;
+  o.ordering.max_new_per_token = 64;
+  o.ordering.flow_control_window = 32;
+  expect_rejected(o, "flow_control_window");
+
+  o = {};
+  o.max_pending_sends = 0;
+  expect_rejected(o, "max_pending_sends");
+
+  o = {};
+  o.ordering.flow_control_window = static_cast<std::uint32_t>(o.ordering.max_new_per_token);
+  EXPECT_TRUE(o.validate().ok());
 }
 
 }  // namespace

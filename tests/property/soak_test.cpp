@@ -1,0 +1,123 @@
+// Soak suite (ctest -L soak): bounded-memory acceptance for the token ring.
+//
+// The claim under test is the tentpole invariant: with safety-horizon GC and
+// token flow control, every node's resident message store stays O(window)
+// no matter how long traffic runs and no matter what churn (partitions,
+// crashes, fault storms) does to the ring — memory is bounded by protocol
+// state, not by uptime or message volume.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "testkit/cluster.hpp"
+#include "testkit/workload.hpp"
+
+namespace evs {
+namespace {
+
+// Generous but principled bound: seq - aru is kept <= window by the send
+// budget, aru trails at most a rotation of progress behind seq, and the
+// safety horizon trails aru by one more rotation — so the resident store
+// (everything above min(safe, delivered)) is a few windows at worst. The
+// constant gives slack for transitional configurations; what matters is
+// that it does NOT scale with messages sent.
+std::int64_t store_bound(std::uint32_t window) {
+  return 4 * static_cast<std::int64_t>(window) + 64;
+}
+
+std::int64_t max_running_gauge(Cluster& cluster, const char* name) {
+  std::int64_t worst = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (!cluster.node_ptr(i) || !cluster.node(i).running()) continue;
+    worst = std::max(worst, cluster.node(i).metrics().gauge(name).value());
+  }
+  return worst;
+}
+
+TEST(SoakTest, SustainedTrafficKeepsStoreAtWindowScale) {
+  Cluster::Options opts;
+  opts.num_processes = 3;
+  opts.seed = 42;
+  opts.node.ordering.flow_control_window = 32;
+  opts.node.ordering.max_new_per_token = 16;
+  opts.node.max_pending_sends = 128;
+  opts.watchdog_window_us = 500'000;
+  Cluster cluster(opts);
+  Rng rng(43);
+  ASSERT_TRUE(cluster.await_stable()) << cluster.liveness_report();
+
+  const std::int64_t bound = store_bound(32);
+  int sent = 0;
+  for (int round = 0; round < 200; ++round) {
+    sent += static_cast<int>(send_random_burst(cluster, rng, 20, 0.2, 32).size());
+    cluster.run_for(50'000);
+    // The peak gauge is monotone and set at insert time, so it sees every
+    // intra-round high, not just the state at the sampling instant.
+    ASSERT_LE(max_running_gauge(cluster, "ordering.store_msgs_peak"), bound)
+        << "round " << round << "\n"
+        << cluster.liveness_report();
+  }
+  ASSERT_TRUE(cluster.await_quiesce(30'000'000)) << cluster.liveness_report();
+  EXPECT_EQ(cluster.check_report(), "");
+  EXPECT_GT(sent, 2'000);  // the soak actually pushed serious volume
+  EXPECT_GT(max_running_gauge(cluster, "ordering.store_msgs_peak"), 0);
+
+  // GC did the bounding: nearly everything delivered was also reclaimed,
+  // and after quiescence the resident stores are back to the tail.
+  auto agg = cluster.aggregate_metrics();
+  EXPECT_GT(agg.counter("ordering.gc_reclaimed").value(),
+            static_cast<std::uint64_t>(sent));  // ~sent * nodes, >> sent
+  EXPECT_LE(max_running_gauge(cluster, "ordering.store_msgs"), bound);
+}
+
+TEST(SoakTest, ChurnAndFaultStormKeepStoreBounded) {
+  Cluster::Options opts;
+  opts.num_processes = 5;
+  opts.seed = 2026;
+  opts.node.ordering.flow_control_window = 64;
+  opts.node.ordering.max_new_per_token = 16;
+  opts.node.max_pending_sends = 64;
+  opts.watchdog_window_us = 500'000;
+  opts.faults = FaultPlan::storm(0.02, 0.02, 0.01, 0, 4'000'000);
+  Cluster cluster(opts);
+  Rng rng(9);
+  ASSERT_TRUE(cluster.await_stable(3'000'000)) << cluster.liveness_report();
+
+  const std::int64_t bound = store_bound(64);
+  std::vector<ProcessId> down;
+  for (int round = 0; round < 60; ++round) {
+    if (rng.chance(0.15)) {
+      random_partition(cluster, rng);
+    } else if (rng.chance(0.30)) {
+      cluster.heal();
+    }
+    if (down.empty() && rng.chance(0.10)) {
+      const ProcessId victim = cluster.pid(rng.below(cluster.size()));
+      if (cluster.node(victim).running()) {
+        cluster.crash(victim);
+        down.push_back(victim);
+      }
+    } else if (!down.empty() && rng.chance(0.40)) {
+      cluster.recover(down.back());
+      down.pop_back();
+    }
+    send_random_burst(cluster, rng, 30, 0.25, 64);
+    cluster.run_for(100'000);
+    ASSERT_LE(max_running_gauge(cluster, "ordering.store_msgs_peak"), bound)
+        << "round " << round << "\n"
+        << cluster.liveness_report();
+  }
+
+  cluster.heal();
+  cluster.clear_faults();
+  for (ProcessId p : down) cluster.recover(p);
+  ASSERT_TRUE(cluster.await_quiesce(30'000'000)) << cluster.liveness_report();
+  EXPECT_FALSE(cluster.watchdog_tripped());
+  EXPECT_EQ(cluster.check_report(), "");
+  EXPECT_GT(max_running_gauge(cluster, "ordering.store_msgs_peak"), 0);
+  EXPECT_LE(max_running_gauge(cluster, "ordering.store_msgs"), bound);
+}
+
+}  // namespace
+}  // namespace evs

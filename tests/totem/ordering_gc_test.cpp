@@ -1,0 +1,236 @@
+// Safety-horizon garbage collection and token flow control (fcc).
+//
+// The GC invariant under test: once min(safe_upto, delivered_upto) passes a
+// sequence number, every ring member holds it and we delivered it, so its
+// body can be freed — retransmission requests and recovery rebroadcasts can
+// never legitimately need it again. The fcc tests pin the Totem-style send
+// budget: new messages are budgeted against the ring-wide window minus both
+// last-rotation broadcasts and the unacknowledged backlog.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+#include "totem/ordering.hpp"
+
+namespace evs {
+namespace {
+
+const RingId kRing{1, ProcessId{1}};
+const std::vector<ProcessId> kThree{ProcessId{1}, ProcessId{2}, ProcessId{3}};
+
+RegularMsg make_msg(SeqNum seq, ProcessId sender, std::size_t payload_bytes = 0,
+                    Service service = Service::Agreed) {
+  RegularMsg m;
+  m.ring = kRing;
+  m.seq = seq;
+  m.id = MsgId{sender, seq};
+  m.service = service;
+  m.payload.assign(payload_bytes, 0xAB);
+  return m;
+}
+
+TokenMsg fresh_token() {
+  TokenMsg t;
+  t.ring = kRing;
+  t.rotation = 1;
+  return t;
+}
+
+TEST(OrderingGcTest, SingletonRingReclaimsDeliveredBodies) {
+  obs::MetricsRegistry reg;
+  OrderingCore core(RingId{1, ProcessId{1}}, {ProcessId{1}}, ProcessId{1},
+                    OrderingCore::Options{}, &reg);
+  std::deque<PendingSend> pending;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    pending.push_back({MsgId{ProcessId{1}, i}, Service::Agreed,
+                       std::vector<std::uint8_t>(100, 0x5A)});
+  }
+  TokenMsg t;
+  t.ring = RingId{1, ProcessId{1}};
+  t.rotation = 1;
+  core.on_token(t, pending);
+  EXPECT_EQ(core.store_bytes(), 300u);
+  EXPECT_EQ(reg.gauge("ordering.store_bytes_peak").value(), 300);
+  EXPECT_EQ(reg.gauge("ordering.store_msgs_peak").value(), 3);
+
+  // Singleton: safe immediately; delivery completes the GC precondition.
+  ASSERT_EQ(core.drain_deliverable().size(), 3u);
+  EXPECT_EQ(core.gc_upto(), 3u);
+  EXPECT_EQ(core.store_size(), 0u);
+  EXPECT_EQ(core.store_bytes(), 0u);
+  EXPECT_EQ(core.stats().gc_reclaimed, 3u);
+  EXPECT_TRUE(core.all_messages().empty());
+  // The interval summary of what we received survives the bodies.
+  EXPECT_TRUE(core.received().contains(3));
+  EXPECT_EQ(core.contig(), 3u);
+  EXPECT_FALSE(core.has(1));
+  // Current gauges dropped back to zero; peaks are monotone.
+  EXPECT_EQ(reg.gauge("ordering.store_bytes").value(), 0);
+  EXPECT_EQ(reg.gauge("ordering.store_bytes_peak").value(), 300);
+}
+
+TEST(OrderingGcTest, ThreeMemberRingGcAfterSafeRotation) {
+  OrderingCore a(kRing, kThree, ProcessId{1});
+  OrderingCore b(kRing, kThree, ProcessId{2});
+  OrderingCore c(kRing, kThree, ProcessId{3});
+  std::deque<PendingSend> pa;
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    pa.push_back({MsgId{ProcessId{1}, i}, Service::Agreed,
+                  std::vector<std::uint8_t>(8, 1)});
+  }
+  std::deque<PendingSend> none;
+
+  TokenMsg t = fresh_token();
+  auto ra = a.on_token(t, pa);
+  for (auto* core : {&b, &c}) {
+    for (const auto& m : ra.new_messages) core->on_regular(m);
+  }
+  // Two more full rotations: aru reaches 4 everywhere, then the two-visit
+  // minimum makes [1,4] safe at every member.
+  TokenMsg tok = ra.token_out;
+  for (int hop = 0; hop < 6; ++hop) {
+    OrderingCore* next = (hop % 3 == 0) ? &b : (hop % 3 == 1) ? &c : &a;
+    tok = next->on_token(tok, none).token_out;
+  }
+  for (auto* core : {&a, &b, &c}) {
+    EXPECT_EQ(core->safe_upto(), 4u);
+    EXPECT_EQ(core->drain_deliverable().size(), 4u);
+    // Delivery + safety ⇒ the horizon passed everything; bodies are gone.
+    EXPECT_EQ(core->gc_upto(), 4u);
+    EXPECT_EQ(core->store_size(), 0u);
+    EXPECT_EQ(core->stats().gc_reclaimed, 4u);
+  }
+}
+
+TEST(OrderingGcTest, UndeliveredSafeMessageBlocksGc) {
+  OrderingCore core(kRing, kThree, ProcessId{2});
+  core.on_regular(make_msg(1, ProcessId{1}, 16, Service::Safe));
+  std::deque<PendingSend> none;
+  TokenMsg t = fresh_token();
+  t.seq = 1;
+  core.on_token(t, none);
+  // aru acknowledged once, not twice: not yet safe, not delivered — the
+  // body must stay resident even though we received everything.
+  EXPECT_TRUE(core.drain_deliverable().empty());
+  EXPECT_EQ(core.gc_upto(), 0u);
+  EXPECT_EQ(core.store_size(), 1u);
+}
+
+TEST(OrderingGcTest, RtrAtOrBelowHorizonIsScrubbedNotServed) {
+  OrderingCore core(RingId{1, ProcessId{1}}, {ProcessId{1}}, ProcessId{1});
+  std::deque<PendingSend> pending;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    pending.push_back({MsgId{ProcessId{1}, i}, Service::Agreed, {1, 2}});
+  }
+  TokenMsg t;
+  t.ring = RingId{1, ProcessId{1}};
+  t.rotation = 1;
+  auto r1 = core.on_token(t, pending);
+  core.drain_deliverable();
+  ASSERT_EQ(core.gc_upto(), 3u);
+
+  // A (necessarily forged/corrupt) token requesting seqs the whole ring
+  // provably holds: nothing is rebroadcast, and the junk entries are
+  // scrubbed from the forwarded token instead of circulating forever.
+  TokenMsg bad = r1.token_out;
+  bad.rtr.insert_range(1, 3);
+  std::deque<PendingSend> none;
+  auto r2 = core.on_token(bad, none);
+  EXPECT_TRUE(r2.to_broadcast.empty());
+  EXPECT_TRUE(r2.token_out.rtr.empty());
+  EXPECT_EQ(core.stats().retransmits_sent, 0u);
+}
+
+TEST(OrderingFccTest, LastRotationBroadcastsShrinkBudget) {
+  OrderingCore::Options opts;
+  opts.max_new_per_token = 64;
+  opts.flow_control_window = 8;
+  OrderingCore core(kRing, kThree, ProcessId{1}, opts);
+  std::deque<PendingSend> pending;
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    pending.push_back({MsgId{ProcessId{1}, i}, Service::Agreed, {}});
+  }
+  // The ring reports 6 broadcasts last rotation: only window - 6 = 2 fit.
+  TokenMsg t = fresh_token();
+  t.fcc = 6;
+  auto r = core.on_token(t, pending);
+  EXPECT_EQ(r.new_messages.size(), 2u);
+  // We add our own contribution on top of the unchanged remainder.
+  EXPECT_EQ(r.token_out.fcc, 8u);
+}
+
+TEST(OrderingFccTest, OwnContributionSubtractedOnNextVisit) {
+  OrderingCore::Options opts;
+  opts.max_new_per_token = 64;
+  opts.flow_control_window = 8;
+  OrderingCore core(kRing, kThree, ProcessId{1}, opts);
+  std::deque<PendingSend> pending;
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    pending.push_back({MsgId{ProcessId{1}, i}, Service::Agreed, {}});
+  }
+  TokenMsg t = fresh_token();
+  auto r1 = core.on_token(t, pending);  // window 8, no backlog: 8 sent
+  EXPECT_EQ(r1.new_messages.size(), 8u);
+  EXPECT_EQ(r1.token_out.fcc, 8u);
+
+  // Token returns with fcc still 8 (nobody else sent). Subtracting our own
+  // 8 leaves fcc_in = 0; we hold all 8 so aru caught up and the backlog
+  // term is 0 too — the full window is available again.
+  TokenMsg t2 = r1.token_out;
+  t2.rotation += 1;
+  auto r2 = core.on_token(t2, pending);
+  EXPECT_EQ(r2.new_messages.size(), 8u);
+  EXPECT_EQ(r2.token_out.fcc, 8u);
+}
+
+TEST(OrderingFccTest, UnackedBacklogShrinksBudget) {
+  OrderingCore::Options opts;
+  opts.max_new_per_token = 64;
+  opts.flow_control_window = 8;
+  OrderingCore core(kRing, kThree, ProcessId{1}, opts);
+  std::deque<PendingSend> pending;
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    pending.push_back({MsgId{ProcessId{1}, i}, Service::Agreed, {}});
+  }
+  // 6 assigned ring-wide, only 1 acknowledged by everyone: 5 in flight,
+  // so only window - 5 = 3 new messages may join them.
+  TokenMsg t = fresh_token();
+  t.seq = 6;
+  t.aru = 1;
+  auto r = core.on_token(t, pending);
+  EXPECT_EQ(r.new_messages.size(), 3u);
+}
+
+TEST(OrderingFccTest, ForgedHugeFccClampsToZeroBudget) {
+  OrderingCore core(kRing, kThree, ProcessId{1});
+  std::deque<PendingSend> pending;
+  pending.push_back({MsgId{ProcessId{1}, 1}, Service::Agreed, {}});
+  TokenMsg t = fresh_token();
+  t.fcc = UINT32_MAX;  // corrupt/hostile: claims a saturated ring
+  auto r = core.on_token(t, pending);
+  EXPECT_TRUE(r.new_messages.empty());
+  EXPECT_EQ(pending.size(), 1u);
+  // And our pass-through cannot overflow the counter.
+  EXPECT_EQ(r.token_out.fcc, UINT32_MAX);
+}
+
+TEST(OrderingStaleTest, SeqRegressionIsStale) {
+  OrderingCore core(kRing, kThree, ProcessId{1});
+  std::deque<PendingSend> pending;
+  pending.push_back({MsgId{ProcessId{1}, 1}, Service::Agreed, {}});
+  pending.push_back({MsgId{ProcessId{1}, 2}, Service::Agreed, {}});
+  auto r = core.on_token(fresh_token(), pending);
+  ASSERT_EQ(core.highest_assigned(), 2u);
+
+  // A "newer" rotation whose seq runs backwards can only be a stale
+  // duplicate or forgery: legitimate token seq is monotone.
+  TokenMsg regressed = r.token_out;
+  regressed.rotation += 1;
+  regressed.seq = 1;
+  EXPECT_TRUE(core.token_is_stale(regressed));
+  TokenMsg fine = r.token_out;
+  fine.rotation += 1;
+  EXPECT_FALSE(core.token_is_stale(fine));
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,191 @@
+// Model-based property tests for SeqSet: random operation sequences are
+// mirrored into a std::set<SeqNum> reference model and every query the
+// protocol relies on is cross-checked against it, including the saturating
+// and wrap-prone edges at UINT64_MAX that the interval representation must
+// get right without ever materializing elements.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/seq_set.hpp"
+
+namespace evs {
+namespace {
+
+std::vector<SeqNum> model_missing_in(const std::set<SeqNum>& model, SeqNum lo,
+                                     SeqNum hi) {
+  std::vector<SeqNum> out;
+  for (SeqNum s = lo;; ++s) {
+    if (model.count(s) == 0) out.push_back(s);
+    if (s == hi) break;
+  }
+  return out;
+}
+
+std::vector<SeqNum> expand(const std::vector<SeqSet::Interval>& ivs) {
+  std::vector<SeqNum> out;
+  for (const auto& iv : ivs) {
+    for (SeqNum s = iv.lo;; ++s) {
+      out.push_back(s);
+      if (s == iv.hi) break;
+    }
+  }
+  return out;
+}
+
+void check_against_model(const SeqSet& set, const std::set<SeqNum>& model,
+                         SeqNum universe_hi, Rng& rng) {
+  ASSERT_EQ(set.size(), model.size());
+  ASSERT_EQ(set.empty(), model.empty());
+  ASSERT_EQ(set.to_vector(), std::vector<SeqNum>(model.begin(), model.end()));
+  if (!model.empty()) {
+    ASSERT_EQ(set.min(), *model.begin());
+    ASSERT_EQ(set.max(), *model.rbegin());
+  }
+
+  // The invariant the whole representation hangs on: sorted, disjoint,
+  // non-adjacent intervals.
+  const auto& ivs = set.intervals();
+  for (std::size_t i = 0; i < ivs.size(); ++i) {
+    ASSERT_LE(ivs[i].lo, ivs[i].hi);
+    if (i > 0) {
+      ASSERT_GT(ivs[i].lo, ivs[i - 1].hi + 1);
+    }
+  }
+
+  // Membership at every universe point plus a few random probes outside.
+  for (SeqNum s = 0; s <= universe_hi; ++s) {
+    ASSERT_EQ(set.contains(s), model.count(s) == 1) << "s=" << s;
+  }
+
+  // contiguous_from from random starting points.
+  for (int probe = 0; probe < 8; ++probe) {
+    const SeqNum from = rng.below(universe_hi + 2);
+    SeqNum expect = from;
+    while (expect < universe_hi + 2 && model.count(expect + 1) == 1) ++expect;
+    ASSERT_EQ(set.contiguous_from(from), expect) << "from=" << from;
+  }
+
+  // Range queries against brute force over random windows.
+  for (int probe = 0; probe < 8; ++probe) {
+    const SeqNum lo = rng.below(universe_hi + 1);
+    const SeqNum hi = lo + rng.below(universe_hi + 1 - lo);
+    const auto holes = model_missing_in(model, lo, hi);
+    ASSERT_EQ(set.missing_in(lo, hi), holes) << "[" << lo << "," << hi << "]";
+    ASSERT_EQ(expand(set.missing_intervals(lo, hi)), holes);
+    std::vector<SeqNum> present;
+    for (SeqNum s = lo;; ++s) {
+      if (model.count(s) == 1) present.push_back(s);
+      if (s == hi) break;
+    }
+    ASSERT_EQ(expand(set.intersection_intervals(lo, hi)), present);
+  }
+}
+
+TEST(SeqSetProperty, RandomOpsMatchReferenceModel) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    const SeqNum universe_hi = 96;
+    SeqSet set;
+    std::set<SeqNum> model;
+    for (int op = 0; op < 400; ++op) {
+      const double pick = rng.uniform();
+      if (pick < 0.40) {
+        const SeqNum s = rng.below(universe_hi + 1);
+        ASSERT_EQ(set.insert(s), model.insert(s).second);
+      } else if (pick < 0.60) {
+        const SeqNum lo = rng.below(universe_hi + 1);
+        const SeqNum hi = std::min<SeqNum>(lo + rng.below(16), universe_hi);
+        set.insert_range(lo, hi);
+        for (SeqNum s = lo; s <= hi; ++s) model.insert(s);
+      } else if (pick < 0.85) {
+        const SeqNum s = rng.below(universe_hi + 1);
+        set.erase(s);
+        model.erase(s);
+      } else {
+        // Merge in an independently built set, mirroring recovery's
+        // union_received.
+        SeqSet other;
+        const int n = static_cast<int>(rng.below(6));
+        for (int i = 0; i < n; ++i) {
+          const SeqNum lo = rng.below(universe_hi + 1);
+          const SeqNum hi = std::min<SeqNum>(lo + rng.below(8), universe_hi);
+          other.insert_range(lo, hi);
+          for (SeqNum s = lo; s <= hi; ++s) model.insert(s);
+        }
+        set.merge(other);
+      }
+      if (op % 40 == 0 || op == 399) {
+        check_against_model(set, model, universe_hi, rng);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(SeqSetProperty, RoundTripsThroughFromIntervals) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    SeqSet set;
+    for (int i = 0; i < 20; ++i) set.insert(rng.below(200));
+    ASSERT_EQ(SeqSet::from_intervals(set.intervals()), set);
+  }
+}
+
+// The edges that used to overflow: ranges touching UINT64_MAX must work
+// interval-wise, with size() saturating rather than wrapping, and none of
+// the interval queries may try to materialize the elements.
+TEST(SeqSetProperty, HandlesUint64MaxBoundaries) {
+  const SeqNum top = UINT64_MAX;
+  SeqSet set;
+  set.insert_range(1, top);
+  EXPECT_EQ(set.size(), top);  // exactly 2^64 - 1 elements
+  EXPECT_TRUE(set.contains(top));
+  EXPECT_EQ(set.max(), top);
+  EXPECT_EQ(set.contiguous_from(0), top);
+  EXPECT_EQ(set.contiguous_from(top), top);  // [top+1, ...] is vacuous
+  EXPECT_TRUE(set.missing_intervals(1, top).empty());
+
+  set.insert(0);
+  EXPECT_EQ(set.size(), top);  // 2^64 elements: saturates
+  EXPECT_EQ(set.interval_count(), 1u);
+
+  SeqSet sparse;
+  sparse.insert(top);
+  sparse.insert(top - 2);
+  EXPECT_EQ(sparse.contiguous_from(top - 1), top);
+  const auto holes = sparse.missing_intervals(top - 3, top);
+  ASSERT_EQ(holes.size(), 2u);
+  EXPECT_EQ(holes[0], (SeqSet::Interval{top - 3, top - 3}));
+  EXPECT_EQ(holes[1], (SeqSet::Interval{top - 1, top - 1}));
+  const auto runs = sparse.intersection_intervals(0, top);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[1], (SeqSet::Interval{top, top}));
+  sparse.erase(top);
+  EXPECT_EQ(sparse.max(), top - 2);
+}
+
+// A hostile range endpoint must cost work proportional to the set's interval
+// count, never to the range width — this is what keeps a forged token's rtr
+// from turning into per-element work.
+TEST(SeqSetProperty, HugeRangeQueriesStayIntervalSized) {
+  SeqSet set;
+  set.insert_range(10, 20);
+  set.insert_range(1'000'000, 1'000'010);
+  const auto holes = set.missing_intervals(1, UINT64_MAX);
+  ASSERT_EQ(holes.size(), 3u);
+  EXPECT_EQ(holes[0], (SeqSet::Interval{1, 9}));
+  EXPECT_EQ(holes[1], (SeqSet::Interval{21, 999'999}));
+  EXPECT_EQ(holes[2], (SeqSet::Interval{1'000'011, UINT64_MAX}));
+  const auto runs = set.intersection_intervals(0, UINT64_MAX);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (SeqSet::Interval{10, 20}));
+  EXPECT_EQ(runs[1], (SeqSet::Interval{1'000'000, 1'000'010}));
+}
+
+}  // namespace
+}  // namespace evs

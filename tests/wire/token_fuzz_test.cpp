@@ -1,0 +1,104 @@
+// Adversarial TokenMsg bytes against the strict decoder.
+//
+// The decoder is the hostile-byte boundary: whatever a corrupted or forged
+// packet claims, try_decode must terminate, never crash (run this under the
+// asan-ubsan preset), and never allocate more than the buffer can justify.
+// For tokens specifically the dangerous field is the rtr interval list — a
+// few bytes can claim a set of 2^60 elements — so every successful decode is
+// checked against the kMaxTokenRtr cardinality bound.
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "totem/messages.hpp"
+#include "util/rng.hpp"
+#include "wire/codec.hpp"
+
+namespace evs {
+namespace {
+
+TokenMsg rich_token() {
+  TokenMsg t;
+  t.ring = RingId{9, ProcessId{2}};
+  t.rotation = 31;
+  t.seq = 5'000;
+  t.aru = 4'900;
+  t.aru_setter = ProcessId{3};
+  for (SeqNum s = 4'901; s <= 4'950; s += 3) t.rtr.insert(s);
+  t.rtr.insert_range(4'960, 4'980);
+  t.fcc = 7;
+  return t;
+}
+
+void check_decode_is_bounded(const std::vector<std::uint8_t>& buf) {
+  const auto decoded = try_decode(buf);
+  if (!decoded.has_value()) return;
+  if (const auto* tok = std::get_if<TokenMsg>(&*decoded)) {
+    EXPECT_LE(tok->rtr.size(), kMaxTokenRtr);
+    EXPECT_LE(tok->aru, tok->seq);
+  }
+}
+
+TEST(TokenFuzzTest, RandomBytesNeverCrashOrBalloon) {
+  Rng rng(0xF00D);
+  for (int trial = 0; trial < 20'000; ++trial) {
+    std::vector<std::uint8_t> buf(rng.below(200));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng());
+    // Bias half the trials towards the token parser.
+    if (!buf.empty() && rng.chance(0.5)) {
+      buf[0] = static_cast<std::uint8_t>(MsgType::Token);
+    }
+    check_decode_is_bounded(buf);
+  }
+}
+
+TEST(TokenFuzzTest, MutatedValidTokensNeverCrashOrBalloon) {
+  Rng rng(0xBEEF);
+  const auto pristine = encode_msg(rich_token());
+  ASSERT_TRUE(try_decode(pristine).has_value());
+  for (int trial = 0; trial < 20'000; ++trial) {
+    auto buf = pristine;
+    const int flips = 1 + static_cast<int>(rng.below(4));
+    for (int f = 0; f < flips; ++f) {
+      buf[rng.below(buf.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    check_decode_is_bounded(buf);
+  }
+}
+
+TEST(TokenFuzzTest, EveryTruncationRejectsCleanly) {
+  const auto pristine = encode_msg(rich_token());
+  for (std::size_t len = 0; len < pristine.size(); ++len) {
+    const std::vector<std::uint8_t> cut(pristine.begin(),
+                                        pristine.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_FALSE(try_decode(cut).has_value()) << "len=" << len;
+  }
+  EXPECT_TRUE(try_decode(pristine).has_value());
+}
+
+// A handcrafted interval-count bomb: the rtr length prefix claims far more
+// intervals than the buffer carries. The reader must fail on bounds, not
+// reserve memory for the claim.
+TEST(TokenFuzzTest, DeclaredIntervalCountBombRejected) {
+  const auto pristine = encode_msg(rich_token());
+  // The rtr seq_set is the only variable-length field; find its count
+  // prefix by re-encoding with an empty rtr and diffing lengths is fragile,
+  // so instead splice a hostile count into a fresh encode: copy the bytes
+  // up to the seq_set, then write a huge count with no interval data.
+  TokenMsg bare = rich_token();
+  bare.rtr = SeqSet();
+  auto buf = encode_msg(bare);
+  ASSERT_TRUE(try_decode(buf).has_value());
+  // encode_msg(TokenMsg) writes the rtr seq_set, then fcc (u32). Rewrite
+  // the tail: drop fcc, then append count=2^32-1 and a trailing fcc again.
+  buf.resize(buf.size() - 4);       // strip fcc
+  buf.resize(buf.size() - 4);       // strip empty seq_set count (0)
+  wire::Writer w;
+  w.u32(0xFFFF'FFFF);               // hostile interval count
+  w.u32(0);                         // "fcc" / whatever bytes remain
+  for (std::uint8_t b : w.take()) buf.push_back(b);
+  EXPECT_FALSE(try_decode(buf).has_value());
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,6 +1,7 @@
 #include "evs/node.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 
 #include "util/assert.hpp"
@@ -17,13 +18,6 @@ constexpr const char* kKeyBacklogMeta = "backlog_meta";
 constexpr const char* kKeyDeliveredMeta = "delivered_meta";
 constexpr const char* kMsgPrefix = "bmsg/";
 
-std::string msg_key(SeqNum seq) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%s%016llx", kMsgPrefix,
-                static_cast<unsigned long long>(seq));
-  return buf;
-}
-
 std::vector<ProcessId> with_member(std::vector<ProcessId> v, ProcessId p) {
   if (!std::binary_search(v.begin(), v.end(), p)) {
     v.insert(std::upper_bound(v.begin(), v.end(), p), p);
@@ -32,6 +26,26 @@ std::vector<ProcessId> with_member(std::vector<ProcessId> v, ProcessId p) {
 }
 
 }  // namespace
+
+/// Backlog keys are scoped by ring and use fixed-width zero-padded hex for
+/// every numeric component. Both properties are load-bearing for prefix
+/// operations: "bmsg/<ring 1>/" must never be a string prefix of
+/// "bmsg/<ring 16>/" (variable-width "1" vs "10" would collide), and the
+/// ring scope lets recovery distinguish the backlog of the last regular
+/// configuration from stale records that survived a crash mid-GC.
+std::string backlog_prefix(const RingId& ring) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%016llx.%08lx/", kMsgPrefix,
+                static_cast<unsigned long long>(ring.seq),
+                static_cast<unsigned long>(ring.rep.value));
+  return buf;
+}
+
+std::string backlog_msg_key(const RingId& ring, SeqNum seq) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(seq));
+  return backlog_prefix(ring) + buf;
+}
 
 const char* to_string(EvsNode::State s) {
   switch (s) {
@@ -116,6 +130,8 @@ EvsNode::Met::Met(obs::MetricsRegistry& r)
       token_retransmits(r.counter("evs.token_retransmits")),
       send_errors(r.counter("evs.send_errors")),
       backpressure_rejections(r.counter("evs.backpressure_rejections")),
+      storage_fail_stops(r.counter("evs.storage_fail_stops")),
+      persist_retries(r.counter("evs.persist_retries")),
       pending_sends(r.gauge("evs.pending_sends")),
       gather_us(r.histogram("evs.gather_us")),
       recovery_us(r.histogram("evs.recovery_us")),
@@ -139,6 +155,8 @@ EvsNode::Stats EvsNode::stats() const {
   s.token_retransmits = met_.token_retransmits.value();
   s.send_errors = met_.send_errors.value();
   s.backpressure_rejections = met_.backpressure_rejections.value();
+  s.storage_fail_stops = met_.storage_fail_stops.value();
+  s.persist_retries = met_.persist_retries.value();
   return s;
 }
 
@@ -184,43 +202,54 @@ EvsNode::~EvsNode() {
 // --------------------------------------------------------------------------
 // persistence
 
-void EvsNode::persist_ring_seq() {
+Status EvsNode::persist_ring_seq() {
   wire::Writer w;
   w.u64(ring_seq_);
-  store_.put(kKeyRingSeq, w.take());
+  return store_.put(kKeyRingSeq, w.take());
 }
 
-void EvsNode::persist_install(const Configuration& config) {
+Status EvsNode::persist_install(const Configuration& config) {
+  // Ordering within the install record sequence: the new last_reg lands
+  // first, then the old backlog is reclaimed. A crash between the two
+  // leaves a new-ring last_reg next to stale old-ring backlog records —
+  // load_persisted() quarantines the mismatched-ring leftovers, so the
+  // half-finished GC can only waste space, never resurrect deliveries.
   wire::Writer w;
   encode(w, config.id);
   w.pid_vec(config.members);
-  store_.put(kKeyLastReg, w.take());
-  persist_ring_seq();
-  store_.erase_prefix(kMsgPrefix);
-  store_.erase(kKeyBacklogMeta);
-  store_.erase(kKeyDeliveredMeta);
+  if (Status st = store_.put(kKeyLastReg, w.take()); !st.ok()) return st;
+  if (Status st = persist_ring_seq(); !st.ok()) return st;
+  if (Status st = store_.erase_prefix(kMsgPrefix); !st.ok()) return st;
+  if (Status st = store_.erase(kKeyBacklogMeta); !st.ok()) return st;
+  return store_.erase(kKeyDeliveredMeta);
 }
 
-void EvsNode::persist_delivered_meta() {
+Status EvsNode::persist_delivered_meta() {
   // The model lets a process "recover with stable storage intact" whose
   // contents were affected by the order of delivered messages (Section 1).
   // Recording how far delivery progressed is what lets the recovered
   // incarnation place its transitional configuration *after* everything the
   // previous incarnation delivered (Spec 6.1) and avoid redelivery (1.4).
+  // Written BEFORE the corresponding application deliveries run
+  // (deliver_ready): a crash in between loses deliveries at a process that
+  // failed — which Fail-event semantics permit — while the reverse order
+  // would redeliver across incarnations, which Spec 1.4 forbids.
   wire::Writer w;
   encode(w, core_->ring());
   w.u64(core_->delivered_upto());
   w.u64(core_->safe_upto());
-  store_.put(kKeyDeliveredMeta, w.take());
+  return store_.put(kKeyDeliveredMeta, w.take());
 }
 
-void EvsNode::persist_recovery_state() {
+Status EvsNode::persist_recovery_state() {
   // Step 5.c ordering: messages and the merged obligation set reach stable
   // storage BEFORE the complete-acknowledgment is transmitted. A crash after
-  // the ack therefore finds everything the acknowledgment promised.
+  // the ack therefore finds everything the acknowledgment promised. If any
+  // record fails to persist, the caller aborts the acknowledgement.
   for (const auto& [seq, m] : old_msgs_) {
-    const std::string key = msg_key(seq);
-    if (!store_.contains(key)) store_.put(key, encode_msg(m));
+    const std::string key = backlog_msg_key(old_ring_, seq);
+    if (store_.contains(key)) continue;
+    if (Status st = store_.put(key, encode_msg(m)); !st.ok()) return st;
   }
   wire::Writer w;
   encode(w, old_ring_);
@@ -228,59 +257,102 @@ void EvsNode::persist_recovery_state() {
   w.u64(old_safe_upto_);
   w.seq_set(old_delivered_extra_);
   w.pid_vec(obligation_set_);
-  store_.put(kKeyBacklogMeta, w.take());
+  return store_.put(kKeyBacklogMeta, w.take());
 }
 
-void EvsNode::load_persisted() {
+Status EvsNode::load_persisted() {
+  // Recovery-time load is *tolerant*: a crash can land between any two
+  // records of a multi-record persist (e.g. after the new last_reg but
+  // before the old backlog's GC), so the store legitimately holds records
+  // from different epochs. Anything that does not cohere with the newest
+  // last_reg — mismatched rings, undecodable bodies — is dropped (and
+  // erased best-effort, counted as a storage repair), never asserted on.
+  auto quarantine = [this](const std::string& key) {
+    store_.metrics().counter("storage.repairs").inc();
+    (void)store_.erase(key);  // best-effort cleanup of the stale record
+  };
+
   if (auto blob = store_.get(kKeyRingSeq)) {
     wire::Reader r(*blob);
-    ring_seq_ = r.u64();
-    EVS_ASSERT(r.done());
+    const std::uint64_t seq = r.u64();
+    if (r.done()) {
+      ring_seq_ = seq;
+    } else {
+      quarantine(kKeyRingSeq);
+    }
   }
   std::uint64_t incarnation = 1;
   if (auto blob = store_.get(kKeyIncarnation)) {
     wire::Reader r(*blob);
-    incarnation = r.u64() + 1;
+    const std::uint64_t persisted = r.u64();
+    if (r.done()) incarnation = persisted + 1;
   }
   {
     wire::Writer w;
     w.u64(incarnation);
-    store_.put(kKeyIncarnation, w.take());
+    if (Status st = store_.put(kKeyIncarnation, w.take()); !st.ok()) return st;
   }
   // Message ids must be unique across incarnations of the same process id.
   msg_counter_ = incarnation << 40;
 
   if (auto blob = store_.get(kKeyLastReg)) {
     wire::Reader r(*blob);
-    reg_config_.id = decode_config_id(r);
-    reg_config_.members = r.pid_vec();
-    EVS_ASSERT(r.done());
-    old_ring_ = reg_config_.id.ring;
+    Configuration cfg;
+    cfg.id = decode_config_id(r);
+    cfg.members = r.pid_vec();
+    if (r.done()) {
+      reg_config_ = std::move(cfg);
+      old_ring_ = reg_config_.id.ring;
+    } else {
+      quarantine(kKeyLastReg);
+    }
   }
   if (auto blob = store_.get(kKeyBacklogMeta)) {
     wire::Reader r(*blob);
-    RingId meta_ring = decode_ring_id(r);
-    EVS_ASSERT_MSG(meta_ring == old_ring_, "backlog must belong to last regular ring");
-    old_delivered_upto_ = r.u64();
-    old_safe_upto_ = r.u64();
-    old_delivered_extra_ = r.seq_set();
-    obligation_set_ = r.pid_vec();
-    EVS_ASSERT(r.done());
+    const RingId meta_ring = decode_ring_id(r);
+    const SeqNum delivered = r.u64();
+    const SeqNum safe = r.u64();
+    SeqSet extra = r.seq_set();
+    std::vector<ProcessId> obligations = r.pid_vec();
+    if (r.done() && meta_ring == old_ring_) {
+      old_delivered_upto_ = delivered;
+      old_safe_upto_ = safe;
+      old_delivered_extra_ = std::move(extra);
+      obligation_set_ = std::move(obligations);
+    } else {
+      quarantine(kKeyBacklogMeta);  // stale: predates the last install's GC
+    }
   }
   if (auto blob = store_.get(kKeyDeliveredMeta)) {
     wire::Reader r(*blob);
-    RingId meta_ring = decode_ring_id(r);
-    EVS_ASSERT_MSG(meta_ring == old_ring_, "delivered meta must match last ring");
-    old_delivered_upto_ = std::max(old_delivered_upto_, r.u64());
-    old_safe_upto_ = std::max(old_safe_upto_, r.u64());
-    EVS_ASSERT(r.done());
+    const RingId meta_ring = decode_ring_id(r);
+    const SeqNum delivered = r.u64();
+    const SeqNum safe = r.u64();
+    if (r.done() && meta_ring == old_ring_) {
+      old_delivered_upto_ = std::max(old_delivered_upto_, delivered);
+      old_safe_upto_ = std::max(old_safe_upto_, safe);
+    } else {
+      quarantine(kKeyDeliveredMeta);
+    }
   }
+  const std::string live_prefix =
+      old_ring_.valid() ? backlog_prefix(old_ring_) : std::string{};
   for (const std::string& key : store_.keys_with_prefix(kMsgPrefix)) {
-    RegularMsg m = decode_regular(*store_.get(key));
-    EVS_ASSERT(m.ring == old_ring_);
-    old_received_.insert(m.seq);
-    old_msgs_.emplace(m.seq, std::move(m));
+    if (live_prefix.empty() || key.compare(0, live_prefix.size(), live_prefix) != 0) {
+      quarantine(key);  // backlog of a ring the last install already GC'd
+      continue;
+    }
+    auto msg = try_decode(*store_.get(key));
+    const RegularMsg* m =
+        msg.has_value() ? std::get_if<RegularMsg>(&*msg) : nullptr;
+    if (m == nullptr || !(m->ring == old_ring_)) {
+      quarantine(key);
+      continue;
+    }
+    old_received_.insert(m->seq);
+    old_msgs_.emplace(m->seq, *m);
   }
+  return Status{};
 }
 
 // --------------------------------------------------------------------------
@@ -288,9 +360,17 @@ void EvsNode::load_persisted() {
 
 void EvsNode::start() {
   EVS_ASSERT_MSG(state_ == State::Down, "start() on a running node");
-  load_persisted();
+  if (Status st = load_persisted(); !st.ok()) {
+    // The incarnation counter must be durable before anything else happens:
+    // without it, message ids could repeat across incarnations.
+    storage_fail_stop("boot incarnation");
+    return;
+  }
   ring_seq_ += 1;
-  persist_ring_seq();
+  if (Status st = persist_ring_seq(); !st.ok()) {
+    storage_fail_stop("boot ring_seq");
+    return;
+  }
   const RingId singleton{ring_seq_, self_};
   net_.attach(self_, this);
   if (old_ring_.valid()) {
@@ -301,8 +381,35 @@ void EvsNode::start() {
   } else {
     install_configuration(singleton, {self_}, nullptr);
   }
+  // The install itself persists; its failure tears the partial boot down.
+  if (state_ == State::Down) return;
   // Announce presence so existing components notice us and gather.
   broadcast(encode_msg(BeaconMsg{self_, reg_config_.id.ring}));
+}
+
+void EvsNode::storage_fail_stop(const char* where) {
+  met_.storage_fail_stops.inc();
+  EVS_WARN("evs", "%s stable storage failed at %s; fail-stop",
+           to_string(self_).c_str(), where);
+  if (state_ != State::Down) {
+    // A running node that cannot persist becomes a failed process — the
+    // failure mode every peer already tolerates (and the trace records as a
+    // Fail event). Its next start() replays whatever the store kept.
+    crash();
+    return;
+  }
+  // Partial boot: undo whatever start() got through before the write failed.
+  // detach() on a never-attached process is a no-op.
+  bump_epoch();
+  net_.detach(self_);
+  core_.reset();
+  gather_.reset();
+  recovery_.reset();
+  my_exchange_.reset();
+  pending_.clear();
+  met_.pending_sends.set(0);
+  new_ring_buffer_.clear();
+  buffered_token_.reset();
 }
 
 void EvsNode::recovery_local_plan_and_install(RingId new_ring) {
@@ -440,6 +547,22 @@ void EvsNode::install_configuration(RingId new_ring, std::vector<ProcessId> memb
   if (recovery_since_ != 0) met_.recovery_us.record(install_now - recovery_since_);
   gather_since_ = recovery_since_ = rotation_since_ = 0;
 
+  // Persist the install BEFORE any step-6 delivery reaches the application.
+  // A crash after the persist recovers into the new configuration having
+  // lost the 6.b/6.d deliveries — legal, because the crash is a Fail event
+  // and lost deliveries at a failed process are permitted. The reverse order
+  // would let a crash redeliver the backlog across incarnations (Spec 1.4)
+  // or place the recovered transitional configuration before deliveries the
+  // application already observed (Spec 6.1).
+  Configuration next;
+  next.id = ConfigId::regular(new_ring);
+  next.members = members;
+  ring_seq_ = std::max(ring_seq_, new_ring.seq);
+  if (Status st = persist_install(next); !st.ok()) {
+    storage_fail_stop("install");
+    return;
+  }
+
   if (had_trans) {
     // 6.b: remaining old-ring messages that are deliverable in the *old
     // regular* configuration.
@@ -472,13 +595,7 @@ void EvsNode::install_configuration(RingId new_ring, std::vector<ProcessId> memb
   // 6.e: install the new regular configuration. The node is committed to it
   // before the application learns of it, so a configuration-change handler
   // may immediately send() into the new configuration.
-  Configuration next;
-  next.id = ConfigId::regular(new_ring);
-  next.members = members;
-
   reg_config_ = next;
-  ring_seq_ = std::max(ring_seq_, new_ring.seq);
-  persist_install(next);
 
   core_.emplace(new_ring, members, self_, opts_.ordering, &metrics_);
   old_ring_ = new_ring;
@@ -610,7 +727,12 @@ void EvsNode::maybe_propose() {
   const auto members = gather_->proposed_membership();
   if (gather_->representative() == self_) {
     ring_seq_ = std::max(ring_seq_, gather_->max_ring_seq_seen()) + 1;
-    persist_ring_seq();
+    if (Status st = persist_ring_seq(); !st.ok()) {
+      // Proposing a ring seq that might repeat after a crash would violate
+      // per-process ring monotonicity; fail-stop instead.
+      storage_fail_stop("propose ring_seq");
+      return;
+    }
     const RingId ring{ring_seq_, self_};
     EVS_DEBUG("evs", "%s proposes %s with %zu members", to_string(self_).c_str(),
               to_string(ring).c_str(), members.size());
@@ -646,7 +768,10 @@ ExchangeMsg EvsNode::make_exchange() const {
 void EvsNode::adopt_proposal(RingId ring, std::vector<ProcessId> members) {
   bump_epoch();
   ring_seq_ = std::max(ring_seq_, ring.seq);
-  persist_ring_seq();
+  if (Status st = persist_ring_seq(); !st.ok()) {
+    storage_fail_stop("adopt ring_seq");
+    return;
+  }
   state_ = State::Recovery;
   met_.recoveries.inc();
 
@@ -732,9 +857,20 @@ void EvsNode::recovery_round() {
     if (!opts_.faults.ignore_obligations) {
       obligation_set_ = recovery_->merged_obligations(trans);
     }
-    persist_recovery_state();
-    acked_complete_ = true;
-    span_end(rebroadcast_span_);
+    if (opts_.faults.ack_without_persist) {
+      // Mutation under test: acknowledge without writing anything. A crash
+      // after this ack recovers without the backlog the ack promised.
+      acked_complete_ = true;
+      span_end(rebroadcast_span_);
+    } else if (Status st = persist_recovery_state(); st.ok()) {
+      acked_complete_ = true;
+      span_end(rebroadcast_span_);
+    } else {
+      // Never acknowledge what is not durable. The ack below still goes out
+      // with complete=false; the next exchange tick retries the persist, and
+      // the recovery timeout regathers if the store stays broken.
+      met_.persist_retries.inc();
+    }
   }
   broadcast(encode_msg(RecoveryAckMsg{self_, recovery_->proposed_ring(), old_ring_,
                                       old_received_, acked_complete_}));
@@ -883,8 +1019,15 @@ void EvsNode::deliver_ready() {
   if (state_ != State::Operational) return;
   const auto ready = core_->drain_deliverable();
   if (ready.empty()) return;
+  // Write-ahead: drain_deliverable() has already advanced delivered_upto, so
+  // record the progress BEFORE the application callbacks run. A crash in
+  // between loses these deliveries at a failed process (legal); the reverse
+  // order would redeliver them to the next incarnation (Spec 1.4 forbids).
+  if (Status st = persist_delivered_meta(); !st.ok()) {
+    storage_fail_stop("delivered_meta");
+    return;
+  }
   for (const RegularMsg& m : ready) deliver_one(m, reg_config_);
-  persist_delivered_meta();
 }
 
 void EvsNode::handle_regular(const RegularMsg& m) {

@@ -68,6 +68,12 @@ class EvsNode final : public Endpoint {
     /// Ignore the acknowledgment horizon: deliver safe messages as soon as
     /// they are ordered (breaks Spec 7.1 when a partition interrupts).
     bool skip_safe_horizon{false};
+    /// Omit the persist half of step 5.c: acknowledge recovery completion
+    /// without writing the backlog and obligation set to stable storage. A
+    /// crash after the ack then recovers without what the ack promised
+    /// (breaks Specs 3/5/7.1 in crash-during-recovery scenarios — the
+    /// mutation the crash-point sweep must catch).
+    bool ack_without_persist{false};
   };
 
   struct Options {
@@ -139,6 +145,9 @@ class EvsNode final : public Endpoint {
     std::uint64_t token_retransmits{0};    ///< tokens re-sent by the loss guard
     std::uint64_t send_errors{0};          ///< send() calls rejected with a Status
     std::uint64_t backpressure_rejections{0};  ///< sends refused at the queue cap
+    // --- fallible stable storage (see storage/stable_store.hpp) ---
+    std::uint64_t storage_fail_stops{0};  ///< persists whose failure stopped the node
+    std::uint64_t persist_retries{0};     ///< step-5.c acks aborted by a failed persist
   };
 
   using DeliverHandler = std::function<void(const Delivery&)>;
@@ -277,11 +286,22 @@ class EvsNode final : public Endpoint {
   void close_episode_spans();      ///< end any open gather/recovery spans
 
   // --- persistence ---
-  void persist_ring_seq();
-  void persist_install(const Configuration& config);
-  void persist_recovery_state();
-  void persist_delivered_meta();
-  void load_persisted();
+  // Every persist is fallible (see storage/stable_store.hpp). The policy,
+  // derived from the paper's persist-before-acknowledge ordering:
+  //   * step 5.c (persist_recovery_state) failing aborts the completion
+  //     acknowledgement — the next exchange tick retries, and the recovery
+  //     timeout regathers if the store stays broken (never ack-without-persist);
+  //   * any other persist failing is a fail-stop (storage_fail_stop): the
+  //     node cannot uphold its durable obligations, so it becomes a crashed
+  //     process — exactly the failure mode the protocol already tolerates.
+  [[nodiscard]] Status persist_ring_seq();
+  [[nodiscard]] Status persist_install(const Configuration& config);
+  [[nodiscard]] Status persist_recovery_state();
+  [[nodiscard]] Status persist_delivered_meta();
+  [[nodiscard]] Status load_persisted();
+  /// Stable storage failed under a must-persist write: count it and turn
+  /// this node into a failed process (crash), or tear down a partial boot.
+  void storage_fail_stop(const char* where);
 
   // identity / environment
   ProcessId self_;
@@ -362,6 +382,8 @@ class EvsNode final : public Endpoint {
     obs::Counter& token_retransmits;
     obs::Counter& send_errors;
     obs::Counter& backpressure_rejections;
+    obs::Counter& storage_fail_stops;
+    obs::Counter& persist_retries;
     obs::Gauge& pending_sends;          ///< current send-queue depth
     obs::Histogram& gather_us;          ///< enter_gather -> adopted proposal
     obs::Histogram& recovery_us;        ///< adopted proposal -> install
@@ -383,5 +405,13 @@ class EvsNode final : public Endpoint {
 };
 
 const char* to_string(EvsNode::State s);
+
+/// Stable-storage key space of ring r's message backlog
+/// ("bmsg/<ring.seq>.<ring.rep>/<seq>", every number fixed-width zero-padded
+/// hex). Exposed so tests can pin the prefix-freedom property: the prefix of
+/// one ring is never a string prefix of another's, so garbage-collecting
+/// configuration N's backlog cannot erase configuration N0's records.
+std::string backlog_prefix(const RingId& ring);
+std::string backlog_msg_key(const RingId& ring, SeqNum seq);
 
 }  // namespace evs

@@ -102,6 +102,11 @@ class Network {
   void set_fault_plan(FaultPlan plan);
   void clear_faults() { retire_injector(); }
   const FaultInjector* faults() const { return injector_.get(); }
+  /// Mutable injector access for the stable-storage write path: each
+  /// StableStore's fault hook routes record appends through
+  /// FaultInjector::apply_storage so disk and network faults share one
+  /// deterministic seeded stream. nullptr when no plan is installed.
+  FaultInjector* faults_mutable() { return injector_.get(); }
   /// Cumulative injector stats, including injectors already cleared or
   /// replaced — tests clear faults to quiesce and then inspect what ran.
   FaultStats fault_stats() const {

@@ -90,6 +90,22 @@ Status check_memory_metrics(const JsonValue& metrics, const std::string& where) 
   return Status::ok_status();
 }
 
+/// The crash-consistency surface: every StableStore pre-creates the
+/// "storage.*" counters, and every cluster aggregate folds its stores in,
+/// so a snapshot (or a bench run that drove EVS nodes) missing them means
+/// the fallible-storage instrumentation was dropped — fail validation.
+Status check_storage_metrics(const JsonValue& metrics, const std::string& where) {
+  const JsonValue* counters = metrics.find("counters");
+  for (const char* c :
+       {"storage.writes", "storage.bytes", "storage.write_failures",
+        "storage.torn_records", "storage.crc_failures", "storage.repairs"}) {
+    if (counters == nullptr || counters->find(c) == nullptr) {
+      return shape_error(where, std::string("missing storage counter '") + c + "'");
+    }
+  }
+  return Status::ok_status();
+}
+
 Status check_schema_header(const JsonValue& v, const std::string& expect_schema) {
   const JsonValue* schema = v.find("schema");
   if (schema == nullptr || !schema->is_string() || schema->string != expect_schema) {
@@ -154,8 +170,13 @@ Status validate_snapshot_json(const JsonValue& v) {
     if (Status st = validate_metrics_json(*m); !st.ok()) return st;
   }
   // The aggregate folds in every node's registry, so the memory-bound
-  // instruments must always be present there.
+  // instruments must always be present there — and every store's registry,
+  // so the storage instruments must be too.
   if (Status st = check_memory_metrics(*v.find("aggregate"), "snapshot.aggregate");
+      !st.ok()) {
+    return st;
+  }
+  if (Status st = check_storage_metrics(*v.find("aggregate"), "snapshot.aggregate");
       !st.ok()) {
     return st;
   }
@@ -187,10 +208,14 @@ Status validate_report_json(const JsonValue& v) {
     if (metrics == nullptr) return shape_error("report.runs", "missing 'metrics'");
     if (Status st = validate_metrics_json(*metrics); !st.ok()) return st;
     // Runs that exercised EVS nodes (marker: the always-created evs.sent
-    // counter) must carry the memory-bound instruments too.
+    // counter) must carry the memory-bound and storage instruments too.
     const JsonValue* counters = metrics->find("counters");
     if (counters != nullptr && counters->find("evs.sent") != nullptr) {
       if (Status st = check_memory_metrics(*metrics, "report." + name->string);
+          !st.ok()) {
+        return st;
+      }
+      if (Status st = check_storage_metrics(*metrics, "report." + name->string);
           !st.ok()) {
         return st;
       }

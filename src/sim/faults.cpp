@@ -54,6 +54,17 @@ FaultPlan FaultPlan::asymmetric_cut(ProcessId src, ProcessId dst, SimTime from_u
   return FaultPlan{}.add(rule);
 }
 
+FaultPlan FaultPlan::disk_faults(double write_fail, double torn, double rot,
+                                 SimTime from_us, SimTime until_us) {
+  StorageFaultRule rule;
+  rule.from_us = from_us;
+  rule.until_us = until_us;
+  rule.write_fail = write_fail;
+  rule.torn = torn;
+  rule.rot = rot;
+  return FaultPlan{}.add(rule);
+}
+
 FaultPlan FaultPlan::token_loss(double p, SimTime from_us, SimTime until_us) {
   FaultRule rule;
   rule.tokens_only = true;
@@ -127,6 +138,42 @@ FaultInjector::Action FaultInjector::apply(ProcessId from, ProcessId to, SimTime
   return action;
 }
 
+StableStore::WriteFault FaultInjector::apply_storage(ProcessId p, SimTime now,
+                                                     std::size_t record_bytes) {
+  StableStore::WriteFault fault;
+  if (plan_.storage_rules().empty()) return fault;
+  ++stats_.writes_considered;
+  for (const StorageFaultRule& rule : plan_.storage_rules()) {
+    if (!rule.matches(p, now)) continue;
+    if (rule.write_fail > 0 && rng_.chance(rule.write_fail)) {
+      fault.kind = StableStore::WriteFault::Kind::Fail;
+      ++stats_.write_failed;
+      ++stats_.injected_total;
+      note(now, "write-fail", p, p);
+      return fault;
+    }
+    if (rule.torn > 0 && rng_.chance(rule.torn)) {
+      fault.kind = StableStore::WriteFault::Kind::Torn;
+      // Keep a strict prefix: anywhere from the bare header down to one byte.
+      fault.keep_bytes = record_bytes == 0 ? 0 : rng_.below(record_bytes);
+      ++stats_.write_torn;
+      ++stats_.injected_total;
+      note(now, "write-torn", p, p);
+      return fault;
+    }
+    if (rule.rot > 0 && rng_.chance(rule.rot)) {
+      fault.kind = StableStore::WriteFault::Kind::Rot;
+      fault.rot_offset = record_bytes == 0 ? 0 : rng_.below(record_bytes);
+      fault.rot_xor = static_cast<std::uint8_t>(1 + rng_.below(255));
+      ++stats_.write_rotted;
+      ++stats_.injected_total;
+      note(now, "write-rot", p, p);
+      return fault;
+    }
+  }
+  return fault;
+}
+
 std::string FaultInjector::format_log() const {
   std::string out;
   for (const FaultEvent& e : log_) {
@@ -146,6 +193,10 @@ FaultStats& operator+=(FaultStats& a, const FaultStats& b) {
   a.corrupted += b.corrupted;
   a.reordered += b.reordered;
   a.delay_spiked += b.delay_spiked;
+  a.writes_considered += b.writes_considered;
+  a.write_failed += b.write_failed;
+  a.write_torn += b.write_torn;
+  a.write_rotted += b.write_rotted;
   return a;
 }
 
@@ -157,7 +208,11 @@ std::string to_string(const FaultStats& s) {
          " duplicated=" + std::to_string(s.duplicated) +
          " corrupted=" + std::to_string(s.corrupted) +
          " reordered=" + std::to_string(s.reordered) +
-         " delay_spiked=" + std::to_string(s.delay_spiked);
+         " delay_spiked=" + std::to_string(s.delay_spiked) +
+         " writes_considered=" + std::to_string(s.writes_considered) +
+         " write_failed=" + std::to_string(s.write_failed) +
+         " write_torn=" + std::to_string(s.write_torn) +
+         " write_rotted=" + std::to_string(s.write_rotted);
 }
 
 }  // namespace evs

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/stable_store.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -52,6 +53,25 @@ struct FaultRule {
   bool matches(ProcessId from, ProcessId to, SimTime now, bool is_token) const;
 };
 
+/// One stable-storage fault rule: the disk analogue of FaultRule. Applies
+/// to a record append at a process when the (process, time) pair matches;
+/// the probabilities are evaluated in order and at most one fires per
+/// append (a single write suffers a single fate).
+struct StorageFaultRule {
+  std::optional<ProcessId> process;  ///< nullopt = every process's store
+  SimTime from_us{0};                ///< active window [from_us, until_us)
+  SimTime until_us{~0ull};
+
+  double write_fail{0};  ///< P(clean EIO: nothing persisted, store usable)
+  double torn{0};        ///< P(prefix persisted, error returned, store wedged)
+  double rot{0};         ///< P(byte-flipped record persisted, error, wedged)
+
+  bool matches(ProcessId p, SimTime now) const {
+    if (process.has_value() && *process != p) return false;
+    return now >= from_us && now < until_us;
+  }
+};
+
 /// An ordered list of FaultRules plus the injector seed. Scripted from
 /// testkit::Cluster the same way partitions are.
 class FaultPlan {
@@ -60,6 +80,16 @@ class FaultPlan {
     rules_.push_back(std::move(rule));
     return *this;
   }
+
+  FaultPlan& add(StorageFaultRule rule) {
+    storage_rules_.push_back(std::move(rule));
+    return *this;
+  }
+
+  /// Fallible-disk storm at every process: independent write-fail / torn /
+  /// corrupted-write probabilities over [from_us, until_us).
+  static FaultPlan disk_faults(double write_fail, double torn, double rot,
+                               SimTime from_us = 0, SimTime until_us = ~0ull);
 
   /// Uniform storm on every link: duplication, bounded reordering and byte
   /// corruption at the given rates, over [from_us, until_us).
@@ -74,8 +104,11 @@ class FaultPlan {
   static FaultPlan token_loss(double p, SimTime from_us = 0,
                               SimTime until_us = ~0ull);
 
-  bool empty() const { return rules_.empty(); }
+  bool empty() const { return rules_.empty() && storage_rules_.empty(); }
   const std::vector<FaultRule>& rules() const { return rules_; }
+  const std::vector<StorageFaultRule>& storage_rules() const {
+    return storage_rules_;
+  }
 
   /// Injector RNG seed. 0 means "derive from the network's seeded stream",
   /// which is still deterministic per (cluster seed, plan).
@@ -83,6 +116,7 @@ class FaultPlan {
 
  private:
   std::vector<FaultRule> rules_;
+  std::vector<StorageFaultRule> storage_rules_;
 };
 
 struct FaultStats {
@@ -94,6 +128,11 @@ struct FaultStats {
   std::uint64_t corrupted{0};
   std::uint64_t reordered{0};
   std::uint64_t delay_spiked{0};
+  // --- stable-storage faults (see StorageFaultRule) ---
+  std::uint64_t writes_considered{0};
+  std::uint64_t write_failed{0};
+  std::uint64_t write_torn{0};
+  std::uint64_t write_rotted{0};
 };
 
 /// One injected fault, for the bounded in-memory fault log that the testkit
@@ -124,6 +163,15 @@ class FaultInjector {
   /// injector's seed and call sequence.
   Action apply(ProcessId from, ProcessId to, SimTime now,
                std::vector<std::uint8_t>& payload);
+
+  /// Decide the fate of one stable-storage record append of `record_bytes`
+  /// framed bytes at process `p`. Draws from the same seeded stream as
+  /// apply(), so storage and network faults share one deterministic
+  /// schedule. Returns the no-fault verdict when no storage rule matches
+  /// (and draws nothing, so plans without storage rules leave network
+  /// fault sequences untouched).
+  StableStore::WriteFault apply_storage(ProcessId p, SimTime now,
+                                        std::size_t record_bytes);
 
   const FaultPlan& plan() const { return plan_; }
   const FaultStats& stats() const { return stats_; }

@@ -1,12 +1,229 @@
 #include "storage/stable_store.hpp"
 
-namespace evs {
+#include <algorithm>
 
-void StableStore::erase_prefix(const std::string& prefix) {
-  auto it = data_.lower_bound(prefix);
-  while (it != data_.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
-    it = data_.erase(it);
+#include "util/assert.hpp"
+#include "wire/codec.hpp"
+
+namespace evs {
+namespace {
+
+constexpr std::size_t kFrameHeader = 8;  // [u32 length][u32 crc]
+
+/// Compact once the log passes this size AND exceeds kCompactFactor times
+/// the (estimated) framed size of the live map. Both thresholds are needed:
+/// the first keeps tiny stores from churning, the second makes compaction a
+/// function of garbage ratio, not absolute size.
+constexpr std::size_t kCompactMinBytes = 64u * 1024;
+constexpr std::size_t kCompactFactor = 3;
+
+std::uint32_t frame_length_at(const std::vector<std::uint8_t>& log, std::size_t pos) {
+  return static_cast<std::uint32_t>(log[pos]) |
+         (static_cast<std::uint32_t>(log[pos + 1]) << 8) |
+         (static_cast<std::uint32_t>(log[pos + 2]) << 16) |
+         (static_cast<std::uint32_t>(log[pos + 3]) << 24);
+}
+
+}  // namespace
+
+StableStore::StableStore()
+    : met_writes_(metrics_.counter("storage.writes")),
+      met_bytes_(metrics_.counter("storage.bytes")),
+      met_write_failures_(metrics_.counter("storage.write_failures")),
+      met_torn_records_(metrics_.counter("storage.torn_records")),
+      met_crc_failures_(metrics_.counter("storage.crc_failures")),
+      met_repairs_(metrics_.counter("storage.repairs")) {}
+
+std::uint64_t StableStore::writes() const { return met_writes_.value(); }
+std::uint64_t StableStore::bytes_written() const { return met_bytes_.value(); }
+
+// --------------------------------------------------------------------------
+// record encoding
+
+StableStore::Blob StableStore::make_record(Op op, const std::string& key,
+                                           const Blob* value) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(op));
+  if (op != Op::Clear) w.str(key);
+  if (op == Op::Put) w.bytes(*value);
+  auto framed = wire::seal_frame(w.take());
+  EVS_ASSERT_MSG(framed.ok(), "stable-store record exceeds the frame limit");
+  return std::move(*framed);
+}
+
+bool StableStore::replay_into(std::map<std::string, Blob>& map,
+                              std::span<const std::uint8_t> body) {
+  wire::Reader r(body);
+  const std::uint8_t op = r.u8();
+  switch (static_cast<Op>(op)) {
+    case Op::Put: {
+      std::string key = r.str();
+      Blob value = r.bytes();
+      if (!r.done()) return false;
+      map[std::move(key)] = std::move(value);
+      return true;
+    }
+    case Op::Erase: {
+      std::string key = r.str();
+      if (!r.done()) return false;
+      map.erase(key);
+      return true;
+    }
+    case Op::ErasePrefix: {
+      std::string prefix = r.str();
+      if (!r.done()) return false;
+      auto it = map.lower_bound(prefix);
+      while (it != map.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+        it = map.erase(it);
+      }
+      return true;
+    }
+    case Op::Clear:
+      if (!r.done()) return false;
+      map.clear();
+      return true;
   }
+  return false;
+}
+
+// --------------------------------------------------------------------------
+// write path
+
+Status StableStore::append_record(Blob framed, std::size_t payload_bytes,
+                                  const std::function<void()>& apply) {
+  ++appends_attempted_;
+  if (wedged_) {
+    met_write_failures_.inc();
+    return Status::error(Errc::storage_io,
+                         "store wedged by a torn/corrupt write; open() required");
+  }
+
+  WriteFault fault;
+  bool tripped = false;
+  if (budget_remaining_ > 0) {
+    if (--budget_remaining_ == 0) {
+      tripped = true;
+      switch (budget_tail_) {
+        case TailFault::Clean:
+          break;  // the write lands; the crash fires right after
+        case TailFault::Torn:
+          fault.kind = WriteFault::Kind::Torn;
+          fault.keep_bytes = framed.size() / 2;
+          break;
+        case TailFault::Corrupt:
+          fault.kind = WriteFault::Kind::Rot;
+          // Flip a body byte (never the header), so the record reads as a
+          // well-framed entry whose CRC check fails at open().
+          fault.rot_offset = kFrameHeader + (framed.size() - kFrameHeader) / 2;
+          break;
+      }
+    }
+  } else if (fault_hook_) {
+    fault = fault_hook_(framed.size());
+  }
+
+  Status result;
+  switch (fault.kind) {
+    case WriteFault::Kind::None:
+      log_.insert(log_.end(), framed.begin(), framed.end());
+      apply();
+      met_writes_.inc();
+      met_bytes_.inc(payload_bytes);
+      maybe_compact();
+      break;
+    case WriteFault::Kind::Fail:
+      // Transient EIO: the device rejected the write atomically. Nothing
+      // reached the log, the store stays usable for a retry.
+      met_write_failures_.inc();
+      result = Status::error(Errc::storage_io, "injected write failure");
+      break;
+    case WriteFault::Kind::Torn: {
+      const std::size_t keep = std::min(fault.keep_bytes, framed.size() - 1);
+      log_.insert(log_.end(), framed.begin(),
+                  framed.begin() + static_cast<std::ptrdiff_t>(keep));
+      met_write_failures_.inc();
+      met_torn_records_.inc();
+      wedged_ = true;
+      result = Status::error(Errc::storage_io, "injected torn write");
+      break;
+    }
+    case WriteFault::Kind::Rot: {
+      const std::size_t off = std::min(fault.rot_offset, framed.size() - 1);
+      framed[off] ^= (fault.rot_xor != 0 ? fault.rot_xor : std::uint8_t{1});
+      log_.insert(log_.end(), framed.begin(), framed.end());
+      met_write_failures_.inc();
+      wedged_ = true;
+      result = Status::error(Errc::storage_io, "injected corrupted write");
+      break;
+    }
+  }
+
+  if (tripped) {
+    // One-shot: hand the crash-point scheduler control *after* the log has
+    // taken whatever damage the variant called for.
+    auto trip = std::move(budget_trip_);
+    budget_trip_ = nullptr;
+    budget_tail_ = TailFault::Clean;
+    if (trip) trip();
+  }
+  return result;
+}
+
+Status StableStore::put(const std::string& key, Blob value) {
+  const std::size_t payload = value.size();
+  Blob framed = make_record(Op::Put, key, &value);
+  return append_record(std::move(framed), payload, [this, &key, &value] {
+    data_[key] = std::move(value);
+  });
+}
+
+Status StableStore::erase(const std::string& key) {
+  return append_record(make_record(Op::Erase, key, nullptr), 0,
+                       [this, &key] { data_.erase(key); });
+}
+
+Status StableStore::erase_prefix(const std::string& prefix) {
+  return append_record(make_record(Op::ErasePrefix, prefix, nullptr), 0,
+                       [this, &prefix] {
+                         auto it = data_.lower_bound(prefix);
+                         while (it != data_.end() &&
+                                it->first.compare(0, prefix.size(), prefix) == 0) {
+                           it = data_.erase(it);
+                         }
+                       });
+}
+
+Status StableStore::clear() {
+  return append_record(make_record(Op::Clear, std::string{}, nullptr), 0,
+                       [this] { data_.clear(); });
+}
+
+void StableStore::maybe_compact() {
+  if (wedged_ || log_.size() < kCompactMinBytes) return;
+  // Estimated framed size of a freshly compacted log: per entry, frame
+  // header + op byte + two length-prefixed fields.
+  std::size_t live = 0;
+  for (const auto& [key, value] : data_) {
+    live += kFrameHeader + 1 + 4 + key.size() + 4 + value.size();
+  }
+  if (log_.size() <= kCompactFactor * std::max<std::size_t>(live, 1)) return;
+  std::vector<std::uint8_t> fresh;
+  fresh.reserve(live);
+  for (const auto& [key, value] : data_) {
+    const Blob rec = make_record(Op::Put, key, &value);
+    fresh.insert(fresh.end(), rec.begin(), rec.end());
+  }
+  log_ = std::move(fresh);
+  metrics_.counter("storage.compactions").inc();
+}
+
+// --------------------------------------------------------------------------
+// reads
+
+std::optional<StableStore::Blob> StableStore::get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::vector<std::string> StableStore::keys_with_prefix(const std::string& prefix) const {
@@ -16,6 +233,116 @@ std::vector<std::string> StableStore::keys_with_prefix(const std::string& prefix
     out.push_back(it->first);
   }
   return out;
+}
+
+// --------------------------------------------------------------------------
+// crash / recovery
+
+void StableStore::crash() { data_.clear(); }
+
+StableStore::OpenReport StableStore::open() {
+  OpenReport rep;
+  std::map<std::string, Blob> data;
+  std::vector<std::uint8_t> clean;
+  clean.reserve(log_.size());
+
+  std::size_t pos = 0;
+  while (pos < log_.size()) {
+    const std::size_t remaining = log_.size() - pos;
+    if (remaining < kFrameHeader) {
+      // Not even a whole header: the final append died mid-write.
+      ++rep.torn_truncated;
+      break;
+    }
+    const std::uint32_t length = frame_length_at(log_, pos);
+    if (length > wire::kMaxFrameBody) {
+      // A length field no seal_frame ever produced: the framing itself is
+      // damaged, so nothing past this point can be trusted or re-synced.
+      // Quarantine the rest of the log wholesale.
+      ++rep.corrupt_quarantined;
+      met_crc_failures_.inc();
+      break;
+    }
+    const std::size_t record = kFrameHeader + length;
+    if (record > remaining) {
+      ++rep.torn_truncated;
+      break;
+    }
+    const std::span<const std::uint8_t> frame(log_.data() + pos, record);
+    const auto body = wire::open_frame(frame);
+    if (!body.ok()) {
+      ++rep.corrupt_quarantined;
+      met_crc_failures_.inc();
+      pos += record;
+      continue;
+    }
+    if (!replay_into(data, *body)) {
+      // Checksum fine but the body does not decode as any known op: treat
+      // like corruption (a CRC collision, or damage to an unframed region).
+      ++rep.corrupt_quarantined;
+      pos += record;
+      continue;
+    }
+    clean.insert(clean.end(), frame.begin(), frame.end());
+    ++rep.records_kept;
+    pos += record;
+  }
+
+  met_repairs_.inc(rep.torn_truncated + rep.corrupt_quarantined);
+  log_ = std::move(clean);
+  data_ = std::move(data);
+  wedged_ = false;
+  last_open_ = rep;
+  return rep;
+}
+
+// --------------------------------------------------------------------------
+// fault scheduling & test hooks
+
+void StableStore::arm_write_budget(std::uint64_t nth, TailFault tail,
+                                   std::function<void()> on_trip) {
+  EVS_ASSERT_MSG(nth > 0, "write budget is 1-based");
+  budget_remaining_ = nth;
+  budget_tail_ = tail;
+  budget_trip_ = std::move(on_trip);
+}
+
+void StableStore::disarm_write_budget() {
+  budget_remaining_ = 0;
+  budget_tail_ = TailFault::Clean;
+  budget_trip_ = nullptr;
+}
+
+void StableStore::damage_tail(TailFault v) {
+  if (log_.empty() || v == TailFault::Clean) return;
+  // Find the final record's start by walking the frame chain.
+  std::size_t pos = 0;
+  std::size_t last = 0;
+  while (pos < log_.size()) {
+    const std::size_t remaining = log_.size() - pos;
+    if (remaining < kFrameHeader) break;
+    const std::uint32_t length = frame_length_at(log_, pos);
+    const std::size_t record = kFrameHeader + length;
+    if (length > wire::kMaxFrameBody || record > remaining) break;
+    last = pos;
+    pos += record;
+  }
+  const std::size_t len = log_.size() - last;
+  if (v == TailFault::Torn) {
+    log_.resize(last + len / 2);
+  } else {
+    // Flip a byte in the final record's body; a tail shorter than one frame
+    // header (a stub left by an earlier tear) gets its middle byte flipped.
+    const std::size_t at = len > kFrameHeader
+                               ? last + kFrameHeader + (len - kFrameHeader) / 2
+                               : last + len / 2;
+    log_[at] ^= 0x01;
+  }
+}
+
+void StableStore::rot_log_byte(std::size_t offset, std::uint8_t mask) {
+  if (offset >= log_.size()) return;
+  log_[offset] ^= (mask != 0 ? mask : std::uint8_t{1});
 }
 
 }  // namespace evs

@@ -1,23 +1,55 @@
-// Simulated stable storage.
+// Simulated stable storage: a crash-consistent, checksummed record log.
 //
 // The paper's failure model lets a process "recover after an arbitrary
 // amount of time with its stable storage intact" and with the same
-// identifier. StableStore reproduces that contract: it is owned by the
+// identifier. StableStore reproduces that contract — it is owned by the
 // simulation harness (not by the process), so a crash destroys all volatile
-// process state while the store survives for the recovered incarnation.
+// process state while the store survives for the recovered incarnation —
+// but no longer pretends the disk is perfect.
 //
-// Writes are synchronous: once put() returns, the value survives any crash.
-// The protocol relies on this when it persists received messages and the
-// obligation set *before* acknowledging in recovery step 5 (see
-// evs/recovery.cpp) — that ordering is what makes safe delivery meaningful
-// across crashes (Specification 7.1).
+// Durable truth is an append-only log of records, each wrapped in the same
+// [u32 length][u32 CRC-32][body] frame as the wire protocol
+// (wire::seal_frame / wire::open_frame). A record body is one mutation:
+// put, erase, erase_prefix or clear. The key/value map every reader sees is
+// the volatile replay of that log; crash() discards it and open() rebuilds
+// it by validating the whole log:
+//
+//   * a torn tail (the final record persisted only as a prefix, or its
+//     header promises more bytes than exist) is truncated — the write never
+//     completed, so the mutation is simply absent;
+//   * a mid-log record failing its CRC (bit rot, or an in-flight write that
+//     was corrupted before the crash) is quarantined: skipped, counted, and
+//     removed from the durable log so the damage cannot compound;
+//   * everything that validates replays in order.
+//
+// The write path is fallible. put()/erase()/erase_prefix()/clear() return
+// Status: a fault hook (driven by the FaultPlan/FaultInjector engine in
+// src/sim/faults.*) or an armed write budget (the crash-point scheduler in
+// testkit::Cluster) can make any append fail cleanly (Errc::storage_io,
+// nothing persisted), tear (a prefix reaches the log, the error returns),
+// or rot in flight (garbage reaches the log, the error returns). After a
+// torn or corrupted append the store is *wedged* — the simulated device
+// never acknowledged, so no further write is accepted until open() has
+// re-validated the log. The protocol layers above treat any failed persist
+// as grounds to abort the action it was meant to enable (recovery step 5.c:
+// never acknowledge what is not on disk; see evs/node.cpp).
+//
+// Compaction: when the log grows well past the live data it encodes, it is
+// rewritten from the replayed map. Compaction is internal bookkeeping — it
+// is exempt from fault injection and does not advance the write budget, so
+// crash-point enumeration stays stable.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/status.hpp"
 
 namespace evs {
 
@@ -25,39 +57,135 @@ class StableStore {
  public:
   using Blob = std::vector<std::uint8_t>;
 
-  void put(const std::string& key, Blob value) {
-    ++writes_;
-    bytes_written_ += value.size();
-    data_[key] = std::move(value);
-  }
+  /// Verdict for one record append, injected by the fault hook (see
+  /// FaultInjector::apply_storage in src/sim/faults.hpp).
+  struct WriteFault {
+    enum class Kind : std::uint8_t {
+      None,  ///< the append succeeds
+      Fail,  ///< transient I/O error: nothing persisted, store stays usable
+      Torn,  ///< a prefix of the framed record persists; store wedges
+      Rot,   ///< the framed record persists with a flipped byte; store wedges
+    };
+    Kind kind{Kind::None};
+    std::size_t keep_bytes{0};   ///< Torn: bytes of the framed record kept
+    std::size_t rot_offset{0};   ///< Rot: offset into the framed record
+    std::uint8_t rot_xor{0x01};  ///< Rot: xor mask applied (must be nonzero)
+  };
+  using FaultHook = std::function<WriteFault(std::size_t record_bytes)>;
 
-  std::optional<Blob> get(const std::string& key) const {
-    auto it = data_.find(key);
-    if (it == data_.end()) return std::nullopt;
-    return it->second;
-  }
+  /// How the write that exhausts an armed budget lands on the log.
+  enum class TailFault : std::uint8_t { Clean, Torn, Corrupt };
 
-  bool contains(const std::string& key) const { return data_.count(key) > 0; }
+  /// What open() found and repaired while validating the log.
+  struct OpenReport {
+    std::size_t records_kept{0};
+    std::size_t torn_truncated{0};      ///< incomplete tail records dropped
+    std::size_t corrupt_quarantined{0}; ///< CRC/decode-failing records skipped
+    bool repaired() const { return torn_truncated + corrupt_quarantined > 0; }
+  };
 
-  void erase(const std::string& key) { data_.erase(key); }
+  StableStore();
 
+  // --- fallible mutation API (each call appends one record to the log) ---
+  [[nodiscard]] Status put(const std::string& key, Blob value);
+  [[nodiscard]] Status erase(const std::string& key);
   /// Remove every key with the given prefix (used to garbage-collect the
-  /// message log of a superseded configuration).
-  void erase_prefix(const std::string& prefix);
+  /// message log of a superseded configuration). One log record regardless
+  /// of how many keys match.
+  [[nodiscard]] Status erase_prefix(const std::string& prefix);
+  [[nodiscard]] Status clear();
 
+  // --- reads (the replayed view; unaffected by injected write faults that
+  // were reported back to the caller, because a failed mutation is never
+  // applied to the map either) ---
+  std::optional<Blob> get(const std::string& key) const;
+  bool contains(const std::string& key) const { return data_.count(key) > 0; }
   /// Keys with the given prefix, sorted.
   std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
-
-  void clear() { data_.clear(); }
-
   std::size_t key_count() const { return data_.size(); }
-  std::uint64_t writes() const { return writes_; }
-  std::uint64_t bytes_written() const { return bytes_written_; }
+
+  // --- crash / recovery (driven by the harness) ---
+  /// The process died: the volatile view vanishes, the durable log stays.
+  void crash();
+  /// Recovery-time validation: replay the log, truncate a torn tail,
+  /// quarantine corrupt records, rebuild the view, un-wedge the store.
+  OpenReport open();
+  /// The report of the most recent open() (all-zero before the first).
+  const OpenReport& last_open_report() const { return last_open_; }
+
+  // --- fault injection & crash-point scheduling ---
+  /// Consulted once per record append (compaction excluded). Replaces any
+  /// previous hook; pass nullptr to remove.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  /// Arm a one-shot budget: the nth subsequent append (1-based, compaction
+  /// excluded) lands as `tail` — Clean persists fully, Torn keeps a strict
+  /// prefix, Corrupt persists with a flipped byte (Torn/Corrupt also return
+  /// storage_io and wedge the store). `on_trip` fires right after, from
+  /// inside the mutation call; it must not re-enter the store.
+  void arm_write_budget(std::uint64_t nth, TailFault tail,
+                        std::function<void()> on_trip);
+  void disarm_write_budget();
+  bool write_budget_armed() const { return budget_remaining_ > 0; }
+
+  /// True after a torn/corrupted append until the next open().
+  bool wedged() const { return wedged_; }
+
+  // --- accounting ---
+  /// Successful record appends / payload bytes durably written (the legacy
+  /// counters, now backed by the storage.* instruments below).
+  std::uint64_t writes() const;
+  std::uint64_t bytes_written() const;
+  /// Every record append attempted, including failed/torn/corrupted ones:
+  /// the coordinate system of the crash-point sweep.
+  std::uint64_t appends_attempted() const { return appends_attempted_; }
+  std::size_t log_bytes() const { return log_.size(); }
+
+  /// The store's own instruments (storage.writes, storage.bytes,
+  /// storage.write_failures, storage.torn_records, storage.crc_failures,
+  /// storage.repairs), merged into harness snapshots and reports.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  // --- test hooks: deliberate damage to the durable log ---
+  /// Tear (halve) or corrupt (flip a byte of) the last record in the log.
+  /// No-op on an empty log.
+  void damage_tail(TailFault v);
+  /// Flip one byte of the raw log at `offset` (silent bit rot).
+  void rot_log_byte(std::size_t offset, std::uint8_t mask = 0x01);
 
  private:
-  std::map<std::string, Blob> data_;
-  std::uint64_t writes_{0};
-  std::uint64_t bytes_written_{0};
+  enum class Op : std::uint8_t { Put = 1, Erase = 2, ErasePrefix = 3, Clear = 4 };
+
+  /// Encode+frame one mutation record.
+  static Blob make_record(Op op, const std::string& key, const Blob* value);
+  /// Append one framed record subject to the fault hook and write budget;
+  /// applies `apply` to the map only when the record landed intact.
+  Status append_record(Blob framed, std::size_t payload_bytes,
+                       const std::function<void()>& apply);
+  /// Decode and apply one validated record body to `map`; false = malformed.
+  static bool replay_into(std::map<std::string, Blob>& map,
+                          std::span<const std::uint8_t> body);
+  void maybe_compact();
+
+  std::map<std::string, Blob> data_;  ///< volatile replayed view
+  std::vector<std::uint8_t> log_;     ///< durable framed-record log
+  bool wedged_{false};
+
+  FaultHook fault_hook_;
+  std::uint64_t budget_remaining_{0};  ///< 0 = disarmed
+  TailFault budget_tail_{TailFault::Clean};
+  std::function<void()> budget_trip_;
+
+  std::uint64_t appends_attempted_{0};
+  OpenReport last_open_;
+
+  obs::MetricsRegistry metrics_;
+  obs::Counter& met_writes_;
+  obs::Counter& met_bytes_;
+  obs::Counter& met_write_failures_;
+  obs::Counter& met_torn_records_;
+  obs::Counter& met_crc_failures_;
+  obs::Counter& met_repairs_;
 };
 
 }  // namespace evs

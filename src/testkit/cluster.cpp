@@ -36,6 +36,15 @@ Cluster::Cluster(Options options)
     Proc proc;
     proc.pid = ProcessId{static_cast<std::uint32_t>(i + 1)};
     proc.store = std::make_unique<StableStore>();
+    // Route every record append through the network's fault injector (when
+    // a plan with storage rules is installed), so disk and network faults
+    // draw from one deterministic seeded stream.
+    proc.store->set_fault_hook(
+        [this, pid = proc.pid](std::size_t record_bytes) {
+          FaultInjector* inj = network_->faults_mutable();
+          if (inj == nullptr) return StableStore::WriteFault{};
+          return inj->apply_storage(pid, scheduler_.now(), record_bytes);
+        });
     procs_.push_back(std::move(proc));
   }
   if (options_.auto_start) start_all();
@@ -82,27 +91,94 @@ void Cluster::wire(Proc& proc) {
 
 void Cluster::start_all() {
   for (auto& proc : procs_) {
-    if (proc.node == nullptr) start(proc.pid);
+    if (proc.node == nullptr) {
+      const Status st = start(proc.pid);
+      // A fail-stopped boot (storage fault during the boot persist) is a
+      // legitimate simulated outcome, not a harness bug: the process is left
+      // crashed and recover() can retry it once the fault plan allows.
+      EVS_ASSERT_MSG(st.ok() || st.code() == Errc::storage_io,
+                     st.message().c_str());
+    }
   }
 }
 
-void Cluster::start(ProcessId p) {
+Status Cluster::valid_pid(ProcessId p) const {
+  if (p.value < 1 || p.value > procs_.size()) {
+    return Status::error(Errc::invalid_argument, "unknown process id");
+  }
+  return Status{};
+}
+
+Status Cluster::start(ProcessId p) {
+  if (Status st = valid_pid(p); !st.ok()) return st;
   Proc& proc = procs_[p.value - 1];
-  EVS_ASSERT_MSG(proc.node == nullptr || !proc.node->running(),
-                 "start() on a running process");
+  if (proc.node != nullptr && proc.node->running()) {
+    return Status::error(Errc::invalid_argument, "start() on a running process");
+  }
   proc.node = std::make_unique<EvsNode>(p, *network_, *proc.store, &trace_,
                                         options_.node);
   wire(proc);
   proc.node->start();
+  if (!proc.node->running()) {
+    // The boot's own persistence failed and tore the partial start down.
+    return Status::error(Errc::storage_io, "boot persistence failed; fail-stopped");
+  }
+  return Status{};
 }
 
-void Cluster::crash(ProcessId p) {
+Status Cluster::crash(ProcessId p) {
+  if (Status st = valid_pid(p); !st.ok()) return st;
   Proc& proc = procs_[p.value - 1];
-  EVS_ASSERT(proc.node != nullptr);
+  if (proc.node == nullptr || !proc.node->running()) {
+    return Status::error(Errc::invalid_argument,
+                         "crash() on a process that is not running");
+  }
   proc.node->crash();
+  // The machine died with the process: volatile store state is gone too.
+  // An armed-but-untripped crash point dies with the incarnation.
+  proc.store->disarm_write_budget();
+  proc.store->crash();
+  return Status{};
 }
 
-void Cluster::recover(ProcessId p) { start(p); }
+Status Cluster::recover(ProcessId p) {
+  if (Status st = valid_pid(p); !st.ok()) return st;
+  Proc& proc = procs_[p.value - 1];
+  if (proc.node == nullptr) {
+    return Status::error(Errc::invalid_argument, "recover() before any start()");
+  }
+  if (proc.node->running()) {
+    return Status::error(Errc::invalid_argument, "recover() on a running process");
+  }
+  // Reboot order: replay and repair the durable log (truncate a torn tail,
+  // quarantine corrupt records), then boot the fresh incarnation on it.
+  const StableStore::OpenReport report = proc.store->open();
+  if (report.repaired()) {
+    EVS_INFO("testkit", "%s store repaired on recovery: %zu torn, %zu corrupt",
+             to_string(p).c_str(), report.torn_truncated,
+             report.corrupt_quarantined);
+  }
+  return start(p);
+}
+
+Status Cluster::arm_crash_point(ProcessId p, std::uint64_t nth_write,
+                                StableStore::TailFault variant) {
+  if (Status st = valid_pid(p); !st.ok()) return st;
+  Proc& proc = procs_[p.value - 1];
+  proc.store->arm_write_budget(nth_write, variant, [this, p] {
+    // Crash *after* the event containing the write completes: +0 schedules
+    // ahead of every packet delivery (Network::Options::min_delay_us > 0),
+    // so nothing else of the protocol runs first. Re-entering the store
+    // from this callback is forbidden; scheduling is all it does.
+    scheduler_.schedule_after(0, [this, p] { (void)crash(p); });
+  });
+  return Status{};
+}
+
+std::uint64_t Cluster::store_writes(ProcessId p) const {
+  EVS_ASSERT(p.value >= 1 && p.value <= procs_.size());
+  return procs_[p.value - 1].store->appends_attempted();
+}
 
 void Cluster::partition(const std::vector<std::vector<std::size_t>>& groups) {
   std::vector<std::vector<ProcessId>> components;
@@ -251,6 +327,7 @@ ClusterSnapshot Cluster::snapshot() const {
       n.config = to_string(proc.node->config().id);
       n.pending_sends = proc.node->pending_sends();
       n.metrics = proc.node->metrics();
+      n.metrics.merge_from(proc.store->metrics());
       n.metrics.gauge("evs.pending_sends")
           .set(static_cast<std::int64_t>(n.pending_sends));
     }
@@ -258,6 +335,11 @@ ClusterSnapshot Cluster::snapshot() const {
   }
   snap.network = network_->metrics();
   for (const auto& n : snap.nodes) snap.aggregate.merge_from(n.metrics);
+  for (const auto& proc : procs_) {
+    // Stores of never-started processes still carry the storage.* counters
+    // the snapshot schema requires in the aggregate.
+    if (proc.node == nullptr) snap.aggregate.merge_from(proc.store->metrics());
+  }
   snap.aggregate.merge_from(snap.network);
   if (const FaultInjector* inj = network_->faults()) {
     snap.have_injector = true;
@@ -271,6 +353,7 @@ obs::MetricsRegistry Cluster::aggregate_metrics() const {
   obs::MetricsRegistry agg;
   for (const auto& proc : procs_) {
     if (proc.node != nullptr) agg.merge_from(proc.node->metrics());
+    agg.merge_from(proc.store->metrics());
   }
   agg.merge_from(network_->metrics());
   return agg;

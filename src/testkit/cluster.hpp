@@ -75,11 +75,32 @@ class Cluster {
   StableStore& store(ProcessId p);
 
   // --- lifecycle ---
+  // All lifecycle steps return Status instead of asserting: the crash-point
+  // sweep (and any scripted scenario) drives them from scheduled callbacks
+  // where a lifecycle race is an expected outcome, not a harness bug.
+  // Errc::invalid_argument reports an unknown pid or a misuse (double
+  // crash, recover without a prior start, start while running);
+  // Errc::storage_io reports a boot whose own persistence fail-stopped it.
   void start_all();
-  void start(ProcessId p);
-  void crash(ProcessId p);
-  /// Construct a fresh incarnation on the same store and start it.
-  void recover(ProcessId p);
+  Status start(ProcessId p);
+  /// Fail the process: the node loses its volatile state, and so does the
+  /// store (its durable log survives; recover() replays it).
+  Status crash(ProcessId p);
+  /// Construct a fresh incarnation on the same store and start it. Replays
+  /// and repairs the store's log first (truncating a torn tail record,
+  /// quarantining corrupt ones) exactly like a reboot would.
+  Status recover(ProcessId p);
+
+  // --- crash-point exploration (see tests/evs/crash_test.cpp) ---
+  /// Arm process p's store so its nth append (1-based) lands per `variant`
+  /// and then schedules crash(p) at the current simulation time — i.e. the
+  /// event containing the write finishes, and the process dies before any
+  /// further packet delivery. Clean leaves the write durable; Torn/Corrupt
+  /// damage it exactly as a mid-write power cut would.
+  Status arm_crash_point(ProcessId p, std::uint64_t nth_write,
+                         StableStore::TailFault variant);
+  /// Appends attempted against p's store so far (the crash-point domain).
+  std::uint64_t store_writes(ProcessId p) const;
 
   // --- network scripting (groups are process indexes) ---
   void partition(const std::vector<std::vector<std::size_t>>& groups);
@@ -154,6 +175,7 @@ class Cluster {
   };
 
   void wire(Proc& proc);
+  Status valid_pid(ProcessId p) const;
 
   /// Watchdog trip: log the snapshot's text report and, when EVS_OBS_OUT is
   /// set, write its "evs.obs.snapshot" JSON there for postmortem tooling.

@@ -17,6 +17,10 @@ void write_fault_stats(obs::JsonWriter& w, const FaultStats& s) {
   w.kv("corrupted", s.corrupted);
   w.kv("reordered", s.reordered);
   w.kv("delay_spiked", s.delay_spiked);
+  w.kv("writes_considered", s.writes_considered);
+  w.kv("write_failed", s.write_failed);
+  w.kv("write_torn", s.write_torn);
+  w.kv("write_rotted", s.write_rotted);
   w.end_object();
 }
 

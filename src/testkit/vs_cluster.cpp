@@ -18,7 +18,16 @@ VsCluster::VsCluster(Options options) : options_(options), rng_(options.seed) {
   network_ = std::make_unique<Network>(scheduler_, rng_.split(), options_.net);
   Log::set_time_source([this] { return scheduler_.now(); });
   procs_.resize(options_.num_processes);
-  for (auto& proc : procs_) proc.store = std::make_unique<StableStore>();
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    auto& proc = procs_[i];
+    proc.store = std::make_unique<StableStore>();
+    proc.store->set_fault_hook(
+        [this, p = pid(i)](std::size_t record_bytes) {
+          FaultInjector* inj = network_->faults_mutable();
+          if (inj == nullptr) return StableStore::WriteFault{};
+          return inj->apply_storage(p, scheduler_.now(), record_bytes);
+        });
+  }
   if (options_.auto_start) start_all();
 }
 
@@ -34,13 +43,30 @@ VsCluster::Sink& VsCluster::sink(std::size_t index) {
 
 void VsCluster::start_all() {
   for (std::size_t i = 0; i < procs_.size(); ++i) {
-    if (procs_[i].node == nullptr) start(pid(i));
+    if (procs_[i].node == nullptr) {
+      const Status st = start(pid(i));
+      // A fail-stopped boot (storage fault during the boot persist) is a
+      // legitimate simulated outcome, not a harness bug: the process is left
+      // crashed and recover() can retry it once the fault plan allows.
+      EVS_ASSERT_MSG(st.ok() || st.code() == Errc::storage_io,
+                     st.message().c_str());
+    }
   }
 }
 
-void VsCluster::start(ProcessId p) {
+Status VsCluster::valid_pid(ProcessId p) const {
+  if (p.value < 1 || p.value > procs_.size()) {
+    return Status::error(Errc::invalid_argument, "unknown process id");
+  }
+  return Status{};
+}
+
+Status VsCluster::start(ProcessId p) {
+  if (Status st = valid_pid(p); !st.ok()) return st;
   Proc& proc = procs_[p.value - 1];
-  EVS_ASSERT(proc.node == nullptr || !proc.node->running());
+  if (proc.node != nullptr && proc.node->running()) {
+    return Status::error(Errc::invalid_argument, "start() on a running process");
+  }
   VsNode::Options vs_opts;
   vs_opts.policy = options_.policy;
   vs_opts.universe = options_.num_processes;
@@ -52,12 +78,50 @@ void VsCluster::start(ProcessId p) {
       [sink](const VsDelivery& d) { sink->deliveries.push_back(d); });
   proc.node->set_on_view_change([sink](const VsView& v) { sink->views.push_back(v); });
   proc.node->start();
+  if (!proc.node->running()) {
+    return Status::error(Errc::storage_io, "boot persistence failed; fail-stopped");
+  }
+  return Status{};
 }
 
-void VsCluster::crash(ProcessId p) {
+Status VsCluster::crash(ProcessId p) {
+  if (Status st = valid_pid(p); !st.ok()) return st;
   Proc& proc = procs_[p.value - 1];
-  EVS_ASSERT(proc.node != nullptr);
+  if (proc.node == nullptr || !proc.node->running()) {
+    return Status::error(Errc::invalid_argument,
+                         "crash() on a process that is not running");
+  }
   proc.node->crash();
+  proc.store->disarm_write_budget();
+  proc.store->crash();
+  return Status{};
+}
+
+Status VsCluster::recover(ProcessId p) {
+  if (Status st = valid_pid(p); !st.ok()) return st;
+  Proc& proc = procs_[p.value - 1];
+  if (proc.node == nullptr) {
+    return Status::error(Errc::invalid_argument, "recover() before any start()");
+  }
+  if (proc.node->running()) {
+    return Status::error(Errc::invalid_argument, "recover() on a running process");
+  }
+  (void)proc.store->open();
+  return start(p);
+}
+
+Status VsCluster::arm_crash_point(ProcessId p, std::uint64_t nth_write,
+                                  StableStore::TailFault variant) {
+  if (Status st = valid_pid(p); !st.ok()) return st;
+  procs_[p.value - 1].store->arm_write_budget(nth_write, variant, [this, p] {
+    scheduler_.schedule_after(0, [this, p] { (void)crash(p); });
+  });
+  return Status{};
+}
+
+std::uint64_t VsCluster::store_writes(ProcessId p) const {
+  EVS_ASSERT(p.value >= 1 && p.value <= procs_.size());
+  return procs_[p.value - 1].store->appends_attempted();
 }
 
 void VsCluster::partition(const std::vector<std::vector<std::size_t>>& groups) {
@@ -142,6 +206,7 @@ obs::MetricsRegistry VsCluster::aggregate_metrics() const {
   obs::MetricsRegistry agg;
   for (const auto& proc : procs_) {
     if (proc.node != nullptr) agg.merge_from(proc.node->evs().metrics());
+    agg.merge_from(proc.store->metrics());
   }
   agg.merge_from(network_->metrics());
   return agg;

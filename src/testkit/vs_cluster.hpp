@@ -50,10 +50,19 @@ class VsCluster {
   Sink& sink(std::size_t index);
   Sink& sink(ProcessId p) { return sink(p.value - 1); }
 
+  // Lifecycle mirrors Cluster: Status instead of asserts, so crash-point
+  // scripts can race lifecycle steps without aborting the harness.
   void start_all();
-  void start(ProcessId p);
-  void crash(ProcessId p);
-  void recover(ProcessId p) { start(p); }
+  Status start(ProcessId p);
+  Status crash(ProcessId p);
+  /// Replay + repair the store's log, then boot a fresh incarnation on it.
+  Status recover(ProcessId p);
+
+  /// Arm p's store so its nth append lands per `variant` and the process
+  /// then crashes before any further packet delivery (see Cluster).
+  Status arm_crash_point(ProcessId p, std::uint64_t nth_write,
+                         StableStore::TailFault variant);
+  std::uint64_t store_writes(ProcessId p) const;
 
   void partition(const std::vector<std::vector<std::size_t>>& groups);
   void heal();
@@ -84,6 +93,8 @@ class VsCluster {
     std::unique_ptr<VsNode> node;
     Sink sink;
   };
+
+  Status valid_pid(ProcessId p) const;
 
   Options options_;
   Scheduler scheduler_;

@@ -31,6 +31,8 @@ enum class Errc : std::uint8_t {
   invalid_options = 8,    ///< Options::validate() rejected a combination
   blocked_not_primary = 9,  ///< VS filter rule 2: not in the primary component
   backpressure = 10,        ///< pending send queue at Options::max_pending_sends
+  storage_io = 11,          ///< stable-storage write failed (fault-injected I/O)
+  invalid_argument = 12,    ///< harness API misuse (unknown pid, bad lifecycle)
 };
 
 const char* to_string(Errc e);
@@ -112,6 +114,8 @@ inline const char* to_string(Errc e) {
     case Errc::invalid_options: return "invalid_options";
     case Errc::blocked_not_primary: return "blocked_not_primary";
     case Errc::backpressure: return "backpressure";
+    case Errc::storage_io: return "storage_io";
+    case Errc::invalid_argument: return "invalid_argument";
   }
   return "?";
 }

@@ -64,19 +64,19 @@ VsNode::VsNode(ProcessId id, Network& net, StableStore& store, TraceLog* evs_tra
   evs_.set_on_deliver([this](const EvsNode::Delivery& d) { on_evs_deliver(d); });
 }
 
-void VsNode::persist_meta() {
+Status VsNode::persist_meta() {
   wire::Writer w;
   w.u32(incarnation_);
   w.boolean(in_continuity_);
   w.boolean(have_view_);
   w.u64(view_.id);
   w.pid_vec(view_.members);
-  store_.put(kKeyVsMeta, w.take());
+  return store_.put(kKeyVsMeta, w.take());
 }
 
-void VsNode::load_meta() {
+Status VsNode::load_meta() {
   auto blob = store_.get(kKeyVsMeta);
-  if (!blob.has_value()) return;
+  if (!blob.has_value()) return Status{};
   wire::Reader r(*blob);
   incarnation_ = r.u32();
   in_continuity_ = r.boolean();
@@ -85,19 +85,40 @@ void VsNode::load_meta() {
   view_.members = r.pid_vec();
   EVS_ASSERT(r.done());
   // If we died inside the primary lineage, crash() already emitted the stop
-  // event; the recovered incarnation starts outside the lineage.
+  // event; the recovered incarnation starts outside the lineage. The rename
+  // must be durable before anything else happens, or a second crash could
+  // reuse the incarnation and with it a retired VS identity.
   if (in_continuity_) {
     in_continuity_ = false;
     if (options_.rename_on_rejoin) ++incarnation_;
-    persist_meta();
+    return persist_meta();
   }
+  return Status{};
 }
 
 void VsNode::start() {
   EVS_ASSERT(mode_ == Mode::Down);
-  load_meta();
+  if (Status st = load_meta(); !st.ok()) {
+    storage_fail_stop("vs boot meta");
+    return;
+  }
   mode_ = Mode::Blocked;
   evs_.start();
+  // The EVS layer's own boot persistence may have fail-stopped it.
+  if (!evs_.running()) mode_ = Mode::Down;
+}
+
+void VsNode::storage_fail_stop(const char* where) {
+  EVS_WARN("vs", "%s stable storage failed at %s; fail-stop",
+           to_string(self_).c_str(), where);
+  if (mode_ != Mode::Down) {
+    crash();
+    return;
+  }
+  // Boot never got off the ground; nothing volatile to tear down.
+  exchange_config_.reset();
+  peer_states_.clear();
+  buffered_.clear();
 }
 
 void VsNode::crash() {
@@ -223,7 +244,15 @@ void VsNode::maybe_decide() {
   }
   bool primary = false;
   if (dlv_.has_value()) {
-    for (const auto& [p, s] : peer_states_) dlv_->merge_peer(s.dlv_basis);
+    for (const auto& [p, s] : peer_states_) {
+      if (Expected<bool> merged = dlv_->merge_peer(s.dlv_basis); !merged.ok()) {
+        // The adopted basis could not be persisted: deciding on top of it
+        // would let a crash resurrect the stale basis and form a rival
+        // primary. Fail-stop instead of deciding.
+        storage_fail_stop("dlv merge");
+        return;
+      }
+    }
     primary = dlv_->decides_primary(*exchange_config_);
   } else {
     primary = 2 * exchange_config_->members.size() > options_.universe;
@@ -306,8 +335,19 @@ void VsNode::decide_primary(const std::map<ProcessId, PeerState>& states) {
   }
 
   if (dlv_.has_value()) {
-    dlv_->begin_attempt(config);
-    dlv_->confirm_attempt();
+    // The attempt record must be durable BEFORE this process acts as
+    // primary (the two-phase crash-safety protocol in vs/primary.hpp). If
+    // it cannot be written, becoming primary anyway would let a crash erase
+    // the epoch and a later majority of the *old* basis form a rival
+    // primary — so fail-stop without deciding.
+    if (Expected<PrimaryEpoch> a = dlv_->begin_attempt(config); !a.ok()) {
+      storage_fail_stop("dlv attempt");
+      return;
+    }
+    if (Status st = dlv_->confirm_attempt(); !st.ok()) {
+      storage_fail_stop("dlv confirm");
+      return;
+    }
   }
 
   // Committed to the primary before the application hears about it, so a
@@ -320,7 +360,13 @@ void VsNode::decide_primary(const std::map<ProcessId, PeerState>& states) {
       emit_view(v);
     }
   }
-  persist_meta();
+  if (Status st = persist_meta(); !st.ok()) {
+    // The lineage record did not land; the next incarnation would not know
+    // it had been in the primary. Stop being one now (the crash emits the
+    // VS stop event, which keeps the fail-stop account consistent).
+    storage_fail_stop("vs meta");
+    return;
+  }
 
   // Release the application messages that were delivered while the decision
   // was in flight: they belong to the newly installed view.
@@ -397,7 +443,14 @@ void VsNode::emit_stop() {
   }
   in_continuity_ = false;
   if (options_.rename_on_rejoin) ++incarnation_;
-  persist_meta();
+  // Tolerate a persist failure here: a stale in_continuity_=true record is
+  // resolved conservatively by load_meta() (the recovered incarnation
+  // re-emits the rename), and emit_stop runs inside crash() — failing the
+  // stop would recurse. Safety never depends on this write landing.
+  if (Status st = persist_meta(); !st.ok()) {
+    EVS_WARN("vs", "%s stop-record persist failed (tolerated)",
+             to_string(self_).c_str());
+  }
 }
 
 }  // namespace evs

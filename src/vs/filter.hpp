@@ -142,8 +142,11 @@ class VsNode {
   void emit_deliver(const EvsNode::Delivery& d, std::uint64_t view_id);
   void emit_stop();
   void send_state_message();
-  void persist_meta();
-  void load_meta();
+  [[nodiscard]] Status persist_meta();
+  [[nodiscard]] Status load_meta();
+  /// A safety-bearing persist failed: this process may not keep acting in
+  /// (or deciding about) the primary, so it becomes a failed process.
+  void storage_fail_stop(const char* where);
 
   /// Cached "vs.*" instrument handles in the underlying node's registry.
   struct Met {

@@ -49,12 +49,12 @@ void DlvState::load() {
   EVS_ASSERT(r.done());
 }
 
-void DlvState::persist() {
+Status DlvState::persist() {
   wire::Writer w;
   encode_epoch(w, confirmed_);
   w.boolean(attempt_.has_value());
   if (attempt_.has_value()) encode_epoch(w, *attempt_);
-  store_.put(kKeyDlv, w.take());
+  return store_.put(kKeyDlv, w.take());
 }
 
 const PrimaryEpoch& DlvState::basis() const {
@@ -63,12 +63,12 @@ const PrimaryEpoch& DlvState::basis() const {
   return attempt_.has_value() ? *attempt_ : confirmed_;
 }
 
-bool DlvState::merge_peer(const PrimaryEpoch& peer_basis) {
+Expected<bool> DlvState::merge_peer(const PrimaryEpoch& peer_basis) {
   if (peer_basis.epoch <= basis().epoch) return false;
   // Newer knowledge: adopt conservatively as an (unconfirmed) attempt.
   attempt_ = peer_basis;
   if (confirmed_.epoch >= attempt_->epoch) attempt_.reset();
-  persist();
+  if (Status st = persist(); !st.ok()) return st;
   return true;
 }
 
@@ -76,19 +76,22 @@ bool DlvState::decides_primary(const Configuration& config) const {
   return has_majority_of(config.members, basis().members);
 }
 
-PrimaryEpoch DlvState::begin_attempt(const Configuration& config) {
+Expected<PrimaryEpoch> DlvState::begin_attempt(const Configuration& config) {
   EVS_ASSERT_MSG(decides_primary(config), "attempt without a majority of the basis");
   PrimaryEpoch next{basis().epoch + 1, config.members};
   attempt_ = next;
-  persist();
+  if (Status st = persist(); !st.ok()) return st;
   return next;
 }
 
-void DlvState::confirm_attempt() {
+Status DlvState::confirm_attempt() {
   EVS_ASSERT(attempt_.has_value());
   confirmed_ = *attempt_;
   attempt_.reset();
-  persist();
+  // A failed confirm leaves the persisted attempt pending, which load()
+  // already resolves conservatively — but the caller still fail-stops, since
+  // nothing else it writes can be trusted either.
+  return persist();
 }
 
 void DlvState::abort_attempt() {

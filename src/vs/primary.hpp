@@ -32,6 +32,7 @@
 
 #include "evs/config.hpp"
 #include "storage/stable_store.hpp"
+#include "util/status.hpp"
 #include "util/types.hpp"
 
 namespace evs {
@@ -77,19 +78,22 @@ class DlvState {
   const std::optional<PrimaryEpoch>& attempt() const { return attempt_; }
 
   /// Adopt a peer's knowledge if it is newer (higher epoch).
-  /// Returns true if anything changed.
-  bool merge_peer(const PrimaryEpoch& peer_basis);
+  /// Returns true if anything changed; an error if the adoption could not
+  /// be persisted (the in-memory basis is still advanced — conservative —
+  /// but the caller must fail-stop rather than act on unpersisted state).
+  [[nodiscard]] Expected<bool> merge_peer(const PrimaryEpoch& peer_basis);
 
   /// Would `config` be primary given the current basis?
   bool decides_primary(const Configuration& config) const;
 
   /// Phase 1: record the intent to treat `config` as primary with the next
-  /// epoch. Persisted before the caller acts on the decision.
-  PrimaryEpoch begin_attempt(const Configuration& config);
+  /// epoch. Persisted before the caller acts on the decision; on a persist
+  /// failure the caller must NOT treat the configuration as primary.
+  [[nodiscard]] Expected<PrimaryEpoch> begin_attempt(const Configuration& config);
 
   /// Phase 2: the attempt succeeded (the configuration operated as
   /// primary); promote it to confirmed.
-  void confirm_attempt();
+  [[nodiscard]] Status confirm_attempt();
 
   /// Abandon a pending attempt (the configuration changed before the
   /// primary could operate). The attempt stays in the basis history — that
@@ -98,7 +102,7 @@ class DlvState {
 
  private:
   void load();
-  void persist();
+  [[nodiscard]] Status persist();
 
   StableStore& store_;
   PrimaryEpoch confirmed_;

@@ -62,6 +62,12 @@ MetricsRegistry sample_registry() {
   MetricsRegistry r;
   r.counter("evs.sent").inc(3);
   r.counter("evs.backpressure_rejections");
+  r.counter("storage.writes").inc(5);
+  r.counter("storage.bytes").inc(240);
+  r.counter("storage.write_failures");
+  r.counter("storage.torn_records");
+  r.counter("storage.crc_failures");
+  r.counter("storage.repairs");
   r.gauge("evs.pending_sends").set(2);
   r.gauge("ordering.store_bytes").set(48);
   r.gauge("ordering.store_msgs").set(3);
@@ -198,6 +204,27 @@ TEST(SnapshotJson, AggregateMustCarryMemoryInstruments) {
   erase_member(*find_mutable(*find_mutable(copy, "aggregate"), "counters"),
                "evs.backpressure_rejections");
   EXPECT_FALSE(validate_snapshot_json(copy).ok());
+}
+
+TEST(SnapshotJson, AggregateMustCarryStorageInstruments) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.await_stable());
+  auto v = JsonValue::parse(cluster.snapshot().to_json());
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(validate_snapshot_json(*v).ok());
+
+  // Dropping any storage counter from the aggregate must fail validation —
+  // the tripwire for the crash-consistency observability surface.
+  for (const char* counter :
+       {"storage.writes", "storage.bytes", "storage.write_failures",
+        "storage.torn_records", "storage.crc_failures", "storage.repairs"}) {
+    auto copy = *v;
+    erase_member(*find_mutable(*find_mutable(copy, "aggregate"), "counters"),
+                 counter);
+    const Status st = validate_snapshot_json(copy);
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.message().find(counter), std::string::npos) << st.message();
+  }
 }
 
 TEST(ReportJson, EvsRunsMustCarryMemoryInstruments) {

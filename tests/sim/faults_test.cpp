@@ -213,5 +213,107 @@ TEST_F(FaultNetworkTest, ClearFaultsRestoresCleanDelivery) {
   ASSERT_EQ(recorders[2].packets.size(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// stable-storage fault rules
+
+TEST(StorageFaultRuleTest, MatchesProcessAndWindow) {
+  StorageFaultRule rule;
+  rule.process = ProcessId{2};
+  rule.from_us = 100;
+  rule.until_us = 200;
+  EXPECT_FALSE(rule.matches(ProcessId{1}, 150));
+  EXPECT_TRUE(rule.matches(ProcessId{2}, 150));
+  EXPECT_FALSE(rule.matches(ProcessId{2}, 99));
+  EXPECT_FALSE(rule.matches(ProcessId{2}, 200));
+
+  StorageFaultRule any;
+  EXPECT_TRUE(any.matches(ProcessId{7}, 0));
+}
+
+TEST(StorageFaultInjectorTest, CertainFaultsMapToWriteFaultKinds) {
+  using Kind = StableStore::WriteFault::Kind;
+  const auto verdict = [](double fail, double torn, double rot) {
+    StorageFaultRule rule;
+    rule.write_fail = fail;
+    rule.torn = torn;
+    rule.rot = rot;
+    FaultInjector inj(FaultPlan{}.add(rule), Rng(1));
+    return inj.apply_storage(ProcessId{1}, 0, 64);
+  };
+  EXPECT_EQ(verdict(1, 0, 0).kind, Kind::Fail);
+  EXPECT_EQ(verdict(0, 1, 0).kind, Kind::Torn);
+  EXPECT_EQ(verdict(0, 0, 1).kind, Kind::Rot);
+  EXPECT_EQ(verdict(0, 0, 0).kind, Kind::None);
+}
+
+TEST(StorageFaultInjectorTest, TornVerdictKeepsAStrictPrefix) {
+  StorageFaultRule rule;
+  rule.torn = 1.0;
+  FaultInjector inj(FaultPlan{}.add(rule), Rng(7));
+  for (int i = 0; i < 100; ++i) {
+    const auto f = inj.apply_storage(ProcessId{1}, 0, 64);
+    ASSERT_EQ(f.kind, StableStore::WriteFault::Kind::Torn);
+    EXPECT_LT(f.keep_bytes, 64u);
+  }
+  EXPECT_EQ(inj.stats().write_torn, 100u);
+  EXPECT_EQ(inj.stats().writes_considered, 100u);
+}
+
+TEST(StorageFaultInjectorTest, StatsCountEachFate) {
+  FaultInjector inj(FaultPlan::disk_faults(1.0, 0, 0), Rng(3));
+  (void)inj.apply_storage(ProcessId{1}, 0, 16);
+  (void)inj.apply_storage(ProcessId{2}, 0, 16);
+  EXPECT_EQ(inj.stats().write_failed, 2u);
+  EXPECT_EQ(inj.stats().writes_considered, 2u);
+  EXPECT_EQ(inj.stats().injected_total, 2u);
+}
+
+TEST(StorageFaultInjectorTest, NetworkOnlyPlanDrawsNoStorageRandomness) {
+  // A plan without storage rules must leave the shared RNG stream untouched
+  // when the store consults the injector, or adding a storage hook would
+  // perturb every network fault decision and break replay determinism.
+  FaultPlan plan = FaultPlan::storm(0.3, 0.3, 0.1);
+  plan.seed = 42;
+  FaultInjector with_queries(plan, Rng(42));
+  FaultInjector without_queries(plan, Rng(42));
+
+  std::vector<std::uint8_t> payload_a{1, 2, 3, 4};
+  std::vector<std::uint8_t> payload_b{1, 2, 3, 4};
+  for (int i = 0; i < 50; ++i) {
+    // Interleave storage queries on one injector only.
+    (void)with_queries.apply_storage(ProcessId{1}, 0, 64);
+    const auto a = with_queries.apply(ProcessId{1}, ProcessId{2}, 0, payload_a);
+    const auto b = without_queries.apply(ProcessId{1}, ProcessId{2}, 0, payload_b);
+    EXPECT_EQ(a.drop, b.drop);
+    EXPECT_EQ(a.extra_delay_us, b.extra_delay_us);
+    EXPECT_EQ(a.duplicate_extra_delays, b.duplicate_extra_delays);
+    EXPECT_EQ(payload_a, payload_b);
+  }
+  EXPECT_EQ(with_queries.stats().writes_considered, 0u);
+}
+
+TEST(StorageFaultInjectorTest, DeterministicStorageFaultSequence) {
+  const FaultPlan plan = FaultPlan::disk_faults(0.2, 0.2, 0.2);
+  FaultInjector a(plan, Rng(9));
+  FaultInjector b(plan, Rng(9));
+  for (int i = 0; i < 200; ++i) {
+    const auto fa = a.apply_storage(ProcessId{1}, 0, 32);
+    const auto fb = b.apply_storage(ProcessId{1}, 0, 32);
+    ASSERT_EQ(fa.kind, fb.kind);
+    ASSERT_EQ(fa.keep_bytes, fb.keep_bytes);
+    ASSERT_EQ(fa.rot_offset, fb.rot_offset);
+  }
+}
+
+TEST(StorageFaultInjectorTest, DiskFaultsWindowGatesInjection) {
+  FaultInjector inj(FaultPlan::disk_faults(1.0, 0, 0, 100, 200), Rng(5));
+  EXPECT_EQ(inj.apply_storage(ProcessId{1}, 50, 16).kind,
+            StableStore::WriteFault::Kind::None);
+  EXPECT_EQ(inj.apply_storage(ProcessId{1}, 150, 16).kind,
+            StableStore::WriteFault::Kind::Fail);
+  EXPECT_EQ(inj.apply_storage(ProcessId{1}, 250, 16).kind,
+            StableStore::WriteFault::Kind::None);
+}
+
 }  // namespace
 }  // namespace evs

@@ -2,15 +2,33 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "evs/node.hpp"
+#include "util/rng.hpp"
+
 namespace evs {
 namespace {
 
+using Blob = StableStore::Blob;
+using TailFault = StableStore::TailFault;
+using WriteFault = StableStore::WriteFault;
+
+void must(Status st) { ASSERT_TRUE(st.ok()) << st.message(); }
+
+std::uint64_t counter_of(const StableStore& store, const std::string& name) {
+  const auto& counters = store.metrics().counters();
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second.value();
+}
+
 TEST(StableStoreTest, PutGetRoundTrip) {
   StableStore store;
-  store.put("k", {1, 2, 3});
+  must(store.put("k", {1, 2, 3}));
   auto v = store.get("k");
   ASSERT_TRUE(v.has_value());
-  EXPECT_EQ(*v, (StableStore::Blob{1, 2, 3}));
+  EXPECT_EQ(*v, (Blob{1, 2, 3}));
 }
 
 TEST(StableStoreTest, MissingKeyReturnsNullopt) {
@@ -21,25 +39,25 @@ TEST(StableStoreTest, MissingKeyReturnsNullopt) {
 
 TEST(StableStoreTest, OverwriteReplaces) {
   StableStore store;
-  store.put("k", {1});
-  store.put("k", {2});
-  EXPECT_EQ(*store.get("k"), StableStore::Blob{2});
+  must(store.put("k", {1}));
+  must(store.put("k", {2}));
+  EXPECT_EQ(*store.get("k"), Blob{2});
   EXPECT_EQ(store.key_count(), 1u);
 }
 
 TEST(StableStoreTest, EraseRemoves) {
   StableStore store;
-  store.put("k", {1});
-  store.erase("k");
+  must(store.put("k", {1}));
+  must(store.erase("k"));
   EXPECT_FALSE(store.contains("k"));
 }
 
 TEST(StableStoreTest, ErasePrefix) {
   StableStore store;
-  store.put("msg/1", {1});
-  store.put("msg/2", {2});
-  store.put("meta", {3});
-  store.erase_prefix("msg/");
+  must(store.put("msg/1", {1}));
+  must(store.put("msg/2", {2}));
+  must(store.put("meta", {3}));
+  must(store.erase_prefix("msg/"));
   EXPECT_FALSE(store.contains("msg/1"));
   EXPECT_FALSE(store.contains("msg/2"));
   EXPECT_TRUE(store.contains("meta"));
@@ -47,25 +65,371 @@ TEST(StableStoreTest, ErasePrefix) {
 
 TEST(StableStoreTest, KeysWithPrefixSorted) {
   StableStore store;
-  store.put("m/b", {});
-  store.put("m/a", {});
-  store.put("x", {});
+  must(store.put("m/b", {}));
+  must(store.put("m/a", {}));
+  must(store.put("x", {}));
   auto keys = store.keys_with_prefix("m/");
   EXPECT_EQ(keys, (std::vector<std::string>{"m/a", "m/b"}));
 }
 
 TEST(StableStoreTest, WriteAccounting) {
   StableStore store;
-  store.put("a", {1, 2});
-  store.put("b", {3});
+  must(store.put("a", {1, 2}));
+  must(store.put("b", {3}));
   EXPECT_EQ(store.writes(), 2u);
   EXPECT_EQ(store.bytes_written(), 3u);
+  EXPECT_EQ(store.appends_attempted(), 2u);
+  EXPECT_EQ(counter_of(store, "storage.writes"), 2u);
+  EXPECT_EQ(counter_of(store, "storage.bytes"), 3u);
 }
 
 TEST(StableStoreTest, ErasePrefixOnEmptyStore) {
   StableStore store;
-  store.erase_prefix("m/");
+  must(store.erase_prefix("m/"));
   EXPECT_EQ(store.key_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// crash / open: the map is a replay of the log
+
+TEST(StableStoreCrash, CrashThenOpenReplaysEveryMutation) {
+  StableStore store;
+  must(store.put("a", {1}));
+  must(store.put("b", {2}));
+  must(store.put("gc/1", {3}));
+  must(store.put("gc/2", {4}));
+  must(store.erase("b"));
+  must(store.erase_prefix("gc/"));
+  must(store.put("c", {5}));
+
+  store.crash();
+  EXPECT_EQ(store.key_count(), 0u);  // volatile view is gone...
+
+  const auto rep = store.open();
+  EXPECT_EQ(rep.records_kept, 7u);
+  EXPECT_FALSE(rep.repaired());
+  EXPECT_EQ(store.key_count(), 2u);  // ...and rebuilt exactly
+  EXPECT_EQ(*store.get("a"), Blob{1});
+  EXPECT_EQ(*store.get("c"), Blob{5});
+  EXPECT_FALSE(store.contains("b"));
+  EXPECT_FALSE(store.contains("gc/1"));
+}
+
+TEST(StableStoreCrash, OpenOnEmptyLogIsClean) {
+  StableStore store;
+  const auto rep = store.open();
+  EXPECT_EQ(rep.records_kept, 0u);
+  EXPECT_FALSE(rep.repaired());
+}
+
+TEST(StableStoreCrash, TornTailIsTruncatedAndOnlyTheTailIsLost) {
+  StableStore store;
+  must(store.put("a", {1}));
+  must(store.put("b", {2}));
+  store.damage_tail(TailFault::Torn);
+  store.crash();
+
+  const auto rep = store.open();
+  EXPECT_EQ(rep.records_kept, 1u);
+  EXPECT_EQ(rep.torn_truncated, 1u);
+  EXPECT_EQ(rep.corrupt_quarantined, 0u);
+  EXPECT_TRUE(rep.repaired());
+  EXPECT_TRUE(store.contains("a"));
+  EXPECT_FALSE(store.contains("b"));
+  EXPECT_EQ(counter_of(store, "storage.repairs"), 1u);
+}
+
+TEST(StableStoreCrash, CorruptTailIsQuarantined) {
+  StableStore store;
+  must(store.put("a", {1}));
+  must(store.put("b", {2}));
+  store.damage_tail(TailFault::Corrupt);
+  store.crash();
+
+  const auto rep = store.open();
+  EXPECT_EQ(rep.records_kept, 1u);
+  EXPECT_EQ(rep.torn_truncated, 0u);
+  EXPECT_EQ(rep.corrupt_quarantined, 1u);
+  EXPECT_TRUE(store.contains("a"));
+  EXPECT_FALSE(store.contains("b"));
+  EXPECT_EQ(counter_of(store, "storage.crc_failures"), 1u);
+}
+
+TEST(StableStoreCrash, MidLogBitRotQuarantinesOnlyTheDamagedRecord) {
+  StableStore store;
+  must(store.put("a", {1}));
+  const std::size_t first_record_end = store.log_bytes();
+  must(store.put("b", {2}));
+  must(store.put("c", {3}));
+  // Rot a body byte of the *second* record (skip its 8-byte frame header).
+  store.rot_log_byte(first_record_end + 8 + 2);
+  store.crash();
+
+  const auto rep = store.open();
+  EXPECT_EQ(rep.records_kept, 2u);
+  EXPECT_EQ(rep.corrupt_quarantined, 1u);
+  EXPECT_TRUE(store.contains("a"));
+  EXPECT_FALSE(store.contains("b"));
+  EXPECT_TRUE(store.contains("c"));
+}
+
+TEST(StableStoreCrash, QuarantineRewritesTheDurableLog) {
+  StableStore store;
+  must(store.put("a", {1}));
+  must(store.put("b", {2}));
+  store.damage_tail(TailFault::Corrupt);
+  store.crash();
+  ASSERT_TRUE(store.open().repaired());
+
+  // The damaged record was removed from the log itself, so a second
+  // crash+open finds a fully clean log: repairs do not compound.
+  store.crash();
+  const auto rep = store.open();
+  EXPECT_EQ(rep.records_kept, 1u);
+  EXPECT_FALSE(rep.repaired());
+  EXPECT_EQ(store.last_open_report().records_kept, 1u);
+}
+
+TEST(StableStoreCrash, OpenIsIdempotentWithoutCrash) {
+  StableStore store;
+  must(store.put("a", {1}));
+  const auto rep1 = store.open();
+  const auto rep2 = store.open();
+  EXPECT_EQ(rep1.records_kept, 1u);
+  EXPECT_EQ(rep2.records_kept, 1u);
+  EXPECT_TRUE(store.contains("a"));
+}
+
+// ---------------------------------------------------------------------------
+// fallible write path
+
+TEST(StableStoreFaults, TransientFailPersistsNothingAndStoreStaysUsable) {
+  StableStore store;
+  bool fail_next = false;
+  store.set_fault_hook([&fail_next](std::size_t) {
+    WriteFault f;
+    if (fail_next) f.kind = WriteFault::Kind::Fail;
+    fail_next = false;
+    return f;
+  });
+
+  must(store.put("a", {1}));
+  fail_next = true;
+  const Status st = store.put("b", {2});
+  EXPECT_EQ(st.code(), Errc::storage_io);
+  EXPECT_FALSE(store.contains("b"));  // the failed mutation never applied
+  EXPECT_FALSE(store.wedged());
+  must(store.put("b", {2}));  // retry succeeds
+  EXPECT_EQ(counter_of(store, "storage.write_failures"), 1u);
+
+  store.crash();
+  EXPECT_EQ(store.open().records_kept, 2u);  // the failed write left no trace
+}
+
+TEST(StableStoreFaults, TornWriteWedgesUntilOpen) {
+  StableStore store;
+  must(store.put("a", {1}));
+  WriteFault torn;
+  torn.kind = WriteFault::Kind::Torn;
+  torn.keep_bytes = 5;
+  store.set_fault_hook([&torn](std::size_t) { return torn; });
+
+  EXPECT_EQ(store.put("b", {2}).code(), Errc::storage_io);
+  EXPECT_TRUE(store.wedged());
+  EXPECT_FALSE(store.contains("b"));
+  EXPECT_EQ(counter_of(store, "storage.torn_records"), 1u);
+
+  // Every further write is rejected: the device never acknowledged.
+  torn.kind = WriteFault::Kind::None;
+  EXPECT_EQ(store.put("c", {3}).code(), Errc::storage_io);
+  EXPECT_EQ(store.erase("a").code(), Errc::storage_io);
+
+  const auto rep = store.open();  // recovery validates and truncates
+  EXPECT_EQ(rep.records_kept, 1u);
+  EXPECT_EQ(rep.torn_truncated, 1u);
+  EXPECT_FALSE(store.wedged());
+  must(store.put("c", {3}));
+  EXPECT_TRUE(store.contains("c"));
+}
+
+TEST(StableStoreFaults, RottedWriteWedgesAndQuarantinesAtOpen) {
+  StableStore store;
+  must(store.put("a", {1}));
+  store.set_fault_hook([](std::size_t) {
+    WriteFault f;
+    f.kind = WriteFault::Kind::Rot;
+    f.rot_offset = 10;
+    return f;
+  });
+  EXPECT_EQ(store.put("b", {2}).code(), Errc::storage_io);
+  EXPECT_TRUE(store.wedged());
+  store.set_fault_hook(nullptr);
+
+  const auto rep = store.open();
+  EXPECT_EQ(rep.records_kept, 1u);
+  EXPECT_EQ(rep.corrupt_quarantined, 1u);
+  EXPECT_TRUE(store.contains("a"));
+  EXPECT_FALSE(store.contains("b"));
+}
+
+// ---------------------------------------------------------------------------
+// write budget (the crash-point scheduler's lever)
+
+TEST(StableStoreBudget, CleanBudgetTripsAfterTheNthWriteLands) {
+  StableStore store;
+  int trips = 0;
+  store.arm_write_budget(2, TailFault::Clean, [&trips] { ++trips; });
+  EXPECT_TRUE(store.write_budget_armed());
+
+  must(store.put("a", {1}));
+  EXPECT_EQ(trips, 0);
+  must(store.put("b", {2}));  // nth write lands, then the trip fires
+  EXPECT_EQ(trips, 1);
+  EXPECT_FALSE(store.write_budget_armed());
+  EXPECT_TRUE(store.contains("b"));
+
+  must(store.put("c", {3}));  // one-shot: no further trips
+  EXPECT_EQ(trips, 1);
+}
+
+TEST(StableStoreBudget, TornBudgetDamagesTheTrippingWrite) {
+  StableStore store;
+  int trips = 0;
+  store.arm_write_budget(1, TailFault::Torn, [&trips] { ++trips; });
+  EXPECT_EQ(store.put("a", {1}).code(), Errc::storage_io);
+  EXPECT_EQ(trips, 1);
+  EXPECT_TRUE(store.wedged());
+  const auto rep = store.open();
+  EXPECT_EQ(rep.records_kept, 0u);
+  EXPECT_EQ(rep.torn_truncated, 1u);
+}
+
+TEST(StableStoreBudget, CorruptBudgetDamagesTheTrippingWrite) {
+  StableStore store;
+  store.arm_write_budget(1, TailFault::Corrupt, [] {});
+  EXPECT_EQ(store.put("a", {1}).code(), Errc::storage_io);
+  EXPECT_TRUE(store.wedged());
+  const auto rep = store.open();
+  EXPECT_EQ(rep.records_kept, 0u);
+  EXPECT_EQ(rep.corrupt_quarantined, 1u);
+}
+
+TEST(StableStoreBudget, DisarmCancelsThePendingTrip) {
+  StableStore store;
+  int trips = 0;
+  store.arm_write_budget(1, TailFault::Torn, [&trips] { ++trips; });
+  store.disarm_write_budget();
+  must(store.put("a", {1}));
+  EXPECT_EQ(trips, 0);
+  EXPECT_TRUE(store.contains("a"));
+}
+
+TEST(StableStoreBudget, BudgetOverridesTheFaultHook) {
+  StableStore store;
+  int hook_calls = 0;
+  store.set_fault_hook([&hook_calls](std::size_t) {
+    ++hook_calls;
+    return WriteFault{};
+  });
+  store.arm_write_budget(1, TailFault::Clean, [] {});
+  must(store.put("a", {1}));
+  EXPECT_EQ(hook_calls, 0);  // armed budget owns the write verdict
+  must(store.put("b", {2}));
+  EXPECT_EQ(hook_calls, 1);  // hook resumes once the budget is spent
+}
+
+// ---------------------------------------------------------------------------
+// compaction keeps the crash contract
+
+TEST(StableStoreCompaction, CompactedLogStillReplays) {
+  StableStore store;
+  // Churn one hot key until the garbage ratio forces a compaction.
+  const Blob big(1024, 0xAB);
+  for (int i = 0; i < 400; ++i) must(store.put("hot", big));
+  must(store.put("cold", {7}));
+  ASSERT_GT(counter_of(store, "storage.compactions"), 0u);
+
+  store.crash();
+  (void)store.open();
+  EXPECT_EQ(*store.get("hot"), big);
+  EXPECT_EQ(*store.get("cold"), Blob{7});
+  EXPECT_EQ(store.key_count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// backlog key discipline (regression: fixed-width, ring-scoped keys)
+
+TEST(BacklogKeys, RingPrefixesArePrefixFree) {
+  // With variable-width encoding, ring seq 1's prefix would be a string
+  // prefix of ring seq 16's ("bmsg/1." vs "bmsg/16.") and GC of one
+  // configuration's backlog could erase another's. Fixed-width padding makes
+  // distinct rings' prefixes differ at some position within the padded field.
+  const RingId r1{1, ProcessId{1}};
+  const RingId r16{16, ProcessId{1}};
+  const RingId r1_rep2{1, ProcessId{2}};
+  const std::string p1 = backlog_prefix(r1);
+  const std::string p16 = backlog_prefix(r16);
+  const std::string p1b = backlog_prefix(r1_rep2);
+  EXPECT_NE(p1, p16);
+  EXPECT_NE(p1.compare(0, p1.size(), p16, 0, p1.size()), 0);
+  EXPECT_NE(p16.compare(0, p16.size(), p1, 0, p16.size()), 0);
+  EXPECT_NE(p1.compare(0, p1.size(), p1b, 0, p1.size()), 0);
+  // And message keys sort numerically because the seq field is fixed-width.
+  EXPECT_LT(backlog_msg_key(r1, 2), backlog_msg_key(r1, 10));
+}
+
+TEST(BacklogKeys, GcOfOneRingLeavesEveryOtherRingsLogIntact) {
+  StableStore store;
+  const RingId r1{1, ProcessId{1}};
+  const RingId r16{16, ProcessId{1}};
+  must(store.put(backlog_msg_key(r1, 1), {1}));
+  must(store.put(backlog_msg_key(r1, 2), {2}));
+  must(store.put(backlog_msg_key(r16, 1), {3}));
+
+  // Garbage-collect configuration 1's backlog, as install_configuration does.
+  must(store.erase_prefix(backlog_prefix(r1)));
+  EXPECT_FALSE(store.contains(backlog_msg_key(r1, 1)));
+  EXPECT_TRUE(store.contains(backlog_msg_key(r16, 1)));
+
+  // And the same holds across a crash (the GC record replays identically).
+  store.crash();
+  (void)store.open();
+  EXPECT_FALSE(store.contains(backlog_msg_key(r1, 2)));
+  EXPECT_EQ(*store.get(backlog_msg_key(r16, 1)), Blob{3});
+}
+
+// ---------------------------------------------------------------------------
+// randomized damage: open() must never crash and must always converge
+
+TEST(StableStoreFuzz, RandomDamageAlwaysRepairsToAStableLog) {
+  Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 200; ++trial) {
+    StableStore store;
+    const int records = 1 + static_cast<int>(rng.below(20));
+    for (int i = 0; i < records; ++i) {
+      Blob v(1 + rng.below(64));
+      for (auto& b : v) b = static_cast<std::uint8_t>(rng());
+      ASSERT_TRUE(store.put("k" + std::to_string(rng.below(8)), std::move(v)).ok());
+    }
+    const int damages = static_cast<int>(rng.below(4));
+    for (int i = 0; i < damages; ++i) {
+      switch (rng.below(3)) {
+        case 0: store.damage_tail(TailFault::Torn); break;
+        case 1: store.damage_tail(TailFault::Corrupt); break;
+        default:
+          store.rot_log_byte(rng.below(std::max<std::size_t>(store.log_bytes(), 1)),
+                             static_cast<std::uint8_t>(1 + rng.below(255)));
+      }
+    }
+    store.crash();
+    const auto rep = store.open();
+    EXPECT_LE(rep.records_kept, static_cast<std::size_t>(records));
+    // A second open of the repaired log is always clean: repair converges.
+    store.crash();
+    const auto rep2 = store.open();
+    EXPECT_EQ(rep2.records_kept, rep.records_kept);
+    EXPECT_FALSE(rep2.repaired());
+  }
 }
 
 }  // namespace

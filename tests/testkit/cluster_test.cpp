@@ -85,6 +85,77 @@ TEST(ClusterTest, PartitionByIndexMatchesPids) {
   EXPECT_TRUE(cluster.network().connected(cluster.pid(1), cluster.pid(2)));
 }
 
+TEST(ClusterLifecycle, UnknownPidIsRejectedEverywhere) {
+  Cluster cluster(Cluster::Options{.num_processes = 2});
+  const ProcessId bogus{9};
+  EXPECT_EQ(cluster.start(bogus).code(), Errc::invalid_argument);
+  EXPECT_EQ(cluster.crash(bogus).code(), Errc::invalid_argument);
+  EXPECT_EQ(cluster.recover(bogus).code(), Errc::invalid_argument);
+  EXPECT_EQ(cluster.arm_crash_point(bogus, 1, StableStore::TailFault::Clean).code(),
+            Errc::invalid_argument);
+  EXPECT_EQ(cluster.crash(ProcessId{0}).code(), Errc::invalid_argument);
+}
+
+TEST(ClusterLifecycle, DoubleCrashIsRejected) {
+  Cluster cluster(Cluster::Options{.num_processes = 2});
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  EXPECT_TRUE(cluster.crash(cluster.pid(1)).ok());
+  const Status st = cluster.crash(cluster.pid(1));
+  EXPECT_EQ(st.code(), Errc::invalid_argument);
+  EXPECT_NE(st.detail().find("not running"), std::string::npos);
+}
+
+TEST(ClusterLifecycle, RecoverWithoutCrashIsRejected) {
+  Cluster cluster(Cluster::Options{.num_processes = 2});
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  const Status st = cluster.recover(cluster.pid(1));
+  EXPECT_EQ(st.code(), Errc::invalid_argument);
+  EXPECT_NE(st.detail().find("running"), std::string::npos);
+}
+
+TEST(ClusterLifecycle, RecoverBeforeAnyStartIsRejected) {
+  Cluster::Options opts;
+  opts.num_processes = 1;
+  opts.auto_start = false;
+  Cluster cluster(opts);
+  EXPECT_EQ(cluster.recover(cluster.pid(0)).code(), Errc::invalid_argument);
+}
+
+TEST(ClusterLifecycle, StartOnRunningProcessIsRejected) {
+  Cluster cluster(Cluster::Options{.num_processes = 1});
+  EXPECT_EQ(cluster.start(cluster.pid(0)).code(), Errc::invalid_argument);
+}
+
+TEST(ClusterLifecycle, CrashDuringRecoveryInProgressSucceeds) {
+  Cluster cluster(Cluster::Options{.num_processes = 2});
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  // Kill the peer; the survivor notices the token loss and re-enters the
+  // membership machine. Crashing it *while* that episode is in flight must
+  // be an ordinary, accepted lifecycle step.
+  ASSERT_TRUE(cluster.crash(cluster.pid(1)).ok());
+  ASSERT_TRUE(cluster.await(
+      [&] { return cluster.node(0u).state() != EvsNode::State::Operational; },
+      3'000'000));
+  EXPECT_TRUE(cluster.crash(cluster.pid(0)).ok());
+  EXPECT_FALSE(cluster.node(0u).running());
+  // Both recover into a working configuration afterwards.
+  EXPECT_TRUE(cluster.recover(cluster.pid(0)).ok());
+  EXPECT_TRUE(cluster.recover(cluster.pid(1)).ok());
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  EXPECT_EQ(cluster.check_report(false), "");
+}
+
+TEST(ClusterLifecycle, RecoverReopensAndRepairsTheStore) {
+  Cluster cluster(Cluster::Options{.num_processes = 2});
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+  ASSERT_TRUE(cluster.crash(cluster.pid(1)).ok());
+  cluster.store(cluster.pid(1)).damage_tail(StableStore::TailFault::Torn);
+  ASSERT_TRUE(cluster.recover(cluster.pid(1)).ok());
+  EXPECT_GT(cluster.store(cluster.pid(1)).last_open_report().torn_truncated, 0u);
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+  EXPECT_EQ(cluster.check_report(false), "");
+}
+
 TEST(ClusterTest, AutoStartCanBeDisabled) {
   Cluster::Options opts;
   opts.num_processes = 2;

@@ -48,8 +48,8 @@ TEST(DlvStateTest, ConfirmAdvancesBasis) {
   StableStore store;
   DlvState dlv(store, pids({1, 2, 3, 4, 5}));
   // {1,2,3} is a majority of the universe: primary epoch 1.
-  dlv.begin_attempt(config_of({1, 2, 3}));
-  dlv.confirm_attempt();
+  dlv.begin_attempt(config_of({1, 2, 3})).value();
+  ASSERT_TRUE(dlv.confirm_attempt().ok());
   EXPECT_EQ(dlv.basis().epoch, 1u);
   EXPECT_EQ(dlv.basis().members, pids({1, 2, 3}));
   // Now {1,2} is a majority of {1,2,3} even though it is a minority of the
@@ -61,7 +61,7 @@ TEST(DlvStateTest, ConfirmAdvancesBasis) {
 TEST(DlvStateTest, PendingAttemptIsConservativeBasis) {
   StableStore store;
   DlvState dlv(store, pids({1, 2, 3}));
-  dlv.begin_attempt(config_of({1, 2}));
+  dlv.begin_attempt(config_of({1, 2})).value();
   // Before confirmation the attempt is already the basis: a rival config
   // holding a majority of the OLD basis {1,2,3} but not of the attempt
   // {1,2} is refused (a 2-member basis needs both members).
@@ -75,8 +75,8 @@ TEST(DlvStateTest, StateSurvivesCrash) {
   StableStore store;
   {
     DlvState dlv(store, pids({1, 2, 3, 4, 5}));
-    dlv.begin_attempt(config_of({1, 2, 3}));
-    dlv.confirm_attempt();
+    dlv.begin_attempt(config_of({1, 2, 3})).value();
+    ASSERT_TRUE(dlv.confirm_attempt().ok());
   }
   DlvState recovered(store, pids({1, 2, 3, 4, 5}));
   EXPECT_EQ(recovered.basis().epoch, 1u);
@@ -87,7 +87,7 @@ TEST(DlvStateTest, PendingAttemptSurvivesCrash) {
   StableStore store;
   {
     DlvState dlv(store, pids({1, 2, 3}));
-    dlv.begin_attempt(config_of({1, 2}));
+    dlv.begin_attempt(config_of({1, 2})).value();
     // Crash before confirm.
   }
   DlvState recovered(store, pids({1, 2, 3}));
@@ -98,10 +98,10 @@ TEST(DlvStateTest, PendingAttemptSurvivesCrash) {
 TEST(DlvStateTest, MergePeerAdoptsNewerEpoch) {
   StableStore store;
   DlvState dlv(store, pids({1, 2, 3}));
-  EXPECT_TRUE(dlv.merge_peer(PrimaryEpoch{4, pids({2, 3})}));
+  EXPECT_TRUE(dlv.merge_peer(PrimaryEpoch{4, pids({2, 3})}).value());
   EXPECT_EQ(dlv.basis().epoch, 4u);
   EXPECT_EQ(dlv.basis().members, pids({2, 3}));
-  EXPECT_FALSE(dlv.merge_peer(PrimaryEpoch{2, pids({1})}));  // older: ignored
+  EXPECT_FALSE(dlv.merge_peer(PrimaryEpoch{2, pids({1})}).value());  // older: ignored
   EXPECT_EQ(dlv.basis().epoch, 4u);
 }
 
@@ -112,10 +112,10 @@ TEST(DlvStateTest, RivalPrimariesImpossibleFromSameBasis) {
   StableStore s1, s3;
   DlvState dlv1(s1, pids({1, 2, 3, 4, 5}));
   DlvState dlv3(s3, pids({1, 2, 3, 4, 5}));
-  dlv1.begin_attempt(config_of({1, 2, 3}));
-  dlv1.confirm_attempt();
-  dlv3.begin_attempt(config_of({1, 2, 3}));
-  dlv3.confirm_attempt();
+  dlv1.begin_attempt(config_of({1, 2, 3})).value();
+  ASSERT_TRUE(dlv1.confirm_attempt().ok());
+  dlv3.begin_attempt(config_of({1, 2, 3})).value();
+  ASSERT_TRUE(dlv3.confirm_attempt().ok());
 
   EXPECT_TRUE(dlv1.decides_primary(config_of({1, 2})));
   EXPECT_FALSE(dlv3.decides_primary(config_of({3, 4, 5})));
@@ -129,15 +129,15 @@ TEST(DlvStateTest, IntersectionCarriesKnowledgeForward) {
   StableStore s2, s3;
   DlvState dlv2(s2, pids({1, 2, 3}));
   DlvState dlv3(s3, pids({1, 2, 3}));
-  dlv2.begin_attempt(config_of({1, 2, 3}));
-  dlv2.confirm_attempt();
-  dlv3.begin_attempt(config_of({1, 2, 3}));
-  dlv3.confirm_attempt();
-  dlv2.begin_attempt(config_of({1, 2}));
-  dlv2.confirm_attempt();  // epoch 2 = {1,2}
+  dlv2.begin_attempt(config_of({1, 2, 3})).value();
+  ASSERT_TRUE(dlv2.confirm_attempt().ok());
+  dlv3.begin_attempt(config_of({1, 2, 3})).value();
+  ASSERT_TRUE(dlv3.confirm_attempt().ok());
+  dlv2.begin_attempt(config_of({1, 2})).value();
+  ASSERT_TRUE(dlv2.confirm_attempt().ok());  // epoch 2 = {1,2}
 
   // {2,3} forms; states merge.
-  dlv3.merge_peer(dlv2.basis());
+  dlv3.merge_peer(dlv2.basis()).value();
   EXPECT_FALSE(dlv3.decides_primary(config_of({2, 3})));
   EXPECT_FALSE(dlv2.decides_primary(config_of({2, 3})));
 }

@@ -1,0 +1,103 @@
+// Primary-component Uniqueness across crashes.
+//
+// The VS filter persists its DLV attempt *before* acting as primary
+// (two-phase: begin_attempt is durable before the view installs, and a
+// pending attempt is resolved conservatively at recovery). This sweep
+// crashes a member at every stable-storage append it performs around a
+// block/merge/re-decision episode — with the final write landing clean,
+// torn, or corrupted — recovers it, and machine-checks the view history:
+// the installed primary views must still form a single totally-ordered
+// lineage (paper Section 2.2 Uniqueness), and both layers' traces must stay
+// specification-conformant.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "storage/stable_store.hpp"
+#include "testkit/vs_cluster.hpp"
+
+namespace evs {
+namespace {
+
+constexpr std::size_t kVictim = 1;
+
+struct VsSweepRun {
+  std::string report;
+  bool stabilized{false};
+  std::uint64_t writes_at_arm{0};
+  std::uint64_t writes_total{0};
+};
+
+/// Block/merge episode: the victim is isolated (the surviving majority
+/// re-forms the primary), then the components remerge and the primary is
+/// re-decided — the window containing every vs/primary.* persistence point.
+VsSweepRun run_vs_scenario(std::uint64_t nth_write,
+                           StableStore::TailFault variant) {
+  VsSweepRun out;
+  VsCluster cluster(VsCluster::Options{.num_processes = 3, .seed = 4242});
+  const ProcessId victim = cluster.pid(kVictim);
+
+  if (!cluster.await_stable(4'000'000)) return out;
+  auto first = cluster.node(0u).send({1});
+  if (!first.ok() || !cluster.await_quiesce(4'000'000)) return out;
+
+  out.writes_at_arm = cluster.store_writes(victim);
+  if (nth_write > 0) {
+    EXPECT_TRUE(cluster.arm_crash_point(victim, nth_write, variant).ok());
+  }
+
+  // Isolate the victim: {p, r} keep the primary (2 of 3), the victim blocks.
+  cluster.partition({{0, 2}, {1}});
+  (void)cluster.await_stable(4'000'000);
+  if (cluster.node(0u).running() && cluster.node(0u).in_primary()) {
+    (void)cluster.node(0u).send({2});
+  }
+  cluster.run_for(100'000);
+
+  // Remerge: per-process joins into the primary lineage, new DLV attempt.
+  cluster.heal();
+  (void)cluster.await_stable(6'000'000);
+
+  if (!cluster.node(kVictim).running()) {
+    EXPECT_TRUE(cluster.recover(victim).ok());
+  }
+  out.stabilized = cluster.await_stable(8'000'000);
+  if (out.stabilized && cluster.node(0u).in_primary()) {
+    (void)cluster.node(0u).send({3});
+    out.stabilized = cluster.await_quiesce(8'000'000);
+  }
+  out.writes_total = cluster.store_writes(victim);
+  out.report = cluster.check_report(out.stabilized);
+  return out;
+}
+
+TEST(VsCrashSweep, BaselineEpisodeIsCleanAndHasCrashPoints) {
+  const VsSweepRun base = run_vs_scenario(0, StableStore::TailFault::Clean);
+  EXPECT_TRUE(base.stabilized);
+  EXPECT_EQ(base.report, "");
+  EXPECT_GE(base.writes_total - base.writes_at_arm, 5u);
+}
+
+TEST(VsCrashSweep, UniquenessHoldsAtEveryCrashPoint) {
+  const VsSweepRun base = run_vs_scenario(0, StableStore::TailFault::Clean);
+  ASSERT_TRUE(base.stabilized) << "baseline VS episode did not stabilize";
+  ASSERT_EQ(base.report, "");
+  const std::uint64_t points = base.writes_total - base.writes_at_arm;
+  ASSERT_GE(points, 5u);
+
+  for (StableStore::TailFault variant :
+       {StableStore::TailFault::Clean, StableStore::TailFault::Torn,
+        StableStore::TailFault::Corrupt}) {
+    for (std::uint64_t k = 1; k <= points; ++k) {
+      const VsSweepRun run = run_vs_scenario(k, variant);
+      EXPECT_TRUE(run.stabilized)
+          << "crash point " << k << " variant " << static_cast<int>(variant)
+          << " did not restabilize";
+      EXPECT_EQ(run.report, "")
+          << "crash point " << k << " variant " << static_cast<int>(variant);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,134 @@
+// Live-transport cost (DESIGN.md "Transport abstraction").
+//
+// The same protocol stack the sim benchmarks measure, but over real
+// loopback UDP via testkit::LiveCluster: ordered-delivery throughput under
+// sustained load, and the raw wall-clock token rotation rate an idle ring
+// sustains. Unlike every sim benchmark these numbers are wall-clock
+// end-to-end — kernel syscalls, scheduler wakeups and real queueing
+// included — so they are the repo's honest "what does EVS cost on a real
+// socket" baseline rather than a simulator self-measurement.
+//
+// Both benchmarks skip (SkipWithError) when the environment provides no
+// usable sockets, mirroring the `live` ctest label.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench_report.hpp"
+
+#include "testkit/live_cluster.hpp"
+
+namespace {
+
+using namespace evs;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Ordered (agreed) delivery throughput: how many messages per second a
+/// ring moves from send() to delivery-at-every-member over real sockets.
+void BM_LiveOrderedThroughput(benchmark::State& state) {
+  const auto ring_size = static_cast<std::size_t>(state.range(0));
+  constexpr int kMessages = 2'000;
+  const std::vector<std::uint8_t> body(64, 0x42);
+
+  double msgs_per_sec = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    LiveCluster cluster(LiveCluster::Options{.num_processes = ring_size});
+    if (!cluster.open().ok()) {
+      state.SkipWithError("sockets unavailable");
+      return;
+    }
+    if (!cluster.await_stable(20'000'000)) {
+      state.SkipWithError("live ring failed to stabilize");
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kMessages;) {
+      auto r = cluster.send(static_cast<std::size_t>(i) % ring_size,
+                            Service::Agreed, body);
+      if (r.ok()) {
+        ++i;
+      } else if (r.code() == Errc::backpressure) {
+        // The app outran the token; yield and retry — the drain is what is
+        // being measured.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      } else {
+        state.SkipWithError("send failed");
+        return;
+      }
+    }
+    if (!cluster.await_quiesce(60'000'000)) {
+      state.SkipWithError("live ring failed to quiesce");
+      return;
+    }
+    msgs_per_sec += static_cast<double>(kMessages) / seconds_since(t0);
+    cluster.stop();
+    evs::bench::ObsReport::instance()
+        .run(evs::bench::run_name("BM_LiveOrderedThroughput", {state.range(0)}))
+        .merge_from(cluster.aggregate_metrics());
+    ++rounds;
+  }
+  state.counters["live_msgs_per_sec"] =
+      msgs_per_sec / static_cast<double>(rounds);
+  state.counters["live_deliveries_per_sec"] =
+      msgs_per_sec * static_cast<double>(ring_size) / static_cast<double>(rounds);
+}
+
+/// Raw token rotation on an idle live ring: the wall-clock floor under
+/// every delivery guarantee. Latency percentiles come from the protocol's
+/// own evs.token_rotation_us histogram (forward -> fresh return).
+void BM_LiveTokenRotation(benchmark::State& state) {
+  const auto ring_size = static_cast<std::size_t>(state.range(0));
+  constexpr auto kWindow = std::chrono::milliseconds(500);
+
+  double rotations_per_sec = 0;
+  std::uint64_t p50 = 0, p99 = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    LiveCluster cluster(LiveCluster::Options{.num_processes = ring_size});
+    if (!cluster.open().ok()) {
+      state.SkipWithError("sockets unavailable");
+      return;
+    }
+    if (!cluster.await_stable(20'000'000)) {
+      state.SkipWithError("live ring failed to stabilize");
+      return;
+    }
+    std::uint64_t before = 0;
+    cluster.call(0, [&] { before = cluster.node(0).stats().tokens_handled; });
+    const auto t0 = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(kWindow);
+    std::uint64_t after = 0;
+    cluster.call(0, [&] { after = cluster.node(0).stats().tokens_handled; });
+    rotations_per_sec += static_cast<double>(after - before) / seconds_since(t0);
+    cluster.stop();
+    auto agg = cluster.aggregate_metrics();
+    const auto& rotation = agg.histogram("evs.token_rotation_us");
+    p50 = rotation.percentile(50);
+    p99 = rotation.percentile(99);
+    evs::bench::ObsReport::instance()
+        .run(evs::bench::run_name("BM_LiveTokenRotation", {state.range(0)}))
+        .merge_from(agg);
+    ++rounds;
+  }
+  state.counters["live_rotations_per_sec"] =
+      rotations_per_sec / static_cast<double>(rounds);
+  state.counters["live_rotation_p50_us"] = static_cast<double>(p50);
+  state.counters["live_rotation_p99_us"] = static_cast<double>(p99);
+}
+
+BENCHMARK(BM_LiveOrderedThroughput)->Arg(2)->Arg(3)->Arg(5)->Iterations(2)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_LiveTokenRotation)->Arg(2)->Arg(3)->Arg(5)->Iterations(2)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+EVS_BENCH_MAIN("bench_udp_live")

@@ -1,0 +1,61 @@
+// Live quickstart: the same partition/re-merge story as quickstart.cpp, but
+// off the simulator — three processes on real loopback UDP sockets, one
+// event-loop thread each, wall-clock timers, and a port-level drop filter
+// standing in for the cut wire.
+//
+// Build & run:  ./build/examples/udp_live_demo
+// Exits 77 ("skip") when the environment provides no usable sockets.
+#include <cstdio>
+
+#include "testkit/live_cluster.hpp"
+
+using namespace evs;
+
+int main() {
+  LiveCluster cluster(LiveCluster::Options{.num_processes = 3});
+
+  // No sockets (sandboxed build machine): skip, don't fail.
+  if (Status st = cluster.open(); !st.ok()) {
+    std::printf("skipping: %s\n", st.message().c_str());
+    return 77;
+  }
+
+  std::printf("== boot: three UDP nodes on 127.0.0.1 merge into one ring ==\n");
+  if (!cluster.await_stable(10'000'000)) {
+    std::printf("live ring failed to form\n");
+    return 1;
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto s = cluster.sample(i);
+    std::printf("  node %zu: port %u, %s\n", i, cluster.transport(i).port(),
+                to_string(s.config).c_str());
+  }
+
+  std::printf("== multicast over real sockets ==\n");
+  cluster.send(0, Service::Causal, {'c'}).value();
+  cluster.send(1, Service::Agreed, {'a'}).value();
+  cluster.send(2, Service::Safe, {'s'}).value();
+  cluster.await_quiesce(10'000'000);
+
+  std::printf("== partition {P1} | {P2,P3} via port-level drop filters ==\n");
+  cluster.partition({{0}, {1, 2}});
+  cluster.await_stable(10'000'000);
+  cluster.send(0, Service::Safe, {'x'}).value();  // singleton still delivers
+  cluster.send(1, Service::Safe, {'y'}).value();  // majority side too
+  cluster.await_quiesce(10'000'000);
+
+  std::printf("== heal: the filters drop and the rings merge back ==\n");
+  cluster.heal();
+  cluster.await_stable(15'000'000);
+  cluster.send(2, Service::Safe, {'z'}).value();
+  cluster.await_quiesce(10'000'000);
+  cluster.stop();
+
+  // The identical machine-check the simulator runs, over a live trace.
+  const std::string report = cluster.check_report();
+  std::printf("== specification check: %s ==\n",
+              report.empty() ? "conformant" : report.c_str());
+  std::printf("   (delivered %llu messages total across 3 nodes)\n",
+              static_cast<unsigned long long>(cluster.total_delivered()));
+  return report.empty() ? 0 : 1;
+}

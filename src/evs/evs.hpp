@@ -17,7 +17,8 @@
 //                                FragmentNode, VsNode)
 //   set_on_config_change(...)  — configuration changes (EvsNode)
 //   set_on_view_change(...)    — per-group views (GroupNode), VS views (VsNode)
-// The old set_*_handler names remain as [[deprecated]] shims.
+// (The old set_*_handler names went through a [[deprecated]] cycle and are
+// gone.)
 //
 // Fallible entry points return evs::Status / evs::Expected<T>
 // (util/status.hpp) with a machine-readable evs::Errc:

@@ -67,10 +67,6 @@ class FragmentNode {
   /// all node layers).
   void set_on_deliver(DeliverHandler h) { deliver_handler_ = std::move(h); }
 
-  [[deprecated("use set_on_deliver()")]] void set_deliver_handler(DeliverHandler h) {
-    set_on_deliver(std::move(h));
-  }
-
   /// Send a payload of any size; it is split into ceil(size/max) fragments.
   /// Fails with Errc::not_running on a crashed node and
   /// Errc::payload_too_large when a fragment (chunk plus framing header)
@@ -78,11 +74,6 @@ class FragmentNode {
   /// the first fragment strands the earlier ones; receivers purge the
   /// incomplete reassembly at the next regular configuration.
   Expected<LargeId> send_large(Service service, std::vector<std::uint8_t> payload);
-
-  [[deprecated("use send_large()")]] LargeId send(Service service,
-                                                 std::vector<std::uint8_t> payload) {
-    return send_large(service, std::move(payload)).value();
-  }
 
   Stats stats() const;
   std::size_t pending_reassemblies() const { return partial_.size(); }

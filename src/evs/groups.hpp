@@ -69,13 +69,6 @@ class GroupNode {
   /// Register the group-view-change callback.
   void set_on_view_change(ViewHandler h) { view_handler_ = std::move(h); }
 
-  [[deprecated("use set_on_deliver()")]] void set_deliver_handler(DeliverHandler h) {
-    set_on_deliver(std::move(h));
-  }
-  [[deprecated("use set_on_view_change()")]] void set_view_handler(ViewHandler h) {
-    set_on_view_change(std::move(h));
-  }
-
   /// Join a group: announced through the total order; the local membership
   /// takes effect when the announcement is delivered (so joiners never see
   /// messages ordered before their join).

@@ -179,7 +179,7 @@ void EvsNode::close_episode_spans() {
   span_end(rotation_span_);
 }
 
-EvsNode::EvsNode(ProcessId id, Network& net, StableStore& store, TraceLog* trace,
+EvsNode::EvsNode(ProcessId id, Transport& net, StableStore& store, TraceLog* trace,
                  Options options)
     : self_(id), net_(net), store_(store), trace_(trace), opts_(options) {
   const Status valid = opts_.validate();
@@ -494,6 +494,11 @@ void EvsNode::note_pending_sends() {
 
 void EvsNode::emit_conf_change(const Configuration& config, Ord ord) {
   met_.conf_changes.inc();
+  if (!(last_ord_ < ord || met_.conf_changes.value() == 1)) {
+    EVS_WARN("evs", "%s conf change ord regressed: last=%s next=%s config=%s",
+             to_string(self_).c_str(), to_string(last_ord_).c_str(),
+             to_string(ord).c_str(), to_string(config.id).c_str());
+  }
   EVS_ASSERT_MSG(last_ord_ < ord || met_.conf_changes.value() == 1,
                  "configuration change ord must advance");
   last_ord_ = ord;
@@ -1198,14 +1203,24 @@ void EvsNode::handle_form_ring(const FormRingMsg& f) {
       std::binary_search(f.members.begin(), f.members.end(), self_);
   switch (state_) {
     case State::Gather:
-      if (includes_self && f.members == gather_->proposed_membership()) {
+      // A current-episode proposal is always numbered past every member's
+      // advertised ring_seq_ (the representative takes max-seen + 1), and our
+      // own ring_seq_ cannot change while we sit in Gather — so a FormRing at
+      // or below it is a stale retransmission of an earlier episode. Real
+      // transports surface these (a straggler can sit in the socket buffer
+      // across a regather); adopting one would re-install a ring we already
+      // delivered in, regressing the configuration-change total order.
+      if (includes_self && f.ring.seq > ring_seq_ &&
+          f.members == gather_->proposed_membership()) {
         adopt_proposal(f.ring, f.members);
       }
       break;
     case State::Recovery:
       if (f.ring == recovery_->proposed_ring()) return;
-      if (includes_self && f.members == recovery_->members() &&
-          f.ring.seq > recovery_->proposed_ring().seq) {
+      // Same staleness rule: a proposal not numbered past the one we hold is
+      // a leftover from a superseded episode, not a restart.
+      if (f.ring.seq <= recovery_->proposed_ring().seq) return;
+      if (includes_self && f.members == recovery_->members()) {
         // Representative restarted the proposal under a fresh ring id.
         adopt_proposal(f.ring, f.members);
       } else if (includes_self) {

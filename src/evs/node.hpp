@@ -40,7 +40,7 @@
 #include "evs/config.hpp"
 #include "evs/recovery.hpp"
 #include "member/membership.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "spec/trace.hpp"
@@ -153,9 +153,9 @@ class EvsNode final : public Endpoint {
   using DeliverHandler = std::function<void(const Delivery&)>;
   using ConfigHandler = std::function<void(const Configuration&)>;
 
-  EvsNode(ProcessId id, Network& net, StableStore& store, TraceLog* trace = nullptr)
+  EvsNode(ProcessId id, Transport& net, StableStore& store, TraceLog* trace = nullptr)
       : EvsNode(id, net, store, trace, Options{}) {}
-  EvsNode(ProcessId id, Network& net, StableStore& store, TraceLog* trace,
+  EvsNode(ProcessId id, Transport& net, StableStore& store, TraceLog* trace,
           Options options);
   ~EvsNode() override;
 
@@ -167,13 +167,6 @@ class EvsNode final : public Endpoint {
   void set_on_deliver(DeliverHandler h) { deliver_handler_ = std::move(h); }
   /// Register the configuration-change callback.
   void set_on_config_change(ConfigHandler h) { config_handler_ = std::move(h); }
-
-  [[deprecated("use set_on_deliver()")]] void set_deliver_handler(DeliverHandler h) {
-    set_on_deliver(std::move(h));
-  }
-  [[deprecated("use set_on_config_change()")]] void set_config_handler(ConfigHandler h) {
-    set_on_config_change(std::move(h));
-  }
 
   /// Boot (fresh start or recovery with intact stable storage). Installs a
   /// singleton regular configuration — delivering the persisted backlog in a
@@ -305,7 +298,7 @@ class EvsNode final : public Endpoint {
 
   // identity / environment
   ProcessId self_;
-  Network& net_;
+  Transport& net_;
   StableStore& store_;
   TraceLog* trace_;
   Options opts_;

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/transport.hpp"
 #include "obs/metrics.hpp"
 #include "sim/faults.hpp"
 #include "sim/scheduler.hpp"
@@ -22,21 +23,7 @@
 
 namespace evs {
 
-struct Packet {
-  ProcessId src;
-  ProcessId dst;  // meaningful only when !broadcast
-  bool broadcast{false};
-  std::vector<std::uint8_t> payload;
-};
-
-/// Implemented by every protocol node attached to the network.
-class Endpoint {
- public:
-  virtual ~Endpoint() = default;
-  virtual void on_packet(const Packet& packet) = 0;
-};
-
-class Network {
+class Network final : public Transport {
  public:
   struct Options {
     SimTime min_delay_us{50};
@@ -63,18 +50,19 @@ class Network {
 
   /// Attach a process endpoint. A freshly attached process joins the
   /// component it was last assigned to (component 0 by default).
-  void attach(ProcessId p, Endpoint* endpoint);
+  void attach(ProcessId p, Endpoint* endpoint) override;
 
   /// Detach (e.g. crashed) — queued and future packets to p are dropped.
-  void detach(ProcessId p);
+  void detach(ProcessId p) override;
 
-  bool attached(ProcessId p) const;
+  bool attached(ProcessId p) const override;
 
   /// Send to every process currently in the sender's component (including
   /// the sender itself: broadcast hardware loops back).
-  void broadcast(ProcessId from, std::vector<std::uint8_t> payload);
+  void broadcast(ProcessId from, std::vector<std::uint8_t> payload) override;
 
-  void unicast(ProcessId from, ProcessId to, std::vector<std::uint8_t> payload);
+  void unicast(ProcessId from, ProcessId to,
+               std::vector<std::uint8_t> payload) override;
 
   /// Partition the network into the given components. Every attached
   /// process not listed ends up isolated in its own singleton component.
@@ -115,7 +103,7 @@ class Network {
     return total;
   }
 
-  Scheduler& scheduler() { return scheduler_; }
+  Scheduler& scheduler() override { return scheduler_; }
 
  private:
   /// Cached instrument handles: one add on the hot path, no name lookups.

@@ -1,0 +1,377 @@
+#include "net/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace evs {
+
+namespace {
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+std::int64_t monotonic_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+UdpTransport::Met::Met(obs::MetricsRegistry& r)
+    : broadcasts(r.counter("net.broadcasts")),
+      unicasts(r.counter("net.unicasts")),
+      deliveries(r.counter("net.deliveries")),
+      bytes_delivered(r.counter("net.bytes_delivered")),
+      dropped_filter(r.counter("net.dropped_filter")),
+      dropped_backpressure(r.counter("net.dropped_backpressure")),
+      eagain_deferrals(r.counter("net.eagain_deferrals")),
+      packet_bytes(r.histogram("net.packet_bytes")) {}
+
+UdpTransport::UdpTransport(Options options) : options_(options) {
+  recv_buf_.resize(options_.max_datagram_bytes);
+}
+
+UdpTransport::~UdpTransport() { close_fd(); }
+
+void UdpTransport::close_fd() {
+  if (fd_ >= 0) ::close(fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  fd_ = wake_fd_ = -1;
+}
+
+Status UdpTransport::open() {
+  if (is_open()) return Status::ok_status();
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::error(Errc::transport_io,
+                         std::string("socket(): ") + strerror(errno));
+  }
+  if (options_.so_rcvbuf > 0) {
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &options_.so_rcvbuf,
+                 sizeof(options_.so_rcvbuf));
+  }
+  if (options_.so_sndbuf > 0) {
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                 sizeof(options_.so_sndbuf));
+  }
+  sockaddr_in addr = loopback_addr(options_.port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string detail = std::string("bind(127.0.0.1:") +
+                               std::to_string(options_.port) +
+                               "): " + strerror(errno);
+    close_fd();
+    return Status::error(Errc::transport_io, detail);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const std::string detail = std::string("getsockname(): ") + strerror(errno);
+    close_fd();
+    return Status::error(Errc::transport_io, detail);
+  }
+  port_ = ntohs(bound.sin_port);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    const std::string detail = std::string("eventfd(): ") + strerror(errno);
+    close_fd();
+    return Status::error(Errc::transport_io, detail);
+  }
+  epoch_ns_ = options_.epoch_ns != 0 ? options_.epoch_ns : monotonic_ns();
+  return Status::ok_status();
+}
+
+std::int64_t UdpTransport::monotonic_now_ns() { return monotonic_ns(); }
+
+SimTime UdpTransport::wall_now_us() const {
+  const std::int64_t delta = monotonic_ns() - epoch_ns_;
+  return delta <= 0 ? 0 : static_cast<SimTime>(delta / 1'000);
+}
+
+void UdpTransport::add_peer(ProcessId p, std::uint16_t port) {
+  auto it = peer_port_.find(p);
+  if (it != peer_port_.end()) port_peer_.erase(it->second);
+  peer_port_[p] = port;
+  port_peer_[port] = p;
+}
+
+void UdpTransport::block_peer(ProcessId p) { blocked_.insert(p); }
+void UdpTransport::unblock_peer(ProcessId p) { blocked_.erase(p); }
+
+void UdpTransport::attach(ProcessId p, Endpoint* endpoint) {
+  EVS_ASSERT(endpoint != nullptr);
+  endpoints_[p] = endpoint;
+}
+
+void UdpTransport::detach(ProcessId p) { endpoints_.erase(p); }
+
+bool UdpTransport::attached(ProcessId p) const { return endpoints_.count(p) > 0; }
+
+void UdpTransport::note_backpressure() {
+  // Hysteresis mirrors EvsNode's drain callback: flag on at capacity, off
+  // once the backlog has drained to half, so the edge does not thrash.
+  if (backlog_.size() >= options_.send_backlog_datagrams) {
+    backpressured_.store(true, std::memory_order_relaxed);
+  } else if (backlog_.size() <= options_.send_backlog_datagrams / 2) {
+    backpressured_.store(false, std::memory_order_relaxed);
+  }
+}
+
+void UdpTransport::send_datagram(std::uint16_t to_port,
+                                 const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > options_.max_datagram_bytes) {
+    stats_.send_errors.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Preserve per-socket send ordering: once anything is parked, everything
+  // queues behind it until the backlog flushes.
+  if (!backlog_.empty()) {
+    if (backlog_.size() >= options_.send_backlog_datagrams) {
+      stats_.dropped_backpressure.fetch_add(1, std::memory_order_relaxed);
+      met_.dropped_backpressure.inc();
+      note_backpressure();
+      return;
+    }
+    backlog_.push_back(PendingDatagram{to_port, payload});
+    note_backpressure();
+    return;
+  }
+  const sockaddr_in addr = loopback_addr(to_port);
+  const ssize_t n = ::sendto(fd_, payload.data(), payload.size(), 0,
+                             reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (n >= 0) {
+    stats_.datagrams_sent.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_sent.fetch_add(payload.size(), std::memory_order_relaxed);
+    return;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
+    // Kernel pushback: park the datagram; POLLOUT (or the next loop
+    // iteration, for ENOBUFS on loopback) flushes it.
+    stats_.eagain_deferrals.fetch_add(1, std::memory_order_relaxed);
+    met_.eagain_deferrals.inc();
+    backlog_.push_back(PendingDatagram{to_port, payload});
+    note_backpressure();
+    return;
+  }
+  stats_.send_errors.fetch_add(1, std::memory_order_relaxed);
+  EVS_WARN("udp", "sendto port %u failed: %s", to_port, strerror(errno));
+}
+
+void UdpTransport::flush_backlog() {
+  while (!backlog_.empty()) {
+    const PendingDatagram& d = backlog_.front();
+    const sockaddr_in addr = loopback_addr(d.to_port);
+    const ssize_t n =
+        ::sendto(fd_, d.payload.data(), d.payload.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (n >= 0) {
+      stats_.datagrams_sent.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_sent.fetch_add(d.payload.size(), std::memory_order_relaxed);
+      backlog_.pop_front();
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) break;
+    stats_.send_errors.fetch_add(1, std::memory_order_relaxed);
+    backlog_.pop_front();  // unsendable; drop rather than wedge the queue
+  }
+  note_backpressure();
+}
+
+void UdpTransport::broadcast(ProcessId from, std::vector<std::uint8_t> payload) {
+  EVS_ASSERT(is_open());
+  met_.broadcasts.inc();
+  for (const auto& [peer, port] : peer_port_) {
+    if (blocked_.count(peer) > 0 && peer != from) {
+      stats_.dropped_filter.fetch_add(1, std::memory_order_relaxed);
+      met_.dropped_filter.inc();
+      continue;
+    }
+    send_datagram(port, payload);
+  }
+}
+
+void UdpTransport::unicast(ProcessId from, ProcessId to,
+                           std::vector<std::uint8_t> payload) {
+  EVS_ASSERT(is_open());
+  (void)from;
+  met_.unicasts.inc();
+  auto it = peer_port_.find(to);
+  if (it == peer_port_.end()) {
+    stats_.dropped_unknown_peer.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (blocked_.count(to) > 0 && to != from) {
+    stats_.dropped_filter.fetch_add(1, std::memory_order_relaxed);
+    met_.dropped_filter.inc();
+    return;
+  }
+  send_datagram(it->second, payload);
+}
+
+void UdpTransport::drain_posted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    tasks.swap(posted_);
+  }
+  for (auto& fn : tasks) fn();
+}
+
+void UdpTransport::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void UdpTransport::advance_clock() { scheduler_.run_until(wall_now_us()); }
+
+void UdpTransport::drain_socket(int budget) {
+  for (int i = 0; i < budget; ++i) {
+    sockaddr_in from{};
+    socklen_t len = sizeof(from);
+    const ssize_t n = ::recvfrom(fd_, recv_buf_.data(), recv_buf_.size(), 0,
+                                 reinterpret_cast<sockaddr*>(&from), &len);
+    if (n < 0) return;  // EAGAIN: drained
+    stats_.datagrams_received.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_received.fetch_add(static_cast<std::uint64_t>(n),
+                                    std::memory_order_relaxed);
+    auto src = port_peer_.find(ntohs(from.sin_port));
+    if (src == port_peer_.end()) {
+      stats_.dropped_unknown_peer.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (blocked_.count(src->second) > 0) {
+      // Inbound half of the partition filter: datagrams already in flight
+      // when the filter went up die here, like packets on a cut wire.
+      stats_.dropped_filter.fetch_add(1, std::memory_order_relaxed);
+      met_.dropped_filter.inc();
+      continue;
+    }
+    if (endpoints_.empty()) {
+      stats_.dropped_detached.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Re-advance before every dispatch: processing a datagram can take real
+    // time (token handling fans out sends and deliveries), and a peer's
+    // clock keeps moving meanwhile. Stamping this dispatch with the
+    // pre-drain now would let a delivery carry an earlier timestamp than
+    // its sender's send — a causality inversion the spec checker rejects.
+    advance_clock();
+    // A live transport serves one process; dispatch to each attached
+    // endpoint (normally exactly one). Snapshot first: a handler may
+    // detach itself (fail-stop) mid-dispatch.
+    std::vector<std::pair<ProcessId, Endpoint*>> targets(endpoints_.begin(),
+                                                         endpoints_.end());
+    Packet packet;
+    packet.src = src->second;
+    packet.broadcast = false;  // indistinguishable on the wire; unused by nodes
+    packet.payload.assign(recv_buf_.begin(), recv_buf_.begin() + n);
+    for (auto& [pid, ep] : targets) {
+      if (endpoints_.count(pid) == 0) continue;  // detached by an earlier target
+      packet.dst = pid;
+      met_.deliveries.inc();
+      met_.bytes_delivered.inc(static_cast<std::uint64_t>(n));
+      met_.packet_bytes.record(static_cast<std::int64_t>(n));
+      ep->on_packet(packet);
+    }
+  }
+}
+
+int UdpTransport::poll_once(SimTime max_wait_us) {
+  EVS_ASSERT_MSG(is_open(), "poll_once on a transport that is not open");
+  drain_posted();
+  advance_clock();
+
+  // Bound the wait by the next protocol timer so wall-clock timers fire
+  // with ~1ms resolution (poll granularity), far inside every protocol
+  // timeout.
+  SimTime wait_us = max_wait_us;
+  if (auto next = scheduler_.next_time(); next.has_value()) {
+    const SimTime now = wall_now_us();
+    wait_us = std::min(wait_us, *next > now ? *next - now : 0);
+  }
+  if (!backlog_.empty()) wait_us = 0;  // try flushing immediately
+
+  pollfd fds[2];
+  fds[0].fd = fd_;
+  fds[0].events = POLLIN;
+  if (!backlog_.empty()) fds[0].events |= POLLOUT;
+  fds[0].revents = 0;
+  fds[1].fd = wake_fd_;
+  fds[1].events = POLLIN;
+  fds[1].revents = 0;
+
+  const int timeout_ms =
+      wait_us == 0 ? 0 : static_cast<int>(std::min<SimTime>((wait_us + 999) / 1000,
+                                                            1000));
+  ::poll(fds, 2, timeout_ms);
+
+  if ((fds[1].revents & POLLIN) != 0) {
+    std::uint64_t drained = 0;
+    [[maybe_unused]] ssize_t n = ::read(wake_fd_, &drained, sizeof(drained));
+  }
+  drain_posted();
+  advance_clock();
+  flush_backlog();
+  const std::uint64_t before = stats_.datagrams_received.load(std::memory_order_relaxed);
+  drain_socket(options_.max_recv_per_poll);
+  advance_clock();
+  return static_cast<int>(
+      stats_.datagrams_received.load(std::memory_order_relaxed) - before);
+}
+
+void UdpTransport::run() {
+  while (!stop_.load(std::memory_order_acquire)) poll_once(10'000);
+  // Final drain so a stop posted together with work does not strand it.
+  drain_posted();
+}
+
+void UdpTransport::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+UdpTransport::Stats UdpTransport::stats() const {
+  Stats s;
+  s.datagrams_sent = stats_.datagrams_sent.load(std::memory_order_relaxed);
+  s.datagrams_received = stats_.datagrams_received.load(std::memory_order_relaxed);
+  s.bytes_sent = stats_.bytes_sent.load(std::memory_order_relaxed);
+  s.bytes_received = stats_.bytes_received.load(std::memory_order_relaxed);
+  s.eagain_deferrals = stats_.eagain_deferrals.load(std::memory_order_relaxed);
+  s.dropped_backpressure =
+      stats_.dropped_backpressure.load(std::memory_order_relaxed);
+  s.dropped_filter = stats_.dropped_filter.load(std::memory_order_relaxed);
+  s.dropped_unknown_peer =
+      stats_.dropped_unknown_peer.load(std::memory_order_relaxed);
+  s.dropped_detached = stats_.dropped_detached.load(std::memory_order_relaxed);
+  s.send_errors = stats_.send_errors.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace evs

@@ -1,0 +1,232 @@
+// UdpTransport: the live implementation of the Transport interface — one
+// non-blocking loopback UDP socket per process, driven by a poll() event
+// loop that maps the protocol's Scheduler timers onto the wall clock.
+//
+// This is what takes EvsNode off the simulator: the identical protocol
+// state machine runs unmodified, but packets cross the kernel's UDP stack
+// (real loss under load, real reordering, real syscall latency) and timers
+// fire in wall-clock microseconds. Design points:
+//
+//   * One socket, one process. Peers are registered as 127.0.0.1:port; a
+//     "broadcast" is a sendto() to every registered peer *including the
+//     sender's own port* — the loopback self-delivery the protocol expects
+//     from broadcast hardware arrives through the same socket as everything
+//     else, so it is subject to the same loss and queueing.
+//   * Non-blocking sends. EAGAIN/EWOULDBLOCK parks the datagram in a
+//     bounded backlog flushed on POLLOUT; when the backlog is full the
+//     datagram is dropped and counted (net.dropped_backpressure) — exactly
+//     the loss the retransmission and recovery machinery already absorbs.
+//     `backpressured()` exposes the saturated state so harnesses can
+//     surface it through the Errc::backpressure path.
+//   * Clock mapping. The transport owns a Scheduler whose virtual time is
+//     microseconds since open(); each loop iteration advances it to the
+//     wall clock, firing due timers, and the poll() timeout is bounded by
+//     Scheduler::next_time(). Protocol code calls schedule_after() exactly
+//     as in sim.
+//   * Port-level drop filters. block_peer()/unblock_peer() discard
+//     datagrams from/to a peer inside the transport (counted as
+//     net.dropped_filter), emulating an iptables DROP rule without needing
+//     privileges — this is how testkit::LiveCluster scripts the Fig. 6
+//     partition over real sockets.
+//   * Single-threaded affinity. Everything except post() and the stats
+//     snapshot must run on the thread that calls run()/poll_once(); post()
+//     is the thread-safe door into the loop (it wakes poll() via a
+//     self-pipe) through which harnesses inject sends and filter changes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "sim/scheduler.hpp"
+#include "util/status.hpp"
+#include "util/types.hpp"
+
+namespace evs {
+
+class UdpTransport final : public Transport {
+ public:
+  struct Options {
+    std::uint16_t port{0};  ///< bind port on 127.0.0.1; 0 = ephemeral
+    /// Largest datagram accepted for send/receive. Protocol frames are
+    /// bounded far below typical loopback MTUs.
+    std::size_t max_datagram_bytes{60u * 1024};
+    /// Datagrams parked after EAGAIN before further sends are dropped.
+    std::size_t send_backlog_datagrams{256};
+    /// Receive datagrams drained per loop iteration before timers get a
+    /// chance to run again (keeps a flooded socket from starving timers).
+    int max_recv_per_poll{64};
+    /// SO_RCVBUF / SO_SNDBUF request, 0 = leave the kernel default. Tests
+    /// shrink these to force EAGAIN backpressure deterministically.
+    int so_rcvbuf{0};
+    int so_sndbuf{0};
+    /// CLOCK_MONOTONIC reading (ns) to use as virtual time zero; 0 = stamp
+    /// at open(). Co-located transports (LiveCluster) pass one shared
+    /// reading so every member's trace timestamps sit on the same time
+    /// base — the spec checker compares send/delivery times across
+    /// processes, and per-open epochs would skew them by the start stagger.
+    std::int64_t epoch_ns{0};
+  };
+
+  struct Stats {
+    std::uint64_t datagrams_sent{0};
+    std::uint64_t datagrams_received{0};
+    std::uint64_t bytes_sent{0};
+    std::uint64_t bytes_received{0};
+    std::uint64_t eagain_deferrals{0};      ///< sends parked on EAGAIN
+    std::uint64_t dropped_backpressure{0};  ///< sends dropped, backlog full
+    std::uint64_t dropped_filter{0};        ///< drop-filtered (both directions)
+    std::uint64_t dropped_unknown_peer{0};  ///< datagram from an unregistered port
+    std::uint64_t dropped_detached{0};      ///< received while no endpoint attached
+    std::uint64_t send_errors{0};           ///< sendto() failed hard (not EAGAIN)
+  };
+
+  explicit UdpTransport(Options options);
+  UdpTransport() : UdpTransport(Options{}) {}
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// Create and bind the socket (idempotent failure: a transport that fails
+  /// to open stays closed). Errc::storage_io carries the errno detail —
+  /// the harnesses treat it as "sockets unavailable, skip live tests".
+  Status open();
+  bool is_open() const { return fd_ >= 0; }
+  /// The bound port (valid after open()).
+  std::uint16_t port() const { return port_; }
+
+  /// Register peer `p` at 127.0.0.1:port. Registering self is what enables
+  /// broadcast loopback. Re-registering updates the port.
+  void add_peer(ProcessId p, std::uint16_t port);
+
+  // --- partition scripting (port-level drop filters) ---
+  void block_peer(ProcessId p);
+  void unblock_peer(ProcessId p);
+  bool peer_blocked(ProcessId p) const { return blocked_.count(p) > 0; }
+
+  // Transport:
+  void attach(ProcessId p, Endpoint* endpoint) override;
+  void detach(ProcessId p) override;
+  bool attached(ProcessId p) const override;
+  void broadcast(ProcessId from, std::vector<std::uint8_t> payload) override;
+  void unicast(ProcessId from, ProcessId to,
+               std::vector<std::uint8_t> payload) override;
+  Scheduler& scheduler() override { return scheduler_; }
+
+  // --- event loop ---
+  /// One iteration: run posted tasks, advance the clock and fire due
+  /// timers, poll the socket for at most `max_wait_us` (clamped to the next
+  /// timer), flush the send backlog, dispatch received datagrams. Returns
+  /// the number of datagrams dispatched.
+  int poll_once(SimTime max_wait_us);
+
+  /// Loop until stop() is called (from any thread).
+  void run();
+  void stop();
+
+  /// Thread-safe: enqueue `fn` to run on the loop thread at the next
+  /// iteration and wake the loop if it is parked in poll().
+  void post(std::function<void()> fn);
+
+  /// Microseconds of wall clock since the epoch (open() or the shared
+  /// Options::epoch_ns) — the live now().
+  SimTime wall_now_us() const;
+
+  /// Current CLOCK_MONOTONIC in nanoseconds — the reading harnesses take
+  /// once and fan out through Options::epoch_ns.
+  static std::int64_t monotonic_now_ns();
+
+  /// True while the send backlog is at capacity: the kernel pushed back
+  /// faster than the loop can flush. Harnesses surface this through the
+  /// protocol's Errc::backpressure path.
+  bool backpressured() const {
+    return backpressured_.load(std::memory_order_relaxed);
+  }
+
+  /// Thread-safe snapshot (loop thread publishes with relaxed atomics).
+  Stats stats() const;
+
+  /// The transport's "net.*" instruments, mirroring the sim Network's
+  /// registry shape where the concepts coincide. Only safe to read from the
+  /// loop thread (or after the loop stopped); LiveCluster snapshots it via
+  /// post().
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  struct PendingDatagram {
+    std::uint16_t to_port;
+    std::vector<std::uint8_t> payload;
+  };
+
+  void close_fd();
+  void flush_backlog();
+  /// sendto() with EAGAIN parking; `to_port` is a registered peer's port.
+  void send_datagram(std::uint16_t to_port, const std::vector<std::uint8_t>& payload);
+  void drain_socket(int budget);
+  void advance_clock();
+  void drain_posted();
+  void note_backpressure();
+
+  Options options_;
+  Scheduler scheduler_;
+  int fd_{-1};
+  int wake_fd_{-1};       ///< eventfd the poster writes to wake poll()
+  std::uint16_t port_{0};
+  std::int64_t epoch_ns_{0};  ///< CLOCK_MONOTONIC at open()
+
+  std::unordered_map<ProcessId, std::uint16_t> peer_port_;
+  std::unordered_map<std::uint16_t, ProcessId> port_peer_;
+  std::unordered_set<ProcessId> blocked_;
+  std::unordered_map<ProcessId, Endpoint*> endpoints_;
+
+  std::deque<PendingDatagram> backlog_;
+  std::atomic<bool> backpressured_{false};
+  std::atomic<bool> stop_{false};
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
+
+  std::vector<std::uint8_t> recv_buf_;
+
+  // Counters are written by the loop thread only; stats() reads them from
+  // other threads, so each is an atomic with relaxed ordering (they are
+  // monitoring data, not synchronization).
+  struct AtomicStats {
+    std::atomic<std::uint64_t> datagrams_sent{0};
+    std::atomic<std::uint64_t> datagrams_received{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> bytes_received{0};
+    std::atomic<std::uint64_t> eagain_deferrals{0};
+    std::atomic<std::uint64_t> dropped_backpressure{0};
+    std::atomic<std::uint64_t> dropped_filter{0};
+    std::atomic<std::uint64_t> dropped_unknown_peer{0};
+    std::atomic<std::uint64_t> dropped_detached{0};
+    std::atomic<std::uint64_t> send_errors{0};
+  };
+  AtomicStats stats_;
+
+  /// Cached instrument handles (same pattern as Network::Met).
+  struct Met {
+    obs::Counter& broadcasts;
+    obs::Counter& unicasts;
+    obs::Counter& deliveries;
+    obs::Counter& bytes_delivered;
+    obs::Counter& dropped_filter;
+    obs::Counter& dropped_backpressure;
+    obs::Counter& eagain_deferrals;
+    obs::Histogram& packet_bytes;
+    explicit Met(obs::MetricsRegistry& r);
+  };
+  obs::MetricsRegistry metrics_;
+  Met met_{metrics_};
+};
+
+}  // namespace evs

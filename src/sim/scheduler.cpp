@@ -55,6 +55,15 @@ void Scheduler::run_until(SimTime t) {
   if (now_ < t) now_ = t;
 }
 
+std::optional<SimTime> Scheduler::next_time() {
+  while (!queue_.empty() && cancelled_.count(queue_.top().id) > 0) {
+    cancelled_.erase(queue_.top().id);
+    queue_.pop();
+  }
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().time;
+}
+
 std::uint64_t Scheduler::run(std::uint64_t max_events) {
   std::uint64_t n = 0;
   while (n < max_events && step()) ++n;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -58,6 +59,12 @@ class Scheduler {
   /// Run until the queue is empty or `max_events` executed; returns the
   /// number of events executed.
   std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Fire time of the earliest live event, or nullopt when none is pending.
+  /// Prunes cancelled tombstones off the top of the queue as a side effect
+  /// (which is why it is not const). Live transports use this to bound
+  /// their poll() timeout to the next protocol timer.
+  std::optional<SimTime> next_time();
 
   /// Number of live (scheduled, not yet fired, not cancelled) events.
   /// Counted from the callback map, not from queue arithmetic: the queue

@@ -1,0 +1,165 @@
+// LiveCluster: N EvsNodes over real loopback UDP — the live counterpart of
+// testkit::Cluster.
+//
+// Each process gets its own UdpTransport (one bound socket), its own
+// StableStore, its own TraceLog, and its own event-loop thread running
+// UdpTransport::run(). The protocol stack is byte-for-byte the code the
+// simulator runs; only the substrate changed. The harness talks to a node
+// exclusively by posting closures onto its loop thread (call()), so EvsNode
+// never sees concurrent access.
+//
+// Partitions are scripted with the transports' port-level drop filters
+// (UdpTransport::block_peer): no iptables, no privileges, yet datagrams die
+// in flight exactly as on a cut wire — which is how the Fig. 6
+// partition/re-merge scenario runs over real sockets (tests/live/).
+//
+// After stop(), the per-node traces merge into one TraceLog (per-process
+// program order is preserved; the spec checker needs nothing else) and
+// check() runs the full Specification 1-7 validator over what the live run
+// actually delivered.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "evs/node.hpp"
+#include "net/udp_transport.hpp"
+#include "obs/metrics.hpp"
+#include "spec/checker.hpp"
+#include "spec/trace.hpp"
+#include "storage/stable_store.hpp"
+#include "util/status.hpp"
+
+namespace evs {
+
+/// EvsNode timers retuned for wall-clock time. The EvsNode defaults are
+/// sim-tuned (token loss 12 ms, recovery 40 ms) — fine in virtual time where
+/// handling is instantaneous, but on a real machine a scheduling hiccup or a
+/// sanitizer's slowdown exceeds them and the ring livelocks in regather
+/// loops. This profile scales every timeout ~10x while preserving the
+/// Options::validate() relations (retransmit limit x interval < token loss).
+EvsNode::Options live_node_defaults();
+
+class LiveCluster {
+ public:
+  struct Options {
+    std::size_t num_processes{3};
+    EvsNode::Options node = live_node_defaults();
+    UdpTransport::Options transport{};
+  };
+
+  /// Everything one process delivered (written by its loop thread; read it
+  /// only through call() while running, or freely after stop()).
+  struct Sink {
+    std::vector<EvsNode::Delivery> deliveries;
+    std::vector<Configuration> configs;
+    bool delivered(const MsgId& m) const;
+  };
+
+  /// A cross-thread snapshot of one node, taken on its loop thread.
+  struct NodeSample {
+    EvsNode::State state{EvsNode::State::Down};
+    Configuration config;
+    std::uint64_t delivered{0};
+    std::uint64_t sent{0};
+    std::size_t pending_sends{0};
+  };
+
+  explicit LiveCluster(Options options);
+  LiveCluster() : LiveCluster(Options{}) {}
+  ~LiveCluster();
+
+  LiveCluster(const LiveCluster&) = delete;
+  LiveCluster& operator=(const LiveCluster&) = delete;
+
+  /// Bind every socket, register the full peer mesh, spawn the loop
+  /// threads, and start every node. Errc::transport_io means the
+  /// environment has no usable sockets — callers skip live tests then.
+  Status open();
+
+  /// Stop the loops and join the threads. Nodes stay constructed (their
+  /// sinks, traces and metrics remain readable). Idempotent.
+  void stop();
+
+  bool running() const { return running_; }
+  std::size_t size() const { return procs_.size(); }
+  ProcessId pid(std::size_t index) const;
+
+  /// Run `fn` on node `index`'s loop thread and wait for it. After stop()
+  /// the closure runs inline on the caller (the loops are gone, so there is
+  /// nothing to race with).
+  void call(std::size_t index, std::function<void()> fn);
+
+  /// Synchronous send on the node's loop thread.
+  Expected<MsgId> send(std::size_t index, Service service,
+                       std::vector<std::uint8_t> payload);
+  /// Fire-and-forget send (benchmarks): posts and returns immediately.
+  /// Rejected sends (backpressure) are counted in the node's own metrics.
+  void send_async(std::size_t index, Service service,
+                  std::vector<std::uint8_t> payload);
+
+  NodeSample sample(std::size_t index);
+
+  // --- partition scripting (groups are process indexes) ---
+  /// Install drop filters so only processes in the same group can exchange
+  /// datagrams. Unlisted processes end up isolated, like Cluster::partition.
+  void partition(const std::vector<std::vector<std::size_t>>& groups);
+  void heal();
+
+  // --- waiting (all wall-clock) ---
+  bool await(const std::function<bool()>& predicate, SimTime max_wait_us,
+             SimTime poll_interval_us = 2'000);
+  /// Every node Operational and every partition group converged on a
+  /// configuration holding exactly that group's members.
+  bool stable();
+  bool await_stable(SimTime max_wait_us = 10'000'000);
+  /// await_stable, then wait for delivery counts and send queues to settle.
+  bool await_quiesce(SimTime max_wait_us = 10'000'000);
+
+  /// Total deliveries across all nodes (cheap: atomic counters updated by
+  /// the delivery callbacks; no cross-thread call needed).
+  std::uint64_t total_delivered() const;
+
+  // --- post-stop inspection ---
+  const Sink& sink(std::size_t index) const;
+  UdpTransport& transport(std::size_t index);
+  EvsNode& node(std::size_t index);
+
+  /// Merge the per-node traces (per-process program order preserved).
+  /// Requires stop().
+  TraceLog merged_trace() const;
+  /// Run the full specification checker over the merged trace. Requires
+  /// stop().
+  std::vector<Violation> check(bool quiescent = true) const;
+  std::string check_report(bool quiescent = true) const;
+
+  /// Every node's metrics plus every transport's, merged. Requires stop().
+  obs::MetricsRegistry aggregate_metrics() const;
+
+ private:
+  struct Proc {
+    ProcessId pid;
+    std::unique_ptr<UdpTransport> transport;
+    std::unique_ptr<StableStore> store;
+    std::unique_ptr<TraceLog> trace;
+    std::unique_ptr<EvsNode> node;
+    Sink sink;
+    std::thread loop;
+    std::atomic<std::uint64_t> delivered{0};
+  };
+
+  Options options_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  /// Group index per process under the current partition script (all 0 when
+  /// healed); read by stable() on the harness thread only.
+  std::vector<std::size_t> group_of_;
+  bool running_{false};
+  bool opened_{false};
+};
+
+}  // namespace evs

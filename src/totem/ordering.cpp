@@ -11,6 +11,7 @@ OrderingCore::Met::Met(obs::MetricsRegistry& r)
     : duplicates_ignored(r.counter("ordering.duplicates_ignored")),
       retransmits_sent(r.counter("ordering.retransmits_sent")),
       rtr_capped(r.counter("ordering.rtr_capped")),
+      fcc_clamped(r.counter("ordering.fcc_clamped")),
       tokens_seen(r.counter("ordering.tokens_seen")),
       gc_reclaimed(r.counter("ordering.gc_reclaimed")),
       store_msgs(r.gauge("ordering.store_msgs")),
@@ -36,6 +37,7 @@ OrderingCore::Stats OrderingCore::stats() const {
   s.duplicates_ignored = met_.duplicates_ignored.value();
   s.retransmits_sent = met_.retransmits_sent.value();
   s.rtr_capped = met_.rtr_capped.value();
+  s.fcc_clamped = met_.fcc_clamped.value();
   s.gc_reclaimed = met_.gc_reclaimed.value();
   return s;
 }
@@ -179,8 +181,29 @@ OrderingCore::TokenResult OrderingCore::on_token(const TokenMsg& token,
   // the backlog not yet acknowledged by everyone. Budgeting against both
   // keeps every member's resident store O(window) no matter how fast the
   // application produces.
-  const std::uint32_t fcc_in =
+  //
+  // The inbound count is clamped to the largest value a healthy ring can
+  // legitimately accumulate: every member adds at most max_new + max_rtr
+  // broadcasts per visit, so fcc > members * per_visit_max can only come
+  // from corruption, a forged token, or stale state leaking across a
+  // configuration change. Without the clamp such a value is sticky — the
+  // only decay is subtracting prev_visit_broadcasts_, which is 0 exactly
+  // when the budget pinned to 0 — so one bad token would silence the ring
+  // forever. With it, the excess is discarded and the window recovers
+  // within a single visit.
+  const std::uint64_t per_visit_max =
+      static_cast<std::uint64_t>(std::max(options_.max_new_per_token, 0)) +
+      static_cast<std::uint64_t>(std::max(options_.max_retransmit_per_token, 0));
+  const std::uint64_t fcc_headroom =
+      per_visit_max < UINT32_MAX ? UINT32_MAX - per_visit_max : 0;
+  const std::uint64_t fcc_ceiling =
+      std::min<std::uint64_t>(members_.size() * per_visit_max, fcc_headroom);
+  std::uint64_t fcc_in =
       out.fcc > prev_visit_broadcasts_ ? out.fcc - prev_visit_broadcasts_ : 0;
+  if (fcc_in > fcc_ceiling) {
+    fcc_in = fcc_ceiling;
+    met_.fcc_clamped.inc();
+  }
   const std::uint64_t window = options_.flow_control_window;
   const std::uint64_t unacked = out.seq >= out.aru ? out.seq - out.aru : 0;
   std::uint64_t budget = options_.max_new_per_token < 0
@@ -208,7 +231,11 @@ OrderingCore::TokenResult OrderingCore::on_token(const TokenMsg& token,
   }
   const auto this_visit =
       static_cast<std::uint32_t>(retransmitted) + static_cast<std::uint32_t>(sent);
-  out.fcc = fcc_in > UINT32_MAX - this_visit ? UINT32_MAX : fcc_in + this_visit;
+  // fcc_in <= fcc_ceiling and this_visit <= per_visit_max, both far below
+  // u32 range for any validated option set — no saturation path (the old
+  // UINT32_MAX saturation was itself a pin: subtraction decay could never
+  // bring it back down).
+  out.fcc = static_cast<std::uint32_t>(fcc_in + this_visit);
   prev_visit_broadcasts_ = this_visit;
   // token_is_stale rejected any seq regression, and stamping only raised
   // out.seq, so a single assignment here maintains the monotone invariant.

@@ -75,6 +75,7 @@ class OrderingCore {
     std::uint64_t duplicates_ignored{0};  ///< duplicate regular messages
     std::uint64_t retransmits_sent{0};    ///< rtr requests we satisfied
     std::uint64_t rtr_capped{0};          ///< holes deferred by max_rtr_entries
+    std::uint64_t fcc_clamped{0};         ///< inbound fcc above the ring ceiling
     std::uint64_t gc_reclaimed{0};        ///< message bodies freed by GC
   };
 
@@ -141,6 +142,7 @@ class OrderingCore {
     obs::Counter& duplicates_ignored;
     obs::Counter& retransmits_sent;
     obs::Counter& rtr_capped;
+    obs::Counter& fcc_clamped;
     obs::Counter& tokens_seen;
     obs::Counter& gc_reclaimed;
     obs::Gauge& store_msgs;        ///< resident bodies (current)

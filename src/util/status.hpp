@@ -33,6 +33,7 @@ enum class Errc : std::uint8_t {
   backpressure = 10,        ///< pending send queue at Options::max_pending_sends
   storage_io = 11,          ///< stable-storage write failed (fault-injected I/O)
   invalid_argument = 12,    ///< harness API misuse (unknown pid, bad lifecycle)
+  transport_io = 13,        ///< live transport socket operation failed
 };
 
 const char* to_string(Errc e);
@@ -116,6 +117,7 @@ inline const char* to_string(Errc e) {
     case Errc::backpressure: return "backpressure";
     case Errc::storage_io: return "storage_io";
     case Errc::invalid_argument: return "invalid_argument";
+    case Errc::transport_io: return "transport_io";
   }
   return "?";
 }

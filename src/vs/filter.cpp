@@ -44,7 +44,7 @@ VsNode::Stats VsNode::stats() const {
   return s;
 }
 
-VsNode::VsNode(ProcessId id, Network& net, StableStore& store, TraceLog* evs_trace,
+VsNode::VsNode(ProcessId id, Transport& net, StableStore& store, TraceLog* evs_trace,
                VsTraceLog* vs_trace, EvsNode::Options evs_options, Options options)
     : self_(id),
       store_(store),

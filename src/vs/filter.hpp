@@ -86,7 +86,7 @@ class VsNode {
   using ViewHandler = std::function<void(const VsView&)>;
   using DeliverHandler = std::function<void(const VsDelivery&)>;
 
-  VsNode(ProcessId id, Network& net, StableStore& store, TraceLog* evs_trace,
+  VsNode(ProcessId id, Transport& net, StableStore& store, TraceLog* evs_trace,
          VsTraceLog* vs_trace, EvsNode::Options evs_options, Options options);
 
   /// Register the view-installation callback (uniform setter name across
@@ -94,13 +94,6 @@ class VsNode {
   void set_on_view_change(ViewHandler h) { view_handler_ = std::move(h); }
   /// Register the delivery callback.
   void set_on_deliver(DeliverHandler h) { deliver_handler_ = std::move(h); }
-
-  [[deprecated("use set_on_view_change()")]] void set_view_handler(ViewHandler h) {
-    set_on_view_change(std::move(h));
-  }
-  [[deprecated("use set_on_deliver()")]] void set_deliver_handler(DeliverHandler h) {
-    set_on_deliver(std::move(h));
-  }
 
   void start();
   void crash();

@@ -5,16 +5,19 @@
 namespace evs::wire {
 
 void Writer::str(const std::string& s) {
+  if (!fits_u32(s.size())) return;
   u32(static_cast<std::uint32_t>(s.size()));
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
 
 void Writer::bytes(std::span<const std::uint8_t> data) {
+  if (!fits_u32(data.size())) return;
   u32(static_cast<std::uint32_t>(data.size()));
   buf_.insert(buf_.end(), data.begin(), data.end());
 }
 
 void Writer::seq_set(const SeqSet& set) {
+  if (!fits_u32(set.interval_count())) return;
   u32(static_cast<std::uint32_t>(set.interval_count()));
   for (const auto& iv : set.intervals()) {
     u64(iv.lo);
@@ -23,11 +26,13 @@ void Writer::seq_set(const SeqSet& set) {
 }
 
 void Writer::pid_vec(const std::vector<ProcessId>& v) {
+  if (!fits_u32(v.size())) return;
   u32(static_cast<std::uint32_t>(v.size()));
   for (ProcessId p : v) pid(p);
 }
 
 void Writer::seq_vec(const std::vector<SeqNum>& v) {
+  if (!fits_u32(v.size())) return;
   u32(static_cast<std::uint32_t>(v.size()));
   for (SeqNum s : v) u64(s);
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "util/assert.hpp"
 #include "util/seq_set.hpp"
 #include "util/status.hpp"
 #include "util/types.hpp"
@@ -19,7 +20,9 @@ namespace evs::wire {
 
 class Writer {
  public:
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u8(std::uint8_t v) {
+    if (ok_) buf_.push_back(v);
+  }
 
   void u16(std::uint16_t v) {
     u8(static_cast<std::uint8_t>(v));
@@ -46,11 +49,34 @@ class Writer {
   void pid_vec(const std::vector<ProcessId>& v);
   void seq_vec(const std::vector<SeqNum>& v);
 
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  /// False once a container exceeded the u32 length-prefix range. The
+  /// writer is poisoned from that point on — the oversized container (and
+  /// everything after it) is never appended, so the buffer cannot leak out
+  /// as a decodable-but-truncated encoding. Encoders check this before
+  /// sealing; take() asserts it as a backstop.
+  bool ok() const { return ok_; }
+
+  std::vector<std::uint8_t> take() {
+    EVS_ASSERT_MSG(ok_, "wire::Writer poisoned: container size exceeded the "
+                        "u32 length prefix");
+    return std::move(buf_);
+  }
   std::size_t size() const { return buf_.size(); }
 
  private:
+  /// Validate a container length before writing its prefix. Sizes above
+  /// UINT32_MAX used to be silently truncated by static_cast — producing a
+  /// frame that decoded cleanly to the wrong container. Returns false (and
+  /// poisons the writer) instead; once poisoned, all further writes are
+  /// dropped. The check runs before any element is touched, so even a
+  /// hostile span with a forged huge size() is rejected without a read.
+  bool fits_u32(std::size_t n) {
+    if (n > UINT32_MAX) ok_ = false;
+    return ok_;
+  }
+
   std::vector<std::uint8_t> buf_;
+  bool ok_{true};
 };
 
 /// Decoder. A malformed buffer (which can only be an internal bug, since we

@@ -1,0 +1,111 @@
+// Regression tests: a retransmitted FormRing from a superseded membership
+// episode must not be adopted.
+//
+// Over real transports a FormRing can outlive its episode — the
+// representative retransmits it until recovery completes, and a straggler
+// can sit in a socket buffer across a regather. Before the fix,
+// handle_form_ring in Gather state compared only the proposed membership, so
+// a node that had already installed ring R, delivered in it, lost the token
+// and regathered would adopt the stale proposal for R and re-run recovery
+// for it — and, if the install completed, emit a configuration change whose
+// ord does not advance past the deliveries already made in R (the
+// EVS_ASSERT in emit_conf_change; the live UDP suite reproduced exactly
+// that abort). The guard is that a current-episode proposal is always
+// numbered past every member's advertised ring_seq_, so any FormRing at or
+// below it is provably stale.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "evs/node.hpp"
+#include "testkit/cluster.hpp"
+#include "totem/messages.hpp"
+#include "wire/codec.hpp"
+
+namespace evs {
+namespace {
+
+TEST(StaleFormRingTest, ReplayedProposalForInstalledRingIsNotAdoptedInGather) {
+  Cluster cluster(Cluster::Options{.num_processes = 2});
+  ASSERT_TRUE(cluster.await_stable());
+  const RingId old_ring = cluster.node(0u).config().id.ring;
+  const std::vector<ProcessId> members = cluster.node(0u).config().members;
+  ASSERT_EQ(members.size(), 2u);
+
+  // Deliver something in the installed ring so last_ord_ sits inside R's ord
+  // block — the precondition for the pre-fix ord regression.
+  ASSERT_TRUE(cluster.node(0u).send(Service::Agreed, {1}).ok());
+  ASSERT_TRUE(cluster.await_quiesce());
+
+  // Crash the peer. The token dies, node 0 regathers, and until the gather
+  // fail timeout removes the silent peer the proposed membership is still
+  // the full old ring — exactly the window in which a replayed FormRing's
+  // membership matches.
+  ASSERT_TRUE(cluster.crash(cluster.pid(1)).ok());
+  ASSERT_TRUE(cluster.await(
+      [&] { return cluster.node(0u).state() == EvsNode::State::Gather; },
+      1'000'000))
+      << "node 0 never re-entered gather";
+
+  // Replay the stale proposal for the ring node 0 already installed and
+  // delivered in, exactly as a retransmission from the dead peer's socket
+  // buffer would arrive (a node ignores FormRings whose packet source is
+  // itself, so the replay must come from the peer).
+  const FormRingMsg stale{old_ring.rep, old_ring, members};
+  const auto stale_frame = wire::seal_frame(encode_msg(stale)).value();
+  cluster.network().unicast(cluster.pid(1), cluster.pid(0), stale_frame);
+
+  // Pre-fix node 0 adopts the proposal and moves to Recovery for the old
+  // ring. Post-fix it must still be gathering once the frame has landed.
+  cluster.run_for(2'000);
+  EXPECT_EQ(cluster.node(0u).state(), EvsNode::State::Gather)
+      << "stale FormRing was adopted";
+
+  // The episode must still terminate correctly: node 0 forms a singleton
+  // ring numbered past the old one, the recovered peer re-merges, and the
+  // whole run stays spec-conformant.
+  ASSERT_TRUE(cluster.await_stable()) << "surviving node never stabilized";
+  EXPECT_GT(cluster.node(0u).config().id.ring.seq, old_ring.seq);
+  ASSERT_TRUE(cluster.recover(cluster.pid(1)).ok());
+  ASSERT_TRUE(cluster.await_stable()) << "recovered peer never re-merged";
+  EXPECT_EQ(cluster.node(0u).config().id.ring, cluster.node(1u).config().id.ring);
+  ASSERT_TRUE(cluster.node(0u).send(Service::Safe, {2}).ok());
+  ASSERT_TRUE(cluster.await_quiesce());
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(StaleFormRingTest, StaleProposalDuringRecoveryIsIgnored) {
+  Cluster cluster(Cluster::Options{.num_processes = 2});
+  ASSERT_TRUE(cluster.await_stable());
+  const RingId old_ring = cluster.node(0u).config().id.ring;
+  const std::vector<ProcessId> members = cluster.node(0u).config().members;
+
+  // Drive node 0 through gather into its singleton reform, then replay the
+  // old proposal. Whatever state the replay lands in (Recovery while forming
+  // the singleton, or Operational after), a proposal numbered at or below
+  // the ring already left behind must not knock the node off course or
+  // re-install the old ring.
+  ASSERT_TRUE(cluster.crash(cluster.pid(1)).ok());
+  ASSERT_TRUE(cluster.await(
+      [&] {
+        return cluster.node(0u).state() == EvsNode::State::Recovery ||
+               (cluster.node(0u).state() == EvsNode::State::Operational &&
+                cluster.node(0u).config().members.size() == 1);
+      },
+      1'000'000))
+      << "node 0 never started reforming";
+
+  const FormRingMsg stale{old_ring.rep, old_ring, members};
+  const auto stale_frame = wire::seal_frame(encode_msg(stale)).value();
+  cluster.network().unicast(cluster.pid(1), cluster.pid(0), stale_frame);
+
+  ASSERT_TRUE(cluster.await_stable());
+  EXPECT_GT(cluster.node(0u).config().id.ring.seq, old_ring.seq);
+  ASSERT_TRUE(cluster.recover(cluster.pid(1)).ok());
+  ASSERT_TRUE(cluster.await_stable());
+  ASSERT_TRUE(cluster.await_quiesce());
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+}  // namespace
+}  // namespace evs

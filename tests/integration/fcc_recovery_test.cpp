@@ -1,0 +1,102 @@
+// Flow-control recovery across configuration changes.
+//
+// The fcc satellite of the live-transport PR: the token's flow-control
+// state must be demonstrably reset when a new regular configuration is
+// installed, so the send budget after a partition/re-merge (or crash
+// recovery) is the full window — never a leftover of the old ring's
+// congestion, and never a pin-to-zero (see tests/totem/ordering_fcc_test.cpp
+// for the token-level pin regression).
+#include <gtest/gtest.h>
+
+#include "testkit/cluster.hpp"
+
+namespace evs {
+namespace {
+
+std::vector<std::uint8_t> payload(std::uint8_t tag) { return {tag}; }
+
+// Saturate the ring, partition it under load, re-merge, and require the
+// merged configuration to move a full flow-control window of traffic from
+// every member. If any fcc residue leaked across the install, the budget
+// computation window - fcc_in would strangle (or freeze) the merged ring
+// and the quiesce below would time out with undelivered messages.
+TEST(FccRecoveryTest, SendBudgetRecoversToFullWindowAfterRemerge) {
+  Cluster cluster(Cluster::Options{.num_processes = 5});
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+
+  // Phase 1: drive the ring hard so fcc is nonzero and the window is the
+  // binding constraint when the partition hits.
+  for (int i = 0; i < 200; ++i) {
+    cluster.node(static_cast<std::size_t>(i % 5))
+        .send(Service::Agreed, payload(1)).value();
+  }
+  cluster.run_for(1'000);  // mid-burst...
+  cluster.partition({{0, 1, 2}, {3, 4}});
+  ASSERT_TRUE(cluster.await_stable(3'000'000));
+
+  // Phase 2: both components keep producing in their own configurations.
+  for (int i = 0; i < 100; ++i) {
+    cluster.node(static_cast<std::size_t>(i % 3)).send(Service::Agreed, payload(2)).value();
+    cluster.node(static_cast<std::size_t>(3 + i % 2)).send(Service::Agreed, payload(3)).value();
+  }
+  ASSERT_TRUE(cluster.await_quiesce(4'000'000));
+
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_stable(4'000'000)) << "merge never completed";
+  ASSERT_EQ(cluster.node(0u).config().members.size(), 5u);
+
+  // Phase 3: the merged ring must accept and deliver a full window of new
+  // traffic from every member. Collect ids so delivery is asserted
+  // per-message, not inferred from counts.
+  const auto window = EvsNode::Options{}.ordering.flow_control_window;
+  std::vector<MsgId> burst;
+  for (std::uint32_t i = 0; i < window; ++i) {
+    burst.push_back(cluster.node(static_cast<std::size_t>(i % 5))
+                        .send(Service::Agreed, payload(4)).value());
+  }
+  ASSERT_TRUE(cluster.await_quiesce(8'000'000))
+      << "post-merge ring failed to drain a full window: budget pinned?\n"
+      << cluster.liveness_report();
+  for (const MsgId& m : burst) {
+    for (std::size_t p = 0; p < 5; ++p) {
+      ASSERT_TRUE(cluster.sink(p).delivered(m)) << "process " << p;
+    }
+  }
+  // Healthy rings never trip the corruption clamp.
+  auto agg = cluster.aggregate_metrics();
+  EXPECT_EQ(agg.counter("ordering.fcc_clamped").value(), 0u);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+// Crash recovery: the recovered member rejoins a configuration whose
+// flow-control state starts from zero, and its own sends flow immediately.
+TEST(FccRecoveryTest, RecoveredProcessSendsFullWindowImmediately) {
+  Cluster cluster(Cluster::Options{.num_processes = 3});
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  for (int i = 0; i < 120; ++i) {
+    cluster.node(static_cast<std::size_t>(i % 3)).send(Service::Agreed, payload(1)).value();
+  }
+  cluster.run_for(800);
+  const ProcessId victim = cluster.pid(2);
+  ASSERT_TRUE(cluster.crash(victim).ok());
+  ASSERT_TRUE(cluster.await_quiesce(4'000'000));
+  ASSERT_TRUE(cluster.recover(victim).ok());
+  ASSERT_TRUE(cluster.await_stable(4'000'000));
+
+  const auto window = EvsNode::Options{}.ordering.flow_control_window;
+  std::vector<MsgId> burst;
+  for (std::uint32_t i = 0; i < window; ++i) {
+    burst.push_back(cluster.node(victim).send(Service::Agreed, payload(2)).value());
+    // Keep the pending queue below its own cap (max_pending_sends ==
+    // window): this test is about the ring-wide budget, not send()'s local
+    // backpressure guard.
+    if (i % 64 == 63) cluster.run_for(2'000);
+  }
+  ASSERT_TRUE(cluster.await_quiesce(8'000'000))
+      << "recovered sender starved: budget pinned?\n" << cluster.liveness_report();
+  for (const MsgId& m : burst) EXPECT_TRUE(cluster.sink(0u).delivered(m));
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,230 @@
+// Live-transport tests: the EVS protocol stack over real loopback UDP
+// sockets (testkit::LiveCluster), including the paper's Fig. 6
+// partition/re-merge scenario validated by the full specification checker.
+//
+// These are the only tests in the tree that are not deterministic: packets
+// cross the kernel, timers are wall-clock, and thread scheduling is real.
+// The assertions are therefore convergence properties (stability within a
+// bound, zero spec violations over whatever trace actually happened), not
+// exact event sequences. They carry the `live` ctest label with a bounded
+// timeout, and skip cleanly when the environment provides no sockets.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "testkit/live_cluster.hpp"
+
+namespace evs {
+namespace {
+
+std::vector<std::uint8_t> payload(std::uint8_t tag) { return {tag}; }
+
+#define SKIP_IF_NO_SOCKETS(st)                                                 \
+  do {                                                                         \
+    if (!(st).ok()) GTEST_SKIP() << "sockets unavailable: " << (st).message(); \
+  } while (0)
+
+TEST(UdpLiveTest, ThreeNodesConvergeAndDeliverOverRealSockets) {
+  LiveCluster cluster(LiveCluster::Options{.num_processes = 3});
+  SKIP_IF_NO_SOCKETS(cluster.open());
+  ASSERT_TRUE(cluster.await_stable()) << "ring never formed over UDP";
+
+  std::vector<MsgId> sent;
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto r = cluster.send(i, Service::Safe, payload(static_cast<std::uint8_t>(i)));
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    sent.push_back(*r);
+  }
+  // 3 messages x 3 receivers; atomic counters make this cheap to poll.
+  ASSERT_TRUE(cluster.await([&] { return cluster.total_delivered() >= 9; },
+                            10'000'000));
+  ASSERT_TRUE(cluster.await_quiesce());
+  cluster.stop();
+
+  for (std::size_t p = 0; p < 3; ++p) {
+    for (const MsgId& m : sent) {
+      EXPECT_TRUE(cluster.sink(p).delivered(m)) << "process " << p;
+    }
+  }
+  EXPECT_EQ(cluster.check_report(), "") << cluster.merged_trace().dump();
+}
+
+TEST(UdpLiveTest, Fig6PartitionAndRemergeOverUdp) {
+  // The paper's Figure 6 scenario on real sockets: a 5-process ring
+  // partitions into {q,r,s} | {t,u} via port-level drop filters, both
+  // components keep operating, and the re-merged ring passes the complete
+  // Specification 1-7 check over the live trace.
+  LiveCluster cluster(LiveCluster::Options{.num_processes = 5});
+  SKIP_IF_NO_SOCKETS(cluster.open());
+  ASSERT_TRUE(cluster.await_stable()) << "initial 5-ring never formed";
+
+  for (std::size_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cluster.send(i, Service::Agreed, payload(1)).ok());
+  }
+
+  cluster.partition({{0, 1, 2}, {3, 4}});
+  ASSERT_TRUE(cluster.await_stable()) << "components never re-formed";
+  {
+    const auto majority = cluster.sample(0);
+    const auto minority = cluster.sample(3);
+    EXPECT_EQ(majority.config.members.size(), 3u);
+    EXPECT_EQ(minority.config.members.size(), 2u);
+  }
+
+  // Both sides make progress — the property EVS exists for.
+  std::vector<MsgId> majority_msgs, minority_msgs;
+  for (int i = 0; i < 10; ++i) {
+    auto a = cluster.send(static_cast<std::size_t>(i % 3), Service::Safe, payload(2));
+    ASSERT_TRUE(a.ok());
+    majority_msgs.push_back(*a);
+    auto b = cluster.send(3 + static_cast<std::size_t>(i % 2), Service::Safe, payload(3));
+    ASSERT_TRUE(b.ok());
+    minority_msgs.push_back(*b);
+  }
+  ASSERT_TRUE(cluster.await_quiesce());
+
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_stable()) << "merge never completed over UDP";
+  {
+    const auto merged = cluster.sample(0);
+    ASSERT_EQ(merged.config.members.size(), 5u);
+    EXPECT_EQ(merged.config.id, cluster.sample(4).config.id);
+  }
+
+  // Post-merge traffic reaches everyone.
+  auto after = cluster.send(1, Service::Safe, payload(4));
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(cluster.await_quiesce());
+  cluster.stop();
+
+  for (std::size_t p = 0; p < 5; ++p) {
+    EXPECT_TRUE(cluster.sink(p).delivered(*after)) << "process " << p;
+  }
+  // Partition-era traffic stayed inside its component.
+  for (const MsgId& m : majority_msgs) {
+    EXPECT_TRUE(cluster.sink(1).delivered(m));
+    EXPECT_FALSE(cluster.sink(4).delivered(m));
+  }
+  for (const MsgId& m : minority_msgs) {
+    EXPECT_TRUE(cluster.sink(4).delivered(m));
+    EXPECT_FALSE(cluster.sink(1).delivered(m));
+  }
+  // Transitional configurations were delivered where the membership shrank.
+  bool saw_transitional = false;
+  for (std::size_t p = 0; p < 5; ++p) {
+    for (const Configuration& c : cluster.sink(p).configs) {
+      saw_transitional = saw_transitional || c.id.transitional;
+    }
+  }
+  EXPECT_TRUE(saw_transitional);
+
+  // The acceptance bar: the full spec checker over the live trace.
+  EXPECT_EQ(cluster.check_report(), "") << cluster.merged_trace().dump();
+}
+
+TEST(UdpLiveTest, BackpressureSurfacesThroughErrcOnLiveTransport) {
+  // Outrun the token with a tiny send queue: the live path must surface
+  // Errc::backpressure exactly like the simulator, and the ring must drain
+  // and deliver everything it accepted.
+  LiveCluster::Options opts;
+  opts.num_processes = 3;
+  opts.node.max_pending_sends = 8;
+  LiveCluster cluster(opts);
+  SKIP_IF_NO_SOCKETS(cluster.open());
+  ASSERT_TRUE(cluster.await_stable());
+
+  // Burst inside one posted closure: the loop thread cannot interleave
+  // token visits, so the queue deterministically fills to its cap of 8 and
+  // the rest must reject with Errc::backpressure.
+  std::size_t accepted = 0, rejected = 0;
+  bool wrong_code = false;
+  std::vector<MsgId> ids;
+  cluster.call(0, [&] {
+    EvsNode& n = cluster.node(0);
+    for (int i = 0; i < 200; ++i) {
+      auto r = n.send(Service::Agreed, payload(0));
+      if (r.ok()) {
+        ++accepted;
+        ids.push_back(*r);
+      } else {
+        wrong_code = wrong_code || r.code() != Errc::backpressure;
+        ++rejected;
+      }
+    }
+  });
+  EXPECT_FALSE(wrong_code);
+  EXPECT_EQ(accepted, 8u);
+  EXPECT_EQ(rejected, 192u);
+  ASSERT_TRUE(cluster.await_quiesce());
+  cluster.stop();
+  for (const MsgId& m : ids) {
+    EXPECT_TRUE(cluster.sink(1).delivered(m)) << "accepted send lost";
+  }
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(UdpLiveTest, RealPacketLossIsAbsorbedByRetransmission) {
+  // Shrink the kernel receive buffers so a traffic burst genuinely drops
+  // datagrams inside the kernel; the token's rtr machinery must recover
+  // every ordered message anyway. (If the kernel clamps the buffer above
+  // the pressure point and nothing drops, the test still validates the
+  // burst end-to-end.)
+  LiveCluster::Options opts;
+  opts.num_processes = 3;
+  opts.transport.so_rcvbuf = 4096;
+  // Generous wall-clock timers: data bursts must overflow the shrunken
+  // kernel buffers (that is the point), but a dropped *token* retried 20ms
+  // later lands in a long-drained buffer, so the membership holds and loss
+  // recovery happens purely through the rtr machinery.
+  opts.node.token_loss_timeout_us = 200'000;
+  opts.node.token_retransmit_interval_us = 20'000;
+  opts.node.beacon_interval_us = 50'000;
+  opts.node.gather_fail_timeout_us = 150'000;
+  opts.node.consensus_wait_timeout_us = 200'000;
+  opts.node.recovery_timeout_us = 500'000;
+  LiveCluster cluster(opts);
+  SKIP_IF_NO_SOCKETS(cluster.open());
+  ASSERT_TRUE(cluster.await_stable());
+
+  std::size_t accepted = 0;
+  for (int i = 0; i < 300; ++i) {
+    auto r = cluster.send(static_cast<std::size_t>(i % 3), Service::Agreed,
+                          std::vector<std::uint8_t>(512, 0x5C));
+    if (r.ok()) ++accepted;
+  }
+  ASSERT_GT(accepted, 0u);
+  ASSERT_TRUE(cluster.await_quiesce(30'000'000));
+  cluster.stop();
+
+  // If the membership never wavered (the overwhelmingly common case with
+  // the timers above), every accepted message reached every member despite
+  // kernel-level loss. If a rare churn did occur, EVS only promises
+  // delivery within configurations — the spec check below still applies.
+  bool churned = false;
+  for (std::size_t p = 0; p < 3; ++p) {
+    // One regular config delivered at formation; any further config event
+    // means the ring wavered under the storm.
+    std::size_t regulars = 0;
+    for (const Configuration& c : cluster.sink(p).configs) {
+      regulars += c.id.transitional ? 0 : 1;
+    }
+    churned = churned || regulars > 1;
+  }
+  const std::uint64_t expected = static_cast<std::uint64_t>(accepted) * 3;
+  std::uint64_t delivered_payloads = 0;
+  for (std::size_t p = 0; p < 3; ++p) {
+    for (const auto& d : cluster.sink(p).deliveries) {
+      if (d.payload.size() == 512) ++delivered_payloads;
+    }
+  }
+  if (!churned) {
+    EXPECT_EQ(delivered_payloads, expected);
+  } else {
+    EXPECT_GT(delivered_payloads, 0u);
+  }
+  EXPECT_EQ(cluster.check_report(), "") << cluster.merged_trace().dump();
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,215 @@
+// UdpTransport unit tests: real loopback sockets, driven single-threaded
+// via poll_once() so every assertion is on the loop thread.
+//
+// Every test opens ephemeral-port sockets and skips cleanly (GTEST_SKIP)
+// if the environment refuses them — the contract the `live` ctest label
+// relies on.
+#include "net/udp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace evs {
+namespace {
+
+/// Endpoint that records everything it receives.
+struct CaptureEndpoint : Endpoint {
+  std::vector<Packet> packets;
+  void on_packet(const Packet& packet) override { packets.push_back(packet); }
+};
+
+/// Pump both transports until `pred` holds or `spins` iterations pass.
+template <typename Pred>
+bool pump(UdpTransport& a, UdpTransport& b, Pred pred, int spins = 200) {
+  for (int i = 0; i < spins; ++i) {
+    if (pred()) return true;
+    a.poll_once(1'000);
+    b.poll_once(1'000);
+  }
+  return pred();
+}
+
+#define SKIP_IF_NO_SOCKETS(st)                                       \
+  do {                                                               \
+    if (!(st).ok()) GTEST_SKIP() << "sockets unavailable: " << (st).message(); \
+  } while (0)
+
+TEST(UdpTransportTest, OpenBindsAnEphemeralPort) {
+  UdpTransport t;
+  SKIP_IF_NO_SOCKETS(t.open());
+  EXPECT_TRUE(t.is_open());
+  EXPECT_NE(t.port(), 0);
+  // Idempotent: a second open is a no-op success.
+  EXPECT_TRUE(t.open().ok());
+}
+
+TEST(UdpTransportTest, UnicastRoundTripBetweenTwoTransports) {
+  UdpTransport a, b;
+  SKIP_IF_NO_SOCKETS(a.open());
+  SKIP_IF_NO_SOCKETS(b.open());
+  const ProcessId pa{1}, pb{2};
+  a.add_peer(pb, b.port());
+  b.add_peer(pa, a.port());
+  CaptureEndpoint sink;
+  b.attach(pb, &sink);
+
+  a.unicast(pa, pb, {1, 2, 3, 4});
+  ASSERT_TRUE(pump(a, b, [&] { return !sink.packets.empty(); }));
+  EXPECT_EQ(sink.packets[0].src, pa);
+  EXPECT_EQ(sink.packets[0].dst, pb);
+  EXPECT_EQ(sink.packets[0].payload, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+}
+
+TEST(UdpTransportTest, BroadcastIncludesLoopbackSelfDelivery) {
+  UdpTransport a, b;
+  SKIP_IF_NO_SOCKETS(a.open());
+  SKIP_IF_NO_SOCKETS(b.open());
+  const ProcessId pa{1}, pb{2};
+  a.add_peer(pa, a.port());  // self-registration: the loopback path
+  a.add_peer(pb, b.port());
+  b.add_peer(pa, a.port());
+  b.add_peer(pb, b.port());
+  CaptureEndpoint sink_a, sink_b;
+  a.attach(pa, &sink_a);
+  b.attach(pb, &sink_b);
+
+  a.broadcast(pa, {9});
+  ASSERT_TRUE(pump(a, b, [&] {
+    return !sink_a.packets.empty() && !sink_b.packets.empty();
+  }));
+  // The sender heard its own broadcast through the kernel, exactly like
+  // broadcast hardware — what the token protocol's self-delivery expects.
+  EXPECT_EQ(sink_a.packets[0].src, pa);
+  EXPECT_EQ(sink_b.packets[0].src, pa);
+}
+
+TEST(UdpTransportTest, BlockPeerDropsBothDirections) {
+  UdpTransport a, b;
+  SKIP_IF_NO_SOCKETS(a.open());
+  SKIP_IF_NO_SOCKETS(b.open());
+  const ProcessId pa{1}, pb{2};
+  a.add_peer(pb, b.port());
+  b.add_peer(pa, a.port());
+  CaptureEndpoint sink_a, sink_b;
+  a.attach(pa, &sink_a);
+  b.attach(pb, &sink_b);
+
+  // Outbound filter at the sender.
+  a.block_peer(pb);
+  EXPECT_TRUE(a.peer_blocked(pb));
+  a.unicast(pa, pb, {1});
+  EXPECT_FALSE(pump(a, b, [&] { return !sink_b.packets.empty(); }, 20));
+  EXPECT_GE(a.stats().dropped_filter, 1u);
+
+  // Inbound filter at the receiver: the datagram crosses the kernel and
+  // dies on arrival, like a packet in flight when the wire was cut.
+  a.unblock_peer(pb);
+  b.block_peer(pa);
+  a.unicast(pa, pb, {2});
+  EXPECT_FALSE(pump(a, b, [&] { return !sink_b.packets.empty(); }, 20));
+  EXPECT_GE(b.stats().dropped_filter, 1u);
+
+  // Healed: traffic flows again.
+  b.unblock_peer(pa);
+  a.unicast(pa, pb, {3});
+  ASSERT_TRUE(pump(a, b, [&] { return !sink_b.packets.empty(); }));
+  EXPECT_EQ(sink_b.packets[0].payload, (std::vector<std::uint8_t>{3}));
+}
+
+TEST(UdpTransportTest, UnknownSourcePortIsDropped) {
+  UdpTransport a, b;
+  SKIP_IF_NO_SOCKETS(a.open());
+  SKIP_IF_NO_SOCKETS(b.open());
+  const ProcessId pa{1}, pb{2};
+  a.add_peer(pb, b.port());
+  // b never registered a's port: a's datagrams are from an unknown peer.
+  CaptureEndpoint sink_b;
+  b.attach(pb, &sink_b);
+  a.unicast(pa, pb, {1});
+  EXPECT_FALSE(pump(a, b, [&] { return !sink_b.packets.empty(); }, 20));
+  EXPECT_GE(b.stats().dropped_unknown_peer, 1u);
+}
+
+TEST(UdpTransportTest, DetachedEndpointCountsDrops) {
+  UdpTransport a, b;
+  SKIP_IF_NO_SOCKETS(a.open());
+  SKIP_IF_NO_SOCKETS(b.open());
+  const ProcessId pa{1}, pb{2};
+  a.add_peer(pb, b.port());
+  b.add_peer(pa, a.port());
+  CaptureEndpoint sink_b;
+  b.attach(pb, &sink_b);
+  b.detach(pb);
+  EXPECT_FALSE(b.attached(pb));
+  a.unicast(pa, pb, {1});
+  EXPECT_FALSE(pump(a, b, [&] { return !sink_b.packets.empty(); }, 20));
+  EXPECT_GE(b.stats().dropped_detached, 1u);
+}
+
+TEST(UdpTransportTest, SchedulerTimersFireOnWallClock) {
+  UdpTransport t;
+  SKIP_IF_NO_SOCKETS(t.open());
+  bool fired = false;
+  t.scheduler().schedule_after(5'000, [&] { fired = true; });  // 5ms
+  // The poll loop must wake for the timer even with no traffic at all.
+  for (int i = 0; i < 100 && !fired; ++i) t.poll_once(10'000);
+  EXPECT_TRUE(fired);
+  EXPECT_GE(t.wall_now_us(), 5'000u);
+  // And the scheduler's virtual now tracks the wall clock.
+  EXPECT_LE(t.scheduler().now(), t.wall_now_us());
+}
+
+TEST(UdpTransportTest, PostFromAnotherThreadWakesTheLoop) {
+  UdpTransport t;
+  SKIP_IF_NO_SOCKETS(t.open());
+  std::atomic<bool> ran{false};
+  std::thread poster([&] { t.post([&] { ran.store(true); }); });
+  for (int i = 0; i < 100 && !ran.load(); ++i) t.poll_once(10'000);
+  poster.join();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(UdpTransportTest, OversizedDatagramIsASendError) {
+  UdpTransport::Options opts;
+  opts.max_datagram_bytes = 512;
+  UdpTransport a;
+  UdpTransport b(opts);
+  SKIP_IF_NO_SOCKETS(a.open());
+  SKIP_IF_NO_SOCKETS(b.open());
+  const ProcessId pa{1}, pb{2};
+  b.add_peer(pa, a.port());
+  b.unicast(pb, pa, std::vector<std::uint8_t>(1024, 0));
+  EXPECT_EQ(b.stats().send_errors, 1u);
+  EXPECT_EQ(b.stats().datagrams_sent, 0u);
+}
+
+TEST(UdpTransportTest, SendAccountingIsConsistentUnderBursts) {
+  // Loopback rarely produces genuine EAGAIN, so this is an accounting
+  // invariant check rather than a forced-backpressure test: every send
+  // attempt ends up exactly one of sent / parked-then-sent / dropped.
+  UdpTransport::Options opts;
+  opts.so_sndbuf = 4096;
+  opts.send_backlog_datagrams = 8;
+  UdpTransport a(opts), b;
+  SKIP_IF_NO_SOCKETS(a.open());
+  SKIP_IF_NO_SOCKETS(b.open());
+  const ProcessId pa{1}, pb{2};
+  a.add_peer(pb, b.port());
+  const int kAttempts = 2'000;
+  for (int i = 0; i < kAttempts; ++i) {
+    a.unicast(pa, pb, std::vector<std::uint8_t>(1024, 0x77));
+  }
+  for (int i = 0; i < 50; ++i) a.poll_once(0);  // flush any parked backlog
+  const auto s = a.stats();
+  EXPECT_EQ(s.datagrams_sent + s.dropped_backpressure + s.send_errors,
+            static_cast<std::uint64_t>(kAttempts));
+  // Once the backlog drained, the backpressure flag must have cleared.
+  EXPECT_FALSE(a.backpressured());
+}
+
+}  // namespace
+}  // namespace evs

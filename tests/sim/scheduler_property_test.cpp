@@ -1,0 +1,170 @@
+// Property tests for the Scheduler's equal-time tie-break and handle
+// lifecycle, checked against a reference model.
+//
+// The tie-break (events at equal virtual times fire in insertion order) is
+// the foundation of run-for-run determinism: every protocol timer and packet
+// delivery rides on it, and the live UDP transport additionally relies on
+// next_time() pruning cancelled tombstones so poll() timeouts are never
+// bounded by dead timers. These tests drive random schedule / cancel /
+// reschedule interleavings and require the firing order to match a stable
+// sort by (time, insertion index).
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace evs {
+namespace {
+
+// Reference model: a scheduled event is (time, insertion index); live events
+// fire in lexicographic (time, insertion) order.
+struct ModelEvent {
+  SimTime time;
+  std::uint64_t insertion;
+  int tag;
+  bool cancelled{false};
+};
+
+std::vector<int> model_order(std::vector<ModelEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ModelEvent& a, const ModelEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.insertion < b.insertion;
+                   });
+  std::vector<int> out;
+  for (const ModelEvent& e : events) {
+    if (!e.cancelled) out.push_back(e.tag);
+  }
+  return out;
+}
+
+TEST(SchedulerPropertyTest, TieOrderMatchesInsertionOrderUnderRandomTimes) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    Scheduler sched;
+    std::vector<ModelEvent> model;
+    std::vector<int> fired;
+    const int n = 1 + static_cast<int>(rng.below(200));
+    for (int i = 0; i < n; ++i) {
+      // Few distinct times => dense ties.
+      const SimTime t = rng.below(8);
+      sched.schedule_at(t, [&fired, i] { fired.push_back(i); });
+      model.push_back({t, static_cast<std::uint64_t>(i), i});
+    }
+    sched.run();
+    EXPECT_EQ(fired, model_order(model)) << "seed " << seed;
+  }
+}
+
+TEST(SchedulerPropertyTest, RandomCancelInterleavingsPreserveTieOrder) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    Scheduler sched;
+    std::vector<ModelEvent> model;
+    std::vector<Scheduler::Handle> handles;
+    std::vector<int> fired;
+    std::uint64_t insertion = 0;
+    int tag = 0;
+    const int ops = 1 + static_cast<int>(rng.below(300));
+    for (int op = 0; op < ops; ++op) {
+      if (!handles.empty() && rng.below(3) == 0) {
+        // Cancel a random still-tracked event (may already be cancelled:
+        // double-cancel must be a no-op).
+        const std::size_t victim = rng.below(handles.size());
+        sched.cancel(handles[victim]);
+        model[victim].cancelled = true;
+      } else {
+        const SimTime t = rng.below(6);
+        const int this_tag = tag++;
+        handles.push_back(
+            sched.schedule_at(t, [&fired, this_tag] { fired.push_back(this_tag); }));
+        model.push_back({t, insertion++, this_tag});
+      }
+    }
+    sched.run();
+    EXPECT_EQ(fired, model_order(model)) << "seed " << seed;
+    EXPECT_EQ(sched.pending(), 0u) << "seed " << seed;
+  }
+}
+
+TEST(SchedulerPropertyTest, CancelThenRescheduleGetsFreshHandle) {
+  Scheduler sched;
+  bool old_fired = false;
+  bool new_fired = false;
+  auto h1 = sched.schedule_at(10, [&] { old_fired = true; });
+  sched.cancel(h1);
+  auto h2 = sched.schedule_at(10, [&] { new_fired = true; });
+  // Handles are never reused: the tombstone for h1 must not be able to
+  // shadow (or be confused with) the replacement event.
+  EXPECT_NE(h1.id, h2.id);
+  // Cancelling the dead handle again must not touch the new event.
+  sched.cancel(h1);
+  sched.run();
+  EXPECT_FALSE(old_fired);
+  EXPECT_TRUE(new_fired);
+}
+
+TEST(SchedulerPropertyTest, RepeatedCancelRescheduleCyclesStayLeakFree) {
+  Scheduler sched;
+  int fired = 0;
+  Scheduler::Handle h{};
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    sched.cancel(h);
+    h = sched.schedule_at(5, [&] { ++fired; });
+    EXPECT_EQ(sched.pending(), 1u);
+  }
+  sched.run();
+  // Only the survivor of the last cycle fires, even though 999 tombstones
+  // went through the queue.
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(SchedulerPropertyTest, NextTimeTracksEarliestLiveEvent) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed);
+    Scheduler sched;
+    std::vector<ModelEvent> model;
+    std::vector<Scheduler::Handle> handles;
+    const int n = 1 + static_cast<int>(rng.below(50));
+    for (int i = 0; i < n; ++i) {
+      const SimTime t = 1 + rng.below(20);
+      handles.push_back(sched.schedule_at(t, [] {}));
+      model.push_back({t, static_cast<std::uint64_t>(i), i});
+    }
+    // Cancel a random subset — including, sometimes, the earliest events,
+    // which is the case next_time() must prune through.
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (rng.below(2) == 0) {
+        sched.cancel(handles[i]);
+        model[i].cancelled = true;
+      }
+    }
+    std::optional<SimTime> expected;
+    for (const ModelEvent& e : model) {
+      if (!e.cancelled && (!expected || e.time < *expected)) expected = e.time;
+    }
+    EXPECT_EQ(sched.next_time(), expected) << "seed " << seed;
+  }
+}
+
+TEST(SchedulerPropertyTest, NextTimeEmptyAndAfterDrain) {
+  Scheduler sched;
+  EXPECT_EQ(sched.next_time(), std::nullopt);
+  auto h = sched.schedule_at(7, [] {});
+  EXPECT_EQ(sched.next_time(), std::optional<SimTime>{7});
+  sched.cancel(h);
+  EXPECT_EQ(sched.next_time(), std::nullopt);
+  sched.schedule_at(9, [] {});
+  sched.run();
+  EXPECT_EQ(sched.next_time(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,129 @@
+// Regression tests for the fcc flow-control pin-to-zero fix.
+//
+// The token's fcc field counts broadcasts during the last full rotation;
+// each member decays it only by subtracting its own previous-visit
+// contribution. Before the fix, a token arriving with a garbage fcc (bit
+// corruption, a forgery, or stale state leaking across a configuration
+// change) was taken at face value: the budget computed as
+// window - (fcc - prev_visit) pinned to zero, the member therefore
+// broadcast nothing, its next-visit subtraction was zero, and the bogus
+// value circulated forever — a silent, permanent send freeze that survived
+// arbitrarily many rotations. The UINT32_MAX saturation on the outbound
+// side made the terminal case (fcc == UINT32_MAX) explicitly unrecoverable.
+//
+// The fix clamps the inbound count to the largest value a healthy ring can
+// produce (members * (max_new_per_token + max_retransmit_per_token)) and
+// counts the event (ordering.fcc_clamped). These tests fail on the pre-fix
+// code: the forged token yields new_messages.empty() there.
+#include "totem/ordering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+
+namespace evs {
+namespace {
+
+const RingId kRing{1, ProcessId{1}};
+const std::vector<ProcessId> kThree{ProcessId{1}, ProcessId{2}, ProcessId{3}};
+
+std::deque<PendingSend> make_pending(std::uint64_t n) {
+  std::deque<PendingSend> pending;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    pending.push_back({MsgId{ProcessId{1}, i}, Service::Agreed, {}});
+  }
+  return pending;
+}
+
+TokenMsg fresh_token() {
+  TokenMsg t;
+  t.ring = kRing;
+  t.rotation = 1;
+  return t;
+}
+
+TEST(OrderingFccTest, ForgedHugeFccCannotPinTheSendBudget) {
+  OrderingCore core(kRing, kThree, ProcessId{1});
+  auto pending = make_pending(100);
+
+  TokenMsg t = fresh_token();
+  t.fcc = UINT32_MAX;  // the terminal pre-fix pin: saturated and sticky
+
+  auto result = core.on_token(t, pending);
+  // Pre-fix: budget = min(64, window - UINT32_MAX -> 0, ...) = 0 and the
+  // outbound fcc stays UINT32_MAX forever. Post-fix the inbound count is
+  // clamped to 3 members * (64 new + 64 rtr) = 384 < window 1024, so the
+  // full per-visit allowance goes out on this very visit.
+  EXPECT_EQ(result.new_messages.size(), 64u);
+  EXPECT_EQ(core.stats().fcc_clamped, 1u);
+  // And the outbound token no longer carries the poison: its fcc is the
+  // clamped ceiling plus this visit's broadcasts, far below saturation.
+  EXPECT_LE(result.token_out.fcc, 384u + 64u);
+}
+
+TEST(OrderingFccTest, CorruptFccDrainsWithinOneRotationAcrossVisits) {
+  OrderingCore core(kRing, kThree, ProcessId{1});
+  auto pending = make_pending(1000);
+
+  TokenMsg t = fresh_token();
+  t.fcc = 2'000'000'000;  // plausible-looking garbage, far above any window
+
+  auto result = core.on_token(t, pending);
+  EXPECT_EQ(result.new_messages.size(), 64u);
+
+  // Keep circulating the (now sane) token; budget stays at the per-visit
+  // cap on every subsequent visit instead of decaying into a freeze.
+  for (int visit = 0; visit < 5 && !pending.empty(); ++visit) {
+    TokenMsg next = result.token_out;
+    next.rotation += 2;  // as if the other members forwarded it around
+    result = core.on_token(next, pending);
+    EXPECT_GT(result.new_messages.size(), 0u) << "visit " << visit;
+  }
+  EXPECT_EQ(core.stats().fcc_clamped, 1u);  // only the first token was bad
+}
+
+TEST(OrderingFccTest, LegitimateFccValuesAreNeverClamped) {
+  OrderingCore core(kRing, kThree, ProcessId{1});
+  auto pending = make_pending(500);
+
+  TokenMsg t = fresh_token();
+  auto result = core.on_token(t, pending);
+  std::uint32_t max_fcc_seen = result.token_out.fcc;
+  for (int visit = 0; visit < 20; ++visit) {
+    TokenMsg next = result.token_out;
+    next.rotation += 2;
+    result = core.on_token(next, pending);
+    max_fcc_seen = std::max(max_fcc_seen, result.token_out.fcc);
+  }
+  // A single-sender full-tilt run keeps fcc well inside the healthy-ring
+  // ceiling, so the clamp never engages and throughput is untouched.
+  EXPECT_EQ(core.stats().fcc_clamped, 0u);
+  EXPECT_LE(max_fcc_seen, 3u * (64u + 64u));
+  EXPECT_TRUE(pending.empty());  // 500 msgs drained at 64/visit over 20+1 visits
+}
+
+TEST(OrderingFccTest, FreshConfigurationStartsWithFullBudget) {
+  // Configuration installs construct a fresh OrderingCore and the
+  // representative originates a token with fcc = 0: the first visit of a
+  // new ring must have the whole window available no matter what the old
+  // ring's flow-control state looked like.
+  OrderingCore old_core(kRing, kThree, ProcessId{1});
+  auto old_pending = make_pending(64);
+  TokenMsg poisoned = fresh_token();
+  poisoned.fcc = UINT32_MAX;
+  (void)old_core.on_token(poisoned, old_pending);
+
+  const RingId new_ring{2, ProcessId{1}};
+  OrderingCore fresh(new_ring, kThree, ProcessId{1});
+  auto pending = make_pending(100);
+  TokenMsg t;
+  t.ring = new_ring;
+  t.rotation = 1;  // fcc defaults to 0, as the rep originates it
+  auto result = fresh.on_token(t, pending);
+  EXPECT_EQ(result.new_messages.size(), 64u);
+  EXPECT_EQ(fresh.stats().fcc_clamped, 0u);
+}
+
+}  // namespace
+}  // namespace evs

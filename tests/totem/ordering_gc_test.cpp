@@ -200,17 +200,24 @@ TEST(OrderingFccTest, UnackedBacklogShrinksBudget) {
   EXPECT_EQ(r.new_messages.size(), 3u);
 }
 
-TEST(OrderingFccTest, ForgedHugeFccClampsToZeroBudget) {
+TEST(OrderingFccTest, ForgedHugeFccIsClampedNotHonored) {
+  // A corrupt/hostile fcc used to be taken at face value: the budget pinned
+  // to zero and the saturated counter circulated forever (the pass-through
+  // even re-saturated to UINT32_MAX). The inbound value is now clamped to
+  // the healthy-ring ceiling, so the forgery costs at most the clamp and
+  // sending continues; tests/totem/ordering_fcc_test.cpp covers the full
+  // pin-to-zero regression.
   OrderingCore core(kRing, kThree, ProcessId{1});
   std::deque<PendingSend> pending;
   pending.push_back({MsgId{ProcessId{1}, 1}, Service::Agreed, {}});
   TokenMsg t = fresh_token();
   t.fcc = UINT32_MAX;  // corrupt/hostile: claims a saturated ring
   auto r = core.on_token(t, pending);
-  EXPECT_TRUE(r.new_messages.empty());
-  EXPECT_EQ(pending.size(), 1u);
-  // And our pass-through cannot overflow the counter.
-  EXPECT_EQ(r.token_out.fcc, UINT32_MAX);
+  EXPECT_EQ(r.new_messages.size(), 1u);
+  EXPECT_TRUE(pending.empty());
+  EXPECT_EQ(core.stats().fcc_clamped, 1u);
+  // The outbound token carries a sane count, not the forged saturation.
+  EXPECT_LT(r.token_out.fcc, UINT32_MAX);
 }
 
 TEST(OrderingStaleTest, SeqRegressionIsStale) {

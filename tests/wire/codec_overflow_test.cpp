@@ -1,0 +1,92 @@
+// Regression tests for the Writer length-prefix overflow fix.
+//
+// Container writers used to do `u32(static_cast<std::uint32_t>(size))`: a
+// container with more than UINT32_MAX elements had its length silently
+// truncated modulo 2^32, producing a frame that decoded cleanly to the
+// wrong container (the worst kind of codec bug — no error anywhere). The
+// fix checks the size BEFORE touching any element and poisons the writer,
+// so an oversized container can never reach the wire.
+//
+// A real >4GiB container cannot be allocated in a unit test; instead we
+// hand bytes() a span whose size() is forged (pointer to one byte, huge
+// length). The fixed writer must reject on the size alone, without ever
+// reading through the span — which is also what makes this test safe.
+#include "wire/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+
+namespace evs {
+namespace {
+
+std::span<const std::uint8_t> forged_huge_span(std::size_t claimed_size) {
+  static const std::uint8_t byte = 0x5A;
+  // Never dereferenced past the first byte: the writer checks size() first.
+  return {&byte, claimed_size};
+}
+
+TEST(CodecOverflowTest, OversizedBytesPoisonsWriterWithoutWriting) {
+  wire::Writer w;
+  w.u32(0xAABBCCDD);  // some valid prefix
+  const std::size_t before = w.size();
+  w.bytes(forged_huge_span(static_cast<std::size_t>(UINT32_MAX) + 1));
+  EXPECT_FALSE(w.ok());
+  // Nothing appended: no truncated length prefix, no partial payload.
+  EXPECT_EQ(w.size(), before);
+}
+
+TEST(CodecOverflowTest, PoisonedWriterDropsAllSubsequentWrites) {
+  wire::Writer w;
+  w.bytes(forged_huge_span(static_cast<std::size_t>(UINT32_MAX) + 7));
+  ASSERT_FALSE(w.ok());
+  w.u8(1);
+  w.u64(42);
+  w.str("hello");
+  w.pid(ProcessId{9});
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_FALSE(w.ok());
+}
+
+TEST(CodecOverflowTest, PoisonedWriterCannotProduceADecodableFrame) {
+  // The end-to-end property the fix guarantees: no byte sequence produced
+  // by a writer that saw an oversized container can reach seal_frame.
+  // take() is the only way to get the buffer out, and it asserts ok().
+  auto poison_and_take = [] {
+    wire::Writer w;
+    w.u32(123);
+    w.bytes(forged_huge_span(static_cast<std::size_t>(UINT32_MAX) + 1));
+    return w.take();  // must abort: the encoding is unrepresentable
+  };
+  EXPECT_DEATH(poison_and_take(), "Writer poisoned");
+}
+
+TEST(CodecOverflowTest, BoundarySizedContainersStillRoundTrip) {
+  // Ordinary (and boundary-adjacent but allocatable) containers are
+  // unaffected by the guard.
+  wire::Writer w;
+  std::vector<std::uint8_t> data(4096, 0xA5);
+  w.bytes(data);
+  std::vector<ProcessId> pids{ProcessId{1}, ProcessId{2}, ProcessId{3}};
+  w.pid_vec(pids);
+  EXPECT_TRUE(w.ok());
+  auto buf = w.take();
+  wire::Reader r(buf);
+  EXPECT_EQ(r.bytes(), data);
+  EXPECT_EQ(r.pid_vec(), pids);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(CodecOverflowTest, SealFrameStillRejectsOversizedBodies) {
+  // The frame-level guard is independent of the writer-level one: a body
+  // over kMaxFrameBody is refused with a Status even though every one of
+  // its containers fit u32.
+  std::vector<std::uint8_t> body(wire::kMaxFrameBody + 1, 0);
+  auto sealed = wire::seal_frame(body);
+  ASSERT_FALSE(sealed.ok());
+  EXPECT_EQ(sealed.code(), Errc::payload_too_large);
+}
+
+}  // namespace
+}  // namespace evs

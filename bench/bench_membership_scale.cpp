@@ -1,0 +1,124 @@
+// E12 — Membership protocol at scale (DESIGN.md §5).
+//
+// One benchmark, swept over ring size N ∈ {10, 50, 100, 200}: form an
+// N-member ring, pass a traffic burst, split it 60/40, let both components
+// reconverge and deliver, then heal and re-merge into one ring. Counters
+// report the protocol cost drivers versus N — network messages, token
+// rotations, and virtual time — separately for the join (initial
+// formation), partition, and re-merge phases. This is the workload the
+// size-derived timeout profile (EvsNode::Options::scaled_for) and the
+// O(N)-per-join gather bookkeeping were tuned against; a regression to
+// quadratic behavior shows up here as a superlinear jump in messages or
+// sim time between N=100 and N=200.
+#include <benchmark/benchmark.h>
+
+#include "bench_report.hpp"
+
+#include "testkit/cluster.hpp"
+#include "testkit/metrics.hpp"
+
+namespace {
+
+using namespace evs;
+
+std::uint64_t total_tokens(Cluster& c) {
+  std::uint64_t tokens = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    tokens += c.node(i).stats().tokens_handled;
+  }
+  return tokens;
+}
+
+std::uint64_t net_deliveries(Cluster& c) {
+  // Every packet the simulated network handed to a process, token or
+  // broadcast alike — the wire cost of the protocol.
+  return c.aggregate_metrics().counter_value("net.deliveries");
+}
+
+void BM_MembershipScale(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const SimTime budget = 10'000'000 + 400'000 * static_cast<SimTime>(n);
+
+  double join_us = 0, split_us = 0, merge_us = 0;
+  double join_msgs = 0, split_msgs = 0, merge_msgs = 0;
+  double join_tokens = 0, split_tokens = 0, merge_tokens = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    Cluster::Options opts;
+    opts.num_processes = n;
+    opts.seed = 800 + rounds;
+    opts.node = EvsNode::Options::scaled_for(n);
+    Cluster cluster(opts);
+
+    // Phase 1: cold-start join — N singletons gather into one ring.
+    const SimTime t0 = cluster.now();
+    if (!cluster.await_stable(budget)) {
+      state.SkipWithError("initial formation did not converge");
+      return;
+    }
+    join_us += static_cast<double>(cluster.now() - t0);
+    std::uint64_t msgs_mark = net_deliveries(cluster);
+    std::uint64_t tokens_mark = total_tokens(cluster);
+    join_msgs += static_cast<double>(msgs_mark);
+    join_tokens += static_cast<double>(tokens_mark);
+
+    // Phase 2: 60/40 partition; both components reconverge and deliver.
+    std::vector<std::size_t> left, right;
+    for (std::size_t i = 0; i < n; ++i) {
+      ((i * 10) / n < 6 ? left : right).push_back(i);
+    }
+    const SimTime t1 = cluster.now();
+    cluster.partition({left, right});
+    if (!cluster.await_stable(budget)) {
+      state.SkipWithError("partitioned components did not converge");
+      return;
+    }
+    (void)cluster.node(left[0]).send(Service::Safe, {1});
+    (void)cluster.node(right[0]).send(Service::Safe, {2});
+    cluster.run_for(100'000);
+    split_us += static_cast<double>(cluster.now() - t1);
+    split_msgs += static_cast<double>(net_deliveries(cluster) - msgs_mark);
+    split_tokens += static_cast<double>(total_tokens(cluster) - tokens_mark);
+    msgs_mark = net_deliveries(cluster);
+    tokens_mark = total_tokens(cluster);
+
+    // Phase 3: heal and re-merge into one N-member ring.
+    const SimTime t2 = cluster.now();
+    cluster.heal();
+    if (!cluster.await_quiesce(budget)) {
+      state.SkipWithError("re-merge did not converge");
+      return;
+    }
+    merge_us += static_cast<double>(cluster.now() - t2);
+    merge_msgs += static_cast<double>(net_deliveries(cluster) - msgs_mark);
+    merge_tokens += static_cast<double>(total_tokens(cluster) - tokens_mark);
+
+    evs::bench::record(evs::bench::run_name("BM_MembershipScale", {state.range(0)}),
+                       cluster);
+    ++rounds;
+  }
+  const double r = static_cast<double>(rounds);
+  state.counters["sim_join_us"] = join_us / r;
+  state.counters["sim_split_us"] = split_us / r;
+  state.counters["sim_merge_us"] = merge_us / r;
+  state.counters["msgs_join"] = join_msgs / r;
+  state.counters["msgs_split"] = split_msgs / r;
+  state.counters["msgs_merge"] = merge_msgs / r;
+  state.counters["tokens_join"] = join_tokens / r;
+  state.counters["tokens_split"] = split_tokens / r;
+  state.counters["tokens_merge"] = merge_tokens / r;
+  state.counters["msgs_per_member"] =
+      (join_msgs + split_msgs + merge_msgs) / (r * static_cast<double>(n));
+}
+
+}  // namespace
+
+BENCHMARK(BM_MembershipScale)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+EVS_BENCH_MAIN("bench_membership_scale");

@@ -24,13 +24,24 @@
 
 namespace evs {
 
+/// Plausibility ceiling on ring sequence numbers. Ring seqs only ever grow
+/// by +1 per configuration install, so no healthy system gets anywhere near
+/// 2^62 — a value above the ceiling can only come from corrupted volatile
+/// state, a forged packet, or rotted storage. Enforcing the bound at the
+/// codec (RingId::valid, JoinMsg::max_ring_seq) and at the proposal site
+/// (EvsNode fail-stops before proposing past it) keeps a wrapped or poisoned
+/// counter from propagating: peers adopt max-seen + 1, so one absurd value
+/// would otherwise stick to the whole system forever and eventually overflow
+/// into a ring-seq regression, which the delivery order cannot survive.
+inline constexpr RingSeq kMaxRingSeq = 1ull << 62;
+
 /// Identifier of a token ring == identifier of a regular configuration.
 struct RingId {
   RingSeq seq{0};
   ProcessId rep{};
 
   constexpr auto operator<=>(const RingId&) const = default;
-  bool valid() const { return seq != 0; }
+  bool valid() const { return seq != 0 && seq <= kMaxRingSeq; }
 };
 
 std::string to_string(const RingId& r);

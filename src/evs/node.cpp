@@ -84,6 +84,15 @@ Status EvsNode::Options::validate() const {
         "token_retransmit_limit * token_retransmit_interval_us must stay "
         "below token_loss_timeout_us");
   }
+  if (static_cast<SimTime>(token_retransmit_limit) * token_retransmit_per_member_us >
+      token_loss_per_member_us) {
+    // The same rule must hold at every ring size n: the burst and the loss
+    // timeout both grow linearly in n, so bounding the flat terms (above)
+    // and the slopes (here) bounds every effective combination.
+    return fail(
+        "token_retransmit_limit * token_retransmit_per_member_us must not "
+        "exceed token_loss_per_member_us");
+  }
   if (join_interval_us >= gather_fail_timeout_us) {
     // A candidate must get several join broadcasts before it is failed for
     // silence, or every gather immediately shrinks to a singleton.
@@ -113,6 +122,30 @@ Status EvsNode::Options::validate() const {
   return Status{};
 }
 
+EvsNode::Options EvsNode::Options::scaled_for(std::size_t n) {
+  Options o;
+  if (n <= 8) return o;  // the defaults (plus the slopes) already cover small rings
+  // Dilate every periodic sender interval by ceil(n / 8) so the per-sim-second
+  // broadcast volume stays O(n) packets cluster-wide instead of O(n) per node
+  // (O(n^2) total): beacons, join floods and exchange rebroadcasts are each
+  // "every member broadcasts every interval". The flat timeout bases stretch
+  // by the same factor, which keeps every validate() ratio (retransmit burst
+  // below token loss, join tick below gather fail, exchange tick below
+  // recovery) exactly as it is in the default profile. The per-member slopes
+  // are untouched: they model per-round cost growth, the dilation models
+  // round *frequency*. See DESIGN.md "Timer scaling".
+  const SimTime f = static_cast<SimTime>((n + 7) / 8);
+  o.token_loss_timeout_us *= f;
+  o.beacon_interval_us *= f;
+  o.join_interval_us *= f;
+  o.gather_fail_timeout_us *= f;
+  o.consensus_wait_timeout_us *= f;
+  o.exchange_interval_us *= f;
+  o.recovery_timeout_us *= f;
+  o.token_retransmit_interval_us *= f;
+  return o;
+}
+
 EvsNode::Met::Met(obs::MetricsRegistry& r)
     : sent(r.counter("evs.sent")),
       delivered(r.counter("evs.delivered")),
@@ -132,6 +165,8 @@ EvsNode::Met::Met(obs::MetricsRegistry& r)
       backpressure_rejections(r.counter("evs.backpressure_rejections")),
       storage_fail_stops(r.counter("evs.storage_fail_stops")),
       persist_retries(r.counter("evs.persist_retries")),
+      state_fail_stops(r.counter("evs.state_fail_stops")),
+      ring_seq_repairs(r.counter("evs.ring_seq_repairs")),
       pending_sends(r.gauge("evs.pending_sends")),
       gather_us(r.histogram("evs.gather_us")),
       recovery_us(r.histogram("evs.recovery_us")),
@@ -157,6 +192,8 @@ EvsNode::Stats EvsNode::stats() const {
   s.backpressure_rejections = met_.backpressure_rejections.value();
   s.storage_fail_stops = met_.storage_fail_stops.value();
   s.persist_retries = met_.persist_retries.value();
+  s.state_fail_stops = met_.state_fail_stops.value();
+  s.ring_seq_repairs = met_.ring_seq_repairs.value();
   return s;
 }
 
@@ -366,6 +403,13 @@ void EvsNode::start() {
     storage_fail_stop("boot incarnation");
     return;
   }
+  if (ring_seq_ >= kMaxRingSeq) {
+    // A persisted counter at the plausibility ceiling means the store rotted
+    // (healthy systems never get near 2^62 installs). Booting with it would
+    // broadcast joins every peer's codec rejects.
+    protocol_fail_stop("boot ring_seq above kMaxRingSeq");
+    return;
+  }
   ring_seq_ += 1;
   if (Status st = persist_ring_seq(); !st.ok()) {
     storage_fail_stop("boot ring_seq");
@@ -410,6 +454,55 @@ void EvsNode::storage_fail_stop(const char* where) {
   met_.pending_sends.set(0);
   new_ring_buffer_.clear();
   buffered_token_.reset();
+}
+
+void EvsNode::protocol_fail_stop(const char* what) {
+  met_.state_fail_stops.inc();
+  EVS_WARN("evs", "%s inconsistent protocol state (%s); fail-stop",
+           to_string(self_).c_str(), what);
+  if (state_ != State::Down) {
+    // Same exit as a failed persist: become a failed process rather than
+    // feed corrupted state into the agreed order. Peers detect the silence
+    // and reconfigure; our next start() reloads from stable storage.
+    crash();
+    return;
+  }
+  // Fail-stop during boot: tear the partial start() down.
+  bump_epoch();
+  net_.detach(self_);
+  core_.reset();
+  gather_.reset();
+  recovery_.reset();
+  my_exchange_.reset();
+  pending_.clear();
+  met_.pending_sends.set(0);
+  new_ring_buffer_.clear();
+  buffered_token_.reset();
+}
+
+void EvsNode::repair_ring_seq() {
+  if (reg_config_.id.ring.valid() && ring_seq_ < reg_config_.id.ring.seq) {
+    met_.ring_seq_repairs.inc();
+    EVS_WARN("evs", "%s ring_seq regressed below installed ring (%llu < %llu); repaired",
+             to_string(self_).c_str(), static_cast<unsigned long long>(ring_seq_),
+             static_cast<unsigned long long>(reg_config_.id.ring.seq));
+    ring_seq_ = reg_config_.id.ring.seq;
+  }
+}
+
+bool EvsNode::old_state_consistent() const {
+  // Mirrors read_exchange's wire-level invariants on the old-ring snapshot.
+  if (old_gc_upto_ > old_delivered_upto_) return false;
+  if (old_gc_upto_ > 0 && old_received_.contiguous_from(0) < old_gc_upto_) return false;
+  if (!old_ring_.valid() && (old_gc_upto_ != 0 || !old_received_.empty())) return false;
+  // Body spot-check at the GC boundary: old_msgs_ holds every received seq
+  // above old_gc_upto_, so a regressed watermark claims a reclaimed body is
+  // still resident — and the rebroadcast path asserts on that lie.
+  if (old_received_.contains(old_gc_upto_ + 1) &&
+      old_msgs_.find(old_gc_upto_ + 1) == old_msgs_.end()) {
+    return false;
+  }
+  return true;
 }
 
 void EvsNode::recovery_local_plan_and_install(RingId new_ring) {
@@ -699,7 +792,8 @@ void EvsNode::enter_gather(std::vector<ProcessId> candidates,
     spans_->attr(gather_span_, "episode", std::to_string(episode_));
   }
   gather_.emplace(self_, episode_, with_member(std::move(candidates), self_), now,
-                  GatherState::Options{opts_.gather_fail_timeout_us, &metrics_});
+                  GatherState::Options{opts_.gather_fail_timeout_us,
+                                       opts_.gather_fail_per_member_us, &metrics_});
   if (carry_fails != nullptr) gather_->adopt_fail_set(*carry_fails, now);
   consensus_since_ = 0;
   state_ = State::Gather;
@@ -707,6 +801,7 @@ void EvsNode::enter_gather(std::vector<ProcessId> candidates,
   EVS_DEBUG("evs", "%s enters gather (episode %llu)", to_string(self_).c_str(),
             static_cast<unsigned long long>(episode_));
 
+  repair_ring_seq();
   broadcast(encode_msg(gather_->make_join(ring_seq_)));
   const std::uint64_t epoch = epoch_;
   schedule_guarded(opts_.join_interval_us, [this, epoch] { join_tick(epoch); });
@@ -729,9 +824,18 @@ void EvsNode::maybe_propose() {
     return;
   }
   const SimTime now = net_.scheduler().now();
-  const auto members = gather_->proposed_membership();
+  const std::vector<ProcessId> members = gather_->proposed_membership();
   if (gather_->representative() == self_) {
-    ring_seq_ = std::max(ring_seq_, gather_->max_ring_seq_seen()) + 1;
+    repair_ring_seq();
+    const RingSeq base = std::max(ring_seq_, gather_->max_ring_seq_seen());
+    if (base >= kMaxRingSeq) {
+      // The counter (ours or a gathered peer's) hit the plausibility
+      // ceiling: proposing base + 1 would form a ring every codec rejects.
+      // Only corruption gets a counter here; become a failed process.
+      protocol_fail_stop("ring_seq at kMaxRingSeq");
+      return;
+    }
+    ring_seq_ = base + 1;
     if (Status st = persist_ring_seq(); !st.ok()) {
       // Proposing a ring seq that might repeat after a crash would violate
       // per-process ring monotonicity; fail-stop instead.
@@ -745,7 +849,7 @@ void EvsNode::maybe_propose() {
     adopt_proposal(ring, members);
   } else if (consensus_since_ == 0) {
     consensus_since_ = now;
-  } else if (now - consensus_since_ > opts_.consensus_wait_timeout_us) {
+  } else if (now - consensus_since_ > opts_.consensus_wait_for(members.size())) {
     // The representative went quiet without proposing; divorce it so the
     // gather can terminate with a smaller membership.
     gather_->adopt_fail_set({gather_->representative()}, now);
@@ -766,11 +870,28 @@ ExchangeMsg EvsNode::make_exchange() const {
   e.delivered_upto = old_delivered_upto_;
   e.delivered_extra = old_delivered_extra_;
   e.gc_upto = old_gc_upto_;
+  // Normalize the obligation copy: every peer's codec rejects an exchange
+  // whose obligation set is not strictly sorted, and a rejected exchange is
+  // re-broadcast forever (cluster-wide recovery livelock). The set's only
+  // semantics is membership, so sort+unique loses nothing; a corrupted
+  // entry merely adds a pid whose holes step 6 treats conservatively.
   e.obligation_set = obligation_set_;
+  std::sort(e.obligation_set.begin(), e.obligation_set.end());
+  e.obligation_set.erase(
+      std::unique(e.obligation_set.begin(), e.obligation_set.end()),
+      e.obligation_set.end());
   return e;
 }
 
 void EvsNode::adopt_proposal(RingId ring, std::vector<ProcessId> members) {
+  if (!old_state_consistent()) {
+    // The old-ring snapshot we are about to freeze into an exchange violates
+    // invariants every peer checks at decode: they would silently discard
+    // our exchanges and the whole component would spin through recovery
+    // timeouts forever. Fail-stop so peers can converge without us.
+    protocol_fail_stop("old-ring exchange state");
+    return;
+  }
   bump_epoch();
   ring_seq_ = std::max(ring_seq_, ring.seq);
   if (Status st = persist_ring_seq(); !st.ok()) {
@@ -806,7 +927,7 @@ void EvsNode::adopt_proposal(RingId ring, std::vector<ProcessId> members) {
   acked_complete_ = false;
   new_ring_buffer_.clear();
   buffered_token_.reset();
-  recovery_deadline_ = net_.scheduler().now() + opts_.recovery_timeout_us;
+  recovery_deadline_ = net_.scheduler().now() + opts_.recovery_for(member_count);
 
   broadcast(encode_msg(*my_exchange_));
   const std::uint64_t epoch = epoch_;
@@ -931,7 +1052,8 @@ Scheduler::Handle EvsNode::schedule_guarded(SimTime delay, std::function<void()>
 void EvsNode::arm_token_loss_timer() {
   net_.scheduler().cancel(token_loss_timer_);
   const std::uint64_t epoch = epoch_;
-  token_loss_timer_ = schedule_guarded(opts_.token_loss_timeout_us, [this, epoch] {
+  token_loss_timer_ = schedule_guarded(
+      opts_.token_loss_for(core_->members().size()), [this, epoch] {
     if (epoch != epoch_ || state_ != State::Operational) return;
     EVS_DEBUG("evs", "%s token loss on %s", to_string(self_).c_str(),
               to_string(core_->ring()).c_str());
@@ -943,8 +1065,8 @@ void EvsNode::arm_token_retransmit() {
   net_.scheduler().cancel(token_retransmit_timer_);
   if (token_retransmits_left_ <= 0 || last_token_frame_.empty()) return;
   const std::uint64_t epoch = epoch_;
-  token_retransmit_timer_ =
-      schedule_guarded(opts_.token_retransmit_interval_us, [this, epoch] {
+  token_retransmit_timer_ = schedule_guarded(
+      opts_.token_retransmit_for(core_->members().size()), [this, epoch] {
         if (epoch != epoch_ || state_ != State::Operational) return;
         if (token_retransmits_left_ <= 0 || last_token_frame_.empty()) return;
         --token_retransmits_left_;
@@ -1022,6 +1144,13 @@ bool EvsNode::stale_from_member(RingSeq seq, ProcessId sender) const {
 
 void EvsNode::deliver_ready() {
   if (state_ != State::Operational) return;
+  if (!core_->state_consistent()) {
+    // Delivering from corrupted ordering state would hand the application a
+    // wrong total order (or walk the delivery loop into a GC'd hole and
+    // abort). Fail-stop first; peers reconfigure around the silence.
+    protocol_fail_stop("ordering state before delivery");
+    return;
+  }
   const auto ready = core_->drain_deliverable();
   if (ready.empty()) return;
   // Write-ahead: drain_deliverable() has already advanced delivered_upto, so
@@ -1080,6 +1209,13 @@ void EvsNode::handle_token(const TokenMsg& t) {
         return;
       }
       // A fresh token came back around: the previous forward made it.
+      if (!core_->state_consistent()) {
+        // Stamping or acknowledging from corrupted counters would propagate
+        // the damage into the shared token. Fail-stop instead; the broken
+        // token visit looks like token loss to the rest of the ring.
+        protocol_fail_stop("ordering state at token visit");
+        return;
+      }
       cancel_token_retransmit();
       met_.tokens_handled.inc();
       const SimTime tok_now = net_.scheduler().now();
@@ -1210,6 +1346,7 @@ void EvsNode::handle_form_ring(const FormRingMsg& f) {
       // transports surface these (a straggler can sit in the socket buffer
       // across a regather); adopting one would re-install a ring we already
       // delivered in, regressing the configuration-change total order.
+      repair_ring_seq();
       if (includes_self && f.ring.seq > ring_seq_ &&
           f.members == gather_->proposed_membership()) {
         adopt_proposal(f.ring, f.members);

@@ -77,13 +77,26 @@ class EvsNode final : public Endpoint {
   };
 
   struct Options {
+    // Timeout profile. Each protocol timeout has a flat base plus a
+    // per-member slope: the effective value for a ring/gather of n members
+    // is base + per_member * (n - 1), computed by the *_for(n) helpers
+    // below. The slope models the protocol's real cost growth — a token
+    // rotation visits n processes, a gather floods n joins per interval, an
+    // exchange round is n broadcasts — so a profile tuned at n=5 neither
+    // falsely times out at n=100 nor waits 20x too long at n=3. The
+    // defaults keep the historical flat values as the n=1 baseline; see
+    // DESIGN.md "Timer scaling" for the derivation.
     SimTime token_loss_timeout_us{12'000};
+    SimTime token_loss_per_member_us{1'000};
     SimTime beacon_interval_us{5'000};
     SimTime join_interval_us{1'000};
     SimTime gather_fail_timeout_us{8'000};
+    SimTime gather_fail_per_member_us{250};
     SimTime consensus_wait_timeout_us{12'000};  ///< waiting for FormRing
+    SimTime consensus_wait_per_member_us{300};
     SimTime exchange_interval_us{1'000};
     SimTime recovery_timeout_us{40'000};
+    SimTime recovery_per_member_us{1'000};
     SimTime singleton_token_interval_us{1'000};
     /// Totem-style token retransmission: after forwarding the token, resend
     /// the same token up to `token_retransmit_limit` times at this interval
@@ -91,6 +104,7 @@ class EvsNode final : public Endpoint {
     /// sustained token loss/corruption without a full membership gather
     /// (limit * interval must stay below token_loss_timeout_us).
     SimTime token_retransmit_interval_us{2'500};
+    SimTime token_retransmit_per_member_us{300};
     int token_retransmit_limit{3};
     /// Largest payload send() accepts. Must leave frame headroom below
     /// wire::kMaxFrameBody; oversized sends fail with payload_too_large.
@@ -103,14 +117,44 @@ class EvsNode final : public Endpoint {
     OrderingCore::Options ordering{};
     FaultInjection faults{};
 
+    // Effective (size-scaled) timeouts for an n-member ring or gather.
+    SimTime token_loss_for(std::size_t n) const {
+      return token_loss_timeout_us + token_loss_per_member_us * slope(n);
+    }
+    SimTime token_retransmit_for(std::size_t n) const {
+      return token_retransmit_interval_us + token_retransmit_per_member_us * slope(n);
+    }
+    SimTime gather_fail_for(std::size_t n) const {
+      return gather_fail_timeout_us + gather_fail_per_member_us * slope(n);
+    }
+    SimTime consensus_wait_for(std::size_t n) const {
+      return consensus_wait_timeout_us + consensus_wait_per_member_us * slope(n);
+    }
+    SimTime recovery_for(std::size_t n) const {
+      return recovery_timeout_us + recovery_per_member_us * slope(n);
+    }
+
+    /// A profile pre-stretched for rings of expected size n: besides the
+    /// per-member slopes (which apply automatically), the periodic *sender*
+    /// intervals — beacons, join floods, exchange rebroadcasts — are dilated
+    /// so that per-interval traffic stays O(n) packets instead of O(n) per
+    /// node (O(n^2) total). Use for large simulated clusters (n >= ~50).
+    static Options scaled_for(std::size_t n);
+
     /// Check the option combination for internal consistency: every timeout
     /// positive, the token retransmit burst shorter than the token loss
-    /// timeout, gather/recovery tick intervals shorter than the timeouts
+    /// timeout (at every ring size, which the per-member slopes must also
+    /// respect), gather/recovery tick intervals shorter than the timeouts
     /// that bound them, payload limit within the frame format. Returns
     /// Errc::invalid_options naming the violated rule. The EvsNode
     /// constructor asserts this, so a misconfigured node fails at
     /// construction instead of livelocking mid-simulation.
     Status validate() const;
+
+   private:
+    static SimTime slope(std::size_t n) {
+      return n > 1 ? static_cast<SimTime>(n - 1) : 0;
+    }
   };
 
   enum class State { Down, Operational, Gather, Recovery };
@@ -148,6 +192,11 @@ class EvsNode final : public Endpoint {
     // --- fallible stable storage (see storage/stable_store.hpp) ---
     std::uint64_t storage_fail_stops{0};  ///< persists whose failure stopped the node
     std::uint64_t persist_retries{0};     ///< step-5.c acks aborted by a failed persist
+    // --- self-stabilization guards (see DESIGN.md "State-corruption fault
+    // model"): detected volatile-state corruption either repaired in place
+    // or converted into a fail-stop ---
+    std::uint64_t state_fail_stops{0};  ///< inconsistent volatile state -> crash
+    std::uint64_t ring_seq_repairs{0};  ///< ring_seq_ re-derived from installed ring
   };
 
   using DeliverHandler = std::function<void(const Delivery&)>;
@@ -219,6 +268,8 @@ class EvsNode final : public Endpoint {
   void on_packet(const Packet& packet) override;
 
  private:
+  friend struct NodeIntrospect;  // test-only state perturbation (testkit/corrupt)
+
   // --- state transitions ---
   void install_configuration(RingId new_ring, std::vector<ProcessId> members,
                              const Step6Plan* plan);
@@ -295,6 +346,28 @@ class EvsNode final : public Endpoint {
   /// Stable storage failed under a must-persist write: count it and turn
   /// this node into a failed process (crash), or tear down a partial boot.
   void storage_fail_stop(const char* where);
+
+  /// Volatile protocol state failed an internal consistency check that
+  /// cannot be repaired locally (the self-stabilization guards; see DESIGN.md
+  /// "State-corruption fault model"). Counts evs.state_fail_stops and turns
+  /// the node into a failed process — fail-stop instead of propagating
+  /// corrupted state into the agreed total order.
+  void protocol_fail_stop(const char* what);
+
+  /// Self-stabilizing repair: ring_seq_ must never trail the installed
+  /// regular ring's seq (ring seqs are persisted, monotone per process). A
+  /// regressed counter — bit rot, bad restore — would let this node propose
+  /// or adopt a ring below one it already delivered in, regressing the
+  /// configuration-change total order. Re-derives the floor from reg_config_
+  /// and counts evs.ring_seq_repairs. Called wherever ring_seq_ feeds a
+  /// staleness or proposal decision.
+  void repair_ring_seq();
+
+  /// Consistency of the snapshotted old-ring backlog fields, checked before
+  /// they are frozen into an ExchangeMsg: the same invariants read_exchange
+  /// enforces on the wire, so a corrupted node fail-stops here rather than
+  /// broadcasting exchanges every peer rejects (a cluster-wide livelock).
+  bool old_state_consistent() const;
 
   // identity / environment
   ProcessId self_;
@@ -377,6 +450,8 @@ class EvsNode final : public Endpoint {
     obs::Counter& backpressure_rejections;
     obs::Counter& storage_fail_stops;
     obs::Counter& persist_retries;
+    obs::Counter& state_fail_stops;
+    obs::Counter& ring_seq_repairs;
     obs::Gauge& pending_sends;          ///< current send-queue depth
     obs::Histogram& gather_us;          ///< enter_gather -> adopted proposal
     obs::Histogram& recovery_us;        ///< adopted proposal -> install

@@ -29,13 +29,27 @@ void GatherState::count(const char* name, std::uint64_t n) {
   if (options_.metrics != nullptr) options_.metrics->counter(name).inc(n);
 }
 
+void GatherState::membership_insert(ProcessId p) {
+  auto it = std::lower_bound(membership_.begin(), membership_.end(), p);
+  if (it == membership_.end() || *it != p) membership_.insert(it, p);
+}
+
+void GatherState::membership_erase(ProcessId p) {
+  auto it = std::lower_bound(membership_.begin(), membership_.end(), p);
+  if (it != membership_.end() && *it == p) membership_.erase(it);
+}
+
 void GatherState::fail(ProcessId p) {
   if (p == self_) return;
   if (!std::binary_search(fail_set_.begin(), fail_set_.end(), p)) {
     fail_set_.insert(std::upper_bound(fail_set_.begin(), fail_set_.end(), p), p);
     count("member.candidates_failed");
+    consensus_cache_.reset();
   }
-  candidates_.erase(p);
+  if (candidates_.erase(p) > 0) {
+    membership_erase(p);
+    consensus_cache_.reset();
+  }
 }
 
 bool GatherState::is_failed(ProcessId p) const {
@@ -45,12 +59,22 @@ bool GatherState::is_failed(ProcessId p) const {
 void GatherState::add_candidate(ProcessId p, SimTime now) {
   if (is_failed(p)) return;
   auto [it, inserted] = candidates_.try_emplace(p);
-  if (inserted) it->second.last_heard = now;
+  if (inserted) {
+    it->second.last_heard = now;
+    membership_insert(p);
+    consensus_cache_.reset();
+  }
 }
 
 void GatherState::adopt_fail_set(const std::vector<ProcessId>& fails, SimTime now) {
   (void)now;
   for (ProcessId p : fails) fail(p);
+}
+
+SimTime GatherState::effective_fail_timeout() const {
+  const std::size_t n = candidates_.empty() ? 1 : candidates_.size();
+  return options_.fail_timeout_us +
+         options_.fail_per_candidate_us * static_cast<SimTime>(n - 1);
 }
 
 bool GatherState::on_join(const JoinMsg& join, SimTime now) {
@@ -65,7 +89,7 @@ bool GatherState::on_join(const JoinMsg& join, SimTime now) {
   }
   count("member.joins_received");
 
-  const auto before = proposed_membership();
+  const std::vector<ProcessId> before = membership_;
   max_ring_seq_seen_ = std::max(max_ring_seq_seen_, join.max_ring_seq);
 
   const bool divorced_by_peer =
@@ -74,7 +98,7 @@ bool GatherState::on_join(const JoinMsg& join, SimTime now) {
     // The peer gave up on us; reciprocate so both sides converge on
     // disjoint memberships instead of waiting on each other forever.
     fail(join.sender);
-    const bool changed = proposed_membership() != before;
+    const bool changed = membership_ != before;
     if (changed) count("member.proposal_changes");
     return changed;
   }
@@ -83,19 +107,22 @@ bool GatherState::on_join(const JoinMsg& join, SimTime now) {
   if (auto it = candidates_.find(join.sender); it != candidates_.end()) {
     it->second.last_heard = now;
     it->second.last_join = join;
+    it->second.proposal = join_proposal(join);
+    consensus_cache_.reset();
   }
   for (ProcessId p : join.candidates) add_candidate(p, now);
   for (ProcessId p : join.fail_set) fail(p);
-  const bool changed = proposed_membership() != before;
+  const bool changed = membership_ != before;
   if (changed) count("member.proposal_changes");
   return changed;
 }
 
 bool GatherState::check_timeouts(SimTime now) {
+  const SimTime timeout = effective_fail_timeout();
   std::vector<ProcessId> stale;
   for (const auto& [p, c] : candidates_) {
     if (p == self_) continue;
-    if (now >= c.last_heard + options_.fail_timeout_us) stale.push_back(p);
+    if (now >= c.last_heard + timeout) stale.push_back(p);
   }
   for (ProcessId p : stale) {
     EVS_DEBUG("member", "%s fails silent candidate %s", to_string(self_).c_str(),
@@ -110,29 +137,26 @@ JoinMsg GatherState::make_join(RingSeq own_max_ring_seq) const {
   JoinMsg join;
   join.sender = self_;
   join.episode = episode_;
-  for (const auto& [p, c] : candidates_) join.candidates.push_back(p);
+  join.candidates = membership_;
   join.fail_set = fail_set_;
   join.max_ring_seq = std::max(own_max_ring_seq, max_ring_seq_seen_);
   return join;
 }
 
 bool GatherState::consensus() const {
-  const auto mine = proposed_membership();
-  for (ProcessId p : mine) {
+  if (consensus_cache_.has_value()) return *consensus_cache_;
+  bool ok = true;
+  for (ProcessId p : membership_) {
     if (p == self_) continue;
     auto it = candidates_.find(p);
     EVS_ASSERT(it != candidates_.end());
-    if (!it->second.last_join.has_value()) return false;
-    if (join_proposal(*it->second.last_join) != mine) return false;
+    if (!it->second.last_join.has_value() || it->second.proposal != membership_) {
+      ok = false;
+      break;
+    }
   }
-  return true;
-}
-
-std::vector<ProcessId> GatherState::proposed_membership() const {
-  std::vector<ProcessId> out;
-  out.reserve(candidates_.size());
-  for (const auto& [p, c] : candidates_) out.push_back(p);
-  return out;  // std::map keeps it sorted; fail() removed failed entries
+  consensus_cache_ = ok;
+  return ok;
 }
 
 }  // namespace evs

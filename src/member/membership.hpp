@@ -38,6 +38,12 @@ class GatherState {
  public:
   struct Options {
     SimTime fail_timeout_us{10'000};  ///< silence before a candidate is failed
+    /// Extra silence tolerated per additional candidate: the effective fail
+    /// timeout is fail_timeout_us + fail_per_candidate_us * (candidates - 1).
+    /// Large gathers take longer to flood joins around (more senders, more
+    /// packets, longer broadcast intervals), so a flat timeout that works at
+    /// N=5 spuriously fails live candidates at N=100.
+    SimTime fail_per_candidate_us{0};
     /// Receives the "member.*" counters (joins_received, candidates_failed,
     /// proposal_changes). Pass the owning node's registry so the counters
     /// accumulate across gather episodes; null = uninstrumented.
@@ -62,12 +68,20 @@ class GatherState {
   JoinMsg make_join(RingSeq own_max_ring_seq) const;
 
   /// Consensus reached: all live candidates proposed exactly our membership.
+  /// Memoized: repeated calls between mutations are O(1), which matters when
+  /// the owning node polls after every join at N=100+.
   bool consensus() const;
 
-  /// candidates - fail_set, sorted. Always contains self.
-  std::vector<ProcessId> proposed_membership() const;
+  /// candidates - fail_set, sorted. Always contains self. Returns a
+  /// maintained cache by reference — no per-call rebuild.
+  const std::vector<ProcessId>& proposed_membership() const { return membership_; }
 
-  ProcessId representative() const { return proposed_membership().front(); }
+  ProcessId representative() const { return membership_.front(); }
+
+  std::size_t candidate_count() const { return candidates_.size(); }
+
+  /// Effective silence tolerance given the current candidate-set size.
+  SimTime effective_fail_timeout() const;
 
   /// Highest ring sequence number seen in any join this episode.
   RingSeq max_ring_seq_seen() const { return max_ring_seq_seen_; }
@@ -81,22 +95,34 @@ class GatherState {
   void adopt_fail_set(const std::vector<ProcessId>& fails, SimTime now);
 
  private:
+  friend struct NodeIntrospect;  // test-only state perturbation (testkit/corrupt)
+
   struct Candidate {
     SimTime last_heard{0};
     std::optional<JoinMsg> last_join;
+    /// join_proposal(*last_join), computed once when the join arrives.
+    /// consensus() compares every live candidate's proposal against ours on
+    /// every poll; recomputing it there made each poll O(N^2 log N).
+    std::vector<ProcessId> proposal;
   };
 
   void fail(ProcessId p);
   void add_candidate(ProcessId p, SimTime now);
   bool is_failed(ProcessId p) const;
   void count(const char* name, std::uint64_t n = 1);
+  void membership_insert(ProcessId p);
+  void membership_erase(ProcessId p);
 
   ProcessId self_;
   std::uint64_t episode_;
   Options options_;
   std::map<ProcessId, Candidate> candidates_;
-  std::vector<ProcessId> fail_set_;  // sorted
+  std::vector<ProcessId> fail_set_;    // sorted
+  std::vector<ProcessId> membership_;  // sorted keys of candidates_, maintained
   RingSeq max_ring_seq_seen_{0};
+  /// Memoized consensus() verdict; nullopt = dirty (invalidated on any
+  /// candidate/join/fail-set mutation).
+  mutable std::optional<bool> consensus_cache_;
 };
 
 }  // namespace evs

@@ -1,0 +1,304 @@
+#include "testkit/churn.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace evs {
+
+namespace {
+
+/// Random partition of [0, n) into `groups` non-empty components, shuffled
+/// by `rng` (deterministic per seed — this runs at schedule-build time).
+std::vector<std::vector<std::size_t>> random_groups(std::size_t n, std::size_t groups,
+                                                    Rng& rng) {
+  groups = std::max<std::size_t>(1, std::min(groups, n));
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  std::vector<std::vector<std::size_t>> out(groups);
+  for (std::size_t i = 0; i < n; ++i) out[i % groups].push_back(order[i]);
+  return out;
+}
+
+std::string groups_label(const std::vector<std::vector<std::size_t>>& groups) {
+  std::string s = "partition into " + std::to_string(groups.size()) + " groups";
+  return s;
+}
+
+}  // namespace
+
+std::string ChurnReport::to_string() const {
+  std::string s = "churn scenario '" + scenario + "': ";
+  s += ok() ? "ok" : "FAILED";
+  s += " (" + std::to_string(steps_run) + " steps, " +
+       std::to_string(quiesce_checks) + " checkpoints)";
+  if (!failure.empty()) s += "\n  " + failure;
+  if (!spec_report.empty()) s += "\n  spec violations:\n" + spec_report;
+  return s;
+}
+
+ChurnSchedule& ChurnSchedule::at(SimTime t, std::string what,
+                                 std::function<void(Cluster&)> fn) {
+  ChurnStep step;
+  step.at_us = t;
+  step.what = std::move(what);
+  step.apply = std::move(fn);
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+ChurnSchedule& ChurnSchedule::quiesce_at(SimTime t, SimTime max_wait_us) {
+  ChurnStep step;
+  step.at_us = t;
+  step.what = "quiesce";
+  step.quiesce = true;
+  step.max_wait_us = max_wait_us;
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+ChurnSchedule& ChurnSchedule::finish_at(SimTime t, SimTime max_wait_us) {
+  ChurnStep step;
+  step.at_us = t;
+  step.what = "final quiesce";
+  step.quiesce = true;
+  step.max_wait_us = max_wait_us;
+  step.final_check = true;
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+ChurnSchedule& ChurnSchedule::partition_at(SimTime t,
+                                           std::vector<std::vector<std::size_t>> groups) {
+  return at(t, groups_label(groups),
+            [groups = std::move(groups)](Cluster& c) { c.partition(groups); });
+}
+
+ChurnSchedule& ChurnSchedule::heal_at(SimTime t) {
+  return at(t, "heal", [](Cluster& c) { c.heal(); });
+}
+
+ChurnSchedule& ChurnSchedule::crash_at(SimTime t, std::size_t index) {
+  return at(t, "crash #" + std::to_string(index),
+            [index](Cluster& c) { (void)c.crash(c.pid(index)); });
+}
+
+ChurnSchedule& ChurnSchedule::recover_at(SimTime t, std::size_t index) {
+  return at(t, "recover #" + std::to_string(index),
+            [index](Cluster& c) { (void)c.recover(c.pid(index)); });
+}
+
+ChurnSchedule& ChurnSchedule::faults_at(SimTime t, std::string what, FaultPlan plan) {
+  return at(t, std::move(what),
+            [plan = std::move(plan)](Cluster& c) { c.inject_faults(plan); });
+}
+
+ChurnSchedule& ChurnSchedule::clear_faults_at(SimTime t) {
+  return at(t, "clear faults", [](Cluster& c) { c.clear_faults(); });
+}
+
+SimTime ChurnSchedule::quiesce_budget(std::size_t n) {
+  // Convergence after churn costs token-loss detection + gather + recovery,
+  // each linear in n (and dilated further under Options::scaled_for). Idle
+  // virtual time is nearly free in the sim, so the budget errs generous:
+  // tripping it should mean livelock, not a slow-but-healthy ring.
+  return 10'000'000 + 400'000 * static_cast<SimTime>(n);
+}
+
+ChurnSchedule ChurnSchedule::flapping_links(std::size_t n, std::uint64_t seed,
+                                            int flaps) {
+  ChurnSchedule s("flapping_links", seed);
+  Rng rng(seed);
+  const SimTime budget = quiesce_budget(n);
+  const std::size_t a = rng.below(n);
+  std::size_t b = rng.below(n);
+  if (b == a) b = (a + 1) % n;
+  SimTime t = 0;
+  s.quiesce_at(t, budget);  // initial ring formation
+  for (int i = 0; i < flaps; ++i) {
+    // Asymmetric cut: a's packets to b vanish, b's to a still arrive — the
+    // nastier half-open failure mode real links exhibit.
+    s.at(t += 20'000, "cut link #" + std::to_string(a) + "->#" + std::to_string(b),
+         [a, b](Cluster& c) {
+           c.inject_faults(FaultPlan::asymmetric_cut(c.pid(a), c.pid(b), 0, ~0ull));
+         });
+    t += 60'000 + rng.between(0, 40'000);  // hold the cut across a few timeouts
+    s.clear_faults_at(t);
+    s.quiesce_at(t += 10'000, budget);
+  }
+  s.finish_at(t += 20'000, budget);
+  return s;
+}
+
+ChurnSchedule ChurnSchedule::rolling_restart(std::size_t n, std::uint64_t seed) {
+  ChurnSchedule s("rolling_restart", seed);
+  Rng rng(seed);
+  const SimTime budget = quiesce_budget(n);
+  SimTime t = 0;
+  s.quiesce_at(t, budget);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.crash_at(t += 20'000, i);
+    // Down long enough that the ring reconfigures around the hole before the
+    // node returns (restart-into-same-membership is a separate, easier case).
+    t += 40'000 + rng.between(0, 30'000);
+    s.recover_at(t, i);
+    s.quiesce_at(t += 10'000, budget);
+  }
+  s.finish_at(t += 20'000, budget);
+  return s;
+}
+
+ChurnSchedule ChurnSchedule::cascading_partition(std::size_t n, std::uint64_t seed,
+                                                 int waves) {
+  ChurnSchedule s("cascading_partition", seed);
+  Rng rng(seed);
+  const SimTime budget = quiesce_budget(n);
+  SimTime t = 0;
+  s.quiesce_at(t, budget);
+  std::size_t parts = 2;
+  for (int w = 0; w < waves; ++w) {
+    s.partition_at(t += 20'000, random_groups(n, parts, rng));
+    s.quiesce_at(t += 10'000, budget);
+    parts = std::min(parts * 2, n);
+  }
+  s.heal_at(t += 20'000);
+  s.finish_at(t += 10'000, budget);
+  return s;
+}
+
+ChurnSchedule ChurnSchedule::merge_wave(std::size_t n, std::uint64_t seed) {
+  ChurnSchedule s("merge_wave", seed);
+  Rng rng(seed);
+  const SimTime budget = quiesce_budget(n);
+  SimTime t = 0;
+  s.quiesce_at(t, budget);
+  // Shatter to singletons, then rebuild by powers of two. The group shuffle
+  // is fixed once so each wave is a strict coarsening of the previous one —
+  // every merge joins components that already converged separately.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = n; i > 1; --i) std::swap(order[i - 1], order[rng.below(i)]);
+  for (std::size_t width = 1; width < n; width *= 2) {
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < n; i += width) {
+      groups.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(i),
+                          order.begin() + static_cast<std::ptrdiff_t>(std::min(i + width, n)));
+    }
+    s.partition_at(t += 20'000, std::move(groups));
+    s.quiesce_at(t += 10'000, budget);
+  }
+  s.heal_at(t += 20'000);
+  s.finish_at(t += 10'000, budget);
+  return s;
+}
+
+ChurnSchedule ChurnSchedule::random_storm(std::size_t n, std::uint64_t seed,
+                                          int events) {
+  ChurnSchedule s("random_storm", seed);
+  Rng rng(seed);
+  const SimTime budget = quiesce_budget(n);
+  SimTime t = 0;
+  s.quiesce_at(t, budget);
+  std::vector<bool> down(n, false);
+  const std::size_t max_down = std::max<std::size_t>(1, n / 3);
+  std::size_t down_count = 0;
+  bool faults_active = false;
+  for (int e = 0; e < events; ++e) {
+    t += 30'000 + rng.between(0, 50'000);
+    switch (rng.below(6)) {
+      case 0:
+        s.partition_at(t, random_groups(n, 2 + rng.below(3), rng));
+        break;
+      case 1:
+        s.heal_at(t);
+        break;
+      case 2: {
+        if (down_count >= max_down) break;
+        const std::size_t victim = rng.below(n);
+        if (down[victim]) break;
+        down[victim] = true;
+        ++down_count;
+        s.crash_at(t, victim);
+        break;
+      }
+      case 3: {
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t v = (i + rng.below(n)) % n;
+          if (down[v]) {
+            down[v] = false;
+            --down_count;
+            s.recover_at(t, v);
+            break;
+          }
+        }
+        break;
+      }
+      case 4:
+        s.faults_at(t, "packet storm",
+                    FaultPlan::storm(/*duplicate=*/0.05, /*reorder=*/0.10,
+                                     /*corrupt=*/0.02));
+        faults_active = true;
+        break;
+      case 5: {
+        // Checkpoint: clear the packet storm (convergence under sustained
+        // corruption has its own dedicated tests) but keep partitions and
+        // crashes in force — stable() understands components and downed
+        // nodes, so the check still bites.
+        if (faults_active) {
+          s.clear_faults_at(t);
+          faults_active = false;
+        }
+        s.quiesce_at(t += 10'000, budget);
+        break;
+      }
+    }
+  }
+  // Converge everything: clear faults, heal, recover all, full check.
+  t += 30'000;
+  if (faults_active) s.clear_faults_at(t);
+  s.heal_at(t += 5'000);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (down[i]) s.recover_at(t += 5'000, i);
+  }
+  s.finish_at(t += 10'000, budget);
+  return s;
+}
+
+ChurnReport run_churn(Cluster& cluster, const ChurnSchedule& schedule) {
+  ChurnReport report;
+  report.scenario = schedule.name();
+  std::vector<ChurnStep> steps = schedule.steps();
+  std::stable_sort(steps.begin(), steps.end(),
+                   [](const ChurnStep& a, const ChurnStep& b) { return a.at_us < b.at_us; });
+  const SimTime start = cluster.now();
+  for (const ChurnStep& step : steps) {
+    const SimTime target = start + step.at_us;
+    if (target > cluster.now()) cluster.run_for(target - cluster.now());
+    if (step.quiesce) {
+      ++report.quiesce_checks;
+      const bool settled = step.final_check ? cluster.await_quiesce(step.max_wait_us)
+                                            : cluster.await_stable(step.max_wait_us);
+      if (!settled) {
+        report.converged = false;
+        report.failure = "checkpoint " + std::to_string(report.quiesce_checks) +
+                         " (" + step.what + ", t=" + std::to_string(step.at_us) +
+                         "us) did not converge\n" + cluster.liveness_report();
+        break;
+      }
+      const std::string spec = cluster.check_report(/*quiescent=*/step.final_check);
+      if (!spec.empty()) {
+        report.spec_report = "after checkpoint " + std::to_string(report.quiesce_checks) +
+                             " (t=" + std::to_string(step.at_us) + "us):\n" + spec;
+        break;
+      }
+    } else {
+      step.apply(cluster);
+      ++report.steps_run;
+    }
+  }
+  return report;
+}
+
+}  // namespace evs

@@ -1,0 +1,129 @@
+// Churn-storm scenario engine: declarative, seeded schedules of membership
+// churn — flapping links, rolling restarts, cascading partitions, merge
+// waves — composed on top of Cluster/FaultPlan, with spec-conformance
+// checked after every quiesce window.
+//
+// A ChurnSchedule is a pure value: a named list of timed steps produced
+// deterministically from (cluster size, seed). Running it against a Cluster
+// (run_churn) replays the same virtual-time event sequence every time, so a
+// failing storm is replayed bit-for-bit from its seed and shrunk by trying
+// nearby seeds or truncated schedules. The sim Network stays the substrate:
+// nothing here introduces real time or real sockets.
+//
+// Scenario vocabulary:
+//   * flapping_links      — a link cut that toggles on/off several times
+//   * rolling_restart     — crash + recover each process in turn, staggered
+//   * cascading_partition — split into progressively finer components
+//   * merge_wave          — singletons merging pairwise up to the full ring
+//   * random_storm        — a seeded mixture of all of the above
+// Every generated scenario ends by healing the network, recovering every
+// downed process, and a final quiesce + full (quiescent) spec check.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/faults.hpp"
+#include "testkit/cluster.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace evs {
+
+/// One step of a churn schedule: either an action against the cluster or a
+/// quiesce checkpoint (await convergence, then run the spec checker).
+struct ChurnStep {
+  SimTime at_us{0};  ///< virtual-time offset from the schedule's start
+  std::string what;  ///< human-readable label, quoted in failure reports
+  std::function<void(Cluster&)> apply;  ///< null for quiesce checkpoints
+
+  bool quiesce{false};     ///< this step is a checkpoint, not an action
+  SimTime max_wait_us{0};  ///< checkpoint convergence budget
+  bool final_check{false};  ///< checkpoint uses await_quiesce + quiescent check
+};
+
+/// Outcome of one schedule run; empty ok() means the storm passed.
+struct ChurnReport {
+  std::string scenario;
+  std::size_t steps_run{0};
+  std::size_t quiesce_checks{0};
+  bool converged{true};     ///< every checkpoint reached stability in budget
+  std::string spec_report;  ///< first non-empty spec-checker report
+  std::string failure;      ///< which checkpoint failed, and how
+
+  bool ok() const { return converged && spec_report.empty() && failure.empty(); }
+  std::string to_string() const;
+};
+
+class ChurnSchedule {
+ public:
+  ChurnSchedule(std::string name, std::uint64_t seed)
+      : name_(std::move(name)), seed_(seed) {}
+
+  // --- DSL -----------------------------------------------------------------
+
+  /// Apply `fn` to the cluster at virtual-time offset `t`.
+  ChurnSchedule& at(SimTime t, std::string what, std::function<void(Cluster&)> fn);
+
+  /// Checkpoint at offset `t`: await stability (await_stable), then run the
+  /// non-quiescent spec checker. Aborts the run on failure.
+  ChurnSchedule& quiesce_at(SimTime t, SimTime max_wait_us);
+
+  /// Terminal checkpoint: await_quiesce, then the full quiescent spec check.
+  ChurnSchedule& finish_at(SimTime t, SimTime max_wait_us);
+
+  // Convenience wrappers for the common actions.
+  ChurnSchedule& partition_at(SimTime t, std::vector<std::vector<std::size_t>> groups);
+  ChurnSchedule& heal_at(SimTime t);
+  ChurnSchedule& crash_at(SimTime t, std::size_t index);
+  ChurnSchedule& recover_at(SimTime t, std::size_t index);
+  ChurnSchedule& faults_at(SimTime t, std::string what, FaultPlan plan);
+  ChurnSchedule& clear_faults_at(SimTime t);
+
+  // --- named scenario generators ------------------------------------------
+  // All deterministic in (n, seed); all end healed + recovered + checked.
+
+  /// A victim link flaps `flaps` times (asymmetric cut on, off, on, ...),
+  /// with a stability checkpoint after each off phase.
+  static ChurnSchedule flapping_links(std::size_t n, std::uint64_t seed, int flaps = 4);
+
+  /// Crash + recover every process in turn, `up_gap_us` apart, so the ring
+  /// reconfigures around each restart without ever losing a majority.
+  static ChurnSchedule rolling_restart(std::size_t n, std::uint64_t seed);
+
+  /// Split the ring into progressively finer random partitions (2, 4, ...
+  /// components), checking each level, then heal.
+  static ChurnSchedule cascading_partition(std::size_t n, std::uint64_t seed,
+                                           int waves = 3);
+
+  /// Shatter into singletons, then merge pairwise, then quads, ... up to the
+  /// full ring, checking each merge level.
+  static ChurnSchedule merge_wave(std::size_t n, std::uint64_t seed);
+
+  /// A seeded mixture: random partitions, heals, crash/recover pairs and
+  /// windowed packet storms, `events` of them, with periodic checkpoints.
+  static ChurnSchedule random_storm(std::size_t n, std::uint64_t seed,
+                                    int events = 12);
+
+  // --- accessors -----------------------------------------------------------
+  const std::string& name() const { return name_; }
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<ChurnStep>& steps() const { return steps_; }
+
+  /// Convergence budget per checkpoint, scaled for the ring size the
+  /// generators were asked for (large rings legitimately take longer).
+  static SimTime quiesce_budget(std::size_t n);
+
+ private:
+  std::string name_;
+  std::uint64_t seed_;
+  std::vector<ChurnStep> steps_;
+};
+
+/// Execute the schedule against the cluster: advance virtual time to each
+/// step's offset (relative to the cluster's clock at entry), apply actions,
+/// and evaluate checkpoints. Stops at the first failed checkpoint.
+ChurnReport run_churn(Cluster& cluster, const ChurnSchedule& schedule);
+
+}  // namespace evs

@@ -1,0 +1,102 @@
+#include "testkit/corrupt.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace evs {
+
+const char* to_string(CorruptionKind k) {
+  switch (k) {
+    case CorruptionKind::RingSeqRegression: return "ring_seq_regression";
+    case CorruptionKind::RingSeqWraparound: return "ring_seq_wraparound";
+    case CorruptionKind::StaleMaxRingSeq: return "stale_max_ring_seq";
+    case CorruptionKind::PoisonedObligations: return "poisoned_obligations";
+    case CorruptionKind::CorruptGcUpto: return "corrupt_gc_upto";
+    case CorruptionKind::CorruptFcc: return "corrupt_fcc";
+  }
+  return "?";
+}
+
+bool apply_corruption(EvsNode& victim, CorruptionKind kind, Rng& rng) {
+  if (!victim.running()) return false;
+  switch (kind) {
+    case CorruptionKind::RingSeqRegression: {
+      RingSeq& seq = NodeIntrospect::ring_seq(victim);
+      if (seq < 2) return false;
+      seq = rng.between(0, seq - 1);
+      return true;
+    }
+    case CorruptionKind::RingSeqWraparound: {
+      // Counter lands just below wraparound: any +1 arithmetic is about to
+      // overflow, and the value is far past the kMaxRingSeq plausibility
+      // ceiling. Models multi-bit rot in the high word.
+      NodeIntrospect::ring_seq(victim) =
+          std::numeric_limits<RingSeq>::max() - rng.between(0, 3);
+      return true;
+    }
+    case CorruptionKind::StaleMaxRingSeq: {
+      GatherState* gather = NodeIntrospect::gather(victim);
+      if (gather == nullptr) return false;
+      NodeIntrospect::max_ring_seq_seen(*gather) =
+          kMaxRingSeq + 1 + rng.between(0, 1'000'000);
+      return true;
+    }
+    case CorruptionKind::PoisonedObligations: {
+      std::vector<ProcessId>& obl = NodeIntrospect::obligation_set(victim);
+      // Three poisons, possibly stacked: duplicate an entry, shuffle the
+      // order, splice in pids no process in the system has ever used.
+      // Out-of-system pids are deliberate: the obligation set's *semantic*
+      // content (which real members may deliver past holes) is not locally
+      // checkable, so the fuzzer perturbs only its syntactic invariants and
+      // its conservative closure — see DESIGN.md for the residual risk.
+      bool poisoned = false;
+      if (!obl.empty() && rng.chance(0.7)) {
+        obl.push_back(obl[rng.below(obl.size())]);  // duplicate
+        poisoned = true;
+      }
+      if (rng.chance(0.7)) {
+        obl.push_back(ProcessId{static_cast<std::uint32_t>(
+            1'000'000 + rng.between(0, 1'000))});  // bogus pid
+        poisoned = true;
+      }
+      if (obl.size() >= 2 && rng.chance(0.5)) {
+        std::swap(obl.front(), obl.back());  // break sortedness
+        poisoned = true;
+      }
+      if (!poisoned && !obl.empty()) {
+        obl.push_back(obl.front());
+        poisoned = true;
+      }
+      return poisoned;
+    }
+    case CorruptionKind::CorruptGcUpto: {
+      if (OrderingCore* core = NodeIntrospect::core(victim)) {
+        SeqNum& gc = NodeIntrospect::gc_upto(*core);
+        if (rng.chance(0.5) && gc > 0) {
+          gc = rng.between(0, gc - 1);  // regress: bodies below are gone
+        } else {
+          gc = core->delivered_upto() + 1 + rng.between(0, 64);  // past delivery
+        }
+        return true;
+      }
+      // Gather/Recovery: the watermark lives in the old-ring snapshot.
+      SeqNum& gc = NodeIntrospect::old_gc_upto(victim);
+      if (rng.chance(0.5) && gc > 0) {
+        gc = rng.between(0, gc - 1);
+      } else {
+        gc = NodeIntrospect::old_delivered_upto(victim) + 1 + rng.between(0, 64);
+      }
+      return true;
+    }
+    case CorruptionKind::CorruptFcc: {
+      OrderingCore* core = NodeIntrospect::core(victim);
+      if (core == nullptr) return false;
+      NodeIntrospect::prev_visit_broadcasts(*core) =
+          static_cast<std::uint32_t>(0x8000'0000u + rng.between(0, 0x7fff'ffffu));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace evs

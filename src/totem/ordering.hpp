@@ -137,7 +137,26 @@ class OrderingCore {
   std::uint64_t tokens_seen() const { return tokens_seen_; }
   Stats stats() const;
 
+  /// Internal-invariant audit for the self-stabilization guards (see
+  /// DESIGN.md "State-corruption fault model"): delivery never outruns the
+  /// contiguous received prefix, GC never outruns min(safe, delivered), and
+  /// every un-GC'd received seq still has its body. Cheap (no store walk);
+  /// the owning EvsNode checks it before acting on a token or delivering,
+  /// and fail-stops on violation instead of propagating corrupted counters
+  /// into the shared token or the agreed order.
+  bool state_consistent() const {
+    if (delivered_upto_ > received_.contiguous_from(0)) return false;
+    if (gc_upto_ > safe_upto_ || gc_upto_ > delivered_upto_) return false;
+    // Spot-check the store/GC boundary: a regressed gc_upto_ claims the
+    // body just above it is still resident when it was in fact reclaimed.
+    if (received_.contains(gc_upto_ + 1) && store_.count(gc_upto_ + 1) == 0) {
+      return false;
+    }
+    return true;
+  }
+
  private:
+  friend struct NodeIntrospect;  // test-only state perturbation (testkit/corrupt)
   struct Met {
     obs::Counter& duplicates_ignored;
     obs::Counter& retransmits_sent;

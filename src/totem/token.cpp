@@ -76,6 +76,10 @@ std::optional<JoinMsg> read_join(wire::Reader& r) {
   if (!r.ok()) return std::nullopt;
   if (m.sender == ProcessId{}) return std::nullopt;
   if (!sorted_strict(m.candidates) || !sorted_strict(m.fail_set)) return std::nullopt;
+  // Joins propagate the max ring seq transitively (peers adopt max-seen + 1),
+  // so an implausible value from one corrupted node would poison the whole
+  // system's counter forever. Reject it at the boundary instead.
+  if (m.max_ring_seq > kMaxRingSeq) return std::nullopt;
   return m;
 }
 

@@ -1,0 +1,149 @@
+// The state-corruption fuzz sweep (run with `ctest -L corrupt`): thousands
+// of randomized trials, each perturbing one victim's volatile state with a
+// random CorruptionKind mid-execution, then requiring that the system either
+// ejects the victim (fail-stop, or peers reconfigure around it) or
+// reconverges — and that the whole trace stays spec-clean.
+//
+// The sweep is sharded into kShards ctest cases so `ctest -j` spreads it
+// across cores, and every trial is deterministic in (shard, trial index):
+// a failure message names the shard seed and trial, which replays
+// bit-for-bit. Trial count: EVS_CORRUPT_TRIALS (total, across shards) when
+// set; otherwise 10'000 plain, scaled down under ASan/TSan builds where
+// each trial costs roughly an order of magnitude more.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "testkit/cluster.hpp"
+#include "testkit/corrupt.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define EVS_CORRUPT_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define EVS_CORRUPT_SANITIZED 1
+#endif
+#endif
+
+namespace evs {
+namespace {
+
+constexpr int kShards = 8;
+constexpr std::size_t kNodes = 4;
+constexpr int kTrialsPerCluster = 40;
+
+int total_trials() {
+  if (const char* env = std::getenv("EVS_CORRUPT_TRIALS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+#ifdef EVS_CORRUPT_SANITIZED
+  return 1'600;
+#else
+  return 10'000;
+#endif
+}
+
+Cluster::Options sweep_options(std::uint64_t seed) {
+  Cluster::Options o;
+  o.num_processes = kNodes;
+  o.seed = seed;
+  o.watchdog_window_us = 1'500'000;
+  return o;
+}
+
+class CorruptSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorruptSweepTest, RandomizedCorruptionEitherEjectsOrReconverges) {
+  const int shard = GetParam();
+  const int trials = (total_trials() + kShards - 1) / kShards;
+  const std::uint64_t shard_seed = 0xC0221107u + 977u * static_cast<std::uint64_t>(shard);
+  Rng rng(shard_seed);
+
+  int applied_total = 0;
+  std::unique_ptr<Cluster> cluster;
+  for (int trial = 0; trial < trials; ++trial) {
+    // Fresh cluster every kTrialsPerCluster trials: bounds trace growth and
+    // gives the quiescent end-of-batch check below a bounded window.
+    if (trial % kTrialsPerCluster == 0) {
+      cluster = std::make_unique<Cluster>(sweep_options(shard_seed + static_cast<std::uint64_t>(trial)));
+      ASSERT_TRUE(cluster->await_stable(4'000'000)) << cluster->liveness_report();
+    }
+    Cluster& c = *cluster;
+    const std::string ctx = "shard " + std::to_string(shard) + " trial " +
+                            std::to_string(trial) + " (seed " +
+                            std::to_string(shard_seed) + ")";
+
+    // Background traffic so ordering/GC state is non-trivial when corrupted.
+    for (int i = 0; i < 3; ++i) {
+      const std::size_t s = rng.below(c.size());
+      if (c.node(s).running()) {
+        (void)c.node(s).send(rng.chance(0.5) ? Service::Safe : Service::Agreed,
+                             {static_cast<std::uint8_t>(rng.below(256))});
+      }
+    }
+    c.run_for(5'000 + rng.between(0, 15'000));
+
+    // Corrupt one victim with a random kind; kinds inapplicable to the
+    // victim's current state rotate to the next (a trial with nothing to
+    // corrupt — e.g. everything gather-specific while Operational — still
+    // runs its churn, which is a valid no-corruption control).
+    const std::size_t victim_idx = rng.below(c.size());
+    EvsNode& victim = c.node(victim_idx);
+    CorruptionKind used = kAllCorruptionKinds[0];
+    bool applied = false;
+    const std::size_t start = rng.below(kAllCorruptionKinds.size());
+    for (std::size_t k = 0; k < kAllCorruptionKinds.size() && !applied; ++k) {
+      used = kAllCorruptionKinds[(start + k) % kAllCorruptionKinds.size()];
+      applied = apply_corruption(victim, used, rng);
+    }
+    if (applied) ++applied_total;
+    c.run_for(5'000);
+
+    // Most trials force a reconfiguration afterwards: dormant corruption
+    // (a wrapped ring counter, a poisoned obligation set) only bites when
+    // the victim next gathers or recovers.
+    if (rng.chance(0.7)) {
+      std::vector<std::vector<std::size_t>> groups(2);
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        groups[i == victim_idx ? 0 : 1].push_back(i);
+      }
+      c.partition(groups);
+      c.run_for(30'000 + rng.between(0, 30'000));
+      c.heal();
+    }
+
+    // Outcome: the components that exclude any fail-stopped victim converge
+    // (stable() skips downed nodes), and recovery brings every casualty
+    // back into one spec-clean ring.
+    ASSERT_TRUE(c.await_stable(4'000'000))
+        << ctx << " kind=" << to_string(used) << " applied=" << applied << "\n"
+        << c.liveness_report();
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (!c.node(i).running()) {
+        ASSERT_TRUE(c.recover(c.pid(i)).ok()) << ctx << " recovering node " << i;
+      }
+    }
+    ASSERT_TRUE(c.await_stable(4'000'000))
+        << ctx << " kind=" << to_string(used) << " (post-recovery)\n"
+        << c.liveness_report();
+
+    // End of batch: full quiescent spec check over everything this cluster
+    // survived.
+    if ((trial + 1) % kTrialsPerCluster == 0 || trial + 1 == trials) {
+      ASSERT_TRUE(c.await_quiesce(6'000'000)) << ctx << "\n" << c.liveness_report();
+      ASSERT_EQ(c.check_report(), "") << ctx;
+    }
+  }
+  // The rotation fallback means most trials corrupt something; if nearly
+  // none applied, the harness is broken (e.g. introspection always
+  // declining), not the protocol.
+  EXPECT_GT(applied_total, trials / 2)
+      << "only " << applied_total << "/" << trials << " trials applied a corruption";
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, CorruptSweepTest, ::testing::Range(0, kShards));
+
+}  // namespace
+}  // namespace evs

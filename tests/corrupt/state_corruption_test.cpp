@@ -1,0 +1,257 @@
+// Targeted state-corruption regressions (run with `ctest -L corrupt`): one
+// deterministic scenario per CorruptionKind, pinning down the defense each
+// class is supposed to hit — ring-seq repair, decode-time plausibility
+// rejection + fail-stop, exchange normalization, the state_consistent()
+// guards — per DESIGN.md "State-corruption fault model". The randomized
+// 10k-trial sweep lives in corrupt_sweep_test.cpp; these are the shrunk,
+// named witnesses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "testkit/cluster.hpp"
+#include "testkit/corrupt.hpp"
+
+namespace evs {
+namespace {
+
+std::vector<std::uint8_t> payload(std::uint8_t tag) { return {tag}; }
+
+Cluster::Options corrupt_options(std::size_t n, std::uint64_t seed) {
+  Cluster::Options o;
+  o.num_processes = n;
+  o.seed = seed;
+  o.watchdog_window_us = 2'000'000;
+  return o;
+}
+
+std::uint64_t total_state_fail_stops(Cluster& c) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) total += c.node(i).stats().state_fail_stops;
+  return total;
+}
+
+// A ring_seq_ that regressed below the installed ring's seq would, at the
+// next gather, propose a ring ordered *before* the current one and abort on
+// the configuration-change order regression. The defense re-derives the
+// counter from the installed ring id at every gather entry (and counts the
+// repair), so the victim reconfigures normally. This is the bugfix
+// regression test: before repair_ring_seq() the scenario below died on the
+// emit_conf_change ord assertion.
+TEST(StateCorruptionTest, RingSeqRegressionIsRepairedInPlace) {
+  Cluster cluster(corrupt_options(3, 31));
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+
+  EvsNode& victim = cluster.node(0u);
+  RingSeq& seq = NodeIntrospect::ring_seq(victim);
+  ASSERT_GE(seq, 2u);
+  seq = 1;  // far below the installed ring's seq
+
+  // Force the victim through a gather: alone, then merged back.
+  cluster.partition({{0}, {1, 2}});
+  ASSERT_TRUE(cluster.await_stable(4'000'000)) << cluster.liveness_report();
+  EXPECT_TRUE(victim.running());
+  EXPECT_GE(victim.stats().ring_seq_repairs, 1u);
+
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_quiesce(6'000'000)) << cluster.liveness_report();
+  EXPECT_EQ(cluster.node(0u).config().members.size(), 3u);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+// A ring_seq_ thrown to ~UINT64_MAX is past the kMaxRingSeq plausibility
+// ceiling: the victim must fail-stop at its next proposal instead of
+// installing a ring the rest of the system would reject (and instead of
+// silently wrapping to 0, which would regress the total order). Stable
+// storage still holds the last legitimately persisted counter, so recovery
+// rejoins cleanly.
+TEST(StateCorruptionTest, RingSeqWraparoundFailStopsThenRecovers) {
+  Cluster cluster(corrupt_options(3, 32));
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+
+  EvsNode& victim = cluster.node(0u);
+  NodeIntrospect::ring_seq(victim) = std::numeric_limits<RingSeq>::max() - 1;
+
+  cluster.partition({{0}, {1, 2}});
+  ASSERT_TRUE(cluster.await([&] { return !cluster.node(0u).running(); }, 4'000'000))
+      << cluster.liveness_report();
+  EXPECT_GE(cluster.node(0u).stats().state_fail_stops, 1u);
+  ASSERT_TRUE(cluster.await_stable(4'000'000)) << cluster.liveness_report();
+
+  cluster.heal();
+  ASSERT_TRUE(cluster.recover(cluster.pid(0)).ok());
+  ASSERT_TRUE(cluster.await_quiesce(6'000'000)) << cluster.liveness_report();
+  EXPECT_EQ(cluster.node(0u).config().members.size(), 3u);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+// max_ring_seq_seen_ poisoned past the bound mid-gather: the victim's joins
+// advertise an implausible ring seq, so peers reject them at decode time and
+// reconfigure around the victim; the victim itself fail-stops when its own
+// proposal would cross kMaxRingSeq. Either way it leaves the system, and
+// rejoins with sane state after recovery.
+TEST(StateCorruptionTest, StaleMaxRingSeqGetsVictimEjected) {
+  Cluster cluster(corrupt_options(3, 33));
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+
+  cluster.partition({{0, 1}, {2}});
+  ASSERT_TRUE(cluster.await(
+      [&] { return cluster.node(0u).state() == EvsNode::State::Gather; }, 2'000'000))
+      << cluster.liveness_report();
+  GatherState* gather = NodeIntrospect::gather(cluster.node(0u));
+  ASSERT_NE(gather, nullptr);
+  NodeIntrospect::max_ring_seq_seen(*gather) = kMaxRingSeq + 7;
+
+  ASSERT_TRUE(cluster.await([&] { return !cluster.node(0u).running(); }, 6'000'000))
+      << cluster.liveness_report();
+  ASSERT_TRUE(cluster.await_stable(4'000'000)) << cluster.liveness_report();
+
+  cluster.heal();
+  ASSERT_TRUE(cluster.recover(cluster.pid(0)).ok());
+  ASSERT_TRUE(cluster.await_quiesce(6'000'000)) << cluster.liveness_report();
+  EXPECT_EQ(cluster.node(0u).config().members.size(), 3u);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+// An obligation set holding duplicates and out-of-order entries violates the
+// wire invariant (strictly sorted), so an un-normalized exchange would be
+// rejected by every peer's decoder and recovery would livelock — the victim
+// retransmits the same bad exchange forever. make_exchange() normalizes
+// (sort + unique) before encoding, so recovery completes and the merged
+// obligations stay canonical.
+TEST(StateCorruptionTest, PoisonedObligationsAreNormalizedOnExchange) {
+  Cluster cluster(corrupt_options(3, 34));
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+
+  // Some traffic so the recovery exchange is not trivially empty.
+  ASSERT_TRUE(cluster.node(1u).send(Service::Safe, payload(1)).ok());
+  cluster.run_for(50'000);
+
+  EvsNode& victim = cluster.node(0u);
+  std::vector<ProcessId>& obl = NodeIntrospect::obligation_set(victim);
+  obl = {cluster.pid(2), cluster.pid(1), cluster.pid(2)};  // unsorted + duplicate
+
+  // Force a gather + recovery round among all three.
+  cluster.partition({{0}, {1, 2}});
+  cluster.run_for(100'000);
+  cluster.heal();
+  ASSERT_TRUE(cluster.await_quiesce(6'000'000)) << cluster.liveness_report();
+  EXPECT_TRUE(victim.running());
+  EXPECT_EQ(cluster.node(0u).config().members.size(), 3u);
+  EXPECT_EQ(cluster.check_report(), "");
+
+  // Whatever survived the round trips is canonical again.
+  const std::vector<ProcessId>& after = NodeIntrospect::obligation_set(victim);
+  EXPECT_TRUE(std::is_sorted(after.begin(), after.end()));
+  EXPECT_EQ(std::adjacent_find(after.begin(), after.end()), after.end());
+}
+
+// Traffic pump: safe messages from every node until the victim's GC
+// watermark advances past zero (GC needs full safe-horizon rotations).
+void pump_until_gc(Cluster& cluster, EvsNode& victim) {
+  OrderingCore* core = NodeIntrospect::core(victim);
+  ASSERT_NE(core, nullptr);
+  for (int round = 0; round < 50 && NodeIntrospect::gc_upto(*core) == 0; ++round) {
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      (void)cluster.node(i).send(Service::Safe, payload(static_cast<std::uint8_t>(round)));
+    }
+    cluster.run_for(20'000);
+    core = NodeIntrospect::core(victim);
+    ASSERT_NE(core, nullptr);
+  }
+  ASSERT_GT(NodeIntrospect::gc_upto(*core), 0u);
+}
+
+// A GC watermark regressed below its true value claims bodies the store
+// already discarded are still present; the body spot-check in
+// state_consistent() catches the mismatch at the next token visit and the
+// victim fail-stops rather than serve retransmission requests it cannot
+// honor.
+TEST(StateCorruptionTest, RegressedGcWatermarkFailStops) {
+  Cluster cluster(corrupt_options(3, 35));
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  EvsNode& victim = cluster.node(1u);
+  pump_until_gc(cluster, victim);
+
+  NodeIntrospect::gc_upto(*NodeIntrospect::core(victim)) = 0;
+
+  ASSERT_TRUE(cluster.await([&] { return !victim.running(); }, 4'000'000))
+      << cluster.liveness_report();
+  EXPECT_GE(victim.stats().state_fail_stops, 1u);
+  ASSERT_TRUE(cluster.await_stable(4'000'000)) << cluster.liveness_report();
+
+  ASSERT_TRUE(cluster.recover(cluster.pid(1)).ok());
+  ASSERT_TRUE(cluster.await_quiesce(6'000'000)) << cluster.liveness_report();
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+// A GC watermark pushed past the delivery frontier claims undelivered
+// messages were garbage collected — delivering them later would violate the
+// total order the watermark vouches for. Fail-stop, again at the next token
+// visit.
+TEST(StateCorruptionTest, AdvancedGcWatermarkFailStops) {
+  Cluster cluster(corrupt_options(3, 36));
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  EvsNode& victim = cluster.node(2u);
+  pump_until_gc(cluster, victim);
+
+  OrderingCore* core = NodeIntrospect::core(victim);
+  NodeIntrospect::gc_upto(*core) = core->delivered_upto() + 10;
+
+  ASSERT_TRUE(cluster.await([&] { return !victim.running(); }, 4'000'000))
+      << cluster.liveness_report();
+  EXPECT_GE(victim.stats().state_fail_stops, 1u);
+
+  ASSERT_TRUE(cluster.recover(cluster.pid(2)).ok());
+  ASSERT_TRUE(cluster.await_quiesce(6'000'000)) << cluster.liveness_report();
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+// The flow-control visit counter blown sky-high must degrade, not kill: the
+// token's fcc arithmetic saturates/clamps, the window re-opens after a full
+// rotation, and the ring keeps delivering with nobody ejected.
+TEST(StateCorruptionTest, CorruptFccIsBenign) {
+  Cluster cluster(corrupt_options(3, 37));
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  EvsNode& victim = cluster.node(0u);
+  OrderingCore* core = NodeIntrospect::core(victim);
+  ASSERT_NE(core, nullptr);
+  NodeIntrospect::prev_visit_broadcasts(*core) = 0xdead'beefu;
+
+  const std::uint64_t delivered_before = victim.stats().delivered;
+  for (int round = 0; round < 5; ++round) {
+    for (std::size_t i = 0; i < cluster.size(); ++i) {
+      (void)cluster.node(i).send(Service::Safe, payload(static_cast<std::uint8_t>(round)));
+    }
+    cluster.run_for(20'000);
+  }
+  ASSERT_TRUE(cluster.await_quiesce(4'000'000)) << cluster.liveness_report();
+  EXPECT_TRUE(victim.running());
+  EXPECT_EQ(total_state_fail_stops(cluster), 0u);
+  EXPECT_GT(victim.stats().delivered, delivered_before);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+// apply_corruption() itself: every kind either declines (state offers
+// nothing to corrupt) or leaves the victim holding state no correct
+// execution produces — and says which it did.
+TEST(StateCorruptionTest, ApplyCorruptionReportsApplicability) {
+  Cluster cluster(corrupt_options(3, 38));
+  ASSERT_TRUE(cluster.await_stable(2'000'000));
+  Rng rng(38);
+
+  // Operational: gather-targeting kinds must decline, core kinds must apply.
+  EXPECT_FALSE(apply_corruption(cluster.node(0u), CorruptionKind::StaleMaxRingSeq, rng));
+  EXPECT_TRUE(apply_corruption(cluster.node(0u), CorruptionKind::CorruptFcc, rng));
+  EXPECT_TRUE(apply_corruption(cluster.node(1u), CorruptionKind::RingSeqWraparound, rng));
+
+  // A down node offers nothing.
+  ASSERT_TRUE(cluster.crash(cluster.pid(2)).ok());
+  for (CorruptionKind kind : kAllCorruptionKinds) {
+    EXPECT_FALSE(apply_corruption(cluster.node(2u), kind, rng)) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace evs

@@ -112,10 +112,11 @@ TEST(StressTest, GatherTerminatesWithinBoundedTime) {
       10'000'000));
   const SimTime took = cluster.now() - start;
   // Bound: token-loss detection + gather fail timeout + recovery rounds,
-  // with generous slack — the point is "bounded", not "fast".
-  const SimTime bound = opts.node.token_loss_timeout_us +
-                        opts.node.gather_fail_timeout_us +
-                        opts.node.consensus_wait_timeout_us + 20'000;
+  // with generous slack — the point is "bounded", not "fast". Uses the
+  // effective (size-scaled) timeouts for this 5-member ring.
+  const SimTime bound = opts.node.token_loss_for(5) +
+                        opts.node.gather_fail_for(5) +
+                        opts.node.consensus_wait_for(5) + 20'000;
   EXPECT_LT(took, bound);
   EXPECT_EQ(cluster.check_report(), "");
 }

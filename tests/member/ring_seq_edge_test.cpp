@@ -1,0 +1,95 @@
+// Ring-sequence counter edges: the kMaxRingSeq plausibility ceiling and the
+// behavior of ring ids, join decoding and gather bookkeeping as the counter
+// approaches UINT64_MAX. The protocol never legitimately gets near 2^62
+// (one gather per microsecond for ~146k years), so anything beyond it is
+// corruption by definition — these tests pin the boundary exactly.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "evs/config.hpp"
+#include "member/membership.hpp"
+#include "totem/messages.hpp"
+
+namespace evs {
+namespace {
+
+TEST(RingSeqEdgeTest, RingIdValidityBoundary) {
+  EXPECT_FALSE((RingId{0, ProcessId{1}}.valid()));  // never assigned
+  EXPECT_TRUE((RingId{1, ProcessId{1}}.valid()));
+  EXPECT_TRUE((RingId{kMaxRingSeq - 1, ProcessId{1}}.valid()));
+  EXPECT_TRUE((RingId{kMaxRingSeq, ProcessId{1}}.valid()));
+  EXPECT_FALSE((RingId{kMaxRingSeq + 1, ProcessId{1}}.valid()));
+  EXPECT_FALSE((RingId{std::numeric_limits<RingSeq>::max(), ProcessId{1}}.valid()));
+}
+
+TEST(RingSeqEdgeTest, JoinDecodeRejectsImplausibleMaxRingSeq) {
+  JoinMsg join;
+  join.sender = ProcessId{1};
+  join.episode = 1;
+  join.candidates = {ProcessId{1}, ProcessId{2}};
+  join.fail_set = {};
+
+  join.max_ring_seq = kMaxRingSeq;  // at the ceiling: plausible, accepted
+  EXPECT_TRUE(try_decode(encode_msg(join)).has_value());
+
+  join.max_ring_seq = kMaxRingSeq + 1;  // one past: rejected at the boundary
+  EXPECT_FALSE(try_decode(encode_msg(join)).has_value());
+
+  join.max_ring_seq = std::numeric_limits<RingSeq>::max();
+  EXPECT_FALSE(try_decode(encode_msg(join)).has_value());
+}
+
+// checked_decode (own-storage path) applies the same validation, so a
+// corrupted persisted join can never smuggle the counter back in via replay.
+TEST(RingSeqEdgeTest, CheckedJoinRoundTripsAtTheCeiling) {
+  JoinMsg join;
+  join.sender = ProcessId{7};
+  join.episode = 3;
+  join.candidates = {ProcessId{7}};
+  join.max_ring_seq = kMaxRingSeq;
+  const JoinMsg back = decode_join(encode_msg(join));
+  EXPECT_EQ(back.max_ring_seq, kMaxRingSeq);
+}
+
+// Gather bookkeeping near the top of the range: max-tracking must not wrap,
+// and values at the ceiling propagate exactly (the +1 that would overflow
+// happens — guarded — in EvsNode::maybe_propose, not here).
+TEST(RingSeqEdgeTest, GatherTracksMaxRingSeqWithoutOverflow) {
+  GatherState::Options opts;
+  opts.fail_timeout_us = 10'000;
+  GatherState gather(ProcessId{1}, 1, {ProcessId{1}, ProcessId{2}}, 0, opts);
+  EXPECT_EQ(gather.max_ring_seq_seen(), 0u);
+
+  JoinMsg join;
+  join.sender = ProcessId{2};
+  join.episode = 1;
+  join.candidates = {ProcessId{1}, ProcessId{2}};
+  join.max_ring_seq = kMaxRingSeq;
+  gather.on_join(join, 100);
+  EXPECT_EQ(gather.max_ring_seq_seen(), kMaxRingSeq);
+
+  // A smaller later value never regresses the max.
+  join.max_ring_seq = 5;
+  gather.on_join(join, 200);
+  EXPECT_EQ(gather.max_ring_seq_seen(), kMaxRingSeq);
+
+  // Our own join advertises the tracked max.
+  EXPECT_EQ(gather.make_join(0).max_ring_seq, kMaxRingSeq);
+}
+
+// Ord blocks near the ceiling: ring seqs order lexicographically first, and
+// the per-ring offset arithmetic (seq * kOrdGranule) stays inside the block
+// for any plausible ring seq without overflowing the offset word.
+TEST(RingSeqEdgeTest, OrdComparesAcrossTheTopPlausibleRings) {
+  const RingId top{kMaxRingSeq, ProcessId{3}};
+  const RingId prev{kMaxRingSeq - 1, ProcessId{3}};
+  EXPECT_LT(ord_regular_conf(prev), ord_regular_conf(top));
+  EXPECT_LT(ord_message_delivery(prev, 1'000'000), ord_regular_conf(top));
+  EXPECT_LT(ord_regular_conf(top), ord_message_delivery(top, 1));
+  EXPECT_LT(ord_message_delivery(top, 1), ord_transitional_conf(top, 1));
+  EXPECT_LT(ord_transitional_conf(top, 1), ord_message_delivery(top, 2));
+}
+
+}  // namespace
+}  // namespace evs

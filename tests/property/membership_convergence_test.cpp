@@ -3,10 +3,17 @@
 // soup must reach consensus on a common membership within bounded virtual
 // time — the paper's termination property for the underlying membership
 // algorithm, tested on the pure logic in isolation.
+//
+// Parameterized over ring size (3 to 100 members — the same scale span the
+// node-level storms cover) crossed with churn seeds: every scenario's drops,
+// delays and partition shapes derive from the seed, so a failure names the
+// exact (n, seed) pair to replay.
 #include <gtest/gtest.h>
 
 #include <deque>
 #include <memory>
+#include <numeric>
+#include <tuple>
 
 #include "member/membership.hpp"
 #include "util/rng.hpp"
@@ -31,6 +38,9 @@ struct Soup {
   Soup(std::size_t n, std::uint64_t seed) : rng(seed) {
     GatherState::Options opts;
     opts.fail_timeout_us = 10'000;
+    // Exercise the size-derived slope: larger gathers wait longer per
+    // candidate before declaring members failed (see DESIGN.md).
+    opts.fail_per_candidate_us = 100;
     std::vector<ProcessId> all;
     for (std::size_t i = 1; i <= n; ++i) all.push_back(ProcessId{static_cast<std::uint32_t>(i)});
     for (std::size_t i = 0; i < n; ++i) {
@@ -40,6 +50,8 @@ struct Soup {
     reachable.assign(n, std::vector<bool>(n, true));
   }
 
+  std::size_t size() const { return gathers.size(); }
+
   void set_partition(const std::vector<std::vector<std::size_t>>& groups) {
     const std::size_t n = gathers.size();
     reachable.assign(n, std::vector<bool>(n, false));
@@ -48,6 +60,19 @@ struct Soup {
         for (std::size_t b : g) reachable[a][b] = true;
       }
     }
+  }
+
+  /// Seeded random split of [0, n) into two non-empty components,
+  /// churn-style: the same shuffle the storm generators use.
+  std::vector<std::vector<std::size_t>> random_split() {
+    const std::size_t n = gathers.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = n; i > 1; --i) std::swap(order[i - 1], order[rng.below(i)]);
+    const std::size_t cut = 1 + rng.below(n - 1);
+    std::vector<std::vector<std::size_t>> groups(2);
+    for (std::size_t i = 0; i < n; ++i) groups[i < cut ? 0 : 1].push_back(order[i]);
+    return groups;
   }
 
   void broadcast_joins(double drop) {
@@ -65,20 +90,23 @@ struct Soup {
     const SimTime until = now + dt;
     while (now < until) {
       now += 100;
-      for (auto it = wire.begin(); it != wire.end();) {
-        if (it->deliver_at <= now) {
-          gathers[it->to]->on_join(it->join, now);
-          it = wire.erase(it);
+      // Single sweep per tick: at N=100 a round keeps ~10k joins in flight,
+      // and erase-from-the-middle would make each tick quadratic.
+      std::deque<InFlight> pending;
+      for (auto& f : wire) {
+        if (f.deliver_at <= now) {
+          gathers[f.to]->on_join(f.join, now);
         } else {
-          ++it;
+          pending.push_back(std::move(f));
         }
       }
+      wire.swap(pending);
       for (auto& g : gathers) g->check_timeouts(now);
     }
   }
 
   bool component_consensus(const std::vector<std::size_t>& group) {
-    const auto want = gathers[group[0]]->proposed_membership();
+    const std::vector<ProcessId> want = gathers[group[0]]->proposed_membership();
     for (std::size_t i : group) {
       if (!gathers[i]->consensus()) return false;
       if (gathers[i]->proposed_membership() != want) return false;
@@ -91,58 +119,125 @@ struct Soup {
   }
 };
 
-class MembershipConvergenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+std::vector<std::size_t> everyone(std::size_t n) {
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+// Param: (ring size, churn seed).
+class MembershipConvergenceTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+ protected:
+  std::size_t n() const { return std::get<0>(GetParam()); }
+  std::uint64_t seed() const { return std::get<1>(GetParam()); }
+};
 
 TEST_P(MembershipConvergenceTest, FullyConnectedConverges) {
-  Soup soup(5, GetParam());
+  Soup soup(n(), seed());
+  const std::vector<std::size_t> all = everyone(n());
   for (int round = 0; round < 60; ++round) {
     soup.broadcast_joins(/*drop=*/0.1);
     soup.advance(1'000);
-    if (soup.component_consensus({0, 1, 2, 3, 4})) break;
+    if (soup.component_consensus(all)) break;
   }
-  EXPECT_TRUE(soup.component_consensus({0, 1, 2, 3, 4}))
-      << "no consensus within 60 rounds";
+  EXPECT_TRUE(soup.component_consensus(all)) << "no consensus within 60 rounds";
 }
 
 TEST_P(MembershipConvergenceTest, PartitionedComponentsConvergeSeparately) {
-  Soup soup(6, GetParam() + 100);
-  soup.set_partition({{0, 1, 2}, {3, 4, 5}});
+  Soup soup(n(), seed() + 100);
+  const std::vector<std::vector<std::size_t>> groups = soup.random_split();
+  soup.set_partition(groups);
   for (int round = 0; round < 80; ++round) {
     soup.broadcast_joins(0.1);
     soup.advance(1'000);
-    if (soup.component_consensus({0, 1, 2}) && soup.component_consensus({3, 4, 5})) {
+    if (soup.component_consensus(groups[0]) && soup.component_consensus(groups[1])) {
       break;
     }
   }
-  EXPECT_TRUE(soup.component_consensus({0, 1, 2}));
-  EXPECT_TRUE(soup.component_consensus({3, 4, 5}));
+  EXPECT_TRUE(soup.component_consensus(groups[0]));
+  EXPECT_TRUE(soup.component_consensus(groups[1]));
+}
+
+// Churn: converge, then the partition deepens mid-episode — a link re-cuts
+// one component while the gathers keep running. Within a single gather
+// episode membership shrinks monotonically (fail sets never un-fail; a true
+// re-*merge* starts a fresh episode after a ring installs, which the
+// node-level churn storms cover), so the legal in-episode churn is a
+// refinement of the split: each finer component must still reach consensus
+// on exactly itself.
+TEST_P(MembershipConvergenceTest, DeepeningPartitionReconverges) {
+  if (n() < 4) GTEST_SKIP() << "needs two non-trivial components";
+  Soup soup(n(), seed() + 300);
+  const std::vector<std::vector<std::size_t>> first = soup.random_split();
+  soup.set_partition(first);
+  for (int round = 0; round < 80; ++round) {
+    soup.broadcast_joins(0.1);
+    soup.advance(1'000);
+    if (soup.component_consensus(first[0]) && soup.component_consensus(first[1])) break;
+  }
+  ASSERT_TRUE(soup.component_consensus(first[0]) && soup.component_consensus(first[1]));
+
+  // Refine: cut the larger component in two; the other survives unchanged.
+  const std::size_t big = first[0].size() >= first[1].size() ? 0 : 1;
+  std::vector<std::size_t> shuffled = first[big];
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[soup.rng.below(i)]);
+  }
+  const std::size_t cut = 1 + soup.rng.below(shuffled.size() - 1);
+  std::vector<std::vector<std::size_t>> second{
+      {shuffled.begin(), shuffled.begin() + static_cast<std::ptrdiff_t>(cut)},
+      {shuffled.begin() + static_cast<std::ptrdiff_t>(cut), shuffled.end()},
+      first[1 - big]};
+  soup.set_partition(second);
+  for (int round = 0; round < 120; ++round) {
+    soup.broadcast_joins(0.1);
+    soup.advance(1'000);
+    if (soup.component_consensus(second[0]) && soup.component_consensus(second[1]) &&
+        soup.component_consensus(second[2])) {
+      break;
+    }
+  }
+  EXPECT_TRUE(soup.component_consensus(second[0]));
+  EXPECT_TRUE(soup.component_consensus(second[1]));
+  EXPECT_TRUE(soup.component_consensus(second[2]));
 }
 
 TEST_P(MembershipConvergenceTest, SilentMembersGetExcludedWithinBound) {
-  Soup soup(5, GetParam() + 200);
-  // Members 3 and 4 never send joins (crashed before the gather).
+  Soup soup(n(), seed() + 200);
+  // The last two members never send joins (crashed before the gather).
+  const std::size_t alive = n() - 2;
+  if (alive < 1) GTEST_SKIP() << "ring too small for two silent members";
   for (int round = 0; round < 80; ++round) {
-    for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t i = 0; i < alive; ++i) {
       const JoinMsg join = soup.gathers[i]->make_join(0);
-      for (std::size_t j = 0; j < 3; ++j) {
+      for (std::size_t j = 0; j < alive; ++j) {
         if (i != j && !soup.rng.chance(0.1)) {
           soup.wire.push_back({soup.now + soup.rng.between(50, 400), j, join});
         }
       }
     }
     soup.advance(1'000);
-    if (soup.component_consensus({0, 1, 2})) break;
+    if (soup.component_consensus(everyone(alive))) break;
   }
-  EXPECT_TRUE(soup.component_consensus({0, 1, 2}));
+  EXPECT_TRUE(soup.component_consensus(everyone(alive)));
   // The silent members ended up in everyone's fail set.
-  for (std::size_t i = 0; i < 3; ++i) {
-    EXPECT_EQ(soup.gathers[i]->fail_set(),
-              (std::vector<ProcessId>{ProcessId{4}, ProcessId{5}}));
+  const std::vector<ProcessId> expect_failed{
+      ProcessId{static_cast<std::uint32_t>(alive + 1)},
+      ProcessId{static_cast<std::uint32_t>(alive + 2)}};
+  for (std::size_t i = 0; i < alive; ++i) {
+    EXPECT_EQ(soup.gathers[i]->fail_set(), expect_failed);
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, MembershipConvergenceTest,
-                         ::testing::Range<std::uint64_t>(1, 9));
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, MembershipConvergenceTest,
+    ::testing::Combine(::testing::Values<std::size_t>(3, 10, 50, 100),
+                       ::testing::Range<std::uint64_t>(1, 5)),
+    [](const ::testing::TestParamInfo<std::tuple<std::size_t, std::uint64_t>>& info) {
+      return "N" + std::to_string(std::get<0>(info.param)) + "Seed" +
+             std::to_string(std::get<1>(info.param));
+    });
 
 }  // namespace
 }  // namespace evs

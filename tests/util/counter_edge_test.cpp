@@ -1,0 +1,96 @@
+// Sequence-counter edges at the top of the 64-bit range (run with
+// `ctest -L util`): the corruption fuzzer throws ring and message counters
+// to ~UINT64_MAX, so the container and RNG arithmetic underneath must be
+// exact there — no wraparound, no off-by-one at the saturating boundary.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.hpp"
+#include "util/seq_set.hpp"
+
+namespace evs {
+namespace {
+
+constexpr SeqNum kTop = std::numeric_limits<SeqNum>::max();
+
+TEST(CounterEdgeTest, SeqSetHoldsTheMaximumValue) {
+  SeqSet s;
+  EXPECT_TRUE(s.insert(kTop));
+  EXPECT_TRUE(s.contains(kTop));
+  EXPECT_FALSE(s.insert(kTop));  // already present, no wrap to 0
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_EQ(s.max(), kTop);
+  EXPECT_EQ(s.size(), 1u);
+
+  s.erase(kTop);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(CounterEdgeTest, SeqSetRangeEndingAtTheMaximum) {
+  SeqSet s;
+  s.insert_range(kTop - 5, kTop);
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.contains(kTop - 5));
+  EXPECT_TRUE(s.contains(kTop));
+  EXPECT_FALSE(s.contains(kTop - 6));
+
+  // Adjacent insert coalesces instead of wrapping.
+  EXPECT_TRUE(s.insert(kTop - 6));
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.size(), 7u);
+}
+
+TEST(CounterEdgeTest, ContiguousFromSaturatesAtTheMaximum) {
+  SeqSet s;
+  s.insert_range(kTop - 3, kTop);
+  // The run [from+1, hi] reaches the top exactly.
+  EXPECT_EQ(s.contiguous_from(kTop - 4), kTop);
+  EXPECT_EQ(s.contiguous_from(kTop - 1), kTop);
+  // from == UINT64_MAX: from+1 would wrap; the scan must saturate, not
+  // report a run that starts at 0.
+  s.insert(0);
+  EXPECT_EQ(s.contiguous_from(kTop), kTop);
+}
+
+TEST(CounterEdgeTest, HolesAndIntersectionAtTheTop) {
+  SeqSet s;
+  s.insert(kTop - 4);
+  s.insert(kTop - 2);
+  s.insert(kTop);
+
+  const auto holes = s.missing_intervals(kTop - 4, kTop);
+  ASSERT_EQ(holes.size(), 2u);
+  EXPECT_EQ(holes[0], (SeqSet::Interval{kTop - 3, kTop - 3}));
+  EXPECT_EQ(holes[1], (SeqSet::Interval{kTop - 1, kTop - 1}));
+
+  const auto runs = s.intersection_intervals(kTop - 2, kTop);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (SeqSet::Interval{kTop - 2, kTop - 2}));
+  EXPECT_EQ(runs[1], (SeqSet::Interval{kTop, kTop}));
+}
+
+TEST(CounterEdgeTest, MergeAtTheTopStaysCanonical) {
+  SeqSet a, b;
+  a.insert_range(kTop - 7, kTop - 4);
+  b.insert_range(kTop - 3, kTop);  // adjacent: must coalesce into one run
+  a.merge(b);
+  EXPECT_EQ(a.interval_count(), 1u);
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_EQ(a.max(), kTop);
+  EXPECT_EQ(a, SeqSet::from_intervals({{kTop - 7, kTop}}));
+}
+
+// The fuzzer draws corruption magnitudes with between() right at the top of
+// the range; the inclusive-bounds arithmetic must not overflow.
+TEST(CounterEdgeTest, RngBetweenAtTheTopOfTheRange) {
+  Rng rng(42);
+  for (int i = 0; i < 1'000; ++i) {
+    const std::uint64_t v = rng.between(kTop - 3, kTop);
+    EXPECT_GE(v, kTop - 3);  // also implies no wrap to small values
+  }
+}
+
+}  // namespace
+}  // namespace evs

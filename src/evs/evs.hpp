@@ -13,16 +13,30 @@
 //   evs::VsChecker      — Birman legality (C1-C3, L1-L5) checker
 //
 // Callbacks use uniform setter names across every node layer:
-//   set_on_deliver(...)        — delivery callback (EvsNode, GroupNode,
-//                                FragmentNode, VsNode)
+//   set_on_deliver(...)        — per-message delivery callback (EvsNode,
+//                                GroupNode, FragmentNode, VsNode)
+//   set_on_deliver_batch(...)  — zero-copy batch delivery: a
+//                                std::span<const EvsNode::DeliveryView>
+//                                whose payload spans borrow the arriving
+//                                datagrams for the callback's duration
 //   set_on_config_change(...)  — configuration changes (EvsNode)
 //   set_on_view_change(...)    — per-group views (GroupNode), VS views (VsNode)
 // (The old set_*_handler names went through a [[deprecated]] cycle and are
 // gone.)
 //
+// The wire codec (wire/codec.hpp) is span-based: decode_* / peek_type take
+// std::span<const std::uint8_t>, frames pack back-to-back into one datagram
+// (wire::append_frame / wire::FrameCursor), and RegularMsgView
+// (totem/messages.hpp) is the non-owning decode whose payload span plus
+// BufferRef owner pin the backing datagram — storage comes from the
+// recycling net::DatagramArena (net/arena.hpp). Lifetime rules are in
+// DESIGN.md "Zero-copy ownership model".
+//
 // Fallible entry points return evs::Status / evs::Expected<T>
 // (util/status.hpp) with a machine-readable evs::Errc:
 //   EvsNode::send(...)             -> Expected<MsgId>
+//   EvsNode::send_batch(...)       -> Expected<std::vector<MsgId>>
+//                                     (all-or-nothing vs flow control)
 //   FragmentNode::send_large(...)  -> Expected<MsgId>
 //   wire::seal_frame/open_frame    -> Expected<...>
 // EvsNode::Options::validate() rejects inconsistent timeout/limit
@@ -39,8 +53,9 @@
 //                               JSON documents plus their validators
 //                               (obs/export.hpp, testkit/report.hpp)
 //
-// See README.md for the architecture overview and DESIGN.md for the paper
-// mapping.
+// See README.md for the architecture overview and hot-path tuning knobs
+// (batch_max_frames, batch_max_bytes, batch_flush_us) and DESIGN.md for
+// the paper mapping.
 #pragma once
 
 #include "evs/config.hpp"
@@ -48,6 +63,7 @@
 #include "evs/groups.hpp"
 #include "evs/node.hpp"
 #include "evs/recovery.hpp"
+#include "net/arena.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -57,3 +73,4 @@
 #include "util/status.hpp"
 #include "vs/filter.hpp"
 #include "vs/primary.hpp"
+#include "wire/codec.hpp"

@@ -25,6 +25,19 @@ std::vector<ProcessId> with_member(std::vector<ProcessId> v, ProcessId p) {
   return v;
 }
 
+/// Non-owning view over an owned message (owner == nullptr): valid only
+/// while `m` is — used for the synchronous recovery-time delivery calls,
+/// where old_msgs_ outlives the callback.
+RegularMsgView borrow_view(const RegularMsg& m) {
+  RegularMsgView v;
+  v.ring = m.ring;
+  v.seq = m.seq;
+  v.id = m.id;
+  v.service = m.service;
+  v.payload = std::span<const std::uint8_t>(m.payload);
+  return v;
+}
+
 }  // namespace
 
 /// Backlog keys are scoped by ring and use fixed-width zero-padded hex for
@@ -119,6 +132,8 @@ Status EvsNode::Options::validate() const {
     return fail("ordering.flow_control_window must be >= max_new_per_token");
   }
   if (max_pending_sends == 0) return fail("max_pending_sends must be positive");
+  if (batch_max_frames < 1) return fail("batch_max_frames must be at least 1");
+  if (batch_max_bytes == 0) return fail("batch_max_bytes must be positive");
   return Status{};
 }
 
@@ -163,6 +178,8 @@ EvsNode::Met::Met(obs::MetricsRegistry& r)
       token_retransmits(r.counter("evs.token_retransmits")),
       send_errors(r.counter("evs.send_errors")),
       backpressure_rejections(r.counter("evs.backpressure_rejections")),
+      datagrams_packed(r.counter("net.datagrams_packed")),
+      piggybacked_msgs(r.counter("ordering.piggybacked_msgs")),
       storage_fail_stops(r.counter("evs.storage_fail_stops")),
       persist_retries(r.counter("evs.persist_retries")),
       state_fail_stops(r.counter("evs.state_fail_stops")),
@@ -170,7 +187,8 @@ EvsNode::Met::Met(obs::MetricsRegistry& r)
       pending_sends(r.gauge("evs.pending_sends")),
       gather_us(r.histogram("evs.gather_us")),
       recovery_us(r.histogram("evs.recovery_us")),
-      token_rotation_us(r.histogram("evs.token_rotation_us")) {}
+      token_rotation_us(r.histogram("evs.token_rotation_us")),
+      deliver_batch_size(r.histogram("evs.deliver_batch_size")) {}
 
 EvsNode::Stats EvsNode::stats() const {
   Stats s;
@@ -190,6 +208,8 @@ EvsNode::Stats EvsNode::stats() const {
   s.token_retransmits = met_.token_retransmits.value();
   s.send_errors = met_.send_errors.value();
   s.backpressure_rejections = met_.backpressure_rejections.value();
+  s.datagrams_packed = met_.datagrams_packed.value();
+  s.piggybacked_msgs = met_.piggybacked_msgs.value();
   s.storage_fail_stops = met_.storage_fail_stops.value();
   s.persist_retries = met_.persist_retries.value();
   s.state_fail_stops = met_.state_fail_stops.value();
@@ -572,6 +592,39 @@ Expected<MsgId> EvsNode::send(Service service, std::vector<std::uint8_t> payload
   return id;
 }
 
+Expected<std::vector<MsgId>> EvsNode::send_batch(
+    Service service, std::vector<std::vector<std::uint8_t>> payloads) {
+  if (!running()) {
+    met_.send_errors.inc();
+    return Status::error(Errc::not_running, "send_batch() on a crashed node");
+  }
+  // All-or-nothing: validate the whole batch before queueing anything, so a
+  // failure never leaves a partial burst in the queue.
+  for (const auto& p : payloads) {
+    if (p.size() > opts_.max_payload_bytes) {
+      met_.send_errors.inc();
+      return Status::error(Errc::payload_too_large,
+                           "batch payload exceeds Options::max_payload_bytes");
+    }
+  }
+  if (pending_.size() + payloads.size() > opts_.max_pending_sends) {
+    met_.send_errors.inc();
+    met_.backpressure_rejections.inc();
+    backpressured_ = true;
+    return Status::error(Errc::backpressure,
+                         "batch does not fit under Options::max_pending_sends");
+  }
+  std::vector<MsgId> ids;
+  ids.reserve(payloads.size());
+  for (auto& p : payloads) {
+    MsgId id{self_, ++msg_counter_};
+    pending_.push_back(PendingSend{id, service, std::move(p)});
+    ids.push_back(id);
+  }
+  note_pending_sends();
+  return ids;
+}
+
 void EvsNode::note_pending_sends() {
   met_.pending_sends.set(static_cast<std::int64_t>(pending_.size()));
   if (backpressured_ && pending_.size() <= opts_.max_pending_sends / 2) {
@@ -608,10 +661,10 @@ void EvsNode::emit_conf_change(const Configuration& config, Ord ord) {
   if (config_handler_) config_handler_(config);
 }
 
-void EvsNode::deliver_one(const RegularMsg& m, const Configuration& config) {
+void EvsNode::deliver_note(const RegularMsgView& m, const Configuration& config,
+                           Ord ord) {
   met_.delivered.inc();
   if (config.id.transitional) met_.delivered_transitional.inc();
-  const Ord ord = ord_message_delivery(m.ring, m.seq);
   EVS_ASSERT_MSG(last_ord_ < ord, "delivery ord must advance in program order");
   last_ord_ = ord;
   if (trace_ != nullptr) {
@@ -623,12 +676,19 @@ void EvsNode::deliver_one(const RegularMsg& m, const Configuration& config) {
     e.service = m.service;
     e.seq = m.seq;
     e.config = config.id;
-    e.ord = ord_message_delivery(m.ring, m.seq);
+    e.ord = ord;
     trace_->record(std::move(e));
   }
+}
+
+void EvsNode::deliver_one(const RegularMsgView& m, const Configuration& config) {
+  const Ord ord = ord_message_delivery(m.ring, m.seq);
+  deliver_note(m, config, ord);
   if (deliver_handler_) {
-    deliver_handler_(Delivery{m.id, m.service, m.seq, m.payload, config,
-                              ord_message_delivery(m.ring, m.seq)});
+    deliver_handler_(Delivery{m.id, m.service, m.seq,
+                              std::vector<std::uint8_t>(m.payload.begin(),
+                                                        m.payload.end()),
+                              config, ord});
   }
 }
 
@@ -667,7 +727,7 @@ void EvsNode::install_configuration(RingId new_ring, std::vector<ProcessId> memb
     for (SeqNum s : plan->regular_seqs) {
       auto it = old_msgs_.find(s);
       EVS_ASSERT(it != old_msgs_.end());
-      deliver_one(it->second, reg_config_);
+      deliver_one(borrow_view(it->second), reg_config_);
     }
     // 6.c: the transitional configuration change.
     Configuration trans;
@@ -685,7 +745,7 @@ void EvsNode::install_configuration(RingId new_ring, std::vector<ProcessId> memb
     for (SeqNum s : plan->trans_seqs) {
       auto it = old_msgs_.find(s);
       EVS_ASSERT(it != old_msgs_.end());
-      deliver_one(it->second, trans);
+      deliver_one(borrow_view(it->second), trans);
     }
     met_.discarded.inc(plan->discarded.size());
   }
@@ -1104,36 +1164,55 @@ void EvsNode::unicast_frame(ProcessId to, const std::vector<std::uint8_t>& body)
 
 void EvsNode::on_packet(const Packet& packet) {
   if (state_ == State::Down) return;
-  // The network is adversarial (src/sim/faults.hpp): frames may arrive
-  // truncated, extended or byte-flipped. Reject — never crash on — anything
-  // that fails the frame check or strict message validation.
-  const auto body = wire::open_frame(packet.payload);
-  if (!body.ok()) {
-    note_frame_reject(body.code());
-    return;
+  // A datagram carries one or more frames (frame packing; the token may ride
+  // behind piggybacked data frames). The network is adversarial
+  // (src/sim/faults.hpp): frames may arrive truncated, extended or
+  // byte-flipped. Reject — never crash on — anything that fails the frame
+  // check or strict message validation; a cursor error abandons the rest of
+  // the datagram (a garbled length field makes the remainder untrustworthy).
+  wire::FrameCursor cursor(packet.payload());
+  bool deliver = false;
+  while (!cursor.done()) {
+    if (state_ == State::Down) return;  // a frame can fail-stop the node
+    const auto body = cursor.next();
+    if (!body.ok()) {
+      note_frame_reject(body.code());
+      break;
+    }
+    if (peek_type(*body) == MsgType::Regular) {
+      // Hot path: decode a view over the datagram (zero-copy); the packet's
+      // DatagramRef pins the bytes for as long as the view is stored.
+      auto view = try_decode_regular_view(*body, packet.data);
+      if (!view.has_value()) {
+        met_.rejected_decode.inc();
+        continue;
+      }
+      deliver = handle_regular(std::move(*view)) || deliver;
+      continue;
+    }
+    const auto msg = try_decode(*body);
+    if (!msg.has_value()) {
+      met_.rejected_decode.inc();
+      continue;
+    }
+    if (const auto* t = std::get_if<TokenMsg>(&*msg)) {
+      handle_token(*t);
+    } else if (const auto* j = std::get_if<JoinMsg>(&*msg)) {
+      if (packet.src != self_) handle_join(*j);
+    } else if (const auto* f = std::get_if<FormRingMsg>(&*msg)) {
+      if (packet.src != self_) handle_form_ring(*f);
+    } else if (const auto* e = std::get_if<ExchangeMsg>(&*msg)) {
+      handle_exchange(*e);
+    } else if (const auto* r = std::get_if<RecoveryMsgMsg>(&*msg)) {
+      handle_recovery_msg(*r);
+    } else if (const auto* a = std::get_if<RecoveryAckMsg>(&*msg)) {
+      handle_recovery_ack(*a);
+    } else if (const auto* b = std::get_if<BeaconMsg>(&*msg)) {
+      if (packet.src != self_) handle_beacon(*b);
+    }
   }
-  const auto msg = try_decode(*body);
-  if (!msg.has_value()) {
-    met_.rejected_decode.inc();
-    return;
-  }
-  if (const auto* m = std::get_if<RegularMsg>(&*msg)) {
-    handle_regular(*m);
-  } else if (const auto* t = std::get_if<TokenMsg>(&*msg)) {
-    handle_token(*t);
-  } else if (const auto* j = std::get_if<JoinMsg>(&*msg)) {
-    if (packet.src != self_) handle_join(*j);
-  } else if (const auto* f = std::get_if<FormRingMsg>(&*msg)) {
-    if (packet.src != self_) handle_form_ring(*f);
-  } else if (const auto* e = std::get_if<ExchangeMsg>(&*msg)) {
-    handle_exchange(*e);
-  } else if (const auto* r = std::get_if<RecoveryMsgMsg>(&*msg)) {
-    handle_recovery_msg(*r);
-  } else if (const auto* a = std::get_if<RecoveryAckMsg>(&*msg)) {
-    handle_recovery_ack(*a);
-  } else if (const auto* b = std::get_if<BeaconMsg>(&*msg)) {
-    if (packet.src != self_) handle_beacon(*b);
-  }
+  // One delivery pass for the whole datagram, however many frames it packed.
+  if (deliver) deliver_ready();
 }
 
 bool EvsNode::stale_from_member(RingSeq seq, ProcessId sender) const {
@@ -1161,18 +1240,32 @@ void EvsNode::deliver_ready() {
     storage_fail_stop("delivered_meta");
     return;
   }
-  for (const RegularMsg& m : ready) deliver_one(m, reg_config_);
+  met_.deliver_batch_size.record(static_cast<std::int64_t>(ready.size()));
+  if (deliver_batch_handler_) {
+    // Zero-copy fan-out: one callback for the whole batch, each view's
+    // payload still pinned by the datagram (or send buffer) it arrived in.
+    std::vector<DeliveryView> views;
+    views.reserve(ready.size());
+    for (const RegularMsgView& m : ready) {
+      const Ord ord = ord_message_delivery(m.ring, m.seq);
+      deliver_note(m, reg_config_, ord);
+      views.push_back(DeliveryView{m.id, m.service, m.seq, m.payload,
+                                   &reg_config_, ord});
+    }
+    deliver_batch_handler_(std::span<const DeliveryView>(views));
+    return;
+  }
+  for (const RegularMsgView& m : ready) deliver_one(m, reg_config_);
 }
 
-void EvsNode::handle_regular(const RegularMsg& m) {
+bool EvsNode::handle_regular(RegularMsgView m) {
   switch (state_) {
     case State::Operational:
       if (m.ring == core_->ring()) {
-        if (core_->on_regular(m)) {
-          deliver_ready();
-        } else {
-          met_.duplicate_regulars.inc();
+        if (core_->on_regular(std::move(m))) {
+          return true;  // caller runs one deliver_ready() per datagram
         }
+        met_.duplicate_regulars.inc();
       } else if (stale_from_member(m.ring.seq, m.id.sender)) {
         // A delayed duplicate from a ring that preceded ours (ring seqs are
         // monotone per process, so a current member can no longer be
@@ -1186,17 +1279,20 @@ void EvsNode::handle_regular(const RegularMsg& m) {
       break;
     case State::Gather:
     case State::Recovery:
+      // Cold paths own their bytes: the gather/recovery backlog must not pin
+      // whole receive datagrams for the episode's duration.
       if (old_ring_.valid() && m.ring == old_ring_ && !old_received_.contains(m.seq)) {
         // Straggler from the old ring: keep it; it can only shrink the
         // rebroadcast volume. (Frozen exchanges keep step 6 deterministic.)
         old_received_.insert(m.seq);
-        old_msgs_.emplace(m.seq, m);
+        old_msgs_.emplace(m.seq, m.to_owned());
       } else if (state_ == State::Recovery && m.ring == recovery_->proposed_ring()) {
-        new_ring_buffer_.push_back(m);  // paper step 2: buffer for the new config
+        new_ring_buffer_.push_back(m.to_owned());  // paper step 2 buffering
       }
       break;
     case State::Down: break;
   }
+  return false;
 }
 
 void EvsNode::handle_token(const TokenMsg& t) {
@@ -1225,7 +1321,7 @@ void EvsNode::handle_token(const TokenMsg& t) {
       span_end(rotation_span_);
       OrderingCore::TokenResult result = core_->on_token(t, pending_);
       note_pending_sends();
-      for (const RegularMsg& m : result.new_messages) {
+      for (const RegularMsgView& m : result.new_messages) {
         met_.sent.inc();
         const Ord ord = ord_send_after(last_ord_);
         EVS_ASSERT_MSG(ord.ring_seq == reg_config_.id.ring.seq,
@@ -1246,25 +1342,89 @@ void EvsNode::handle_token(const TokenMsg& t) {
           trace_->record(std::move(e));
         }
       }
-      for (const RegularMsg& m : result.to_broadcast) broadcast(encode_msg(m));
+      // Frame packing: concatenate up to batch_max_frames regular frames
+      // per broadcast datagram (soft-capped at batch_max_bytes), so a burst
+      // drained at one token visit costs a handful of datagrams instead of
+      // one per message. Frames are self-delimiting; receivers walk a
+      // wire::FrameCursor.
+      std::vector<std::vector<std::uint8_t>> bodies;
+      bodies.reserve(result.to_broadcast.size());
+      for (const RegularMsgView& m : result.to_broadcast) {
+        bodies.push_back(encode_msg(m));
+      }
+      {
+        std::vector<std::uint8_t> dgram;
+        int frames = 0;
+        const auto flush = [&] {
+          if (frames == 0) return;
+          if (frames >= 2) met_.datagrams_packed.inc();
+          net_.broadcast(self_, std::move(dgram));
+          dgram = {};
+          frames = 0;
+        };
+        for (const auto& body : bodies) {
+          if (frames > 0 &&
+              (frames >= opts_.batch_max_frames ||
+               dgram.size() + wire::kFrameHeaderBytes + body.size() >
+                   opts_.batch_max_bytes)) {
+            flush();
+          }
+          const Status st = wire::append_frame(dgram, body);
+          EVS_ASSERT_MSG(st.ok(), "regular frame exceeds kMaxFrameBody");
+          ++frames;
+        }
+        flush();
+      }
       const ProcessId next = core_->next_in_ring();
-      const std::vector<std::uint8_t> token_frame =
-          wire::seal_frame(encode_msg(result.token_out)).value();
+      const std::vector<std::uint8_t> token_body = encode_msg(result.token_out);
       if (core_->members().size() == 1) {
         // Pace the self-token so an idle singleton does not spin the
         // simulator at network-delay granularity. Loopback is reliable, so
-        // no retransmission guard is needed.
+        // no retransmission guard (and no piggyback) is needed.
+        const std::vector<std::uint8_t> token_frame =
+            wire::seal_frame(token_body).value();
         const std::uint64_t epoch = epoch_;
         schedule_guarded(opts_.singleton_token_interval_us, [this, epoch, token_frame] {
           if (epoch != epoch_) return;
           net_.unicast(self_, self_, token_frame);
         });
       } else {
-        net_.unicast(self_, next, token_frame);
+        // Token piggyback: re-carry the tail of this visit's data frames in
+        // front of the token, in one datagram. The next holder then has the
+        // newest messages in hand when it processes the token — its aru can
+        // cover them this rotation even if the broadcast datagram races the
+        // token or is lost — and a token retransmit re-carries the data.
+        // The frames are duplicates of the broadcast above; the receiver's
+        // duplicate check drops them for the price of a decode. The token
+        // frame rides last and is never broadcast.
+        std::vector<std::uint8_t> token_dgram;
+        std::size_t tail = bodies.size();
+        std::size_t bytes = wire::kFrameHeaderBytes + token_body.size();
+        int count = 0;
+        while (tail > 0 && count < opts_.batch_max_frames - 1) {
+          const std::size_t add =
+              wire::kFrameHeaderBytes + bodies[tail - 1].size();
+          if (bytes + add > opts_.batch_max_bytes) break;
+          bytes += add;
+          --tail;
+          ++count;
+        }
+        for (std::size_t i = tail; i < bodies.size(); ++i) {
+          const Status st = wire::append_frame(token_dgram, bodies[i]);
+          EVS_ASSERT(st.ok());
+          met_.piggybacked_msgs.inc();
+        }
+        {
+          const Status st = wire::append_frame(token_dgram, token_body);
+          EVS_ASSERT(st.ok());
+        }
+        if (count > 0) met_.datagrams_packed.inc();
+        net_.unicast(self_, next, token_dgram);
         // Guard the forward against loss/corruption: resend the identical
-        // token until a fresh one returns (the receiver drops duplicates by
-        // rotation). Cheaper than the full token-loss gather.
-        last_token_frame_ = token_frame;
+        // token (data piggyback included) until a fresh one returns (the
+        // receiver drops duplicates by rotation). Cheaper than the full
+        // token-loss gather.
+        last_token_frame_ = std::move(token_dgram);
         token_retransmits_left_ = opts_.token_retransmit_limit;
         arm_token_retransmit();
       }

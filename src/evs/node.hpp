@@ -35,6 +35,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "evs/config.hpp"
@@ -114,6 +115,17 @@ class EvsNode final : public Endpoint {
     /// without bound. The drain callback (set_on_send_drain) fires once the
     /// queue falls back to half the cap, so producers can resume.
     std::size_t max_pending_sends{1024};
+    /// Frame packing: up to this many regular-message frames share one
+    /// broadcast datagram at a token visit (frames are self-delimiting, so
+    /// packing is concatenation; receivers walk a wire::FrameCursor). 1
+    /// restores the pre-batching one-frame-per-datagram wire shape — the
+    /// sim-determinism test proves delivery order is identical either way.
+    int batch_max_frames{16};
+    /// Soft byte ceiling for a packed datagram. A single frame larger than
+    /// this still travels alone; the ceiling only stops further packing.
+    /// Keep below the transport's max datagram size (60 KiB for the live
+    /// UDP transport).
+    std::size_t batch_max_bytes{48u * 1024};
     OrderingCore::Options ordering{};
     FaultInjection faults{};
 
@@ -189,6 +201,9 @@ class EvsNode final : public Endpoint {
     std::uint64_t token_retransmits{0};    ///< tokens re-sent by the loss guard
     std::uint64_t send_errors{0};          ///< send() calls rejected with a Status
     std::uint64_t backpressure_rejections{0};  ///< sends refused at the queue cap
+    // --- datagram batching (frame packing + token piggyback) ---
+    std::uint64_t datagrams_packed{0};   ///< broadcast datagrams carrying >= 2 frames
+    std::uint64_t piggybacked_msgs{0};   ///< data frames re-carried on the token
     // --- fallible stable storage (see storage/stable_store.hpp) ---
     std::uint64_t storage_fail_stops{0};  ///< persists whose failure stopped the node
     std::uint64_t persist_retries{0};     ///< step-5.c acks aborted by a failed persist
@@ -199,7 +214,24 @@ class EvsNode final : public Endpoint {
     std::uint64_t ring_seq_repairs{0};  ///< ring_seq_ re-derived from installed ring
   };
 
+  /// Zero-copy delivery record: `payload` points into the datagram (or
+  /// send-side buffer) the message arrived in, pinned for the duration of
+  /// the callback. Copy what must outlive the callback (Delivery's owned
+  /// payload is exactly that copy).
+  struct DeliveryView {
+    MsgId id;
+    Service service{Service::Agreed};
+    SeqNum seq{0};
+    std::span<const std::uint8_t> payload;
+    const Configuration* config{nullptr};
+    Ord ord;
+  };
+
   using DeliverHandler = std::function<void(const Delivery&)>;
+  /// One callback per deliverable batch (a token visit or packed datagram
+  /// typically readies several messages at once). Views are valid only for
+  /// the duration of the call.
+  using DeliverBatchHandler = std::function<void(std::span<const DeliveryView>)>;
   using ConfigHandler = std::function<void(const Configuration&)>;
 
   EvsNode(ProcessId id, Transport& net, StableStore& store, TraceLog* trace = nullptr)
@@ -212,8 +244,24 @@ class EvsNode final : public Endpoint {
   EvsNode& operator=(const EvsNode&) = delete;
 
   /// Register the delivery callback (uniform setter name across all node
-  /// layers: EvsNode, GroupNode, FragmentNode, VsNode).
-  void set_on_deliver(DeliverHandler h) { deliver_handler_ = std::move(h); }
+  /// layers: EvsNode, GroupNode, FragmentNode, VsNode). The LATEST
+  /// registration owns regular-configuration deliveries: registering a
+  /// per-message handler clears any batch handler, so a layer stacked on
+  /// this node (VsNode, GroupNode, an application agent) that only knows
+  /// the per-message form takes the stream over from a harness-installed
+  /// batch handler instead of being silently starved by it.
+  void set_on_deliver(DeliverHandler h) {
+    deliver_handler_ = std::move(h);
+    deliver_batch_handler_ = nullptr;
+  }
+  /// Register the zero-copy batch delivery callback. When set, it receives
+  /// regular-configuration deliveries instead of the per-message handler
+  /// (recovery-time transitional deliveries still use the per-message
+  /// handler — cold path, owned payloads). Like set_on_deliver, the latest
+  /// registration wins for regular deliveries.
+  void set_on_deliver_batch(DeliverBatchHandler h) {
+    deliver_batch_handler_ = std::move(h);
+  }
   /// Register the configuration-change callback.
   void set_on_config_change(ConfigHandler h) { config_handler_ = std::move(h); }
 
@@ -235,6 +283,14 @@ class EvsNode final : public Endpoint {
   /// payload exceeds Options::max_payload_bytes, and Errc::backpressure
   /// when the pending queue is at Options::max_pending_sends.
   Expected<MsgId> send(Service service, std::vector<std::uint8_t> payload);
+
+  /// Queue a burst of messages with one bookkeeping pass; the whole batch is
+  /// accepted or rejected atomically (Errc::backpressure when it does not
+  /// fit under max_pending_sends, payload_too_large if any payload is over
+  /// the limit — nothing is queued on failure). With frame packing, a burst
+  /// queued together drains in a handful of datagrams per token visit.
+  Expected<std::vector<MsgId>> send_batch(Service service,
+                                          std::vector<std::vector<std::uint8_t>> payloads);
 
   /// Register the backpressure drain callback: after send() has rejected
   /// with Errc::backpressure, it fires once when the pending queue drains
@@ -280,7 +336,10 @@ class EvsNode final : public Endpoint {
   void recovery_local_plan_and_install(RingId new_ring);
 
   // --- packet handlers ---
-  void handle_regular(const RegularMsg& m);
+  /// Returns true when the message was accepted into the current ring's
+  /// ordering core and a deliver_ready() pass is warranted — on_packet
+  /// defers that pass until the whole datagram's frames are absorbed.
+  bool handle_regular(RegularMsgView m);
   void handle_token(const TokenMsg& t);
   void handle_join(const JoinMsg& j);
   void handle_form_ring(const FormRingMsg& f);
@@ -304,7 +363,11 @@ class EvsNode final : public Endpoint {
 
   // --- operational helpers ---
   void deliver_ready();
-  void deliver_one(const RegularMsg& m, const Configuration& config);
+  /// Per-delivery bookkeeping (metrics, ord advance, trace) without the
+  /// application callback — the batch path does this per message, then
+  /// invokes the batch handler once.
+  void deliver_note(const RegularMsgView& m, const Configuration& config, Ord ord);
+  void deliver_one(const RegularMsgView& m, const Configuration& config);
   /// True if traffic tagged with ring seq `seq` from `sender` must predate
   /// our current regular configuration: ring seqs are monotone per process
   /// (persisted across incarnations), so a member of our installed ring can
@@ -425,6 +488,7 @@ class EvsNode final : public Endpoint {
 
   // callbacks
   DeliverHandler deliver_handler_;
+  DeliverBatchHandler deliver_batch_handler_;
   ConfigHandler config_handler_;
   std::function<void()> drain_handler_;
   bool backpressured_{false};  ///< a send was rejected since the last drain
@@ -448,6 +512,8 @@ class EvsNode final : public Endpoint {
     obs::Counter& token_retransmits;
     obs::Counter& send_errors;
     obs::Counter& backpressure_rejections;
+    obs::Counter& datagrams_packed;   ///< net.datagrams_packed
+    obs::Counter& piggybacked_msgs;   ///< ordering.piggybacked_msgs
     obs::Counter& storage_fail_stops;
     obs::Counter& persist_retries;
     obs::Counter& state_fail_stops;
@@ -456,6 +522,7 @@ class EvsNode final : public Endpoint {
     obs::Histogram& gather_us;          ///< enter_gather -> adopted proposal
     obs::Histogram& recovery_us;        ///< adopted proposal -> install
     obs::Histogram& token_rotation_us;  ///< token forward -> fresh return
+    obs::Histogram& deliver_batch_size; ///< messages per deliver_ready pass
     explicit Met(obs::MetricsRegistry& r);
   };
 

@@ -1,0 +1,63 @@
+#include "net/arena.hpp"
+
+namespace evs::net {
+
+DatagramRef DatagramArena::make(std::vector<std::uint8_t> bytes) {
+  std::unique_ptr<std::vector<std::uint8_t>> buf;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      buf = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  if (buf) {
+    // Recycled buffer: adopt the bytes but keep the old capacity when it is
+    // larger, so steady-state receive traffic stops allocating entirely.
+    *buf = std::move(bytes);
+  } else {
+    buf = std::make_unique<std::vector<std::uint8_t>>(std::move(bytes));
+  }
+  // The deleter holds a weak ref: a buffer outliving its arena (a view
+  // retained past transport shutdown) is freed instead of recycled.
+  std::weak_ptr<DatagramArena> weak = weak_from_this();
+  return DatagramRef(buf.release(),
+                     [weak](const std::vector<std::uint8_t>* p) {
+                       auto* mut = const_cast<std::vector<std::uint8_t>*>(p);
+                       if (auto self = weak.lock()) {
+                         self->release(mut);
+                       } else {
+                         delete mut;
+                       }
+                     });
+}
+
+std::vector<std::uint8_t> DatagramArena::acquire(std::size_t size) {
+  std::vector<std::uint8_t> buf;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      buf = std::move(*free_.back());
+      free_.pop_back();
+    }
+  }
+  buf.resize(size);
+  return buf;
+}
+
+void DatagramArena::recycle(std::vector<std::uint8_t> buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.size() >= max_pooled_) return;
+  free_.push_back(std::make_unique<std::vector<std::uint8_t>>(std::move(buf)));
+}
+
+void DatagramArena::release(std::vector<std::uint8_t>* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.size() >= max_pooled_) {
+    delete buf;
+    return;
+  }
+  free_.emplace_back(buf);
+}
+
+}  // namespace evs::net

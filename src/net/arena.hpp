@@ -1,0 +1,72 @@
+// Ref-counted datagram buffers: the ownership anchor of the zero-copy path.
+//
+// A datagram is received (or built for send) once, wrapped in a DatagramRef,
+// and from then on only the refcount moves: the sim Network hands the same
+// buffer to every broadcast receiver, the codec decodes RegularMsgView
+// payloads as spans into it, OrderingCore stores those views, and the
+// deliver callback sees them — no byte is copied anywhere along the way.
+// The buffer is freed (or recycled) when the last view, store slot or
+// in-flight packet holding the ref goes away, which is exactly the lifetime
+// rule documented in DESIGN.md "Zero-copy ownership model": a view can never
+// outlive its datagram because holding the view IS holding the datagram.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace evs::net {
+
+/// Shared immutable datagram bytes. Convertible to the type-erased
+/// evs::BufferRef a RegularMsgView carries.
+using DatagramRef = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+/// Wrap bytes in a one-off DatagramRef (no pooling). The cheap default for
+/// the sim network and for send-side buffers.
+inline DatagramRef make_datagram(std::vector<std::uint8_t> bytes) {
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+}
+
+/// Recycling pool for receive buffers on the live UDP hot path, where a
+/// datagram is allocated per recvmmsg slot and freed a few microseconds
+/// later once its frames are decoded, stored and delivered. Buffers returned
+/// by make() come back to the freelist when their last ref drops (keeping
+/// their capacity, so steady state allocates nothing); if the arena itself
+/// is gone by then they are simply freed. Thread-safe: the last ref can drop
+/// on a different thread than the event loop that acquired the buffer.
+class DatagramArena : public std::enable_shared_from_this<DatagramArena> {
+ public:
+  static std::shared_ptr<DatagramArena> create(std::size_t max_pooled = 64) {
+    return std::shared_ptr<DatagramArena>(new DatagramArena(max_pooled));
+  }
+
+  /// Wrap `bytes` in a ref whose deleter recycles the buffer here.
+  DatagramRef make(std::vector<std::uint8_t> bytes);
+
+  /// A buffer resized to `size` (recycled storage when available, so steady
+  /// state does not allocate; contents unspecified). Used as recvmmsg
+  /// staging: fill it, shrink to the received length, then hand it back
+  /// through make().
+  std::vector<std::uint8_t> acquire(std::size_t size);
+
+  /// Return an acquire()d buffer that ended up unused.
+  void recycle(std::vector<std::uint8_t> buf);
+
+  /// Buffers currently sitting in the freelist (tests/metrics).
+  std::size_t pooled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  explicit DatagramArena(std::size_t max_pooled) : max_pooled_(max_pooled) {}
+
+  void release(std::vector<std::uint8_t>* buf);
+
+  const std::size_t max_pooled_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<std::vector<std::uint8_t>>> free_;
+};
+
+}  // namespace evs::net

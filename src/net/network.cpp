@@ -85,8 +85,8 @@ void Network::schedule_delivery(ProcessId from, ProcessId to, Packet packet,
       return;
     }
     met_.deliveries.inc();
-    met_.bytes_delivered.inc(packet.payload.size());
-    met_.packet_bytes.record(packet.payload.size());
+    met_.bytes_delivered.inc(packet.payload().size());
+    met_.packet_bytes.record(packet.payload().size());
     it->second->on_packet(packet);
   });
 }
@@ -110,13 +110,19 @@ void Network::deliver_later(ProcessId from, ProcessId to, const Packet& packet) 
   // Loopback is also exempt from fault injection: the LAN hardware loopback
   // the paper's testbeds rely on never traverses the wire.
   if (injector_ != nullptr && to != from) {
+    // The injector mutates bytes in place, but `packet.data` is shared with
+    // every other receiver of this broadcast — copy-on-write so one
+    // receiver's corruption cannot leak into the others' deliveries.
     Packet copy = packet;
+    std::vector<std::uint8_t> mutated(packet.payload().begin(),
+                                      packet.payload().end());
     const FaultInjector::Action action =
-        injector_->apply(from, to, scheduler_.now(), copy.payload);
+        injector_->apply(from, to, scheduler_.now(), mutated);
     if (action.drop) {
       met_.dropped_fault.inc();
       return;
     }
+    copy.data = net::make_datagram(std::move(mutated));
     for (const SimTime extra : action.duplicate_extra_delays) {
       met_.duplicated_fault.inc();
       schedule_delivery(from, to, copy, draw_delay() + extra);
@@ -129,7 +135,9 @@ void Network::deliver_later(ProcessId from, ProcessId to, const Packet& packet) 
 
 void Network::broadcast(ProcessId from, std::vector<std::uint8_t> payload) {
   met_.broadcasts.inc();
-  Packet packet{from, ProcessId{}, true, std::move(payload)};
+  // One shared buffer for every receiver: the per-receiver Packet copies
+  // below duplicate a refcount, not the datagram bytes.
+  Packet packet{from, ProcessId{}, true, net::make_datagram(std::move(payload))};
   // Deterministic receiver order: ascending process id.
   std::vector<ProcessId> receivers;
   receivers.reserve(endpoints_.size());
@@ -144,7 +152,7 @@ void Network::broadcast(ProcessId from, std::vector<std::uint8_t> payload) {
 
 void Network::unicast(ProcessId from, ProcessId to, std::vector<std::uint8_t> payload) {
   met_.unicasts.inc();
-  Packet packet{from, to, false, std::move(payload)};
+  Packet packet{from, to, false, net::make_datagram(std::move(payload))};
   deliver_later(from, to, packet);
 }
 

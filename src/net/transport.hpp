@@ -19,8 +19,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "net/arena.hpp"
 #include "sim/scheduler.hpp"
 #include "util/types.hpp"
 
@@ -30,7 +32,16 @@ struct Packet {
   ProcessId src;
   ProcessId dst;  // meaningful only when !broadcast
   bool broadcast{false};
-  std::vector<std::uint8_t> payload;
+  /// The datagram bytes, shared rather than owned: a broadcast dispatches
+  /// ONE buffer to every receiver, and message views decoded from the packet
+  /// pin `data` so their payload spans stay valid after dispatch returns
+  /// (see net/arena.hpp). Copying a Packet copies a refcount, not bytes.
+  net::DatagramRef data;
+
+  std::span<const std::uint8_t> payload() const {
+    return data ? std::span<const std::uint8_t>(*data)
+                : std::span<const std::uint8_t>{};
+  }
 };
 
 /// Implemented by every protocol node attached to a transport.

@@ -46,8 +46,15 @@ UdpTransport::Met::Met(obs::MetricsRegistry& r)
       eagain_deferrals(r.counter("net.eagain_deferrals")),
       packet_bytes(r.histogram("net.packet_bytes")) {}
 
+namespace {
+/// Datagrams per sendmmsg/recvmmsg call. Bounds the stack arrays and the
+/// out-batch memory; excess simply takes another syscall.
+constexpr int kMmsgBatch = 64;
+constexpr int kRecvBatch = 16;
+}  // namespace
+
 UdpTransport::UdpTransport(Options options) : options_(options) {
-  recv_buf_.resize(options_.max_datagram_bytes);
+  out_batch_.reserve(kMmsgBatch);
 }
 
 UdpTransport::~UdpTransport() { close_fd(); }
@@ -135,44 +142,92 @@ void UdpTransport::note_backpressure() {
   }
 }
 
-void UdpTransport::send_datagram(std::uint16_t to_port,
-                                 const std::vector<std::uint8_t>& payload) {
-  if (payload.size() > options_.max_datagram_bytes) {
+void UdpTransport::park_or_drop(PendingDatagram d) {
+  if (backlog_.size() >= options_.send_backlog_datagrams) {
+    stats_.dropped_backpressure.fetch_add(1, std::memory_order_relaxed);
+    met_.dropped_backpressure.inc();
+    note_backpressure();
+    return;
+  }
+  backlog_.push_back(std::move(d));
+  note_backpressure();
+}
+
+void UdpTransport::send_datagram(std::uint16_t to_port, net::DatagramRef payload) {
+  if (!payload || payload->size() > options_.max_datagram_bytes) {
     stats_.send_errors.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  // Preserve per-socket send ordering: once anything is parked, everything
-  // queues behind it until the backlog flushes.
-  if (!backlog_.empty()) {
-    if (backlog_.size() >= options_.send_backlog_datagrams) {
-      stats_.dropped_backpressure.fetch_add(1, std::memory_order_relaxed);
-      met_.dropped_backpressure.inc();
-      note_backpressure();
-      return;
+  if (out_batch_.empty()) {
+    out_batch_deadline_us_ = wall_now_us() + options_.batch_flush_us;
+  }
+  out_batch_.push_back(PendingDatagram{to_port, std::move(payload)});
+  if (out_batch_.size() >= static_cast<std::size_t>(kMmsgBatch)) {
+    flush_out_batch(/*force=*/true);
+  }
+}
+
+void UdpTransport::flush_out_batch(bool force) {
+  if (out_batch_.empty()) return;
+  if (!force && options_.batch_flush_us > 0 &&
+      out_batch_.size() < static_cast<std::size_t>(kMmsgBatch) &&
+      wall_now_us() < out_batch_deadline_us_) {
+    return;  // let the batch coalesce a little longer
+  }
+  // Preserve per-socket send ordering: while anything is parked, everything
+  // queues behind it until the backlog flushes (flush_backlog runs first in
+  // every loop iteration).
+  std::size_t idx = 0;
+  if (backlog_.empty()) {
+    while (idx < out_batch_.size()) {
+      const int want = static_cast<int>(std::min<std::size_t>(
+          out_batch_.size() - idx, static_cast<std::size_t>(kMmsgBatch)));
+      mmsghdr msgs[kMmsgBatch];
+      iovec iovs[kMmsgBatch];
+      sockaddr_in addrs[kMmsgBatch];
+      memset(msgs, 0, sizeof(mmsghdr) * static_cast<std::size_t>(want));
+      for (int i = 0; i < want; ++i) {
+        const PendingDatagram& d = out_batch_[idx + static_cast<std::size_t>(i)];
+        addrs[i] = loopback_addr(d.to_port);
+        iovs[i].iov_base = const_cast<std::uint8_t*>(d.payload->data());
+        iovs[i].iov_len = d.payload->size();
+        msgs[i].msg_hdr.msg_name = &addrs[i];
+        msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+        msgs[i].msg_hdr.msg_iov = &iovs[i];
+        msgs[i].msg_hdr.msg_iovlen = 1;
+      }
+      const int r = ::sendmmsg(fd_, msgs, static_cast<unsigned>(want), 0);
+      if (r > 0) {
+        std::uint64_t bytes = 0;
+        for (int i = 0; i < r; ++i) {
+          bytes += out_batch_[idx + static_cast<std::size_t>(i)].payload->size();
+        }
+        stats_.datagrams_sent.fetch_add(static_cast<std::uint64_t>(r),
+                                        std::memory_order_relaxed);
+        stats_.bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+        idx += static_cast<std::size_t>(r);
+        // A short count means datagram `idx` failed; the retry below hits
+        // the same error with r == -1 and a meaningful errno.
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
+        // Kernel pushback: park the rest; POLLOUT (or the next loop
+        // iteration, for ENOBUFS on loopback) flushes it.
+        stats_.eagain_deferrals.fetch_add(1, std::memory_order_relaxed);
+        met_.eagain_deferrals.inc();
+        break;
+      }
+      // Hard per-datagram error: drop the head, keep going.
+      stats_.send_errors.fetch_add(1, std::memory_order_relaxed);
+      EVS_WARN("udp", "sendmmsg to port %u failed: %s",
+               out_batch_[idx].to_port, strerror(errno));
+      ++idx;
     }
-    backlog_.push_back(PendingDatagram{to_port, payload});
-    note_backpressure();
-    return;
   }
-  const sockaddr_in addr = loopback_addr(to_port);
-  const ssize_t n = ::sendto(fd_, payload.data(), payload.size(), 0,
-                             reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
-  if (n >= 0) {
-    stats_.datagrams_sent.fetch_add(1, std::memory_order_relaxed);
-    stats_.bytes_sent.fetch_add(payload.size(), std::memory_order_relaxed);
-    return;
+  for (; idx < out_batch_.size(); ++idx) {
+    park_or_drop(std::move(out_batch_[idx]));
   }
-  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
-    // Kernel pushback: park the datagram; POLLOUT (or the next loop
-    // iteration, for ENOBUFS on loopback) flushes it.
-    stats_.eagain_deferrals.fetch_add(1, std::memory_order_relaxed);
-    met_.eagain_deferrals.inc();
-    backlog_.push_back(PendingDatagram{to_port, payload});
-    note_backpressure();
-    return;
-  }
-  stats_.send_errors.fetch_add(1, std::memory_order_relaxed);
-  EVS_WARN("udp", "sendto port %u failed: %s", to_port, strerror(errno));
+  out_batch_.clear();
 }
 
 void UdpTransport::flush_backlog() {
@@ -180,11 +235,11 @@ void UdpTransport::flush_backlog() {
     const PendingDatagram& d = backlog_.front();
     const sockaddr_in addr = loopback_addr(d.to_port);
     const ssize_t n =
-        ::sendto(fd_, d.payload.data(), d.payload.size(), 0,
+        ::sendto(fd_, d.payload->data(), d.payload->size(), 0,
                  reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
     if (n >= 0) {
       stats_.datagrams_sent.fetch_add(1, std::memory_order_relaxed);
-      stats_.bytes_sent.fetch_add(d.payload.size(), std::memory_order_relaxed);
+      stats_.bytes_sent.fetch_add(d.payload->size(), std::memory_order_relaxed);
       backlog_.pop_front();
       continue;
     }
@@ -198,13 +253,15 @@ void UdpTransport::flush_backlog() {
 void UdpTransport::broadcast(ProcessId from, std::vector<std::uint8_t> payload) {
   EVS_ASSERT(is_open());
   met_.broadcasts.inc();
+  // One shared buffer; each receiver's queue entry bumps a refcount.
+  net::DatagramRef shared = net::make_datagram(std::move(payload));
   for (const auto& [peer, port] : peer_port_) {
     if (blocked_.count(peer) > 0 && peer != from) {
       stats_.dropped_filter.fetch_add(1, std::memory_order_relaxed);
       met_.dropped_filter.inc();
       continue;
     }
-    send_datagram(port, payload);
+    send_datagram(port, shared);
   }
 }
 
@@ -223,7 +280,7 @@ void UdpTransport::unicast(ProcessId from, ProcessId to,
     met_.dropped_filter.inc();
     return;
   }
-  send_datagram(it->second, payload);
+  send_datagram(it->second, net::make_datagram(std::move(payload)));
 }
 
 void UdpTransport::drain_posted() {
@@ -249,54 +306,83 @@ void UdpTransport::post(std::function<void()> fn) {
 void UdpTransport::advance_clock() { scheduler_.run_until(wall_now_us()); }
 
 void UdpTransport::drain_socket(int budget) {
-  for (int i = 0; i < budget; ++i) {
-    sockaddr_in from{};
-    socklen_t len = sizeof(from);
-    const ssize_t n = ::recvfrom(fd_, recv_buf_.data(), recv_buf_.size(), 0,
-                                 reinterpret_cast<sockaddr*>(&from), &len);
-    if (n < 0) return;  // EAGAIN: drained
-    stats_.datagrams_received.fetch_add(1, std::memory_order_relaxed);
-    stats_.bytes_received.fetch_add(static_cast<std::uint64_t>(n),
-                                    std::memory_order_relaxed);
-    auto src = port_peer_.find(ntohs(from.sin_port));
-    if (src == port_peer_.end()) {
-      stats_.dropped_unknown_peer.fetch_add(1, std::memory_order_relaxed);
-      continue;
+  int received = 0;
+  while (received < budget) {
+    const int want = std::min(budget - received, kRecvBatch);
+    // Stage one arena buffer per slot; unused ones are recycled below, used
+    // ones become the ref-counted datagram the decode path pins.
+    std::vector<std::vector<std::uint8_t>> bufs;
+    bufs.reserve(static_cast<std::size_t>(want));
+    mmsghdr msgs[kRecvBatch];
+    iovec iovs[kRecvBatch];
+    sockaddr_in froms[kRecvBatch];
+    memset(msgs, 0, sizeof(mmsghdr) * static_cast<std::size_t>(want));
+    for (int i = 0; i < want; ++i) {
+      bufs.push_back(arena_->acquire(options_.max_datagram_bytes));
+      iovs[i].iov_base = bufs.back().data();
+      iovs[i].iov_len = bufs.back().size();
+      msgs[i].msg_hdr.msg_name = &froms[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
     }
-    if (blocked_.count(src->second) > 0) {
-      // Inbound half of the partition filter: datagrams already in flight
-      // when the filter went up die here, like packets on a cut wire.
-      stats_.dropped_filter.fetch_add(1, std::memory_order_relaxed);
-      met_.dropped_filter.inc();
-      continue;
+    const int r = ::recvmmsg(fd_, msgs, static_cast<unsigned>(want), 0, nullptr);
+    if (r <= 0) {
+      for (auto& b : bufs) arena_->recycle(std::move(b));
+      return;  // EAGAIN: drained
     }
-    if (endpoints_.empty()) {
-      stats_.dropped_detached.fetch_add(1, std::memory_order_relaxed);
-      continue;
+    for (int i = r; i < want; ++i) arena_->recycle(std::move(bufs[static_cast<std::size_t>(i)]));
+    received += r;
+    for (int i = 0; i < r; ++i) {
+      auto& buf = bufs[static_cast<std::size_t>(i)];
+      const std::size_t n = msgs[i].msg_len;
+      stats_.datagrams_received.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_received.fetch_add(n, std::memory_order_relaxed);
+      auto src = port_peer_.find(ntohs(froms[i].sin_port));
+      if (src == port_peer_.end()) {
+        stats_.dropped_unknown_peer.fetch_add(1, std::memory_order_relaxed);
+        arena_->recycle(std::move(buf));
+        continue;
+      }
+      if (blocked_.count(src->second) > 0) {
+        // Inbound half of the partition filter: datagrams already in flight
+        // when the filter went up die here, like packets on a cut wire.
+        stats_.dropped_filter.fetch_add(1, std::memory_order_relaxed);
+        met_.dropped_filter.inc();
+        arena_->recycle(std::move(buf));
+        continue;
+      }
+      if (endpoints_.empty()) {
+        stats_.dropped_detached.fetch_add(1, std::memory_order_relaxed);
+        arena_->recycle(std::move(buf));
+        continue;
+      }
+      // Re-advance before every dispatch: processing a datagram can take real
+      // time (token handling fans out sends and deliveries), and a peer's
+      // clock keeps moving meanwhile. Stamping this dispatch with the
+      // pre-drain now would let a delivery carry an earlier timestamp than
+      // its sender's send — a causality inversion the spec checker rejects.
+      advance_clock();
+      // A live transport serves one process; dispatch to each attached
+      // endpoint (normally exactly one). Snapshot first: a handler may
+      // detach itself (fail-stop) mid-dispatch.
+      std::vector<std::pair<ProcessId, Endpoint*>> targets(endpoints_.begin(),
+                                                           endpoints_.end());
+      buf.resize(n);
+      Packet packet;
+      packet.src = src->second;
+      packet.broadcast = false;  // indistinguishable on the wire; unused by nodes
+      packet.data = arena_->make(std::move(buf));
+      for (auto& [pid, ep] : targets) {
+        if (endpoints_.count(pid) == 0) continue;  // detached by an earlier target
+        packet.dst = pid;
+        met_.deliveries.inc();
+        met_.bytes_delivered.inc(static_cast<std::uint64_t>(n));
+        met_.packet_bytes.record(static_cast<std::int64_t>(n));
+        ep->on_packet(packet);
+      }
     }
-    // Re-advance before every dispatch: processing a datagram can take real
-    // time (token handling fans out sends and deliveries), and a peer's
-    // clock keeps moving meanwhile. Stamping this dispatch with the
-    // pre-drain now would let a delivery carry an earlier timestamp than
-    // its sender's send — a causality inversion the spec checker rejects.
-    advance_clock();
-    // A live transport serves one process; dispatch to each attached
-    // endpoint (normally exactly one). Snapshot first: a handler may
-    // detach itself (fail-stop) mid-dispatch.
-    std::vector<std::pair<ProcessId, Endpoint*>> targets(endpoints_.begin(),
-                                                         endpoints_.end());
-    Packet packet;
-    packet.src = src->second;
-    packet.broadcast = false;  // indistinguishable on the wire; unused by nodes
-    packet.payload.assign(recv_buf_.begin(), recv_buf_.begin() + n);
-    for (auto& [pid, ep] : targets) {
-      if (endpoints_.count(pid) == 0) continue;  // detached by an earlier target
-      packet.dst = pid;
-      met_.deliveries.inc();
-      met_.bytes_delivered.inc(static_cast<std::uint64_t>(n));
-      met_.packet_bytes.record(static_cast<std::int64_t>(n));
-      ep->on_packet(packet);
-    }
+    if (r < want) return;  // socket drained mid-batch
   }
 }
 
@@ -304,6 +390,7 @@ int UdpTransport::poll_once(SimTime max_wait_us) {
   EVS_ASSERT_MSG(is_open(), "poll_once on a transport that is not open");
   drain_posted();
   advance_clock();
+  flush_out_batch(/*force=*/false);
 
   // Bound the wait by the next protocol timer so wall-clock timers fire
   // with ~1ms resolution (poll granularity), far inside every protocol
@@ -314,6 +401,13 @@ int UdpTransport::poll_once(SimTime max_wait_us) {
     wait_us = std::min(wait_us, *next > now ? *next - now : 0);
   }
   if (!backlog_.empty()) wait_us = 0;  // try flushing immediately
+  if (!out_batch_.empty()) {
+    // A coalescing batch bounds the wait by its flush deadline.
+    const SimTime now = wall_now_us();
+    wait_us = std::min(wait_us, out_batch_deadline_us_ > now
+                                    ? out_batch_deadline_us_ - now
+                                    : 0);
+  }
 
   pollfd fds[2];
   fds[0].fd = fd_;
@@ -336,8 +430,12 @@ int UdpTransport::poll_once(SimTime max_wait_us) {
   drain_posted();
   advance_clock();
   flush_backlog();
+  flush_out_batch(/*force=*/false);
   const std::uint64_t before = stats_.datagrams_received.load(std::memory_order_relaxed);
   drain_socket(options_.max_recv_per_poll);
+  // Sends generated while dispatching received datagrams (token fan-out)
+  // flush as one sendmmsg batch — this is where the syscall batching pays.
+  flush_out_batch(/*force=*/false);
   advance_clock();
   return static_cast<int>(
       stats_.datagrams_received.load(std::memory_order_relaxed) - before);
@@ -347,6 +445,7 @@ void UdpTransport::run() {
   while (!stop_.load(std::memory_order_acquire)) poll_once(10'000);
   // Final drain so a stop posted together with work does not strand it.
   drain_posted();
+  flush_out_batch(/*force=*/true);
 }
 
 void UdpTransport::stop() {

@@ -12,7 +12,11 @@
 //     sender's own port* — the loopback self-delivery the protocol expects
 //     from broadcast hardware arrives through the same socket as everything
 //     else, so it is subject to the same loss and queueing.
-//   * Non-blocking sends. EAGAIN/EWOULDBLOCK parks the datagram in a
+//   * Batched, non-blocking syscalls. Outbound datagrams coalesce into a
+//     sendmmsg() batch (flushed every loop iteration, or held up to
+//     Options::batch_flush_us); the receive path drains the socket with
+//     recvmmsg() into per-datagram arena buffers (net/arena.hpp) that the
+//     zero-copy decode path pins. EAGAIN/EWOULDBLOCK parks datagrams in a
 //     bounded backlog flushed on POLLOUT; when the backlog is full the
 //     datagram is dropped and counted (net.dropped_backpressure) — exactly
 //     the loss the retransmission and recovery machinery already absorbs.
@@ -63,6 +67,13 @@ class UdpTransport final : public Transport {
     /// Receive datagrams drained per loop iteration before timers get a
     /// chance to run again (keeps a flooded socket from starving timers).
     int max_recv_per_poll{64};
+    /// Send coalescing window: outbound datagrams queue for up to this many
+    /// microseconds (or until a sendmmsg batch fills) before the syscall
+    /// fires. 0 = flush every loop iteration — batching then comes only from
+    /// sends generated within one iteration (a token visit's fan-out), which
+    /// keeps latency untouched. Raise it to trade latency for fewer
+    /// syscalls under sparse load.
+    std::uint32_t batch_flush_us{0};
     /// SO_RCVBUF / SO_SNDBUF request, 0 = leave the kernel default. Tests
     /// shrink these to force EAGAIN backpressure deterministically.
     int so_rcvbuf{0};
@@ -161,15 +172,23 @@ class UdpTransport final : public Transport {
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
  private:
+  /// Outbound datagram: the payload is shared, so a broadcast's N queue
+  /// entries reference one buffer instead of carrying N copies.
   struct PendingDatagram {
     std::uint16_t to_port;
-    std::vector<std::uint8_t> payload;
+    net::DatagramRef payload;
   };
 
   void close_fd();
   void flush_backlog();
-  /// sendto() with EAGAIN parking; `to_port` is a registered peer's port.
-  void send_datagram(std::uint16_t to_port, const std::vector<std::uint8_t>& payload);
+  /// Queue one datagram for the next sendmmsg flush; `to_port` is a
+  /// registered peer's port. EAGAIN at flush time parks it in backlog_.
+  void send_datagram(std::uint16_t to_port, net::DatagramRef payload);
+  /// sendmmsg() the out-batch. When `force` is false and batch_flush_us is
+  /// set, a batch younger than the window (and below the syscall batch
+  /// size) is left to coalesce.
+  void flush_out_batch(bool force);
+  void park_or_drop(PendingDatagram d);
   void drain_socket(int budget);
   void advance_clock();
   void drain_posted();
@@ -187,14 +206,19 @@ class UdpTransport final : public Transport {
   std::unordered_set<ProcessId> blocked_;
   std::unordered_map<ProcessId, Endpoint*> endpoints_;
 
-  std::deque<PendingDatagram> backlog_;
+  std::deque<PendingDatagram> backlog_;   ///< parked on EAGAIN, FIFO
+  std::vector<PendingDatagram> out_batch_;  ///< coalescing for sendmmsg
+  SimTime out_batch_deadline_us_{0};        ///< flush-by time (batch_flush_us)
   std::atomic<bool> backpressured_{false};
   std::atomic<bool> stop_{false};
 
   std::mutex post_mu_;
   std::vector<std::function<void()>> posted_;
 
-  std::vector<std::uint8_t> recv_buf_;
+  /// Receive buffers come from here: one ref-counted buffer per datagram
+  /// (recvmmsg fills a batch of them), recycled when the last message view
+  /// into the datagram is released.
+  std::shared_ptr<net::DatagramArena> arena_{net::DatagramArena::create()};
 
   // Counters are written by the loop thread only; stats() reads them from
   // other threads, so each is an atomic with relaxed ordering (they are

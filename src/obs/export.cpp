@@ -90,6 +90,25 @@ Status check_memory_metrics(const JsonValue& metrics, const std::string& where) 
   return Status::ok_status();
 }
 
+/// The datagram-batching surface: EvsNode pre-creates the packing and
+/// piggyback counters plus the delivery-batch-size histogram, so any
+/// EVS-driven metrics set missing them means the zero-copy hot path lost
+/// its instrumentation — fail validation (this is what keeps
+/// BENCH_udp_live.json honest about batching actually engaging).
+Status check_batching_metrics(const JsonValue& metrics, const std::string& where) {
+  const JsonValue* counters = metrics.find("counters");
+  for (const char* c : {"net.datagrams_packed", "ordering.piggybacked_msgs"}) {
+    if (counters == nullptr || counters->find(c) == nullptr) {
+      return shape_error(where, std::string("missing batching counter '") + c + "'");
+    }
+  }
+  const JsonValue* hists = metrics.find("histograms");
+  if (hists == nullptr || hists->find("evs.deliver_batch_size") == nullptr) {
+    return shape_error(where, "missing histogram 'evs.deliver_batch_size'");
+  }
+  return Status::ok_status();
+}
+
 /// The crash-consistency surface: every StableStore pre-creates the
 /// "storage.*" counters, and every cluster aggregate folds its stores in,
 /// so a snapshot (or a bench run that drove EVS nodes) missing them means
@@ -180,6 +199,10 @@ Status validate_snapshot_json(const JsonValue& v) {
       !st.ok()) {
     return st;
   }
+  if (Status st = check_batching_metrics(*v.find("aggregate"), "snapshot.aggregate");
+      !st.ok()) {
+    return st;
+  }
   const JsonValue* faults = v.find("faults");
   if (faults == nullptr || !faults->is_object()) {
     return shape_error("snapshot", "missing 'faults' object");
@@ -216,6 +239,10 @@ Status validate_report_json(const JsonValue& v) {
         return st;
       }
       if (Status st = check_storage_metrics(*metrics, "report." + name->string);
+          !st.ok()) {
+        return st;
+      }
+      if (Status st = check_batching_metrics(*metrics, "report." + name->string);
           !st.ok()) {
         return st;
       }

@@ -153,6 +153,25 @@ void LiveCluster::send_async(std::size_t index, Service service,
   });
 }
 
+Expected<std::vector<MsgId>> LiveCluster::send_batch(
+    std::size_t index, Service service,
+    std::vector<std::vector<std::uint8_t>> payloads) {
+  Expected<std::vector<MsgId>> result{Errc::not_running, "send before open()"};
+  call(index, [&] {
+    result = procs_[index]->node->send_batch(service, std::move(payloads));
+  });
+  return result;
+}
+
+void LiveCluster::send_async_batch(std::size_t index, Service service,
+                                   std::vector<std::vector<std::uint8_t>> payloads) {
+  EVS_ASSERT(index < procs_.size());
+  Proc* p = procs_[index].get();
+  p->transport->post([p, service, payloads = std::move(payloads)]() mutable {
+    (void)p->node->send_batch(service, std::move(payloads));
+  });
+}
+
 LiveCluster::NodeSample LiveCluster::sample(std::size_t index) {
   NodeSample s;
   call(index, [&] {

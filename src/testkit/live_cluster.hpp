@@ -103,6 +103,16 @@ class LiveCluster {
   void send_async(std::size_t index, Service service,
                   std::vector<std::uint8_t> payload);
 
+  /// Synchronous atomic burst on the node's loop thread (EvsNode::send_batch
+  /// semantics: all queued or none, one bookkeeping pass).
+  Expected<std::vector<MsgId>> send_batch(
+      std::size_t index, Service service,
+      std::vector<std::vector<std::uint8_t>> payloads);
+  /// Fire-and-forget burst (benchmarks): one posted closure and one
+  /// admission pass for the whole batch instead of one per message.
+  void send_async_batch(std::size_t index, Service service,
+                        std::vector<std::vector<std::uint8_t>> payloads);
+
   NodeSample sample(std::size_t index);
 
   // --- partition scripting (groups are process indexes) ---

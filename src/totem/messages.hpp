@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <variant>
@@ -56,6 +57,38 @@ struct RegularMsg {
   Service service{Service::Agreed};
   std::vector<std::uint8_t> payload;
 };
+
+/// Type-erased shared ownership of the buffer a view's payload points into —
+/// usually the ref-counted datagram the message arrived in (net::DatagramRef)
+/// or the shared buffer make_view allocates for a locally-originated message.
+/// Type-erasing here keeps wire/totem transport-agnostic.
+using BufferRef = std::shared_ptr<const void>;
+
+/// Non-owning variant of RegularMsg for the zero-copy hot path. The payload
+/// is a borrowed span; `owner` pins the buffer it points into, so the view
+/// (and any copy of it) stays valid for as long as someone holds it —
+/// including across OrderingCore garbage collection, which erases its store
+/// entry without touching the arena-owned bytes. Copying a view copies a
+/// span and bumps a refcount; the payload bytes are never copied.
+struct RegularMsgView {
+  RingId ring;
+  SeqNum seq{0};
+  MsgId id;
+  Service service{Service::Agreed};
+  std::span<const std::uint8_t> payload;
+  BufferRef owner;
+
+  /// Materialize an owning copy (cold paths: recovery buffers, persistence).
+  RegularMsg to_owned() const {
+    return RegularMsg{ring, seq, id, service,
+                      std::vector<std::uint8_t>(payload.begin(), payload.end())};
+  }
+};
+
+/// Wrap an owned message as a self-owning view: the payload vector moves
+/// into a shared buffer the returned view pins. One allocation, zero byte
+/// copies.
+RegularMsgView make_view(RegularMsg m);
 
 /// The ordering token (Totem single-ring style).
 struct TokenMsg {
@@ -135,6 +168,7 @@ struct BeaconMsg {
 // --- codec -------------------------------------------------------------------
 
 std::vector<std::uint8_t> encode_msg(const RegularMsg& m);
+std::vector<std::uint8_t> encode_msg(const RegularMsgView& m);
 std::vector<std::uint8_t> encode_msg(const TokenMsg& m);
 std::vector<std::uint8_t> encode_msg(const JoinMsg& m);
 std::vector<std::uint8_t> encode_msg(const FormRingMsg& m);
@@ -144,7 +178,7 @@ std::vector<std::uint8_t> encode_msg(const RecoveryAckMsg& m);
 std::vector<std::uint8_t> encode_msg(const BeaconMsg& m);
 
 /// Type of an encoded packet, or nullopt if the buffer is empty/invalid.
-std::optional<MsgType> peek_type(const std::vector<std::uint8_t>& buf);
+std::optional<MsgType> peek_type(std::span<const std::uint8_t> buf);
 
 /// Any protocol message, as produced by the strict decoder below.
 using AnyMsg = std::variant<RegularMsg, TokenMsg, JoinMsg, FormRingMsg, ExchangeMsg,
@@ -159,16 +193,68 @@ using AnyMsg = std::variant<RegularMsg, TokenMsg, JoinMsg, FormRingMsg, Exchange
 /// entry point protocol nodes use on packets from the network.
 std::optional<AnyMsg> try_decode(std::span<const std::uint8_t> buf);
 
+/// Strict, non-asserting zero-copy decode of a Regular message: same
+/// validation as try_decode, but the payload borrows from `buf` and the
+/// result pins `owner` (the ref-counted buffer `buf` points into). This is
+/// the hot-path decode entry point; the returned view must not outlive its
+/// owner's buffer, which holding the view guarantees.
+std::optional<RegularMsgView> try_decode_regular_view(
+    std::span<const std::uint8_t> buf, BufferRef owner);
+
 // Decoders that assert on malformed input, for buffers we wrote ourselves
 // (stable storage, tests). They apply the same strict validation as
 // try_decode and abort instead of rejecting.
-RegularMsg decode_regular(const std::vector<std::uint8_t>& buf);
-TokenMsg decode_token(const std::vector<std::uint8_t>& buf);
-JoinMsg decode_join(const std::vector<std::uint8_t>& buf);
-FormRingMsg decode_form_ring(const std::vector<std::uint8_t>& buf);
-ExchangeMsg decode_exchange(const std::vector<std::uint8_t>& buf);
-RecoveryMsgMsg decode_recovery_msg(const std::vector<std::uint8_t>& buf);
-RecoveryAckMsg decode_recovery_ack(const std::vector<std::uint8_t>& buf);
-BeaconMsg decode_beacon(const std::vector<std::uint8_t>& buf);
+RegularMsg decode_regular(std::span<const std::uint8_t> buf);
+TokenMsg decode_token(std::span<const std::uint8_t> buf);
+JoinMsg decode_join(std::span<const std::uint8_t> buf);
+FormRingMsg decode_form_ring(std::span<const std::uint8_t> buf);
+ExchangeMsg decode_exchange(std::span<const std::uint8_t> buf);
+RecoveryMsgMsg decode_recovery_msg(std::span<const std::uint8_t> buf);
+RecoveryAckMsg decode_recovery_ack(std::span<const std::uint8_t> buf);
+BeaconMsg decode_beacon(std::span<const std::uint8_t> buf);
+
+// --- transitional shims ------------------------------------------------------
+//
+// The pre-span decode API took const std::vector&. A vector lvalue binds to
+// these exact-match overloads (instead of converting to span), so unmigrated
+// callers keep compiling and get a deprecation warning pointing at the span
+// replacement. Remove after one release.
+
+[[deprecated("pass std::span<const std::uint8_t>")]] inline std::optional<MsgType>
+peek_type(const std::vector<std::uint8_t>& buf) {
+  return peek_type(std::span<const std::uint8_t>(buf));
+}
+[[deprecated("pass std::span<const std::uint8_t>")]] inline RegularMsg
+decode_regular(const std::vector<std::uint8_t>& buf) {
+  return decode_regular(std::span<const std::uint8_t>(buf));
+}
+[[deprecated("pass std::span<const std::uint8_t>")]] inline TokenMsg
+decode_token(const std::vector<std::uint8_t>& buf) {
+  return decode_token(std::span<const std::uint8_t>(buf));
+}
+[[deprecated("pass std::span<const std::uint8_t>")]] inline JoinMsg
+decode_join(const std::vector<std::uint8_t>& buf) {
+  return decode_join(std::span<const std::uint8_t>(buf));
+}
+[[deprecated("pass std::span<const std::uint8_t>")]] inline FormRingMsg
+decode_form_ring(const std::vector<std::uint8_t>& buf) {
+  return decode_form_ring(std::span<const std::uint8_t>(buf));
+}
+[[deprecated("pass std::span<const std::uint8_t>")]] inline ExchangeMsg
+decode_exchange(const std::vector<std::uint8_t>& buf) {
+  return decode_exchange(std::span<const std::uint8_t>(buf));
+}
+[[deprecated("pass std::span<const std::uint8_t>")]] inline RecoveryMsgMsg
+decode_recovery_msg(const std::vector<std::uint8_t>& buf) {
+  return decode_recovery_msg(std::span<const std::uint8_t>(buf));
+}
+[[deprecated("pass std::span<const std::uint8_t>")]] inline RecoveryAckMsg
+decode_recovery_ack(const std::vector<std::uint8_t>& buf) {
+  return decode_recovery_ack(std::span<const std::uint8_t>(buf));
+}
+[[deprecated("pass std::span<const std::uint8_t>")]] inline BeaconMsg
+decode_beacon(const std::vector<std::uint8_t>& buf) {
+  return decode_beacon(std::span<const std::uint8_t>(buf));
+}
 
 }  // namespace evs

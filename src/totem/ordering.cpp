@@ -42,7 +42,7 @@ OrderingCore::Stats OrderingCore::stats() const {
   return s;
 }
 
-void OrderingCore::track_store_insert(const RegularMsg& m) {
+void OrderingCore::track_store_insert(const RegularMsgView& m) {
   // Payload bytes, not sizeof: the count must be platform-neutral so obs
   // snapshots stay byte-identical across builds.
   store_bytes_ += m.payload.size();
@@ -88,7 +88,7 @@ bool OrderingCore::is_member(ProcessId p) const {
   return std::binary_search(members_.begin(), members_.end(), p);
 }
 
-bool OrderingCore::on_regular(const RegularMsg& m) {
+bool OrderingCore::on_regular(RegularMsgView m) {
   EVS_ASSERT(m.ring == ring_);
   EVS_ASSERT(m.seq >= 1);
   if (received_.contains(m.seq)) {
@@ -96,8 +96,8 @@ bool OrderingCore::on_regular(const RegularMsg& m) {
     return false;
   }
   received_.insert(m.seq);
-  store_.emplace(m.seq, m);
-  track_store_insert(m);
+  const auto it = store_.emplace(m.seq, std::move(m)).first;
+  track_store_insert(it->second);
   return true;
 }
 
@@ -221,12 +221,15 @@ OrderingCore::TokenResult OrderingCore::on_token(const TokenMsg& token,
     m.id = p.id;
     m.service = p.service;
     m.payload = std::move(p.payload);
+    // make_view moves the payload into a shared buffer once; the store slot,
+    // new_messages and to_broadcast all alias it from here on.
+    RegularMsgView v = make_view(std::move(m));
     // We hold our own message immediately; the network loopback would also
     // deliver it, but recording it now keeps contig() honest even if the
     // loopback packet is still in flight when the token moves on.
-    on_regular(m);
-    result.new_messages.push_back(m);
-    result.to_broadcast.push_back(m);
+    on_regular(v);
+    result.new_messages.push_back(v);
+    result.to_broadcast.push_back(std::move(v));
     ++sent;
   }
   const auto this_visit =
@@ -273,8 +276,8 @@ OrderingCore::TokenResult OrderingCore::on_token(const TokenMsg& token,
   return result;
 }
 
-std::vector<RegularMsg> OrderingCore::drain_deliverable() {
-  std::vector<RegularMsg> out;
+std::vector<RegularMsgView> OrderingCore::drain_deliverable() {
+  std::vector<RegularMsgView> out;
   while (true) {
     const SeqNum next = delivered_upto_ + 1;
     auto it = store_.find(next);
@@ -290,7 +293,7 @@ std::vector<RegularMsg> OrderingCore::drain_deliverable() {
   return out;
 }
 
-const RegularMsg* OrderingCore::get(SeqNum seq) const {
+const RegularMsgView* OrderingCore::get(SeqNum seq) const {
   auto it = store_.find(seq);
   return it == store_.end() ? nullptr : &it->second;
 }
@@ -298,7 +301,7 @@ const RegularMsg* OrderingCore::get(SeqNum seq) const {
 std::vector<RegularMsg> OrderingCore::all_messages() const {
   std::vector<RegularMsg> out;
   out.reserve(store_.size());
-  for (const auto& [seq, m] : store_) out.push_back(m);
+  for (const auto& [seq, m] : store_) out.push_back(m.to_owned());
   std::sort(out.begin(), out.end(),
             [](const RegularMsg& a, const RegularMsg& b) { return a.seq < b.seq; });
   return out;

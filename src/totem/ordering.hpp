@@ -46,10 +46,14 @@ struct PendingSend {
 
 class OrderingCore {
  public:
+  /// Hot-path results are non-owning views: each pins the buffer its payload
+  /// lives in (the received datagram, or the shared buffer make_view built
+  /// for a locally-stamped message), so handing them around copies spans and
+  /// refcounts, never payload bytes.
   struct TokenResult {
-    std::vector<RegularMsg> to_broadcast;  ///< retransmissions + new messages
-    std::vector<RegularMsg> new_messages;  ///< subset of to_broadcast that is new
-    TokenMsg token_out;                    ///< forward this to the next member
+    std::vector<RegularMsgView> to_broadcast;  ///< retransmissions + new messages
+    std::vector<RegularMsgView> new_messages;  ///< subset of to_broadcast that is new
+    TokenMsg token_out;                        ///< forward this to the next member
   };
 
   struct Options {
@@ -94,8 +98,16 @@ class OrderingCore {
   bool is_member(ProcessId p) const;
 
   /// Store a received (or self-broadcast) regular message for this ring.
-  /// Duplicates are ignored. Returns true if the message was new.
-  bool on_regular(const RegularMsg& m);
+  /// Duplicates are ignored. Returns true if the message was new. The view's
+  /// payload is NOT copied: the store keeps the span plus a refcount on its
+  /// owner, so the backing datagram stays pinned while any stored (or
+  /// outstanding) view needs it.
+  bool on_regular(RegularMsgView m);
+
+  /// Owning compatibility overload (cold paths: recovery replay, tests).
+  /// Wraps the message via make_view — payload moves, no byte copy for an
+  /// rvalue; an lvalue pays one copy here instead of one per store slot.
+  bool on_regular(RegularMsg m) { return on_regular(make_view(std::move(m))); }
 
   /// Process the token; stamps messages from `pending` (consumed front-first)
   /// and returns what to broadcast plus the token to forward. Returns
@@ -106,11 +118,13 @@ class OrderingCore {
   bool token_is_stale(const TokenMsg& token) const;
 
   /// Messages that have become deliverable, in total order. Each call
-  /// returns only newly deliverable messages.
-  std::vector<RegularMsg> drain_deliverable();
+  /// returns only newly deliverable messages. The returned views stay valid
+  /// even after collect_garbage() erases their store entries: erasing drops
+  /// the store's refcount on the datagram, not the datagram itself.
+  std::vector<RegularMsgView> drain_deliverable();
 
   bool has(SeqNum seq) const { return store_.count(seq) > 0; }
-  const RegularMsg* get(SeqNum seq) const;
+  const RegularMsgView* get(SeqNum seq) const;
 
   /// Contiguous all-received-up-to prefix.
   SeqNum contig() const { return received_.contiguous_from(0); }
@@ -171,7 +185,7 @@ class OrderingCore {
     explicit Met(obs::MetricsRegistry& r);
   };
 
-  void track_store_insert(const RegularMsg& m);
+  void track_store_insert(const RegularMsgView& m);
   void collect_garbage();
 
   RingId ring_;
@@ -181,7 +195,11 @@ class OrderingCore {
   std::unique_ptr<obs::MetricsRegistry> own_metrics_;  ///< when none was shared
   Met met_;
 
-  std::unordered_map<SeqNum, RegularMsg> store_;  // received_ minus [1, gc_upto_]
+  // received_ minus [1, gc_upto_]. Values are views: the map slot holds a
+  // span plus a refcount pinning the backing datagram. One packed datagram
+  // may back several slots (and stays resident until the last one is GC'd),
+  // so store_bytes_ counts payload bytes, not pinned buffer bytes.
+  std::unordered_map<SeqNum, RegularMsgView> store_;
   SeqSet received_;
   SeqNum delivered_upto_{0};
   SeqNum safe_upto_{0};

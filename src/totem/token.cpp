@@ -31,6 +31,14 @@ void encode_inner(wire::Writer& w, const RegularMsg& m) {
   w.bytes(m.payload);
 }
 
+void encode_inner(wire::Writer& w, const RegularMsgView& m) {
+  encode(w, m.ring);
+  w.u64(m.seq);
+  encode(w, m.id);
+  w.u8(static_cast<std::uint8_t>(m.service));
+  w.bytes(m.payload);
+}
+
 std::optional<RegularMsg> read_regular(wire::Reader& r) {
   RegularMsg m;
   m.ring = decode_ring_id(r);
@@ -38,6 +46,23 @@ std::optional<RegularMsg> read_regular(wire::Reader& r) {
   m.id = decode_msg_id(r);
   const std::uint8_t service = r.u8();
   m.payload = r.bytes();
+  if (!r.ok()) return std::nullopt;
+  if (!m.ring.valid() || m.seq < 1 || !m.id.valid()) return std::nullopt;
+  if (service > static_cast<std::uint8_t>(Service::Safe)) return std::nullopt;
+  m.service = static_cast<Service>(service);
+  return m;
+}
+
+/// Zero-copy twin of read_regular: identical field order and validation, but
+/// the payload is a view into the Reader's buffer (the caller attaches the
+/// owner). Kept adjacent so the two cannot drift.
+std::optional<RegularMsgView> read_regular_view(wire::Reader& r) {
+  RegularMsgView m;
+  m.ring = decode_ring_id(r);
+  m.seq = r.u64();
+  m.id = decode_msg_id(r);
+  const std::uint8_t service = r.u8();
+  m.payload = r.bytes_view();
   if (!r.ok()) return std::nullopt;
   if (!m.ring.valid() || m.seq < 1 || !m.id.valid()) return std::nullopt;
   if (service > static_cast<std::uint8_t>(Service::Safe)) return std::nullopt;
@@ -165,7 +190,7 @@ std::optional<T> strict_decode(std::span<const std::uint8_t> buf, MsgType expect
 }
 
 template <typename T>
-T checked_decode(const std::vector<std::uint8_t>& buf, MsgType expected,
+T checked_decode(std::span<const std::uint8_t> buf, MsgType expected,
                  std::optional<T> (*read)(wire::Reader&)) {
   std::optional<T> m = strict_decode<T>(buf, expected, read);
   EVS_ASSERT_MSG(m.has_value(), "malformed packet");
@@ -174,7 +199,7 @@ T checked_decode(const std::vector<std::uint8_t>& buf, MsgType expected,
 
 }  // namespace
 
-std::optional<MsgType> peek_type(const std::vector<std::uint8_t>& buf) {
+std::optional<MsgType> peek_type(std::span<const std::uint8_t> buf) {
   if (buf.empty()) return std::nullopt;
   if (buf[0] < kMsgTypeMin || buf[0] > kMsgTypeMax) return std::nullopt;
   return static_cast<MsgType>(buf[0]);
@@ -210,8 +235,35 @@ std::vector<std::uint8_t> encode_msg(const RegularMsg& m) {
   return w.take();
 }
 
-RegularMsg decode_regular(const std::vector<std::uint8_t>& buf) {
+RegularMsg decode_regular(std::span<const std::uint8_t> buf) {
   return checked_decode(buf, MsgType::Regular, read_regular);
+}
+
+std::vector<std::uint8_t> encode_msg(const RegularMsgView& m) {
+  wire::Writer w;
+  w.u8(static_cast<std::uint8_t>(MsgType::Regular));
+  encode_inner(w, m);
+  return w.take();
+}
+
+std::optional<RegularMsgView> try_decode_regular_view(
+    std::span<const std::uint8_t> buf, BufferRef owner) {
+  std::optional<RegularMsgView> m =
+      strict_decode<RegularMsgView>(buf, MsgType::Regular, read_regular_view);
+  if (m.has_value()) m->owner = std::move(owner);
+  return m;
+}
+
+RegularMsgView make_view(RegularMsg m) {
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(std::move(m.payload));
+  RegularMsgView v;
+  v.ring = m.ring;
+  v.seq = m.seq;
+  v.id = m.id;
+  v.service = m.service;
+  v.payload = std::span<const std::uint8_t>(*buf);
+  v.owner = std::move(buf);
+  return v;
 }
 
 std::vector<std::uint8_t> encode_msg(const TokenMsg& m) {
@@ -227,7 +279,7 @@ std::vector<std::uint8_t> encode_msg(const TokenMsg& m) {
   return w.take();
 }
 
-TokenMsg decode_token(const std::vector<std::uint8_t>& buf) {
+TokenMsg decode_token(std::span<const std::uint8_t> buf) {
   return checked_decode(buf, MsgType::Token, read_token);
 }
 
@@ -242,7 +294,7 @@ std::vector<std::uint8_t> encode_msg(const JoinMsg& m) {
   return w.take();
 }
 
-JoinMsg decode_join(const std::vector<std::uint8_t>& buf) {
+JoinMsg decode_join(std::span<const std::uint8_t> buf) {
   return checked_decode(buf, MsgType::Join, read_join);
 }
 
@@ -255,7 +307,7 @@ std::vector<std::uint8_t> encode_msg(const FormRingMsg& m) {
   return w.take();
 }
 
-FormRingMsg decode_form_ring(const std::vector<std::uint8_t>& buf) {
+FormRingMsg decode_form_ring(std::span<const std::uint8_t> buf) {
   return checked_decode(buf, MsgType::FormRing, read_form_ring);
 }
 
@@ -274,7 +326,7 @@ std::vector<std::uint8_t> encode_msg(const ExchangeMsg& m) {
   return w.take();
 }
 
-ExchangeMsg decode_exchange(const std::vector<std::uint8_t>& buf) {
+ExchangeMsg decode_exchange(std::span<const std::uint8_t> buf) {
   return checked_decode(buf, MsgType::Exchange, read_exchange);
 }
 
@@ -287,7 +339,7 @@ std::vector<std::uint8_t> encode_msg(const RecoveryMsgMsg& m) {
   return w.take();
 }
 
-RecoveryMsgMsg decode_recovery_msg(const std::vector<std::uint8_t>& buf) {
+RecoveryMsgMsg decode_recovery_msg(std::span<const std::uint8_t> buf) {
   return checked_decode(buf, MsgType::RecoveryMsg, read_recovery_msg);
 }
 
@@ -302,7 +354,7 @@ std::vector<std::uint8_t> encode_msg(const RecoveryAckMsg& m) {
   return w.take();
 }
 
-RecoveryAckMsg decode_recovery_ack(const std::vector<std::uint8_t>& buf) {
+RecoveryAckMsg decode_recovery_ack(std::span<const std::uint8_t> buf) {
   return checked_decode(buf, MsgType::RecoveryAck, read_recovery_ack);
 }
 
@@ -314,7 +366,7 @@ std::vector<std::uint8_t> encode_msg(const BeaconMsg& m) {
   return w.take();
 }
 
-BeaconMsg decode_beacon(const std::vector<std::uint8_t>& buf) {
+BeaconMsg decode_beacon(std::span<const std::uint8_t> buf) {
   return checked_decode(buf, MsgType::Beacon, read_beacon);
 }
 

@@ -34,6 +34,7 @@ enum class Errc : std::uint8_t {
   storage_io = 11,          ///< stable-storage write failed (fault-injected I/O)
   invalid_argument = 12,    ///< harness API misuse (unknown pid, bad lifecycle)
   transport_io = 13,        ///< live transport socket operation failed
+  bad_frame = 14,           ///< packed datagram with a truncated/garbled trailing frame
 };
 
 const char* to_string(Errc e);
@@ -118,6 +119,7 @@ inline const char* to_string(Errc e) {
     case Errc::storage_io: return "storage_io";
     case Errc::invalid_argument: return "invalid_argument";
     case Errc::transport_io: return "transport_io";
+    case Errc::bad_frame: return "bad_frame";
   }
   return "?";
 }

@@ -76,6 +76,14 @@ std::string Reader::str() {
   return s;
 }
 
+std::span<const std::uint8_t> Reader::bytes_view() {
+  const std::uint32_t n = u32();
+  if (!need(n)) return {};
+  std::span<const std::uint8_t> out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 std::vector<std::uint8_t> Reader::bytes() {
   const std::uint32_t n = u32();
   if (!need(n)) return {};
@@ -131,8 +139,6 @@ std::vector<SeqNum> Reader::seq_vec() {
 
 namespace {
 
-constexpr std::size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
-
 constexpr std::array<std::uint32_t, 256> make_crc_table() {
   std::array<std::uint32_t, 256> table{};
   for (std::uint32_t i = 0; i < 256; ++i) {
@@ -145,11 +151,19 @@ constexpr std::array<std::uint32_t, 256> make_crc_table() {
 
 constexpr auto kCrcTable = make_crc_table();
 
-std::uint32_t read_u32_le(std::span<const std::uint8_t> data, std::size_t pos) {
-  return static_cast<std::uint32_t>(data[pos]) |
-         (static_cast<std::uint32_t>(data[pos + 1]) << 8) |
-         (static_cast<std::uint32_t>(data[pos + 2]) << 16) |
-         (static_cast<std::uint32_t>(data[pos + 3]) << 24);
+/// Bounds-checked little-endian u32 read. The unchecked predecessor indexed
+/// data[pos..pos+3] blind, which was only safe because every caller had
+/// pre-validated the length — an invariant the packed-frame cursor cannot
+/// uphold for a truncated trailing frame. Returns false instead of reading
+/// out of bounds.
+bool read_u32_le(std::span<const std::uint8_t> data, std::size_t pos,
+                 std::uint32_t& out) {
+  if (pos > data.size() || data.size() - pos < 4) return false;
+  out = static_cast<std::uint32_t>(data[pos]) |
+        (static_cast<std::uint32_t>(data[pos + 1]) << 8) |
+        (static_cast<std::uint32_t>(data[pos + 2]) << 16) |
+        (static_cast<std::uint32_t>(data[pos + 3]) << 24);
+  return true;
 }
 
 }  // namespace
@@ -180,8 +194,10 @@ Expected<std::span<const std::uint8_t>> open_frame(
   if (frame.size() < kFrameHeaderBytes) {
     return Status::error(Errc::truncated_frame, "frame shorter than its header");
   }
-  const std::uint32_t length = read_u32_le(frame, 0);
-  const std::uint32_t checksum = read_u32_le(frame, 4);
+  std::uint32_t length = 0;
+  std::uint32_t checksum = 0;
+  read_u32_le(frame, 0, length);
+  read_u32_le(frame, 4, checksum);
   if (length > kMaxFrameBody) {
     return Status::error(Errc::payload_too_large, "declared body length too large");
   }
@@ -195,6 +211,57 @@ Expected<std::span<const std::uint8_t>> open_frame(
   if (crc32(body) != checksum) {
     return Status::error(Errc::crc_mismatch, "frame body fails CRC-32 check");
   }
+  return body;
+}
+
+Status append_frame(std::vector<std::uint8_t>& out,
+                    std::span<const std::uint8_t> body) {
+  if (body.size() > kMaxFrameBody) {
+    return Status::error(Errc::payload_too_large,
+                         "frame body of " + std::to_string(body.size()) +
+                             " bytes exceeds the " +
+                             std::to_string(kMaxFrameBody) + "-byte frame limit");
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(body.size());
+  const std::uint32_t checksum = crc32(body);
+  out.reserve(out.size() + kFrameHeaderBytes + body.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(length >> shift));
+  }
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(checksum >> shift));
+  }
+  out.insert(out.end(), body.begin(), body.end());
+  return Status::ok_status();
+}
+
+Expected<std::span<const std::uint8_t>> FrameCursor::next() {
+  if (failed_) return error_;
+  auto fail = [this](Errc code, const char* what) -> Expected<std::span<const std::uint8_t>> {
+    failed_ = true;
+    error_ = Status::error(code, what);
+    return error_;
+  };
+  std::uint32_t length = 0;
+  std::uint32_t checksum = 0;
+  // A tail too short for even a header is a torn trailing frame, not a clean
+  // end of datagram — surface it so the sender's truncation is observable.
+  if (!read_u32_le(rest_, 0, length) || !read_u32_le(rest_, 4, checksum)) {
+    return fail(Errc::bad_frame, "truncated frame header in packed datagram");
+  }
+  if (length > kMaxFrameBody) {
+    return fail(Errc::payload_too_large, "declared body length too large");
+  }
+  if (rest_.size() - kFrameHeaderBytes < length) {
+    return fail(Errc::bad_frame, "truncated frame body in packed datagram");
+  }
+  const auto body = rest_.subspan(kFrameHeaderBytes, length);
+  if (crc32(body) != checksum) {
+    // The length field of a garbled frame cannot be trusted to find the next
+    // frame boundary; the caller must abandon the rest of the datagram.
+    return fail(Errc::crc_mismatch, "frame body fails CRC-32 check");
+  }
+  rest_ = rest_.subspan(kFrameHeaderBytes + length);
   return body;
 }
 

@@ -93,6 +93,10 @@ class Reader {
   ProcessId pid() { return ProcessId{u32()}; }
   std::string str();
   std::vector<std::uint8_t> bytes();
+  /// Non-owning variant of bytes(): a view into the buffer the Reader was
+  /// constructed over. The caller is responsible for pinning that buffer
+  /// (see RegularMsgView::owner) — the span is dangling once it goes away.
+  std::span<const std::uint8_t> bytes_view();
   SeqSet seq_set();
   std::vector<ProcessId> pid_vec();
   std::vector<SeqNum> seq_vec();
@@ -130,6 +134,9 @@ std::uint32_t crc32(std::span<const std::uint8_t> data);
 /// from looking like a multi-gigabyte body.
 inline constexpr std::size_t kMaxFrameBody = 16u << 20;  // 16 MiB
 
+/// Bytes of framing overhead per frame: u32 length + u32 CRC-32.
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
 /// Wrap a message body in a length+checksum frame. Fails with
 /// Errc::payload_too_large when the body exceeds kMaxFrameBody.
 Expected<std::vector<std::uint8_t>> seal_frame(std::span<const std::uint8_t> body);
@@ -140,5 +147,54 @@ Expected<std::vector<std::uint8_t>> seal_frame(std::span<const std::uint8_t> bod
 /// asserts: this is the hostile-byte boundary.
 Expected<std::span<const std::uint8_t>> open_frame(
     std::span<const std::uint8_t> frame);
+
+/// Append one frame for `body` onto an existing datagram buffer. Frames are
+/// self-delimiting, so packing is plain concatenation: a datagram carrying
+/// several messages is just their frames back to back, walked on receipt by
+/// FrameCursor. Fails with Errc::payload_too_large like seal_frame, leaving
+/// `out` untouched.
+Status append_frame(std::vector<std::uint8_t>& out,
+                    std::span<const std::uint8_t> body);
+
+/// Iterator over a datagram carrying zero or more concatenated frames.
+///
+/// Usage:
+///
+///   FrameCursor cursor(datagram);
+///   while (!cursor.done()) {
+///     auto body = cursor.next();
+///     if (!body.ok()) { /* reject the REST of the datagram */ break; }
+///     dispatch(*body);
+///   }
+///
+/// Error semantics at the hostile-byte boundary:
+///   - A trailing fragment too short to hold a header, or a header declaring
+///     more body bytes than remain, is Errc::bad_frame — never a silent stop,
+///     so a truncated tail is observable, not dropped.
+///   - A declared length above kMaxFrameBody is Errc::payload_too_large.
+///   - A CRC failure is Errc::crc_mismatch. The caller must abandon the rest
+///     of the datagram: once one frame is garbled its length field cannot be
+///     trusted to find the next boundary.
+/// After next() returns an error the cursor is poisoned: done() stays false
+/// and next() keeps returning the same error.
+class FrameCursor {
+ public:
+  explicit FrameCursor(std::span<const std::uint8_t> datagram)
+      : rest_(datagram) {}
+
+  /// True when the datagram was consumed exactly (no partial tail).
+  bool done() const { return !failed_ && rest_.empty(); }
+
+  /// The body of the next frame, or why the remainder is unusable.
+  Expected<std::span<const std::uint8_t>> next();
+
+  /// Bytes not yet consumed (diagnostic; includes a poisoned tail).
+  std::size_t remaining() const { return rest_.size(); }
+
+ private:
+  std::span<const std::uint8_t> rest_;
+  bool failed_{false};
+  Status error_{};
+};
 
 }  // namespace evs::wire

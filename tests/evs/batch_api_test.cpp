@@ -1,0 +1,127 @@
+// send_batch / deliver-batch semantics: atomic admission on the send side,
+// grouped zero-copy views on the delivery side, and the batching counters.
+//
+// send_batch is all-or-nothing: one oversized payload or a batch that does
+// not fit under max_pending_sends rejects the whole call with nothing
+// queued, so a producer never has to unpick a half-accepted burst. The
+// delivery batch callback receives every regular-configuration message a
+// deliver pass readied, with payload spans valid for the callback only, and
+// takes precedence over the per-message handler for that path.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <span>
+
+#include "testkit/cluster.hpp"
+
+namespace evs {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> payloads_of(int n, std::size_t bytes) {
+  std::vector<std::vector<std::uint8_t>> out;
+  for (int i = 0; i < n; ++i) {
+    out.emplace_back(bytes, static_cast<std::uint8_t>(i));
+  }
+  return out;
+}
+
+TEST(SendBatchTest, BatchDeliversEverywhereInOrder) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.await_stable());
+  auto sent = cluster.node(0u).send_batch(Service::Agreed, payloads_of(50, 16));
+  ASSERT_TRUE(sent.ok());
+  ASSERT_EQ(sent->size(), 50u);
+  // Ids are consecutive: one bookkeeping pass, no interleaved admissions.
+  for (std::size_t i = 1; i < sent->size(); ++i) {
+    EXPECT_EQ((*sent)[i].counter, (*sent)[i - 1].counter + 1);
+  }
+  ASSERT_TRUE(cluster.await_quiesce());
+  for (std::size_t p = 0; p < cluster.size(); ++p) {
+    const auto ids = cluster.sink(p).delivered_ids();
+    ASSERT_EQ(ids.size(), 50u) << "process " << p;
+    EXPECT_EQ(ids, *sent) << "process " << p;
+  }
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(SendBatchTest, OversizedPayloadRejectsWholeBatch) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.await_stable());
+  EvsNode& n = cluster.node(0u);
+  auto batch = payloads_of(3, 8);
+  batch.push_back(
+      std::vector<std::uint8_t>(EvsNode::Options{}.max_payload_bytes + 1, 0));
+  auto sent = n.send_batch(Service::Agreed, std::move(batch));
+  EXPECT_FALSE(sent.ok());
+  EXPECT_EQ(sent.code(), Errc::payload_too_large);
+  EXPECT_EQ(n.pending_sends(), 0u);  // nothing queued
+}
+
+TEST(SendBatchTest, BackpressureRejectsWholeBatchAtomically) {
+  Cluster::Options opts;
+  opts.node.max_pending_sends = 10;
+  Cluster cluster(opts);
+  ASSERT_TRUE(cluster.await_stable());
+  EvsNode& n = cluster.node(0u);
+  ASSERT_TRUE(n.send_batch(Service::Agreed, payloads_of(8, 4)).ok());
+  // 8 queued + 3 > 10: rejected, and the 8 already queued are untouched.
+  auto sent = n.send_batch(Service::Agreed, payloads_of(3, 4));
+  EXPECT_FALSE(sent.ok());
+  EXPECT_EQ(sent.code(), Errc::backpressure);
+  EXPECT_EQ(n.pending_sends(), 8u);
+  // Exactly at the cap fits.
+  EXPECT_TRUE(n.send_batch(Service::Agreed, payloads_of(2, 4)).ok());
+  EXPECT_EQ(n.pending_sends(), 10u);
+  ASSERT_TRUE(cluster.await_quiesce());
+  EXPECT_EQ(cluster.sink(2u).deliveries.size(), 10u);
+}
+
+TEST(DeliverBatchTest, BatchHandlerSeesGroupedViewsAndSuppressesPerMessage) {
+  Cluster cluster;
+  ASSERT_TRUE(cluster.await_stable());
+
+  // Re-register handlers on node 2: count per-message callbacks, collect
+  // batch sizes and copy payloads out of the views (they are only valid for
+  // the duration of the callback).
+  int per_message = 0;
+  std::vector<std::size_t> batch_sizes;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  EvsNode& observer = cluster.node(2u);
+  observer.set_on_deliver([&](const EvsNode::Delivery&) { ++per_message; });
+  observer.set_on_deliver_batch([&](std::span<const EvsNode::DeliveryView> batch) {
+    EXPECT_FALSE(batch.empty());
+    batch_sizes.push_back(batch.size());
+    for (const auto& v : batch) {
+      ASSERT_NE(v.config, nullptr);
+      EXPECT_FALSE(v.config->id.transitional);
+      payloads.emplace_back(v.payload.begin(), v.payload.end());
+    }
+  });
+
+  auto sent = cluster.node(0u).send_batch(Service::Agreed, payloads_of(40, 32));
+  ASSERT_TRUE(sent.ok());
+  ASSERT_TRUE(cluster.await_quiesce());
+
+  EXPECT_EQ(per_message, 0) << "batch handler must preempt per-message path";
+  EXPECT_EQ(payloads.size(), 40u);
+  const std::size_t total =
+      std::accumulate(batch_sizes.begin(), batch_sizes.end(), std::size_t{0});
+  EXPECT_EQ(total, 40u);
+  // Packing amortizes: a 40-message burst must not arrive one callback per
+  // message (the whole point of the batch API).
+  EXPECT_LT(batch_sizes.size(), 40u);
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(payloads[i], std::vector<std::uint8_t>(32, static_cast<std::uint8_t>(i)));
+  }
+
+  // The batching counters moved: the sender packed multi-frame datagrams
+  // and re-carried tail frames on the token.
+  const auto stats = cluster.node(0u).stats();
+  EXPECT_GT(stats.datagrams_packed, 0u);
+  EXPECT_GT(stats.piggybacked_msgs, 0u);
+  EXPECT_GT(cluster.node(2u).metrics().histogram("evs.deliver_batch_size").count(), 0u);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+}  // namespace
+}  // namespace evs

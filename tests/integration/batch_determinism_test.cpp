@@ -1,0 +1,76 @@
+// Frame packing is a wire-shape optimization, not a protocol change: with
+// identical seeds and an identical send schedule, a cluster running packed
+// datagrams (batch_max_frames = 16, token piggyback on) must deliver exactly
+// the same messages in exactly the same order as one running the pre-batching
+// one-frame-per-datagram shape (batch_max_frames = 1, piggyback off). The
+// total order is fixed by token stamping, which batching does not touch —
+// only how many datagrams carry the result.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testkit/cluster.hpp"
+
+namespace evs {
+namespace {
+
+struct RunResult {
+  // Per process: the (id, seq, service) sequence actually delivered.
+  std::vector<std::vector<MsgId>> ids;
+  std::vector<std::vector<SeqNum>> seqs;
+};
+
+RunResult run(int batch_max_frames) {
+  Cluster::Options opts;
+  opts.num_processes = 4;
+  opts.seed = 42;
+  opts.node.batch_max_frames = batch_max_frames;
+  Cluster cluster(opts);
+  EXPECT_TRUE(cluster.await_stable());
+
+  // Load every node's pending queue in one virtual instant, then let the
+  // token drain them. Stamping order is the token's visit order and the
+  // per-visit budget, both independent of the wire shape.
+  for (std::size_t p = 0; p < cluster.size(); ++p) {
+    for (int i = 0; i < 30; ++i) {
+      const Service service =
+          i % 3 == 0 ? Service::Safe : (i % 3 == 1 ? Service::Agreed : Service::Causal);
+      std::vector<std::uint8_t> payload(24, static_cast<std::uint8_t>(p * 31 + i));
+      EXPECT_TRUE(cluster.node(p).send(service, std::move(payload)).ok());
+    }
+  }
+  EXPECT_TRUE(cluster.await_quiesce(8'000'000));
+  EXPECT_EQ(cluster.check_report(), "");
+
+  RunResult result;
+  for (std::size_t p = 0; p < cluster.size(); ++p) {
+    result.ids.push_back(cluster.sink(p).delivered_ids());
+    std::vector<SeqNum> seqs;
+    for (const auto& d : cluster.sink(p).deliveries) seqs.push_back(d.seq);
+    result.seqs.push_back(std::move(seqs));
+  }
+  return result;
+}
+
+TEST(BatchDeterminismTest, PackedAndUnpackedWireDeliverIdentically) {
+  const RunResult packed = run(16);
+  const RunResult unpacked = run(1);
+  ASSERT_EQ(packed.ids.size(), unpacked.ids.size());
+  for (std::size_t p = 0; p < packed.ids.size(); ++p) {
+    EXPECT_EQ(packed.ids[p].size(), 120u) << "process " << p;
+    EXPECT_EQ(packed.ids[p], unpacked.ids[p]) << "process " << p;
+    EXPECT_EQ(packed.seqs[p], unpacked.seqs[p]) << "process " << p;
+  }
+}
+
+TEST(BatchDeterminismTest, SameShapeIsBitwiseRepeatable) {
+  // The baseline determinism property the comparison above relies on: the
+  // same options run twice produce the same history.
+  const RunResult a = run(16);
+  const RunResult b = run(16);
+  EXPECT_EQ(a.ids, b.ids);
+  EXPECT_EQ(a.seqs, b.seqs);
+}
+
+}  // namespace
+}  // namespace evs

@@ -5,6 +5,8 @@
 // corruption by definition — these tests pin the boundary exactly.
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include <limits>
 
 #include "evs/config.hpp"
@@ -48,7 +50,8 @@ TEST(RingSeqEdgeTest, CheckedJoinRoundTripsAtTheCeiling) {
   join.episode = 3;
   join.candidates = {ProcessId{7}};
   join.max_ring_seq = kMaxRingSeq;
-  const JoinMsg back = decode_join(encode_msg(join));
+  const auto jbuf = encode_msg(join);
+  const JoinMsg back = decode_join(std::span(jbuf));
   EXPECT_EQ(back.max_ring_seq, kMaxRingSeq);
 }
 

@@ -37,7 +37,7 @@ TEST_F(NetworkTest, BroadcastReachesAllIncludingSender) {
   for (auto id : {1u, 2u, 3u}) {
     ASSERT_EQ(recorders[id].packets.size(), 1u) << id;
     EXPECT_EQ(recorders[id].packets[0].src, a);
-    EXPECT_EQ(recorders[id].packets[0].payload, std::vector<std::uint8_t>{42});
+    EXPECT_EQ(std::vector<std::uint8_t>(recorders[id].packets[0].payload().begin(), recorders[id].packets[0].payload().end()), std::vector<std::uint8_t>{42});
   }
 }
 

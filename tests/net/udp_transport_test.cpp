@@ -61,7 +61,7 @@ TEST(UdpTransportTest, UnicastRoundTripBetweenTwoTransports) {
   ASSERT_TRUE(pump(a, b, [&] { return !sink.packets.empty(); }));
   EXPECT_EQ(sink.packets[0].src, pa);
   EXPECT_EQ(sink.packets[0].dst, pb);
-  EXPECT_EQ(sink.packets[0].payload, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(std::vector<std::uint8_t>(sink.packets[0].payload().begin(), sink.packets[0].payload().end()), (std::vector<std::uint8_t>{1, 2, 3, 4}));
 }
 
 TEST(UdpTransportTest, BroadcastIncludesLoopbackSelfDelivery) {
@@ -117,7 +117,7 @@ TEST(UdpTransportTest, BlockPeerDropsBothDirections) {
   b.unblock_peer(pa);
   a.unicast(pa, pb, {3});
   ASSERT_TRUE(pump(a, b, [&] { return !sink_b.packets.empty(); }));
-  EXPECT_EQ(sink_b.packets[0].payload, (std::vector<std::uint8_t>{3}));
+  EXPECT_EQ(std::vector<std::uint8_t>(sink_b.packets[0].payload().begin(), sink_b.packets[0].payload().end()), (std::vector<std::uint8_t>{3}));
 }
 
 TEST(UdpTransportTest, UnknownSourcePortIsDropped) {

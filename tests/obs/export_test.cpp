@@ -62,6 +62,8 @@ MetricsRegistry sample_registry() {
   MetricsRegistry r;
   r.counter("evs.sent").inc(3);
   r.counter("evs.backpressure_rejections");
+  r.counter("net.datagrams_packed").inc(2);
+  r.counter("ordering.piggybacked_msgs").inc(4);
   r.counter("storage.writes").inc(5);
   r.counter("storage.bytes").inc(240);
   r.counter("storage.write_failures");
@@ -73,6 +75,7 @@ MetricsRegistry sample_registry() {
   r.gauge("ordering.store_msgs").set(3);
   r.histogram("evs.gather_us").record(1'500);
   r.histogram("evs.gather_us").record(40);
+  r.histogram("evs.deliver_batch_size").record(8);
   return r;
 }
 
@@ -258,6 +261,41 @@ TEST(ReportJson, EvsRunsMustCarryMemoryInstruments) {
   find_mutable(m2, "counters")->object.clear();
   find_mutable(m2, "gauges")->object.clear();
   EXPECT_TRUE(validate_report_json(codec_only).ok());
+}
+
+TEST(ReportJson, EvsRunsMustCarryBatchingInstruments) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "evs.obs.report");
+  w.kv("version", 1);
+  w.kv("source", "bench_unit_test");
+  w.key("runs").begin_array();
+  w.begin_object();
+  w.kv("name", "BM_Sample/4");
+  w.key("metrics");
+  write_metrics(w, sample_registry());
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  auto v = JsonValue::parse(w.str());
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(validate_report_json(*v).ok());
+
+  // An EVS-driven run stripped of any of the datagram-batching instruments
+  // (packing/piggyback counters, delivery-batch-size histogram) is rejected:
+  // they are pre-created at node construction, so absence means the hot
+  // path lost its instrumentation.
+  for (const char* counter : {"net.datagrams_packed", "ordering.piggybacked_msgs"}) {
+    auto broken = *v;
+    JsonValue& metrics =
+        *find_mutable(find_mutable(broken, "runs")->array[0], "metrics");
+    erase_member(*find_mutable(metrics, "counters"), counter);
+    EXPECT_FALSE(validate_report_json(broken).ok()) << counter;
+  }
+  auto broken = *v;
+  JsonValue& metrics = *find_mutable(find_mutable(broken, "runs")->array[0], "metrics");
+  erase_member(*find_mutable(metrics, "histograms"), "evs.deliver_batch_size");
+  EXPECT_FALSE(validate_report_json(broken).ok());
 }
 
 TEST(ReportJson, ValidatorRejectsIncompleteRuns) {

@@ -21,6 +21,11 @@ bool any_violation_across_seeds(EvsNode::FaultInjection faults, int max_seeds) {
     opts.num_processes = 4;
     opts.seed = static_cast<std::uint64_t>(seed);
     opts.node.faults = faults;
+    // One frame per datagram: each broadcast is cut or reordered
+    // independently, which is what manufactures the holes and divergent
+    // receive sets these mutations need to bite. Packed datagrams make a
+    // token visit's frames atomic and would mask the corruption.
+    opts.node.batch_max_frames = 1;
     Cluster cluster(opts);
     Rng rng(static_cast<std::uint64_t>(seed) * 7 + 3);
     if (!cluster.await_stable(3'000'000)) continue;

@@ -38,7 +38,7 @@ struct FuzzRing {
 
   void step(double drop_probability) {
     auto result = cores[holder].on_token(token, pending[holder]);
-    for (const RegularMsg& m : result.to_broadcast) {
+    for (const RegularMsgView& m : result.to_broadcast) {
       for (std::size_t r = 0; r < cores.size(); ++r) {
         if (r == holder) continue;
         if (rng.chance(drop_probability)) continue;
@@ -51,7 +51,7 @@ struct FuzzRing {
 
   void drain_and_check() {
     for (std::size_t i = 0; i < cores.size(); ++i) {
-      for (const RegularMsg& m : cores[i].drain_deliverable()) {
+      for (const RegularMsgView& m : cores[i].drain_deliverable()) {
         // Gapless, strictly increasing delivery per process.
         ASSERT_EQ(m.seq, delivered_upto[i] + 1)
             << "gap in delivery at core " << i;

@@ -178,7 +178,7 @@ TEST_F(FaultNetworkTest, LoopbackIsExemptFromFaults) {
   net.broadcast(a, {5});
   sched.run();
   ASSERT_EQ(recorders[1].packets.size(), 1u);  // own copy always arrives
-  EXPECT_EQ(recorders[1].packets[0].payload, std::vector<std::uint8_t>{5});
+  EXPECT_EQ(std::vector<std::uint8_t>(recorders[1].packets[0].payload().begin(), recorders[1].packets[0].payload().end()), std::vector<std::uint8_t>{5});
   EXPECT_EQ(recorders[2].packets.size(), 0u);
 }
 
@@ -195,7 +195,7 @@ TEST_F(FaultNetworkTest, WindowExpiryStopsInjection) {
   net.unicast(a, b, {2});  // t=200: rule expired
   sched.run();
   ASSERT_EQ(recorders[2].packets.size(), 1u);
-  EXPECT_EQ(recorders[2].packets[0].payload, std::vector<std::uint8_t>{2});
+  EXPECT_EQ(std::vector<std::uint8_t>(recorders[2].packets[0].payload().begin(), recorders[2].packets[0].payload().end()), std::vector<std::uint8_t>{2});
 }
 
 TEST_F(FaultNetworkTest, ClearFaultsRestoresCleanDelivery) {

@@ -38,9 +38,9 @@ struct MiniRing {
   }
 
   // One token step at the current holder; returns messages broadcast.
-  std::vector<RegularMsg> step() {
+  std::vector<RegularMsgView> step() {
     auto result = cores[holder].on_token(token, pending[holder]);
-    for (const RegularMsg& m : result.to_broadcast) {
+    for (const RegularMsgView& m : result.to_broadcast) {
       for (std::size_t r = 0; r < cores.size(); ++r) {
         if (r == holder) continue;
         auto it = drop_first.find(r);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "evs/config.hpp"
 #include "totem/messages.hpp"
 
@@ -122,8 +124,8 @@ TEST(CodecTest, RegularMsgRoundTrip) {
   m.service = Service::Safe;
   m.payload = {9, 8, 7};
   auto buf = encode_msg(m);
-  EXPECT_EQ(peek_type(buf), MsgType::Regular);
-  RegularMsg d = decode_regular(buf);
+  EXPECT_EQ(peek_type(std::span(buf)), MsgType::Regular);
+  RegularMsg d = decode_regular(std::span(buf));
   EXPECT_EQ(d.ring, m.ring);
   EXPECT_EQ(d.seq, m.seq);
   EXPECT_EQ(d.id, m.id);
@@ -140,8 +142,8 @@ TEST(CodecTest, TokenRoundTrip) {
   t.aru_setter = ProcessId{4};
   t.rtr.insert_range(991, 995);
   auto buf = encode_msg(t);
-  EXPECT_EQ(peek_type(buf), MsgType::Token);
-  TokenMsg d = decode_token(buf);
+  EXPECT_EQ(peek_type(std::span(buf)), MsgType::Token);
+  TokenMsg d = decode_token(std::span(buf));
   EXPECT_EQ(d.ring, t.ring);
   EXPECT_EQ(d.rotation, t.rotation);
   EXPECT_EQ(d.seq, t.seq);
@@ -158,7 +160,7 @@ TEST(CodecTest, JoinRoundTrip) {
   j.fail_set = {ProcessId{9}};
   j.max_ring_seq = 77;
   auto buf = encode_msg(j);
-  JoinMsg d = decode_join(buf);
+  JoinMsg d = decode_join(std::span(buf));
   EXPECT_EQ(d.sender, j.sender);
   EXPECT_EQ(d.episode, j.episode);
   EXPECT_EQ(d.candidates, j.candidates);
@@ -177,7 +179,7 @@ TEST(CodecTest, ExchangeRoundTrip) {
   e.delivered_extra.insert(48);
   e.obligation_set = {ProcessId{2}, ProcessId{3}};
   auto buf = encode_msg(e);
-  ExchangeMsg d = decode_exchange(buf);
+  ExchangeMsg d = decode_exchange(std::span(buf));
   EXPECT_EQ(d.sender, e.sender);
   EXPECT_EQ(d.proposed_ring, e.proposed_ring);
   EXPECT_EQ(d.old_ring, e.old_ring);
@@ -198,7 +200,7 @@ TEST(CodecTest, RecoveryMsgRoundTrip) {
   rm.inner.service = Service::Agreed;
   rm.inner.payload = {1};
   auto buf = encode_msg(rm);
-  RecoveryMsgMsg d = decode_recovery_msg(buf);
+  RecoveryMsgMsg d = decode_recovery_msg(std::span(buf));
   EXPECT_EQ(d.sender, rm.sender);
   EXPECT_EQ(d.proposed_ring, rm.proposed_ring);
   EXPECT_EQ(d.inner.seq, rm.inner.seq);
@@ -213,28 +215,29 @@ TEST(CodecTest, RecoveryAckAndBeaconAndFormRing) {
   a.received.insert(1);
   a.complete = true;
   auto abuf = encode_msg(a);
-  auto da = decode_recovery_ack(abuf);
+  auto da = decode_recovery_ack(std::span(abuf));
   EXPECT_EQ(da.sender, a.sender);
   EXPECT_TRUE(da.complete);
   EXPECT_EQ(da.received, a.received);
 
   BeaconMsg b{ProcessId{4}, RingId{12, ProcessId{4}}};
   auto bbuf = encode_msg(b);
-  auto db = decode_beacon(bbuf);
+  auto db = decode_beacon(std::span(bbuf));
   EXPECT_EQ(db.sender, b.sender);
   EXPECT_EQ(db.ring, b.ring);
 
   FormRingMsg f{ProcessId{1}, RingId{20, ProcessId{1}}, {ProcessId{1}, ProcessId{2}}};
   auto fbuf = encode_msg(f);
-  auto df = decode_form_ring(fbuf);
+  auto df = decode_form_ring(std::span(fbuf));
   EXPECT_EQ(df.ring, f.ring);
   EXPECT_EQ(df.members, f.members);
 }
 
 TEST(CodecTest, PeekTypeOnGarbage) {
-  EXPECT_EQ(peek_type({}), std::nullopt);
-  EXPECT_EQ(peek_type({0}), std::nullopt);
-  EXPECT_EQ(peek_type({99}), std::nullopt);
+  const std::vector<std::uint8_t> empty, zero{0}, unknown{99};
+  EXPECT_EQ(peek_type(std::span(empty)), std::nullopt);
+  EXPECT_EQ(peek_type(std::span(zero)), std::nullopt);
+  EXPECT_EQ(peek_type(std::span(unknown)), std::nullopt);
 }
 
 }  // namespace

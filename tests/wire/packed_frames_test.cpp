@@ -1,0 +1,204 @@
+// Packed datagrams: frames are self-delimiting, so a datagram carrying N
+// messages is just N frames back to back, built with append_frame and walked
+// on receipt by FrameCursor. This suite pins the contract at the hostile-byte
+// boundary: round-trips for 0/1/N frames and bodies at the size cap, the
+// torn-tail and mid-datagram corruption error taxonomy, the Reader/read-u32
+// bounds fix that makes a truncated trailing frame reject instead of read
+// past the buffer, and a deterministic fuzz sweep over mutated packed
+// buffers (run under ASan/UBSan in the sanitizer configs).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "wire/codec.hpp"
+
+namespace evs::wire {
+namespace {
+
+std::vector<std::uint8_t> body_of(std::uint8_t tag, std::size_t len) {
+  std::vector<std::uint8_t> b(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    b[i] = static_cast<std::uint8_t>(tag + i);
+  }
+  return b;
+}
+
+// Walk a datagram to completion, collecting bodies; returns the terminal
+// status (OK when the datagram was consumed exactly).
+Status walk(std::span<const std::uint8_t> datagram,
+            std::vector<std::vector<std::uint8_t>>* out) {
+  FrameCursor cursor(datagram);
+  while (!cursor.done()) {
+    auto body = cursor.next();
+    if (!body.ok()) return body.status();
+    out->emplace_back(body->begin(), body->end());
+  }
+  return Status::ok_status();
+}
+
+TEST(PackedFramesTest, EmptyDatagramIsZeroFrames) {
+  std::vector<std::vector<std::uint8_t>> bodies;
+  EXPECT_TRUE(walk({}, &bodies).ok());
+  EXPECT_TRUE(bodies.empty());
+}
+
+TEST(PackedFramesTest, SingleFrameMatchesSealFrame) {
+  const auto body = body_of(1, 100);
+  std::vector<std::uint8_t> dgram;
+  ASSERT_TRUE(append_frame(dgram, body).ok());
+  // Packing one frame is byte-identical to the single-frame sealer: the
+  // unbatched and batched wire shapes are the same format.
+  auto sealed = seal_frame(body);
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(dgram, *sealed);
+
+  std::vector<std::vector<std::uint8_t>> bodies;
+  ASSERT_TRUE(walk(dgram, &bodies).ok());
+  ASSERT_EQ(bodies.size(), 1u);
+  EXPECT_EQ(bodies[0], body);
+}
+
+TEST(PackedFramesTest, ManyFramesRoundTripInOrder) {
+  std::vector<std::vector<std::uint8_t>> sent;
+  std::vector<std::uint8_t> dgram;
+  for (int i = 0; i < 64; ++i) {
+    // Mix of sizes, including empty bodies, which are legal frames.
+    sent.push_back(body_of(static_cast<std::uint8_t>(i), (i * 37) % 256));
+    ASSERT_TRUE(append_frame(dgram, sent.back()).ok());
+  }
+  std::vector<std::vector<std::uint8_t>> bodies;
+  ASSERT_TRUE(walk(dgram, &bodies).ok());
+  EXPECT_EQ(bodies, sent);
+}
+
+TEST(PackedFramesTest, MaxSizeBodyRoundTripsAndOversizeRejected) {
+  std::vector<std::uint8_t> dgram;
+  ASSERT_TRUE(append_frame(dgram, body_of(7, kMaxFrameBody)).ok());
+  std::vector<std::vector<std::uint8_t>> bodies;
+  ASSERT_TRUE(walk(dgram, &bodies).ok());
+  ASSERT_EQ(bodies.size(), 1u);
+  EXPECT_EQ(bodies[0].size(), kMaxFrameBody);
+
+  // One byte over the cap: append_frame refuses and leaves out untouched.
+  std::vector<std::uint8_t> out{1, 2, 3};
+  Status st = append_frame(out, body_of(7, kMaxFrameBody + 1));
+  EXPECT_EQ(st.code(), Errc::payload_too_large);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{1, 2, 3}));
+
+  // A forged header declaring an over-cap length is rejected as such, not
+  // treated as a short read.
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(kMaxFrameBody + 1));
+  w.u32(0);
+  auto forged = w.take();
+  FrameCursor cursor(forged);
+  auto body = cursor.next();
+  ASSERT_FALSE(body.ok());
+  EXPECT_EQ(body.code(), Errc::payload_too_large);
+}
+
+TEST(PackedFramesTest, TornTailIsBadFrameNotSilentStop) {
+  // Regression for the read_u32_le/Reader bounds fix: before it, a trailing
+  // fragment shorter than a header could read past the end of the buffer
+  // (or alias adjacent bytes) instead of rejecting. Every truncation point
+  // of a two-frame datagram must now yield bad_frame after the first frame
+  // decodes cleanly.
+  const auto first = body_of(3, 40);
+  const auto second = body_of(9, 40);
+  std::vector<std::uint8_t> dgram;
+  ASSERT_TRUE(append_frame(dgram, first).ok());
+  const std::size_t boundary = dgram.size();
+  ASSERT_TRUE(append_frame(dgram, second).ok());
+
+  for (std::size_t cut = boundary + 1; cut < dgram.size(); ++cut) {
+    std::vector<std::uint8_t> torn(dgram.begin(),
+                                   dgram.begin() + static_cast<std::ptrdiff_t>(cut));
+    FrameCursor cursor(torn);
+    auto head = cursor.next();
+    ASSERT_TRUE(head.ok()) << "cut=" << cut;
+    EXPECT_EQ(std::vector<std::uint8_t>(head->begin(), head->end()), first);
+    ASSERT_FALSE(cursor.done()) << "cut=" << cut;
+    auto tail = cursor.next();
+    ASSERT_FALSE(tail.ok()) << "cut=" << cut;
+    EXPECT_EQ(tail.code(), Errc::bad_frame) << "cut=" << cut;
+    // Poisoned cursor: done() stays false, next() repeats the error.
+    EXPECT_FALSE(cursor.done());
+    EXPECT_EQ(cursor.next().code(), Errc::bad_frame);
+  }
+}
+
+TEST(PackedFramesTest, MidDatagramCorruptionAbandonsTheRest) {
+  std::vector<std::uint8_t> dgram;
+  ASSERT_TRUE(append_frame(dgram, body_of(1, 30)).ok());
+  const std::size_t second_start = dgram.size();
+  ASSERT_TRUE(append_frame(dgram, body_of(2, 30)).ok());
+  ASSERT_TRUE(append_frame(dgram, body_of(3, 30)).ok());
+
+  // Flip one body byte of the middle frame: its CRC fails, and the cursor
+  // must not attempt to resynchronize on the third frame — a garbled length
+  // field cannot be trusted to find the next boundary.
+  auto corrupted = dgram;
+  corrupted[second_start + kFrameHeaderBytes + 5] ^= 0x40;
+  std::vector<std::vector<std::uint8_t>> bodies;
+  Status st = walk(corrupted, &bodies);
+  EXPECT_EQ(st.code(), Errc::crc_mismatch);
+  EXPECT_EQ(bodies.size(), 1u);
+}
+
+TEST(PackedFramesTest, FuzzMutatedPackedBuffersNeverCrash) {
+  // Deterministic fuzz: build a packed datagram, then hammer the cursor
+  // with truncations, byte flips, splices and random garbage. The property
+  // is memory safety plus the error taxonomy — every walk ends in OK,
+  // bad_frame, payload_too_large or crc_mismatch, and bodies handed out
+  // never exceed the remaining buffer (the sanitizer configs verify the
+  // spans stay in bounds).
+  Rng rng(20260808);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> dgram;
+    const int frames = static_cast<int>(rng.below(6));
+    for (int f = 0; f < frames; ++f) {
+      ASSERT_TRUE(
+          append_frame(dgram, body_of(static_cast<std::uint8_t>(rng()), rng.below(200)))
+              .ok());
+    }
+    switch (rng.below(4)) {
+      case 0:  // truncate
+        if (!dgram.empty()) dgram.resize(rng.below(dgram.size()));
+        break;
+      case 1:  // flip bytes
+        for (int flips = static_cast<int>(rng.below(4)); flips > 0 && !dgram.empty();
+             --flips) {
+          dgram[rng.below(dgram.size())] ^= static_cast<std::uint8_t>(1 + rng.below(255));
+        }
+        break;
+      case 2: {  // splice random garbage into the tail
+        const std::size_t garbage = rng.below(32);
+        for (std::size_t g = 0; g < garbage; ++g) {
+          dgram.push_back(static_cast<std::uint8_t>(rng()));
+        }
+        break;
+      }
+      default:  // leave intact: the clean walk must succeed
+        break;
+    }
+    FrameCursor cursor(dgram);
+    while (!cursor.done()) {
+      auto body = cursor.next();
+      if (!body.ok()) {
+        const Errc code = body.code();
+        EXPECT_TRUE(code == Errc::bad_frame || code == Errc::payload_too_large ||
+                    code == Errc::crc_mismatch)
+            << "trial=" << trial << " unexpected code " << static_cast<int>(code);
+        break;
+      }
+      EXPECT_LE(body->size(), dgram.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace evs::wire

@@ -5,6 +5,7 @@
 // (token rtr cardinality, exchange GC watermark consistency) must hold.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <variant>
 
 #include "totem/messages.hpp"
@@ -54,7 +55,7 @@ ExchangeMsg sample_exchange() {
 template <typename T>
 void expect_round_trip(const T& msg, MsgType want) {
   const auto buf = encode_msg(msg);
-  const auto peeked = peek_type(buf);
+  const auto peeked = peek_type(std::span(buf));
   ASSERT_TRUE(peeked.has_value());
   EXPECT_EQ(*peeked, want);
   const auto decoded = try_decode(buf);
@@ -105,20 +106,25 @@ TEST(PeekTypeTest, EveryMsgTypeRoundTrips) {
 TEST(PeekTypeTest, TypeByteRangeIsDerivedFromEnum) {
   // Inside the valid range peek succeeds on a minimal buffer; one past
   // either end is rejected without touching the rest of the bytes.
-  EXPECT_EQ(peek_type({kMsgTypeMin}), MsgType::Regular);
-  EXPECT_EQ(peek_type({kMsgTypeMax}), MsgType::Beacon);
-  EXPECT_EQ(peek_type({static_cast<std::uint8_t>(kMsgTypeMin - 1)}), std::nullopt);
-  EXPECT_EQ(peek_type({static_cast<std::uint8_t>(kMsgTypeMax + 1)}), std::nullopt);
-  EXPECT_EQ(peek_type({0xFF}), std::nullopt);
+  const std::vector<std::uint8_t> lo{kMsgTypeMin}, hi{kMsgTypeMax},
+      below{static_cast<std::uint8_t>(kMsgTypeMin - 1)},
+      above{static_cast<std::uint8_t>(kMsgTypeMax + 1)}, junk{0xFF};
+  EXPECT_EQ(peek_type(std::span(lo)), MsgType::Regular);
+  EXPECT_EQ(peek_type(std::span(hi)), MsgType::Beacon);
+  EXPECT_EQ(peek_type(std::span(below)), std::nullopt);
+  EXPECT_EQ(peek_type(std::span(above)), std::nullopt);
+  EXPECT_EQ(peek_type(std::span(junk)), std::nullopt);
 }
 
 TEST(PeekTypeTest, NewTokenAndExchangeFieldsRoundTrip) {
   const TokenMsg t = sample_token();
-  const TokenMsg dt = decode_token(encode_msg(t));
+  const auto tbuf = encode_msg(t);
+  const TokenMsg dt = decode_token(std::span(tbuf));
   EXPECT_EQ(dt.fcc, t.fcc);
 
   const ExchangeMsg e = sample_exchange();
-  const ExchangeMsg de = decode_exchange(encode_msg(e));
+  const auto ebuf = encode_msg(e);
+  const ExchangeMsg de = decode_exchange(std::span(ebuf));
   EXPECT_EQ(de.gc_upto, e.gc_upto);
 }
 

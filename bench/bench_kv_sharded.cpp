@@ -1,0 +1,210 @@
+// Sharded KV throughput (DESIGN.md "Sharded dispatch").
+//
+// A YCSB-style keyed write workload over testkit::KvCluster: uniform keys,
+// every write SAFE-ordered on its shard's own EVS ring, all shard clusters
+// advanced in lockstep virtual time so cross-configuration comparisons are
+// honest. Sweeps shard count x node count x partition schedule:
+//
+//   BM_KvShardedWrite/<shards>/<nodes>/<schedule>
+//     schedule 0 — clean run
+//     schedule 1 — Fig.6-style mid-run cut: one replica of shard 0 is
+//                  isolated at the workload's midpoint and re-merged near
+//                  the end; writes keep flowing through the majority side,
+//                  and each shard's trace must stay spec-clean.
+//
+// The headline counter is ops_per_sim_sec — total acked ordered writes
+// over the virtual makespan. One ring serializes everything; S rings
+// order S key-disjoint streams concurrently, so throughput scales with
+// the shard count (the acceptance gate for this layer is >= 3x from 1 to
+// 4 shards). sim_us_per_op and blocked-write counts are reported
+// alongside; each iteration's cluster metrics (kv.*, shard.*) merge into
+// the obs report for BENCH_kv_sharded.json.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "testkit/kv_cluster.hpp"
+
+namespace {
+
+using namespace evs;
+
+void BM_KvShardedWrite(benchmark::State& state) {
+  const auto shards = static_cast<std::uint32_t>(state.range(0));
+  const auto nodes = static_cast<std::size_t>(state.range(1));
+  const bool partition_schedule = state.range(2) != 0;
+  // Large enough that ring-serialized ordering dominates the virtual
+  // makespan (the last few deliveries cost a constant couple of token
+  // rotations regardless of shard count, which otherwise flattens the
+  // scaling curve).
+  const int kOps = 3200;
+
+  double sim_us = 0;
+  double ops = 0;
+  double blocked = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    KvCluster::Options opts;
+    opts.num_processes = nodes;
+    opts.router.num_shards = shards;
+    opts.router.replication = 3;
+    opts.seed = 7000 + rounds;
+    KvCluster kc(opts);
+    if (!kc.await_stable(20'000'000)) {
+      state.SkipWithError("shard rings never stabilized");
+      return;
+    }
+
+    const SimTime start = kc.now();
+    // The replica the Fig.6-style schedule isolates: the LAST replica of
+    // shard 0, so the shard's writer (its first replica) stays on the
+    // majority side and the write stream survives the cut.
+    const std::size_t lone =
+        kc.router().replicas(0).back().value - 1;
+    bool cut = false, healed = false;
+    int acked = 0;
+    // Applied-count expectation per (shard, process): a replica cut away
+    // when a write was ordered will never apply it (no state transfer), so
+    // it is excluded from that write's finish line.
+    std::vector<std::vector<std::uint64_t>> expect_applied(
+        shards, std::vector<std::uint64_t>(nodes, 0));
+    for (int i = 0; i < kOps; ++i) {
+      if (partition_schedule && !cut && i == kOps / 2) {
+        // Fig.6-style event on shard 0's network only: one replica is
+        // isolated; everyone else merges into the surviving component.
+        std::vector<std::size_t> rest;
+        for (std::size_t p = 0; p < kc.size(); ++p) {
+          if (p != lone) rest.push_back(p);
+        }
+        kc.partition_shard(0, {{lone}, rest});
+        cut = true;
+      }
+      if (partition_schedule && cut && !healed && i == kOps - kOps / 8) {
+        kc.heal_shard(0);
+        healed = true;
+      }
+      // Uniform keys over a keyspace much larger than the shard count, so
+      // the per-shard load is balanced (a handful of hot keys would skew
+      // one shard into the makespan).
+      const std::string key = "ycsb-" + std::to_string(i);
+      const std::string value(64, static_cast<char>('a' + i % 26));
+      const shard::ShardId s = kc.router().shard_of_key(key);
+      // Writes go to the shard's current in-primary writer; while a cut
+      // shard regathers there may briefly be none — that wall is part of
+      // the measured schedule, not an error.
+      bool done = false;
+      for (int attempt = 0; attempt < 400 && !done; ++attempt) {
+        apps::KvShardedNode* w = kc.writer(s);
+        if (w == nullptr) {
+          kc.run_for(2'000);
+          continue;
+        }
+        const Status st = w->put(key, value);
+        if (st.ok()) {
+          done = true;
+        } else if (st.code() == Errc::invalid_argument) {
+          state.SkipWithError("write routed to a non-replica");
+          return;
+        } else {
+          // Backpressure, a mid-gather ring, a not-yet-primary replica —
+          // all transient walls the schedule creates; wait them out.
+          blocked += 1;
+          kc.run_for(2'000);
+        }
+      }
+      if (!done) {
+        state.SkipWithError("write never admitted");
+        return;
+      }
+      ++acked;
+      for (const ProcessId p : kc.router().replicas(s)) {
+        // Under the partition schedule the isolated replica is out of the
+        // finish line for its shard entirely: writes in flight when the
+        // cut lands end in a transitional configuration it is not part of,
+        // and without state transfer it never applies them.
+        const bool severed =
+            partition_schedule && s == 0 && p.value - 1 == lone;
+        if (!severed) expect_applied[s][p.value - 1] += 1;
+      }
+    }
+    if (partition_schedule && !healed) kc.heal_shard(0);
+    // The finish line is every replica having APPLIED every acked write —
+    // measured on a fine step, so the makespan is the slowest shard's
+    // drain, not the coarse quiesce slicing.
+    const bool drained = kc.await(
+        [&] {
+          for (shard::ShardId s = 0; s < kc.num_shards(); ++s) {
+            for (std::size_t p = 0; p < nodes; ++p) {
+              if (expect_applied[s][p] == 0) continue;
+              const shard::KvStore* st = kc.agent(p).store(s);
+              if (st == nullptr ||
+                  st->stats().applied < expect_applied[s][p]) {
+                return false;
+              }
+            }
+          }
+          return true;
+        },
+        60'000'000);
+    if (!drained) {
+      state.SkipWithError("shard rings never drained");
+      return;
+    }
+    const double elapsed = static_cast<double>(kc.now() - start);
+    // Outside the measured window: settle and run the per-shard checkers.
+    if (!kc.await_quiesce(60'000'000)) {
+      state.SkipWithError("shard rings never quiesced");
+      return;
+    }
+    for (shard::ShardId s = 0; s < kc.num_shards(); ++s) {
+      // The cut shard's isolated replica is legitimately stale after the
+      // re-merge (no state transfer); every other shard must agree exactly.
+      if (partition_schedule && s == 0) continue;
+      if (!kc.replicas_agree(s)) {
+        state.SkipWithError("replicas diverged");
+        return;
+      }
+    }
+    if (!kc.check_report().empty()) {
+      state.SkipWithError("spec violation in a shard trace");
+      return;
+    }
+
+    sim_us += elapsed;
+    ops += acked;
+    const std::string run = evs::bench::run_name(
+        "BM_KvShardedWrite",
+        {state.range(0), state.range(1), state.range(2)});
+    evs::bench::record(run, kc);
+    // Derivable throughput for the committed JSON: acked ops and virtual
+    // makespan ride along as counters next to the kv.* instruments.
+    auto& reg = evs::bench::ObsReport::instance().run(run);
+    reg.counter("bench.acked_ops").inc(static_cast<std::uint64_t>(acked));
+    reg.counter("bench.sim_elapsed_us")
+        .inc(static_cast<std::uint64_t>(elapsed));
+    ++rounds;
+  }
+  state.counters["ops_per_sim_sec"] = ops / (sim_us / 1e6);
+  state.counters["sim_us_per_op"] = sim_us / ops;
+  state.counters["blocked_retries"] = blocked / static_cast<double>(rounds);
+}
+
+}  // namespace
+
+BENCHMARK(BM_KvShardedWrite)
+    // Shard sweep at fixed node count, clean: the scaling headline.
+    ->Args({1, 5, 0})
+    ->Args({2, 5, 0})
+    ->Args({4, 5, 0})
+    ->Args({8, 5, 0})
+    // Node sweep at fixed shard count.
+    ->Args({4, 7, 0})
+    ->Args({4, 9, 0})
+    // Fig.6-style partition schedule across the shard sweep.
+    ->Args({1, 5, 1})
+    ->Args({4, 5, 1})
+    ->Unit(benchmark::kMillisecond);
+
+EVS_BENCH_MAIN("bench_kv_sharded");

@@ -22,6 +22,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "testkit/cluster.hpp"
+#include "testkit/kv_cluster.hpp"
 #include "testkit/vs_cluster.hpp"
 
 namespace evs::bench {
@@ -81,6 +82,9 @@ inline void record(const std::string& run, const Cluster& cluster) {
   ObsReport::instance().run(run).merge_from(cluster.aggregate_metrics());
 }
 inline void record(const std::string& run, const VsCluster& cluster) {
+  ObsReport::instance().run(run).merge_from(cluster.aggregate_metrics());
+}
+inline void record(const std::string& run, const KvCluster& cluster) {
   ObsReport::instance().run(run).merge_from(cluster.aggregate_metrics());
 }
 

@@ -1,0 +1,210 @@
+#include "apps/kv_sharded.hpp"
+
+#include <algorithm>
+
+namespace evs::apps {
+
+KvShardedNode::Met::Met(obs::MetricsRegistry& r)
+    : puts(r.counter("kv.puts")),
+      gets(r.counter("kv.gets")),
+      get_misses(r.counter("kv.get_misses")),
+      applied(r.counter("kv.applied")),
+      rejected_not_replica(r.counter("kv.rejected_not_replica")),
+      rejected_backpressure(r.counter("kv.rejected_backpressure")),
+      reads_blocked(r.counter("kv.reads_blocked")),
+      writes_blocked(r.counter("kv.writes_blocked")),
+      rejected_decode(r.counter("kv.rejected_decode")),
+      local_shards(r.gauge("shard.local_shards")),
+      put_batch_size(r.histogram("kv.put_batch_size")) {}
+
+KvShardedNode::KvShardedNode(ProcessId self, const shard::ShardRouter& router)
+    : self_(self), router_(router), met_(metrics_) {}
+
+void KvShardedNode::attach_shard(shard::ShardId shard, EvsNode& node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LocalShard& ls = shards_[shard];
+  ls.node = &node;
+  met_.local_shards.set(static_cast<std::int64_t>(shards_.size()));
+  // Apply the shard's total order into the shard-local store. Regular
+  // traffic arrives through the zero-copy batch callback; transitional and
+  // recovery-time deliveries arrive per message through the scalar
+  // callback — BOTH must feed the store, or every write that lands during
+  // a configuration change silently misses the state machine. The payload
+  // views are only valid for the callback, and KvStore copies what it
+  // keeps, so no pinning is needed.
+  node.set_on_deliver_batch(
+      [this, shard](std::span<const EvsNode::DeliveryView> batch) {
+        std::lock_guard<std::mutex> apply_lock(mu_);
+        for (const auto& d : batch) apply_locked(shard, d.payload);
+      });
+  node.set_on_deliver([this, shard](const EvsNode::Delivery& d) {
+    std::lock_guard<std::mutex> apply_lock(mu_);
+    apply_locked(shard, d.payload);
+  });
+}
+
+void KvShardedNode::apply_locked(shard::ShardId shard,
+                                 std::span<const std::uint8_t> payload) {
+  LocalShard* ls = find(shard);
+  if (ls == nullptr) return;
+  const auto before = ls->store.stats().rejected_decode;
+  ls->store.apply(payload);
+  if (ls->store.stats().rejected_decode == before) {
+    met_.applied.inc();
+  } else {
+    met_.rejected_decode.inc();
+  }
+}
+
+bool KvShardedNode::has_shard(shard::ShardId shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.find(shard) != shards_.end();
+}
+
+std::vector<shard::ShardId> KvShardedNode::local_shards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<shard::ShardId> out;
+  out.reserve(shards_.size());
+  for (const auto& [id, ls] : shards_) out.push_back(id);
+  return out;
+}
+
+Status KvShardedNode::put(std::string_view key, std::string_view value) {
+  const shard::ShardId shard = router_.shard_of_key(key);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.push_back(shard::encode_op(shard::KvOp::Put, key, value));
+  return submit(shard, std::move(payloads));
+}
+
+Status KvShardedNode::del(std::string_view key) {
+  const shard::ShardId shard = router_.shard_of_key(key);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.push_back(shard::encode_op(shard::KvOp::Del, key, {}));
+  return submit(shard, std::move(payloads));
+}
+
+Status KvShardedNode::put_batch(
+    const std::vector<std::pair<std::string, std::string>>& items) {
+  // Group by shard so each shard ring sees one all-or-nothing send_batch.
+  std::map<shard::ShardId, std::vector<std::vector<std::uint8_t>>> by_shard;
+  for (const auto& [key, value] : items) {
+    by_shard[router_.shard_of_key(key)].push_back(
+        shard::encode_op(shard::KvOp::Put, key, value));
+  }
+  Status first_error;
+  for (auto& [shard, payloads] : by_shard) {
+    Status st = submit(shard, std::move(payloads));
+    if (!st.ok() && first_error.ok()) first_error = std::move(st);
+  }
+  return first_error;
+}
+
+Status KvShardedNode::submit(shard::ShardId shard,
+                             std::vector<std::vector<std::uint8_t>> payloads) {
+  EvsNode* node = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LocalShard* ls = find(shard);
+    if (ls == nullptr) {
+      met_.rejected_not_replica.inc();
+      return Status::error(Errc::invalid_argument,
+                           "key's shard is not replicated on this process");
+    }
+    // Writes are primary-gated like reads: a minority component must not
+    // order writes its re-merged peers never saw — with at most one primary
+    // per shard, re-merged replica maps stay equal without state transfer.
+    if (!in_primary_locked(shard, *ls)) {
+      met_.writes_blocked.inc();
+      return Status::error(Errc::blocked_not_primary,
+                           "shard replica is not in the primary component");
+    }
+    node = ls->node;
+  }
+  const auto count = payloads.size();
+  // SAFE delivery: a write is applied only when every member of the shard
+  // configuration has it — the strongest per-shard guarantee EVS offers,
+  // and what makes any in-primary replica safe to read.
+  auto sent = node->send_batch(Service::Safe, std::move(payloads));
+  if (!sent.ok()) {
+    if (sent.code() == Errc::backpressure) met_.rejected_backpressure.inc();
+    return sent.status();
+  }
+  met_.puts.inc(count);
+  met_.put_batch_size.record(count);
+  return Status::ok_status();
+}
+
+Expected<std::optional<std::string>> KvShardedNode::get(std::string_view key) {
+  const shard::ShardId shard = router_.shard_of_key(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  const LocalShard* ls = find(shard);
+  if (ls == nullptr) {
+    met_.rejected_not_replica.inc();
+    return Status::error(Errc::invalid_argument,
+                         "key's shard is not replicated on this process");
+  }
+  if (!in_primary_locked(shard, *ls)) {
+    met_.reads_blocked.inc();
+    return Status::error(Errc::blocked_not_primary,
+                         "shard replica is not in the primary component");
+  }
+  met_.gets.inc();
+  auto value = ls->store.get(key);
+  if (!value.has_value()) met_.get_misses.inc();
+  return Expected<std::optional<std::string>>(std::move(value));
+}
+
+bool KvShardedNode::in_primary(shard::ShardId shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const LocalShard* ls = find(shard);
+  return ls != nullptr && in_primary_locked(shard, *ls);
+}
+
+bool KvShardedNode::in_primary_locked(shard::ShardId shard,
+                                      const LocalShard& ls) const {
+  // In-primary: the replica's CURRENT shard configuration holds a majority
+  // of the shard's ASSIGNED replica group, so no disjoint configuration can
+  // simultaneously hold one — at most one primary per shard at a time.
+  const auto& assigned = router_.replicas(shard);
+  if (assigned.empty() || ls.node == nullptr || !ls.node->running()) {
+    return false;
+  }
+  const Configuration& cfg = ls.node->config();
+  std::size_t present = 0;
+  for (const ProcessId p : assigned) {
+    if (cfg.contains(p)) ++present;
+  }
+  return present * 2 > assigned.size();
+}
+
+KvShardedNode::Stats KvShardedNode::stats() const {
+  Stats s;
+  s.puts = met_.puts.value();
+  s.gets = met_.gets.value();
+  s.get_misses = met_.get_misses.value();
+  s.applied = met_.applied.value();
+  s.rejected_not_replica = met_.rejected_not_replica.value();
+  s.rejected_backpressure = met_.rejected_backpressure.value();
+  s.reads_blocked = met_.reads_blocked.value();
+  s.writes_blocked = met_.writes_blocked.value();
+  return s;
+}
+
+const shard::KvStore* KvShardedNode::store(shard::ShardId shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const LocalShard* ls = find(shard);
+  return ls == nullptr ? nullptr : &ls->store;
+}
+
+KvShardedNode::LocalShard* KvShardedNode::find(shard::ShardId shard) {
+  const auto it = shards_.find(shard);
+  return it == shards_.end() ? nullptr : &it->second;
+}
+
+const KvShardedNode::LocalShard* KvShardedNode::find(
+    shard::ShardId shard) const {
+  const auto it = shards_.find(shard);
+  return it == shards_.end() ? nullptr : &it->second;
+}
+
+}  // namespace evs::apps

@@ -1,0 +1,132 @@
+// Sharded KV service node: the per-process agent of the multi-ring KV
+// store. One EvsNode per LOCALLY REPLICATED shard (each shard is an
+// independent EVS group with its own total order); a consistent-hash
+// ShardRouter maps keys -> shard and shard -> replica group.
+//
+// Write path: put/del ops are encoded and submitted to the owning shard's
+// ring with SAFE delivery via send_batch — a write is applied only once
+// every member of the shard's configuration has it, and all replicas apply
+// the identical per-shard sequence (per-key linearizability follows: a
+// key lives in exactly one shard, and that shard's order is total).
+//
+// Read path: served locally by any IN-PRIMARY replica — the replica's
+// current shard configuration must contain a majority of the shard's
+// assigned replica group; otherwise the read is refused
+// (Errc::blocked_not_primary) rather than answered from a minority that
+// may be missing committed writes.
+//
+// Cross-shard semantics: none, by design. Shards compose because they
+// never share ordering state — a partition that stalls shard A's ring
+// cannot stall shard B's (DESIGN.md "Sharded dispatch").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "evs/node.hpp"
+#include "obs/metrics.hpp"
+#include "shard/kv_store.hpp"
+#include "shard/router.hpp"
+#include "util/status.hpp"
+
+namespace evs::apps {
+
+class KvShardedNode {
+ public:
+  struct Stats {
+    std::uint64_t puts{0};          ///< write ops accepted into a shard ring
+    std::uint64_t gets{0};          ///< reads served (hit or miss)
+    std::uint64_t get_misses{0};    ///< reads served with no value
+    std::uint64_t applied{0};       ///< ops applied from shard total orders
+    std::uint64_t rejected_not_replica{0};  ///< op for a shard not held here
+    std::uint64_t rejected_backpressure{0};
+    std::uint64_t reads_blocked{0};   ///< refused: shard replica not in primary
+    std::uint64_t writes_blocked{0};  ///< refused: shard replica not in primary
+  };
+
+  /// `router` must outlive the node and is shared (const) by every process;
+  /// the harness updates it on membership change and re-attaches shards.
+  KvShardedNode(ProcessId self, const shard::ShardRouter& router);
+
+  /// Wire a locally replicated shard's ring into this agent. Installs the
+  /// shard node's batch delivery handler; call once per (agent, shard).
+  void attach_shard(shard::ShardId shard, EvsNode& node);
+
+  bool has_shard(shard::ShardId shard) const;
+  std::vector<shard::ShardId> local_shards() const;
+
+  /// Route and submit one write. Fails with invalid_argument when this
+  /// process does not replicate the key's shard (the caller routes to a
+  /// replica), or backpressure/not_running from the shard ring.
+  Status put(std::string_view key, std::string_view value);
+  Status del(std::string_view key);
+
+  /// Submit a batch of writes, grouped by shard, one send_batch per shard
+  /// (all-or-nothing PER SHARD: a rejected shard group leaves other shard
+  /// groups submitted). Returns the first error, having tried every group.
+  Status put_batch(
+      const std::vector<std::pair<std::string, std::string>>& items);
+
+  /// Local in-primary read. blocked_not_primary when this replica's shard
+  /// configuration holds a minority of the assigned replica group;
+  /// invalid_argument when the shard is not replicated here.
+  Expected<std::optional<std::string>> get(std::string_view key);
+
+  /// True when the local replica of `shard` is in primary: its current
+  /// regular configuration contains a majority of the router's assigned
+  /// replica group for the shard.
+  bool in_primary(shard::ShardId shard) const;
+
+  Stats stats() const;
+  const shard::KvStore* store(shard::ShardId shard) const;
+
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  struct LocalShard {
+    EvsNode* node{nullptr};
+    shard::KvStore store;
+  };
+
+  Status submit(shard::ShardId shard,
+                std::vector<std::vector<std::uint8_t>> payloads);
+  void apply_locked(shard::ShardId shard,
+                    std::span<const std::uint8_t> payload);
+  bool in_primary_locked(shard::ShardId shard, const LocalShard& ls) const;
+  LocalShard* find(shard::ShardId shard);
+  const LocalShard* find(shard::ShardId shard) const;
+
+  ProcessId self_;
+  const shard::ShardRouter& router_;
+  std::map<shard::ShardId, LocalShard> shards_;
+
+  // The sim harness is single-threaded; the live harness applies each
+  // shard's deliveries on that shard transport's loop thread while reads
+  // come from callers — one agent-wide mutex keeps the stores coherent.
+  mutable std::mutex mu_;
+
+  obs::MetricsRegistry metrics_;
+  struct Met {
+    explicit Met(obs::MetricsRegistry& r);
+    obs::Counter& puts;
+    obs::Counter& gets;
+    obs::Counter& get_misses;
+    obs::Counter& applied;
+    obs::Counter& rejected_not_replica;
+    obs::Counter& rejected_backpressure;
+    obs::Counter& reads_blocked;
+    obs::Counter& writes_blocked;
+    obs::Counter& rejected_decode;
+    obs::Gauge& local_shards;
+    obs::Histogram& put_batch_size;
+  } met_;
+};
+
+}  // namespace evs::apps

@@ -180,6 +180,7 @@ EvsNode::Met::Met(obs::MetricsRegistry& r)
       backpressure_rejections(r.counter("evs.backpressure_rejections")),
       datagrams_packed(r.counter("net.datagrams_packed")),
       piggybacked_msgs(r.counter("ordering.piggybacked_msgs")),
+      piggyback_carried(r.counter("ordering.piggyback_carried")),
       storage_fail_stops(r.counter("evs.storage_fail_stops")),
       persist_retries(r.counter("evs.persist_retries")),
       state_fail_stops(r.counter("evs.state_fail_stops")),
@@ -210,6 +211,7 @@ EvsNode::Stats EvsNode::stats() const {
   s.backpressure_rejections = met_.backpressure_rejections.value();
   s.datagrams_packed = met_.datagrams_packed.value();
   s.piggybacked_msgs = met_.piggybacked_msgs.value();
+  s.piggyback_carried = met_.piggyback_carried.value();
   s.storage_fail_stops = met_.storage_fail_stops.value();
   s.persist_retries = met_.persist_retries.value();
   s.state_fail_stops = met_.state_fail_stops.value();
@@ -611,6 +613,12 @@ Expected<std::vector<MsgId>> EvsNode::send_batch(
     met_.send_errors.inc();
     met_.backpressure_rejections.inc();
     backpressured_ = true;
+    // A large batch can be rejected while pending_ is already at or below the
+    // half-cap mark. The single-send path never faces this (rejection implies
+    // pending_ == cap), but here the drain condition may hold at rejection
+    // time: run the hysteresis check now so the sender's drain callback does
+    // not stall until an unrelated token visit.
+    note_pending_sends();
     return Status::error(Errc::backpressure,
                          "batch does not fit under Options::max_pending_sends");
   }
@@ -1172,6 +1180,7 @@ void EvsNode::on_packet(const Packet& packet) {
   // the datagram (a garbled length field makes the remainder untrustworthy).
   wire::FrameCursor cursor(packet.payload());
   bool deliver = false;
+  datagram_adoptions_ = 0;
   while (!cursor.done()) {
     if (state_ == State::Down) return;  // a frame can fail-stop the node
     const auto body = cursor.next();
@@ -1196,6 +1205,12 @@ void EvsNode::on_packet(const Packet& packet) {
       continue;
     }
     if (const auto* t = std::get_if<TokenMsg>(&*msg)) {
+      // Data frames packed ahead of a token frame are the sender's piggyback
+      // (broadcasts never share a datagram with the token). Count only the
+      // ones this node actually stored: a piggybacked copy whose broadcast
+      // already arrived is a rejected duplicate, not an adoption.
+      met_.piggybacked_msgs.inc(datagram_adoptions_);
+      datagram_adoptions_ = 0;
       handle_token(*t);
     } else if (const auto* j = std::get_if<JoinMsg>(&*msg)) {
       if (packet.src != self_) handle_join(*j);
@@ -1263,6 +1278,7 @@ bool EvsNode::handle_regular(RegularMsgView m) {
     case State::Operational:
       if (m.ring == core_->ring()) {
         if (core_->on_regular(std::move(m))) {
+          ++datagram_adoptions_;
           return true;  // caller runs one deliver_ready() per datagram
         }
         met_.duplicate_regulars.inc();
@@ -1286,6 +1302,7 @@ bool EvsNode::handle_regular(RegularMsgView m) {
         // rebroadcast volume. (Frozen exchanges keep step 6 deterministic.)
         old_received_.insert(m.seq);
         old_msgs_.emplace(m.seq, m.to_owned());
+        ++datagram_adoptions_;
       } else if (state_ == State::Recovery && m.ring == recovery_->proposed_ring()) {
         new_ring_buffer_.push_back(m.to_owned());  // paper step 2 buffering
       }
@@ -1412,7 +1429,10 @@ void EvsNode::handle_token(const TokenMsg& t) {
         for (std::size_t i = tail; i < bodies.size(); ++i) {
           const Status st = wire::append_frame(token_dgram, bodies[i]);
           EVS_ASSERT(st.ok());
-          met_.piggybacked_msgs.inc();
+          // Sender-side carry count. Whether a carried frame was USEFUL is
+          // the receiver's call: ordering.piggybacked_msgs counts only
+          // frames the next holder adopted ahead of their broadcast copy.
+          met_.piggyback_carried.inc();
         }
         {
           const Status st = wire::append_frame(token_dgram, token_body);

@@ -203,7 +203,10 @@ class EvsNode final : public Endpoint {
     std::uint64_t backpressure_rejections{0};  ///< sends refused at the queue cap
     // --- datagram batching (frame packing + token piggyback) ---
     std::uint64_t datagrams_packed{0};   ///< broadcast datagrams carrying >= 2 frames
-    std::uint64_t piggybacked_msgs{0};   ///< data frames re-carried on the token
+    std::uint64_t piggybacked_msgs{0};   ///< piggybacked frames ADOPTED by this
+                                         ///< receiver ahead of their broadcast copy
+    std::uint64_t piggyback_carried{0};  ///< data frames this sender re-carried
+                                         ///< in front of a forwarded token
     // --- fallible stable storage (see storage/stable_store.hpp) ---
     std::uint64_t storage_fail_stops{0};  ///< persists whose failure stopped the node
     std::uint64_t persist_retries{0};     ///< step-5.c acks aborted by a failed persist
@@ -482,6 +485,12 @@ class EvsNode final : public Endpoint {
   std::vector<RegularMsg> new_ring_buffer_;       ///< paper step 2 buffering
   std::optional<TokenMsg> buffered_token_;
 
+  // Regular frames newly stored while walking the current datagram's frames.
+  // If a token frame follows in the same datagram, those frames rode the
+  // piggyback (broadcasts never share a datagram with the token) and the
+  // count becomes ordering.piggybacked_msgs; reset at every datagram.
+  std::uint64_t datagram_adoptions_{0};
+
   /// Ord of this incarnation's most recent ord-carrying event; send events
   /// are assigned ord_send_after(last_ord_).
   Ord last_ord_{};
@@ -513,7 +522,8 @@ class EvsNode final : public Endpoint {
     obs::Counter& send_errors;
     obs::Counter& backpressure_rejections;
     obs::Counter& datagrams_packed;   ///< net.datagrams_packed
-    obs::Counter& piggybacked_msgs;   ///< ordering.piggybacked_msgs
+    obs::Counter& piggybacked_msgs;   ///< ordering.piggybacked_msgs (receiver adoptions)
+    obs::Counter& piggyback_carried;  ///< ordering.piggyback_carried (sender carries)
     obs::Counter& storage_fail_stops;
     obs::Counter& persist_retries;
     obs::Counter& state_fail_stops;

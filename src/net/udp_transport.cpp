@@ -418,10 +418,17 @@ int UdpTransport::poll_once(SimTime max_wait_us) {
   fds[1].events = POLLIN;
   fds[1].revents = 0;
 
-  const int timeout_ms =
-      wait_us == 0 ? 0 : static_cast<int>(std::min<SimTime>((wait_us + 999) / 1000,
-                                                            1000));
-  ::poll(fds, 2, timeout_ms);
+  // ppoll, not poll: a millisecond timeout cannot express a sub-millisecond
+  // coalescing window. Rounding a 200us batch_flush_us deadline up to 1ms
+  // made every quiet-loop batch outlive its deadline several times over
+  // (nothing else wakes the loop when there is no inbound traffic), so the
+  // flush-latency contract of Options::batch_flush_us was unmet exactly in
+  // the no-load case it exists for.
+  const SimTime capped_us = std::min<SimTime>(wait_us, 1'000'000);
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(capped_us / 1'000'000);
+  ts.tv_nsec = static_cast<long>((capped_us % 1'000'000) * 1'000);
+  ::ppoll(fds, 2, &ts, nullptr);
 
   if ((fds[1].revents & POLLIN) != 0) {
     std::uint64_t drained = 0;

@@ -109,6 +109,32 @@ Status check_batching_metrics(const JsonValue& metrics, const std::string& where
   return Status::ok_status();
 }
 
+/// The sharded-KV surface: every apps::KvShardedNode pre-creates the kv.*
+/// counters, the shard.local_shards gauge and the put-batch histogram, so
+/// a metrics set that routed KV traffic (marker: kv.puts) but lost any of
+/// them means the dispatch layer's instrumentation regressed — fail
+/// validation (this keeps BENCH_kv_sharded.json honest).
+Status check_kv_metrics(const JsonValue& metrics, const std::string& where) {
+  const JsonValue* counters = metrics.find("counters");
+  for (const char* c :
+       {"kv.gets", "kv.applied", "kv.rejected_not_replica",
+        "kv.rejected_backpressure", "kv.reads_blocked", "kv.writes_blocked",
+        "kv.rejected_decode"}) {
+    if (counters == nullptr || counters->find(c) == nullptr) {
+      return shape_error(where, std::string("missing kv counter '") + c + "'");
+    }
+  }
+  const JsonValue* gauges = metrics.find("gauges");
+  if (gauges == nullptr || gauges->find("shard.local_shards") == nullptr) {
+    return shape_error(where, "missing gauge 'shard.local_shards'");
+  }
+  const JsonValue* hists = metrics.find("histograms");
+  if (hists == nullptr || hists->find("kv.put_batch_size") == nullptr) {
+    return shape_error(where, "missing histogram 'kv.put_batch_size'");
+  }
+  return Status::ok_status();
+}
+
 /// The crash-consistency surface: every StableStore pre-creates the
 /// "storage.*" counters, and every cluster aggregate folds its stores in,
 /// so a snapshot (or a bench run that drove EVS nodes) missing them means
@@ -243,6 +269,13 @@ Status validate_report_json(const JsonValue& v) {
         return st;
       }
       if (Status st = check_batching_metrics(*metrics, "report." + name->string);
+          !st.ok()) {
+        return st;
+      }
+    }
+    // Runs that routed sharded-KV traffic must carry the full kv.* surface.
+    if (counters != nullptr && counters->find("kv.puts") != nullptr) {
+      if (Status st = check_kv_metrics(*metrics, "report." + name->string);
           !st.ok()) {
         return st;
       }

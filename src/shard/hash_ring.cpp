@@ -1,0 +1,66 @@
+#include "shard/hash_ring.hpp"
+
+#include <algorithm>
+
+namespace evs::shard {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_bytes(std::uint64_t seed, std::string_view bytes) {
+  // FNV-1a over the bytes, then mixed with the seed: FNV alone clusters
+  // short keys, and the final mix64 spreads them over the whole circle.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return mix64(h ^ mix64(seed));
+}
+
+void HashRing::rebuild(std::span<const ProcessId> members, std::uint64_t seed,
+                       std::uint32_t vids_per_member) {
+  circle_.clear();
+  std::vector<ProcessId> sorted(members.begin(), members.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  member_count_ = sorted.size();
+  for (const ProcessId m : sorted) {
+    for (std::uint32_t v = 0; v < vids_per_member; ++v) {
+      // Point = mix(seed, member, vid index). On the vanishingly rare vid
+      // collision the smaller ProcessId wins (insert keeps the first entry
+      // of the sorted walk), which is still deterministic.
+      const std::uint64_t vid =
+          mix64(mix64(seed ^ (std::uint64_t{m.value} << 32)) + v);
+      circle_.emplace(vid, m);
+    }
+  }
+}
+
+ProcessId HashRing::successor(std::uint64_t point) const {
+  if (circle_.empty()) return ProcessId{};
+  auto it = circle_.lower_bound(point);
+  if (it == circle_.end()) it = circle_.begin();  // wrap
+  return it->second;
+}
+
+std::vector<ProcessId> HashRing::successors(std::uint64_t point,
+                                            std::size_t n) const {
+  std::vector<ProcessId> out;
+  if (circle_.empty() || n == 0) return out;
+  auto it = circle_.lower_bound(point);
+  for (std::size_t steps = 0; steps < circle_.size() && out.size() < n; ++steps) {
+    if (it == circle_.end()) it = circle_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace evs::shard

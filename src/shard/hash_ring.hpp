@@ -1,0 +1,63 @@
+// Consistent-hash vid ring for shard dispatch (scalio kv_ring / FawnKV Ring
+// style): members project a fixed number of virtual points ("vids") onto a
+// uint64 circle, and a lookup walks clockwise to the successor point. The
+// map is a pure function of (members, seed) — every process that knows the
+// member set computes the identical ring with no coordination, which is the
+// property the sharded KV layer leans on across membership changes.
+//
+// Layering: shard/ sits beside apps/ ON TOP of evs/ — it knows about
+// ProcessIds and hashing, never about tokens or configurations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace evs::shard {
+
+/// Deterministic 64-bit mix (splitmix64 finalizer). Stable across runs,
+/// platforms and processes — the ring must never depend on std::hash.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Hash of an arbitrary byte string under a seed (FNV-1a folded through
+/// mix64). Used for keys and for member/shard point derivation.
+std::uint64_t hash_bytes(std::uint64_t seed, std::string_view bytes);
+
+class HashRing {
+ public:
+  /// Points per member on the circle. More vids smooth the key distribution
+  /// and the remap churn per membership change; 64 keeps both under a few
+  /// percent for double-digit member counts.
+  static constexpr std::uint32_t kDefaultVids = 64;
+
+  HashRing() = default;
+
+  /// Rebuild the circle for `members` (order-insensitive: the input is
+  /// sorted internally, so any permutation of the same set yields the same
+  /// ring). Duplicate ids collapse.
+  void rebuild(std::span<const ProcessId> members, std::uint64_t seed,
+               std::uint32_t vids_per_member = kDefaultVids);
+
+  bool empty() const { return circle_.empty(); }
+  std::size_t member_count() const { return member_count_; }
+
+  /// Successor member for a point on the circle (the owner of `point`).
+  ProcessId successor(std::uint64_t point) const;
+
+  /// First `n` DISTINCT members clockwise from `point` — the replica group
+  /// anchored at a shard's vid. Returns fewer when the ring has fewer
+  /// members than n. Deterministic for a given (members, seed).
+  std::vector<ProcessId> successors(std::uint64_t point, std::size_t n) const;
+
+ private:
+  // vid -> member. std::map gives ordered successor lookup; rebuilds are
+  // rare (membership changes), lookups are the common case.
+  std::map<std::uint64_t, ProcessId> circle_;
+  std::size_t member_count_{0};
+};
+
+}  // namespace evs::shard

@@ -1,0 +1,77 @@
+#include "shard/kv_store.hpp"
+
+namespace evs::shard {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint32_t>(b[off]) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 3]) << 24);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_op(KvOp op, std::string_view key,
+                                    std::string_view value) {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + 4 + key.size() + 4 + value.size());
+  out.push_back(static_cast<std::uint8_t>(op));
+  put_u32(out, static_cast<std::uint32_t>(key.size()));
+  out.insert(out.end(), key.begin(), key.end());
+  const std::string_view v = op == KvOp::Del ? std::string_view{} : value;
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+std::optional<DecodedOp> decode_op(std::span<const std::uint8_t> payload) {
+  if (payload.size() < 1 + 4) return std::nullopt;
+  const auto op = static_cast<KvOp>(payload[0]);
+  if (op != KvOp::Put && op != KvOp::Del) return std::nullopt;
+  const std::uint32_t klen = get_u32(payload, 1);
+  std::size_t off = 1 + 4;
+  if (payload.size() - off < klen) return std::nullopt;
+  const auto* base = reinterpret_cast<const char*>(payload.data());
+  const std::string_view key(base + off, klen);
+  off += klen;
+  if (payload.size() - off < 4) return std::nullopt;
+  const std::uint32_t vlen = get_u32(payload, off);
+  off += 4;
+  if (payload.size() - off != vlen) return std::nullopt;  // strict: no slack
+  const std::string_view value(base + off, vlen);
+  return DecodedOp{op, key, value};
+}
+
+void KvStore::apply(std::span<const std::uint8_t> payload) {
+  const auto d = decode_op(payload);
+  if (!d.has_value()) {
+    ++stats_.rejected_decode;
+    return;
+  }
+  switch (d->op) {
+    case KvOp::Put:
+      map_.insert_or_assign(std::string(d->key), std::string(d->value));
+      break;
+    case KvOp::Del:
+      map_.erase(std::string(d->key));
+      break;
+  }
+  ++stats_.applied;
+}
+
+std::optional<std::string> KvStore::get(std::string_view key) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace evs::shard

@@ -1,0 +1,66 @@
+// Per-shard replicated KV state machine: the deterministic apply side of
+// the sharded service, shared by the sim and live harnesses.
+//
+// Operations travel as opaque payloads in the shard ring's total order;
+// every in-shard replica applies the same sequence to an identical map.
+// The codec is deliberately tiny — [op u8][klen u32][key][vlen u32][value],
+// little-endian — and strict: a payload that does not parse is counted and
+// ignored rather than applied differently on different replicas.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace evs::shard {
+
+enum class KvOp : std::uint8_t {
+  Put = 1,
+  Del = 2,
+};
+
+/// Encode one operation (Del ignores `value`).
+std::vector<std::uint8_t> encode_op(KvOp op, std::string_view key,
+                                    std::string_view value);
+
+struct DecodedOp {
+  KvOp op;
+  std::string_view key;    // views into the encoded buffer
+  std::string_view value;
+};
+
+/// Strict decode; nullopt on any malformed length/op.
+std::optional<DecodedOp> decode_op(std::span<const std::uint8_t> payload);
+
+/// One shard's key space on one replica. Not thread-safe: the sim harness
+/// is single-threaded and the live harness serializes applies per shard on
+/// the shard transport's loop thread (reads take the harness lock).
+class KvStore {
+ public:
+  struct Stats {
+    std::uint64_t applied{0};        ///< ops applied in total order
+    std::uint64_t rejected_decode{0};  ///< malformed payloads ignored
+  };
+
+  /// Apply the next operation of the shard's total order.
+  void apply(std::span<const std::uint8_t> payload);
+
+  std::optional<std::string> get(std::string_view key) const;
+  std::size_t size() const { return map_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  /// The full map (test/bench support: replica comparison).
+  const std::map<std::string, std::string, std::less<>>& contents() const {
+    return map_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> map_;
+  Stats stats_;
+};
+
+}  // namespace evs::shard

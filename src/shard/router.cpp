@@ -1,0 +1,89 @@
+#include "shard/router.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace evs::shard {
+
+namespace {
+
+std::uint64_t shard_anchor(std::uint64_t seed, ShardId shard) {
+  // A distinct derivation domain from member vids: xor with a tag so shard
+  // anchors and member points never collide by construction of the inputs.
+  return mix64(mix64(seed ^ 0x5ead0a4dull) + shard);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(Options options) : options_(options) {
+  EVS_ASSERT_MSG(options_.num_shards >= 1, "router needs at least one shard");
+  EVS_ASSERT_MSG(options_.replication >= 1, "router needs replication >= 1");
+  groups_.resize(options_.num_shards);
+  key_anchors_.reserve(std::size_t{options_.num_shards} * kAnchorsPerShard);
+  for (ShardId s = 0; s < options_.num_shards; ++s) {
+    const std::uint64_t base = shard_anchor(options_.seed, s);
+    for (std::uint32_t k = 0; k < kAnchorsPerShard; ++k) {
+      key_anchors_.emplace_back(mix64(base + k * 0x9e3779b97f4a7c15ull), s);
+    }
+  }
+  std::sort(key_anchors_.begin(), key_anchors_.end());
+}
+
+bool ShardRouter::update_members(std::span<const ProcessId> members) {
+  members_.rebuild(members, options_.seed, options_.vids_per_member);
+  bool changed = false;
+  for (ShardId s = 0; s < options_.num_shards; ++s) {
+    auto group = members_.successors(anchor(s), options_.replication);
+    if (group != groups_[s]) {
+      groups_[s] = std::move(group);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+ShardId ShardRouter::shard_of_key(std::string_view key) const {
+  if (options_.num_shards == 1) return 0;
+  // Clockwise successor in the static anchor table (wrapping).
+  const std::uint64_t point = hash_bytes(options_.seed, key);
+  auto it = std::lower_bound(
+      key_anchors_.begin(), key_anchors_.end(), point,
+      [](const auto& entry, std::uint64_t p) { return entry.first < p; });
+  if (it == key_anchors_.end()) it = key_anchors_.begin();
+  return it->second;
+}
+
+const std::vector<ProcessId>& ShardRouter::replicas(ShardId shard) const {
+  EVS_ASSERT_MSG(shard < groups_.size(), "shard id out of range");
+  return groups_[shard];
+}
+
+bool ShardRouter::is_replica(ShardId shard, ProcessId p) const {
+  const auto& g = replicas(shard);
+  return std::find(g.begin(), g.end(), p) != g.end();
+}
+
+std::vector<ShardId> ShardRouter::shards_of(ProcessId p) const {
+  std::vector<ShardId> out;
+  for (ShardId s = 0; s < options_.num_shards; ++s) {
+    if (is_replica(s, p)) out.push_back(s);
+  }
+  return out;
+}
+
+std::uint64_t ShardRouter::assignment_fingerprint() const {
+  std::uint64_t h = mix64(options_.seed);
+  for (ShardId s = 0; s < options_.num_shards; ++s) {
+    for (const ProcessId p : groups_[s]) {
+      h = mix64(h ^ (std::uint64_t{s} << 32) ^ p.value);
+    }
+  }
+  return h;
+}
+
+std::uint64_t ShardRouter::anchor(ShardId shard) const {
+  return shard_anchor(options_.seed, shard);
+}
+
+}  // namespace evs::shard

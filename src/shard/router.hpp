@@ -1,0 +1,80 @@
+// Shard router: the dispatch layer mapping keys -> shard -> replica group.
+//
+// Shards are fixed in number and anchored at deterministic vids on the key
+// circle; a key belongs to the shard whose anchor is its clockwise
+// successor (scalio's vid dispatch). Each shard's replica group is the
+// first `replication` distinct members clockwise from the shard anchor on
+// the MEMBER ring. Both maps are pure functions of (members, seed,
+// num_shards, replication): after a membership change every process
+// recomputes the identical assignment locally — re-mapping is
+// deterministic, coordination-free, and testable by equality.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "shard/hash_ring.hpp"
+#include "util/types.hpp"
+
+namespace evs::shard {
+
+using ShardId = std::uint32_t;
+
+class ShardRouter {
+ public:
+  /// Anchor vids per shard on the KEY circle. With one anchor per shard the
+  /// arc lengths are exponentially distributed and a single shard can own
+  /// most of the keyspace; 128 anchors even the shares out to a few percent
+  /// for small shard counts. (Replica-group derivation still uses the
+  /// shard's primary anchor only.)
+  static constexpr std::uint32_t kAnchorsPerShard = 128;
+
+  struct Options {
+    std::uint32_t num_shards{1};
+    std::uint32_t replication{3};  ///< replicas per shard (capped by members)
+    std::uint64_t seed{0x5eedull};
+    std::uint32_t vids_per_member{HashRing::kDefaultVids};
+  };
+
+  explicit ShardRouter(Options options);
+
+  const Options& options() const { return options_; }
+
+  /// Recompute the assignment for a new member set. Order-insensitive and
+  /// deterministic; returns true when any shard's replica group changed.
+  bool update_members(std::span<const ProcessId> members);
+
+  std::uint32_t num_shards() const { return options_.num_shards; }
+
+  /// Shard owning `key` — a pure function of (key, seed, num_shards),
+  /// independent of membership, so keys never migrate between shards when
+  /// members come and go (only replica groups move).
+  ShardId shard_of_key(std::string_view key) const;
+
+  /// The shard's current replica group (first `replication` distinct
+  /// members clockwise from the shard anchor). Empty before update_members.
+  const std::vector<ProcessId>& replicas(ShardId shard) const;
+
+  bool is_replica(ShardId shard, ProcessId p) const;
+
+  /// Shards `p` currently replicates, ascending.
+  std::vector<ShardId> shards_of(ProcessId p) const;
+
+  /// Order-insensitive fingerprint of the full assignment; equal
+  /// fingerprints on two processes mean identical shard maps.
+  std::uint64_t assignment_fingerprint() const;
+
+  /// Anchor vid of a shard on the circle (exposed for tests).
+  std::uint64_t anchor(ShardId shard) const;
+
+ private:
+  Options options_;
+  HashRing members_;
+  std::vector<std::vector<ProcessId>> groups_;  // shard -> replica group
+  /// Sorted (point, shard) table for key dispatch — pure function of
+  /// (seed, num_shards), built once at construction.
+  std::vector<std::pair<std::uint64_t, ShardId>> key_anchors_;
+};
+
+}  // namespace evs::shard

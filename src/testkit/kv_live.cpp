@@ -1,0 +1,144 @@
+#include "testkit/kv_live.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace evs {
+
+KvLiveCluster::KvLiveCluster(Options options)
+    : options_(options), router_(options.router) {
+  EVS_ASSERT_MSG(options_.router.num_shards >= 1, "need at least one shard");
+  shards_.reserve(options_.router.num_shards);
+  for (shard::ShardId s = 0; s < options_.router.num_shards; ++s) {
+    LiveCluster::Options lo;
+    lo.num_processes = options_.num_processes;
+    lo.node = options_.node;
+    lo.transport = options_.transport;
+    shards_.push_back(std::make_unique<LiveCluster>(lo));
+  }
+  std::vector<ProcessId> members;
+  for (std::size_t i = 0; i < options_.num_processes; ++i) {
+    members.push_back(shards_[0]->pid(i));
+  }
+  router_.update_members(members);
+  agents_.reserve(options_.num_processes);
+  for (std::size_t i = 0; i < options_.num_processes; ++i) {
+    agents_.push_back(std::make_unique<apps::KvShardedNode>(pid(i), router_));
+  }
+}
+
+KvLiveCluster::~KvLiveCluster() { stop(); }
+
+Status KvLiveCluster::open() {
+  for (auto& c : shards_) {
+    Status st = c->open();
+    if (!st.ok()) {
+      stop();
+      return st;
+    }
+  }
+  // Attach every replica on its shard's loop thread: set_on_deliver_batch
+  // must not race the loop's delivery path.
+  for (shard::ShardId s = 0; s < router_.num_shards(); ++s) {
+    for (const ProcessId p : router_.replicas(s)) {
+      const std::size_t index = p.value - 1;
+      LiveCluster& c = *shards_[s];
+      apps::KvShardedNode* agent = agents_[index].get();
+      c.call(index, [agent, s, &c, index] {
+        agent->attach_shard(s, c.node(index));
+      });
+    }
+  }
+  return Status::ok_status();
+}
+
+void KvLiveCluster::stop() {
+  for (auto& c : shards_) c->stop();
+}
+
+Status KvLiveCluster::put(std::size_t index, std::string_view key,
+                          std::string_view value) {
+  const shard::ShardId s = router_.shard_of_key(key);
+  Status st;
+  shards_[s]->call(index, [&] { st = agents_[index]->put(key, value); });
+  return st;
+}
+
+void KvLiveCluster::put_async(std::size_t index, std::string_view key,
+                              std::string_view value) {
+  const shard::ShardId s = router_.shard_of_key(key);
+  apps::KvShardedNode* agent = agents_[index].get();
+  // Copy the strings into the posted closure; rejections are visible in the
+  // agent's own counters, as with LiveCluster::send_async.
+  shards_[s]->transport(index).post(
+      [agent, k = std::string(key), v = std::string(value)] {
+        (void)agent->put(k, v);
+      });
+}
+
+Expected<std::optional<std::string>> KvLiveCluster::get(std::size_t index,
+                                                        std::string_view key) {
+  const shard::ShardId s = router_.shard_of_key(key);
+  Expected<std::optional<std::string>> out{
+      Status::error(Errc::not_running, "loop did not run the read")};
+  shards_[s]->call(index, [&] { out = agents_[index]->get(key); });
+  return out;
+}
+
+void KvLiveCluster::partition_shard(
+    shard::ShardId s, const std::vector<std::vector<std::size_t>>& groups) {
+  shards_[s]->partition(groups);
+}
+
+void KvLiveCluster::heal_shard(shard::ShardId s) { shards_[s]->heal(); }
+
+bool KvLiveCluster::await_stable(SimTime max_wait_us) {
+  return std::all_of(shards_.begin(), shards_.end(), [&](const auto& c) {
+    return c->await_stable(max_wait_us);
+  });
+}
+
+bool KvLiveCluster::await_quiesce(SimTime max_wait_us) {
+  return std::all_of(shards_.begin(), shards_.end(), [&](const auto& c) {
+    return c->await_quiesce(max_wait_us);
+  });
+}
+
+bool KvLiveCluster::replicas_agree(shard::ShardId shard) const {
+  const shard::KvStore* first = nullptr;
+  for (const ProcessId p : router_.replicas(shard)) {
+    const shard::KvStore* store = agents_[p.value - 1]->store(shard);
+    if (store == nullptr) return false;
+    if (first == nullptr) {
+      first = store;
+    } else if (store->contents() != first->contents()) {
+      return false;
+    }
+  }
+  return first != nullptr;
+}
+
+std::string KvLiveCluster::check_report(bool quiescent) const {
+  std::ostringstream out;
+  for (shard::ShardId s = 0; s < shards_.size(); ++s) {
+    const std::string report = shards_[s]->check_report(quiescent);
+    if (report.empty()) continue;
+    std::istringstream lines(report);
+    std::string line;
+    while (std::getline(lines, line)) {
+      out << "[shard " << s << "] " << line << '\n';
+    }
+  }
+  return out.str();
+}
+
+obs::MetricsRegistry KvLiveCluster::aggregate_metrics() const {
+  obs::MetricsRegistry out;
+  for (const auto& c : shards_) out.merge_from(c->aggregate_metrics());
+  for (const auto& a : agents_) out.merge_from(a->metrics());
+  return out;
+}
+
+}  // namespace evs

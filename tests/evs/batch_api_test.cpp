@@ -76,6 +76,55 @@ TEST(SendBatchTest, BackpressureRejectsWholeBatchAtomically) {
   EXPECT_EQ(cluster.sink(2u).deliveries.size(), 10u);
 }
 
+TEST(SendBatchTest, RejectedBatchWithRoomAlreadyFreeFiresDrainImmediately) {
+  // Regression: a batch rejected while pending_ is ALREADY at or below the
+  // half-cap mark must fire the drain callback on the rejection path itself.
+  // The single-send path never faces this (rejection implies pending == cap,
+  // far above half-cap), so the hysteresis check only ran on token visits —
+  // a batch-rejected sender could stall until unrelated ring traffic, or
+  // forever on an idle ring.
+  Cluster::Options opts;
+  opts.node.max_pending_sends = 10;
+  Cluster cluster(opts);
+  ASSERT_TRUE(cluster.await_stable()) << cluster.liveness_report();
+  EvsNode& n = cluster.node(0u);
+  int drained = 0;
+  n.set_on_send_drain([&] { ++drained; });
+  ASSERT_TRUE(n.send_batch(Service::Agreed, payloads_of(3, 4)).ok());
+  // 3 queued + 8 > 10: rejected. pending == 3 <= half-cap == 5, so the room
+  // the callback advertises already exists.
+  auto sent = n.send_batch(Service::Agreed, payloads_of(8, 4));
+  ASSERT_FALSE(sent.ok());
+  ASSERT_EQ(sent.code(), Errc::backpressure);
+  // No virtual time has advanced since the rejection — no token visit can
+  // have run the check for us. The rejection itself must have.
+  EXPECT_EQ(drained, 1);
+  // The flag cleared with the callback: the next fitting batch is accepted.
+  EXPECT_TRUE(n.send_batch(Service::Agreed, payloads_of(7, 4)).ok());
+  ASSERT_TRUE(cluster.await_quiesce()) << cluster.liveness_report();
+  EXPECT_EQ(cluster.sink(1u).deliveries.size(), 10u);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
+TEST(SendBatchTest, BatchRejectedAtCapFiresDrainAfterTokenDrain) {
+  // The classic shape: queue full, batch rejected, drain fires only after a
+  // token visit actually empties pending_ below half-cap.
+  Cluster::Options opts;
+  opts.node.max_pending_sends = 8;
+  Cluster cluster(opts);
+  ASSERT_TRUE(cluster.await_stable()) << cluster.liveness_report();
+  EvsNode& n = cluster.node(0u);
+  int drained = 0;
+  n.set_on_send_drain([&] { ++drained; });
+  ASSERT_TRUE(n.send_batch(Service::Agreed, payloads_of(8, 4)).ok());
+  auto sent = n.send_batch(Service::Agreed, payloads_of(1, 4));
+  ASSERT_FALSE(sent.ok());
+  EXPECT_EQ(drained, 0);  // queue still full: nothing to advertise yet
+  ASSERT_TRUE(cluster.await_quiesce()) << cluster.liveness_report();
+  EXPECT_EQ(drained, 1);
+  EXPECT_EQ(cluster.check_report(), "");
+}
+
 TEST(DeliverBatchTest, BatchHandlerSeesGroupedViewsAndSuppressesPerMessage) {
   Cluster cluster;
   ASSERT_TRUE(cluster.await_stable());
@@ -115,10 +164,12 @@ TEST(DeliverBatchTest, BatchHandlerSeesGroupedViewsAndSuppressesPerMessage) {
   }
 
   // The batching counters moved: the sender packed multi-frame datagrams
-  // and re-carried tail frames on the token.
+  // and re-carried tail frames on the token. (piggybacked_msgs is the
+  // RECEIVER-side adoption count and stays zero when every broadcast wins
+  // the race with the token; piggyback_carried is the sender-side carry.)
   const auto stats = cluster.node(0u).stats();
   EXPECT_GT(stats.datagrams_packed, 0u);
-  EXPECT_GT(stats.piggybacked_msgs, 0u);
+  EXPECT_GT(stats.piggyback_carried, 0u);
   EXPECT_GT(cluster.node(2u).metrics().histogram("evs.deliver_batch_size").count(), 0u);
   EXPECT_EQ(cluster.check_report(), "");
 }

@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -209,6 +211,42 @@ TEST(UdpTransportTest, SendAccountingIsConsistentUnderBursts) {
             static_cast<std::uint64_t>(kAttempts));
   // Once the backlog drained, the backpressure flag must have cleared.
   EXPECT_FALSE(a.backpressured());
+}
+
+TEST(UdpTransportTest, CoalescedBatchFlushesWithinDeadlineWithNoTraffic) {
+  // Regression: a frame enters the coalescing batch, nothing else arrives,
+  // and the loop sits in one long-bounded poll. The wait must be bounded by
+  // the batch deadline at MICROsecond resolution — ::poll's millisecond
+  // timeout rounded a 200us window up to >= 1ms, so a quiet loop overshot
+  // batch_flush_us several times over on every flush. Each trial is one
+  // poll_once() call; the min over trials makes the wall-clock assertion
+  // robust to scheduler noise.
+  constexpr std::uint32_t kWindowUs = 200;
+  UdpTransport::Options opts;
+  opts.batch_flush_us = kWindowUs;
+  UdpTransport a(opts), b;
+  SKIP_IF_NO_SOCKETS(a.open());
+  SKIP_IF_NO_SOCKETS(b.open());
+  const ProcessId pa{1}, pb{2};
+  a.add_peer(pb, b.port());
+
+  std::int64_t min_us = std::numeric_limits<std::int64_t>::max();
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto sent_before = a.stats().datagrams_sent;
+    a.unicast(pa, pb, {0x42});
+    ASSERT_EQ(a.stats().datagrams_sent, sent_before) << "expected coalescing";
+    const auto t0 = std::chrono::steady_clock::now();
+    a.poll_once(1'000'000);  // no inbound traffic: only the deadline ends this
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    ASSERT_EQ(a.stats().datagrams_sent, sent_before + 1)
+        << "batch outlived its deadline inside a single quiet poll";
+    min_us = std::min<std::int64_t>(min_us, us);
+  }
+  // Well under 1ms proves the wait was deadline-bounded, not poll-rounded:
+  // the pre-fix loop cannot return from a quiet poll in less than 1000us.
+  EXPECT_LT(min_us, 900) << "flush latency floor is above the 200us window";
 }
 
 }  // namespace

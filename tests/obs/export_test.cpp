@@ -298,6 +298,71 @@ TEST(ReportJson, EvsRunsMustCarryBatchingInstruments) {
   EXPECT_FALSE(validate_report_json(broken).ok());
 }
 
+TEST(ReportJson, KvRunsMustCarryShardInstruments) {
+  // A sharded-KV run (marked by kv.puts) must carry the full kv.*/shard.*
+  // surface — the tripwire for bench_kv_sharded's committed JSON.
+  MetricsRegistry r = sample_registry();
+  r.counter("kv.puts").inc(7);
+  r.counter("kv.gets").inc(7);
+  r.counter("kv.get_misses");
+  r.counter("kv.applied").inc(21);
+  r.counter("kv.rejected_not_replica");
+  r.counter("kv.rejected_backpressure");
+  r.counter("kv.reads_blocked");
+  r.counter("kv.writes_blocked");
+  r.counter("kv.rejected_decode");
+  r.gauge("shard.local_shards").set(4);
+  r.histogram("kv.put_batch_size").record(1);
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "evs.obs.report");
+  w.kv("version", 1);
+  w.kv("source", "bench_unit_test");
+  w.key("runs").begin_array();
+  w.begin_object();
+  w.kv("name", "BM_KvShardedWrite/4/5/0");
+  w.key("metrics");
+  write_metrics(w, r);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  auto v = JsonValue::parse(w.str());
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(validate_report_json(*v).ok())
+      << validate_report_json(*v).message();
+
+  // Any missing kv counter fails validation...
+  for (const char* counter :
+       {"kv.gets", "kv.applied", "kv.rejected_not_replica",
+        "kv.rejected_backpressure", "kv.reads_blocked", "kv.writes_blocked",
+        "kv.rejected_decode"}) {
+    auto broken = *v;
+    JsonValue& metrics =
+        *find_mutable(find_mutable(broken, "runs")->array[0], "metrics");
+    erase_member(*find_mutable(metrics, "counters"), counter);
+    const Status st = validate_report_json(broken);
+    EXPECT_FALSE(st.ok()) << counter;
+    EXPECT_NE(st.message().find(counter), std::string::npos) << st.message();
+  }
+  // ...as do the shard gauge and the batch-size histogram.
+  auto no_gauge = *v;
+  JsonValue& mg = *find_mutable(find_mutable(no_gauge, "runs")->array[0], "metrics");
+  erase_member(*find_mutable(mg, "gauges"), "shard.local_shards");
+  EXPECT_FALSE(validate_report_json(no_gauge).ok());
+  auto no_hist = *v;
+  JsonValue& mh = *find_mutable(find_mutable(no_hist, "runs")->array[0], "metrics");
+  erase_member(*find_mutable(mh, "histograms"), "kv.put_batch_size");
+  EXPECT_FALSE(validate_report_json(no_hist).ok());
+
+  // A run with no kv.puts marker (plain EVS bench) is exempt.
+  auto plain = *v;
+  JsonValue& mp = *find_mutable(find_mutable(plain, "runs")->array[0], "metrics");
+  erase_member(*find_mutable(mp, "counters"), "kv.puts");
+  erase_member(*find_mutable(mp, "counters"), "kv.applied");
+  EXPECT_TRUE(validate_report_json(plain).ok())
+      << validate_report_json(plain).message();
+}
+
 TEST(ReportJson, ValidatorRejectsIncompleteRuns) {
   auto reject = [](const char* doc) {
     const auto v = JsonValue::parse(doc);

@@ -1,0 +1,105 @@
+// HashRing units: determinism, order-insensitivity, successor semantics,
+// and the smoothing/remap properties the shard layer leans on.
+#include "shard/hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace evs::shard {
+namespace {
+
+std::vector<ProcessId> members(std::initializer_list<std::uint32_t> ids) {
+  std::vector<ProcessId> out;
+  for (const auto id : ids) out.push_back(ProcessId{id});
+  return out;
+}
+
+TEST(HashRingTest, Mix64IsStableAcrossCalls) {
+  EXPECT_EQ(mix64(0x1234), mix64(0x1234));
+  EXPECT_NE(mix64(1), mix64(2));
+  EXPECT_EQ(hash_bytes(7, "alpha"), hash_bytes(7, "alpha"));
+  EXPECT_NE(hash_bytes(7, "alpha"), hash_bytes(8, "alpha"));
+  EXPECT_NE(hash_bytes(7, "alpha"), hash_bytes(7, "beta"));
+}
+
+TEST(HashRingTest, RebuildIsOrderInsensitive) {
+  HashRing a, b;
+  a.rebuild(members({1, 2, 3, 4, 5}), 42);
+  b.rebuild(members({5, 3, 1, 4, 2}), 42);
+  for (std::uint64_t probe = 0; probe < 64; ++probe) {
+    const std::uint64_t point = mix64(probe * 0x9e3779b97f4a7c15ull);
+    EXPECT_EQ(a.successor(point).value, b.successor(point).value);
+  }
+}
+
+TEST(HashRingTest, DuplicateMembersCollapse) {
+  HashRing a, b;
+  a.rebuild(members({1, 2, 2, 3, 3, 3}), 42);
+  b.rebuild(members({1, 2, 3}), 42);
+  EXPECT_EQ(a.member_count(), 3u);
+  for (std::uint64_t probe = 0; probe < 32; ++probe) {
+    const std::uint64_t point = mix64(probe);
+    EXPECT_EQ(a.successor(point).value, b.successor(point).value);
+  }
+}
+
+TEST(HashRingTest, SuccessorsAreDistinctAndCapped) {
+  HashRing ring;
+  ring.rebuild(members({1, 2, 3, 4}), 7);
+  const auto group = ring.successors(mix64(99), 3);
+  ASSERT_EQ(group.size(), 3u);
+  auto sorted = group;
+  std::sort(sorted.begin(), sorted.end(),
+            [](ProcessId a, ProcessId b) { return a.value < b.value; });
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end(),
+                               [](ProcessId a, ProcessId b) {
+                                 return a.value == b.value;
+                               }),
+            sorted.end());
+  // Asking for more members than exist returns them all, once each.
+  EXPECT_EQ(ring.successors(mix64(99), 10).size(), 4u);
+}
+
+TEST(HashRingTest, KeyDistributionIsRoughlyBalanced) {
+  HashRing ring;
+  ring.rebuild(members({1, 2, 3, 4, 5, 6, 7, 8}), 1234);
+  std::map<std::uint32_t, int> owned;
+  const int kKeys = 8000;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    owned[ring.successor(hash_bytes(1234, key)).value]++;
+  }
+  ASSERT_EQ(owned.size(), 8u);
+  for (const auto& [id, count] : owned) {
+    // 64 vids/member keeps the spread well inside 2x of fair share.
+    EXPECT_GT(count, kKeys / 8 / 2) << "member " << id;
+    EXPECT_LT(count, kKeys / 8 * 2) << "member " << id;
+  }
+}
+
+TEST(HashRingTest, MemberLossOnlyMovesThatMembersKeys) {
+  HashRing before, after;
+  before.rebuild(members({1, 2, 3, 4, 5, 6}), 99);
+  after.rebuild(members({1, 2, 3, 5, 6}), 99);  // member 4 gone
+  int moved = 0, total = 4000;
+  for (int i = 0; i < total; ++i) {
+    const std::uint64_t point = hash_bytes(99, "k" + std::to_string(i));
+    const ProcessId a = before.successor(point);
+    const ProcessId b = after.successor(point);
+    if (a.value != b.value) {
+      // Every moved key must have been owned by the departed member.
+      EXPECT_EQ(a.value, 4u);
+      ++moved;
+    }
+  }
+  // ~1/6 of the keyspace belonged to member 4; nothing else moved.
+  EXPECT_GT(moved, total / 12);
+  EXPECT_LT(moved, total / 3);
+}
+
+}  // namespace
+}  // namespace evs::shard

@@ -1,0 +1,252 @@
+// Sharded KV integration over the sim harness: multi-shard put/get and
+// replica convergence, cross-shard isolation under a single-shard
+// partition, per-key linearizability across partition/re-merge, and
+// deterministic remap on crash/recover.
+#include "testkit/kv_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace evs {
+namespace {
+
+using shard::ShardId;
+
+KvCluster::Options base_opts(std::size_t processes, std::uint32_t shards,
+                             std::uint32_t replication = 3) {
+  KvCluster::Options o;
+  o.num_processes = processes;
+  o.router.num_shards = shards;
+  o.router.replication = replication;
+  o.watchdog_window_us = 2'000'000;
+  return o;
+}
+
+/// A key routed to `shard` (deterministic: scans a counter namespace).
+std::string key_on(const shard::ShardRouter& router, ShardId shard, int salt) {
+  for (int i = 0;; ++i) {
+    std::string k = "k" + std::to_string(salt) + "-" + std::to_string(i);
+    if (router.shard_of_key(k) == shard) return k;
+  }
+}
+
+/// Process index (0-based) of the first replica of `shard`.
+std::size_t replica_index(const shard::ShardRouter& router, ShardId shard,
+                          std::size_t nth = 0) {
+  return router.replicas(shard).at(nth).value - 1;
+}
+
+TEST(KvClusterTest, PutGetAcrossShardsAndReplicasConverge) {
+  KvCluster kc(base_opts(5, 4));
+  ASSERT_TRUE(kc.await_stable());
+
+  std::map<std::string, std::string> expected;
+  for (ShardId s = 0; s < kc.num_shards(); ++s) {
+    apps::KvShardedNode* w = kc.writer(s);
+    ASSERT_NE(w, nullptr) << "shard " << s;
+    for (int i = 0; i < 8; ++i) {
+      const std::string k = key_on(kc.router(), s, i);
+      const std::string v = "v" + std::to_string(s) + "-" + std::to_string(i);
+      ASSERT_TRUE(w->put(k, v).ok()) << "shard " << s << " key " << k;
+      expected[k] = v;
+    }
+  }
+  ASSERT_TRUE(kc.await_quiesce());
+
+  // Every replica of every shard serves every acked write.
+  for (ShardId s = 0; s < kc.num_shards(); ++s) {
+    EXPECT_TRUE(kc.replicas_agree(s)) << "shard " << s;
+    for (const ProcessId p : kc.router().replicas(s)) {
+      apps::KvShardedNode& a = kc.agent(p);
+      EXPECT_TRUE(a.in_primary(s));
+      for (const auto& [k, v] : expected) {
+        if (kc.router().shard_of_key(k) != s) continue;
+        auto got = a.get(k);
+        ASSERT_TRUE(got.ok());
+        ASSERT_TRUE(got->has_value());
+        EXPECT_EQ(**got, v);
+      }
+    }
+  }
+
+  // A non-replica process refuses writes and reads for the shard.
+  for (ShardId s = 0; s < kc.num_shards(); ++s) {
+    for (std::size_t i = 0; i < kc.size(); ++i) {
+      if (kc.router().is_replica(s, kc.pid(i))) continue;
+      const std::string k = key_on(kc.router(), s, 777);
+      EXPECT_EQ(kc.agent(i).put(k, "x").code(), Errc::invalid_argument);
+      EXPECT_EQ(kc.agent(i).get(k).code(), Errc::invalid_argument);
+    }
+  }
+
+  const auto agg = kc.aggregate_metrics();
+  EXPECT_EQ(agg.counter_value("kv.puts"), 4u * 8u);
+  // Each write applies once per replica of its shard.
+  EXPECT_EQ(agg.counter_value("kv.applied"),
+            4u * 8u * kc.router().replicas(0).size());
+  EXPECT_EQ(agg.counter_value("kv.rejected_decode"), 0u);
+  EXPECT_EQ(kc.check_report(), "");
+}
+
+TEST(KvClusterTest, PartitionOfOneShardLeavesOthersWritable) {
+  KvCluster kc(base_opts(4, 2));
+  ASSERT_TRUE(kc.await_stable());
+
+  const ShardId hit = 0, spared = 1;
+  // Cut one replica of shard `hit` away from everyone else — only on that
+  // shard's network.
+  const std::size_t lone = replica_index(kc.router(), hit);
+  std::vector<std::size_t> rest;
+  for (std::size_t i = 0; i < kc.size(); ++i) {
+    if (i != lone) rest.push_back(i);
+  }
+  kc.partition_shard(hit, {{lone}, rest});
+  ASSERT_TRUE(kc.await(
+      [&] { return kc.shard_cluster(hit).stable(); }, 4'000'000));
+
+  // The spared shard accepts and converges writes as if nothing happened.
+  apps::KvShardedNode* w = kc.writer(spared);
+  ASSERT_NE(w, nullptr);
+  const std::string k = key_on(kc.router(), spared, 1);
+  ASSERT_TRUE(w->put(k, "during-partition").ok());
+  ASSERT_TRUE(kc.await(
+      [&] {
+        for (const ProcessId p : kc.router().replicas(spared)) {
+          auto got = kc.agent(p).get(k);
+          if (!got.ok() || !got->has_value()) return false;
+        }
+        return true;
+      },
+      4'000'000));
+
+  // The lone replica of the hit shard is out of primary: blocked, not wrong.
+  apps::KvShardedNode& cut = kc.agent(lone);
+  EXPECT_FALSE(cut.in_primary(hit));
+  const std::string hk = key_on(kc.router(), hit, 2);
+  EXPECT_EQ(cut.put(hk, "x").code(), Errc::blocked_not_primary);
+  EXPECT_EQ(cut.get(hk).code(), Errc::blocked_not_primary);
+  EXPECT_GE(cut.stats().writes_blocked, 1u);
+  EXPECT_GE(cut.stats().reads_blocked, 1u);
+
+  // The hit shard's majority side still takes writes.
+  apps::KvShardedNode* mw = kc.writer(hit);
+  ASSERT_NE(mw, nullptr);
+  EXPECT_TRUE(mw->put(hk, "majority").ok());
+
+  kc.heal_shard(hit);
+  ASSERT_TRUE(kc.await_quiesce(8'000'000));
+  EXPECT_TRUE(kc.replicas_agree(spared));
+  EXPECT_EQ(kc.check_report(), "");
+}
+
+TEST(KvClusterTest, PartitionRemergeKeepsPerKeyLinearizability) {
+  KvCluster kc(base_opts(4, 2));
+  ASSERT_TRUE(kc.await_stable());
+  const ShardId s = 0;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 6; ++i) keys.push_back(key_on(kc.router(), s, i));
+  std::map<std::string, std::string> acked;  // last acknowledged value
+
+  auto write_all = [&](const std::string& tag) {
+    apps::KvShardedNode* w = kc.writer(s);
+    ASSERT_NE(w, nullptr);
+    for (const auto& k : keys) {
+      ASSERT_TRUE(w->put(k, tag + "/" + k).ok());
+      acked[k] = tag + "/" + k;
+    }
+  };
+
+  write_all("pre");
+  ASSERT_TRUE(kc.await_quiesce());
+
+  // Cut one replica off; the remaining majority keeps accepting writes.
+  const std::size_t lone = replica_index(kc.router(), s);
+  std::vector<std::size_t> rest;
+  for (std::size_t i = 0; i < kc.size(); ++i) {
+    if (i != lone) rest.push_back(i);
+  }
+  kc.partition_shard(s, {{lone}, rest});
+  ASSERT_TRUE(
+      kc.await([&] { return kc.shard_cluster(s).stable(); }, 4'000'000));
+  write_all("mid");
+  ASSERT_TRUE(kc.await_quiesce(8'000'000));
+
+  // In-primary reads see the latest acked value; the minority replica is
+  // blocked rather than serving the stale "pre" values it still holds.
+  for (const ProcessId p : kc.router().replicas(s)) {
+    apps::KvShardedNode& a = kc.agent(p);
+    if (p.value - 1 == lone) {
+      EXPECT_EQ(a.get(keys[0]).code(), Errc::blocked_not_primary);
+      continue;
+    }
+    for (const auto& k : keys) {
+      auto got = a.get(k);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got->value_or("<missing>"), acked[k]);
+    }
+  }
+
+  // Re-merge, then overwrite every key in the merged configuration: all
+  // replicas converge on the post-merge order regardless of what the
+  // minority missed during the cut.
+  kc.heal_shard(s);
+  ASSERT_TRUE(kc.await_stable(8'000'000));
+  write_all("post");
+  ASSERT_TRUE(kc.await_quiesce(8'000'000));
+  EXPECT_TRUE(kc.replicas_agree(s));
+  for (const ProcessId p : kc.router().replicas(s)) {
+    apps::KvShardedNode& a = kc.agent(p);
+    ASSERT_TRUE(a.in_primary(s));
+    for (const auto& k : keys) {
+      auto got = a.get(k);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(got->value_or("<missing>"), acked[k]);
+    }
+  }
+  EXPECT_EQ(kc.check_report(), "");
+}
+
+TEST(KvClusterTest, CrashRemapsDeterministicallyAndRecoverRestores) {
+  KvCluster kc(base_opts(5, 4));
+  ASSERT_TRUE(kc.await_stable());
+  const std::uint64_t fp_before = kc.router().assignment_fingerprint();
+
+  const ProcessId victim = kc.pid(1);
+  ASSERT_TRUE(kc.crash(victim).ok());
+
+  // The harness remap equals what any process would derive independently
+  // from the surviving member set — the coordination-free contract.
+  shard::ShardRouter independent(kc.router().options());
+  std::vector<ProcessId> survivors;
+  for (std::size_t i = 0; i < kc.size(); ++i) {
+    if (!(kc.pid(i) == victim)) survivors.push_back(kc.pid(i));
+  }
+  independent.update_members(survivors);
+  EXPECT_EQ(kc.router().assignment_fingerprint(),
+            independent.assignment_fingerprint());
+  for (ShardId s = 0; s < kc.num_shards(); ++s) {
+    for (const ProcessId p : kc.router().replicas(s)) {
+      EXPECT_FALSE(p == victim) << "crashed process still assigned";
+    }
+  }
+
+  // Every shard still has an in-primary writer and accepts writes.
+  ASSERT_TRUE(kc.await_stable(6'000'000));
+  for (ShardId s = 0; s < kc.num_shards(); ++s) {
+    apps::KvShardedNode* w = kc.writer(s);
+    ASSERT_NE(w, nullptr) << "shard " << s;
+    ASSERT_TRUE(w->put(key_on(kc.router(), s, 9), "after-crash").ok());
+  }
+  ASSERT_TRUE(kc.await_quiesce(8'000'000));
+
+  ASSERT_TRUE(kc.recover(victim).ok());
+  ASSERT_TRUE(kc.await_stable(8'000'000));
+  EXPECT_EQ(kc.router().assignment_fingerprint(), fp_before);
+  EXPECT_EQ(kc.check_report(), "");
+}
+
+}  // namespace
+}  // namespace evs

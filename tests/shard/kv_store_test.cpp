@@ -1,0 +1,79 @@
+// KvStore / op-codec units: roundtrip, strict decode, deterministic apply.
+#include "shard/kv_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace evs::shard {
+namespace {
+
+TEST(KvCodecTest, PutRoundtrips) {
+  const auto buf = encode_op(KvOp::Put, "user:17", "alice");
+  const auto d = decode_op(buf);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->op, KvOp::Put);
+  EXPECT_EQ(d->key, "user:17");
+  EXPECT_EQ(d->value, "alice");
+}
+
+TEST(KvCodecTest, DelDropsValueAndRoundtrips) {
+  const auto buf = encode_op(KvOp::Del, "user:17", "ignored");
+  const auto d = decode_op(buf);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->op, KvOp::Del);
+  EXPECT_EQ(d->key, "user:17");
+  EXPECT_TRUE(d->value.empty());
+}
+
+TEST(KvCodecTest, EmptyKeyAndValueAreLegal) {
+  const auto d = decode_op(encode_op(KvOp::Put, "", ""));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->key.empty());
+  EXPECT_TRUE(d->value.empty());
+}
+
+TEST(KvCodecTest, StrictDecodeRejectsDamage) {
+  auto buf = encode_op(KvOp::Put, "key", "value");
+  EXPECT_FALSE(decode_op({}).has_value());
+  EXPECT_FALSE(decode_op({buf.data(), 3}).has_value());  // truncated header
+  auto truncated = buf;
+  truncated.pop_back();  // value shorter than vlen
+  EXPECT_FALSE(decode_op(truncated).has_value());
+  auto slack = buf;
+  slack.push_back(0x00);  // trailing garbage after the value
+  EXPECT_FALSE(decode_op(slack).has_value());
+  auto bad_op = buf;
+  bad_op[0] = 0x7f;
+  EXPECT_FALSE(decode_op(bad_op).has_value());
+}
+
+TEST(KvStoreTest, AppliesInOrderAndCountsRejects) {
+  KvStore store;
+  store.apply(encode_op(KvOp::Put, "a", "1"));
+  store.apply(encode_op(KvOp::Put, "b", "2"));
+  store.apply(encode_op(KvOp::Put, "a", "3"));  // overwrite wins
+  store.apply(encode_op(KvOp::Del, "b", ""));
+  const std::vector<std::uint8_t> garbage{0xde, 0xad};
+  store.apply(garbage);
+  EXPECT_EQ(store.get("a"), "3");
+  EXPECT_FALSE(store.get("b").has_value());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.stats().applied, 4u);
+  EXPECT_EQ(store.stats().rejected_decode, 1u);
+}
+
+TEST(KvStoreTest, SameSequenceSameContents) {
+  KvStore a, b;
+  for (int i = 0; i < 50; ++i) {
+    const auto op = encode_op(i % 7 == 0 ? KvOp::Del : KvOp::Put,
+                              "k" + std::to_string(i % 10),
+                              "v" + std::to_string(i));
+    a.apply(op);
+    b.apply(op);
+  }
+  EXPECT_EQ(a.contents(), b.contents());
+}
+
+}  // namespace
+}  // namespace evs::shard

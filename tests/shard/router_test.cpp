@@ -1,0 +1,142 @@
+// ShardRouter units: the determinism contract (every process with the same
+// member set derives the identical assignment), key->shard membership
+// independence, and bounded remap churn.
+#include "shard/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace evs::shard {
+namespace {
+
+std::vector<ProcessId> members(std::initializer_list<std::uint32_t> ids) {
+  std::vector<ProcessId> out;
+  for (const auto id : ids) out.push_back(ProcessId{id});
+  return out;
+}
+
+ShardRouter::Options opts(std::uint32_t shards, std::uint32_t repl = 3) {
+  ShardRouter::Options o;
+  o.num_shards = shards;
+  o.replication = repl;
+  return o;
+}
+
+TEST(ShardRouterTest, RemapIsDeterministicAcrossProcesses) {
+  // Two independent routers (as on two processes), member lists permuted:
+  // identical groups and fingerprints.
+  ShardRouter a(opts(8)), b(opts(8));
+  a.update_members(members({1, 2, 3, 4, 5, 6}));
+  b.update_members(members({6, 4, 2, 5, 3, 1}));
+  EXPECT_EQ(a.assignment_fingerprint(), b.assignment_fingerprint());
+  for (ShardId s = 0; s < 8; ++s) {
+    ASSERT_EQ(a.replicas(s).size(), 3u);
+    EXPECT_EQ(a.replicas(s), b.replicas(s)) << "shard " << s;
+  }
+}
+
+TEST(ShardRouterTest, KeyToShardIgnoresMembership) {
+  ShardRouter r(opts(4));
+  r.update_members(members({1, 2, 3, 4, 5}));
+  std::vector<ShardId> before;
+  for (int i = 0; i < 200; ++i) {
+    before.push_back(r.shard_of_key("key-" + std::to_string(i)));
+  }
+  r.update_members(members({2, 4, 5}));  // members 1 and 3 departed
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(r.shard_of_key("key-" + std::to_string(i)), before[i])
+        << "keys must never migrate between shards on membership change";
+  }
+}
+
+TEST(ShardRouterTest, EveryShardGetsKeysAndEveryKeyOneShard) {
+  ShardRouter r(opts(4));
+  std::set<ShardId> hit;
+  for (int i = 0; i < 1000; ++i) {
+    const ShardId s = r.shard_of_key("k" + std::to_string(i));
+    ASSERT_LT(s, 4u);
+    hit.insert(s);
+  }
+  EXPECT_EQ(hit.size(), 4u);
+}
+
+TEST(ShardRouterTest, KeyLoadIsBalancedAcrossShards) {
+  // The reason shard anchors are virtualized: with one anchor per shard the
+  // arc lengths are exponential and one shard can own most of the keyspace,
+  // which caps the throughput scaling the layer exists to buy.
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    ShardRouter r(opts(shards));
+    std::vector<int> load(shards, 0);
+    const int kKeys = 8000;
+    for (int i = 0; i < kKeys; ++i) {
+      load[r.shard_of_key("balance-" + std::to_string(i))]++;
+    }
+    const int fair = kKeys / static_cast<int>(shards);
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      EXPECT_GT(load[s], fair / 2) << shards << " shards, shard " << s;
+      EXPECT_LT(load[s], fair * 2) << shards << " shards, shard " << s;
+    }
+  }
+}
+
+TEST(ShardRouterTest, UpdateMembersReportsChange) {
+  ShardRouter r(opts(4));
+  EXPECT_TRUE(r.update_members(members({1, 2, 3, 4})));
+  EXPECT_FALSE(r.update_members(members({4, 3, 2, 1})));  // same set
+  EXPECT_TRUE(r.update_members(members({1, 2, 3})));
+}
+
+TEST(ShardRouterTest, ReplicationCappedByMemberCount) {
+  ShardRouter r(opts(2, 3));
+  r.update_members(members({1, 2}));
+  for (ShardId s = 0; s < 2; ++s) {
+    EXPECT_EQ(r.replicas(s).size(), 2u);
+  }
+}
+
+TEST(ShardRouterTest, SingleMemberLossOnlyTouchesItsShards) {
+  ShardRouter before(opts(16)), after(opts(16));
+  before.update_members(members({1, 2, 3, 4, 5, 6, 7, 8}));
+  after.update_members(members({1, 2, 3, 4, 6, 7, 8}));  // 5 departed
+  for (ShardId s = 0; s < 16; ++s) {
+    const auto& was = before.replicas(s);
+    const auto& now = after.replicas(s);
+    const bool had_5 = std::find_if(was.begin(), was.end(), [](ProcessId p) {
+                         return p.value == 5;
+                       }) != was.end();
+    if (!had_5) {
+      EXPECT_EQ(was, now) << "shard " << s
+                          << " lost no replica but its group changed";
+    } else {
+      // Exactly the departed member is replaced; survivors keep their spot.
+      for (const ProcessId p : was) {
+        if (p.value == 5) continue;
+        EXPECT_NE(std::find_if(now.begin(), now.end(),
+                               [&](ProcessId q) { return q.value == p.value; }),
+                  now.end());
+      }
+    }
+  }
+}
+
+TEST(ShardRouterTest, ShardsOfInvertsReplicas) {
+  ShardRouter r(opts(8));
+  r.update_members(members({1, 2, 3, 4, 5}));
+  for (std::uint32_t id = 1; id <= 5; ++id) {
+    for (const ShardId s : r.shards_of(ProcessId{id})) {
+      EXPECT_TRUE(r.is_replica(s, ProcessId{id}));
+    }
+  }
+  std::size_t total = 0;
+  for (std::uint32_t id = 1; id <= 5; ++id) {
+    total += r.shards_of(ProcessId{id}).size();
+  }
+  EXPECT_EQ(total, 8u * 3u);  // every shard appears replication times
+}
+
+}  // namespace
+}  // namespace evs::shard

@@ -66,8 +66,10 @@ void BM_KvShardedWrite(benchmark::State& state) {
     bool cut = false, healed = false;
     int acked = 0;
     // Applied-count expectation per (shard, process): a replica cut away
-    // when a write was ordered will never apply it (no state transfer), so
-    // it is excluded from that write's finish line.
+    // when a write was ordered never applies it from the ring — it receives
+    // the value later via state transfer, which reconciles the store
+    // without touching the applied counter — so it is excluded from that
+    // write's finish line.
     std::vector<std::vector<std::uint64_t>> expect_applied(
         shards, std::vector<std::uint64_t>(nodes, 0));
     for (int i = 0; i < kOps; ++i) {
@@ -123,7 +125,7 @@ void BM_KvShardedWrite(benchmark::State& state) {
         // Under the partition schedule the isolated replica is out of the
         // finish line for its shard entirely: writes in flight when the
         // cut lands end in a transitional configuration it is not part of,
-        // and without state transfer it never applies them.
+        // and catch-up hands them to its store without bumping applied.
         const bool severed =
             partition_schedule && s == 0 && p.value - 1 == lone;
         if (!severed) expect_applied[s][p.value - 1] += 1;
@@ -159,9 +161,9 @@ void BM_KvShardedWrite(benchmark::State& state) {
       return;
     }
     for (shard::ShardId s = 0; s < kc.num_shards(); ++s) {
-      // The cut shard's isolated replica is legitimately stale after the
-      // re-merge (no state transfer); every other shard must agree exactly.
-      if (partition_schedule && s == 0) continue;
+      // Every shard must agree exactly — including the cut shard, whose
+      // isolated replica state-transfers its missed writes after the
+      // re-merge (await_quiesce waits for the catch-up to finish).
       if (!kc.replicas_agree(s)) {
         state.SkipWithError("replicas diverged");
         return;

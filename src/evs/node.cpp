@@ -667,6 +667,7 @@ void EvsNode::emit_conf_change(const Configuration& config, Ord ord) {
     trace_->record(std::move(e));
   }
   if (config_handler_) config_handler_(config);
+  if (config_observer_) config_observer_(config);
 }
 
 void EvsNode::deliver_note(const RegularMsgView& m, const Configuration& config,

@@ -267,6 +267,15 @@ class EvsNode final : public Endpoint {
   }
   /// Register the configuration-change callback.
   void set_on_config_change(ConfigHandler h) { config_handler_ = std::move(h); }
+  /// Register a SECOND configuration-change observer, invoked after the
+  /// primary handler on every configuration install. A harness typically
+  /// owns the primary slot (its sink records installs); an application
+  /// agent stacked on the same node (e.g. apps::KvShardedNode's state
+  /// transfer) observes through this slot without clobbering it. Single
+  /// slot, latest registration wins.
+  void set_on_config_change_observer(ConfigHandler h) {
+    config_observer_ = std::move(h);
+  }
 
   /// Boot (fresh start or recovery with intact stable storage). Installs a
   /// singleton regular configuration — delivering the persisted backlog in a
@@ -308,6 +317,15 @@ class EvsNode final : public Endpoint {
 
   /// The last installed regular configuration.
   const Configuration& config() const { return reg_config_; }
+
+  /// The options the node was constructed with (e.g. payload limits, so an
+  /// application layered on the node can size its own payloads to fit).
+  const Options& options() const { return opts_; }
+
+  /// The transport's scheduler — virtual time in the simulator, the loop
+  /// thread's wall-clock timer wheel live. Lets an application agent run
+  /// its own timers in the same time domain as the node's protocol timers.
+  Scheduler& scheduler() { return net_.scheduler(); }
 
   Stats stats() const;
   std::size_t pending_sends() const { return pending_.size(); }
@@ -499,6 +517,7 @@ class EvsNode final : public Endpoint {
   DeliverHandler deliver_handler_;
   DeliverBatchHandler deliver_batch_handler_;
   ConfigHandler config_handler_;
+  ConfigHandler config_observer_;
   std::function<void()> drain_handler_;
   bool backpressured_{false};  ///< a send was rejected since the last drain
 

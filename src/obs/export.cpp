@@ -110,16 +110,24 @@ Status check_batching_metrics(const JsonValue& metrics, const std::string& where
 }
 
 /// The sharded-KV surface: every apps::KvShardedNode pre-creates the kv.*
-/// counters, the shard.local_shards gauge and the put-batch histogram, so
-/// a metrics set that routed KV traffic (marker: kv.puts) but lost any of
-/// them means the dispatch layer's instrumentation regressed — fail
-/// validation (this keeps BENCH_kv_sharded.json honest).
+/// counters — including the state-transfer / anti-entropy family its
+/// per-shard TransferEngines bind — the shard.local_shards gauge and the
+/// put-batch and catch-up histograms, so a metrics set that routed KV
+/// traffic (marker: kv.puts) but lost any of them means the dispatch or
+/// transfer layer's instrumentation regressed — fail validation (this
+/// keeps BENCH_kv_sharded.json and BENCH_kv_transfer.json honest).
 Status check_kv_metrics(const JsonValue& metrics, const std::string& where) {
   const JsonValue* counters = metrics.find("counters");
   for (const char* c :
        {"kv.gets", "kv.applied", "kv.rejected_not_replica",
         "kv.rejected_backpressure", "kv.reads_blocked", "kv.writes_blocked",
-        "kv.rejected_decode"}) {
+        "kv.rejected_decode", "kv.transfer.sessions", "kv.transfer.completed",
+        "kv.transfer.aborted", "kv.transfer.retries",
+        "kv.transfer.chunks_sent", "kv.transfer.chunks_applied",
+        "kv.transfer.bytes_sent", "kv.transfer.bytes_applied",
+        "kv.transfer.chunk_crc_rejects", "kv.transfer.claims",
+        "kv.reads_catching_up", "kv.stale_reads", "kv.antientropy_rounds",
+        "kv.antientropy_repairs"}) {
     if (counters == nullptr || counters->find(c) == nullptr) {
       return shape_error(where, std::string("missing kv counter '") + c + "'");
     }
@@ -129,8 +137,10 @@ Status check_kv_metrics(const JsonValue& metrics, const std::string& where) {
     return shape_error(where, "missing gauge 'shard.local_shards'");
   }
   const JsonValue* hists = metrics.find("histograms");
-  if (hists == nullptr || hists->find("kv.put_batch_size") == nullptr) {
-    return shape_error(where, "missing histogram 'kv.put_batch_size'");
+  for (const char* h : {"kv.put_batch_size", "kv.transfer.catch_up_us"}) {
+    if (hists == nullptr || hists->find(h) == nullptr) {
+      return shape_error(where, std::string("missing histogram '") + h + "'");
+    }
   }
   return Status::ok_status();
 }

@@ -18,7 +18,36 @@ std::uint32_t get_u32(std::span<const std::uint8_t> b, std::size_t off) {
          (static_cast<std::uint32_t>(b[off + 3]) << 24);
 }
 
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<std::uint8_t>(v >> (8 * i));
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
 }  // namespace
+
+std::uint64_t entry_hash(std::string_view key, std::string_view value) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_u64(h, key.size());
+  h = fnv1a(h, key);
+  h = fnv1a_u64(h, value.size());
+  h = fnv1a(h, value);
+  // An entry hash of 0 would be invisible to the wrapping sum; remap it.
+  return h == 0 ? 1 : h;
+}
 
 std::vector<std::uint8_t> encode_op(KvOp op, std::string_view key,
                                     std::string_view value) {
@@ -51,27 +80,78 @@ std::optional<DecodedOp> decode_op(std::span<const std::uint8_t> payload) {
   return DecodedOp{op, key, value};
 }
 
-void KvStore::apply(std::span<const std::uint8_t> payload) {
+std::optional<DecodedOp> KvStore::apply(std::span<const std::uint8_t> payload) {
   const auto d = decode_op(payload);
   if (!d.has_value()) {
     ++stats_.rejected_decode;
-    return;
+    return std::nullopt;
   }
   switch (d->op) {
-    case KvOp::Put:
-      map_.insert_or_assign(std::string(d->key), std::string(d->value));
+    case KvOp::Put: {
+      const auto it = map_.find(d->key);
+      if (it != map_.end()) {
+        fp_sum_ -= entry_hash(it->first, it->second);
+        it->second.assign(d->value);
+        fp_sum_ += entry_hash(it->first, it->second);
+      } else {
+        map_.emplace(std::string(d->key), std::string(d->value));
+        fp_sum_ += entry_hash(d->key, d->value);
+      }
       break;
-    case KvOp::Del:
-      map_.erase(std::string(d->key));
+    }
+    case KvOp::Del: {
+      const auto it = map_.find(d->key);
+      if (it != map_.end()) {
+        fp_sum_ -= entry_hash(it->first, it->second);
+        map_.erase(it);
+      }
       break;
+    }
   }
   ++stats_.applied;
+  return d;
 }
 
 std::optional<std::string> KvStore::get(std::string_view key) const {
   const auto it = map_.find(key);
   if (it == map_.end()) return std::nullopt;
   return it->second;
+}
+
+std::uint64_t KvStore::fingerprint() const {
+  // Fold the size in so {} and a hash-collision pair stay distinguishable
+  // by cardinality at least.
+  return fnv1a_u64(fnv1a_u64(kFnvOffset, fp_sum_), map_.size());
+}
+
+bool KvStore::upsert(std::string_view key, std::string_view value) {
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    if (it->second == value) return false;
+    fp_sum_ -= entry_hash(it->first, it->second);
+    it->second.assign(value);
+    fp_sum_ += entry_hash(it->first, it->second);
+  } else {
+    map_.emplace(std::string(key), std::string(value));
+    fp_sum_ += entry_hash(key, value);
+  }
+  ++stats_.reconciled;
+  return true;
+}
+
+bool KvStore::erase_key(std::string_view key) {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  fp_sum_ -= entry_hash(it->first, it->second);
+  map_.erase(it);
+  ++stats_.reconciled;
+  return true;
+}
+
+void KvStore::clear() {
+  map_.clear();
+  fp_sum_ = 0;
+  stats_ = Stats{};
 }
 
 }  // namespace evs::shard

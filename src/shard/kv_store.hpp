@@ -6,6 +6,14 @@
 // The codec is deliberately tiny — [op u8][klen u32][key][vlen u32][value],
 // little-endian — and strict: a payload that does not parse is counted and
 // ignored rather than applied differently on different replicas.
+//
+// Besides the ordered apply path the store supports the state-transfer /
+// anti-entropy machinery (src/shard/transfer.*): an incrementally
+// maintained whole-store fingerprint (an order-independent sum of per-entry
+// hashes, so it costs O(1) per mutation), and reconcile mutators
+// (upsert/erase) that a transfer engine uses to converge a stale replica
+// onto a donor's state outside the ring order. Reconcile mutations are
+// counted separately from applied ops.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +31,11 @@ enum class KvOp : std::uint8_t {
   Del = 2,
 };
 
+/// First opcode byte reserved for the state-transfer / anti-entropy message
+/// family (src/shard/transfer.*). KvStore::apply rejects them; the agent
+/// routes them to its transfer engine before the store ever sees them.
+inline constexpr std::uint8_t kTransferOpFirst = 0x10;
+
 /// Encode one operation (Del ignores `value`).
 std::vector<std::uint8_t> encode_op(KvOp op, std::string_view key,
                                     std::string_view value);
@@ -36,6 +49,11 @@ struct DecodedOp {
 /// Strict decode; nullopt on any malformed length/op.
 std::optional<DecodedOp> decode_op(std::span<const std::uint8_t> payload);
 
+/// FNV-1a over one entry (key and value, with lengths mixed in so
+/// ("ab","c") and ("a","bc") hash apart). The unit of the store fingerprint
+/// and of the per-bucket digest fingerprints (src/shard/digest.*).
+std::uint64_t entry_hash(std::string_view key, std::string_view value);
+
 /// One shard's key space on one replica. Not thread-safe: the sim harness
 /// is single-threaded and the live harness serializes applies per shard on
 /// the shard transport's loop thread (reads take the harness lock).
@@ -44,22 +62,43 @@ class KvStore {
   struct Stats {
     std::uint64_t applied{0};        ///< ops applied in total order
     std::uint64_t rejected_decode{0};  ///< malformed payloads ignored
+    std::uint64_t reconciled{0};     ///< entries changed by state transfer
   };
 
-  /// Apply the next operation of the shard's total order.
-  void apply(std::span<const std::uint8_t> payload);
+  /// Apply the next operation of the shard's total order. Returns the
+  /// decoded op (views valid only while `payload` is) so the caller can
+  /// observe which key changed, or nullopt when the payload was rejected.
+  std::optional<DecodedOp> apply(std::span<const std::uint8_t> payload);
 
   std::optional<std::string> get(std::string_view key) const;
   std::size_t size() const { return map_.size(); }
   const Stats& stats() const { return stats_; }
 
-  /// The full map (test/bench support: replica comparison).
+  /// Order-independent 64-bit digest of the full contents (wrapping sum of
+  /// entry_hash over all entries, folded with the size). Maintained
+  /// incrementally; equal stores always produce equal fingerprints.
+  std::uint64_t fingerprint() const;
+
+  // --- state-transfer reconcile path (bypasses the ring order) ---
+  /// Set `key` to `value` if it differs; true when the store changed.
+  bool upsert(std::string_view key, std::string_view value);
+  /// Remove `key`; true when it existed.
+  bool erase_key(std::string_view key);
+  /// Drop all contents AND stats (crash model: the store is volatile app
+  /// state, and its applied-op count is a progress marker the transfer
+  /// digests compare — a wiped store must not keep claiming progress).
+  /// Durable observability lives in the agent's metrics registry instead.
+  void clear();
+
+  /// The full map (test/bench support: replica comparison; the transfer
+  /// engine's digest and chunk builders iterate it read-only).
   const std::map<std::string, std::string, std::less<>>& contents() const {
     return map_;
   }
 
  private:
   std::map<std::string, std::string, std::less<>> map_;
+  std::uint64_t fp_sum_{0};  ///< wrapping sum of entry_hash over map_
   Stats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "sim/faults.hpp"
 
 #include <algorithm>
+#include <array>
 
 namespace evs {
 namespace {
@@ -42,6 +43,29 @@ bool payload_has_token(const std::vector<std::uint8_t>& payload) {
     off += kHeader + length;
   }
   return false;
+}
+
+/// Local CRC-32 (poly 0xEDB88320), bit-identical to wire::crc32 — this
+/// file sits below the wire codec in the layering and cannot include it,
+/// but re-sealing a frame requires producing the exact checksum the
+/// receiver's frame validation will recompute.
+std::uint32_t crc32_local(const std::uint8_t* data, std::size_t size) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
 }
 
 }  // namespace
@@ -109,6 +133,16 @@ FaultPlan FaultPlan::data_cut(ProcessId src, ProcessId dst, SimTime from_us,
   return FaultPlan{}.add(rule);
 }
 
+FaultPlan FaultPlan::sealed_corruption(double p, SimTime from_us,
+                                       SimTime until_us) {
+  FaultRule rule;
+  rule.data_only = true;
+  rule.from_us = from_us;
+  rule.until_us = until_us;
+  rule.corrupt_sealed = p;
+  return FaultPlan{}.add(rule);
+}
+
 void FaultInjector::note(SimTime time, const char* kind, ProcessId src,
                          ProcessId dst) {
   if (log_.size() >= kLogCapacity) log_.pop_front();
@@ -170,6 +204,54 @@ FaultInjector::Action FaultInjector::apply(ProcessId from, ProcessId to, SimTime
       ++stats_.injected_total;
       note(now, "corrupt", from, to);
     }
+    if (rule.corrupt_sealed > 0 && rng_.chance(rule.corrupt_sealed)) {
+      // Flip bytes in the final quarter of the FIRST frame's body, then
+      // recompute that frame's CRC so the wire layer accepts the packet:
+      // corruption only an application-level check can reject. Requires an
+      // intact header and a body long enough to have a tail to hit.
+      constexpr std::size_t kHeader = 8;
+      std::uint32_t length = 0;
+      if (payload.size() >= kHeader + 4) {
+        length = static_cast<std::uint32_t>(payload[0]) |
+                 (static_cast<std::uint32_t>(payload[1]) << 8) |
+                 (static_cast<std::uint32_t>(payload[2]) << 16) |
+                 (static_cast<std::uint32_t>(payload[3]) << 24);
+      }
+      // Only Regular (application-data) frames: re-sealed flips in a
+      // protocol message (join, token) could decode into Byzantine
+      // membership state, which is outside the paper's fault model. The
+      // type byte is body[0]; MsgType::Regular == 1 (totem/messages.hpp,
+      // not included here — sim sits below totem in the layering). The
+      // Regular header is 38 bytes (type 1, RingId 12, seq 8, MsgId 12,
+      // service 1, payload length 4); a body of >= 56 keeps the final
+      // quarter strictly inside the application payload, so the flips can
+      // never rewrite ordering metadata either.
+      constexpr std::uint8_t kRegularType = 1;
+      constexpr std::uint32_t kMinSealableBody = 56;
+      if (length >= kMinSealableBody && payload.size() - kHeader >= length &&
+          payload[kHeader] == kRegularType) {
+        const std::size_t body_off = kHeader;
+        const std::size_t tail_off = body_off + length - length / 4;
+        const std::size_t tail_len = body_off + length - tail_off;
+        const int flips =
+            1 + static_cast<int>(rng_.below(static_cast<std::uint64_t>(
+                    std::max(1, rule.max_sealed_bytes))));
+        for (int i = 0; i < flips; ++i) {
+          const std::size_t pos = tail_off + rng_.below(tail_len);
+          payload[pos] ^= static_cast<std::uint8_t>(1 + rng_.below(255));
+        }
+        const std::uint32_t crc =
+            crc32_local(payload.data() + body_off, length);
+        payload[4] = static_cast<std::uint8_t>(crc);
+        payload[5] = static_cast<std::uint8_t>(crc >> 8);
+        payload[6] = static_cast<std::uint8_t>(crc >> 16);
+        payload[7] = static_cast<std::uint8_t>(crc >> 24);
+        action.corrupted = true;
+        ++stats_.sealed_corrupted;
+        ++stats_.injected_total;
+        note(now, "corrupt-sealed", from, to);
+      }
+    }
   }
   return action;
 }
@@ -227,6 +309,7 @@ FaultStats& operator+=(FaultStats& a, const FaultStats& b) {
   a.token_dropped += b.token_dropped;
   a.duplicated += b.duplicated;
   a.corrupted += b.corrupted;
+  a.sealed_corrupted += b.sealed_corrupted;
   a.reordered += b.reordered;
   a.delay_spiked += b.delay_spiked;
   a.writes_considered += b.writes_considered;
@@ -243,6 +326,7 @@ std::string to_string(const FaultStats& s) {
          " token_dropped=" + std::to_string(s.token_dropped) +
          " duplicated=" + std::to_string(s.duplicated) +
          " corrupted=" + std::to_string(s.corrupted) +
+         " sealed_corrupted=" + std::to_string(s.sealed_corrupted) +
          " reordered=" + std::to_string(s.reordered) +
          " delay_spiked=" + std::to_string(s.delay_spiked) +
          " writes_considered=" + std::to_string(s.writes_considered) +

@@ -51,6 +51,16 @@ struct FaultRule {
   SimTime reorder_window_us{2'000};
   double corrupt{0};       ///< P(1..max_corrupt_bytes random byte flips)
   int max_corrupt_bytes{3};
+  /// P(byte flips in the tail of the first frame's body, frame CRC then
+  /// RE-SEALED so the wire layer accepts the packet). Models corruption
+  /// that slips past link-level checksums — NIC offload bugs, bad RAM on a
+  /// middlebox — which only application-level integrity checks (the
+  /// state-transfer chunk CRC trailer) can catch. Flips land in the final
+  /// quarter of the body, i.e. the application-payload tail, so protocol
+  /// headers are spared and the fault stays within the delivery model the
+  /// spec checker assumes.
+  double corrupt_sealed{0};
+  int max_sealed_bytes{2};  ///< flips when corrupt_sealed fires (1..n)
   double delay_spike{0};   ///< P(a fixed spike_us stall is added)
   SimTime spike_us{10'000};
   double drop{0};          ///< P(packet silently vanishes); 1.0 = link cut
@@ -119,6 +129,12 @@ class FaultPlan {
   static FaultPlan data_cut(ProcessId src, ProcessId dst, SimTime from_us = 0,
                             SimTime until_us = ~0ull);
 
+  /// Re-sealed payload-tail corruption on every DATA datagram at rate p
+  /// over [from_us, until_us): the frame CRC is recomputed after the flip,
+  /// so only application-level integrity checks can reject the bytes.
+  static FaultPlan sealed_corruption(double p, SimTime from_us = 0,
+                                     SimTime until_us = ~0ull);
+
   bool empty() const { return rules_.empty() && storage_rules_.empty(); }
   const std::vector<FaultRule>& rules() const { return rules_; }
   const std::vector<StorageFaultRule>& storage_rules() const {
@@ -141,6 +157,7 @@ struct FaultStats {
   std::uint64_t token_dropped{0};  ///< subset of dropped that were tokens
   std::uint64_t duplicated{0};     ///< extra copies scheduled
   std::uint64_t corrupted{0};
+  std::uint64_t sealed_corrupted{0};  ///< corrupt_sealed activations
   std::uint64_t reordered{0};
   std::uint64_t delay_spiked{0};
   // --- stable-storage faults (see StorageFaultRule) ---

@@ -26,8 +26,8 @@ KvCluster::KvCluster(Options options)
   alive_ = shards_[0]->pids();
   router_.update_members(alive_);
   for (std::size_t i = 0; i < options_.num_processes; ++i) {
-    agents_.push_back(
-        std::make_unique<apps::KvShardedNode>(pid(i), router_));
+    agents_.push_back(std::make_unique<apps::KvShardedNode>(
+        pid(i), router_, options_.transfer));
   }
   remap(alive_);
 }
@@ -83,9 +83,26 @@ bool KvCluster::await_quiesce(SimTime max_wait_us) {
     const auto before = totals();
     run_for(2'000);
     const auto after = totals();
-    if (after == before && after.second == 0) return true;
+    if (after == before && after.second == 0 && all_serving()) return true;
   }
   return false;
+}
+
+bool KvCluster::all_serving() const {
+  for (shard::ShardId s = 0; s < router_.num_shards(); ++s) {
+    const Cluster& c = *shards_[s];
+    for (const ProcessId p : router_.replicas(s)) {
+      if (c.node_ptr(p.value - 1) == nullptr) continue;  // crashed
+      const apps::KvShardedNode& a = *agents_[p.value - 1];
+      if (!a.has_shard(s)) continue;
+      if (a.in_primary(s) && !a.serving(s)) return false;
+    }
+  }
+  return true;
+}
+
+bool KvCluster::await_serving(SimTime max_wait_us) {
+  return await([this] { return all_serving(); }, max_wait_us);
 }
 
 void KvCluster::partition_shard(
@@ -109,6 +126,10 @@ Status KvCluster::crash(ProcessId p) {
     Status st = c->crash(p);
     if (!st.ok()) return st;
   }
+  // The EvsNode objects persist across crash/recover, so the agent cannot
+  // detect the restart itself: wipe its volatile state (stores, transfer
+  // engines) here, the way a real process loses memory.
+  agent(p).on_process_crash();
   std::vector<ProcessId> alive;
   for (const ProcessId q : alive_) {
     if (!(q == p)) alive.push_back(q);
@@ -163,17 +184,64 @@ std::string KvCluster::check_report(bool quiescent) const {
 }
 
 bool KvCluster::replicas_agree(shard::ShardId shard) const {
+  return divergence(shard).empty();
+}
+
+std::string KvCluster::divergence(shard::ShardId shard) const {
+  std::ostringstream out;
   const shard::KvStore* first = nullptr;
+  ProcessId first_pid{0};
   for (const ProcessId p : router_.replicas(shard)) {
     const shard::KvStore* store = agents_[p.value - 1]->store(shard);
-    if (store == nullptr) return false;
+    if (store == nullptr) {
+      out << "replica p" << p.value << " has no store for shard " << shard
+          << '\n';
+      continue;
+    }
     if (first == nullptr) {
       first = store;
-    } else if (store->contents() != first->contents()) {
-      return false;
+      first_pid = p;
+      continue;
     }
+    // Fingerprints are maintained incrementally and order-independent:
+    // equal contents MUST produce equal fingerprints, and we also refuse
+    // to trust a matching fingerprint over differing contents (which
+    // would mean the incremental maintenance itself broke).
+    const bool fp_match = store->fingerprint() == first->fingerprint();
+    const bool map_match = store->contents() == first->contents();
+    if (fp_match && map_match) continue;
+    out << "replica p" << p.value << " diverges from p" << first_pid.value
+        << ": fingerprint " << store->fingerprint() << " vs "
+        << first->fingerprint() << ", size " << store->size() << " vs "
+        << first->size();
+    // First byte-level differing entry, scanning both key sets.
+    const auto& a = first->contents();
+    const auto& b = store->contents();
+    auto ia = a.begin();
+    auto ib = b.begin();
+    while (ia != a.end() || ib != b.end()) {
+      if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+        out << "; first diff: key \"" << ia->first << "\" only at p"
+            << first_pid.value;
+        break;
+      }
+      if (ia == a.end() || ib->first < ia->first) {
+        out << "; first diff: key \"" << ib->first << "\" only at p"
+            << p.value;
+        break;
+      }
+      if (ia->second != ib->second) {
+        out << "; first diff: key \"" << ia->first << "\" value \""
+            << ia->second << "\" vs \"" << ib->second << "\"";
+        break;
+      }
+      ++ia;
+      ++ib;
+    }
+    out << '\n';
   }
-  return first != nullptr;
+  if (first == nullptr) out << "shard " << shard << " has no stores\n";
+  return out.str();
 }
 
 obs::MetricsRegistry KvCluster::aggregate_metrics() const {

@@ -35,6 +35,7 @@ class KvCluster {
     shard::ShardRouter::Options router{};
     Network::Options net{};
     EvsNode::Options node{};
+    shard::TransferConfig transfer{};
     std::uint64_t seed{1};
     SimTime watchdog_window_us{0};
   };
@@ -69,8 +70,13 @@ class KvCluster {
   /// Every shard cluster stable (see Cluster::stable).
   bool await_stable(SimTime max_wait_us = 2'000'000);
   /// Every shard stable, then run until deliveries and send queues settle
-  /// on every shard.
+  /// on every shard AND every in-primary replica is serving (catch-up
+  /// done) — post-quiesce reads must not bounce off Errc::catching_up.
   bool await_quiesce(SimTime max_wait_us = 4'000'000);
+  /// Every alive in-primary replica of every shard reports serving().
+  bool all_serving() const;
+  /// Run until all_serving(); false if `max_wait_us` elapses first.
+  bool await_serving(SimTime max_wait_us = 4'000'000);
 
   // --- scripting (indexes are process indexes, same in every shard) ---
   /// Partition ONE shard's network; the other shards are untouched — the
@@ -97,8 +103,15 @@ class KvCluster {
   /// shard id; empty when every shard's trace is conformant.
   std::string check_report(bool quiescent = true) const;
 
-  /// True when every pair of replicas of `shard` holds an identical map.
+  /// True when every pair of replicas of `shard` holds an identical map —
+  /// store fingerprints first (O(1) per replica), contents as a backstop
+  /// so an incremental-fingerprint bug cannot mask real divergence.
   bool replicas_agree(shard::ShardId shard) const;
+
+  /// Empty when replicas agree; otherwise one line per divergent replica
+  /// with its fingerprint/size and the first byte-level differing entry
+  /// versus the lowest-id replica (the anti-entropy tests' debugging aid).
+  std::string divergence(shard::ShardId shard) const;
 
   /// Every shard cluster's aggregate, plus every agent's kv.* registry,
   /// merged into one registry.

@@ -1,7 +1,9 @@
 #include "testkit/kv_live.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 #include "util/assert.hpp"
 
@@ -25,7 +27,8 @@ KvLiveCluster::KvLiveCluster(Options options)
   router_.update_members(members);
   agents_.reserve(options_.num_processes);
   for (std::size_t i = 0; i < options_.num_processes; ++i) {
-    agents_.push_back(std::make_unique<apps::KvShardedNode>(pid(i), router_));
+    agents_.push_back(std::make_unique<apps::KvShardedNode>(
+        pid(i), router_, options_.transfer));
   }
 }
 
@@ -101,9 +104,36 @@ bool KvLiveCluster::await_stable(SimTime max_wait_us) {
 }
 
 bool KvLiveCluster::await_quiesce(SimTime max_wait_us) {
-  return std::all_of(shards_.begin(), shards_.end(), [&](const auto& c) {
-    return c->await_quiesce(max_wait_us);
-  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(max_wait_us);
+  const bool quiet =
+      std::all_of(shards_.begin(), shards_.end(), [&](const auto& c) {
+        return c->await_quiesce(max_wait_us);
+      });
+  if (!quiet) return false;
+  // Post-quiesce reads must not bounce off Errc::catching_up: wait until
+  // every in-primary replica has finished state transfer too.
+  while (!all_serving()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+bool KvLiveCluster::all_serving() {
+  for (shard::ShardId s = 0; s < router_.num_shards(); ++s) {
+    for (const ProcessId p : router_.replicas(s)) {
+      const std::size_t index = p.value - 1;
+      apps::KvShardedNode* agent = agents_[index].get();
+      bool ok = false;
+      // in_primary/serving read the node's configuration — loop thread only.
+      shards_[s]->call(index, [agent, s, &ok] {
+        ok = !agent->in_primary(s) || agent->serving(s);
+      });
+      if (!ok) return false;
+    }
+  }
+  return true;
 }
 
 bool KvLiveCluster::replicas_agree(shard::ShardId shard) const {
@@ -113,7 +143,8 @@ bool KvLiveCluster::replicas_agree(shard::ShardId shard) const {
     if (store == nullptr) return false;
     if (first == nullptr) {
       first = store;
-    } else if (store->contents() != first->contents()) {
+    } else if (store->fingerprint() != first->fingerprint() ||
+               store->contents() != first->contents()) {
       return false;
     }
   }

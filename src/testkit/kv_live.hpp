@@ -29,6 +29,7 @@ class KvLiveCluster {
     shard::ShardRouter::Options router{};
     EvsNode::Options node = live_node_defaults();
     UdpTransport::Options transport{};
+    shard::TransferConfig transfer{};
   };
 
   explicit KvLiveCluster(Options options);
@@ -69,7 +70,13 @@ class KvLiveCluster {
 
   // --- waiting (wall-clock; all shards must satisfy the condition) ---
   bool await_stable(SimTime max_wait_us = 15'000'000);
+  /// Quiesce every shard, then wait until every in-primary replica is
+  /// serving (catch-up done). Serving checks read node state, so each one
+  /// is posted to the owning shard's loop thread via call().
   bool await_quiesce(SimTime max_wait_us = 15'000'000);
+  /// Every in-primary replica of every shard reports serving(); each check
+  /// runs on the owning loop thread.
+  bool all_serving();
 
   /// True when every pair of replicas of `shard` holds an identical map.
   /// Requires stop() (stores are loop-thread-written while running).

@@ -35,6 +35,7 @@ enum class Errc : std::uint8_t {
   invalid_argument = 12,    ///< harness API misuse (unknown pid, bad lifecycle)
   transport_io = 13,        ///< live transport socket operation failed
   bad_frame = 14,           ///< packed datagram with a truncated/garbled trailing frame
+  catching_up = 15,         ///< replica is in primary but still state-transferring
 };
 
 const char* to_string(Errc e);
@@ -120,6 +121,7 @@ inline const char* to_string(Errc e) {
     case Errc::invalid_argument: return "invalid_argument";
     case Errc::transport_io: return "transport_io";
     case Errc::bad_frame: return "bad_frame";
+    case Errc::catching_up: return "catching_up";
   }
   return "?";
 }

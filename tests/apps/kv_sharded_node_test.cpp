@@ -1,0 +1,190 @@
+// KvShardedNode behaviour at the API boundary: put_batch's per-shard
+// partial-failure contract, the degraded-read escape hatch during a
+// minority partition, and the scalar-delivery-path regression — writes in
+// flight across a configuration change are delivered one-at-a-time through
+// recovery configurations, and hooking only the batch path would silently
+// lose them (the bug class the datagram-batching PR fixed).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "testkit/kv_cluster.hpp"
+
+namespace evs {
+namespace {
+
+using shard::ShardId;
+
+/// A key routed to `shard` (deterministic: scans a counter namespace).
+std::string key_on(const shard::ShardRouter& router, ShardId shard, int salt) {
+  for (int i = 0;; ++i) {
+    std::string k = "k" + std::to_string(salt) + "-" + std::to_string(i);
+    if (router.shard_of_key(k) == shard) return k;
+  }
+}
+
+TEST(KvShardedNodeTest, PutBatchReportsPerShardOutcomes) {
+  KvCluster::Options o;
+  o.num_processes = 5;
+  o.router.num_shards = 4;
+  o.router.replication = 3;
+  o.watchdog_window_us = 2'000'000;
+  KvCluster kc(o);
+  ASSERT_TRUE(kc.await_quiesce());
+
+  // Find a process that replicates one shard but not another — guaranteed
+  // to exist with 4 groups of 3 replicas over 5 processes.
+  std::size_t who = kc.size();
+  ShardId held = 0, missing = 0;
+  for (std::size_t i = 0; i < kc.size() && who == kc.size(); ++i) {
+    for (ShardId a = 0; a < kc.num_shards(); ++a) {
+      if (!kc.router().is_replica(a, kc.pid(i))) continue;
+      for (ShardId b = 0; b < kc.num_shards(); ++b) {
+        if (kc.router().is_replica(b, kc.pid(i))) continue;
+        who = i;
+        held = a;
+        missing = b;
+        break;
+      }
+      if (who != kc.size()) break;
+    }
+  }
+  ASSERT_LT(who, kc.size()) << "router maps every process to every shard";
+
+  const std::string good1 = key_on(kc.router(), held, 1);
+  const std::string good2 = key_on(kc.router(), held, 2);
+  const std::string bad = key_on(kc.router(), missing, 3);
+  const auto result = kc.agent(who).put_batch(
+      {{good1, "a"}, {bad, "x"}, {good2, "b"}});
+
+  // Two shard groups: the held one accepted (2 ops), the missing one
+  // refused — and the result names which is which.
+  ASSERT_EQ(result.shards.size(), 2u);
+  EXPECT_FALSE(result.all_ok());
+  EXPECT_EQ(result.first_error().code(), Errc::invalid_argument);
+  for (const auto& out : result.shards) {
+    if (out.shard == held) {
+      EXPECT_EQ(out.ops, 2u);
+      EXPECT_TRUE(out.status.ok()) << out.status.message();
+    } else {
+      EXPECT_EQ(out.shard, missing);
+      EXPECT_EQ(out.ops, 1u);
+      EXPECT_EQ(out.status.code(), Errc::invalid_argument);
+    }
+  }
+
+  // The accepted group really was accepted: it converges on its replicas.
+  ASSERT_TRUE(kc.await_quiesce());
+  for (const ProcessId p : kc.router().replicas(held)) {
+    auto got = kc.agent(p).get(good1);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got->has_value());
+    EXPECT_EQ(**got, "a");
+  }
+  // The refused key was never applied anywhere.
+  for (const ProcessId p : kc.router().replicas(missing)) {
+    auto got = kc.agent(p).get(bad);
+    ASSERT_TRUE(got.ok());
+    EXPECT_FALSE(got->has_value());
+  }
+  EXPECT_EQ(kc.check_report(), "");
+}
+
+TEST(KvShardedNodeTest, GetStaleServesMinorityReplica) {
+  KvCluster::Options o;
+  o.num_processes = 4;
+  o.router.num_shards = 1;
+  o.router.replication = 3;
+  o.watchdog_window_us = 2'000'000;
+  KvCluster kc(o);
+  ASSERT_TRUE(kc.await_quiesce());
+
+  const ShardId s = 0;
+  const std::string k = key_on(kc.router(), s, 1);
+  apps::KvShardedNode* w = kc.writer(s);
+  ASSERT_NE(w, nullptr);
+  ASSERT_TRUE(w->put(k, "committed").ok());
+  ASSERT_TRUE(kc.await_quiesce());
+
+  const std::size_t lone = kc.router().replicas(s).at(2).value - 1;
+  std::vector<std::size_t> rest;
+  for (std::size_t i = 0; i < kc.size(); ++i) {
+    if (i != lone) rest.push_back(i);
+  }
+  kc.partition_shard(s, {{lone}, rest});
+  ASSERT_TRUE(kc.await([&] { return !kc.agent(lone).in_primary(s); },
+                       4'000'000));
+
+  // Serving read refused in the minority; the escape hatch still answers
+  // from the local store and is counted.
+  EXPECT_EQ(kc.agent(lone).get(k).code(), Errc::blocked_not_primary);
+  auto stale = kc.agent(lone).get_stale(k);
+  ASSERT_TRUE(stale.ok());
+  ASSERT_TRUE(stale->has_value());
+  EXPECT_EQ(**stale, "committed");
+  EXPECT_GE(kc.agent(lone).stats().stale_reads, 1u);
+  EXPECT_GE(kc.agent(lone).stats().reads_blocked, 1u);
+
+  // A non-replica gets invalid_argument even from get_stale.
+  for (std::size_t i = 0; i < kc.size(); ++i) {
+    if (kc.router().is_replica(s, kc.pid(i))) continue;
+    EXPECT_EQ(kc.agent(i).get_stale(k).code(), Errc::invalid_argument);
+  }
+}
+
+// Regression for the recovery-time delivery path: ops still in flight when
+// a partition hits are delivered through transitional/recovery
+// configurations ONE AT A TIME (the scalar handler), not via the batch
+// path. If the shard layer hooked only batch delivery, these writes would
+// vanish at the surviving majority.
+TEST(KvShardedNodeTest, InFlightWritesSurvivePartitionViaScalarPath) {
+  KvCluster::Options o;
+  o.num_processes = 3;
+  o.router.num_shards = 1;
+  o.router.replication = 3;
+  o.watchdog_window_us = 2'000'000;
+  KvCluster kc(o);
+  ASSERT_TRUE(kc.await_quiesce());
+
+  const ShardId s = 0;
+  std::map<std::string, std::string> expected;
+  // Submit at a replica that stays in the majority, then cut the network
+  // before a single one is delivered: every op rides the membership
+  // change's recovery machinery.
+  for (int i = 0; i < 20; ++i) {
+    const std::string k = "inflight-" + std::to_string(i);
+    ASSERT_TRUE(kc.agent(std::size_t{1}).put(k, "v" + std::to_string(i)).ok());
+    expected[k] = "v" + std::to_string(i);
+  }
+  kc.partition_shard(s, {{0}, {1, 2}});
+
+  // The majority notices the partition (token loss -> membership change),
+  // walks recovery, and must deliver and apply every in-flight write.
+  const auto majority_has_all = [&] {
+    for (const auto& [k, v] : expected) {
+      for (const std::size_t i : {std::size_t{1}, std::size_t{2}}) {
+        auto got = kc.agent(i).get(k);
+        if (!got.ok() || !got->has_value() || **got != v) return false;
+      }
+    }
+    return true;
+  };
+  ASSERT_TRUE(kc.await(majority_has_all, 8'000'000));
+
+  // After the heal, state transfer hands them to the minority replica too.
+  kc.heal_shard(s);
+  ASSERT_TRUE(kc.await_quiesce(12'000'000));
+  for (const auto& [k, v] : expected) {
+    auto got = kc.agent(std::size_t{0}).get(k);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(got->has_value()) << "key " << k;
+    EXPECT_EQ(**got, v);
+  }
+  EXPECT_TRUE(kc.replicas_agree(s)) << kc.divergence(s);
+  EXPECT_EQ(kc.check_report(), "");
+}
+
+}  // namespace
+}  // namespace evs

@@ -311,8 +311,23 @@ TEST(ReportJson, KvRunsMustCarryShardInstruments) {
   r.counter("kv.reads_blocked");
   r.counter("kv.writes_blocked");
   r.counter("kv.rejected_decode");
+  r.counter("kv.transfer.sessions").inc(1);
+  r.counter("kv.transfer.completed").inc(1);
+  r.counter("kv.transfer.aborted");
+  r.counter("kv.transfer.retries");
+  r.counter("kv.transfer.chunks_sent").inc(3);
+  r.counter("kv.transfer.chunks_applied").inc(3);
+  r.counter("kv.transfer.bytes_sent").inc(4096);
+  r.counter("kv.transfer.bytes_applied").inc(4096);
+  r.counter("kv.transfer.chunk_crc_rejects");
+  r.counter("kv.transfer.claims");
+  r.counter("kv.reads_catching_up");
+  r.counter("kv.stale_reads");
+  r.counter("kv.antientropy_rounds").inc(2);
+  r.counter("kv.antientropy_repairs");
   r.gauge("shard.local_shards").set(4);
   r.histogram("kv.put_batch_size").record(1);
+  r.histogram("kv.transfer.catch_up_us").record(1500);
   JsonWriter w;
   w.begin_object();
   w.kv("schema", "evs.obs.report");
@@ -331,11 +346,18 @@ TEST(ReportJson, KvRunsMustCarryShardInstruments) {
   ASSERT_TRUE(validate_report_json(*v).ok())
       << validate_report_json(*v).message();
 
-  // Any missing kv counter fails validation...
+  // Any missing kv counter fails validation — including the full
+  // state-transfer / anti-entropy family...
   for (const char* counter :
        {"kv.gets", "kv.applied", "kv.rejected_not_replica",
         "kv.rejected_backpressure", "kv.reads_blocked", "kv.writes_blocked",
-        "kv.rejected_decode"}) {
+        "kv.rejected_decode", "kv.transfer.sessions", "kv.transfer.completed",
+        "kv.transfer.aborted", "kv.transfer.retries",
+        "kv.transfer.chunks_sent", "kv.transfer.chunks_applied",
+        "kv.transfer.bytes_sent", "kv.transfer.bytes_applied",
+        "kv.transfer.chunk_crc_rejects", "kv.transfer.claims",
+        "kv.reads_catching_up", "kv.stale_reads", "kv.antientropy_rounds",
+        "kv.antientropy_repairs"}) {
     auto broken = *v;
     JsonValue& metrics =
         *find_mutable(find_mutable(broken, "runs")->array[0], "metrics");
@@ -349,10 +371,13 @@ TEST(ReportJson, KvRunsMustCarryShardInstruments) {
   JsonValue& mg = *find_mutable(find_mutable(no_gauge, "runs")->array[0], "metrics");
   erase_member(*find_mutable(mg, "gauges"), "shard.local_shards");
   EXPECT_FALSE(validate_report_json(no_gauge).ok());
-  auto no_hist = *v;
-  JsonValue& mh = *find_mutable(find_mutable(no_hist, "runs")->array[0], "metrics");
-  erase_member(*find_mutable(mh, "histograms"), "kv.put_batch_size");
-  EXPECT_FALSE(validate_report_json(no_hist).ok());
+  for (const char* hist : {"kv.put_batch_size", "kv.transfer.catch_up_us"}) {
+    auto no_hist = *v;
+    JsonValue& mh =
+        *find_mutable(find_mutable(no_hist, "runs")->array[0], "metrics");
+    erase_member(*find_mutable(mh, "histograms"), hist);
+    EXPECT_FALSE(validate_report_json(no_hist).ok()) << hist;
+  }
 
   // A run with no kv.puts marker (plain EVS bench) is exempt.
   auto plain = *v;

@@ -243,8 +243,14 @@ TEST(KvClusterTest, CrashRemapsDeterministicallyAndRecoverRestores) {
   ASSERT_TRUE(kc.await_quiesce(8'000'000));
 
   ASSERT_TRUE(kc.recover(victim).ok());
-  ASSERT_TRUE(kc.await_stable(8'000'000));
+  // Quiesce, not just stabilise: the recovered replica re-enters its shards
+  // as a catching-up joiner, and the quiescent spec check must not observe
+  // its state-transfer traffic mid-flight.
+  ASSERT_TRUE(kc.await_quiesce(12'000'000));
   EXPECT_EQ(kc.router().assignment_fingerprint(), fp_before);
+  for (ShardId s = 0; s < kc.num_shards(); ++s) {
+    EXPECT_TRUE(kc.replicas_agree(s)) << kc.divergence(s);
+  }
   EXPECT_EQ(kc.check_report(), "");
 }
 

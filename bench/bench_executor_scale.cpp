@@ -1,0 +1,143 @@
+// Sharded-executor scaling (DESIGN.md "Sharded executor").
+//
+// The question this sweep answers: what does multiplexing N live nodes
+// onto min(cores, N) worker threads cost against the old thread-per-node
+// runtime, and does the executor keep a 64-node ring moving when the
+// thread-per-node model would need 64 OS threads? Ordered-delivery
+// throughput over real loopback sockets, same timed window as
+// bench_udp_live (send -> delivered-at-every-member).
+//
+//   BM_ExecutorScale/N        — N nodes, min(cores, N) workers (default)
+//   BM_ThreadPerNodeBaseline/N — N nodes, N workers (one poller per node,
+//                                the pre-executor threading model emulated
+//                                on the same code path)
+//
+// The acceptance gates: executor throughput at N=5 within 0.8x of the
+// thread-per-node baseline, and the 64-node ring delivering on <= cores
+// workers (not thread-limited). Both benchmarks skip (SkipWithError) when
+// the environment provides no usable sockets, mirroring the `live` label.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench_report.hpp"
+
+#include "testkit/live_cluster.hpp"
+
+namespace {
+
+using namespace evs;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Messages per round, scaled down with ring size: every message is
+/// delivered N times, so the delivery work grows linearly in N and the
+/// send count shrinks to keep round wall-time bounded.
+int messages_for(std::size_t ring) {
+  if (ring <= 5) return 1'000;
+  if (ring <= 16) return 400;
+  return 128;
+}
+
+void run_scale(benchmark::State& state, const char* bench_name,
+               std::size_t ring, std::size_t workers) {
+  const int kMessages = messages_for(ring);
+  constexpr int kChunk = 32;
+  const std::vector<std::uint8_t> body(64, 0x42);
+
+  double msgs_per_sec = 0;
+  double actual_workers = 0;
+  std::uint64_t rounds = 0;
+  // Large rings need the dilated timer profile (see
+  // live_node_defaults_scaled) and proportionally longer convergence
+  // windows: a 64-member formation is several join/consensus rounds, each
+  // stretched by the dilation factor.
+  const SimTime stabilize_us = ring <= 16 ? 120'000'000 : 300'000'000;
+  const SimTime deliver_us = ring <= 16 ? 120'000'000 : 300'000'000;
+  for (auto _ : state) {
+    LiveCluster cluster(
+        LiveCluster::Options{.num_processes = ring,
+                             .num_workers = workers,
+                             .node = live_node_defaults_scaled(ring)});
+    if (!cluster.open().ok()) {
+      state.SkipWithError("sockets unavailable");
+      return;
+    }
+    if (!cluster.await_stable(stabilize_us)) {
+      state.SkipWithError("live ring failed to stabilize");
+      return;
+    }
+    const std::uint64_t target =
+        cluster.total_delivered() +
+        static_cast<std::uint64_t>(kMessages) * ring;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kMessages;) {
+      const int n = std::min(kChunk, kMessages - i);
+      auto r = cluster.send_batch(
+          static_cast<std::size_t>(i / kChunk) % ring, Service::Agreed,
+          std::vector<std::vector<std::uint8_t>>(static_cast<std::size_t>(n),
+                                                 body));
+      if (r.ok()) {
+        i += n;
+      } else if (r.code() == Errc::backpressure) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      } else {
+        state.SkipWithError("send failed");
+        return;
+      }
+    }
+    if (!cluster.await([&] { return cluster.total_delivered() >= target; },
+                       deliver_us, 500)) {
+      state.SkipWithError("live ring failed to deliver the burst");
+      return;
+    }
+    msgs_per_sec += static_cast<double>(kMessages) / seconds_since(t0);
+    if (!cluster.await_quiesce(120'000'000)) {
+      state.SkipWithError("live ring failed to quiesce");
+      return;
+    }
+    cluster.stop();
+    auto agg = cluster.aggregate_metrics();
+    actual_workers =
+        static_cast<double>(agg.gauge("net.executor.workers").value());
+    evs::bench::ObsReport::instance()
+        .run(evs::bench::run_name(bench_name, {static_cast<int>(ring)}))
+        .merge_from(agg);
+    ++rounds;
+  }
+  state.counters["executor_msgs_per_sec"] =
+      msgs_per_sec / static_cast<double>(rounds);
+  state.counters["executor_deliveries_per_sec"] =
+      msgs_per_sec * static_cast<double>(ring) / static_cast<double>(rounds);
+  state.counters["executor_workers"] = actual_workers;
+  state.counters["executor_messages"] = static_cast<double>(kMessages);
+}
+
+/// Default sharding: min(cores, N) workers — the production configuration.
+void BM_ExecutorScale(benchmark::State& state) {
+  run_scale(state, "BM_ExecutorScale",
+            static_cast<std::size_t>(state.range(0)), /*workers=*/0);
+}
+
+/// One worker per node: the pre-executor thread-per-node model, emulated on
+/// the identical code path so the comparison isolates the sharding.
+void BM_ThreadPerNodeBaseline(benchmark::State& state) {
+  const auto ring = static_cast<std::size_t>(state.range(0));
+  run_scale(state, "BM_ThreadPerNodeBaseline", ring, /*workers=*/ring);
+}
+
+BENCHMARK(BM_ExecutorScale)->Arg(5)->Arg(16)->Arg(64)->Iterations(2)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ThreadPerNodeBaseline)->Arg(5)->Iterations(2)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+EVS_BENCH_MAIN("bench_executor_scale")

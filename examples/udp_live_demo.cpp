@@ -1,7 +1,8 @@
 // Live quickstart: the same partition/re-merge story as quickstart.cpp, but
-// off the simulator — three processes on real loopback UDP sockets, one
-// event-loop thread each, wall-clock timers, and a port-level drop filter
-// standing in for the cut wire.
+// off the simulator — three processes on real loopback UDP sockets,
+// multiplexed onto the sharded executor (min(cores, 3) worker threads),
+// wall-clock timers, and an address-level drop filter standing in for the
+// cut wire.
 //
 // Build & run:  ./build/examples/udp_live_demo
 // Exits 77 ("skip") when the environment provides no usable sockets.

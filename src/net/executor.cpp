@@ -1,0 +1,185 @@
+#include "net/executor.hpp"
+
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "net/udp_transport.hpp"
+#include "util/assert.hpp"
+
+namespace evs::net {
+
+Executor::Executor(Options options) : options_(options) {}
+
+Executor::~Executor() {
+  stop();
+  // The wake fds outlive stop(): a post() that won its push against the
+  // inbox close may still be inside the waker's write() on another thread,
+  // and close() racing that write is a use-after-close (the fd number could
+  // even be recycled). After finish() every new post fails before reaching
+  // the waker, and a straggler write to an open, unwatched eventfd is
+  // harmless — so the fds are only closed here, when the caller guarantees
+  // no thread can still be posting.
+  for (auto& w : workers_) {
+    if (w.wake_fd >= 0) ::close(w.wake_fd);
+    w.wake_fd = -1;
+  }
+}
+
+void Executor::add(UdpTransport* transport) {
+  EVS_ASSERT_MSG(!started_, "Executor::add after start");
+  EVS_ASSERT(transport != nullptr && transport->is_open());
+  transports_.push_back(transport);
+}
+
+Status Executor::start() {
+  if (started_) {
+    return Status::error(Errc::invalid_argument, "Executor started twice");
+  }
+  if (transports_.empty()) {
+    return Status::error(Errc::invalid_argument,
+                         "Executor::start with no transports");
+  }
+  started_ = true;
+
+  std::size_t want = options_.num_workers;
+  if (want == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    want = hw == 0 ? 1 : hw;
+  }
+  want = std::clamp<std::size_t>(want, 1, transports_.size());
+
+  workers_ = std::vector<Worker>(want);
+  for (std::size_t i = 0; i < transports_.size(); ++i) {
+    workers_[i % want].members.push_back(transports_[i]);
+  }
+  std::size_t max_members = 0;
+  for (auto& w : workers_) {
+    w.wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (w.wake_fd < 0) {
+      for (auto& u : workers_) {
+        if (u.wake_fd >= 0) ::close(u.wake_fd);
+      }
+      workers_.clear();
+      return Status::error(Errc::transport_io, "eventfd() for worker failed");
+    }
+    max_members = std::max(max_members, w.members.size());
+    // post() into any member now wakes the worker that owns it, not the
+    // transport's private eventfd (which nothing polls anymore).
+    for (UdpTransport* t : w.members) {
+      const int wake_fd = w.wake_fd;
+      t->set_waker([wake_fd] {
+        const std::uint64_t one = 1;
+        [[maybe_unused]] ssize_t n = ::write(wake_fd, &one, sizeof(one));
+      });
+    }
+  }
+  metrics_.gauge("net.executor.workers")
+      .set(static_cast<std::int64_t>(workers_.size()));
+  metrics_.gauge("net.executor.nodes_per_worker")
+      .set(static_cast<std::int64_t>(max_members));
+
+  stop_.store(false, std::memory_order_release);
+  running_ = true;
+  for (auto& w : workers_) {
+    w.thread = std::thread([this, &w] { worker_loop(w); });
+  }
+  return Status::ok_status();
+}
+
+void Executor::worker_loop(Worker& w) {
+  // Cached handles: each worker records into its OWN registry (plain u64
+  // instruments, single writer), merged after join.
+  obs::Counter& polls = w.metrics.counter("net.executor.polls");
+  obs::Counter& wakeups = w.metrics.counter("net.executor.wakeups");
+  obs::Histogram& inbox_depth = w.metrics.histogram("net.executor.inbox_depth");
+  obs::Histogram& poll_batch = w.metrics.histogram("net.executor.poll_batch");
+
+  std::vector<pollfd> fds(w.members.size() + 1);
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Merge every member's next timer / flush deadline into one wait. Each
+    // transport keeps its own epoch, so deadlines convert to "microseconds
+    // from now" per member before taking the min.
+    std::uint64_t wait_us = options_.max_wait_us;
+    for (UdpTransport* t : w.members) {
+      if (auto deadline = t->next_deadline_us(); deadline.has_value()) {
+        const SimTime now = t->wall_now_us();
+        wait_us = std::min<std::uint64_t>(
+            wait_us, *deadline > now ? *deadline - now : 0);
+      }
+    }
+    for (std::size_t i = 0; i < w.members.size(); ++i) {
+      fds[i].fd = w.members[i]->fd();
+      fds[i].events = POLLIN;
+      if (w.members[i]->wants_pollout()) fds[i].events |= POLLOUT;
+      fds[i].revents = 0;
+    }
+    fds.back().fd = w.wake_fd;
+    fds.back().events = POLLIN;
+    fds.back().revents = 0;
+
+    timespec ts;
+    ts.tv_sec = static_cast<time_t>(wait_us / 1'000'000);
+    ts.tv_nsec = static_cast<long>((wait_us % 1'000'000) * 1'000);
+    ::ppoll(fds.data(), fds.size(), &ts, nullptr);
+
+    if ((fds.back().revents & POLLIN) != 0) {
+      std::uint64_t drained = 0;
+      [[maybe_unused]] ssize_t n = ::read(w.wake_fd, &drained, sizeof(drained));
+      wakeups.inc();
+    }
+    polls.inc();
+    // Service the members that have something to do: a fired fd, posted
+    // work, or a deadline (timer / flush / backlog) that has come due. On a
+    // token ring only ~1 of K co-scheduled members is active per hop;
+    // servicing all K would pay K recvmmsg syscalls per hop and the hop
+    // latency compounds around the ring. The per-call receive budget inside
+    // service() is what keeps this loop fair across members.
+    for (std::size_t i = 0; i < w.members.size(); ++i) {
+      UdpTransport* t = w.members[i];
+      bool due = fds[i].revents != 0 || t->inbox_depth() > 0;
+      if (!due) {
+        if (auto deadline = t->next_deadline_us(); deadline.has_value()) {
+          due = *deadline <= t->wall_now_us();
+        }
+      }
+      if (!due) continue;
+      inbox_depth.record(t->inbox_depth());
+      const int dispatched = t->service();
+      poll_batch.record(static_cast<std::uint64_t>(dispatched));
+    }
+  }
+}
+
+void Executor::stop() {
+  if (running_) {
+    stop_.store(true, std::memory_order_release);
+    for (auto& w : workers_) {
+      const std::uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = ::write(w.wake_fd, &one, sizeof(one));
+    }
+    for (auto& w : workers_) {
+      if (w.thread.joinable()) w.thread.join();
+    }
+    running_ = false;
+    // The loops are gone; close each member's posting door on this thread.
+    // Tasks already accepted run here — same contract as UdpTransport::run()
+    // returning — and every later post() fails fast with false. The wake
+    // fds stay open until destruction (see ~Executor).
+    for (UdpTransport* t : transports_) t->finish();
+  }
+}
+
+const obs::MetricsRegistry& Executor::metrics() {
+  EVS_ASSERT_MSG(!running_, "Executor::metrics while workers are running");
+  if (!metrics_merged_) {
+    for (auto& w : workers_) metrics_.merge_from(w.metrics);
+    metrics_merged_ = true;
+  }
+  return metrics_;
+}
+
+}  // namespace evs::net

@@ -1,0 +1,113 @@
+// Executor: the sharded event loop that takes the live runtime from one
+// thread per node to one poller per core.
+//
+// The thread-per-node model (PR 7) burns a kernel thread, a stack, and a
+// scheduler fight per ring member — KvLiveCluster multiplies that to
+// shards x nodes, which caps honest large-N benches long before the
+// protocol does. The executor multiplexes N UdpTransports onto W worker
+// threads (default min(hardware cores, transports)): each worker owns a
+// fixed subset of transports and drives them by composing the pieces
+// UdpTransport exposes for exactly this purpose —
+//
+//   * one ppoll() over every member's socket fd (+ the worker's eventfd, so
+//     post() from any thread can wake the right worker via set_waker),
+//   * the poll deadline merged across members' next_deadline_us(), so every
+//     node's Scheduler timers fire with poll-granularity accuracy no matter
+//     how many nodes share the worker,
+//   * a service() pass per member per wakeup, whose per-call
+//     max_recv_per_poll budget is the fairness bound: a neighbor's flooded
+//     socket hands control back after a bounded number of dispatches, so
+//     node K's token-loss timer cannot starve behind node 1's heavy
+//     delivery (tests/executor/ pins this).
+//
+// Assignment is static round-robin at start() — no work stealing, no
+// migration, so every transport keeps a single driving thread for its whole
+// life and the transport's single-consumer contract (plain maps, non-atomic
+// instruments) holds with no locks added. Cross-thread input arrives only
+// through each transport's lock-free inbox. Instruments follow the same
+// rule: each worker records into its own MetricsRegistry, merged into the
+// executor-wide view by metrics() once the workers have joined.
+//
+// The sim Network needs none of this: it is a first-class Transport whose
+// "loop" is the simulation's event queue, already multiplexing every node
+// on one deterministic thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/status.hpp"
+
+namespace evs {
+
+class UdpTransport;
+
+namespace net {
+
+class Executor {
+ public:
+  struct Options {
+    /// Worker threads; 0 = min(hardware cores, transport count). Clamped to
+    /// the transport count — an idle worker with no members would just
+    /// sleep.
+    std::size_t num_workers{0};
+    /// ppoll cap per iteration when no member deadline bounds it sooner.
+    std::uint64_t max_wait_us{10'000};
+  };
+
+  Executor() : Executor(Options{}) {}
+  explicit Executor(Options options);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Register a transport (must be open; caller keeps ownership and must
+  /// outlive the executor's stop()). Only before start().
+  void add(UdpTransport* transport);
+
+  /// Spawn the workers and begin driving every registered transport.
+  /// Errc::invalid_argument on double-start or an empty member list.
+  Status start();
+
+  /// Join the workers, then finish() every member: each inbox closes (with
+  /// its accepted tasks run on this thread — safe, the loops are gone) and
+  /// later post() calls fail fast. Idempotent; harmless before start().
+  void stop();
+
+  bool running() const { return running_; }
+  std::size_t num_workers() const { return workers_.size(); }
+
+  /// Executor-wide instruments (net.executor.*): per-worker registries
+  /// merged into the base view. Only safe once the workers have joined
+  /// (after stop()).
+  const obs::MetricsRegistry& metrics();
+
+ private:
+  struct Worker {
+    std::vector<UdpTransport*> members;
+    int wake_fd{-1};
+    std::thread thread;
+    obs::MetricsRegistry metrics;
+  };
+
+  void worker_loop(Worker& w);
+
+  Options options_;
+  std::vector<UdpTransport*> transports_;
+  std::vector<Worker> workers_;
+  bool started_{false};
+  bool running_{false};
+  std::atomic<bool> stop_{false};
+  bool metrics_merged_{false};
+  obs::MetricsRegistry metrics_;
+};
+
+}  // namespace net
+}  // namespace evs

@@ -1,0 +1,87 @@
+#include "net/inbox.hpp"
+
+#include <utility>
+
+namespace evs::net {
+
+TaskInbox::Node* TaskInbox::closed_sentinel() {
+  static Node sentinel;
+  return &sentinel;
+}
+
+TaskInbox::~TaskInbox() {
+  // Discard without running: whoever owned the consumer side is gone, and
+  // running protocol closures from a destructor would race nothing but also
+  // mean nothing. close() first if the tasks must run.
+  Node* n = head_.exchange(closed_sentinel(), std::memory_order_acquire);
+  while (n != nullptr && n != closed_sentinel()) {
+    Node* next = n->next;
+    delete n;
+    n = next;
+  }
+}
+
+bool TaskInbox::push(Task task) {
+  Node* node = new Node{std::move(task), nullptr};
+  Node* head = head_.load(std::memory_order_relaxed);
+  do {
+    if (head == closed_sentinel()) {
+      delete node;
+      return false;
+    }
+    node->next = head;
+    // Release so the consumer's acquire exchange sees the task body.
+  } while (!head_.compare_exchange_weak(head, node, std::memory_order_release,
+                                        std::memory_order_relaxed));
+  depth_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+TaskInbox::Node* TaskInbox::take_chain() {
+  Node* head = head_.load(std::memory_order_relaxed);
+  do {
+    if (head == nullptr || head == closed_sentinel()) return nullptr;
+    // CAS (not exchange): swapping a closed head with nullptr would silently
+    // reopen the inbox and let a racing push strand its task.
+  } while (!head_.compare_exchange_weak(head, nullptr, std::memory_order_acquire,
+                                        std::memory_order_relaxed));
+  return head;
+}
+
+std::size_t TaskInbox::run_chain(Node* chain,
+                                 const std::function<void(Task&&)>& run) {
+  // The stack pops newest-first; reverse to run in post order.
+  Node* fifo = nullptr;
+  while (chain != nullptr) {
+    Node* next = chain->next;
+    chain->next = fifo;
+    fifo = chain;
+    chain = next;
+  }
+  std::size_t ran = 0;
+  while (fifo != nullptr) {
+    Node* next = fifo->next;
+    depth_.fetch_sub(1, std::memory_order_relaxed);
+    run(std::move(fifo->fn));
+    delete fifo;
+    fifo = next;
+    ++ran;
+  }
+  return ran;
+}
+
+std::size_t TaskInbox::drain(const std::function<void(Task&&)>& run) {
+  return run_chain(take_chain(), run);
+}
+
+std::size_t TaskInbox::close(const std::function<void(Task&&)>& run) {
+  Node* chain = head_.exchange(closed_sentinel(), std::memory_order_acquire);
+  if (chain == closed_sentinel()) return 0;  // already closed
+  return run_chain(chain, run);
+}
+
+bool TaskInbox::closed() const {
+  return head_.load(std::memory_order_acquire) == closed_sentinel();
+}
+
+}  // namespace evs::net

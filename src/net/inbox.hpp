@@ -1,0 +1,77 @@
+// TaskInbox: the lock-free MPSC door into an event loop.
+//
+// This replaces the mutex-guarded posted-closure vector UdpTransport carried
+// through the thread-per-node era. Any number of producer threads push
+// closures; exactly one consumer (the loop, or the executor worker that owns
+// the loop) drains them in FIFO order. The structure is a Treiber stack with
+// a consumer-side reversal: a push is one CAS on the head pointer, a drain is
+// one CAS plus a pointer-reversal walk — no mutex on either side, so a
+// harness thread posting into a hot worker never blocks it (and vice versa).
+//
+// Close semantics are the lifecycle-race fix (ISSUE 10): the head pointer
+// doubles as the open/closed state via a sentinel value. close() atomically
+// swaps the sentinel in and returns the tasks that were already accepted —
+// the closer runs them, honoring the "a stop posted together with work does
+// not strand it" contract — and every later push() fails fast with `false`
+// instead of stranding a closure that a joined thread will never run. That
+// is what lets LiveCluster::call() fall back to running inline instead of
+// deadlocking on a promise nobody will fulfill.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+namespace evs::net {
+
+class TaskInbox {
+ public:
+  using Task = std::function<void()>;
+
+  TaskInbox() = default;
+  ~TaskInbox();
+
+  TaskInbox(const TaskInbox&) = delete;
+  TaskInbox& operator=(const TaskInbox&) = delete;
+
+  /// Thread-safe, lock-free. Returns false (and drops `task`) once the inbox
+  /// is closed — the producer must fall back to a path that cannot race the
+  /// dead consumer.
+  bool push(Task task);
+
+  /// Consumer only: run every task accepted so far, oldest first. Returns
+  /// the number of tasks run. A closed inbox drains as empty.
+  std::size_t drain(const std::function<void(Task&&)>& run);
+
+  /// Consumer only (or the thread that joined the consumer): atomically
+  /// close the inbox against future pushes, then run what was already
+  /// accepted, oldest first. Idempotent. Returns the number of tasks run.
+  std::size_t close(const std::function<void(Task&&)>& run);
+
+  bool closed() const;
+
+  /// Approximate number of accepted-but-not-yet-run tasks. Monitoring only
+  /// (the executor's inbox-depth histogram); racy by nature.
+  std::size_t depth() const { return depth_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Node {
+    Task fn;
+    Node* next{nullptr};
+  };
+
+  /// Sentinel head value meaning "closed". A distinct static object so it
+  /// can never alias a real allocation.
+  static Node* closed_sentinel();
+
+  /// Detach the current chain for consumption (leaves the inbox open).
+  /// Returns the raw LIFO chain, nullptr when empty or closed.
+  Node* take_chain();
+  /// Reverse `chain` to FIFO order, run each task, delete the nodes.
+  std::size_t run_chain(Node* chain, const std::function<void(Task&&)>& run);
+
+  std::atomic<Node*> head_{nullptr};
+  std::atomic<std::size_t> depth_{0};
+};
+
+}  // namespace evs::net

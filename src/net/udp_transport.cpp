@@ -20,11 +20,15 @@ namespace evs {
 
 namespace {
 
-sockaddr_in loopback_addr(std::uint16_t port) {
+/// Parse "a.b.c.d":port into a sockaddr_in. nullopt on a malformed ip.
+std::optional<sockaddr_in> parse_addr(const std::string& ip,
+                                      std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    return std::nullopt;
+  }
   return addr;
 }
 
@@ -53,7 +57,12 @@ constexpr int kMmsgBatch = 64;
 constexpr int kRecvBatch = 16;
 }  // namespace
 
-UdpTransport::UdpTransport(Options options) : options_(options) {
+std::uint64_t UdpTransport::addr_key(const sockaddr_in& addr) {
+  return (static_cast<std::uint64_t>(ntohl(addr.sin_addr.s_addr)) << 16) |
+         ntohs(addr.sin_port);
+}
+
+UdpTransport::UdpTransport(Options options) : options_(std::move(options)) {
   out_batch_.reserve(kMmsgBatch);
 }
 
@@ -63,6 +72,67 @@ void UdpTransport::close_fd() {
   if (fd_ >= 0) ::close(fd_);
   if (wake_fd_ >= 0) ::close(wake_fd_);
   fd_ = wake_fd_ = -1;
+}
+
+Status UdpTransport::wire_group_send_options() {
+  if (!options_.multicast_group.empty() && options_.enable_broadcast) {
+    return Status::error(
+        Errc::invalid_argument,
+        "multicast_group and enable_broadcast are mutually exclusive");
+  }
+  if (!options_.multicast_group.empty()) {
+    const std::uint16_t dst_port =
+        options_.multicast_port != 0 ? options_.multicast_port : port_;
+    auto group = parse_addr(options_.multicast_group, dst_port);
+    if (!group.has_value() ||
+        !IN_MULTICAST(ntohl(group->sin_addr.s_addr))) {
+      return Status::error(Errc::invalid_argument,
+                           "multicast_group is not a multicast address: " +
+                               options_.multicast_group);
+    }
+    auto iface = parse_addr(options_.multicast_if, 0);
+    if (!iface.has_value()) {
+      return Status::error(Errc::invalid_argument,
+                           "multicast_if is not an IPv4 address: " +
+                               options_.multicast_if);
+    }
+    ip_mreq mreq{};
+    mreq.imr_multiaddr = group->sin_addr;
+    mreq.imr_interface = iface->sin_addr;
+    if (::setsockopt(fd_, IPPROTO_IP, IP_ADD_MEMBERSHIP, &mreq,
+                     sizeof(mreq)) != 0) {
+      return Status::error(Errc::transport_io,
+                           std::string("IP_ADD_MEMBERSHIP: ") +
+                               strerror(errno));
+    }
+    if (::setsockopt(fd_, IPPROTO_IP, IP_MULTICAST_IF, &iface->sin_addr,
+                     sizeof(iface->sin_addr)) != 0) {
+      return Status::error(Errc::transport_io,
+                           std::string("IP_MULTICAST_IF: ") + strerror(errno));
+    }
+    const unsigned char ttl =
+        static_cast<unsigned char>(std::clamp(options_.multicast_ttl, 0, 255));
+    ::setsockopt(fd_, IPPROTO_IP, IP_MULTICAST_TTL, &ttl, sizeof(ttl));
+    const unsigned char loop = options_.multicast_loop ? 1 : 0;
+    ::setsockopt(fd_, IPPROTO_IP, IP_MULTICAST_LOOP, &loop, sizeof(loop));
+    group_dst_ = *group;
+  } else if (options_.enable_broadcast) {
+    const int on = 1;
+    if (::setsockopt(fd_, SOL_SOCKET, SO_BROADCAST, &on, sizeof(on)) != 0) {
+      return Status::error(Errc::transport_io,
+                           std::string("SO_BROADCAST: ") + strerror(errno));
+    }
+    const std::uint16_t dst_port =
+        options_.multicast_port != 0 ? options_.multicast_port : port_;
+    auto bcast = parse_addr(options_.broadcast_addr, dst_port);
+    if (!bcast.has_value()) {
+      return Status::error(Errc::invalid_argument,
+                           "broadcast_addr is not an IPv4 address: " +
+                               options_.broadcast_addr);
+    }
+    group_dst_ = *bcast;
+  }
+  return Status::ok_status();
 }
 
 Status UdpTransport::open() {
@@ -80,9 +150,27 @@ Status UdpTransport::open() {
     ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
                  sizeof(options_.so_sndbuf));
   }
-  sockaddr_in addr = loopback_addr(options_.port);
+  sockaddr_in addr{};
+  if (!options_.multicast_group.empty()) {
+    // Group members must bind the wildcard (and share the port across
+    // processes) to receive group traffic.
+    const int on = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(options_.port);
+  } else {
+    auto parsed = parse_addr(options_.bind_ip, options_.port);
+    if (!parsed.has_value()) {
+      close_fd();
+      return Status::error(Errc::invalid_argument,
+                           "bind_ip is not an IPv4 address: " +
+                               options_.bind_ip);
+    }
+    addr = *parsed;
+  }
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string detail = std::string("bind(127.0.0.1:") +
+    const std::string detail = std::string("bind(") + options_.bind_ip + ":" +
                                std::to_string(options_.port) +
                                "): " + strerror(errno);
     close_fd();
@@ -96,6 +184,10 @@ Status UdpTransport::open() {
     return Status::error(Errc::transport_io, detail);
   }
   port_ = ntohs(bound.sin_port);
+  if (Status st = wire_group_send_options(); !st.ok()) {
+    close_fd();
+    return st;
+  }
   wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   if (wake_fd_ < 0) {
     const std::string detail = std::string("eventfd(): ") + strerror(errno);
@@ -113,15 +205,57 @@ SimTime UdpTransport::wall_now_us() const {
   return delta <= 0 ? 0 : static_cast<SimTime>(delta / 1'000);
 }
 
-void UdpTransport::add_peer(ProcessId p, std::uint16_t port) {
-  auto it = peer_port_.find(p);
-  if (it != peer_port_.end()) port_peer_.erase(it->second);
-  peer_port_[p] = port;
-  port_peer_[port] = p;
+Status UdpTransport::add_peer(ProcessId p, const PeerAddr& addr) {
+  auto parsed = parse_addr(addr.ip, addr.port);
+  if (!parsed.has_value()) {
+    return Status::error(Errc::invalid_argument,
+                         "add_peer: not an IPv4 address: " + addr.ip);
+  }
+  const std::uint64_t key = addr_key(*parsed);
+  if (auto holder = addr_peer_.find(key);
+      holder != addr_peer_.end() && holder->second != p) {
+    // Refuse to alias two peers onto one source address: inbound resolution
+    // is by address, so the second registration would make the first peer's
+    // datagrams arrive as the second — and sail through the first's block
+    // filter. The caller meant either a different address or a remap of the
+    // SAME peer; make it say which.
+    return Status::error(Errc::invalid_argument,
+                         "add_peer: " + addr.ip + ":" +
+                             std::to_string(addr.port) +
+                             " already registered to another peer");
+  }
+  if (auto it = peers_.find(p); it != peers_.end()) {
+    addr_peer_.erase(it->second.key);
+  }
+  peers_[p] = Peer{*parsed, key};
+  addr_peer_[key] = p;
+  // Deliberately NOT touching blocked_: a re-registered peer (restarted node
+  // on a fresh ephemeral port) stays behind an existing partition filter.
+  return Status::ok_status();
 }
 
 void UdpTransport::block_peer(ProcessId p) { blocked_.insert(p); }
 void UdpTransport::unblock_peer(ProcessId p) { blocked_.erase(p); }
+
+Status UdpTransport::block_peer(const PeerAddr& addr) {
+  auto parsed = parse_addr(addr.ip, addr.port);
+  if (!parsed.has_value()) {
+    return Status::error(Errc::invalid_argument,
+                         "block_peer: not an IPv4 address: " + addr.ip);
+  }
+  blocked_addrs_.insert(addr_key(*parsed));
+  return Status::ok_status();
+}
+
+Status UdpTransport::unblock_peer(const PeerAddr& addr) {
+  auto parsed = parse_addr(addr.ip, addr.port);
+  if (!parsed.has_value()) {
+    return Status::error(Errc::invalid_argument,
+                         "unblock_peer: not an IPv4 address: " + addr.ip);
+  }
+  blocked_addrs_.erase(addr_key(*parsed));
+  return Status::ok_status();
+}
 
 void UdpTransport::attach(ProcessId p, Endpoint* endpoint) {
   EVS_ASSERT(endpoint != nullptr);
@@ -153,7 +287,8 @@ void UdpTransport::park_or_drop(PendingDatagram d) {
   note_backpressure();
 }
 
-void UdpTransport::send_datagram(std::uint16_t to_port, net::DatagramRef payload) {
+void UdpTransport::send_datagram(const sockaddr_in& to,
+                                 net::DatagramRef payload) {
   if (!payload || payload->size() > options_.max_datagram_bytes) {
     stats_.send_errors.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -161,7 +296,7 @@ void UdpTransport::send_datagram(std::uint16_t to_port, net::DatagramRef payload
   if (out_batch_.empty()) {
     out_batch_deadline_us_ = wall_now_us() + options_.batch_flush_us;
   }
-  out_batch_.push_back(PendingDatagram{to_port, std::move(payload)});
+  out_batch_.push_back(PendingDatagram{to, std::move(payload)});
   if (out_batch_.size() >= static_cast<std::size_t>(kMmsgBatch)) {
     flush_out_batch(/*force=*/true);
   }
@@ -184,14 +319,12 @@ void UdpTransport::flush_out_batch(bool force) {
           out_batch_.size() - idx, static_cast<std::size_t>(kMmsgBatch)));
       mmsghdr msgs[kMmsgBatch];
       iovec iovs[kMmsgBatch];
-      sockaddr_in addrs[kMmsgBatch];
       memset(msgs, 0, sizeof(mmsghdr) * static_cast<std::size_t>(want));
       for (int i = 0; i < want; ++i) {
-        const PendingDatagram& d = out_batch_[idx + static_cast<std::size_t>(i)];
-        addrs[i] = loopback_addr(d.to_port);
+        PendingDatagram& d = out_batch_[idx + static_cast<std::size_t>(i)];
         iovs[i].iov_base = const_cast<std::uint8_t*>(d.payload->data());
         iovs[i].iov_len = d.payload->size();
-        msgs[i].msg_hdr.msg_name = &addrs[i];
+        msgs[i].msg_hdr.msg_name = &d.to;
         msgs[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
         msgs[i].msg_hdr.msg_iov = &iovs[i];
         msgs[i].msg_hdr.msg_iovlen = 1;
@@ -220,7 +353,7 @@ void UdpTransport::flush_out_batch(bool force) {
       // Hard per-datagram error: drop the head, keep going.
       stats_.send_errors.fetch_add(1, std::memory_order_relaxed);
       EVS_WARN("udp", "sendmmsg to port %u failed: %s",
-               out_batch_[idx].to_port, strerror(errno));
+               ntohs(out_batch_[idx].to.sin_port), strerror(errno));
       ++idx;
     }
   }
@@ -233,10 +366,9 @@ void UdpTransport::flush_out_batch(bool force) {
 void UdpTransport::flush_backlog() {
   while (!backlog_.empty()) {
     const PendingDatagram& d = backlog_.front();
-    const sockaddr_in addr = loopback_addr(d.to_port);
     const ssize_t n =
         ::sendto(fd_, d.payload->data(), d.payload->size(), 0,
-                 reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+                 reinterpret_cast<const sockaddr*>(&d.to), sizeof(d.to));
     if (n >= 0) {
       stats_.datagrams_sent.fetch_add(1, std::memory_order_relaxed);
       stats_.bytes_sent.fetch_add(d.payload->size(), std::memory_order_relaxed);
@@ -253,15 +385,25 @@ void UdpTransport::flush_backlog() {
 void UdpTransport::broadcast(ProcessId from, std::vector<std::uint8_t> payload) {
   EVS_ASSERT(is_open());
   met_.broadcasts.inc();
-  // One shared buffer; each receiver's queue entry bumps a refcount.
   net::DatagramRef shared = net::make_datagram(std::move(payload));
-  for (const auto& [peer, port] : peer_port_) {
-    if (blocked_.count(peer) > 0 && peer != from) {
+  if (group_dst_.has_value()) {
+    // Real group send: one datagram on the wire; the kernel (or the LAN)
+    // fans it out, and IP_MULTICAST_LOOP covers self-delivery. Per-peer
+    // outbound filtering cannot apply to a single shared datagram —
+    // partition scripting in group mode relies on inbound filters.
+    send_datagram(*group_dst_, std::move(shared));
+    return;
+  }
+  // Loopback/per-peer mode: one shared buffer; each receiver's queue entry
+  // bumps a refcount.
+  for (const auto& [peer, info] : peers_) {
+    if ((blocked_.count(peer) > 0 || blocked_addrs_.count(info.key) > 0) &&
+        peer != from) {
       stats_.dropped_filter.fetch_add(1, std::memory_order_relaxed);
       met_.dropped_filter.inc();
       continue;
     }
-    send_datagram(port, shared);
+    send_datagram(info.addr, shared);
   }
 }
 
@@ -270,37 +412,42 @@ void UdpTransport::unicast(ProcessId from, ProcessId to,
   EVS_ASSERT(is_open());
   (void)from;
   met_.unicasts.inc();
-  auto it = peer_port_.find(to);
-  if (it == peer_port_.end()) {
+  auto it = peers_.find(to);
+  if (it == peers_.end()) {
     stats_.dropped_unknown_peer.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  if (blocked_.count(to) > 0 && to != from) {
+  if ((blocked_.count(to) > 0 || blocked_addrs_.count(it->second.key) > 0) &&
+      to != from) {
     stats_.dropped_filter.fetch_add(1, std::memory_order_relaxed);
     met_.dropped_filter.inc();
     return;
   }
-  send_datagram(it->second, net::make_datagram(std::move(payload)));
+  send_datagram(it->second.addr, net::make_datagram(std::move(payload)));
 }
 
 void UdpTransport::drain_posted() {
-  std::vector<std::function<void()>> tasks;
-  {
-    std::lock_guard<std::mutex> lock(post_mu_);
-    tasks.swap(posted_);
-  }
-  for (auto& fn : tasks) fn();
+  inbox_.drain([](net::TaskInbox::Task&& fn) { fn(); });
 }
 
-void UdpTransport::post(std::function<void()> fn) {
-  {
-    std::lock_guard<std::mutex> lock(post_mu_);
-    posted_.push_back(std::move(fn));
+void UdpTransport::wake() {
+  if (waker_) {
+    waker_();
+    return;
   }
   if (wake_fd_ >= 0) {
     const std::uint64_t one = 1;
     [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
   }
+}
+
+bool UdpTransport::post(std::function<void()> fn) {
+  if (!inbox_.push(std::move(fn))) {
+    stats_.posts_rejected.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  wake();
+  return true;
 }
 
 void UdpTransport::advance_clock() { scheduler_.run_until(wall_now_us()); }
@@ -338,8 +485,15 @@ void UdpTransport::drain_socket(int budget) {
       const std::size_t n = msgs[i].msg_len;
       stats_.datagrams_received.fetch_add(1, std::memory_order_relaxed);
       stats_.bytes_received.fetch_add(n, std::memory_order_relaxed);
-      auto src = port_peer_.find(ntohs(froms[i].sin_port));
-      if (src == port_peer_.end()) {
+      const std::uint64_t src_key = addr_key(froms[i]);
+      if (blocked_addrs_.count(src_key) > 0) {
+        stats_.dropped_filter.fetch_add(1, std::memory_order_relaxed);
+        met_.dropped_filter.inc();
+        arena_->recycle(std::move(buf));
+        continue;
+      }
+      auto src = addr_peer_.find(src_key);
+      if (src == addr_peer_.end()) {
         stats_.dropped_unknown_peer.fetch_add(1, std::memory_order_relaxed);
         arena_->recycle(std::move(buf));
         continue;
@@ -386,33 +540,57 @@ void UdpTransport::drain_socket(int budget) {
   }
 }
 
-int UdpTransport::poll_once(SimTime max_wait_us) {
-  EVS_ASSERT_MSG(is_open(), "poll_once on a transport that is not open");
+int UdpTransport::service() {
+  EVS_ASSERT_MSG(is_open(), "service on a transport that is not open");
   drain_posted();
   advance_clock();
+  flush_backlog();
   flush_out_batch(/*force=*/false);
+  const std::uint64_t before =
+      stats_.datagrams_received.load(std::memory_order_relaxed);
+  // The budget is the fairness contract: a flooded socket hands control back
+  // after max_recv_per_poll dispatches so this transport's own timers (the
+  // advance_clock below) and, under an executor, every co-scheduled
+  // neighbor's timers keep up with the wall clock.
+  drain_socket(options_.max_recv_per_poll);
+  // Sends generated while dispatching received datagrams (token fan-out)
+  // flush as one sendmmsg batch — this is where the syscall batching pays.
+  flush_out_batch(/*force=*/false);
+  advance_clock();
+  return static_cast<int>(
+      stats_.datagrams_received.load(std::memory_order_relaxed) - before);
+}
+
+std::optional<SimTime> UdpTransport::next_deadline_us() {
+  std::optional<SimTime> deadline;
+  if (auto next = scheduler_.next_time(); next.has_value()) deadline = *next;
+  if (!backlog_.empty()) deadline = 0;  // flush wants another pass now
+  if (!out_batch_.empty()) {
+    // A coalescing batch bounds the wait by its flush deadline.
+    if (!deadline.has_value() || out_batch_deadline_us_ < *deadline) {
+      deadline = out_batch_deadline_us_;
+    }
+  }
+  return deadline;
+}
+
+int UdpTransport::poll_once(SimTime max_wait_us) {
+  EVS_ASSERT_MSG(is_open(), "poll_once on a transport that is not open");
+  int dispatched = service();
 
   // Bound the wait by the next protocol timer so wall-clock timers fire
   // with ~1ms resolution (poll granularity), far inside every protocol
   // timeout.
   SimTime wait_us = max_wait_us;
-  if (auto next = scheduler_.next_time(); next.has_value()) {
+  if (auto deadline = next_deadline_us(); deadline.has_value()) {
     const SimTime now = wall_now_us();
-    wait_us = std::min(wait_us, *next > now ? *next - now : 0);
-  }
-  if (!backlog_.empty()) wait_us = 0;  // try flushing immediately
-  if (!out_batch_.empty()) {
-    // A coalescing batch bounds the wait by its flush deadline.
-    const SimTime now = wall_now_us();
-    wait_us = std::min(wait_us, out_batch_deadline_us_ > now
-                                    ? out_batch_deadline_us_ - now
-                                    : 0);
+    wait_us = std::min(wait_us, *deadline > now ? *deadline - now : 0);
   }
 
   pollfd fds[2];
   fds[0].fd = fd_;
   fds[0].events = POLLIN;
-  if (!backlog_.empty()) fds[0].events |= POLLOUT;
+  if (wants_pollout()) fds[0].events |= POLLOUT;
   fds[0].revents = 0;
   fds[1].fd = wake_fd_;
   fds[1].events = POLLIN;
@@ -434,33 +612,26 @@ int UdpTransport::poll_once(SimTime max_wait_us) {
     std::uint64_t drained = 0;
     [[maybe_unused]] ssize_t n = ::read(wake_fd_, &drained, sizeof(drained));
   }
-  drain_posted();
-  advance_clock();
-  flush_backlog();
-  flush_out_batch(/*force=*/false);
-  const std::uint64_t before = stats_.datagrams_received.load(std::memory_order_relaxed);
-  drain_socket(options_.max_recv_per_poll);
-  // Sends generated while dispatching received datagrams (token fan-out)
-  // flush as one sendmmsg batch — this is where the syscall batching pays.
-  flush_out_batch(/*force=*/false);
-  advance_clock();
-  return static_cast<int>(
-      stats_.datagrams_received.load(std::memory_order_relaxed) - before);
+  dispatched += service();
+  return dispatched;
 }
 
 void UdpTransport::run() {
   while (!stop_.load(std::memory_order_acquire)) poll_once(10'000);
-  // Final drain so a stop posted together with work does not strand it.
-  drain_posted();
+  finish();
+}
+
+void UdpTransport::finish() {
+  // Close the posting door; run what was already accepted so a stop posted
+  // together with work does not strand it. Idempotent — the TaskInbox close
+  // is, and a forced flush of an empty batch is a no-op.
+  inbox_.close([](net::TaskInbox::Task&& fn) { fn(); });
   flush_out_batch(/*force=*/true);
 }
 
 void UdpTransport::stop() {
   stop_.store(true, std::memory_order_release);
-  if (wake_fd_ >= 0) {
-    const std::uint64_t one = 1;
-    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
-  }
+  wake();
 }
 
 UdpTransport::Stats UdpTransport::stats() const {
@@ -477,6 +648,7 @@ UdpTransport::Stats UdpTransport::stats() const {
       stats_.dropped_unknown_peer.load(std::memory_order_relaxed);
   s.dropped_detached = stats_.dropped_detached.load(std::memory_order_relaxed);
   s.send_errors = stats_.send_errors.load(std::memory_order_relaxed);
+  s.posts_rejected = stats_.posts_rejected.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -145,6 +145,32 @@ Status check_kv_metrics(const JsonValue& metrics, const std::string& where) {
   return Status::ok_status();
 }
 
+/// The sharded-executor surface: an Executor pre-creates the worker gauges
+/// and the inbox-depth / poll-batch histograms alongside the polls counter,
+/// so a metrics set whose run was executor-driven (marker: the
+/// net.executor.polls counter) missing any of them means the scheduling
+/// instrumentation regressed — fail validation (this keeps
+/// BENCH_executor_scale.json honest about nodes-per-worker and batching).
+Status check_executor_metrics(const JsonValue& metrics, const std::string& where) {
+  const JsonValue* counters = metrics.find("counters");
+  if (counters == nullptr || counters->find("net.executor.wakeups") == nullptr) {
+    return shape_error(where, "missing counter 'net.executor.wakeups'");
+  }
+  const JsonValue* gauges = metrics.find("gauges");
+  for (const char* g : {"net.executor.workers", "net.executor.nodes_per_worker"}) {
+    if (gauges == nullptr || gauges->find(g) == nullptr) {
+      return shape_error(where, std::string("missing executor gauge '") + g + "'");
+    }
+  }
+  const JsonValue* hists = metrics.find("histograms");
+  for (const char* h : {"net.executor.inbox_depth", "net.executor.poll_batch"}) {
+    if (hists == nullptr || hists->find(h) == nullptr) {
+      return shape_error(where, std::string("missing executor histogram '") + h + "'");
+    }
+  }
+  return Status::ok_status();
+}
+
 /// The crash-consistency surface: every StableStore pre-creates the
 /// "storage.*" counters, and every cluster aggregate folds its stores in,
 /// so a snapshot (or a bench run that drove EVS nodes) missing them means
@@ -239,6 +265,17 @@ Status validate_snapshot_json(const JsonValue& v) {
       !st.ok()) {
     return st;
   }
+  // Aggregates from executor-driven runs (live clusters) fold the executor
+  // registry in; sim aggregates have no net.executor.* marker and skip this.
+  if (const JsonValue* agg_counters = v.find("aggregate")->find("counters");
+      agg_counters != nullptr &&
+      agg_counters->find("net.executor.polls") != nullptr) {
+    if (Status st =
+            check_executor_metrics(*v.find("aggregate"), "snapshot.aggregate");
+        !st.ok()) {
+      return st;
+    }
+  }
   const JsonValue* faults = v.find("faults");
   if (faults == nullptr || !faults->is_object()) {
     return shape_error("snapshot", "missing 'faults' object");
@@ -286,6 +323,13 @@ Status validate_report_json(const JsonValue& v) {
     // Runs that routed sharded-KV traffic must carry the full kv.* surface.
     if (counters != nullptr && counters->find("kv.puts") != nullptr) {
       if (Status st = check_kv_metrics(*metrics, "report." + name->string);
+          !st.ok()) {
+        return st;
+      }
+    }
+    // Runs driven by the sharded executor must carry its full surface.
+    if (counters != nullptr && counters->find("net.executor.polls") != nullptr) {
+      if (Status st = check_executor_metrics(*metrics, "report." + name->string);
           !st.ok()) {
         return st;
       }

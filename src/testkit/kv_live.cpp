@@ -35,15 +35,25 @@ KvLiveCluster::KvLiveCluster(Options options)
 KvLiveCluster::~KvLiveCluster() { stop(); }
 
 Status KvLiveCluster::open() {
+  // One executor for every shard's transports: prepare each shard onto it,
+  // start the workers once, then launch every shard's nodes.
+  net::Executor::Options ex_options;
+  ex_options.num_workers = options_.num_workers;
+  executor_ = std::make_unique<net::Executor>(ex_options);
   for (auto& c : shards_) {
-    Status st = c->open();
+    Status st = c->prepare(*executor_);
     if (!st.ok()) {
       stop();
       return st;
     }
   }
-  // Attach every replica on its shard's loop thread: set_on_deliver_batch
-  // must not race the loop's delivery path.
+  if (Status st = executor_->start(); !st.ok()) {
+    stop();
+    return st;
+  }
+  for (auto& c : shards_) c->launch();
+  // Attach every replica on its driving worker: set_on_deliver_batch must
+  // not race the delivery path.
   for (shard::ShardId s = 0; s < router_.num_shards(); ++s) {
     for (const ProcessId p : router_.replicas(s)) {
       const std::size_t index = p.value - 1;
@@ -58,7 +68,10 @@ Status KvLiveCluster::open() {
 }
 
 void KvLiveCluster::stop() {
+  // Every shard shares the executor, so the first shard's stop() joins the
+  // workers for all of them; the rest just flip their running flags.
   for (auto& c : shards_) c->stop();
+  if (executor_ != nullptr) executor_->stop();
 }
 
 Status KvLiveCluster::put(std::size_t index, std::string_view key,
@@ -75,7 +88,7 @@ void KvLiveCluster::put_async(std::size_t index, std::string_view key,
   apps::KvShardedNode* agent = agents_[index].get();
   // Copy the strings into the posted closure; rejections are visible in the
   // agent's own counters, as with LiveCluster::send_async.
-  shards_[s]->transport(index).post(
+  (void)shards_[s]->transport(index).post(
       [agent, k = std::string(key), v = std::string(value)] {
         (void)agent->put(k, v);
       });
@@ -169,6 +182,9 @@ obs::MetricsRegistry KvLiveCluster::aggregate_metrics() const {
   obs::MetricsRegistry out;
   for (const auto& c : shards_) out.merge_from(c->aggregate_metrics());
   for (const auto& a : agents_) out.merge_from(a->metrics());
+  // The shards share one executor; its net.executor.* view merges once here
+  // (shard clusters skip non-owned executors).
+  if (executor_ != nullptr) out.merge_from(executor_->metrics());
   return out;
 }
 

@@ -1,14 +1,17 @@
 // KvLiveCluster: the sharded KV service over real loopback UDP — the live
 // counterpart of testkit::KvCluster. One testkit::LiveCluster per shard
-// (its own sockets, loop threads, stores and trace), the same ShardRouter
-// and apps::KvShardedNode agents the simulator uses.
+// (its own sockets, stores and trace), the same ShardRouter and
+// apps::KvShardedNode agents the simulator uses — and ONE net::Executor
+// shared across every shard, so shards x nodes transports run on
+// min(cores, shards x nodes) worker threads instead of a thread apiece
+// (the thread explosion that capped large-N live benches).
 //
-// Thread discipline: an EvsNode is only ever touched on its shard's loop
-// thread, so every agent operation that reaches a node (put/get — get
-// reads the node's configuration for the in-primary check) is posted onto
-// the owning shard cluster's loop thread for that process via call() and
-// awaited. Shard delivery callbacks run on their own loop threads; the
-// agent's internal mutex keeps its stores coherent across the S threads.
+// Thread discipline: an EvsNode is only ever touched on the executor
+// worker that drives its transport, so every agent operation that reaches
+// a node (put/get — get reads the node's configuration for the in-primary
+// check) is posted onto that worker via call() and awaited. Shard delivery
+// callbacks run on their transports' workers; the agent's internal mutex
+// keeps its stores coherent across workers.
 #pragma once
 
 #include <memory>
@@ -26,6 +29,8 @@ class KvLiveCluster {
  public:
   struct Options {
     std::size_t num_processes{3};
+    /// Workers for the shared executor; 0 = min(cores, shards x processes).
+    std::size_t num_workers{0};
     shard::ShardRouter::Options router{};
     EvsNode::Options node = live_node_defaults();
     UdpTransport::Options transport{};
@@ -91,6 +96,9 @@ class KvLiveCluster {
  private:
   Options options_;
   shard::ShardRouter router_;
+  /// Declared before shards_: each shard's stop() references the shared
+  /// executor, so it must outlive them in destruction order.
+  std::unique_ptr<net::Executor> executor_;
   std::vector<std::unique_ptr<LiveCluster>> shards_;
   std::vector<std::unique_ptr<apps::KvShardedNode>> agents_;
 };

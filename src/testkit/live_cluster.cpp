@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <thread>
 #include <utility>
 
 #include "util/assert.hpp"
@@ -39,6 +40,24 @@ EvsNode::Options live_node_defaults() {
   return o;
 }
 
+EvsNode::Options live_node_defaults_scaled(std::size_t n) {
+  EvsNode::Options o = live_node_defaults();
+  if (n <= 8) return o;
+  // Same dilation and same fields as EvsNode::Options::scaled_for, applied
+  // to the wall-clock profile; every validate() ratio is preserved because
+  // all the bases stretch by one factor.
+  const SimTime f = static_cast<SimTime>((n + 7) / 8);
+  o.token_loss_timeout_us *= f;
+  o.beacon_interval_us *= f;
+  o.join_interval_us *= f;
+  o.gather_fail_timeout_us *= f;
+  o.consensus_wait_timeout_us *= f;
+  o.exchange_interval_us *= f;
+  o.recovery_timeout_us *= f;
+  o.token_retransmit_interval_us *= f;
+  return o;
+}
+
 bool LiveCluster::Sink::delivered(const MsgId& m) const {
   return std::any_of(deliveries.begin(), deliveries.end(),
                      [&](const EvsNode::Delivery& d) { return d.id == m; });
@@ -71,23 +90,34 @@ ProcessId LiveCluster::pid(std::size_t index) const {
   return procs_[index]->pid;
 }
 
-Status LiveCluster::open() {
-  EVS_ASSERT_MSG(!opened_, "LiveCluster::open() called twice");
+Status LiveCluster::prepare(net::Executor& executor) {
+  if (opened_) {
+    // Lifecycle misuse is a reportable error, not an abort: a harness that
+    // opens twice gets told so and keeps its first instance intact.
+    return Status::error(Errc::invalid_argument,
+                         "LiveCluster::open() called twice");
+  }
   opened_ = true;
+  executor_ = &executor;
 
-  // 1. Bind every socket first so the full port mesh is known.
+  // 1. Bind every socket first so the full address mesh is known.
   for (auto& proc : procs_) {
     if (Status st = proc->transport->open(); !st.ok()) return st;
   }
   // 2. Register the mesh (every peer, including the process itself: that is
-  // what loops broadcasts back through the kernel).
+  // what loops broadcasts back through the kernel). Fresh ephemeral binds
+  // cannot collide, so an alias error here is a real harness bug.
   for (auto& proc : procs_) {
     for (auto& other : procs_) {
-      proc->transport->add_peer(other->pid, other->transport->port());
+      if (Status st = proc->transport->add_peer(other->pid,
+                                                other->transport->local_addr());
+          !st.ok()) {
+        return st;
+      }
     }
   }
-  // 3. Construct and wire the nodes, then start each on its loop thread so
-  // every protocol action ever taken happens loop-side.
+  // 3. Construct and wire the nodes; every protocol action they ever take
+  // happens on the executor worker that drives their transport.
   for (auto& proc : procs_) {
     proc->node = std::make_unique<EvsNode>(proc->pid, *proc->transport,
                                            *proc->store, proc->trace.get(),
@@ -99,23 +129,42 @@ Status LiveCluster::open() {
     });
     proc->node->set_on_config_change(
         [p](const Configuration& c) { p->sink.configs.push_back(c); });
+    executor.add(proc->transport.get());
   }
-  for (auto& proc : procs_) {
-    proc->loop = std::thread([t = proc->transport.get()] { t->run(); });
-  }
+  return Status::ok_status();
+}
+
+void LiveCluster::launch() {
+  EVS_ASSERT_MSG(executor_ != nullptr && executor_->running(),
+                 "launch() before the executor started");
   running_ = true;
   for (std::size_t i = 0; i < procs_.size(); ++i) {
     call(i, [this, i] { procs_[i]->node->start(); });
   }
+}
+
+Status LiveCluster::open() {
+  if (opened_) {
+    // Check before constructing the executor: replacing own_executor_ on a
+    // running cluster would tear down the live workers mid-misuse.
+    return Status::error(Errc::invalid_argument,
+                         "LiveCluster::open() called twice");
+  }
+  net::Executor::Options ex_options;
+  ex_options.num_workers = options_.num_workers;
+  own_executor_ = std::make_unique<net::Executor>(ex_options);
+  if (Status st = prepare(*own_executor_); !st.ok()) return st;
+  if (Status st = own_executor_->start(); !st.ok()) return st;
+  launch();
   return Status::ok_status();
 }
 
 void LiveCluster::stop() {
   if (!running_) return;
-  for (auto& proc : procs_) proc->transport->stop();
-  for (auto& proc : procs_) {
-    if (proc->loop.joinable()) proc->loop.join();
-  }
+  // Executor::stop joins the workers, then closes every member transport's
+  // inbox (running what was already accepted) — so a stop racing posted
+  // work does not strand it, and later post() calls fail fast.
+  executor_->stop();
   running_ = false;
 }
 
@@ -128,10 +177,17 @@ void LiveCluster::call(std::size_t index, std::function<void()> fn) {
   }
   std::promise<void> done;
   std::future<void> waiter = done.get_future();
-  procs_[index]->transport->post([&fn, &done] {
+  const bool posted = procs_[index]->transport->post([&fn, &done] {
     fn();
     done.set_value();
   });
+  if (!posted) {
+    // Lost the race against a concurrent stop(): the inbox closed, which
+    // means the workers have joined — running inline is as safe as the
+    // !running_ path above, and waiting on the promise would deadlock.
+    fn();
+    return;
+  }
   waiter.wait();
 }
 
@@ -148,7 +204,9 @@ void LiveCluster::send_async(std::size_t index, Service service,
                              std::vector<std::uint8_t> payload) {
   EVS_ASSERT(index < procs_.size());
   Proc* p = procs_[index].get();
-  p->transport->post([p, service, payload = std::move(payload)]() mutable {
+  // Fire-and-forget: a post rejected by a closed inbox (stop race) is a
+  // dropped send, counted by the transport — acceptable for async callers.
+  (void)p->transport->post([p, service, payload = std::move(payload)]() mutable {
     (void)p->node->send(service, std::move(payload));
   });
 }
@@ -167,7 +225,7 @@ void LiveCluster::send_async_batch(std::size_t index, Service service,
                                    std::vector<std::vector<std::uint8_t>> payloads) {
   EVS_ASSERT(index < procs_.size());
   Proc* p = procs_[index].get();
-  p->transport->post([p, service, payloads = std::move(payloads)]() mutable {
+  (void)p->transport->post([p, service, payloads = std::move(payloads)]() mutable {
     (void)p->node->send_batch(service, std::move(payloads));
   });
 }
@@ -347,6 +405,9 @@ obs::MetricsRegistry LiveCluster::aggregate_metrics() const {
     agg.merge_from(proc->store->metrics());
     agg.merge_from(proc->transport->metrics());
   }
+  // A shared executor (prepare()/launch() path) is aggregated once by
+  // whoever owns it, not once per shard.
+  if (own_executor_ != nullptr) agg.merge_from(own_executor_->metrics());
   return agg;
 }
 

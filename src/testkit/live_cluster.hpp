@@ -2,13 +2,14 @@
 // testkit::Cluster.
 //
 // Each process gets its own UdpTransport (one bound socket), its own
-// StableStore, its own TraceLog, and its own event-loop thread running
-// UdpTransport::run(). The protocol stack is byte-for-byte the code the
-// simulator runs; only the substrate changed. The harness talks to a node
-// exclusively by posting closures onto its loop thread (call()), so EvsNode
-// never sees concurrent access.
+// StableStore, and its own TraceLog; a net::Executor drives all of them on
+// min(cores, nodes) worker threads (one poller per core — the sharded
+// executor model, see net/executor.hpp). The protocol stack is
+// byte-for-byte the code the simulator runs; only the substrate changed.
+// The harness talks to a node exclusively by posting closures onto its
+// driving worker (call()), so EvsNode never sees concurrent access.
 //
-// Partitions are scripted with the transports' port-level drop filters
+// Partitions are scripted with the transports' drop filters
 // (UdpTransport::block_peer): no iptables, no privileges, yet datagrams die
 // in flight exactly as on a cut wire — which is how the Fig. 6
 // partition/re-merge scenario runs over real sockets (tests/live/).
@@ -24,10 +25,10 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "evs/node.hpp"
+#include "net/executor.hpp"
 #include "net/udp_transport.hpp"
 #include "obs/metrics.hpp"
 #include "spec/checker.hpp"
@@ -45,23 +46,33 @@ namespace evs {
 /// Options::validate() relations (retransmit limit x interval < token loss).
 EvsNode::Options live_node_defaults();
 
+/// live_node_defaults() dilated for an n-member ring, mirroring
+/// EvsNode::Options::scaled_for: every periodic sender interval and flat
+/// timeout base stretches by ceil(n / 8) so formation-time broadcast volume
+/// stays O(n) cluster-wide and consensus rounds get room to complete on
+/// large rings (bench_executor_scale's 64-node sweep needs this — with the
+/// small-ring profile the join/consensus storm regathers forever).
+EvsNode::Options live_node_defaults_scaled(std::size_t n);
+
 class LiveCluster {
  public:
   struct Options {
     std::size_t num_processes{3};
+    /// Executor worker threads; 0 = min(hardware cores, num_processes).
+    std::size_t num_workers{0};
     EvsNode::Options node = live_node_defaults();
     UdpTransport::Options transport{};
   };
 
-  /// Everything one process delivered (written by its loop thread; read it
-  /// only through call() while running, or freely after stop()).
+  /// Everything one process delivered (written by its driving worker; read
+  /// it only through call() while running, or freely after stop()).
   struct Sink {
     std::vector<EvsNode::Delivery> deliveries;
     std::vector<Configuration> configs;
     bool delivered(const MsgId& m) const;
   };
 
-  /// A cross-thread snapshot of one node, taken on its loop thread.
+  /// A cross-thread snapshot of one node, taken on its driving worker.
   struct NodeSample {
     EvsNode::State state{EvsNode::State::Down};
     Configuration config;
@@ -77,25 +88,41 @@ class LiveCluster {
   LiveCluster(const LiveCluster&) = delete;
   LiveCluster& operator=(const LiveCluster&) = delete;
 
-  /// Bind every socket, register the full peer mesh, spawn the loop
-  /// threads, and start every node. Errc::transport_io means the
+  /// Bind every socket, register the full peer mesh, start an executor over
+  /// the transports, and start every node. Errc::transport_io means the
   /// environment has no usable sockets — callers skip live tests then.
+  /// Errc::invalid_argument on a second open() (lifecycle misuse is a
+  /// reportable error, not an abort — mirrors the EvsNode misuse suite).
   Status open();
 
-  /// Stop the loops and join the threads. Nodes stay constructed (their
+  /// Two-phase variant for sharing one executor across clusters
+  /// (KvLiveCluster runs shards x nodes transports on min(cores, total)
+  /// workers instead of an executor per shard): prepare() binds sockets,
+  /// registers the mesh and add()s the transports to `executor`; the caller
+  /// then starts the executor once and calls launch() to start the nodes.
+  /// stop() on any cluster sharing the executor stops them all (the loops
+  /// are shared); KvLiveCluster owns that coordination.
+  Status prepare(net::Executor& executor);
+  void launch();
+
+  /// Stop the executor (joining its workers). Nodes stay constructed (their
   /// sinks, traces and metrics remain readable). Idempotent.
   void stop();
 
-  bool running() const { return running_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
   std::size_t size() const { return procs_.size(); }
   ProcessId pid(std::size_t index) const;
 
-  /// Run `fn` on node `index`'s loop thread and wait for it. After stop()
-  /// the closure runs inline on the caller (the loops are gone, so there is
-  /// nothing to race with).
+  /// Run `fn` on node `index`'s driving worker and wait for it. After
+  /// stop() — or when the post loses the race against a concurrent stop()
+  /// — the closure runs inline on the caller: post() failing fast means the
+  /// workers have joined, so there is nothing left to race with. This is
+  /// the fix for the post-into-joined-thread deadlock (a closure posted
+  /// into a mutex-guarded queue nobody drains would block waiter.wait()
+  /// forever).
   void call(std::size_t index, std::function<void()> fn);
 
-  /// Synchronous send on the node's loop thread.
+  /// Synchronous send on the node's driving worker.
   Expected<MsgId> send(std::size_t index, Service service,
                        std::vector<std::uint8_t> payload);
   /// Fire-and-forget send (benchmarks): posts and returns immediately.
@@ -103,8 +130,8 @@ class LiveCluster {
   void send_async(std::size_t index, Service service,
                   std::vector<std::uint8_t> payload);
 
-  /// Synchronous atomic burst on the node's loop thread (EvsNode::send_batch
-  /// semantics: all queued or none, one bookkeeping pass).
+  /// Synchronous atomic burst on the node's driving worker (EvsNode::
+  /// send_batch semantics: all queued or none, one bookkeeping pass).
   Expected<std::vector<MsgId>> send_batch(
       std::size_t index, Service service,
       std::vector<std::vector<std::uint8_t>> payloads);
@@ -148,7 +175,10 @@ class LiveCluster {
   std::vector<Violation> check(bool quiescent = true) const;
   std::string check_report(bool quiescent = true) const;
 
-  /// Every node's metrics plus every transport's, merged. Requires stop().
+  /// Every node's metrics plus every transport's, merged — and the
+  /// executor's net.executor.* view when this cluster owns its executor (a
+  /// shared executor is aggregated once by its owner, not per shard).
+  /// Requires stop().
   obs::MetricsRegistry aggregate_metrics() const;
 
  private:
@@ -159,16 +189,21 @@ class LiveCluster {
     std::unique_ptr<TraceLog> trace;
     std::unique_ptr<EvsNode> node;
     Sink sink;
-    std::thread loop;
     std::atomic<std::uint64_t> delivered{0};
   };
 
   Options options_;
   std::vector<std::unique_ptr<Proc>> procs_;
+  /// The executor driving the transports: own_executor_ in the open() path,
+  /// a caller's in the prepare()/launch() path.
+  std::unique_ptr<net::Executor> own_executor_;
+  net::Executor* executor_{nullptr};
   /// Group index per process under the current partition script (all 0 when
   /// healed); read by stable() on the harness thread only.
   std::vector<std::size_t> group_of_;
-  bool running_{false};
+  /// Atomic because call()/send paths may race a concurrent stop(); the
+  /// post()-returns-false fallback makes a stale `true` read harmless.
+  std::atomic<bool> running_{false};
   bool opened_{false};
 };
 

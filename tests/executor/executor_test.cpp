@@ -1,0 +1,239 @@
+// net::Executor tests: N transports multiplexed onto W worker threads —
+// delivery, timers, post-wakeups, the per-pass dispatch budget, lifecycle
+// misuse, and the net.executor.* instruments. Real loopback sockets, so the
+// whole file follows the live-label skip contract.
+#include "net/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/udp_transport.hpp"
+
+namespace evs {
+namespace {
+
+#define SKIP_IF_NO_SOCKETS(st)                                                 \
+  do {                                                                         \
+    if (!(st).ok()) GTEST_SKIP() << "sockets unavailable: " << (st).message(); \
+  } while (0)
+
+struct CountingEndpoint : Endpoint {
+  std::atomic<std::uint64_t> received{0};
+  void on_packet(const Packet&) override {
+    received.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+bool await_for(const std::function<bool()>& pred, int max_ms) {
+  for (int i = 0; i < max_ms; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+/// A mesh of `n` transports with every peer registered (including self).
+struct Mesh {
+  std::vector<std::unique_ptr<UdpTransport>> transports;
+  std::vector<std::unique_ptr<CountingEndpoint>> sinks;
+
+  Status open(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      transports.push_back(std::make_unique<UdpTransport>());
+      if (Status st = transports.back()->open(); !st.ok()) return st;
+      sinks.push_back(std::make_unique<CountingEndpoint>());
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const Status st = transports[i]->add_peer(
+            ProcessId{static_cast<std::uint32_t>(j + 1)},
+            transports[j]->local_addr());
+        if (!st.ok()) return st;
+      }
+      transports[i]->attach(ProcessId{static_cast<std::uint32_t>(i + 1)},
+                            sinks[i].get());
+    }
+    return Status::ok_status();
+  }
+};
+
+TEST(ExecutorTest, OneWorkerDrivesManyTransports) {
+  Mesh mesh;
+  SKIP_IF_NO_SOCKETS(mesh.open(4));
+  net::Executor::Options opts;
+  opts.num_workers = 1;  // force full multiplexing
+  net::Executor ex(opts);
+  for (auto& t : mesh.transports) ex.add(t.get());
+  ASSERT_TRUE(ex.start().ok());
+  EXPECT_EQ(ex.num_workers(), 1u);
+
+  // A broadcast posted into each transport reaches every member including
+  // the sender — all four sockets serviced by the single worker.
+  for (std::size_t i = 0; i < 4; ++i) {
+    UdpTransport* t = mesh.transports[i].get();
+    const ProcessId self{static_cast<std::uint32_t>(i + 1)};
+    ASSERT_TRUE(t->post([t, self] { t->broadcast(self, {0xAB}); }));
+  }
+  EXPECT_TRUE(await_for(
+      [&] {
+        for (auto& s : mesh.sinks) {
+          if (s->received.load(std::memory_order_relaxed) < 4) return false;
+        }
+        return true;
+      },
+      2'000))
+      << "broadcast mesh never completed on the shared worker";
+
+  ex.stop();
+  const obs::MetricsRegistry& m = ex.metrics();
+  EXPECT_GT(m.counter_value("net.executor.polls"), 0u);
+  const obs::Gauge* workers = m.find_gauge("net.executor.workers");
+  ASSERT_NE(workers, nullptr);
+  EXPECT_EQ(workers->value(), 1);
+  const obs::Gauge* npw = m.find_gauge("net.executor.nodes_per_worker");
+  ASSERT_NE(npw, nullptr);
+  EXPECT_EQ(npw->value(), 4);
+  EXPECT_NE(m.find_histogram("net.executor.inbox_depth"), nullptr);
+  EXPECT_NE(m.find_histogram("net.executor.poll_batch"), nullptr);
+}
+
+TEST(ExecutorTest, TimersFireOnEveryMultiplexedTransport) {
+  Mesh mesh;
+  SKIP_IF_NO_SOCKETS(mesh.open(3));
+  net::Executor::Options opts;
+  opts.num_workers = 1;
+  net::Executor ex(opts);
+  for (auto& t : mesh.transports) ex.add(t.get());
+
+  // Schedule before start: each transport's Scheduler is merged into the
+  // worker's ppoll deadline, so all three fire without any traffic.
+  std::atomic<int> fired{0};
+  for (auto& t : mesh.transports) {
+    t->scheduler().schedule_after(5'000, [&fired] { fired.fetch_add(1); });
+  }
+  ASSERT_TRUE(ex.start().ok());
+  EXPECT_TRUE(await_for([&] { return fired.load() == 3; }, 2'000))
+      << "only " << fired.load() << " of 3 timers fired";
+  ex.stop();
+}
+
+TEST(ExecutorTest, WorkerCountDefaultsToCoresAndClampsToMembers) {
+  Mesh mesh;
+  SKIP_IF_NO_SOCKETS(mesh.open(2));
+  net::Executor ex;  // num_workers = 0: min(cores, members)
+  for (auto& t : mesh.transports) ex.add(t.get());
+  ASSERT_TRUE(ex.start().ok());
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t cores = hw == 0 ? 1 : hw;
+  EXPECT_EQ(ex.num_workers(), std::min<std::size_t>(cores, 2));
+  ex.stop();
+}
+
+TEST(ExecutorTest, StartMisuseIsAnError) {
+  {
+    net::Executor ex;
+    const Status st = ex.start();
+    EXPECT_EQ(st.code(), Errc::invalid_argument);  // no members
+  }
+  Mesh mesh;
+  SKIP_IF_NO_SOCKETS(mesh.open(1));
+  net::Executor ex;
+  ex.add(mesh.transports[0].get());
+  ASSERT_TRUE(ex.start().ok());
+  EXPECT_EQ(ex.start().code(), Errc::invalid_argument);  // double start
+  ex.stop();
+  EXPECT_EQ(ex.start().code(), Errc::invalid_argument);  // restart unsupported
+}
+
+TEST(ExecutorTest, StopIsIdempotentAndFailsLaterPostsFast) {
+  Mesh mesh;
+  SKIP_IF_NO_SOCKETS(mesh.open(2));
+  net::Executor ex;
+  for (auto& t : mesh.transports) ex.add(t.get());
+  ASSERT_TRUE(ex.start().ok());
+  ex.stop();
+  ex.stop();  // second stop is a no-op
+
+  // The workers joined and the inboxes closed: post() must fail fast, not
+  // hang or touch a dead loop.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(mesh.transports[0]->post([] {}));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+            1'000);
+  EXPECT_GE(mesh.transports[0]->stats().posts_rejected, 1u);
+}
+
+TEST(ExecutorTest, StopRunsTasksPostedWithTheStop) {
+  // The close contract: work accepted before the inbox closes runs (on the
+  // stopping thread), so a caller that posts work and immediately stops
+  // does not lose it.
+  Mesh mesh;
+  SKIP_IF_NO_SOCKETS(mesh.open(1));
+  net::Executor ex;
+  ex.add(mesh.transports[0].get());
+  ASSERT_TRUE(ex.start().ok());
+  std::atomic<bool> ran{false};
+  // Whether the worker or the stop path runs it, it must run exactly once.
+  const bool posted = mesh.transports[0]->post([&ran] { ran.store(true); });
+  ex.stop();
+  if (posted) {
+    EXPECT_TRUE(ran.load());
+  }
+}
+
+TEST(ExecutorTest, ServiceBudgetBoundsDispatchesPerPass) {
+  // The fairness primitive behind the timer-starvation fix: one service()
+  // pass dispatches at most max_recv_per_poll datagrams no matter how deep
+  // the socket queue is, so a worker multiplexing K nodes returns to the
+  // other K-1 after a bounded slice. Pre-budget, a single pass would chew
+  // the entire queue.
+  UdpTransport::Options opts;
+  opts.max_recv_per_poll = 4;
+  UdpTransport receiver(opts);
+  UdpTransport sender;
+  SKIP_IF_NO_SOCKETS(receiver.open());
+  SKIP_IF_NO_SOCKETS(sender.open());
+  const ProcessId ps{1}, pr{2};
+  ASSERT_TRUE(receiver.add_peer(ps, sender.local_addr()).ok());
+  ASSERT_TRUE(sender.add_peer(pr, receiver.local_addr()).ok());
+  CountingEndpoint sink;
+  receiver.attach(pr, &sink);
+
+  // Queue a pile of datagrams into the receiver's socket buffer.
+  for (int i = 0; i < 32; ++i) sender.unicast(ps, pr, {static_cast<std::uint8_t>(i)});
+  for (int i = 0; i < 20; ++i) sender.poll_once(1'000);  // flush them out
+  ASSERT_TRUE([&] {
+    // Wait until the kernel has them queued (received count is only bumped
+    // by receiver.service, so probe via a bounded first pass).
+    for (int spin = 0; spin < 200; ++spin) {
+      if (sender.stats().datagrams_sent >= 32) return true;
+      sender.poll_once(1'000);
+    }
+    return false;
+  }()) << "sender never flushed the burst";
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const int first_pass = receiver.service();
+  EXPECT_LE(first_pass, 4) << "service() dispatched past its budget";
+  EXPECT_GT(first_pass, 0) << "burst never reached the receiver socket";
+  // The remainder is still there; subsequent passes drain it budget by
+  // budget rather than all at once.
+  int total = first_pass;
+  for (int i = 0; i < 200 && total < 32; ++i) {
+    const int pass = receiver.service();
+    EXPECT_LE(pass, 4);
+    total += pass;
+    if (pass == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(total, 32);
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,128 @@
+// LiveCluster lifecycle-misuse suite (mirrors the PR 4 EvsNode misuse
+// tests): the harness API must turn every out-of-order call into a fast,
+// reportable outcome — never a deadlock, never a use-after-free, never an
+// abort. The specific races fixed in ISSUE 10:
+//   * call()/post() after stop(): the old mutex-door queue accepted the
+//     closure, nobody drained it, and call() waited on the promise forever.
+//     Now the closed inbox fails the post fast and call() runs inline.
+//   * double open(): was an assert (process death); now invalid_argument.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "testkit/live_cluster.hpp"
+
+namespace evs {
+namespace {
+
+#define SKIP_IF_NO_SOCKETS(st)                                                 \
+  do {                                                                         \
+    if (!(st).ok()) GTEST_SKIP() << "sockets unavailable: " << (st).message(); \
+  } while (0)
+
+TEST(LiveLifecycleTest, OpenTwiceIsAnErrorNotAnAbort) {
+  LiveCluster cluster(LiveCluster::Options{.num_processes = 2});
+  SKIP_IF_NO_SOCKETS(cluster.open());
+  const Status st = cluster.open();
+  EXPECT_EQ(st.code(), Errc::invalid_argument);
+  // The first instance is untouched by the misuse: still running, still
+  // able to form a ring.
+  EXPECT_TRUE(cluster.running());
+  EXPECT_TRUE(cluster.await_stable()) << "misuse broke the live cluster";
+}
+
+TEST(LiveLifecycleTest, CallAfterStopRunsInlineWithoutDeadlock) {
+  LiveCluster cluster(LiveCluster::Options{.num_processes = 2});
+  SKIP_IF_NO_SOCKETS(cluster.open());
+  ASSERT_TRUE(cluster.await_stable());
+  cluster.stop();
+
+  // Pre-fix this posted into a queue no thread would ever drain and then
+  // blocked on the promise: the test itself would hang (the ctest TIMEOUT
+  // is the backstop). Post-fix the closure runs inline on this thread.
+  std::atomic<bool> ran{false};
+  const auto t0 = std::chrono::steady_clock::now();
+  cluster.call(0, [&ran] { ran.store(true); });
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  EXPECT_TRUE(ran.load());
+  EXPECT_LT(ms, 1'000);
+}
+
+TEST(LiveLifecycleTest, PostAfterStopFailsFast) {
+  LiveCluster cluster(LiveCluster::Options{.num_processes = 2});
+  SKIP_IF_NO_SOCKETS(cluster.open());
+  cluster.stop();
+  std::atomic<bool> ran{false};
+  EXPECT_FALSE(cluster.transport(0).post([&ran] { ran.store(true); }));
+  EXPECT_FALSE(ran.load());
+  EXPECT_GE(cluster.transport(0).stats().posts_rejected, 1u);
+}
+
+TEST(LiveLifecycleTest, StopIsIdempotentAndSampleStillWorks) {
+  LiveCluster cluster(LiveCluster::Options{.num_processes = 2});
+  SKIP_IF_NO_SOCKETS(cluster.open());
+  ASSERT_TRUE(cluster.await_stable());
+  cluster.stop();
+  cluster.stop();
+  cluster.stop();
+  // Post-stop inspection: sample() routes through call(), which now runs
+  // inline; sinks and metrics stay readable.
+  const auto s = cluster.sample(0);
+  EXPECT_EQ(s.state, EvsNode::State::Operational);
+  (void)cluster.sink(0);
+  (void)cluster.aggregate_metrics();
+}
+
+TEST(LiveLifecycleTest, SendAfterStopReportsInsteadOfHanging) {
+  LiveCluster cluster(LiveCluster::Options{.num_processes = 2});
+  SKIP_IF_NO_SOCKETS(cluster.open());
+  ASSERT_TRUE(cluster.await_stable());
+  cluster.stop();
+  // The node object is alive (inspection contract) and the call runs
+  // inline; whatever the node answers, the harness returns — it must not
+  // block.
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)cluster.send(0, Service::Safe, {0x1});
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  EXPECT_LT(ms, 1'000);
+}
+
+TEST(LiveLifecycleTest, CallsRacingStopNeverDeadlock) {
+  // Hammer call() from two harness threads while the main thread stops the
+  // cluster: every call must complete (posted-and-run, close-drained, or
+  // inline). Completion of this test IS the assertion; TSan builds also
+  // check the memory orderings.
+  LiveCluster cluster(LiveCluster::Options{.num_processes = 2});
+  SKIP_IF_NO_SOCKETS(cluster.open());
+  ASSERT_TRUE(cluster.await_stable());
+
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 2; ++t) {
+    callers.emplace_back([&cluster, &completed, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (int i = 0; i < 200; ++i) {
+        cluster.call(static_cast<std::size_t>(t % 2), [&completed] {
+          completed.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  cluster.stop();
+  for (auto& th : callers) th.join();
+  EXPECT_EQ(completed.load(), 400u);
+}
+
+}  // namespace
+}  // namespace evs

@@ -1,0 +1,174 @@
+// Wall-clock timer mapping under sharding (ISSUE 10 satellite): a worker
+// multiplexing K transports must not let node 1's heavy delivery starve
+// node K's timers. The guarantee rests on the per-pass dispatch budget
+// (Options::max_recv_per_poll bounds service()), which caps the time any
+// single member can hold the worker before every other member's
+// Scheduler::run_until(wall_now) runs again.
+//
+// Token-loss retransmission rides exactly this machinery — a token timer is
+// just a Scheduler entry on the node's transport — so the lateness bound
+// here is the retransmission-latency bound of the ring.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "net/executor.hpp"
+#include "net/udp_transport.hpp"
+#include "testkit/live_cluster.hpp"
+
+namespace evs {
+namespace {
+
+#define SKIP_IF_NO_SOCKETS(st)                                                 \
+  do {                                                                         \
+    if (!(st).ok()) GTEST_SKIP() << "sockets unavailable: " << (st).message(); \
+  } while (0)
+
+/// Endpoint that burns real time per packet — a node with expensive
+/// delivery handling.
+struct SlowEndpoint : Endpoint {
+  std::chrono::microseconds cost;
+  std::atomic<std::uint64_t> received{0};
+  explicit SlowEndpoint(std::chrono::microseconds c) : cost(c) {}
+  void on_packet(const Packet&) override {
+    std::this_thread::sleep_for(cost);
+    received.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+TEST(TimerFairnessTest, TimerLatencyBoundedUnderBusyCoScheduledNeighbor) {
+  // One worker, two transports: X floods with 500us-per-packet handling, Y
+  // only runs a 10ms repeating timer. The budget (8 dispatches/pass) caps
+  // X's slice at ~4ms, so Y's timer lateness stays far below the flood's
+  // total work (hundreds of ms). Without the bounded budget, one service
+  // pass would chew the whole socket queue and Y's timer would fire
+  // that entire backlog late.
+  UdpTransport::Options busy_opts;
+  busy_opts.max_recv_per_poll = 8;
+  UdpTransport busy(busy_opts);
+  UdpTransport quiet;
+  SKIP_IF_NO_SOCKETS(busy.open());
+  SKIP_IF_NO_SOCKETS(quiet.open());
+  UdpTransport feeder;
+  SKIP_IF_NO_SOCKETS(feeder.open());
+
+  const ProcessId p_busy{1}, p_feeder{2};
+  ASSERT_TRUE(busy.add_peer(p_feeder, feeder.local_addr()).ok());
+  ASSERT_TRUE(feeder.add_peer(p_busy, busy.local_addr()).ok());
+  SlowEndpoint slow(std::chrono::microseconds(500));
+  busy.attach(p_busy, &slow);
+
+  // Y's repeating timer: records how late each firing is against its own
+  // wall clock, then re-arms. All on the worker thread — no locking needed
+  // beyond the atomics the harness reads.
+  constexpr SimTime kPeriodUs = 10'000;
+  std::atomic<std::uint64_t> max_late_us{0};
+  std::atomic<std::uint64_t> fires{0};
+  struct Rearm {
+    UdpTransport* t;
+    SimTime period;
+    std::atomic<std::uint64_t>* max_late;
+    std::atomic<std::uint64_t>* fires;
+    SimTime due{0};
+    void arm() {
+      due = t->wall_now_us() + period;
+      t->scheduler().schedule_at(due, [this] {
+        const SimTime now = t->wall_now_us();
+        const std::uint64_t late = now > due ? now - due : 0;
+        std::uint64_t prev = max_late->load(std::memory_order_relaxed);
+        while (late > prev &&
+               !max_late->compare_exchange_weak(prev, late,
+                                                std::memory_order_relaxed)) {
+        }
+        fires->fetch_add(1, std::memory_order_relaxed);
+        arm();
+      });
+    }
+  };
+  Rearm rearm{&quiet, kPeriodUs, &max_late_us, &fires};
+  rearm.arm();
+
+  net::Executor::Options eo;
+  eo.num_workers = 1;
+  net::Executor ex(eo);
+  ex.add(&busy);
+  ex.add(&quiet);
+  ASSERT_TRUE(ex.start().ok());
+
+  // Flood X for ~600ms from the harness thread (the feeder drives itself).
+  const auto flood_until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(600);
+  while (std::chrono::steady_clock::now() < flood_until) {
+    for (int i = 0; i < 16; ++i) feeder.unicast(p_feeder, p_busy, {0x1});
+    feeder.poll_once(500);
+  }
+  ex.stop();
+
+  EXPECT_GT(slow.received.load(), 100u) << "flood never reached the busy node";
+  EXPECT_GE(fires.load(), 10u) << "quiet transport's timer barely ran";
+  // The regression bound: lateness stays an order of magnitude below the
+  // flood's total handling time (>= 50ms of 500us dispatches). An unbounded
+  // drain would show up as a triple-digit-ms spike here.
+  EXPECT_LT(max_late_us.load(), 100'000u)
+      << "timer starved behind a busy co-scheduled neighbor";
+}
+
+TEST(TimerFairnessTest, RingStaysLiveBesideBusyNeighborOnOneWorker) {
+  // The protocol-level version: a 2-node ring co-scheduled with a flooded
+  // slow neighbor on a single worker keeps rotating its token and
+  // delivering (token-loss timers, retransmissions, and deliveries all ride
+  // the same budgeted service passes).
+  LiveCluster::Options lo;
+  lo.num_processes = 2;
+  LiveCluster ring(lo);
+  net::Executor::Options eo;
+  eo.num_workers = 1;
+  net::Executor ex(eo);
+  SKIP_IF_NO_SOCKETS(ring.prepare(ex));
+
+  UdpTransport::Options busy_opts;
+  busy_opts.max_recv_per_poll = 8;
+  UdpTransport busy(busy_opts);
+  SKIP_IF_NO_SOCKETS(busy.open());
+  UdpTransport feeder;
+  SKIP_IF_NO_SOCKETS(feeder.open());
+  const ProcessId p_busy{90}, p_feeder{91};
+  ASSERT_TRUE(busy.add_peer(p_feeder, feeder.local_addr()).ok());
+  ASSERT_TRUE(feeder.add_peer(p_busy, busy.local_addr()).ok());
+  SlowEndpoint slow(std::chrono::microseconds(300));
+  busy.attach(p_busy, &slow);
+  ex.add(&busy);
+
+  ASSERT_TRUE(ex.start().ok());
+  ring.launch();
+  ASSERT_TRUE(ring.await_stable()) << "2-ring never formed";
+
+  std::atomic<bool> stop_flood{false};
+  std::thread flooder([&] {
+    while (!stop_flood.load(std::memory_order_acquire)) {
+      for (int i = 0; i < 16; ++i) feeder.unicast(p_feeder, p_busy, {0x2});
+      feeder.poll_once(500);
+    }
+  });
+
+  // 20 messages through the ring while the neighbor is saturated.
+  for (int i = 0; i < 20; ++i) {
+    const auto r = ring.send(0, Service::Safe, {static_cast<std::uint8_t>(i)});
+    ASSERT_TRUE(r.ok()) << r.status().message();
+  }
+  const bool delivered = ring.await(
+      [&] { return ring.total_delivered() >= 40; }, 15'000'000);
+  stop_flood.store(true, std::memory_order_release);
+  flooder.join();
+  EXPECT_TRUE(delivered)
+      << "ring starved behind the busy neighbor: delivered only "
+      << ring.total_delivered();
+  ring.stop();
+  EXPECT_EQ(ring.check_report(), "");
+}
+
+}  // namespace
+}  // namespace evs

@@ -169,10 +169,184 @@ TEST(UdpTransportTest, PostFromAnotherThreadWakesTheLoop) {
   UdpTransport t;
   SKIP_IF_NO_SOCKETS(t.open());
   std::atomic<bool> ran{false};
-  std::thread poster([&] { t.post([&] { ran.store(true); }); });
+  std::thread poster([&] { ASSERT_TRUE(t.post([&] { ran.store(true); })); });
   for (int i = 0; i < 100 && !ran.load(); ++i) t.poll_once(10'000);
   poster.join();
   EXPECT_TRUE(ran.load());
+}
+
+TEST(UdpTransportTest, AddPeerAliasingTwoPeersIsAnError) {
+  // Regression (pre-fix: silent alias). Registering peer B at an address
+  // already held by peer A overwrote the reverse map, so A's datagrams
+  // resolved to B from then on — and if A was blocked, they sailed through
+  // B's clean filter. The alias must be an explicit error that leaves the
+  // peer table untouched.
+  UdpTransport a, c;
+  SKIP_IF_NO_SOCKETS(a.open());
+  SKIP_IF_NO_SOCKETS(c.open());
+  const ProcessId pa{1}, pb{2}, pc{3};
+  ASSERT_TRUE(c.add_peer(pa, a.local_addr()).ok());
+  const Status alias = c.add_peer(pb, a.local_addr());
+  EXPECT_EQ(alias.code(), Errc::invalid_argument);
+
+  // End-to-end: with A blocked, A's datagrams must still die in the filter
+  // even after the attempted alias — pre-fix they arrived attributed to B.
+  ASSERT_TRUE(a.add_peer(pc, c.local_addr()).ok());
+  CaptureEndpoint sink_c;
+  c.attach(pc, &sink_c);
+  c.block_peer(pa);
+  const auto filtered_before = c.stats().dropped_filter;
+  a.unicast(pa, pc, {0x5a});
+  EXPECT_FALSE(pump(a, c, [&] { return !sink_c.packets.empty(); }, 20));
+  EXPECT_GT(c.stats().dropped_filter, filtered_before);
+}
+
+TEST(UdpTransportTest, ReAddPeerMovesAddressAndReleasesOldKey) {
+  UdpTransport a, b, c;
+  SKIP_IF_NO_SOCKETS(a.open());
+  SKIP_IF_NO_SOCKETS(b.open());
+  SKIP_IF_NO_SOCKETS(c.open());
+  const ProcessId pa{1}, pb{2};
+  ASSERT_TRUE(c.add_peer(pa, a.local_addr()).ok());
+  // Same peer, new address: a legitimate remap (restarted node, fresh
+  // ephemeral port).
+  ASSERT_TRUE(c.add_peer(pa, b.local_addr()).ok());
+  // The old key is free again, so another peer may claim it.
+  EXPECT_TRUE(c.add_peer(pb, a.local_addr()).ok());
+}
+
+TEST(UdpTransportTest, BlockFilterSurvivesReAddPeer) {
+  // Regression companion to the alias fix: a blocked peer that rebinds (new
+  // ephemeral port, re-add_peer) must STAY blocked — the filter is on the
+  // ProcessId, and re-registration must not reset it.
+  UdpTransport a1, a2, c;
+  SKIP_IF_NO_SOCKETS(a1.open());
+  SKIP_IF_NO_SOCKETS(a2.open());
+  SKIP_IF_NO_SOCKETS(c.open());
+  const ProcessId pa{1}, pc{3};
+  ASSERT_TRUE(c.add_peer(pa, a1.local_addr()).ok());
+  c.block_peer(pa);
+
+  // "Restart": the same peer re-registers from a different socket.
+  ASSERT_TRUE(c.add_peer(pa, a2.local_addr()).ok());
+  EXPECT_TRUE(c.peer_blocked(pa));
+  ASSERT_TRUE(a2.add_peer(pc, c.local_addr()).ok());
+  CaptureEndpoint sink_c;
+  c.attach(pc, &sink_c);
+  const auto filtered_before = c.stats().dropped_filter;
+  a2.unicast(pa, pc, {0x7});
+  EXPECT_FALSE(pump(a2, c, [&] { return !sink_c.packets.empty(); }, 20));
+  EXPECT_GT(c.stats().dropped_filter, filtered_before);
+}
+
+TEST(UdpTransportTest, AddPeerRejectsMalformedAddress) {
+  UdpTransport t;
+  SKIP_IF_NO_SOCKETS(t.open());
+  EXPECT_EQ(t.add_peer(ProcessId{1}, PeerAddr{"not-an-ip", 9}).code(),
+            Errc::invalid_argument);
+  EXPECT_EQ(t.add_peer(ProcessId{1}, PeerAddr{"256.1.1.1", 9}).code(),
+            Errc::invalid_argument);
+  EXPECT_EQ(t.block_peer(PeerAddr{"nope", 1}).code(), Errc::invalid_argument);
+}
+
+TEST(UdpTransportTest, BlockByAddressDropsUnresolvedSources) {
+  // The PeerAddr filter form: drop traffic from an address that never
+  // registered as a peer (it would otherwise count as unknown-peer, which
+  // is not an intentional cut).
+  UdpTransport a, c;
+  SKIP_IF_NO_SOCKETS(a.open());
+  SKIP_IF_NO_SOCKETS(c.open());
+  const ProcessId pa{1}, pc{3};
+  ASSERT_TRUE(a.add_peer(pc, c.local_addr()).ok());
+  CaptureEndpoint sink_c;
+  c.attach(pc, &sink_c);
+  ASSERT_TRUE(c.block_peer(a.local_addr()).ok());
+  const auto filtered_before = c.stats().dropped_filter;
+  a.unicast(pa, pc, {1});
+  EXPECT_FALSE(pump(a, c, [&] { return !sink_c.packets.empty(); }, 20));
+  EXPECT_GT(c.stats().dropped_filter, filtered_before);
+  // Unblock: now the source is merely unknown (never add_peer'd).
+  ASSERT_TRUE(c.unblock_peer(a.local_addr()).ok());
+  const auto unknown_before = c.stats().dropped_unknown_peer;
+  a.unicast(pa, pc, {2});
+  EXPECT_FALSE(pump(a, c, [&] { return !sink_c.packets.empty(); }, 20));
+  EXPECT_GT(c.stats().dropped_unknown_peer, unknown_before);
+}
+
+TEST(UdpTransportTest, MulticastGroupSendIsOneDatagramFanOut) {
+  // Real multicast wiring: the receiver joins 239.255.77.1 on loopback, the
+  // sender targets the group — ONE datagram on the wire regardless of ring
+  // size, with the source still resolved per-peer at the receiver. Group
+  // routing depends on the environment, so no-arrival is a skip, not a
+  // failure (the loopback fan-out default needs none of this).
+  UdpTransport::Options recv_opts;
+  recv_opts.multicast_group = "239.255.77.1";
+  UdpTransport b(recv_opts);
+  SKIP_IF_NO_SOCKETS(b.open());
+
+  UdpTransport::Options send_opts;
+  send_opts.multicast_group = "239.255.77.1";
+  send_opts.multicast_port = b.port();
+  UdpTransport a(send_opts);
+  SKIP_IF_NO_SOCKETS(a.open());
+
+  const ProcessId pa{1}, pb{2};
+  // The sender's source address is its wildcard-bound port on the loopback
+  // route; register it so the receiver can attribute the traffic.
+  ASSERT_TRUE(b.add_peer(pa, PeerAddr{"127.0.0.1", a.port()}).ok());
+  CaptureEndpoint sink_b;
+  b.attach(pb, &sink_b);
+
+  const auto sent_before = a.stats().datagrams_sent;
+  a.broadcast(pa, {0x42});
+  const bool arrived = pump(a, b, [&] { return !sink_b.packets.empty(); }, 100);
+  if (!arrived) {
+    GTEST_SKIP() << "multicast not routable over loopback here";
+  }
+  EXPECT_EQ(sink_b.packets[0].src, pa);
+  // One group datagram, not one per registered peer.
+  EXPECT_EQ(a.stats().datagrams_sent, sent_before + 1);
+}
+
+TEST(UdpTransportTest, MulticastGroupMustBeAMulticastAddress) {
+  UdpTransport::Options opts;
+  opts.multicast_group = "127.0.0.1";  // not in 224.0.0.0/4
+  UdpTransport t(opts);
+  const Status st = t.open();
+  if (st.code() == Errc::transport_io) GTEST_SKIP() << st.message();
+  EXPECT_EQ(st.code(), Errc::invalid_argument);
+  EXPECT_FALSE(t.is_open());
+}
+
+TEST(UdpTransportTest, BroadcastSocketOptionSendsToBroadcastAddress) {
+  // SO_BROADCAST wiring: the sender targets 127.255.255.255 (the loopback
+  // subnet broadcast); a wildcard-bound receiver on that port gets it.
+  // Delivery of subnet broadcasts varies by environment — skip on
+  // no-arrival like the multicast case.
+  UdpTransport::Options recv_opts;
+  recv_opts.bind_ip = "0.0.0.0";
+  UdpTransport b(recv_opts);
+  SKIP_IF_NO_SOCKETS(b.open());
+
+  UdpTransport::Options send_opts;
+  send_opts.enable_broadcast = true;
+  send_opts.broadcast_addr = "127.255.255.255";
+  send_opts.multicast_port = b.port();
+  UdpTransport a(send_opts);
+  SKIP_IF_NO_SOCKETS(a.open());
+
+  const ProcessId pa{1}, pb{2};
+  ASSERT_TRUE(b.add_peer(pa, PeerAddr{"127.0.0.1", a.port()}).ok());
+  CaptureEndpoint sink_b;
+  b.attach(pb, &sink_b);
+  const auto sent_before = a.stats().datagrams_sent;
+  a.broadcast(pa, {0x43});
+  const bool arrived = pump(a, b, [&] { return !sink_b.packets.empty(); }, 100);
+  if (!arrived) {
+    GTEST_SKIP() << "subnet broadcast not deliverable here";
+  }
+  EXPECT_EQ(sink_b.packets[0].src, pa);
+  EXPECT_EQ(a.stats().datagrams_sent, sent_before + 1);
 }
 
 TEST(UdpTransportTest, OversizedDatagramIsASendError) {

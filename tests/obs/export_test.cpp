@@ -388,6 +388,68 @@ TEST(ReportJson, KvRunsMustCarryShardInstruments) {
       << validate_report_json(plain).message();
 }
 
+TEST(ReportJson, ExecutorRunsMustCarryInstruments) {
+  // An executor-driven run (marked by net.executor.polls) must carry the
+  // full net.executor.* surface — the tripwire for bench_executor_scale's
+  // committed JSON.
+  MetricsRegistry r = sample_registry();
+  r.counter("net.executor.polls").inc(100);
+  r.counter("net.executor.wakeups").inc(12);
+  r.gauge("net.executor.workers").set(2);
+  r.gauge("net.executor.nodes_per_worker").set(3);
+  r.histogram("net.executor.inbox_depth").record(0);
+  r.histogram("net.executor.poll_batch").record(4);
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "evs.obs.report");
+  w.kv("version", 1);
+  w.kv("source", "bench_unit_test");
+  w.key("runs").begin_array();
+  w.begin_object();
+  w.kv("name", "BM_ExecutorScale/16");
+  w.key("metrics");
+  write_metrics(w, r);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  auto v = JsonValue::parse(w.str());
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(validate_report_json(*v).ok())
+      << validate_report_json(*v).message();
+
+  auto no_counter = *v;
+  JsonValue& mc =
+      *find_mutable(find_mutable(no_counter, "runs")->array[0], "metrics");
+  erase_member(*find_mutable(mc, "counters"), "net.executor.wakeups");
+  EXPECT_FALSE(validate_report_json(no_counter).ok());
+  for (const char* gauge :
+       {"net.executor.workers", "net.executor.nodes_per_worker"}) {
+    auto broken = *v;
+    JsonValue& m =
+        *find_mutable(find_mutable(broken, "runs")->array[0], "metrics");
+    erase_member(*find_mutable(m, "gauges"), gauge);
+    const Status st = validate_report_json(broken);
+    EXPECT_FALSE(st.ok()) << gauge;
+    EXPECT_NE(st.message().find(gauge), std::string::npos) << st.message();
+  }
+  for (const char* hist :
+       {"net.executor.inbox_depth", "net.executor.poll_batch"}) {
+    auto broken = *v;
+    JsonValue& m =
+        *find_mutable(find_mutable(broken, "runs")->array[0], "metrics");
+    erase_member(*find_mutable(m, "histograms"), hist);
+    EXPECT_FALSE(validate_report_json(broken).ok()) << hist;
+  }
+
+  // A run with no net.executor.polls marker (sim bench) is exempt.
+  auto plain = *v;
+  JsonValue& mp = *find_mutable(find_mutable(plain, "runs")->array[0], "metrics");
+  erase_member(*find_mutable(mp, "counters"), "net.executor.polls");
+  erase_member(*find_mutable(mp, "gauges"), "net.executor.workers");
+  EXPECT_TRUE(validate_report_json(plain).ok())
+      << validate_report_json(plain).message();
+}
+
 TEST(ReportJson, ValidatorRejectsIncompleteRuns) {
   auto reject = [](const char* doc) {
     const auto v = JsonValue::parse(doc);
